@@ -1,0 +1,65 @@
+// Ablation: sample-size growth factor. The paper doubles (x2) in every
+// iteration; this study measures how x1.5 / x2 / x3 / x4 trade bound
+// evaluations against overshoot on the entropy top-k and filtering
+// queries.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/core/swope_filter_entropy.h"
+#include "src/core/swope_topk_entropy.h"
+#include "src/eval/report.h"
+
+namespace swope {
+namespace {
+
+void Run(const BenchConfig& config) {
+  bench::PrintBanner("Ablation: growth factor (entropy queries, k=4, eta=2)",
+                     config, bench::kDefaultBenchRows);
+  const auto datasets =
+      bench::BuildAllPresets(config, bench::kDefaultBenchRows);
+
+  for (const auto& dataset : datasets) {
+    std::cout << "## " << dataset.name << "\n";
+    ReportTable table({"growth", "top-k time (ms)", "top-k samples",
+                       "top-k iters", "filter time (ms)", "filter samples",
+                       "filter iters"});
+    for (double growth : {1.5, 2.0, 3.0, 4.0}) {
+      QueryOptions options;
+      options.epsilon = 0.1;
+      options.seed = config.seed;
+      options.sequential_sampling = true;
+      options.growth_factor = growth;
+
+      Result<TopKResult> topk(Status::Internal("unset"));
+      const Timing topk_time = TimeRepeated(config.reps, [&] {
+        topk = SwopeTopKEntropy(dataset.table, 4, options);
+        if (!topk.ok()) std::exit(1);
+      });
+      options.epsilon = 0.05;
+      Result<FilterResult> filter(Status::Internal("unset"));
+      const Timing filter_time = TimeRepeated(config.reps, [&] {
+        filter = SwopeFilterEntropy(dataset.table, 2.0, options);
+        if (!filter.ok()) std::exit(1);
+      });
+
+      table.AddRow({ReportTable::FormatDouble(growth, 1),
+                    ReportTable::FormatMillis(topk_time.mean_seconds),
+                    std::to_string(topk->stats.final_sample_size),
+                    std::to_string(topk->stats.iterations),
+                    ReportTable::FormatMillis(filter_time.mean_seconds),
+                    std::to_string(filter->stats.final_sample_size),
+                    std::to_string(filter->stats.iterations)});
+    }
+    table.PrintMarkdown(std::cout);
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+}  // namespace swope
+
+int main(int argc, char** argv) {
+  swope::Run(swope::BenchConfig::FromArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation: initial sample size policy. Compares the paper's M0 formula
+// (Theorem 2's lower bound evaluated at the maximum possible score)
+// against fixed under- and over-shoots, on entropy top-k.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/core/bounds.h"
+#include "src/core/swope_topk_entropy.h"
+#include "src/eval/report.h"
+
+namespace swope {
+namespace {
+
+void Run(const BenchConfig& config) {
+  bench::PrintBanner("Ablation: M0 policy (entropy top-k, k=4, eps=0.1)",
+                     config, bench::kDefaultBenchRows);
+  const auto datasets =
+      bench::BuildAllPresets(config, bench::kDefaultBenchRows);
+
+  for (const auto& dataset : datasets) {
+    std::cout << "## " << dataset.name << "\n";
+    const uint64_t n = dataset.table.num_rows();
+    const uint64_t paper_m0 =
+        ComputeM0(n, dataset.table.num_columns(), 1.0 / n,
+                  dataset.table.MaxSupport());
+    struct Policy {
+      std::string label;
+      uint64_t m0;  // 0 = paper formula
+    };
+    const Policy policies[] = {{"paper formula (" + std::to_string(paper_m0) +
+                                    ")",
+                                0},
+                               {"tiny (16)", 16},
+                               {"small (256)", 256},
+                               {"large (N/16)", n / 16},
+                               {"huge (N/2)", n / 2}};
+
+    ReportTable table({"M0 policy", "time (ms)", "samples", "iterations"});
+    for (const Policy& policy : policies) {
+      QueryOptions options;
+      options.epsilon = 0.1;
+      options.seed = config.seed;
+      options.sequential_sampling = true;
+      options.initial_sample_size = policy.m0;
+      Result<TopKResult> result(Status::Internal("unset"));
+      const Timing timing = TimeRepeated(config.reps, [&] {
+        result = SwopeTopKEntropy(dataset.table, 4, options);
+        if (!result.ok()) std::exit(1);
+      });
+      table.AddRow({policy.label,
+                    ReportTable::FormatMillis(timing.mean_seconds),
+                    std::to_string(result->stats.final_sample_size),
+                    std::to_string(result->stats.iterations)});
+    }
+    table.PrintMarkdown(std::cout);
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+}  // namespace swope
+
+int main(int argc, char** argv) {
+  swope::Run(swope::BenchConfig::FromArgs(argc, argv));
+  return 0;
+}

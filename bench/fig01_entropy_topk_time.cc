@@ -1,0 +1,62 @@
+// Figure 1 reproduction: empirical entropy top-k query time vs k.
+// Series: SWOPE (eps = 0.1, the paper's default), EntropyRank, Exact.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/baselines/entropy_rank.h"
+#include "src/baselines/exact.h"
+#include "src/core/swope_topk_entropy.h"
+#include "src/eval/report.h"
+
+namespace swope {
+namespace {
+
+void Run(const BenchConfig& config) {
+  bench::PrintBanner("Figure 1: entropy top-k query time (ms)", config,
+                     bench::kDefaultBenchRows);
+  const auto datasets =
+      bench::BuildAllPresets(config, bench::kDefaultBenchRows);
+
+  for (const auto& dataset : datasets) {
+    std::cout << "## " << dataset.name << "\n";
+    ReportTable table(
+        {"k", "SWOPE", "EntropyRank", "Exact", "SWOPE vs Rank",
+         "SWOPE vs Exact"});
+    // The exact scan does not depend on k; time it once.
+    const Timing exact_time = TimeRepeated(config.reps, [&] {
+      auto result = ExactTopKEntropy(dataset.table, 1);
+      if (!result.ok()) std::exit(1);
+    });
+    for (size_t k : {1, 2, 4, 8, 10}) {
+      QueryOptions options;
+      options.epsilon = 0.1;
+      options.seed = config.seed;
+      options.sequential_sampling = true;
+      const Timing swope_time = TimeRepeated(config.reps, [&] {
+        auto result = SwopeTopKEntropy(dataset.table, k, options);
+        if (!result.ok()) std::exit(1);
+      });
+      const Timing rank_time = TimeRepeated(config.reps, [&] {
+        auto result = EntropyRankTopK(dataset.table, k, options);
+        if (!result.ok()) std::exit(1);
+      });
+      table.AddRow(
+          {std::to_string(k), ReportTable::FormatMillis(swope_time.mean_seconds),
+           ReportTable::FormatMillis(rank_time.mean_seconds),
+           ReportTable::FormatMillis(exact_time.mean_seconds),
+           FormatSpeedup(rank_time.mean_seconds, swope_time.mean_seconds),
+           FormatSpeedup(exact_time.mean_seconds, swope_time.mean_seconds)});
+    }
+    table.PrintMarkdown(std::cout);
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+}  // namespace swope
+
+int main(int argc, char** argv) {
+  swope::Run(swope::BenchConfig::FromArgs(argc, argv));
+  return 0;
+}

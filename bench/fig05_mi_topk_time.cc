@@ -1,0 +1,78 @@
+// Figure 5 reproduction: empirical mutual information top-k query time
+// vs k, averaged over several random target attributes per dataset.
+// Series: SWOPE (eps = 0.5, the paper's default), EntropyRank-MI, Exact.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/baselines/exact.h"
+#include "src/baselines/mi_rank.h"
+#include "src/core/swope_topk_mi.h"
+#include "src/eval/report.h"
+
+namespace swope {
+namespace {
+
+void Run(const BenchConfig& config) {
+  bench::PrintBanner("Figure 5: MI top-k query time (ms)", config,
+                     bench::kDefaultMiBenchRows);
+  const auto datasets =
+      bench::BuildAllPresets(config, bench::kDefaultMiBenchRows);
+
+  for (const auto& dataset : datasets) {
+    std::cout << "## " << dataset.name << " (avg over " << config.targets
+              << " targets)\n";
+    const auto targets =
+        bench::PickTargets(dataset.table, config.targets, config.seed);
+    // The exact scan cost does not depend on k; time it once per target.
+    double exact_total = 0.0;
+    for (size_t target : targets) {
+      exact_total += TimeRepeated(config.reps, [&] {
+                       auto result = ExactTopKMi(dataset.table, target, 1);
+                       if (!result.ok()) std::exit(1);
+                     }).mean_seconds;
+    }
+    const double exact_mean = exact_total / targets.size();
+
+    ReportTable table({"k", "SWOPE", "EntropyRank", "Exact",
+                       "SWOPE vs Rank", "SWOPE vs Exact"});
+    for (size_t k : {1, 2, 4, 8, 10}) {
+      double swope_total = 0.0;
+      double rank_total = 0.0;
+      for (size_t target : targets) {
+        QueryOptions options;
+        options.epsilon = 0.5;
+        options.seed = config.seed + target;
+        options.sequential_sampling = true;
+        swope_total +=
+            TimeRepeated(config.reps, [&] {
+              auto result = SwopeTopKMi(dataset.table, target, k, options);
+              if (!result.ok()) std::exit(1);
+            }).mean_seconds;
+        rank_total +=
+            TimeRepeated(config.reps, [&] {
+              auto result = MiRankTopK(dataset.table, target, k, options);
+              if (!result.ok()) std::exit(1);
+            }).mean_seconds;
+      }
+      const double swope_mean = swope_total / targets.size();
+      const double rank_mean = rank_total / targets.size();
+      table.AddRow({std::to_string(k),
+                    ReportTable::FormatMillis(swope_mean),
+                    ReportTable::FormatMillis(rank_mean),
+                    ReportTable::FormatMillis(exact_mean),
+                    FormatSpeedup(rank_mean, swope_mean),
+                    FormatSpeedup(exact_mean, swope_mean)});
+    }
+    table.PrintMarkdown(std::cout);
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+}  // namespace swope
+
+int main(int argc, char** argv) {
+  swope::Run(swope::BenchConfig::FromArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 10 reproduction: tuning eps for entropy filtering (eta = 2).
+// The paper picks eps = 0.05 as the default.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/core/entropy.h"
+#include "src/core/swope_filter_entropy.h"
+#include "src/eval/accuracy.h"
+#include "src/eval/report.h"
+
+namespace swope {
+namespace {
+
+constexpr double kEta = 2.0;
+
+void Run(const BenchConfig& config) {
+  bench::PrintBanner("Figure 10: tuning eps, entropy filtering (eta = 2)",
+                     config, bench::kDefaultBenchRows);
+  const auto datasets =
+      bench::BuildAllPresets(config, bench::kDefaultBenchRows);
+
+  for (const auto& dataset : datasets) {
+    std::cout << "## " << dataset.name << "\n";
+    const auto exact_scores = ExactEntropies(dataset.table);
+    std::vector<size_t> eligible(dataset.table.num_columns());
+    for (size_t j = 0; j < eligible.size(); ++j) eligible[j] = j;
+
+    ReportTable table({"eps", "time (ms)", "accuracy", "samples"});
+    for (double eps : {0.01, 0.025, 0.05, 0.1, 0.25, 0.5}) {
+      QueryOptions options;
+      options.epsilon = eps;
+      options.seed = config.seed;
+      options.sequential_sampling = true;
+      Result<FilterResult> last(Status::Internal("unset"));
+      const Timing timing = TimeRepeated(config.reps, [&] {
+        last = SwopeFilterEntropy(dataset.table, kEta, options);
+        if (!last.ok()) std::exit(1);
+      });
+      table.AddRow(
+          {ReportTable::FormatDouble(eps, 3),
+           ReportTable::FormatMillis(timing.mean_seconds),
+           ReportTable::FormatDouble(
+               FilterAccuracy(*last, exact_scores, eligible, kEta), 3),
+           std::to_string(last->stats.final_sample_size)});
+    }
+    table.PrintMarkdown(std::cout);
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+}  // namespace swope
+
+int main(int argc, char** argv) {
+  swope::Run(swope::BenchConfig::FromArgs(argc, argv));
+  return 0;
+}

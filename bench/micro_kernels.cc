@@ -1,0 +1,149 @@
+// google-benchmark microbenchmarks for the kernels on the query hot path:
+// counter updates, bound evaluation, sampling, shuffling, CSV parsing.
+
+#include <sstream>
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/flat_hash_map.h"
+#include "src/core/bounds.h"
+#include "src/core/entropy.h"
+#include "src/core/frequency_counter.h"
+#include "src/core/pair_counter.h"
+#include "src/datagen/distributions.h"
+#include "src/datagen/generator.h"
+#include "src/table/csv_reader.h"
+#include "src/table/csv_writer.h"
+#include "src/table/shuffle.h"
+
+namespace swope {
+namespace {
+
+Column MakeColumn(uint32_t support, uint64_t rows, uint64_t seed) {
+  auto column = GenerateColumn(ColumnSpec::Zipf("z", support, 1.0), rows,
+                               seed);
+  if (!column.ok()) std::abort();
+  return std::move(column).value();
+}
+
+void BM_FrequencyCounterAdd(benchmark::State& state) {
+  const Column column = MakeColumn(64, 1 << 16, 1);
+  FrequencyCounter counter(64);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    counter.Add(column.code(i & 0xffff));
+    ++i;
+  }
+  benchmark::DoNotOptimize(counter.SampleEntropy());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrequencyCounterAdd);
+
+void BM_PairCounterAddDense(benchmark::State& state) {
+  const Column a = MakeColumn(64, 1 << 16, 2);
+  const Column b = MakeColumn(64, 1 << 16, 3);
+  PairCounter counter(64, 64, /*dense_limit=*/1 << 20);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    counter.Add(a.code(i & 0xffff), b.code(i & 0xffff));
+    ++i;
+  }
+  benchmark::DoNotOptimize(counter.SampleJointEntropy());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PairCounterAddDense);
+
+void BM_PairCounterAddSparse(benchmark::State& state) {
+  const Column a = MakeColumn(64, 1 << 16, 2);
+  const Column b = MakeColumn(64, 1 << 16, 3);
+  PairCounter counter(64, 64, /*dense_limit=*/1);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    counter.Add(a.code(i & 0xffff), b.code(i & 0xffff));
+    ++i;
+  }
+  benchmark::DoNotOptimize(counter.SampleJointEntropy());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PairCounterAddSparse);
+
+void BM_FlatHashMapIncrement(benchmark::State& state) {
+  FlatHashMap<uint64_t, uint64_t> map(1 << 12);
+  Rng rng(7);
+  std::vector<uint64_t> keys(1 << 14);
+  for (auto& key : keys) key = rng.UniformU64(1 << 12);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    ++map[keys[i & 0x3fff]];
+    ++i;
+  }
+  benchmark::DoNotOptimize(map.size());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatHashMapIncrement);
+
+void BM_ExactEntropy(benchmark::State& state) {
+  const Column column = MakeColumn(256, state.range(0), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactEntropy(column));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExactEntropy)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_BoundEvaluation(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MakeEntropyInterval(3.0, 256, 1 << 20, 1 << 12, 1e-6));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BoundEvaluation);
+
+void BM_Shuffle(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ShuffledRowOrder(static_cast<uint32_t>(state.range(0)), 11));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Shuffle)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_AliasSampling(benchmark::State& state) {
+  const auto dist = CategoricalDistribution::Zipf(1000, 1.0);
+  Rng rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AliasSampling);
+
+void BM_CsvParse(benchmark::State& state) {
+  // Build a 1000-row, 10-column CSV once; parse it per iteration.
+  TableSpec spec;
+  spec.num_rows = 1000;
+  spec.seed = 17;
+  for (int j = 0; j < 10; ++j) {
+    spec.columns.push_back(
+        ColumnSpec::Uniform("c" + std::to_string(j), 50));
+  }
+  auto table = GenerateTable(spec);
+  if (!table.ok()) std::abort();
+  std::ostringstream csv;
+  if (!WriteCsv(*table, csv).ok()) std::abort();
+  const std::string text = csv.str();
+  for (auto _ : state) {
+    std::istringstream input(text);
+    auto parsed = ReadCsv(input);
+    if (!parsed.ok()) std::abort();
+    benchmark::DoNotOptimize(parsed->num_rows());
+  }
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_CsvParse);
+
+}  // namespace
+}  // namespace swope
+
+BENCHMARK_MAIN();

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Runs every reproduction bench in order and tees the combined output.
+#
+#   bench/run_all.sh [outfile] [extra flags passed to every bench]
+#
+# Example: bench/run_all.sh /tmp/bench.out --quick
+
+set -u
+BUILD_DIR="$(dirname "$0")/../build/bench"
+OUT="${1:-bench_output.txt}"
+shift || true
+
+: > "$OUT"
+for b in "$BUILD_DIR"/*; do
+  [ -x "$b" ] || continue
+  echo "===== $(basename "$b") =====" | tee -a "$OUT"
+  "$b" "$@" 2>&1 | tee -a "$OUT"
+  echo | tee -a "$OUT"
+done
+echo "wrote $OUT"

@@ -1,0 +1,26 @@
+// EntropyFilter baseline (Wang & Ding, KDD 2019; Section 2.2 of the
+// paper).
+//
+// Adaptive sampling filter that returns the EXACT answer set: an attribute
+// is accepted only once its lower bound reaches eta and rejected only once
+// its upper bound drops below eta, so its cost scales with 1/delta^2 where
+// delta is the gap between an attribute's score and the threshold.
+
+#ifndef SWOPE_BASELINES_ENTROPY_FILTER_H_
+#define SWOPE_BASELINES_ENTROPY_FILTER_H_
+
+#include "src/common/result.h"
+#include "src/core/query_options.h"
+#include "src/core/query_result.h"
+#include "src/table/table.h"
+
+namespace swope {
+
+/// Runs EntropyFilter with threshold `eta`. `options.epsilon` is ignored
+/// (the answer is exact). Items are in ascending column-index order.
+Result<FilterResult> EntropyFilterQuery(const Table& table, double eta,
+                                        const QueryOptions& options = {});
+
+}  // namespace swope
+
+#endif  // SWOPE_BASELINES_ENTROPY_FILTER_H_

@@ -1,0 +1,132 @@
+#include "src/baselines/entropy_rank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/core/bounds.h"
+#include "src/core/frequency_counter.h"
+#include "src/core/prefix_sampler.h"
+
+namespace swope {
+
+namespace {
+
+struct Candidate {
+  size_t column = 0;
+  FrequencyCounter counter{0};
+  EntropyInterval interval;
+};
+
+}  // namespace
+
+Result<TopKResult> EntropyRankTopK(const Table& table, size_t k,
+                                   const QueryOptions& options) {
+  SWOPE_RETURN_NOT_OK(options.Validate());
+  const uint64_t n = table.num_rows();
+  const size_t h = table.num_columns();
+  if (h == 0) {
+    return Status::InvalidArgument("entropy rank: table has no columns");
+  }
+  if (k == 0) return Status::InvalidArgument("entropy rank: k must be >= 1");
+  k = std::min(k, h);
+
+  const double pf = options.ResolveFailureProbability(n);
+  const uint64_t m0 =
+      options.initial_sample_size > 0
+          ? std::min<uint64_t>(n, std::max<uint64_t>(
+                                      kMinSampleSize,
+                                      options.initial_sample_size))
+          : ComputeM0(n, h, pf, table.MaxSupport());
+  const uint32_t i_max = MaxIterations(n, m0);
+  const double p_iter = pf / (static_cast<double>(i_max) *
+                              static_cast<double>(h));
+
+  TopKResult result;
+  result.stats.initial_sample_size = m0;
+
+  PrefixSampler sampler(static_cast<uint32_t>(n), options.seed,
+                        options.sequential_sampling);
+  std::vector<Candidate> candidates(h);
+  for (size_t j = 0; j < h; ++j) {
+    candidates[j].column = j;
+    candidates[j].counter = FrequencyCounter(table.column(j).support());
+  }
+  std::vector<size_t> active(h);
+  for (size_t j = 0; j < h; ++j) active[j] = j;
+
+  auto finalize = [&](uint64_t m) {
+    std::vector<size_t> order = active;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (candidates[a].interval.lower != candidates[b].interval.lower) {
+        return candidates[a].interval.lower > candidates[b].interval.lower;
+      }
+      return a < b;
+    });
+    order.resize(std::min(order.size(), k));
+    for (size_t idx : order) {
+      const Candidate& c = candidates[idx];
+      result.items.push_back({c.column, table.column(c.column).name(),
+                              c.interval.Estimate(), c.interval.lower,
+                              c.interval.upper});
+    }
+    result.stats.final_sample_size = m;
+    result.stats.candidates_remaining = active.size();
+    result.stats.exhausted_dataset = (m >= n);
+  };
+
+  uint64_t m = std::min<uint64_t>(m0, n);
+  for (;;) {
+    ++result.stats.iterations;
+    const PrefixSampler::Range range = sampler.GrowTo(m);
+    for (size_t idx : active) {
+      Candidate& c = candidates[idx];
+      c.counter.AddRows(table.column(c.column), sampler.order(), range.begin,
+                        range.end);
+      c.interval = MakeEntropyInterval(c.counter.SampleEntropy(),
+                                       table.column(c.column).support(), n, m,
+                                       p_iter);
+    }
+    result.stats.cells_scanned +=
+        (range.end - range.begin) * active.size();
+
+    // When k or fewer candidates survive, they are the answer.
+    if (active.size() <= k) {
+      finalize(m);
+      return result;
+    }
+
+    // Exact-separation stopping rule: k-th largest lower bound >= (k+1)-th
+    // largest upper bound.
+    std::vector<double> lowers;
+    std::vector<double> uppers;
+    lowers.reserve(active.size());
+    uppers.reserve(active.size());
+    for (size_t idx : active) {
+      lowers.push_back(candidates[idx].interval.lower);
+      uppers.push_back(candidates[idx].interval.upper);
+    }
+    std::nth_element(lowers.begin(), lowers.begin() + (k - 1), lowers.end(),
+                     std::greater<double>());
+    const double kth_lower = lowers[k - 1];
+    std::nth_element(uppers.begin(), uppers.begin() + k, uppers.end(),
+                     std::greater<double>());
+    const double k1th_upper = uppers[k];
+
+    if (kth_lower >= k1th_upper || m >= n) {
+      finalize(m);
+      return result;
+    }
+
+    // Prune candidates that can no longer reach the top-k.
+    std::erase_if(active, [&](size_t idx) {
+      return candidates[idx].interval.upper < kth_lower;
+    });
+
+    const uint64_t grown = static_cast<uint64_t>(
+        std::ceil(static_cast<double>(m) * options.growth_factor));
+    m = std::min<uint64_t>(n, std::max<uint64_t>(m + 1, grown));
+  }
+}
+
+}  // namespace swope

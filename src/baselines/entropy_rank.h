@@ -1,0 +1,29 @@
+// EntropyRank baseline (Wang & Ding, KDD 2019; Section 2.2 of the paper).
+//
+// Adaptive sampling top-k that returns the EXACT top-k set: it keeps
+// doubling the sample until the k-th largest lower bound is no smaller
+// than the (k+1)-th largest upper bound, so its cost scales with 1/Delta^2
+// where Delta is the gap between the k-th and (k+1)-th scores. It shares
+// SWOPE's bound machinery and sampling schedule so measured differences
+// isolate the stopping rules, mirroring the paper's comparison.
+
+#ifndef SWOPE_BASELINES_ENTROPY_RANK_H_
+#define SWOPE_BASELINES_ENTROPY_RANK_H_
+
+#include <cstddef>
+
+#include "src/common/result.h"
+#include "src/core/query_options.h"
+#include "src/core/query_result.h"
+#include "src/table/table.h"
+
+namespace swope {
+
+/// Runs EntropyRank. `options.epsilon` is ignored (the answer is exact).
+/// Items are sorted by descending lower bound at termination.
+Result<TopKResult> EntropyRankTopK(const Table& table, size_t k,
+                                   const QueryOptions& options = {});
+
+}  // namespace swope
+
+#endif  // SWOPE_BASELINES_ENTROPY_RANK_H_

@@ -1,0 +1,106 @@
+#include "src/baselines/exact.h"
+
+#include <algorithm>
+
+#include "src/core/entropy.h"
+
+namespace swope {
+
+namespace {
+
+// Sorts (score, index) pairs by descending score, ties by ascending index,
+// and emits the first k as AttributeScores with degenerate intervals.
+std::vector<AttributeScore> TopKFromScores(const Table& table,
+                                           const std::vector<double>& scores,
+                                           const std::vector<size_t>& eligible,
+                                           size_t k) {
+  std::vector<size_t> order = eligible;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  order.resize(std::min(order.size(), k));
+  std::vector<AttributeScore> items;
+  items.reserve(order.size());
+  for (size_t j : order) {
+    items.push_back(
+        {j, table.column(j).name(), scores[j], scores[j], scores[j]});
+  }
+  return items;
+}
+
+QueryStats ExactStats(const Table& table, uint64_t scans_per_row) {
+  QueryStats stats;
+  stats.final_sample_size = table.num_rows();
+  stats.initial_sample_size = table.num_rows();
+  stats.iterations = 1;
+  stats.cells_scanned = table.num_rows() * scans_per_row;
+  stats.exhausted_dataset = true;
+  return stats;
+}
+
+}  // namespace
+
+Result<TopKResult> ExactTopKEntropy(const Table& table, size_t k) {
+  if (table.num_columns() == 0) {
+    return Status::InvalidArgument("exact top-k: table has no columns");
+  }
+  if (k == 0) return Status::InvalidArgument("exact top-k: k must be >= 1");
+  const std::vector<double> scores = ExactEntropies(table);
+  std::vector<size_t> eligible(table.num_columns());
+  for (size_t j = 0; j < eligible.size(); ++j) eligible[j] = j;
+  TopKResult result;
+  result.items = TopKFromScores(table, scores, eligible, k);
+  result.stats = ExactStats(table, table.num_columns());
+  return result;
+}
+
+Result<FilterResult> ExactFilterEntropy(const Table& table, double eta) {
+  if (table.num_columns() == 0) {
+    return Status::InvalidArgument("exact filter: table has no columns");
+  }
+  const std::vector<double> scores = ExactEntropies(table);
+  FilterResult result;
+  for (size_t j = 0; j < scores.size(); ++j) {
+    if (scores[j] >= eta) {
+      result.items.push_back(
+          {j, table.column(j).name(), scores[j], scores[j], scores[j]});
+    }
+  }
+  result.stats = ExactStats(table, table.num_columns());
+  return result;
+}
+
+Result<TopKResult> ExactTopKMi(const Table& table, size_t target, size_t k) {
+  if (k == 0) return Status::InvalidArgument("exact mi top-k: k must be >= 1");
+  auto scores = ExactMutualInformations(table, target);
+  if (!scores.ok()) return scores.status();
+  std::vector<size_t> eligible;
+  for (size_t j = 0; j < table.num_columns(); ++j) {
+    if (j != target) eligible.push_back(j);
+  }
+  TopKResult result;
+  result.items = TopKFromScores(table, *scores, eligible, k);
+  // Per row: one marginal update per column plus one joint update per
+  // candidate.
+  result.stats = ExactStats(table, 2 * table.num_columns() - 1);
+  return result;
+}
+
+Result<FilterResult> ExactFilterMi(const Table& table, size_t target,
+                                   double eta) {
+  auto scores = ExactMutualInformations(table, target);
+  if (!scores.ok()) return scores.status();
+  FilterResult result;
+  for (size_t j = 0; j < table.num_columns(); ++j) {
+    if (j == target) continue;
+    if ((*scores)[j] >= eta) {
+      result.items.push_back({j, table.column(j).name(), (*scores)[j],
+                              (*scores)[j], (*scores)[j]});
+    }
+  }
+  result.stats = ExactStats(table, 2 * table.num_columns() - 1);
+  return result;
+}
+
+}  // namespace swope

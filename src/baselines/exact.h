@@ -1,0 +1,33 @@
+// Exact baselines: answer top-k and filtering queries by a full scan of
+// every record (the "Exact" competitor in the paper's experiments).
+
+#ifndef SWOPE_BASELINES_EXACT_H_
+#define SWOPE_BASELINES_EXACT_H_
+
+#include <cstddef>
+
+#include "src/common/result.h"
+#include "src/core/query_result.h"
+#include "src/table/table.h"
+
+namespace swope {
+
+/// Exact top-k on empirical entropy. Items are sorted by descending exact
+/// score (ties by ascending column index); lower == upper == estimate.
+Result<TopKResult> ExactTopKEntropy(const Table& table, size_t k);
+
+/// Exact filtering on empirical entropy: attributes with H >= eta, in
+/// ascending column-index order.
+Result<FilterResult> ExactFilterEntropy(const Table& table, double eta);
+
+/// Exact top-k on empirical mutual information against column `target`.
+Result<TopKResult> ExactTopKMi(const Table& table, size_t target, size_t k);
+
+/// Exact filtering on empirical mutual information against column
+/// `target`.
+Result<FilterResult> ExactFilterMi(const Table& table, size_t target,
+                                   double eta);
+
+}  // namespace swope
+
+#endif  // SWOPE_BASELINES_EXACT_H_

@@ -1,0 +1,25 @@
+// EntropyFilter extended to empirical mutual information (the paper's MI
+// filtering competitor): exact accept/reject over MI confidence intervals.
+
+#ifndef SWOPE_BASELINES_MI_FILTER_H_
+#define SWOPE_BASELINES_MI_FILTER_H_
+
+#include <cstddef>
+
+#include "src/common/result.h"
+#include "src/core/query_options.h"
+#include "src/core/query_result.h"
+#include "src/table/table.h"
+
+namespace swope {
+
+/// Runs the exact-answer MI filtering baseline against column `target`
+/// with threshold `eta`. `options.epsilon` is ignored. Items are in
+/// ascending column-index order.
+Result<FilterResult> MiFilterQuery(const Table& table, size_t target,
+                                   double eta,
+                                   const QueryOptions& options = {});
+
+}  // namespace swope
+
+#endif  // SWOPE_BASELINES_MI_FILTER_H_

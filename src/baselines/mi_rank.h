@@ -1,0 +1,25 @@
+// EntropyRank extended to empirical mutual information (the paper's MI
+// top-k competitor): exact-separation stopping rule over MI confidence
+// intervals.
+
+#ifndef SWOPE_BASELINES_MI_RANK_H_
+#define SWOPE_BASELINES_MI_RANK_H_
+
+#include <cstddef>
+
+#include "src/common/result.h"
+#include "src/core/query_options.h"
+#include "src/core/query_result.h"
+#include "src/table/table.h"
+
+namespace swope {
+
+/// Runs the exact-answer MI top-k baseline against column `target`.
+/// `options.epsilon` is ignored. Items are sorted by descending lower
+/// bound at termination.
+Result<TopKResult> MiRankTopK(const Table& table, size_t target, size_t k,
+                              const QueryOptions& options = {});
+
+}  // namespace swope
+
+#endif  // SWOPE_BASELINES_MI_RANK_H_

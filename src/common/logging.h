@@ -1,0 +1,64 @@
+// Minimal leveled logging used by the library, tools and benches.
+//
+// Usage:
+//   SWOPE_LOG(kInfo) << "sampled " << m << " rows";
+//
+// The global level defaults to kWarning so that library internals stay
+// quiet unless a tool opts in via SetGlobalLogLevel.
+
+#ifndef SWOPE_COMMON_LOGGING_H_
+#define SWOPE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace swope {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the process-wide minimum level that is emitted.
+void SetGlobalLogLevel(LogLevel level);
+LogLevel GetGlobalLogLevel();
+
+std::string_view LogLevelToString(LogLevel level);
+
+namespace internal_logging {
+
+/// Stream-collecting helper; emits on destruction. Not for direct use,
+/// use SWOPE_LOG.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace swope
+
+#define SWOPE_LOG(severity)                                      \
+  ::swope::internal_logging::LogMessage(::swope::LogLevel::severity, \
+                                        __FILE__, __LINE__)
+
+#endif  // SWOPE_COMMON_LOGGING_H_

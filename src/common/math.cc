@@ -1,0 +1,59 @@
+#include "src/common/math.h"
+
+namespace swope {
+
+double EntropyFromCounts(const std::vector<uint64_t>& counts, uint64_t total) {
+  if (total == 0) return 0.0;
+  double sum_xlog2x = 0.0;
+  for (uint64_t c : counts) {
+    if (c > 0) sum_xlog2x += XLog2X(static_cast<double>(c));
+  }
+  return EntropyFromXLog2XSum(sum_xlog2x, total);
+}
+
+double EntropyFromXLog2XSum(double sum_xlog2x, uint64_t total) {
+  if (total == 0) return 0.0;
+  const double n = static_cast<double>(total);
+  double h = std::log2(n) - sum_xlog2x / n;
+  // Floating point noise can push an exactly-zero entropy slightly negative.
+  return h < 0.0 ? 0.0 : h;
+}
+
+double XLog2XIncrement(uint64_t old_count) {
+  // Function-local static reference: built on first use, never destroyed
+  // (trivially reclaimed at process exit).
+  static const std::vector<double>& kTable = *[] {
+    auto* table = new std::vector<double>(internal_math::kXLog2XTableSize);
+    for (uint64_t c = 0; c < table->size(); ++c) {
+      (*table)[c] = XLog2X(static_cast<double>(c + 1)) -
+                    XLog2X(static_cast<double>(c));
+    }
+    return table;
+  }();
+  if (old_count < kTable.size()) return kTable[old_count];
+  return XLog2X(static_cast<double>(old_count + 1)) -
+         XLog2X(static_cast<double>(old_count));
+}
+
+double EntropyOfPmf(const std::vector<double>& pmf) {
+  double mass = 0.0;
+  for (double p : pmf) {
+    if (p > 0.0) mass += p;
+  }
+  if (mass <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double p : pmf) {
+    if (p > 0.0) {
+      const double q = p / mass;
+      h -= XLog2X(q);
+    }
+  }
+  return h < 0.0 ? 0.0 : h;
+}
+
+double BinaryEntropy(double p) {
+  p = Clamp(p, 0.0, 1.0);
+  return -XLog2X(p) - XLog2X(1.0 - p);
+}
+
+}  // namespace swope

@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component in the library (shuffling, synthetic data
+// generation, sampling) takes an explicit 64-bit seed so that all tests and
+// experiments are reproducible. The generator is xoshiro256**, seeded via
+// SplitMix64, which is the standard high-quality seeding recipe.
+
+#ifndef SWOPE_COMMON_RANDOM_H_
+#define SWOPE_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace swope {
+
+/// SplitMix64 step: advances `state` and returns the next output.
+/// Exposed for seeding and for tests.
+uint64_t SplitMix64Next(uint64_t& state);
+
+/// xoshiro256** generator. Satisfies the UniformRandomBitGenerator
+/// requirements so it can also be plugged into <random> facilities.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four 64-bit state words from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit output.
+  uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// nearly-divisionless rejection method (unbiased).
+  uint64_t UniformU64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double UniformDouble();
+
+  /// Standard normal via Box-Muller.
+  double Normal();
+
+  /// An independent generator derived from this one's stream; used to give
+  /// each column / query its own stream.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Fisher-Yates shuffle of `values` in place.
+template <typename T>
+void Shuffle(std::vector<T>& values, Rng& rng) {
+  for (size_t i = values.size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(rng.UniformU64(i));
+    using std::swap;
+    swap(values[i - 1], values[j]);
+  }
+}
+
+/// Returns a uniformly random permutation of [0, n).
+std::vector<uint32_t> RandomPermutation(uint32_t n, Rng& rng);
+
+}  // namespace swope
+
+#endif  // SWOPE_COMMON_RANDOM_H_

@@ -1,0 +1,54 @@
+// Fixed-size thread pool with a ParallelFor helper.
+//
+// The query algorithms are sequential by default (the paper's experiments
+// are single-threaded), but per-attribute counter updates are embarrassingly
+// parallel; QueryOptions::num_threads > 1 routes them through this pool.
+
+#ifndef SWOPE_COMMON_THREAD_POOL_H_
+#define SWOPE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace swope {
+
+/// A minimal work-queue thread pool. Tasks are std::function<void()>;
+/// Submit returns a future for completion/exception propagation.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task; the future resolves when it finishes.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [begin, end) across the pool and blocks until all
+  /// iterations complete. Iterations are distributed in contiguous chunks.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace swope
+
+#endif  // SWOPE_COMMON_THREAD_POOL_H_

@@ -1,0 +1,76 @@
+// TopKHeap: bounded min-heap that retains the k largest items by score.
+//
+// Used by the query algorithms to extract the k attributes with the largest
+// upper/lower bounds in O(h log k) instead of sorting all h candidates.
+
+#ifndef SWOPE_COMMON_TOP_K_HEAP_H_
+#define SWOPE_COMMON_TOP_K_HEAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace swope {
+
+/// Keeps the k items with the largest `score`. Ties are broken toward the
+/// smaller payload so results are deterministic.
+template <typename Payload>
+class TopKHeap {
+ public:
+  struct Entry {
+    double score;
+    Payload payload;
+
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.score != b.score) return a.score < b.score;
+      return b.payload < a.payload;  // larger payload = "smaller" entry
+    }
+  };
+
+  explicit TopKHeap(size_t k) : k_(k) {}
+
+  size_t k() const { return k_; }
+  size_t size() const { return heap_.size(); }
+  bool Full() const { return heap_.size() == k_; }
+
+  /// Offers an item; keeps it only if it beats the current k-th best.
+  void Push(double score, Payload payload) {
+    if (k_ == 0) return;
+    Entry entry{score, std::move(payload)};
+    if (heap_.size() < k_) {
+      heap_.push_back(std::move(entry));
+      std::push_heap(heap_.begin(), heap_.end(), MinFirst);
+      return;
+    }
+    if (!(heap_.front() < entry)) return;  // entry <= current min: discard
+    std::pop_heap(heap_.begin(), heap_.end(), MinFirst);
+    heap_.back() = std::move(entry);
+    std::push_heap(heap_.begin(), heap_.end(), MinFirst);
+  }
+
+  /// The smallest retained score (the "k-th largest" when Full()).
+  /// Requires size() > 0.
+  double MinScore() const { return heap_.front().score; }
+
+  /// Returns the retained entries sorted by descending score and consumes
+  /// the heap.
+  std::vector<Entry> TakeSortedDescending() {
+    std::vector<Entry> out = std::move(heap_);
+    std::sort(out.begin(), out.end(),
+              [](const Entry& a, const Entry& b) { return b < a; });
+    return out;
+  }
+
+ private:
+  // Comparator that makes std::*_heap maintain a min-heap: a "less" entry
+  // should rise to the front, so invert.
+  static bool MinFirst(const Entry& a, const Entry& b) { return b < a; }
+
+  size_t k_;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace swope
+
+#endif  // SWOPE_COMMON_TOP_K_HEAP_H_

@@ -1,0 +1,29 @@
+#include "src/core/frequency_counter.h"
+
+#include <cassert>
+
+#include "src/common/math.h"
+
+namespace swope {
+
+FrequencyCounter::FrequencyCounter(uint32_t support)
+    : counts_(support, 0) {}
+
+void FrequencyCounter::AddRows(const Column& column,
+                               const std::vector<uint32_t>& order,
+                               uint64_t begin, uint64_t end) {
+  assert(end <= order.size());
+  for (uint64_t i = begin; i < end; ++i) Add(column.code(order[i]));
+}
+
+double FrequencyCounter::SampleEntropy() const {
+  return EntropyFromCounts(counts_, sample_count_);
+}
+
+void FrequencyCounter::Reset() {
+  counts_.assign(counts_.size(), 0);
+  sample_count_ = 0;
+  distinct_seen_ = 0;
+}
+
+}  // namespace swope

@@ -1,0 +1,84 @@
+// PairCounter: incremental joint-value statistics for a column pair,
+// the mutual-information analogue of FrequencyCounter.
+//
+// Maintains counts of (code_a, code_b) pairs plus the running
+// sum m_{ij} log2 m_{ij}, so the sample joint entropy H_S(a, b) is O(1)
+// after each batch. Storage is adaptive: tiny domains use a dense
+// u_a*u_b array immediately; larger domains start with the
+// open-addressing FlatHashMap (an MI query builds one counter per
+// candidate, and most candidates are pruned after a few thousand
+// samples, so eagerly zeroing h dense arrays would dominate the query)
+// and migrate to the dense layout once enough distinct pairs accumulate
+// to make it worthwhile -- provided the domain fits under `dense_limit`.
+
+#ifndef SWOPE_CORE_PAIR_COUNTER_H_
+#define SWOPE_CORE_PAIR_COUNTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/flat_hash_map.h"
+#include "src/table/column.h"
+
+namespace swope {
+
+/// Incremental joint counter over code pairs from two attributes.
+class PairCounter {
+ public:
+  /// Domains up to this many cells go dense at construction.
+  static constexpr uint64_t kImmediateDenseCells = 4096;
+
+  /// `support_a`, `support_b`: supports of the two attributes.
+  /// `dense_limit`: maximum u_a*u_b (in cells) the dense layout may use.
+  PairCounter(uint32_t support_a, uint32_t support_b,
+              uint64_t dense_limit = 1ULL << 20);
+
+  uint64_t sample_count() const { return sample_count_; }
+  /// Number of distinct pairs observed so far.
+  uint64_t distinct_pairs() const { return distinct_pairs_; }
+  /// True when currently using the dense layout (may flip from false to
+  /// true over the counter's lifetime, never back).
+  bool is_dense() const { return is_dense_; }
+
+  /// Absorbs one sampled pair.
+  void Add(ValueCode a, ValueCode b) {
+    if (is_dense_) {
+      Bump(dense_[Key(a, b)]);
+    } else {
+      AddSparse(a, b);
+    }
+  }
+
+  /// Absorbs paired column values at rows order[begin..end).
+  void AddRows(const Column& col_a, const Column& col_b,
+               const std::vector<uint32_t>& order, uint64_t begin,
+               uint64_t end);
+
+  /// Sample joint entropy H_S(a, b) in bits.
+  double SampleJointEntropy() const;
+
+  /// Count of a specific pair (for tests).
+  uint64_t count(ValueCode a, ValueCode b) const;
+
+ private:
+  uint64_t Key(ValueCode a, ValueCode b) const {
+    return static_cast<uint64_t>(a) * support_b_ + b;
+  }
+  void Bump(uint64_t& slot);
+  void AddSparse(ValueCode a, ValueCode b);
+  void MigrateToDense();
+
+  uint32_t support_b_;
+  uint64_t cells_;
+  uint64_t dense_limit_;
+  bool is_dense_;
+  std::vector<uint64_t> dense_;
+  FlatHashMap<uint64_t, uint64_t> sparse_;
+  uint64_t sample_count_ = 0;
+  uint64_t distinct_pairs_ = 0;
+  double sum_xlog2x_ = 0.0;
+};
+
+}  // namespace swope
+
+#endif  // SWOPE_CORE_PAIR_COUNTER_H_

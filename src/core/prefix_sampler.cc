@@ -1,0 +1,4 @@
+#include "src/core/prefix_sampler.h"
+
+// PrefixSampler is header-only; this translation unit anchors the header
+// in the build so include hygiene is compiler-checked.

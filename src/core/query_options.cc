@@ -1,0 +1,35 @@
+#include "src/core/query_options.h"
+
+#include <algorithm>
+
+namespace swope {
+
+Status QueryOptions::Validate() const {
+  if (!(epsilon > 0.0) || !(epsilon < 1.0)) {
+    return Status::InvalidArgument("query options: epsilon must be in (0, 1)");
+  }
+  if (failure_probability < 0.0 || failure_probability >= 1.0) {
+    return Status::InvalidArgument(
+        "query options: failure probability must be in [0, 1); 0 selects "
+        "the 1/N default");
+  }
+  if (!(growth_factor > 1.0)) {
+    return Status::InvalidArgument(
+        "query options: growth factor must be > 1");
+  }
+  if (dense_pair_limit == 0) {
+    return Status::InvalidArgument(
+        "query options: dense pair limit must be > 0");
+  }
+  return Status::OK();
+}
+
+double QueryOptions::ResolveFailureProbability(uint64_t n) const {
+  if (failure_probability > 0.0) return failure_probability;
+  const double pf = 1.0 / static_cast<double>(std::max<uint64_t>(1, n));
+  // Clamp: tiny tables would otherwise get p_f = 1 (vacuous bounds) and
+  // astronomically large tables an effectively-zero budget.
+  return std::min(std::max(pf, 1e-12), 0.5);
+}
+
+}  // namespace swope

@@ -1,0 +1,60 @@
+// Options shared by the four SWOPE query algorithms and the sampling
+// baselines.
+
+#ifndef SWOPE_CORE_QUERY_OPTIONS_H_
+#define SWOPE_CORE_QUERY_OPTIONS_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace swope {
+
+/// Tunable parameters of a sampling query. Defaults follow the paper's
+/// experimental settings where one exists.
+struct QueryOptions {
+  /// Relative error parameter (Definitions 5 and 6); must be in (0, 1).
+  /// Paper defaults: 0.1 for entropy top-k, 0.05 for entropy filtering,
+  /// 0.5 for both MI queries.
+  double epsilon = 0.1;
+
+  /// Overall failure probability p_f. 0 means "use the paper's default
+  /// p_f = 1/N", resolved against the queried table.
+  double failure_probability = 0.0;
+
+  /// Seed for the row permutation. Queries with equal seeds over the same
+  /// table see the same sample sequence.
+  uint64_t seed = 42;
+
+  /// When > 0, overrides the paper's M0 policy with a fixed initial sample
+  /// size (used by the ablation benches).
+  uint64_t initial_sample_size = 0;
+
+  /// Sample-size growth factor per iteration; the paper doubles.
+  /// Must be > 1.
+  double growth_factor = 2.0;
+
+  /// Maximum dense joint-count table size (cells) before PairCounter falls
+  /// back to hashing. MI queries only.
+  uint64_t dense_pair_limit = 1ULL << 20;
+
+  /// When true, sample the stored row order directly instead of drawing a
+  /// fresh permutation -- the paper's "sequential sampling" on columnar
+  /// storage (Section 6.1). Sound whenever the stored order is
+  /// exchangeable (shuffled once offline, or generated i.i.d.); much
+  /// faster because batches read columns sequentially. The benches enable
+  /// this, matching the paper's implementation.
+  bool sequential_sampling = false;
+
+  /// Validates ranges; returns InvalidArgument with a description on
+  /// failure.
+  Status Validate() const;
+
+  /// Resolves failure_probability against a table of n rows (paper default
+  /// p_f = 1/N, floored to keep ln(2/p) finite).
+  double ResolveFailureProbability(uint64_t n) const;
+};
+
+}  // namespace swope
+
+#endif  // SWOPE_CORE_QUERY_OPTIONS_H_

@@ -1,0 +1,68 @@
+// Result types returned by the query algorithms (SWOPE and baselines).
+
+#ifndef SWOPE_CORE_QUERY_RESULT_H_
+#define SWOPE_CORE_QUERY_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace swope {
+
+/// One attribute in a query answer, with the bound state at termination.
+struct AttributeScore {
+  /// Column index in the queried table.
+  size_t index = 0;
+  /// Column name.
+  std::string name;
+  /// Point estimate of the score (midpoint of the confidence interval;
+  /// exact value for the Exact baseline and for M = N terminations).
+  double estimate = 0.0;
+  /// Confidence interval at termination.
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Cost accounting for one query execution.
+struct QueryStats {
+  /// Sample size M when the algorithm stopped.
+  uint64_t final_sample_size = 0;
+  /// Initial sample size M0 used.
+  uint64_t initial_sample_size = 0;
+  /// Number of bound-evaluation iterations executed.
+  uint32_t iterations = 0;
+  /// Total counter updates performed (one per attribute value or value
+  /// pair absorbed); the algorithm's dominant cost, comparable across
+  /// SWOPE / baselines / Exact.
+  uint64_t cells_scanned = 0;
+  /// Candidates still undecided at termination (0 for filtering queries
+  /// that classified everything).
+  size_t candidates_remaining = 0;
+  /// True when the algorithm had to sample every record (M reached N).
+  bool exhausted_dataset = false;
+};
+
+/// Answer to a top-k query: `items` sorted by descending score ordering
+/// criterion (upper bound for SWOPE, exact score for baselines).
+struct TopKResult {
+  std::vector<AttributeScore> items;
+  QueryStats stats;
+};
+
+/// Answer to a filtering query: `items` in ascending column-index order.
+struct FilterResult {
+  std::vector<AttributeScore> items;
+  QueryStats stats;
+
+  /// True when column `index` is in the answer set.
+  bool Contains(size_t index) const {
+    for (const AttributeScore& item : items) {
+      if (item.index == index) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace swope
+
+#endif  // SWOPE_CORE_QUERY_RESULT_H_

@@ -1,0 +1,31 @@
+// SWOPE-Filtering on empirical entropy (Algorithm 2 of the paper).
+//
+// Returns an approximate filtering answer per Definition 6: with
+// probability >= 1 - p_f, every attribute with H >= (1+eps)*eta is
+// returned, no attribute with H < (1-eps)*eta is returned, and attributes
+// inside the eps-band around eta may go either way.
+//
+// Per iteration each undecided attribute is classified by three rules:
+//   1. interval width < 2*eps*eta  -> decide by the midpoint estimate
+//   2. lower bound >= (1-eps)*eta  -> accept
+//   3. upper bound <  (1+eps)*eta  -> reject
+// and the sample doubles until no attribute is undecided.
+
+#ifndef SWOPE_CORE_SWOPE_FILTER_ENTROPY_H_
+#define SWOPE_CORE_SWOPE_FILTER_ENTROPY_H_
+
+#include "src/common/result.h"
+#include "src/core/query_options.h"
+#include "src/core/query_result.h"
+#include "src/table/table.h"
+
+namespace swope {
+
+/// Runs Algorithm 2 with threshold `eta` (must be > 0). The result lists
+/// accepted attributes in ascending column-index order.
+Result<FilterResult> SwopeFilterEntropy(const Table& table, double eta,
+                                        const QueryOptions& options = {});
+
+}  // namespace swope
+
+#endif  // SWOPE_CORE_SWOPE_FILTER_ENTROPY_H_

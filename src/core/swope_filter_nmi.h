@@ -1,0 +1,27 @@
+// Extension: approximate filtering on NORMALIZED mutual information,
+// the threshold counterpart of SwopeTopKNmi. Returns every attribute with
+// NMI(a_t, a) >= (1+eps)*eta, no attribute below (1-eps)*eta, using the
+// same three classification rules as Algorithm 2 applied to the NMI
+// confidence interval. Thresholds are in [0, 1] (NMI is normalized).
+
+#ifndef SWOPE_CORE_SWOPE_FILTER_NMI_H_
+#define SWOPE_CORE_SWOPE_FILTER_NMI_H_
+
+#include <cstddef>
+
+#include "src/common/result.h"
+#include "src/core/query_options.h"
+#include "src/core/query_result.h"
+#include "src/table/table.h"
+
+namespace swope {
+
+/// Approximate NMI filtering against column `target` with threshold
+/// `eta` in (0, 1]. Items are in ascending column-index order.
+Result<FilterResult> SwopeFilterNmi(const Table& table, size_t target,
+                                    double eta,
+                                    const QueryOptions& options = {});
+
+}  // namespace swope
+
+#endif  // SWOPE_CORE_SWOPE_FILTER_NMI_H_

@@ -1,0 +1,36 @@
+// SWOPE-Top-k on empirical entropy (Algorithm 1 of the paper).
+//
+// Returns k attributes forming an approximate top-k answer per
+// Definition 5: with probability >= 1 - p_f, the i-th returned attribute
+// has (i) an estimate within (1 - eps) of its own true entropy and (ii) a
+// true entropy within (1 - eps) of the true i-th largest entropy.
+//
+// The algorithm samples a growing prefix of one random row permutation,
+// maintains per-attribute confidence intervals [H_lower, H_upper] from
+// Lemma 3, and stops as soon as
+//     (H_upper(a'_k) - 2*lambda - b_max) / H_upper(a'_k) >= 1 - eps,
+// where a'_k is the attribute with the k-th largest upper bound and b_max
+// the largest bias term among the current top-k. Attributes whose upper
+// bound falls below the k-th largest lower bound are pruned and stop
+// being counted.
+
+#ifndef SWOPE_CORE_SWOPE_TOPK_ENTROPY_H_
+#define SWOPE_CORE_SWOPE_TOPK_ENTROPY_H_
+
+#include <cstddef>
+
+#include "src/common/result.h"
+#include "src/core/query_options.h"
+#include "src/core/query_result.h"
+#include "src/table/table.h"
+
+namespace swope {
+
+/// Runs Algorithm 1. `k` is clamped to the number of attributes; the
+/// result lists attributes in descending upper-bound order.
+Result<TopKResult> SwopeTopKEntropy(const Table& table, size_t k,
+                                    const QueryOptions& options = {});
+
+}  // namespace swope
+
+#endif  // SWOPE_CORE_SWOPE_TOPK_ENTROPY_H_

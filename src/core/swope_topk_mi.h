@@ -1,0 +1,32 @@
+// SWOPE-Top-k on empirical mutual information (Algorithm 3 of the paper).
+//
+// Given a target attribute a_t, scores every other attribute a by
+// I(a_t, a) = H(a_t) + H(a) - H(a_t, a) and returns an approximate top-k
+// answer per Definition 5. Each of the three entropies gets a Lemma 3
+// interval (the joint entropy uses the support bound u_bar = u_t * u_a in
+// its bias term); the MI interval is their composition, with total slack
+// 6*lambda + b(a_t) + b(a) + b(a_t, a). The stopping rule is
+//     (I_upper(a'_k) - 6*lambda - b'_max) / I_upper(a'_k) >= 1 - eps.
+// The per-application failure budget is p_f / (3 * i_max * (h-1)) because
+// three bounds are applied per candidate per iteration.
+
+#ifndef SWOPE_CORE_SWOPE_TOPK_MI_H_
+#define SWOPE_CORE_SWOPE_TOPK_MI_H_
+
+#include <cstddef>
+
+#include "src/common/result.h"
+#include "src/core/query_options.h"
+#include "src/core/query_result.h"
+#include "src/table/table.h"
+
+namespace swope {
+
+/// Runs Algorithm 3. `target` is the column index of a_t; `k` is clamped
+/// to h - 1. The result lists attributes in descending upper-bound order.
+Result<TopKResult> SwopeTopKMi(const Table& table, size_t target, size_t k,
+                               const QueryOptions& options = {});
+
+}  // namespace swope
+
+#endif  // SWOPE_CORE_SWOPE_TOPK_MI_H_

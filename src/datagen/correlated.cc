@@ -1,0 +1,73 @@
+#include "src/datagen/correlated.h"
+
+#include "src/common/math.h"
+
+namespace swope {
+
+Result<std::pair<Column, Column>> GenerateCorrelatedPair(
+    const CorrelatedPairSpec& spec, uint64_t num_rows, uint64_t seed) {
+  if (spec.rho < 0.0 || spec.rho > 1.0) {
+    return Status::InvalidArgument("correlated pair: rho must be in [0, 1]");
+  }
+  Rng rng(seed);
+  const uint32_t u_y = spec.y_noise.support();
+  std::vector<ValueCode> x_codes(num_rows);
+  std::vector<ValueCode> y_codes(num_rows);
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    const uint32_t x = spec.x_dist.Sample(rng);
+    x_codes[r] = x;
+    if (rng.UniformDouble() < spec.rho) {
+      y_codes[r] = x % u_y;
+    } else {
+      y_codes[r] = spec.y_noise.Sample(rng);
+    }
+  }
+  auto x_col = Column::Make(spec.x_name, spec.x_dist.support(),
+                            std::move(x_codes));
+  if (!x_col.ok()) return x_col.status();
+  auto y_col = Column::Make(spec.y_name, u_y, std::move(y_codes));
+  if (!y_col.ok()) return y_col.status();
+  return std::make_pair(std::move(x_col).value(), std::move(y_col).value());
+}
+
+Result<std::vector<Column>> GenerateTargetWithCorrelates(
+    const CategoricalDistribution& target_dist, const std::string& target_name,
+    const std::vector<CategoricalDistribution>& candidate_noise,
+    const std::vector<std::string>& candidate_names,
+    const std::vector<double>& rhos, uint64_t num_rows, uint64_t seed) {
+  if (candidate_noise.size() != candidate_names.size() ||
+      candidate_noise.size() != rhos.size()) {
+    return Status::InvalidArgument(
+        "correlates: noise, names and rhos must have equal sizes");
+  }
+  Rng rng(seed);
+  std::vector<ValueCode> target_codes = target_dist.SampleMany(num_rows, rng);
+
+  std::vector<Column> columns;
+  columns.reserve(candidate_noise.size() + 1);
+  for (size_t j = 0; j < candidate_noise.size(); ++j) {
+    if (rhos[j] < 0.0 || rhos[j] > 1.0) {
+      return Status::InvalidArgument("correlates: rho must be in [0, 1]");
+    }
+    Rng column_rng = rng.Fork();
+    const uint32_t u_y = candidate_noise[j].support();
+    std::vector<ValueCode> codes(num_rows);
+    for (uint64_t r = 0; r < num_rows; ++r) {
+      if (column_rng.UniformDouble() < rhos[j]) {
+        codes[r] = target_codes[r] % u_y;
+      } else {
+        codes[r] = candidate_noise[j].Sample(column_rng);
+      }
+    }
+    auto column = Column::Make(candidate_names[j], u_y, std::move(codes));
+    if (!column.ok()) return column.status();
+    columns.push_back(std::move(column).value());
+  }
+  auto target = Column::Make(target_name, target_dist.support(),
+                             std::move(target_codes));
+  if (!target.ok()) return target.status();
+  columns.insert(columns.begin(), std::move(target).value());
+  return columns;
+}
+
+}  // namespace swope

@@ -1,0 +1,51 @@
+// Correlated column-pair generation with a controllable mutual-information
+// level, used to synthesize realistic MI query workloads.
+//
+// Construction (noisy channel): draw X from a base distribution; with
+// probability rho set Y = X mod u_y, otherwise draw Y independently from
+// its own marginal. rho = 0 gives I(X;Y) = 0; rho = 1 with u_y >= u_x makes
+// Y a deterministic function of X so I(X;Y) = H(X). MI is monotone in rho,
+// which is all the presets need.
+
+#ifndef SWOPE_DATAGEN_CORRELATED_H_
+#define SWOPE_DATAGEN_CORRELATED_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/datagen/distributions.h"
+#include "src/table/column.h"
+
+namespace swope {
+
+/// Specification of a correlated pair.
+struct CorrelatedPairSpec {
+  std::string x_name = "x";
+  std::string y_name = "y";
+  /// Base distribution of X.
+  CategoricalDistribution x_dist = CategoricalDistribution::Uniform(2);
+  /// Marginal used for Y on the independent branch.
+  CategoricalDistribution y_noise = CategoricalDistribution::Uniform(2);
+  /// Copy probability in [0, 1].
+  double rho = 0.5;
+};
+
+/// Generates a correlated (X, Y) column pair of length num_rows.
+Result<std::pair<Column, Column>> GenerateCorrelatedPair(
+    const CorrelatedPairSpec& spec, uint64_t num_rows, uint64_t seed);
+
+/// Generates `num_columns` columns correlated with a generated target
+/// column (first element of the result): column j uses
+/// rho = rhos[j]. Used by the MI benches to create candidate sets whose
+/// true MI against the target spans a known range.
+Result<std::vector<Column>> GenerateTargetWithCorrelates(
+    const CategoricalDistribution& target_dist, const std::string& target_name,
+    const std::vector<CategoricalDistribution>& candidate_noise,
+    const std::vector<std::string>& candidate_names,
+    const std::vector<double>& rhos, uint64_t num_rows, uint64_t seed);
+
+}  // namespace swope
+
+#endif  // SWOPE_DATAGEN_CORRELATED_H_

@@ -1,0 +1,141 @@
+#include "src/datagen/dataset_presets.h"
+
+#include <cmath>
+
+#include "src/common/random.h"
+#include "src/datagen/distributions.h"
+
+namespace swope {
+
+namespace {
+
+// Number of latent "topic" variables columns cluster around. Census-style
+// data groups attributes into themes (household, person, income, region);
+// eight latents gives several columns per theme at every preset size.
+constexpr int kNumLatents = 8;
+constexpr uint32_t kLatentSupport = 64;
+
+// Draws the distribution family mix for one column. The proportions are
+// chosen to mimic survey data: mostly small-support coded answers, a
+// heavy-tailed minority, a band of dominant-default flags, and a few
+// near-constant fields.
+CategoricalDistribution DrawBaseDistribution(Rng& rng, uint32_t* support_out) {
+  // Support sizes skew small, as in real survey codebooks: most attributes
+  // are coded answers with a handful of categories; a minority are
+  // heavy-tailed classifications; a few administrative fields have large
+  // supports (kept under the paper's 1000 cutoff).
+  const double pick = rng.UniformDouble();
+  uint32_t u;
+  CategoricalDistribution dist = CategoricalDistribution::Uniform(2);
+  if (pick < 0.30) {
+    // Coded categorical answers: near-uniform, small support.
+    u = static_cast<uint32_t>(rng.UniformInt(2, 32));
+    dist = CategoricalDistribution::Uniform(u);
+  } else if (pick < 0.60) {
+    // Heavy-tailed categories (ancestry, occupation, ...).
+    u = static_cast<uint32_t>(rng.UniformInt(8, 200));
+    const double s = 0.6 + rng.UniformDouble() * 0.9;  // [0.6, 1.5]
+    dist = CategoricalDistribution::Zipf(u, s);
+  } else if (pick < 0.78) {
+    // Count-like skewed codes (number of vehicles, rooms, ...).
+    u = static_cast<uint32_t>(rng.UniformInt(2, 60));
+    const double p = 0.08 + rng.UniformDouble() * 0.42;  // [0.08, 0.5]
+    dist = CategoricalDistribution::Geometric(u, p);
+  } else if (pick < 0.93) {
+    // Dominant-default flags ("no", 0, not-applicable).
+    u = static_cast<uint32_t>(rng.UniformInt(2, 24));
+    const double head = 0.70 + rng.UniformDouble() * 0.29;  // [0.70, 0.99]
+    dist = CategoricalDistribution::TwoLevel(u, head);
+  } else {
+    // Near-constant administrative fields: tiny entropy, occasionally a
+    // very large code domain.
+    u = static_cast<uint32_t>(rng.UniformInt(2, 1000));
+    const double h = rng.UniformDouble() * 0.4;  // [0, 0.4] bits
+    dist = CategoricalDistribution::EntropyTargeted(u, h);
+  }
+  *support_out = u;
+  return dist;
+}
+
+}  // namespace
+
+std::vector<DatasetPreset> AllDatasetPresets() {
+  return {DatasetPreset::kCdc, DatasetPreset::kHus, DatasetPreset::kPus,
+          DatasetPreset::kEnem};
+}
+
+PresetInfo GetPresetInfo(DatasetPreset preset) {
+  switch (preset) {
+    case DatasetPreset::kCdc:
+      return {"cdc", 100, 3753802, 200000};
+    case DatasetPreset::kHus:
+      return {"hus", 107, 14768919, 200000};
+    case DatasetPreset::kPus:
+      return {"pus", 179, 31290943, 200000};
+    case DatasetPreset::kEnem:
+      return {"enem", 117, 33714152, 200000};
+  }
+  return {"?", 0, 0, 0};
+}
+
+Result<DatasetPreset> ParseDatasetPreset(const std::string& name) {
+  for (DatasetPreset preset : AllDatasetPresets()) {
+    if (GetPresetInfo(preset).name == name) return preset;
+  }
+  return Status::NotFound("unknown dataset preset '" + name +
+                          "' (expected cdc|hus|pus|enem)");
+}
+
+Result<Table> MakePresetTable(DatasetPreset preset, uint64_t rows,
+                              uint64_t seed) {
+  const PresetInfo info = GetPresetInfo(preset);
+  if (rows == 0) rows = info.default_rows;
+
+  // Mix the preset identity into the seed so the four presets differ even
+  // with the same user seed.
+  Rng structure_rng(seed * 1000003ULL + static_cast<uint64_t>(preset) + 17);
+
+  // Latent topic draws, one stream per latent.
+  const CategoricalDistribution latent_dist =
+      CategoricalDistribution::Zipf(kLatentSupport, 0.8);
+  std::vector<std::vector<uint32_t>> latents(kNumLatents);
+  for (int l = 0; l < kNumLatents; ++l) {
+    Rng latent_rng = structure_rng.Fork();
+    latents[l] = latent_dist.SampleMany(rows, latent_rng);
+  }
+
+  std::vector<Column> columns;
+  columns.reserve(info.num_columns);
+  for (size_t j = 0; j < info.num_columns; ++j) {
+    uint32_t support = 2;
+    const CategoricalDistribution base =
+        DrawBaseDistribution(structure_rng, &support);
+    // Census attributes cluster tightly around themes (occupation and
+    // industry, household size and rooms, ...): most columns lean on a
+    // latent topic, a minority are pure noise, and the copy strengths
+    // range up to near-deterministic so that the strongest pairs carry
+    // multiple bits of mutual information, as on the real datasets.
+    const bool correlated = structure_rng.UniformDouble() < 0.6;
+    const double rho =
+        correlated ? 0.25 + structure_rng.UniformDouble() * 0.7 : 0.0;
+    const int latent_index =
+        static_cast<int>(structure_rng.UniformU64(kNumLatents));
+
+    Rng column_rng = structure_rng.Fork();
+    std::vector<ValueCode> codes(rows);
+    for (uint64_t r = 0; r < rows; ++r) {
+      if (rho > 0.0 && column_rng.UniformDouble() < rho) {
+        codes[r] = latents[latent_index][r] % support;
+      } else {
+        codes[r] = base.Sample(column_rng);
+      }
+    }
+    auto column = Column::Make(info.name + "_a" + std::to_string(j), support,
+                               std::move(codes));
+    if (!column.ok()) return column.status();
+    columns.push_back(std::move(column).value());
+  }
+  return Table::Make(std::move(columns));
+}
+
+}  // namespace swope

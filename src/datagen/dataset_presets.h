@@ -1,0 +1,55 @@
+// Synthetic stand-ins for the paper's four evaluation datasets (Table 2).
+//
+// The real datasets (cdc-behavioral-risk, census-american-housing,
+// census-american-population, enem) are not redistributable here, so each
+// preset reproduces the *shape* that drives SWOPE's behaviour:
+//   - the same column count as the paper after its support-size <= 1000
+//     filter,
+//   - census-like support-size and entropy profiles (near-uniform codes,
+//     Zipfian categories, dominant-default flags, a few near-constant
+//     administrative fields),
+//   - correlation structure: columns cluster around latent "topic"
+//     variables (household, person, region, ...) so that mutual-information
+//     queries see a realistic spread of MI scores instead of all-zeros.
+// Row counts are scaled down by default (the paper's 3.7M-33.7M rows are
+// reachable by passing `rows` explicitly).
+
+#ifndef SWOPE_DATAGEN_DATASET_PRESETS_H_
+#define SWOPE_DATAGEN_DATASET_PRESETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/table/table.h"
+
+namespace swope {
+
+/// The four paper datasets.
+enum class DatasetPreset { kCdc, kHus, kPus, kEnem };
+
+/// All presets, in paper order.
+std::vector<DatasetPreset> AllDatasetPresets();
+
+/// Static description of a preset.
+struct PresetInfo {
+  std::string name;         // short name used in the paper's figures
+  size_t num_columns;       // paper's column count
+  uint64_t paper_rows;      // paper's row count (Table 2)
+  uint64_t default_rows;    // scaled default used by tests/benches here
+};
+
+PresetInfo GetPresetInfo(DatasetPreset preset);
+
+/// Parses a preset short name ("cdc", "hus", "pus", "enem").
+Result<DatasetPreset> ParseDatasetPreset(const std::string& name);
+
+/// Materializes the preset with `rows` rows (0 = the preset's
+/// default_rows). Deterministic in (preset, rows, seed).
+Result<Table> MakePresetTable(DatasetPreset preset, uint64_t rows = 0,
+                              uint64_t seed = 2021);
+
+}  // namespace swope
+
+#endif  // SWOPE_DATAGEN_DATASET_PRESETS_H_

@@ -1,0 +1,157 @@
+#include "src/datagen/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/common/math.h"
+
+namespace swope {
+
+CategoricalDistribution::CategoricalDistribution(std::vector<double> pmf)
+    : pmf_(std::move(pmf)) {
+  BuildAliasTable();
+}
+
+Result<CategoricalDistribution> CategoricalDistribution::FromWeights(
+    std::vector<double> weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("distribution: empty weight vector");
+  }
+  double sum = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      return Status::InvalidArgument(
+          "distribution: weights must be finite and non-negative");
+    }
+    sum += w;
+  }
+  if (sum <= 0.0) {
+    return Status::InvalidArgument("distribution: weight sum must be > 0");
+  }
+  for (double& w : weights) w /= sum;
+  return CategoricalDistribution(std::move(weights));
+}
+
+CategoricalDistribution CategoricalDistribution::Uniform(uint32_t u) {
+  assert(u > 0);
+  return CategoricalDistribution(std::vector<double>(u, 1.0 / u));
+}
+
+CategoricalDistribution CategoricalDistribution::Zipf(uint32_t u, double s) {
+  assert(u > 0);
+  std::vector<double> weights(u);
+  double sum = 0.0;
+  for (uint32_t i = 0; i < u; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+    sum += weights[i];
+  }
+  for (double& w : weights) w /= sum;
+  return CategoricalDistribution(std::move(weights));
+}
+
+CategoricalDistribution CategoricalDistribution::Geometric(uint32_t u,
+                                                           double p) {
+  assert(u > 0);
+  p = Clamp(p, 1e-9, 1.0 - 1e-9);
+  std::vector<double> weights(u);
+  double sum = 0.0;
+  double w = 1.0;
+  for (uint32_t i = 0; i < u; ++i) {
+    weights[i] = w;
+    sum += w;
+    w *= (1.0 - p);
+  }
+  for (double& weight : weights) weight /= sum;
+  return CategoricalDistribution(std::move(weights));
+}
+
+CategoricalDistribution CategoricalDistribution::TwoLevel(uint32_t u,
+                                                          double head_mass) {
+  assert(u > 0);
+  head_mass = Clamp(head_mass, 0.0, 1.0);
+  if (u == 1) return Uniform(1);
+  std::vector<double> weights(u, (1.0 - head_mass) / (u - 1));
+  weights[0] = head_mass;
+  return CategoricalDistribution(std::move(weights));
+}
+
+CategoricalDistribution CategoricalDistribution::EntropyTargeted(
+    uint32_t u, double target_entropy) {
+  assert(u > 0);
+  const double max_entropy = std::log2(static_cast<double>(u));
+  target_entropy = Clamp(target_entropy, 0.0, max_entropy);
+  if (u == 1 || target_entropy <= 0.0) {
+    std::vector<double> point(u, 0.0);
+    point[0] = 1.0;
+    return CategoricalDistribution(std::move(point));
+  }
+  if (target_entropy >= max_entropy) return Uniform(u);
+
+  // pmf(w): p_0 = (1-w) + w/u, p_i = w/u for i > 0. Entropy is continuous
+  // and strictly increasing in w on [0, 1]; bisect.
+  auto entropy_at = [&](double w) {
+    const double head = (1.0 - w) + w / u;
+    const double tail = w / u;
+    return -XLog2X(head) - (u - 1) * XLog2X(tail);
+  };
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int iter = 0; iter < 200 && hi - lo > 1e-15; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (entropy_at(mid) < target_entropy) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double w = 0.5 * (lo + hi);
+  std::vector<double> pmf(u, w / u);
+  pmf[0] += 1.0 - w;
+  return CategoricalDistribution(std::move(pmf));
+}
+
+double CategoricalDistribution::Entropy() const { return EntropyOfPmf(pmf_); }
+
+void CategoricalDistribution::BuildAliasTable() {
+  const uint32_t n = support();
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  // Vose's stable construction.
+  std::vector<double> scaled(n);
+  for (uint32_t i = 0; i < n; ++i) scaled[i] = pmf_[i] * n;
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are within floating-point noise of 1.
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;
+}
+
+uint32_t CategoricalDistribution::Sample(Rng& rng) const {
+  const uint32_t i = static_cast<uint32_t>(rng.UniformU64(support()));
+  return rng.UniformDouble() < prob_[i] ? i : alias_[i];
+}
+
+std::vector<uint32_t> CategoricalDistribution::SampleMany(uint64_t n,
+                                                          Rng& rng) const {
+  std::vector<uint32_t> out(n);
+  for (uint64_t i = 0; i < n; ++i) out[i] = Sample(rng);
+  return out;
+}
+
+}  // namespace swope

@@ -1,0 +1,79 @@
+// Categorical distribution families used to synthesize census-like columns.
+//
+// Real census/survey attributes (the paper's cdc/hus/pus/enem datasets) mix
+// near-uniform demographic codes, heavy-tailed Zipfian categories, highly
+// skewed flags, and constant-ish administrative fields. The families here
+// span that range, and EntropyTargeted lets a preset dial in an exact
+// entropy value, which is what the SWOPE cost model actually responds to.
+
+#ifndef SWOPE_DATAGEN_DISTRIBUTIONS_H_
+#define SWOPE_DATAGEN_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+
+namespace swope {
+
+/// A categorical distribution over [0, support) with an O(1) sampler
+/// (Walker alias method).
+class CategoricalDistribution {
+ public:
+  /// Builds from an unnormalized weight vector; weights must be
+  /// non-negative, finite, with a positive sum.
+  static Result<CategoricalDistribution> FromWeights(
+      std::vector<double> weights);
+
+  /// Uniform over u values.
+  static CategoricalDistribution Uniform(uint32_t u);
+
+  /// Zipf with exponent s over u values: p_i proportional to 1/(i+1)^s.
+  /// s = 0 degenerates to uniform.
+  static CategoricalDistribution Zipf(uint32_t u, double s);
+
+  /// Truncated geometric: p_i proportional to (1-p)^i. Models skewed flags
+  /// and count-like codes.
+  static CategoricalDistribution Geometric(uint32_t u, double p);
+
+  /// Two-level: one head value holding `head_mass` of the probability, the
+  /// rest uniform. Models dominant-default fields ("no", "0", missing).
+  static CategoricalDistribution TwoLevel(uint32_t u, double head_mass);
+
+  /// A distribution over u values whose entropy equals `target_entropy`
+  /// bits (clamped into [0, log2(u)]). Construction: mixture
+  /// w * Uniform(u) + (1-w) * PointMass(0), with w found by bisection --
+  /// the mixture entropy is continuous and strictly increasing in w.
+  static CategoricalDistribution EntropyTargeted(uint32_t u,
+                                                 double target_entropy);
+
+  /// Number of categories.
+  uint32_t support() const { return static_cast<uint32_t>(pmf_.size()); }
+
+  /// Normalized probability mass function.
+  const std::vector<double>& pmf() const { return pmf_; }
+
+  /// Exact entropy of the distribution in bits.
+  double Entropy() const;
+
+  /// Draws one value.
+  uint32_t Sample(Rng& rng) const;
+
+  /// Draws n values.
+  std::vector<uint32_t> SampleMany(uint64_t n, Rng& rng) const;
+
+ private:
+  explicit CategoricalDistribution(std::vector<double> pmf);
+  void BuildAliasTable();
+
+  std::vector<double> pmf_;
+  // Walker alias tables: sample i uniformly, accept i with prob_[i], else
+  // return alias_[i].
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace swope
+
+#endif  // SWOPE_DATAGEN_DISTRIBUTIONS_H_

@@ -1,0 +1,84 @@
+#include "src/datagen/generator.h"
+
+namespace swope {
+
+std::string_view ColumnFamilyToString(ColumnFamily family) {
+  switch (family) {
+    case ColumnFamily::kUniform:
+      return "uniform";
+    case ColumnFamily::kZipf:
+      return "zipf";
+    case ColumnFamily::kGeometric:
+      return "geometric";
+    case ColumnFamily::kTwoLevel:
+      return "two_level";
+    case ColumnFamily::kEntropyTargeted:
+      return "entropy_targeted";
+  }
+  return "?";
+}
+
+ColumnSpec ColumnSpec::Uniform(std::string name, uint32_t support) {
+  return {std::move(name), support, ColumnFamily::kUniform, 0.0};
+}
+ColumnSpec ColumnSpec::Zipf(std::string name, uint32_t support, double s) {
+  return {std::move(name), support, ColumnFamily::kZipf, s};
+}
+ColumnSpec ColumnSpec::Geometric(std::string name, uint32_t support,
+                                 double p) {
+  return {std::move(name), support, ColumnFamily::kGeometric, p};
+}
+ColumnSpec ColumnSpec::TwoLevel(std::string name, uint32_t support,
+                                double head_mass) {
+  return {std::move(name), support, ColumnFamily::kTwoLevel, head_mass};
+}
+ColumnSpec ColumnSpec::EntropyTargeted(std::string name, uint32_t support,
+                                       double entropy_bits) {
+  return {std::move(name), support, ColumnFamily::kEntropyTargeted,
+          entropy_bits};
+}
+
+Result<CategoricalDistribution> ColumnSpec::BuildDistribution() const {
+  if (support == 0) {
+    return Status::InvalidArgument("column spec '" + name +
+                                   "': support must be >= 1");
+  }
+  switch (family) {
+    case ColumnFamily::kUniform:
+      return CategoricalDistribution::Uniform(support);
+    case ColumnFamily::kZipf:
+      return CategoricalDistribution::Zipf(support, param);
+    case ColumnFamily::kGeometric:
+      return CategoricalDistribution::Geometric(support, param);
+    case ColumnFamily::kTwoLevel:
+      return CategoricalDistribution::TwoLevel(support, param);
+    case ColumnFamily::kEntropyTargeted:
+      return CategoricalDistribution::EntropyTargeted(support, param);
+  }
+  return Status::InvalidArgument("column spec '" + name +
+                                 "': unknown family");
+}
+
+Result<Column> GenerateColumn(const ColumnSpec& spec, uint64_t num_rows,
+                              uint64_t seed) {
+  auto dist = spec.BuildDistribution();
+  if (!dist.ok()) return dist.status();
+  Rng rng(seed);
+  std::vector<ValueCode> codes = dist->SampleMany(num_rows, rng);
+  return Column::Make(spec.name, spec.support, std::move(codes));
+}
+
+Result<Table> GenerateTable(const TableSpec& spec) {
+  Rng master(spec.seed);
+  std::vector<Column> columns;
+  columns.reserve(spec.columns.size());
+  for (const ColumnSpec& column_spec : spec.columns) {
+    const uint64_t column_seed = master.Next();
+    auto column = GenerateColumn(column_spec, spec.num_rows, column_seed);
+    if (!column.ok()) return column.status();
+    columns.push_back(std::move(column).value());
+  }
+  return Table::Make(std::move(columns));
+}
+
+}  // namespace swope

@@ -1,0 +1,69 @@
+// Column and table generators for synthetic census-like datasets.
+
+#ifndef SWOPE_DATAGEN_GENERATOR_H_
+#define SWOPE_DATAGEN_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/datagen/distributions.h"
+#include "src/table/table.h"
+
+namespace swope {
+
+/// Distribution family selector for a generated column.
+enum class ColumnFamily {
+  kUniform,
+  kZipf,
+  kGeometric,
+  kTwoLevel,
+  kEntropyTargeted,
+};
+
+std::string_view ColumnFamilyToString(ColumnFamily family);
+
+/// Specification of one synthetic column.
+struct ColumnSpec {
+  std::string name;
+  /// Support size u (number of distinct values the generator may emit).
+  uint32_t support = 2;
+  ColumnFamily family = ColumnFamily::kUniform;
+  /// Family parameter: Zipf exponent s, geometric success probability p,
+  /// two-level head mass, or the entropy target in bits. Ignored for
+  /// kUniform.
+  double param = 0.0;
+
+  /// Convenience factories.
+  static ColumnSpec Uniform(std::string name, uint32_t support);
+  static ColumnSpec Zipf(std::string name, uint32_t support, double s);
+  static ColumnSpec Geometric(std::string name, uint32_t support, double p);
+  static ColumnSpec TwoLevel(std::string name, uint32_t support,
+                             double head_mass);
+  static ColumnSpec EntropyTargeted(std::string name, uint32_t support,
+                                    double entropy_bits);
+
+  /// Builds the distribution this spec describes.
+  Result<CategoricalDistribution> BuildDistribution() const;
+};
+
+/// Specification of a whole synthetic table.
+struct TableSpec {
+  std::string name;
+  uint64_t num_rows = 0;
+  std::vector<ColumnSpec> columns;
+  uint64_t seed = 1;
+};
+
+/// Generates one column of `num_rows` i.i.d. draws.
+Result<Column> GenerateColumn(const ColumnSpec& spec, uint64_t num_rows,
+                              uint64_t seed);
+
+/// Generates a full table; each column gets an independent RNG stream
+/// forked deterministically from `spec.seed`.
+Result<Table> GenerateTable(const TableSpec& spec);
+
+}  // namespace swope
+
+#endif  // SWOPE_DATAGEN_GENERATOR_H_

@@ -1,0 +1,115 @@
+#include "src/eval/accuracy.h"
+
+#include <algorithm>
+
+namespace swope {
+
+namespace {
+
+// The exact k-th largest score among the eligible columns (the tie-aware
+// acceptance cutoff). Returns 0 when k exceeds the eligible count.
+double KthLargestScore(const std::vector<double>& exact_scores,
+                       const std::vector<size_t>& eligible, size_t k) {
+  std::vector<double> scores;
+  scores.reserve(eligible.size());
+  for (size_t j : eligible) scores.push_back(exact_scores[j]);
+  if (scores.empty() || k == 0) return 0.0;
+  k = std::min(k, scores.size());
+  std::nth_element(scores.begin(), scores.begin() + (k - 1), scores.end(),
+                   std::greater<double>());
+  return scores[k - 1];
+}
+
+}  // namespace
+
+double TopKAccuracy(const std::vector<AttributeScore>& returned,
+                    const std::vector<double>& exact_scores,
+                    const std::vector<size_t>& eligible, size_t k) {
+  k = std::min(k, eligible.size());
+  if (k == 0) return 1.0;
+  const double cutoff = KthLargestScore(exact_scores, eligible, k);
+  size_t correct = 0;
+  for (const AttributeScore& item : returned) {
+    if (exact_scores[item.index] >= cutoff) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(k);
+}
+
+double FilterAccuracy(const FilterResult& result,
+                      const std::vector<double>& exact_scores,
+                      const std::vector<size_t>& eligible, double eta) {
+  if (eligible.empty()) return 1.0;
+  size_t agree = 0;
+  for (size_t j : eligible) {
+    const bool truth = exact_scores[j] >= eta;
+    if (result.Contains(j) == truth) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(eligible.size());
+}
+
+FilterPrf FilterPrecisionRecall(const FilterResult& result,
+                                const std::vector<double>& exact_scores,
+                                const std::vector<size_t>& eligible,
+                                double eta) {
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t fn = 0;
+  for (size_t j : eligible) {
+    const bool truth = exact_scores[j] >= eta;
+    const bool predicted = result.Contains(j);
+    if (predicted && truth) ++tp;
+    if (predicted && !truth) ++fp;
+    if (!predicted && truth) ++fn;
+  }
+  FilterPrf prf;
+  prf.precision = (tp + fp) == 0
+                      ? 1.0
+                      : static_cast<double>(tp) / static_cast<double>(tp + fp);
+  prf.recall = (tp + fn) == 0
+                   ? 1.0
+                   : static_cast<double>(tp) / static_cast<double>(tp + fn);
+  prf.f1 = (prf.precision + prf.recall) == 0.0
+               ? 0.0
+               : 2.0 * prf.precision * prf.recall /
+                     (prf.precision + prf.recall);
+  return prf;
+}
+
+bool SatisfiesApproxTopK(const std::vector<AttributeScore>& returned,
+                         const std::vector<double>& exact_scores,
+                         const std::vector<size_t>& eligible, size_t k,
+                         double epsilon, double tolerance) {
+  k = std::min(k, eligible.size());
+  if (returned.size() < k) return false;
+
+  // Exact scores sorted descending for the i-th largest reference.
+  std::vector<double> sorted;
+  sorted.reserve(eligible.size());
+  for (size_t j : eligible) sorted.push_back(exact_scores[j]);
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+
+  for (size_t i = 0; i < k; ++i) {
+    const AttributeScore& item = returned[i];
+    const double exact = exact_scores[item.index];
+    // Condition (i): the reported estimate is close to the item's truth.
+    if (item.estimate + tolerance < (1.0 - epsilon) * exact) return false;
+    // Condition (ii): the item's truth is close to the i-th largest truth.
+    if (exact + tolerance < (1.0 - epsilon) * sorted[i]) return false;
+  }
+  return true;
+}
+
+bool SatisfiesApproxFilter(const FilterResult& result,
+                           const std::vector<double>& exact_scores,
+                           const std::vector<size_t>& eligible, double eta,
+                           double epsilon, double tolerance) {
+  for (size_t j : eligible) {
+    const double score = exact_scores[j];
+    const bool in = result.Contains(j);
+    if (score >= (1.0 + epsilon) * eta + tolerance && !in) return false;
+    if (score < (1.0 - epsilon) * eta - tolerance && in) return false;
+  }
+  return true;
+}
+
+}  // namespace swope

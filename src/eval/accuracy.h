@@ -1,0 +1,66 @@
+// Accuracy metrics matching the paper's evaluation (Figures 2, 4, 6, 8
+// and the accuracy panels of Figures 9-12), plus stricter checkers for the
+// formal Definition 5 / Definition 6 guarantees used by the property
+// tests.
+
+#ifndef SWOPE_EVAL_ACCURACY_H_
+#define SWOPE_EVAL_ACCURACY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/query_result.h"
+
+namespace swope {
+
+/// Top-k overlap accuracy: the fraction of returned attributes whose exact
+/// score is at least the exact k-th largest score (tie-aware, so returning
+/// either of two tied attributes counts as correct). This is the metric
+/// behind the paper's "100% accuracy" statements.
+/// `exact_scores` maps column index -> exact score; `eligible` lists the
+/// column indices the query ranged over (all columns for entropy, all but
+/// the target for MI).
+double TopKAccuracy(const std::vector<AttributeScore>& returned,
+                    const std::vector<double>& exact_scores,
+                    const std::vector<size_t>& eligible, size_t k);
+
+/// Filtering accuracy: fraction of eligible attributes classified the same
+/// way as the exact answer (returned iff exact score >= eta).
+double FilterAccuracy(const FilterResult& result,
+                      const std::vector<double>& exact_scores,
+                      const std::vector<size_t>& eligible, double eta);
+
+/// Precision / recall / F1 of a filtering answer against the exact
+/// threshold answer.
+struct FilterPrf {
+  double precision = 1.0;
+  double recall = 1.0;
+  double f1 = 1.0;
+};
+FilterPrf FilterPrecisionRecall(const FilterResult& result,
+                                const std::vector<double>& exact_scores,
+                                const std::vector<size_t>& eligible,
+                                double eta);
+
+/// Checks the two conditions of Definition 5 (approximate top-k) against
+/// exact scores:
+///  (i)  estimate(a'_i) >= (1-eps) * exact(a'_i)
+///  (ii) exact(a'_i)    >= (1-eps) * exact(a*_i)
+/// Returns true when both hold for every i. `tolerance` absorbs float
+/// round-off.
+bool SatisfiesApproxTopK(const std::vector<AttributeScore>& returned,
+                         const std::vector<double>& exact_scores,
+                         const std::vector<size_t>& eligible, size_t k,
+                         double epsilon, double tolerance = 1e-9);
+
+/// Checks Definition 6 (approximate filtering) against exact scores:
+/// every attribute with score >= (1+eps)*eta is in the answer and no
+/// attribute with score < (1-eps)*eta is.
+bool SatisfiesApproxFilter(const FilterResult& result,
+                           const std::vector<double>& exact_scores,
+                           const std::vector<size_t>& eligible, double eta,
+                           double epsilon, double tolerance = 1e-9);
+
+}  // namespace swope
+
+#endif  // SWOPE_EVAL_ACCURACY_H_

@@ -1,0 +1,80 @@
+#include "src/eval/experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "src/common/stopwatch.h"
+
+namespace swope {
+
+Timing TimeRepeated(int reps, const std::function<void()>& fn) {
+  Timing timing;
+  timing.repetitions = std::max(1, reps);
+  timing.min_seconds = 1e300;
+  double total = 0.0;
+  for (int r = 0; r < timing.repetitions; ++r) {
+    Stopwatch watch;
+    fn();
+    const double elapsed = watch.ElapsedSeconds();
+    total += elapsed;
+    timing.min_seconds = std::min(timing.min_seconds, elapsed);
+    timing.max_seconds = std::max(timing.max_seconds, elapsed);
+  }
+  timing.mean_seconds = total / timing.repetitions;
+  return timing;
+}
+
+namespace {
+
+bool ParseUint64Flag(std::string_view arg, std::string_view name,
+                     uint64_t* out) {
+  if (!arg.starts_with(name)) return false;
+  arg.remove_prefix(name.size());
+  *out = std::strtoull(std::string(arg).c_str(), nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+BenchConfig BenchConfig::FromArgs(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    uint64_t value = 0;
+    if (arg == "--quick") {
+      config.quick = true;
+    } else if (ParseUint64Flag(arg, "--rows=", &value)) {
+      config.rows = value;
+    } else if (ParseUint64Flag(arg, "--reps=", &value)) {
+      config.reps = static_cast<int>(value);
+    } else if (ParseUint64Flag(arg, "--targets=", &value)) {
+      config.targets = static_cast<int>(value);
+    } else if (ParseUint64Flag(arg, "--seed=", &value)) {
+      config.seed = value;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag '%s'\nusage: %s [--rows=N] [--reps=N] "
+                   "[--targets=N] [--seed=N] [--quick]\n",
+                   std::string(arg).c_str(), argv[0]);
+      std::exit(2);
+    }
+  }
+  return config;
+}
+
+uint64_t BenchConfig::RowsOrDefault(uint64_t default_rows) const {
+  if (rows > 0) return rows;
+  return quick ? std::max<uint64_t>(1, default_rows / 10) : default_rows;
+}
+
+std::string FormatSpeedup(double numerator, double denominator) {
+  char buffer[64];
+  if (denominator <= 1e-12) return "inf";
+  std::snprintf(buffer, sizeof(buffer), "%.1fx", numerator / denominator);
+  return buffer;
+}
+
+}  // namespace swope

@@ -1,0 +1,51 @@
+// Experiment-runner helpers: timed repetition, simple command-line flag
+// parsing shared by the bench binaries, and speedup formatting.
+
+#ifndef SWOPE_EVAL_EXPERIMENT_H_
+#define SWOPE_EVAL_EXPERIMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace swope {
+
+/// Timing of a repeated measurement.
+struct Timing {
+  double mean_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  int repetitions = 0;
+};
+
+/// Runs `fn` `reps` times (at least once) and reports wall-clock stats.
+Timing TimeRepeated(int reps, const std::function<void()>& fn);
+
+/// Bench-binary flag parsing. Recognized flags (all optional):
+///   --rows=<n>     dataset rows (0 = keep each bench's default)
+///   --reps=<n>     repetitions per measurement
+///   --targets=<n>  MI target attributes per dataset
+///   --seed=<n>     master seed
+///   --quick        shrink everything for a smoke run
+/// Unknown flags abort with a usage message so typos are loud.
+struct BenchConfig {
+  uint64_t rows = 0;
+  int reps = 1;
+  int targets = 3;
+  uint64_t seed = 2021;
+  bool quick = false;
+
+  /// Parses argv; exits(2) with a message on an unknown flag.
+  static BenchConfig FromArgs(int argc, char** argv);
+
+  /// Rows to use for a bench whose default is `default_rows`.
+  uint64_t RowsOrDefault(uint64_t default_rows) const;
+};
+
+/// "12.3x" style speedup string (a/b); "inf" when b is ~0.
+std::string FormatSpeedup(double numerator, double denominator);
+
+}  // namespace swope
+
+#endif  // SWOPE_EVAL_EXPERIMENT_H_

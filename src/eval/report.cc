@@ -1,0 +1,80 @@
+#include "src/eval/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace swope {
+
+void ReportTable::AddRow(std::vector<std::string> row) {
+  row.resize(std::max(row.size(), header_.size()));
+  rows_.push_back(std::move(row));
+}
+
+std::string ReportTable::FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string ReportTable::FormatMillis(double seconds) {
+  const double ms = seconds * 1e3;
+  char buffer[64];
+  if (ms < 10.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.3f", ms);
+  } else if (ms < 1000.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f", ms);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", ms);
+  }
+  return buffer;
+}
+
+void ReportTable::PrintMarkdown(std::ostream& out) const {
+  const size_t cols =
+      std::max(header_.size(),
+               rows_.empty() ? size_t{0}
+                             : std::max_element(rows_.begin(), rows_.end(),
+                                                [](const auto& a,
+                                                   const auto& b) {
+                                                  return a.size() < b.size();
+                                                })
+                                   ->size());
+  std::vector<size_t> widths(cols, 1);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  print_row(header_);
+  out << "|";
+  for (size_t c = 0; c < cols; ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void ReportTable::PrintCsv(std::ostream& out) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ",";
+      out << row[c];
+    }
+    out << "\n";
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace swope

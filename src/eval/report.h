@@ -1,0 +1,44 @@
+// ReportTable: aligned text / markdown / CSV tables for bench output.
+
+#ifndef SWOPE_EVAL_REPORT_H_
+#define SWOPE_EVAL_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace swope {
+
+/// A simple row-major string table with a header, rendered as markdown
+/// (the bench binaries' primary output) or CSV.
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  const std::vector<std::string>& header() const { return header_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Appends a row; short rows are padded with empty cells, long rows are
+  /// kept (the renderer widens).
+  void AddRow(std::vector<std::string> row);
+
+  /// Cell formatting helpers.
+  static std::string FormatDouble(double value, int precision = 3);
+  static std::string FormatMillis(double seconds);
+
+  /// Renders a GitHub-style markdown table with aligned columns.
+  void PrintMarkdown(std::ostream& out) const;
+
+  /// Renders RFC-4180-free simple CSV (cells must not contain commas or
+  /// newlines; bench cells never do).
+  void PrintCsv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace swope
+
+#endif  // SWOPE_EVAL_REPORT_H_

@@ -1,0 +1,57 @@
+// Feature selection on top of the SWOPE machinery: the paper's motivating
+// application (Section 1).
+//
+// Two selectors are provided:
+//  * SelectFeaturesByMi -- rank candidates by approximate MI against the
+//    target using SWOPE-Top-k (max-relevance selection).
+//  * SelectFeaturesMrmr -- greedy mRMR (Peng et al., 2005): repeatedly add
+//    the feature maximizing relevance minus mean redundancy,
+//      score(f) = I(target, f) - (1/|S|) * sum_{s in S} I(f, s),
+//    with all MI values estimated on one fixed sample-without-replacement
+//    prefix (so the whole selection costs O(sample * h * m) instead of
+//    O(N * h * m)).
+
+#ifndef SWOPE_FS_MRMR_H_
+#define SWOPE_FS_MRMR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/query_options.h"
+#include "src/table/table.h"
+
+namespace swope {
+
+/// Options for the mRMR selector.
+struct MrmrOptions {
+  /// Number of features to select (clamped to h - 1).
+  size_t num_features = 10;
+  /// Sample size used for every MI estimate (clamped to N; 0 = all rows).
+  uint64_t sample_size = 100000;
+  /// Permutation seed.
+  uint64_t seed = 42;
+};
+
+/// A selected feature with its bookkeeping scores.
+struct SelectedFeature {
+  size_t index = 0;        ///< column index
+  double relevance = 0.0;  ///< sampled I(target, feature)
+  double score = 0.0;      ///< mRMR objective value when it was picked
+};
+
+/// Greedy mRMR selection of `options.num_features` features for `target`.
+Result<std::vector<SelectedFeature>> SelectFeaturesMrmr(
+    const Table& table, size_t target, const MrmrOptions& options = {});
+
+/// Max-relevance selection: the top-k candidates by approximate MI against
+/// the target, via SWOPE-Top-k (Algorithm 3). `query_options` controls the
+/// approximation.
+Result<std::vector<SelectedFeature>> SelectFeaturesByMi(
+    const Table& table, size_t target, size_t num_features,
+    const QueryOptions& query_options = {});
+
+}  // namespace swope
+
+#endif  // SWOPE_FS_MRMR_H_

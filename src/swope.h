@@ -1,0 +1,38 @@
+// Umbrella header: everything a library user needs.
+//
+//   #include "src/swope.h"
+//
+// pulls in the table substrate (CSV / binary IO, dictionary encoding),
+// the four SWOPE query algorithms, the exact and sampling baselines, the
+// synthetic dataset generators, and the feature-selection helpers.
+
+#ifndef SWOPE_SWOPE_H_
+#define SWOPE_SWOPE_H_
+
+#include "src/baselines/entropy_filter.h"
+#include "src/baselines/entropy_rank.h"
+#include "src/baselines/exact.h"
+#include "src/baselines/mi_filter.h"
+#include "src/baselines/mi_rank.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/core/bounds.h"
+#include "src/core/entropy.h"
+#include "src/core/query_options.h"
+#include "src/core/query_result.h"
+#include "src/core/swope_filter_entropy.h"
+#include "src/core/swope_filter_mi.h"
+#include "src/core/swope_filter_nmi.h"
+#include "src/core/swope_topk_entropy.h"
+#include "src/core/swope_topk_mi.h"
+#include "src/core/swope_topk_nmi.h"
+#include "src/datagen/dataset_presets.h"
+#include "src/datagen/generator.h"
+#include "src/fs/mrmr.h"
+#include "src/table/binary_io.h"
+#include "src/table/csv_reader.h"
+#include "src/table/csv_writer.h"
+#include "src/table/table.h"
+#include "src/table/table_builder.h"
+
+#endif  // SWOPE_SWOPE_H_

@@ -1,0 +1,155 @@
+#include "src/table/binary_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+namespace swope {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'W', 'P', 'B'};
+
+// Writers. The format is explicitly little-endian; on big-endian hosts
+// these helpers would need byte swaps (not supported, flagged at read).
+template <typename T>
+void WritePod(std::ostream& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WritePod<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  return in.gcount() == sizeof(value);
+}
+
+bool ReadString(std::istream& in, std::string& s, uint32_t max_len) {
+  uint32_t len = 0;
+  if (!ReadPod(in, len) || len > max_len) return false;
+  s.resize(len);
+  in.read(s.data(), len);
+  return static_cast<uint32_t>(in.gcount()) == len;
+}
+
+}  // namespace
+
+Status WriteBinaryTable(const Table& table, std::ostream& output) {
+  output.write(kMagic, sizeof(kMagic));
+  WritePod<uint32_t>(output, kBinaryTableVersion);
+  WritePod<uint64_t>(output, table.num_rows());
+  WritePod<uint32_t>(output, static_cast<uint32_t>(table.num_columns()));
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    WriteString(output, col.name());
+    WritePod<uint32_t>(output, col.support());
+    WritePod<uint8_t>(output, col.has_labels() ? 1 : 0);
+    if (col.has_labels()) {
+      for (const std::string& label : col.labels()) {
+        WriteString(output, label);
+      }
+    }
+    output.write(reinterpret_cast<const char*>(col.codes().data()),
+                 static_cast<std::streamsize>(col.codes().size() *
+                                              sizeof(ValueCode)));
+  }
+  if (!output) return Status::IOError("binary table: write failed");
+  return Status::OK();
+}
+
+Status WriteBinaryTableFile(const Table& table, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::IOError("binary table: cannot open '" + path + "'");
+  }
+  return WriteBinaryTable(table, file);
+}
+
+Result<Table> ReadBinaryTable(std::istream& input) {
+  char magic[4];
+  input.read(magic, sizeof(magic));
+  if (input.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("binary table: bad magic");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(input, version) || version != kBinaryTableVersion) {
+    return Status::Corruption("binary table: unsupported version " +
+                              std::to_string(version));
+  }
+  uint64_t num_rows = 0;
+  uint32_t num_columns = 0;
+  if (!ReadPod(input, num_rows) || !ReadPod(input, num_columns)) {
+    return Status::Corruption("binary table: truncated header");
+  }
+  constexpr uint32_t kMaxNameLen = 1 << 20;
+  std::vector<Column> columns;
+  columns.reserve(num_columns);
+  for (uint32_t c = 0; c < num_columns; ++c) {
+    std::string name;
+    uint32_t support = 0;
+    uint8_t has_labels = 0;
+    if (!ReadString(input, name, kMaxNameLen) || !ReadPod(input, support) ||
+        !ReadPod(input, has_labels) || has_labels > 1) {
+      return Status::Corruption("binary table: truncated column header");
+    }
+    // Corrupt headers can claim absurd sizes; never allocate up front for
+    // more than the stream actually delivers -- grow with the data so a
+    // lying header fails with Corruption instead of exhausting memory.
+    std::vector<std::string> labels;
+    if (has_labels != 0) {
+      labels.reserve(std::min<uint64_t>(support, 1 << 16));
+      for (uint32_t v = 0; v < support; ++v) {
+        std::string label;
+        if (!ReadString(input, label, kMaxNameLen)) {
+          return Status::Corruption("binary table: truncated labels");
+        }
+        labels.push_back(std::move(label));
+      }
+    }
+    std::vector<ValueCode> codes;
+    codes.reserve(std::min<uint64_t>(num_rows, 1 << 20));
+    constexpr uint64_t kChunkRows = 1 << 20;
+    uint64_t remaining = num_rows;
+    while (remaining > 0) {
+      const uint64_t chunk = std::min(remaining, kChunkRows);
+      const size_t old_size = codes.size();
+      codes.resize(old_size + chunk);
+      const auto bytes = static_cast<std::streamsize>(
+          chunk * sizeof(ValueCode));
+      input.read(reinterpret_cast<char*>(codes.data() + old_size), bytes);
+      if (input.gcount() != bytes) {
+        return Status::Corruption(
+            "binary table: truncated codes in column '" + name + "'");
+      }
+      remaining -= chunk;
+    }
+    auto column = Column::Make(std::move(name), support, std::move(codes),
+                               std::move(labels));
+    if (!column.ok()) {
+      return Status::Corruption("binary table: " + column.status().message());
+    }
+    columns.push_back(std::move(column).value());
+  }
+  auto table = Table::Make(std::move(columns));
+  if (!table.ok()) {
+    return Status::Corruption("binary table: " + table.status().message());
+  }
+  return table;
+}
+
+Result<Table> ReadBinaryTableFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::IOError("binary table: cannot open '" + path + "'");
+  }
+  return ReadBinaryTable(file);
+}
+
+}  // namespace swope

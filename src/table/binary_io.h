@@ -1,0 +1,43 @@
+// Binary column-store format for fast save/load of encoded tables.
+//
+// Layout (little-endian):
+//   magic "SWPB" | u32 version | u64 num_rows | u32 num_columns
+//   per column:
+//     u32 name_len | name bytes
+//     u32 support
+//     u8  has_labels
+//     if has_labels: support x (u32 len | bytes)
+//     num_rows x u32 codes
+//
+// Loading a binary table skips dictionary building entirely, which is the
+// point: re-running experiments over a generated dataset becomes I/O bound
+// rather than parse bound.
+
+#ifndef SWOPE_TABLE_BINARY_IO_H_
+#define SWOPE_TABLE_BINARY_IO_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/table/table.h"
+
+namespace swope {
+
+/// Current format version.
+inline constexpr uint32_t kBinaryTableVersion = 1;
+
+/// Serializes `table` to the binary column-store format.
+Status WriteBinaryTable(const Table& table, std::ostream& output);
+Status WriteBinaryTableFile(const Table& table, const std::string& path);
+
+/// Deserializes a table; validates the magic, version and all structural
+/// invariants (code ranges, label counts), returning Corruption on any
+/// mismatch.
+Result<Table> ReadBinaryTable(std::istream& input);
+Result<Table> ReadBinaryTableFile(const std::string& path);
+
+}  // namespace swope
+
+#endif  // SWOPE_TABLE_BINARY_IO_H_

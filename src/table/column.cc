@@ -1,0 +1,48 @@
+#include "src/table/column.h"
+
+#include <algorithm>
+
+namespace swope {
+
+Result<Column> Column::Make(std::string name, uint32_t support,
+                            std::vector<ValueCode> codes,
+                            std::vector<std::string> labels) {
+  if (!codes.empty() && support == 0) {
+    return Status::InvalidArgument("column '" + name +
+                                   "': support is 0 but codes are present");
+  }
+  if (!labels.empty() && labels.size() != support) {
+    return Status::InvalidArgument(
+        "column '" + name + "': label count " +
+        std::to_string(labels.size()) + " != support " +
+        std::to_string(support));
+  }
+  for (ValueCode c : codes) {
+    if (c >= support) {
+      return Status::InvalidArgument("column '" + name + "': code " +
+                                     std::to_string(c) + " >= support " +
+                                     std::to_string(support));
+    }
+  }
+  return Column(std::move(name), support, std::move(codes),
+                std::move(labels));
+}
+
+Column Column::FromCodes(std::string name, std::vector<ValueCode> codes) {
+  uint32_t support = 0;
+  for (ValueCode c : codes) support = std::max(support, c + 1);
+  return Column(std::move(name), support, std::move(codes), {});
+}
+
+std::string Column::LabelOf(ValueCode code) const {
+  if (code < labels_.size()) return labels_[code];
+  return std::to_string(code);
+}
+
+std::vector<uint64_t> Column::ValueCounts() const {
+  std::vector<uint64_t> counts(support_, 0);
+  for (ValueCode c : codes_) ++counts[c];
+  return counts;
+}
+
+}  // namespace swope

@@ -1,0 +1,79 @@
+// Column: a dictionary-encoded categorical column.
+//
+// The paper's model (Section 2.1) assumes attribute values fall in
+// [1, u_alpha] after a one-to-one preprocessing match. We store codes in
+// [0, u) as uint32_t plus an optional dictionary of original string labels,
+// which is exactly that preprocessing made concrete.
+
+#ifndef SWOPE_TABLE_COLUMN_H_
+#define SWOPE_TABLE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace swope {
+
+/// Value code type: a dictionary-encoded attribute value in [0, support()).
+using ValueCode = uint32_t;
+
+/// An immutable dictionary-encoded column. `support` is u_alpha, the number
+/// of distinct attribute values; every stored code is < support.
+class Column {
+ public:
+  /// Validating factory. Fails if any code is >= support, or if support is 0
+  /// while codes are present, or if `labels` is non-empty but its size does
+  /// not equal support.
+  static Result<Column> Make(std::string name, uint32_t support,
+                             std::vector<ValueCode> codes,
+                             std::vector<std::string> labels = {});
+
+  /// Convenience factory for tests/generators holding already-valid data:
+  /// computes support as max(code)+1 (0 for an empty column).
+  static Column FromCodes(std::string name, std::vector<ValueCode> codes);
+
+  Column() = default;
+
+  const std::string& name() const { return name_; }
+  /// u_alpha: the number of distinct values the dictionary admits. Note
+  /// this counts dictionary slots; a validated CSV/builder column always
+  /// has every slot occupied at least once.
+  uint32_t support() const { return support_; }
+  /// Number of rows.
+  uint64_t size() const { return codes_.size(); }
+  bool empty() const { return codes_.empty(); }
+
+  ValueCode code(uint64_t row) const { return codes_[row]; }
+  const std::vector<ValueCode>& codes() const { return codes_; }
+
+  /// True when the column retains original value labels.
+  bool has_labels() const { return !labels_.empty(); }
+  const std::vector<std::string>& labels() const { return labels_; }
+  /// Label for a code; falls back to the decimal code when no dictionary
+  /// is attached.
+  std::string LabelOf(ValueCode code) const;
+
+  /// Per-value occurrence counts n_i over the whole column (length
+  /// support()).
+  std::vector<uint64_t> ValueCounts() const;
+
+ private:
+  Column(std::string name, uint32_t support, std::vector<ValueCode> codes,
+         std::vector<std::string> labels)
+      : name_(std::move(name)),
+        support_(support),
+        codes_(std::move(codes)),
+        labels_(std::move(labels)) {}
+
+  std::string name_;
+  uint32_t support_ = 0;
+  std::vector<ValueCode> codes_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace swope
+
+#endif  // SWOPE_TABLE_COLUMN_H_

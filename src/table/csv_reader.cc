@@ -1,0 +1,167 @@
+#include "src/table/csv_reader.h"
+
+#include <fstream>
+#include <string_view>
+#include <vector>
+
+#include "src/table/table_builder.h"
+
+namespace swope {
+
+namespace {
+
+// Incremental CSV record parser. Feed characters; collects one record's
+// fields at a time.
+class RecordParser {
+ public:
+  explicit RecordParser(char delimiter) : delimiter_(delimiter) {}
+
+  // Parses the next record from `input`. Returns false on clean EOF with
+  // no record started; fills `fields` and returns true otherwise. Sets a
+  // non-OK status on malformed input.
+  bool NextRecord(std::istream& input, std::vector<std::string>& fields,
+                  Status& status) {
+    fields.clear();
+    status = Status::OK();
+    std::string field;
+    bool in_quotes = false;
+    bool field_was_quoted = false;
+    bool any_char = false;
+    int ch;
+    while ((ch = input.get()) != std::char_traits<char>::eof()) {
+      const char c = static_cast<char>(ch);
+      any_char = true;
+      if (in_quotes) {
+        if (c == '"') {
+          if (input.peek() == '"') {
+            field.push_back('"');
+            input.get();
+          } else {
+            in_quotes = false;
+          }
+        } else {
+          field.push_back(c);
+        }
+        continue;
+      }
+      if (c == '"') {
+        if (!field.empty()) {
+          status = Status::Corruption(
+              "csv: quote inside unquoted field at record " +
+              std::to_string(record_number_ + 1));
+          return false;
+        }
+        in_quotes = true;
+        field_was_quoted = true;
+        continue;
+      }
+      if (c == delimiter_) {
+        fields.push_back(std::move(field));
+        field.clear();
+        field_was_quoted = false;
+        continue;
+      }
+      if (c == '\r') {
+        if (input.peek() == '\n') input.get();
+        FinishRecord(fields, std::move(field));
+        return true;
+      }
+      if (c == '\n') {
+        FinishRecord(fields, std::move(field));
+        return true;
+      }
+      field.push_back(c);
+    }
+    if (in_quotes) {
+      status = Status::Corruption("csv: unterminated quoted field at record " +
+                                  std::to_string(record_number_ + 1));
+      return false;
+    }
+    if (!any_char) return false;  // clean EOF
+    // Final record without trailing newline. A lone quoted empty field is
+    // a real (empty) field; distinguish via field_was_quoted.
+    if (!field.empty() || !fields.empty() || field_was_quoted) {
+      FinishRecord(fields, std::move(field));
+      return true;
+    }
+    return false;
+  }
+
+  uint64_t record_number() const { return record_number_; }
+
+ private:
+  void FinishRecord(std::vector<std::string>& fields, std::string&& last) {
+    fields.push_back(std::move(last));
+    ++record_number_;
+  }
+
+  char delimiter_;
+  uint64_t record_number_ = 0;
+};
+
+}  // namespace
+
+Result<Table> ReadCsv(std::istream& input, const CsvOptions& options) {
+  if (options.delimiter == '"' || options.delimiter == '\n' ||
+      options.delimiter == '\r') {
+    return Status::InvalidArgument("csv: invalid delimiter");
+  }
+  RecordParser parser(options.delimiter);
+  std::vector<std::string> record;
+  Status status;
+
+  std::vector<std::string> header;
+  if (options.has_header) {
+    if (!parser.NextRecord(input, record, status)) {
+      if (!status.ok()) return status;
+      return Status::Corruption("csv: empty input, expected header");
+    }
+    header = record;
+  } else {
+    // Peek the first data record to learn the column count.
+    if (!parser.NextRecord(input, record, status)) {
+      if (!status.ok()) return status;
+      return Status::Corruption("csv: empty input");
+    }
+    header.reserve(record.size());
+    for (size_t i = 0; i < record.size(); ++i) {
+      header.push_back("c" + std::to_string(i));
+    }
+  }
+
+  auto builder = TableBuilder::Make(std::move(header));
+  if (!builder.ok()) return builder.status();
+
+  uint64_t rows = 0;
+  auto append = [&](const std::vector<std::string>& rec) -> Status {
+    if (rec.size() != builder->num_columns()) {
+      return Status::Corruption(
+          "csv: record " + std::to_string(parser.record_number()) + " has " +
+          std::to_string(rec.size()) + " fields, expected " +
+          std::to_string(builder->num_columns()));
+    }
+    std::vector<std::string_view> views(rec.begin(), rec.end());
+    return builder->AppendRowViews(views);
+  };
+
+  if (!options.has_header) {
+    // The record peeked above is data.
+    SWOPE_RETURN_NOT_OK(append(record));
+    ++rows;
+  }
+  while ((options.max_rows == 0 || rows < options.max_rows) &&
+         parser.NextRecord(input, record, status)) {
+    SWOPE_RETURN_NOT_OK(append(record));
+    ++rows;
+  }
+  if (!status.ok()) return status;
+  return std::move(*builder).Finish();
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IOError("csv: cannot open '" + path + "'");
+  return ReadCsv(file, options);
+}
+
+}  // namespace swope

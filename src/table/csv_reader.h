@@ -1,0 +1,38 @@
+// CSV reader: RFC-4180-style parsing into a dictionary-encoded Table.
+
+#ifndef SWOPE_TABLE_CSV_READER_H_
+#define SWOPE_TABLE_CSV_READER_H_
+
+#include <istream>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/table/table.h"
+
+namespace swope {
+
+/// Options controlling CSV parsing.
+struct CsvOptions {
+  /// Field delimiter.
+  char delimiter = ',';
+  /// When true, the first record provides column names; otherwise columns
+  /// are named c0, c1, ....
+  bool has_header = true;
+  /// Maximum number of data rows to read (0 = unlimited).
+  uint64_t max_rows = 0;
+};
+
+/// Parses CSV from a stream. Supports quoted fields ("..."), embedded
+/// delimiters and newlines inside quotes, doubled-quote escapes, and both
+/// LF and CRLF record separators. Every record must have the same field
+/// count as the header; otherwise a Corruption status is returned with the
+/// offending record number.
+Result<Table> ReadCsv(std::istream& input, const CsvOptions& options = {});
+
+/// Convenience wrapper reading from a file path.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options = {});
+
+}  // namespace swope
+
+#endif  // SWOPE_TABLE_CSV_READER_H_

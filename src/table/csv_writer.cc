@@ -1,0 +1,63 @@
+#include "src/table/csv_writer.h"
+
+#include <fstream>
+
+namespace swope {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field, char delimiter) {
+  for (char c : field) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void WriteField(std::ostream& out, const std::string& field, char delimiter) {
+  if (!NeedsQuoting(field, delimiter)) {
+    out << field;
+    return;
+  }
+  out << '"';
+  for (char c : field) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+Status WriteCsv(const Table& table, std::ostream& output,
+                const CsvWriteOptions& options) {
+  if (options.delimiter == '"' || options.delimiter == '\n' ||
+      options.delimiter == '\r') {
+    return Status::InvalidArgument("csv: invalid delimiter");
+  }
+  if (options.write_header) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) output << options.delimiter;
+      WriteField(output, table.column(c).name(), options.delimiter);
+    }
+    output << '\n';
+  }
+  for (uint64_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) output << options.delimiter;
+      const Column& col = table.column(c);
+      WriteField(output, col.LabelOf(col.code(r)), options.delimiter);
+    }
+    output << '\n';
+  }
+  if (!output) return Status::IOError("csv: write failed");
+  return Status::OK();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvWriteOptions& options) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return Status::IOError("csv: cannot open '" + path + "'");
+  return WriteCsv(table, file, options);
+}
+
+}  // namespace swope

@@ -1,0 +1,32 @@
+// CSV writer: serializes a Table back to RFC-4180 CSV using the column
+// dictionaries (codes are written when a column has no labels).
+
+#ifndef SWOPE_TABLE_CSV_WRITER_H_
+#define SWOPE_TABLE_CSV_WRITER_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/table/table.h"
+
+namespace swope {
+
+/// Options controlling CSV output.
+struct CsvWriteOptions {
+  char delimiter = ',';
+  bool write_header = true;
+};
+
+/// Writes `table` as CSV. Fields containing the delimiter, quotes or
+/// newlines are quoted with doubled-quote escaping.
+Status WriteCsv(const Table& table, std::ostream& output,
+                const CsvWriteOptions& options = {});
+
+/// Convenience wrapper writing to a file path.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvWriteOptions& options = {});
+
+}  // namespace swope
+
+#endif  // SWOPE_TABLE_CSV_WRITER_H_

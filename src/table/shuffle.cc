@@ -1,0 +1,10 @@
+#include "src/table/shuffle.h"
+
+namespace swope {
+
+std::vector<uint32_t> ShuffledRowOrder(uint32_t num_rows, uint64_t seed) {
+  Rng rng(seed);
+  return RandomPermutation(num_rows, rng);
+}
+
+}  // namespace swope

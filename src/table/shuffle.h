@@ -1,0 +1,24 @@
+// Row-order shuffling.
+//
+// The paper models a random sample-without-replacement of size M as the
+// first M records of a uniformly random permutation of D (Section 2.2).
+// A query materializes one permutation of row indices and then consumes
+// growing prefixes of it; see core/prefix_sampler.h.
+
+#ifndef SWOPE_TABLE_SHUFFLE_H_
+#define SWOPE_TABLE_SHUFFLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace swope {
+
+/// Returns a uniformly random permutation of row indices [0, num_rows),
+/// deterministic in `seed`.
+std::vector<uint32_t> ShuffledRowOrder(uint32_t num_rows, uint64_t seed);
+
+}  // namespace swope
+
+#endif  // SWOPE_TABLE_SHUFFLE_H_

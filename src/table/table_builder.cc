@@ -1,0 +1,71 @@
+#include "src/table/table_builder.h"
+
+#include <unordered_set>
+
+namespace swope {
+
+ValueCode TableBuilder::ColumnEncoder::Encode(std::string_view raw) {
+  // A transparent-hash lookup would avoid this copy on hit; kept simple
+  // because ingestion is not on any measured query path.
+  std::string key(raw);
+  auto [it, inserted] =
+      dictionary.try_emplace(std::move(key), static_cast<ValueCode>(labels.size()));
+  if (inserted) labels.emplace_back(raw);
+  return it->second;
+}
+
+Result<TableBuilder> TableBuilder::Make(
+    std::vector<std::string> column_names) {
+  std::unordered_set<std::string> seen;
+  std::vector<ColumnEncoder> encoders;
+  encoders.reserve(column_names.size());
+  for (std::string& name : column_names) {
+    if (name.empty()) {
+      return Status::InvalidArgument("table builder: empty column name");
+    }
+    if (!seen.insert(name).second) {
+      return Status::InvalidArgument(
+          "table builder: duplicate column name '" + name + "'");
+    }
+    ColumnEncoder encoder;
+    encoder.name = std::move(name);
+    encoders.push_back(std::move(encoder));
+  }
+  return TableBuilder(std::move(encoders));
+}
+
+Status TableBuilder::AppendRow(const std::vector<std::string>& values) {
+  std::vector<std::string_view> views(values.begin(), values.end());
+  return AppendRowViews(views);
+}
+
+Status TableBuilder::AppendRowViews(const std::vector<std::string_view>& values) {
+  if (values.size() != encoders_.size()) {
+    return Status::InvalidArgument(
+        "table builder: row has " + std::to_string(values.size()) +
+        " values, expected " + std::to_string(encoders_.size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    encoders_[i].codes.push_back(encoders_[i].Encode(values[i]));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Result<Table> TableBuilder::Finish() && {
+  std::vector<Column> columns;
+  columns.reserve(encoders_.size());
+  for (ColumnEncoder& encoder : encoders_) {
+    // Evaluate the support before the argument list: the labels vector is
+    // moved into the same call.
+    const uint32_t support = static_cast<uint32_t>(encoder.labels.size());
+    auto column =
+        Column::Make(std::move(encoder.name), support,
+                     std::move(encoder.codes), std::move(encoder.labels));
+    if (!column.ok()) return column.status();
+    columns.push_back(std::move(column).value());
+  }
+  return Table::Make(std::move(columns));
+}
+
+}  // namespace swope

@@ -1,0 +1,63 @@
+// TableBuilder: row-wise ingestion with on-the-fly dictionary encoding.
+//
+// This implements the paper's "simple one-to-one match preprocessing" that
+// maps raw attribute values onto [1, u_alpha] (here [0, u)): each distinct
+// raw string gets the next code in first-seen order.
+
+#ifndef SWOPE_TABLE_TABLE_BUILDER_H_
+#define SWOPE_TABLE_TABLE_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/table/table.h"
+
+namespace swope {
+
+/// Builds a Table by appending rows of raw string values. Each column keeps
+/// a dictionary from raw value to code, assigned in first-seen order.
+class TableBuilder {
+ public:
+  /// Creates a builder for the given column names (must be unique,
+  /// non-empty).
+  static Result<TableBuilder> Make(std::vector<std::string> column_names);
+
+  size_t num_columns() const { return encoders_.size(); }
+  uint64_t num_rows() const { return num_rows_; }
+
+  /// Appends one row; `values` must have exactly one entry per column.
+  Status AppendRow(const std::vector<std::string>& values);
+
+  /// Appends one row given as string views (the CSV reader's path).
+  /// Distinctly named to keep brace-initialized AppendRow calls
+  /// unambiguous.
+  Status AppendRowViews(const std::vector<std::string_view>& values);
+
+  /// Finalizes into an immutable Table. The builder is consumed.
+  Result<Table> Finish() &&;
+
+ private:
+  struct ColumnEncoder {
+    std::string name;
+    std::unordered_map<std::string, ValueCode> dictionary;
+    std::vector<std::string> labels;  // code -> raw value
+    std::vector<ValueCode> codes;
+
+    ValueCode Encode(std::string_view raw);
+  };
+
+  explicit TableBuilder(std::vector<ColumnEncoder> encoders)
+      : encoders_(std::move(encoders)) {}
+
+  std::vector<ColumnEncoder> encoders_;
+  uint64_t num_rows_ = 0;
+};
+
+}  // namespace swope
+
+#endif  // SWOPE_TABLE_TABLE_BUILDER_H_

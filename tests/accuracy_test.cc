@@ -1,0 +1,122 @@
+#include "src/eval/accuracy.h"
+
+#include <gtest/gtest.h>
+
+namespace swope {
+namespace {
+
+std::vector<AttributeScore> Items(std::vector<size_t> indices,
+                                  std::vector<double> estimates = {}) {
+  std::vector<AttributeScore> items;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    AttributeScore item;
+    item.index = indices[i];
+    item.estimate = i < estimates.size() ? estimates[i] : 0.0;
+    items.push_back(item);
+  }
+  return items;
+}
+
+FilterResult Filter(std::vector<size_t> indices) {
+  FilterResult result;
+  result.items = Items(std::move(indices));
+  return result;
+}
+
+const std::vector<double> kScores = {3.0, 1.0, 2.0, 4.0, 0.5};
+const std::vector<size_t> kAll = {0, 1, 2, 3, 4};
+
+TEST(AccuracyTest, TopKPerfect) {
+  // Exact top-2 is {3, 0}.
+  EXPECT_DOUBLE_EQ(TopKAccuracy(Items({3, 0}), kScores, kAll, 2), 1.0);
+}
+
+TEST(AccuracyTest, TopKPartial) {
+  EXPECT_DOUBLE_EQ(TopKAccuracy(Items({3, 1}), kScores, kAll, 2), 0.5);
+  EXPECT_DOUBLE_EQ(TopKAccuracy(Items({1, 4}), kScores, kAll, 2), 0.0);
+}
+
+TEST(AccuracyTest, TopKTieAware) {
+  const std::vector<double> tied = {2.0, 2.0, 1.0};
+  const std::vector<size_t> all = {0, 1, 2};
+  // k = 1 with two tied best: returning either counts.
+  EXPECT_DOUBLE_EQ(TopKAccuracy(Items({0}), tied, all, 1), 1.0);
+  EXPECT_DOUBLE_EQ(TopKAccuracy(Items({1}), tied, all, 1), 1.0);
+  EXPECT_DOUBLE_EQ(TopKAccuracy(Items({2}), tied, all, 1), 0.0);
+}
+
+TEST(AccuracyTest, TopKClampsKAndHandlesEmpty) {
+  EXPECT_DOUBLE_EQ(TopKAccuracy(Items({3, 0, 2, 1, 4}), kScores, kAll, 99),
+                   1.0);
+  EXPECT_DOUBLE_EQ(TopKAccuracy({}, kScores, {}, 3), 1.0);
+}
+
+TEST(AccuracyTest, FilterAccuracyCountsBothSides) {
+  // eta = 1.5: truth = {0, 2, 3}.
+  EXPECT_DOUBLE_EQ(FilterAccuracy(Filter({0, 2, 3}), kScores, kAll, 1.5),
+                   1.0);
+  // One false negative (missing 2) -> 4/5 agree.
+  EXPECT_DOUBLE_EQ(FilterAccuracy(Filter({0, 3}), kScores, kAll, 1.5), 0.8);
+  // One false positive (extra 1) -> 4/5.
+  EXPECT_DOUBLE_EQ(FilterAccuracy(Filter({0, 1, 2, 3}), kScores, kAll, 1.5),
+                   0.8);
+}
+
+TEST(AccuracyTest, PrecisionRecallF1) {
+  // truth = {0, 2, 3}; predicted = {0, 3, 4}: tp=2 fp=1 fn=1.
+  const FilterPrf prf =
+      FilterPrecisionRecall(Filter({0, 3, 4}), kScores, kAll, 1.5);
+  EXPECT_NEAR(prf.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(prf.recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(prf.f1, 2.0 / 3.0, 1e-12);
+}
+
+TEST(AccuracyTest, PrecisionRecallDegenerateCases) {
+  // Nothing predicted, nothing true above a huge threshold.
+  const FilterPrf prf = FilterPrecisionRecall(Filter({}), kScores, kAll, 99.0);
+  EXPECT_DOUBLE_EQ(prf.precision, 1.0);
+  EXPECT_DOUBLE_EQ(prf.recall, 1.0);
+}
+
+TEST(AccuracyTest, SatisfiesApproxTopKBothConditions) {
+  // Exact sorted: 4, 3, 2, 1, 0.5. k=2, eps=0.1.
+  // Returned [3, 0] with faithful estimates: both conditions hold.
+  EXPECT_TRUE(SatisfiesApproxTopK(Items({3, 0}, {4.0, 3.0}), kScores, kAll,
+                                  2, 0.1));
+  // Condition (i) violated: estimate far below truth.
+  EXPECT_FALSE(SatisfiesApproxTopK(Items({3, 0}, {4.0, 2.0}), kScores, kAll,
+                                   2, 0.1));
+  // Condition (ii) violated: second item's truth (1.0) << 2nd best (3.0).
+  EXPECT_FALSE(SatisfiesApproxTopK(Items({3, 1}, {4.0, 1.0}), kScores, kAll,
+                                   2, 0.1));
+}
+
+TEST(AccuracyTest, SatisfiesApproxTopKAllowsEpsilonSlack) {
+  // Returned item 2 (score 2.0) in place of item 0 (score 3.0) passes
+  // only when eps is generous enough: 2.0 >= (1-eps)*3.0 <=> eps >= 1/3.
+  EXPECT_FALSE(SatisfiesApproxTopK(Items({3, 2}, {4.0, 2.0}), kScores, kAll,
+                                   2, 0.2));
+  EXPECT_TRUE(SatisfiesApproxTopK(Items({3, 2}, {4.0, 2.0}), kScores, kAll,
+                                  2, 0.4));
+}
+
+TEST(AccuracyTest, SatisfiesApproxTopKRequiresKItems) {
+  EXPECT_FALSE(SatisfiesApproxTopK(Items({3}), kScores, kAll, 2, 0.5));
+}
+
+TEST(AccuracyTest, SatisfiesApproxFilterBandSemantics) {
+  // eta = 2.0, eps = 0.2: must-include >= 2.4 (indices 0 and 3),
+  // must-exclude < 1.6 (indices 1 and 4); index 2 (score 2.0) is in-band
+  // and discretionary.
+  EXPECT_TRUE(
+      SatisfiesApproxFilter(Filter({0, 2, 3}), kScores, kAll, 2.0, 0.2));
+  EXPECT_TRUE(SatisfiesApproxFilter(Filter({0, 3}), kScores, kAll, 2.0, 0.2));
+  // Missing a must-include (3 -> 4.0).
+  EXPECT_FALSE(SatisfiesApproxFilter(Filter({0}), kScores, kAll, 2.0, 0.2));
+  // Including a must-exclude (1 -> 1.0).
+  EXPECT_FALSE(
+      SatisfiesApproxFilter(Filter({0, 1, 3}), kScores, kAll, 2.0, 0.2));
+}
+
+}  // namespace
+}  // namespace swope

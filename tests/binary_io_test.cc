@@ -1,0 +1,107 @@
+#include "src/table/binary_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/table/table_builder.h"
+
+namespace swope {
+namespace {
+
+Table SampleTable() {
+  auto builder = TableBuilder::Make({"name", "grade"});
+  EXPECT_TRUE(builder.ok());
+  EXPECT_TRUE(builder->AppendRow({"alice", "A"}).ok());
+  EXPECT_TRUE(builder->AppendRow({"bob", "B"}).ok());
+  EXPECT_TRUE(builder->AppendRow({"alice", "A"}).ok());
+  auto table = std::move(*builder).Finish();
+  EXPECT_TRUE(table.ok());
+  return std::move(table).value();
+}
+
+TEST(BinaryIoTest, RoundTripWithLabels) {
+  const Table original = SampleTable();
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteBinaryTable(original, buffer).ok());
+  auto loaded = ReadBinaryTable(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_rows(), 3u);
+  ASSERT_EQ(loaded->num_columns(), 2u);
+  for (size_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(loaded->column(c).name(), original.column(c).name());
+    EXPECT_EQ(loaded->column(c).support(), original.column(c).support());
+    EXPECT_EQ(loaded->column(c).codes(), original.column(c).codes());
+    EXPECT_EQ(loaded->column(c).labels(), original.column(c).labels());
+  }
+}
+
+TEST(BinaryIoTest, RoundTripWithoutLabels) {
+  auto column = Column::Make("x", 5, {4, 1, 3, 0, 0});
+  ASSERT_TRUE(column.ok());
+  auto original = Table::Make({std::move(column).value()});
+  ASSERT_TRUE(original.ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteBinaryTable(*original, buffer).ok());
+  auto loaded = ReadBinaryTable(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->column(0).has_labels());
+  EXPECT_EQ(loaded->column(0).codes(), original->column(0).codes());
+}
+
+TEST(BinaryIoTest, RoundTripEmptyTable) {
+  auto original = Table::Make({});
+  ASSERT_TRUE(original.ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteBinaryTable(*original, buffer).ok());
+  auto loaded = ReadBinaryTable(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_columns(), 0u);
+}
+
+TEST(BinaryIoTest, BadMagicIsCorruption) {
+  std::stringstream buffer("NOPE with some trailing bytes");
+  auto loaded = ReadBinaryTable(buffer);
+  EXPECT_TRUE(loaded.status().IsCorruption());
+}
+
+TEST(BinaryIoTest, TruncatedStreamIsCorruption) {
+  const Table original = SampleTable();
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteBinaryTable(original, buffer).ok());
+  const std::string bytes = buffer.str();
+  for (size_t cut : {size_t{4}, size_t{10}, bytes.size() - 3}) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    auto loaded = ReadBinaryTable(truncated);
+    EXPECT_TRUE(loaded.status().IsCorruption()) << "cut=" << cut;
+  }
+}
+
+TEST(BinaryIoTest, WrongVersionIsCorruption) {
+  const Table original = SampleTable();
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteBinaryTable(original, buffer).ok());
+  std::string bytes = buffer.str();
+  bytes[4] = 99;  // version field follows the 4-byte magic
+  std::stringstream bad(bytes);
+  EXPECT_TRUE(ReadBinaryTable(bad).status().IsCorruption());
+}
+
+TEST(BinaryIoTest, FileRoundTrip) {
+  const Table original = SampleTable();
+  const std::string path = testing::TempDir() + "/swope_binary_io_test.swpb";
+  ASSERT_TRUE(WriteBinaryTableFile(original, path).ok());
+  auto loaded = ReadBinaryTableFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_rows(), original.num_rows());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, MissingFileIsIOError) {
+  EXPECT_TRUE(
+      ReadBinaryTableFile("/no/such/file.swpb").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace swope

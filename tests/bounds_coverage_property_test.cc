@@ -1,0 +1,75 @@
+// Parameterized coverage sweep for the Lemma 3 confidence interval: for
+// every (distribution family, sample size) combination, the interval must
+// contain the true empirical entropy in far more than a 1 - p fraction of
+// random permutations (the bound is conservative, so observed coverage
+// should be essentially 1; we assert the contractual 1 - p).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/bounds.h"
+#include "src/core/entropy.h"
+#include "src/core/frequency_counter.h"
+#include "src/datagen/generator.h"
+#include "src/table/shuffle.h"
+
+namespace swope {
+namespace {
+
+struct CoverageCase {
+  std::string name;
+  ColumnSpec spec;
+  uint64_t sample_size;
+};
+
+class BoundsCoverageTest : public testing::TestWithParam<CoverageCase> {};
+
+TEST_P(BoundsCoverageTest, IntervalCoversEmpiricalEntropy) {
+  const CoverageCase& param = GetParam();
+  constexpr uint64_t kRows = 16384;
+  constexpr double kP = 0.1;
+  constexpr int kTrials = 120;
+
+  auto column = GenerateColumn(param.spec, kRows, 101);
+  ASSERT_TRUE(column.ok());
+  const double truth = ExactEntropy(*column);
+
+  int misses = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto order = ShuffledRowOrder(kRows, 9000 + trial);
+    FrequencyCounter counter(column->support());
+    counter.AddRows(*column, order, 0, param.sample_size);
+    const EntropyInterval interval =
+        MakeEntropyInterval(counter.SampleEntropy(), column->support(),
+                            kRows, param.sample_size, kP);
+    EXPECT_LE(interval.lower, interval.upper);
+    if (truth < interval.lower - 1e-12 || truth > interval.upper + 1e-12) {
+      ++misses;
+    }
+  }
+  EXPECT_LE(misses, static_cast<int>(kTrials * kP))
+      << param.name << " truth=" << truth;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BoundsCoverageTest,
+    testing::Values(
+        CoverageCase{"uniform_small_m", ColumnSpec::Uniform("u", 16), 256},
+        CoverageCase{"uniform_large_m", ColumnSpec::Uniform("u", 16), 8192},
+        CoverageCase{"zipf_small_m", ColumnSpec::Zipf("z", 200, 1.1), 256},
+        CoverageCase{"zipf_large_m", ColumnSpec::Zipf("z", 200, 1.1), 8192},
+        CoverageCase{"geometric", ColumnSpec::Geometric("g", 40, 0.25),
+                     1024},
+        CoverageCase{"two_level", ColumnSpec::TwoLevel("t", 20, 0.95),
+                     1024},
+        CoverageCase{"near_constant",
+                     ColumnSpec::EntropyTargeted("e", 100, 0.1), 1024},
+        CoverageCase{"high_entropy",
+                     ColumnSpec::EntropyTargeted("e", 512, 8.5), 4096}),
+    [](const testing::TestParamInfo<CoverageCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace swope

@@ -1,0 +1,240 @@
+#include "src/core/bounds.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/entropy.h"
+#include "src/core/frequency_counter.h"
+#include "src/datagen/generator.h"
+#include "src/table/shuffle.h"
+
+namespace swope {
+namespace {
+
+TEST(BoundsTest, SwapSensitivityMatchesFormula) {
+  for (uint64_t m : {2ULL, 10ULL, 1000ULL}) {
+    const double md = static_cast<double>(m);
+    const double expected =
+        std::log2(md / (md - 1.0)) + std::log2(md - 1.0) / md;
+    EXPECT_NEAR(EntropySwapSensitivity(m), expected, 1e-12);
+  }
+  EXPECT_TRUE(std::isinf(EntropySwapSensitivity(1)));
+  EXPECT_TRUE(std::isinf(EntropySwapSensitivity(0)));
+}
+
+TEST(BoundsTest, SwapSensitivityBelowKnownUpperBound) {
+  // The paper uses beta < 2*log2(M)/M (for M >= 3).
+  for (uint64_t m : {3ULL, 8ULL, 100ULL, 100000ULL}) {
+    const double md = static_cast<double>(m);
+    EXPECT_LT(EntropySwapSensitivity(m), 2.0 * std::log2(md) / md);
+  }
+}
+
+TEST(BoundsTest, LambdaZeroWhenSampleIsDataset) {
+  EXPECT_EQ(PermutationLambda(1000, 1000, 0.01), 0.0);
+  EXPECT_EQ(PermutationLambda(1000, 2000, 0.01), 0.0);
+}
+
+TEST(BoundsTest, LambdaInfiniteForDegenerateInputs) {
+  EXPECT_TRUE(std::isinf(PermutationLambda(1000, 1, 0.01)));
+  EXPECT_TRUE(std::isinf(PermutationLambda(1000, 10, 0.0)));
+  EXPECT_TRUE(std::isinf(PermutationLambda(1000, 10, 1.5)));
+}
+
+TEST(BoundsTest, LambdaDecreasesWithSampleSize) {
+  const uint64_t n = 1u << 20;
+  double previous = PermutationLambda(n, 64, 0.01);
+  for (uint64_t m = 128; m < n; m *= 2) {
+    const double current = PermutationLambda(n, m, 0.01);
+    EXPECT_LT(current, previous) << "m " << m;
+    previous = current;
+  }
+}
+
+TEST(BoundsTest, LambdaGrowsAsPShrinks) {
+  EXPECT_LT(PermutationLambda(100000, 1000, 0.1),
+            PermutationLambda(100000, 1000, 0.001));
+}
+
+TEST(BoundsTest, BiasBoundFormulaAndEdges) {
+  // u=11, n=101, m=50: b = log2(1 + 10*51/(50*100)).
+  EXPECT_NEAR(BiasBound(11, 101, 50), std::log2(1.0 + 510.0 / 5000.0),
+              1e-12);
+  EXPECT_EQ(BiasBound(100, 1000, 1000), 0.0);
+  EXPECT_EQ(BiasBound(100, 1, 1), 0.0);
+  EXPECT_TRUE(std::isinf(BiasBound(100, 10, 0)));
+}
+
+TEST(BoundsTest, BiasBoundDecreasesWithSampleSize) {
+  double previous = BiasBound(50, 100000, 16);
+  for (uint64_t m = 32; m < 100000; m *= 2) {
+    const double current = BiasBound(50, 100000, m);
+    EXPECT_LT(current, previous);
+    previous = current;
+  }
+}
+
+TEST(BoundsTest, BiasBoundGrowsWithSupport) {
+  EXPECT_LT(BiasBound(5, 10000, 100), BiasBound(500, 10000, 100));
+  EXPECT_EQ(BiasBound(1, 10000, 100), 0.0);  // single value: no bias
+}
+
+TEST(BoundsTest, IntervalOrderedAndClamped) {
+  const EntropyInterval interval = MakeEntropyInterval(1.5, 8, 100000, 512,
+                                                       0.01);
+  EXPECT_LE(interval.lower, interval.upper);
+  EXPECT_GE(interval.lower, 0.0);
+  EXPECT_LE(interval.upper, 3.0);  // log2(8)
+  EXPECT_GT(interval.lambda, 0.0);
+  EXPECT_GT(interval.bias, 0.0);
+  EXPECT_DOUBLE_EQ(interval.sample_entropy, 1.5);
+  EXPECT_NEAR(interval.Estimate(), 0.5 * (interval.lower + interval.upper),
+              1e-15);
+  EXPECT_NEAR(interval.Width(), interval.upper - interval.lower, 1e-15);
+}
+
+TEST(BoundsTest, IntervalExactAtFullSample) {
+  const EntropyInterval interval = MakeEntropyInterval(2.2, 100, 5000, 5000,
+                                                       0.01);
+  EXPECT_DOUBLE_EQ(interval.lower, 2.2);
+  EXPECT_DOUBLE_EQ(interval.upper, 2.2);
+  EXPECT_EQ(interval.lambda, 0.0);
+  EXPECT_EQ(interval.bias, 0.0);
+}
+
+TEST(BoundsTest, IntervalSupportCapRespectsRowCount) {
+  // Joint support bound u1*u2 may exceed n; the cap must use min(u, n).
+  const EntropyInterval interval =
+      MakeEntropyInterval(3.0, 1ULL << 40, 1024, 512, 0.01);
+  EXPECT_LE(interval.upper, 10.0 + 1e-12);  // log2(1024)
+}
+
+TEST(BoundsTest, MiIntervalComposition) {
+  EntropyInterval t{1.0, 1.4, 0.1, 0.2, 1.1};
+  EntropyInterval a{0.8, 1.3, 0.1, 0.3, 0.9};
+  EntropyInterval j{1.5, 2.0, 0.1, 0.3, 1.6};
+  const MiInterval mi = MakeMiInterval(t, a, j);
+  // Raw lower = 1.0 + 0.8 - 2.0 = -0.2, clamped to 0 (MI is non-negative).
+  EXPECT_DOUBLE_EQ(mi.lower, 0.0);
+  EXPECT_NEAR(mi.upper, 1.4 + 1.3 - 1.5, 1e-12);
+  EXPECT_NEAR(mi.slack, 6 * 0.1 + 0.2 + 0.3 + 0.3, 1e-12);
+}
+
+TEST(BoundsTest, MiIntervalNeverInverted) {
+  EntropyInterval t{0.0, 0.1, 0.05, 0.0, 0.05};
+  EntropyInterval a{0.0, 0.1, 0.05, 0.0, 0.05};
+  EntropyInterval j{3.0, 3.2, 0.05, 0.1, 3.1};
+  const MiInterval mi = MakeMiInterval(t, a, j);
+  EXPECT_LE(mi.lower, mi.upper);
+  EXPECT_GE(mi.lower, 0.0);
+}
+
+TEST(BoundsTest, M0MatchesPaperFormulaShape) {
+  const uint64_t n = 1u << 20;
+  const uint64_t m0 = ComputeM0(n, 100, 1.0 / n, 1000);
+  EXPECT_GE(m0, kMinSampleSize);
+  EXPECT_LT(m0, n);
+  // Larger u_max -> smaller M0.
+  EXPECT_GE(ComputeM0(n, 100, 1.0 / n, 4), m0);
+  // Smaller failure probability -> larger M0.
+  EXPECT_GE(ComputeM0(n, 100, 1e-12, 1000), m0);
+}
+
+TEST(BoundsTest, M0ClampedToN) {
+  EXPECT_LE(ComputeM0(100, 100, 1e-9, 2), 100u);
+  EXPECT_EQ(ComputeM0(0, 10, 0.01, 10), 0u);
+}
+
+TEST(BoundsTest, MaxIterationsSchedule) {
+  EXPECT_EQ(MaxIterations(1024, 1024), 1u);
+  EXPECT_EQ(MaxIterations(1024, 2048), 1u);
+  EXPECT_EQ(MaxIterations(1024, 512), 2u);
+  EXPECT_EQ(MaxIterations(1024, 1), 11u);
+  EXPECT_EQ(MaxIterations(1000, 0), 1u);
+}
+
+TEST(BoundsTest, LambdaNearFullSampleIsTiny) {
+  // One record short of the full dataset: the finite-population factor
+  // (N - M) collapses the half-width.
+  const double lambda = PermutationLambda(100000, 99999, 0.01);
+  EXPECT_GT(lambda, 0.0);
+  EXPECT_LT(lambda, 0.01);
+}
+
+TEST(BoundsTest, IntervalWidthMonotoneInP) {
+  // Smaller failure budget -> wider interval, all else equal.
+  const EntropyInterval loose = MakeEntropyInterval(3.0, 64, 100000, 2048,
+                                                    0.1);
+  const EntropyInterval tight = MakeEntropyInterval(3.0, 64, 100000, 2048,
+                                                    1e-9);
+  EXPECT_LT(loose.Width(), tight.Width());
+}
+
+TEST(BoundsTest, JointIntervalCoversTruthEmpirically) {
+  // Same coverage property, for the joint entropy with the worst-case
+  // support bound u_bar = u1 * u2 that Algorithm 3 uses.
+  constexpr uint64_t kRows = 20000;
+  constexpr uint64_t kSample = 2048;
+  constexpr double kP = 0.1;
+  auto a = GenerateColumn(ColumnSpec::Uniform("a", 12), kRows, 31);
+  auto b = GenerateColumn(ColumnSpec::Zipf("b", 8, 0.8), kRows, 32);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto truth = ExactJointEntropy(*a, *b);
+  ASSERT_TRUE(truth.ok());
+
+  int misses = 0;
+  constexpr int kTrials = 100;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto order = ShuffledRowOrder(kRows, 5000 + trial);
+    double sum = 0.0;
+    std::vector<uint64_t> counts(12 * 8, 0);
+    for (uint64_t i = 0; i < kSample; ++i) {
+      const uint32_t row = order[i];
+      ++counts[a->code(row) * 8 + b->code(row)];
+    }
+    for (uint64_t c : counts) {
+      if (c > 1) sum += c * std::log2(static_cast<double>(c));
+    }
+    const double sample_entropy =
+        std::log2(static_cast<double>(kSample)) - sum / kSample;
+    const EntropyInterval interval =
+        MakeEntropyInterval(sample_entropy, 12 * 8, kRows, kSample, kP);
+    if (*truth < interval.lower - 1e-12 ||
+        *truth > interval.upper + 1e-12) {
+      ++misses;
+    }
+  }
+  EXPECT_LE(misses, static_cast<int>(kTrials * kP));
+}
+
+// Empirical coverage: the Lemma 3 interval must contain the true empirical
+// entropy much more often than 1 - p.
+TEST(BoundsTest, IntervalCoversTruthEmpirically) {
+  constexpr uint64_t kRows = 20000;
+  constexpr uint64_t kSample = 1024;
+  constexpr double kP = 0.1;
+  auto column = GenerateColumn(ColumnSpec::Zipf("z", 32, 1.0), kRows, 21);
+  ASSERT_TRUE(column.ok());
+  const double truth = ExactEntropy(*column);
+
+  int misses = 0;
+  constexpr int kTrials = 200;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto order = ShuffledRowOrder(kRows, 1000 + trial);
+    FrequencyCounter counter(32);
+    counter.AddRows(*column, order, 0, kSample);
+    const EntropyInterval interval = MakeEntropyInterval(
+        counter.SampleEntropy(), 32, kRows, kSample, kP);
+    if (truth < interval.lower - 1e-12 || truth > interval.upper + 1e-12) {
+      ++misses;
+    }
+  }
+  // Expected miss rate is well below p = 0.1 (the bound is conservative);
+  // allow p itself as the ceiling.
+  EXPECT_LE(misses, static_cast<int>(kTrials * kP));
+}
+
+}  // namespace
+}  // namespace swope

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for swope_cli; invoked by ctest with the binary
+# path as $1.
+set -eu
+CLI="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() { echo "cli_smoke: $1" >&2; exit 1; }
+
+# help exits 0 and mentions every command
+"$CLI" help | grep -q "mi-filter" || fail "help missing mi-filter"
+
+# unknown command exits non-zero
+if "$CLI" frobnicate 2>/dev/null; then fail "unknown command accepted"; fi
+
+# generate a small binary dataset
+"$CLI" gen --preset=cdc --rows=5000 --seed=3 --out="$TMP/d.swpb" \
+  | grep -q "wrote 5000 x 100" || fail "gen binary"
+
+# and a CSV flavor
+"$CLI" gen --preset=hus --rows=500 --seed=3 --out="$TMP/d.csv" \
+  | grep -q "wrote 500 x 107" || fail "gen csv"
+
+# info prints the shape
+"$CLI" info --in="$TMP/d.swpb" | grep -q "rows:    5000" || fail "info rows"
+
+# approximate and exact queries run and report attributes
+"$CLI" topk --in="$TMP/d.swpb" --k=3 | grep -q -- "-- 3 attributes" \
+  || fail "topk"
+"$CLI" topk --in="$TMP/d.swpb" --k=3 --exact | grep -q -- "-- 3 attributes" \
+  || fail "exact topk"
+"$CLI" filter --in="$TMP/d.swpb" --eta=2.0 | grep -q "attributes," \
+  || fail "filter"
+"$CLI" mi-topk --in="$TMP/d.swpb" --target=cdc_a0 --k=2 \
+  | grep -q -- "-- 2 attributes" || fail "mi-topk by name"
+"$CLI" mi-topk --in="$TMP/d.swpb" --target=5 --k=2 --exact \
+  | grep -q -- "-- 2 attributes" || fail "mi-topk by index"
+"$CLI" nmi-topk --in="$TMP/d.swpb" --target=5 --k=2 \
+  | grep -q -- "-- 2 attributes" || fail "nmi-topk"
+"$CLI" mi-filter --in="$TMP/d.swpb" --target=5 --eta=0.1 \
+  | grep -q "attributes," || fail "mi-filter"
+
+# CSV input path works end to end
+"$CLI" topk --in="$TMP/d.csv" --k=2 | grep -q -- "-- 2 attributes" \
+  || fail "csv topk"
+
+# missing file is a clean error
+if "$CLI" topk --in="$TMP/nope.swpb" --k=1 2>/dev/null; then
+  fail "missing file accepted"
+fi
+
+# bad target is a clean error
+if "$CLI" mi-topk --in="$TMP/d.swpb" --target=zzz --k=1 2>/dev/null; then
+  fail "bad target accepted"
+fi
+
+echo "cli_smoke: OK"

@@ -1,0 +1,82 @@
+#include "src/table/column.h"
+
+#include <gtest/gtest.h>
+
+namespace swope {
+namespace {
+
+TEST(ColumnTest, MakeValidColumn) {
+  auto column = Column::Make("age", 3, {0, 1, 2, 1, 0});
+  ASSERT_TRUE(column.ok());
+  EXPECT_EQ(column->name(), "age");
+  EXPECT_EQ(column->support(), 3u);
+  EXPECT_EQ(column->size(), 5u);
+  EXPECT_FALSE(column->empty());
+  EXPECT_EQ(column->code(0), 0u);
+  EXPECT_EQ(column->code(4), 0u);
+}
+
+TEST(ColumnTest, MakeRejectsCodeOutOfRange) {
+  auto column = Column::Make("x", 2, {0, 1, 2});
+  EXPECT_FALSE(column.ok());
+  EXPECT_TRUE(column.status().IsInvalidArgument());
+}
+
+TEST(ColumnTest, MakeRejectsZeroSupportWithCodes) {
+  auto column = Column::Make("x", 0, {0});
+  EXPECT_FALSE(column.ok());
+}
+
+TEST(ColumnTest, MakeAllowsEmptyColumn) {
+  auto column = Column::Make("x", 0, {});
+  ASSERT_TRUE(column.ok());
+  EXPECT_TRUE(column->empty());
+  EXPECT_EQ(column->support(), 0u);
+}
+
+TEST(ColumnTest, MakeRejectsLabelCountMismatch) {
+  auto column = Column::Make("x", 3, {0, 1}, {"a", "b"});
+  EXPECT_FALSE(column.ok());
+  EXPECT_TRUE(column.status().IsInvalidArgument());
+}
+
+TEST(ColumnTest, LabelsRoundTrip) {
+  auto column = Column::Make("color", 2, {1, 0}, {"red", "blue"});
+  ASSERT_TRUE(column.ok());
+  EXPECT_TRUE(column->has_labels());
+  EXPECT_EQ(column->LabelOf(0), "red");
+  EXPECT_EQ(column->LabelOf(1), "blue");
+}
+
+TEST(ColumnTest, LabelOfFallsBackToCode) {
+  auto column = Column::Make("x", 3, {0, 1, 2});
+  ASSERT_TRUE(column.ok());
+  EXPECT_FALSE(column->has_labels());
+  EXPECT_EQ(column->LabelOf(2), "2");
+}
+
+TEST(ColumnTest, FromCodesInfersSupport) {
+  const Column column = Column::FromCodes("x", {4, 0, 2});
+  EXPECT_EQ(column.support(), 5u);
+  EXPECT_EQ(column.size(), 3u);
+}
+
+TEST(ColumnTest, FromCodesEmpty) {
+  const Column column = Column::FromCodes("x", {});
+  EXPECT_EQ(column.support(), 0u);
+  EXPECT_TRUE(column.empty());
+}
+
+TEST(ColumnTest, ValueCountsSumToSize) {
+  auto column = Column::Make("x", 4, {0, 1, 1, 3, 3, 3});
+  ASSERT_TRUE(column.ok());
+  const auto counts = column->ValueCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 3u);
+}
+
+}  // namespace
+}  // namespace swope

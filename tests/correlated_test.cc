@@ -1,0 +1,126 @@
+#include "src/datagen/correlated.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/entropy.h"
+
+namespace swope {
+namespace {
+
+TEST(CorrelatedTest, PairShapeAndDeterminism) {
+  CorrelatedPairSpec spec;
+  spec.x_dist = CategoricalDistribution::Uniform(8);
+  spec.y_noise = CategoricalDistribution::Uniform(8);
+  spec.rho = 0.5;
+  auto pair = GenerateCorrelatedPair(spec, 5000, 3);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(pair->first.size(), 5000u);
+  EXPECT_EQ(pair->second.size(), 5000u);
+  EXPECT_EQ(pair->first.name(), "x");
+  EXPECT_EQ(pair->second.name(), "y");
+
+  auto again = GenerateCorrelatedPair(spec, 5000, 3);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(pair->first.codes(), again->first.codes());
+  EXPECT_EQ(pair->second.codes(), again->second.codes());
+}
+
+TEST(CorrelatedTest, RejectsBadRho) {
+  CorrelatedPairSpec spec;
+  spec.rho = 1.5;
+  EXPECT_FALSE(GenerateCorrelatedPair(spec, 10, 1).ok());
+  spec.rho = -0.1;
+  EXPECT_FALSE(GenerateCorrelatedPair(spec, 10, 1).ok());
+}
+
+TEST(CorrelatedTest, RhoZeroGivesNearZeroMi) {
+  CorrelatedPairSpec spec;
+  spec.x_dist = CategoricalDistribution::Uniform(4);
+  spec.y_noise = CategoricalDistribution::Uniform(4);
+  spec.rho = 0.0;
+  auto pair = GenerateCorrelatedPair(spec, 100000, 7);
+  ASSERT_TRUE(pair.ok());
+  auto mi = ExactMutualInformation(pair->first, pair->second);
+  ASSERT_TRUE(mi.ok());
+  EXPECT_LT(*mi, 0.01);
+}
+
+TEST(CorrelatedTest, RhoOneMakesYDeterministic) {
+  CorrelatedPairSpec spec;
+  spec.x_dist = CategoricalDistribution::Uniform(4);
+  spec.y_noise = CategoricalDistribution::Uniform(4);
+  spec.rho = 1.0;
+  auto pair = GenerateCorrelatedPair(spec, 50000, 7);
+  ASSERT_TRUE(pair.ok());
+  auto mi = ExactMutualInformation(pair->first, pair->second);
+  ASSERT_TRUE(mi.ok());
+  // Y == X, so I(X;Y) = H(X) ~ 2 bits.
+  EXPECT_NEAR(*mi, ExactEntropy(pair->first), 1e-9);
+  EXPECT_NEAR(*mi, 2.0, 0.05);
+}
+
+TEST(CorrelatedTest, MiIsMonotoneInRho) {
+  double previous = -1.0;
+  for (double rho : {0.0, 0.3, 0.6, 0.9}) {
+    CorrelatedPairSpec spec;
+    spec.x_dist = CategoricalDistribution::Uniform(8);
+    spec.y_noise = CategoricalDistribution::Uniform(8);
+    spec.rho = rho;
+    auto pair = GenerateCorrelatedPair(spec, 80000, 13);
+    ASSERT_TRUE(pair.ok());
+    auto mi = ExactMutualInformation(pair->first, pair->second);
+    ASSERT_TRUE(mi.ok());
+    EXPECT_GT(*mi, previous) << "rho " << rho;
+    previous = *mi;
+  }
+}
+
+TEST(CorrelatedTest, ModuloMappingRespectsSmallerYSupport) {
+  CorrelatedPairSpec spec;
+  spec.x_dist = CategoricalDistribution::Uniform(10);
+  spec.y_noise = CategoricalDistribution::Uniform(3);
+  spec.rho = 1.0;
+  auto pair = GenerateCorrelatedPair(spec, 1000, 1);
+  ASSERT_TRUE(pair.ok());
+  for (uint64_t r = 0; r < pair->second.size(); ++r) {
+    ASSERT_LT(pair->second.code(r), 3u);
+    EXPECT_EQ(pair->second.code(r), pair->first.code(r) % 3);
+  }
+}
+
+TEST(CorrelatedTest, TargetWithCorrelatesShapes) {
+  const auto target_dist = CategoricalDistribution::Uniform(16);
+  std::vector<CategoricalDistribution> noise = {
+      CategoricalDistribution::Uniform(16),
+      CategoricalDistribution::Uniform(8),
+      CategoricalDistribution::Zipf(32, 1.0)};
+  auto columns = GenerateTargetWithCorrelates(
+      target_dist, "t", noise, {"c0", "c1", "c2"}, {0.0, 0.5, 0.9}, 30000, 5);
+  ASSERT_TRUE(columns.ok());
+  ASSERT_EQ(columns->size(), 4u);
+  EXPECT_EQ((*columns)[0].name(), "t");
+  EXPECT_EQ((*columns)[1].name(), "c0");
+
+  // MI against the target should grow with rho.
+  auto mi_low = ExactMutualInformation((*columns)[0], (*columns)[1]);
+  auto mi_mid = ExactMutualInformation((*columns)[0], (*columns)[2]);
+  auto mi_high = ExactMutualInformation((*columns)[0], (*columns)[3]);
+  ASSERT_TRUE(mi_low.ok());
+  ASSERT_TRUE(mi_mid.ok());
+  ASSERT_TRUE(mi_high.ok());
+  EXPECT_LT(*mi_low, *mi_mid);
+  EXPECT_LT(*mi_mid, *mi_high);
+}
+
+TEST(CorrelatedTest, TargetWithCorrelatesRejectsSizeMismatch) {
+  const auto dist = CategoricalDistribution::Uniform(4);
+  EXPECT_FALSE(GenerateTargetWithCorrelates(dist, "t", {dist}, {"a", "b"},
+                                            {0.5}, 100, 1)
+                   .ok());
+  EXPECT_FALSE(
+      GenerateTargetWithCorrelates(dist, "t", {dist}, {"a"}, {1.5}, 100, 1)
+          .ok());
+}
+
+}  // namespace
+}  // namespace swope

@@ -1,0 +1,130 @@
+#include "src/table/csv_reader.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace swope {
+namespace {
+
+Result<Table> Parse(const std::string& text, CsvOptions options = {}) {
+  std::istringstream stream(text);
+  return ReadCsv(stream, options);
+}
+
+TEST(CsvReaderTest, SimpleWithHeader) {
+  auto table = Parse("a,b\n1,x\n2,y\n1,x\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_rows(), 3u);
+  EXPECT_EQ(table->num_columns(), 2u);
+  EXPECT_EQ(table->column(0).name(), "a");
+  EXPECT_EQ(table->column(0).support(), 2u);
+  EXPECT_EQ(table->column(0).code(0), table->column(0).code(2));
+}
+
+TEST(CsvReaderTest, NoTrailingNewline) {
+  auto table = Parse("a,b\n1,x\n2,y");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+}
+
+TEST(CsvReaderTest, CrlfLineEndings) {
+  auto table = Parse("a,b\r\n1,x\r\n2,y\r\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->column(1).LabelOf(table->column(1).code(0)), "x");
+}
+
+TEST(CsvReaderTest, QuotedFieldsWithDelimiterAndNewline) {
+  auto table = Parse("a,b\n\"hello, world\",\"line1\nline2\"\nplain,z\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+  const Column& a = table->column(0);
+  EXPECT_EQ(a.LabelOf(a.code(0)), "hello, world");
+  const Column& b = table->column(1);
+  EXPECT_EQ(b.LabelOf(b.code(0)), "line1\nline2");
+}
+
+TEST(CsvReaderTest, DoubledQuoteEscape) {
+  auto table = Parse("a\n\"she said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(table.ok());
+  const Column& a = table->column(0);
+  EXPECT_EQ(a.LabelOf(a.code(0)), "she said \"hi\"");
+}
+
+TEST(CsvReaderTest, EmptyFields) {
+  auto table = Parse("a,b,c\n,,\n1,,2\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+  const Column& b = table->column(1);
+  EXPECT_EQ(b.support(), 1u);  // both rows empty in b
+}
+
+TEST(CsvReaderTest, NoHeaderNamesColumns) {
+  CsvOptions options;
+  options.has_header = false;
+  auto table = Parse("1,x\n2,y\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->column(0).name(), "c0");
+  EXPECT_EQ(table->column(1).name(), "c1");
+}
+
+TEST(CsvReaderTest, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = ';';
+  auto table = Parse("a;b\n1;2\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_columns(), 2u);
+}
+
+TEST(CsvReaderTest, MaxRowsTruncates) {
+  CsvOptions options;
+  options.max_rows = 2;
+  auto table = Parse("a\n1\n2\n3\n4\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+}
+
+TEST(CsvReaderTest, RaggedRecordIsCorruption) {
+  auto table = Parse("a,b\n1,2\n3\n");
+  EXPECT_FALSE(table.ok());
+  EXPECT_TRUE(table.status().IsCorruption());
+}
+
+TEST(CsvReaderTest, UnterminatedQuoteIsCorruption) {
+  auto table = Parse("a\n\"oops\n");
+  EXPECT_FALSE(table.ok());
+  EXPECT_TRUE(table.status().IsCorruption());
+}
+
+TEST(CsvReaderTest, QuoteInsideUnquotedFieldIsCorruption) {
+  auto table = Parse("a\nab\"c\n");
+  EXPECT_FALSE(table.ok());
+  EXPECT_TRUE(table.status().IsCorruption());
+}
+
+TEST(CsvReaderTest, EmptyInputIsCorruption) {
+  EXPECT_TRUE(Parse("").status().IsCorruption());
+}
+
+TEST(CsvReaderTest, HeaderOnlyGivesZeroRows) {
+  auto table = Parse("a,b\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 0u);
+  EXPECT_EQ(table->num_columns(), 2u);
+}
+
+TEST(CsvReaderTest, InvalidDelimiterRejected) {
+  CsvOptions options;
+  options.delimiter = '"';
+  EXPECT_TRUE(Parse("a\n1\n", options).status().IsInvalidArgument());
+}
+
+TEST(CsvReaderTest, MissingFileIsIOError) {
+  auto table = ReadCsvFile("/nonexistent/definitely/not/here.csv");
+  EXPECT_TRUE(table.status().IsIOError());
+}
+
+}  // namespace
+}  // namespace swope

@@ -1,0 +1,99 @@
+#include "src/table/csv_writer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/table/csv_reader.h"
+#include "src/table/table_builder.h"
+
+namespace swope {
+namespace {
+
+Table BuildTable(const std::vector<std::string>& names,
+                 const std::vector<std::vector<std::string>>& rows) {
+  auto builder = TableBuilder::Make(names);
+  EXPECT_TRUE(builder.ok());
+  for (const auto& row : rows) {
+    EXPECT_TRUE(builder->AppendRow(row).ok());
+  }
+  auto table = std::move(*builder).Finish();
+  EXPECT_TRUE(table.ok());
+  return std::move(table).value();
+}
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  const Table table = BuildTable({"a", "b"}, {{"1", "x"}, {"2", "y"}});
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(table, out).ok());
+  EXPECT_EQ(out.str(), "a,b\n1,x\n2,y\n");
+}
+
+TEST(CsvWriterTest, OmitsHeaderWhenAsked) {
+  const Table table = BuildTable({"a"}, {{"1"}});
+  std::ostringstream out;
+  CsvWriteOptions options;
+  options.write_header = false;
+  ASSERT_TRUE(WriteCsv(table, out, options).ok());
+  EXPECT_EQ(out.str(), "1\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  const Table table =
+      BuildTable({"a"}, {{"has,comma"}, {"has\"quote"}, {"has\nnewline"}});
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(table, out).ok());
+  EXPECT_EQ(out.str(),
+            "a\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
+TEST(CsvWriterTest, RoundTripPreservesValues) {
+  const Table original = BuildTable(
+      {"name", "flag"},
+      {{"alice", "y"}, {"bob,jr", "n"}, {"carol \"cc\"", "y"}, {"", "n"}});
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(original, out).ok());
+
+  std::istringstream in(out.str());
+  auto parsed = ReadCsv(in);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->num_rows(), original.num_rows());
+  ASSERT_EQ(parsed->num_columns(), original.num_columns());
+  for (size_t c = 0; c < original.num_columns(); ++c) {
+    for (uint64_t r = 0; r < original.num_rows(); ++r) {
+      EXPECT_EQ(parsed->column(c).LabelOf(parsed->column(c).code(r)),
+                original.column(c).LabelOf(original.column(c).code(r)))
+          << "cell (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(CsvWriterTest, UnlabeledColumnsWriteCodes) {
+  auto column = Column::Make("x", 3, {2, 0, 1});
+  ASSERT_TRUE(column.ok());
+  auto table = Table::Make({std::move(column).value()});
+  ASSERT_TRUE(table.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(*table, out).ok());
+  EXPECT_EQ(out.str(), "x\n2\n0\n1\n");
+}
+
+TEST(CsvWriterTest, CustomDelimiter) {
+  const Table table = BuildTable({"a", "b"}, {{"1", "2"}});
+  std::ostringstream out;
+  CsvWriteOptions options;
+  options.delimiter = '\t';
+  ASSERT_TRUE(WriteCsv(table, out, options).ok());
+  EXPECT_EQ(out.str(), "a\tb\n1\t2\n");
+}
+
+TEST(CsvWriterTest, InvalidDelimiterRejected) {
+  const Table table = BuildTable({"a"}, {{"1"}});
+  std::ostringstream out;
+  CsvWriteOptions options;
+  options.delimiter = '\n';
+  EXPECT_TRUE(WriteCsv(table, out, options).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace swope

@@ -1,0 +1,118 @@
+#include "src/datagen/distributions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/math.h"
+
+namespace swope {
+namespace {
+
+TEST(DistributionsTest, UniformPmfAndEntropy) {
+  const auto dist = CategoricalDistribution::Uniform(8);
+  EXPECT_EQ(dist.support(), 8u);
+  for (double p : dist.pmf()) EXPECT_NEAR(p, 0.125, 1e-12);
+  EXPECT_NEAR(dist.Entropy(), 3.0, 1e-12);
+}
+
+TEST(DistributionsTest, FromWeightsNormalizes) {
+  auto dist = CategoricalDistribution::FromWeights({1.0, 3.0});
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR(dist->pmf()[0], 0.25, 1e-12);
+  EXPECT_NEAR(dist->pmf()[1], 0.75, 1e-12);
+}
+
+TEST(DistributionsTest, FromWeightsRejectsBadInput) {
+  EXPECT_FALSE(CategoricalDistribution::FromWeights({}).ok());
+  EXPECT_FALSE(CategoricalDistribution::FromWeights({1.0, -0.5}).ok());
+  EXPECT_FALSE(CategoricalDistribution::FromWeights({0.0, 0.0}).ok());
+  EXPECT_FALSE(
+      CategoricalDistribution::FromWeights({1.0, std::nan("")}).ok());
+}
+
+TEST(DistributionsTest, ZipfIsDecreasingAndZipfZeroIsUniform) {
+  const auto zipf = CategoricalDistribution::Zipf(10, 1.0);
+  for (uint32_t i = 1; i < 10; ++i) {
+    EXPECT_GT(zipf.pmf()[i - 1], zipf.pmf()[i]);
+  }
+  const auto flat = CategoricalDistribution::Zipf(10, 0.0);
+  for (double p : flat.pmf()) EXPECT_NEAR(p, 0.1, 1e-12);
+}
+
+TEST(DistributionsTest, ZipfRatioMatchesExponent) {
+  const auto zipf = CategoricalDistribution::Zipf(4, 2.0);
+  EXPECT_NEAR(zipf.pmf()[0] / zipf.pmf()[1], 4.0, 1e-9);
+  EXPECT_NEAR(zipf.pmf()[0] / zipf.pmf()[3], 16.0, 1e-9);
+}
+
+TEST(DistributionsTest, GeometricDecays) {
+  const auto geo = CategoricalDistribution::Geometric(6, 0.5);
+  for (uint32_t i = 1; i < 6; ++i) {
+    EXPECT_NEAR(geo.pmf()[i] / geo.pmf()[i - 1], 0.5, 1e-9);
+  }
+}
+
+TEST(DistributionsTest, TwoLevelHeadMass) {
+  const auto two = CategoricalDistribution::TwoLevel(5, 0.8);
+  EXPECT_NEAR(two.pmf()[0], 0.8, 1e-12);
+  for (uint32_t i = 1; i < 5; ++i) EXPECT_NEAR(two.pmf()[i], 0.05, 1e-12);
+}
+
+TEST(DistributionsTest, TwoLevelSingleValue) {
+  const auto one = CategoricalDistribution::TwoLevel(1, 0.8);
+  EXPECT_EQ(one.support(), 1u);
+  EXPECT_NEAR(one.pmf()[0], 1.0, 1e-12);
+}
+
+TEST(DistributionsTest, EntropyTargetedHitsTarget) {
+  for (double target : {0.1, 0.5, 1.0, 2.5, 4.0, 6.0}) {
+    const auto dist = CategoricalDistribution::EntropyTargeted(100, target);
+    EXPECT_NEAR(dist.Entropy(), target, 1e-6) << "target " << target;
+  }
+}
+
+TEST(DistributionsTest, EntropyTargetedClampsToRange) {
+  const auto low = CategoricalDistribution::EntropyTargeted(16, -1.0);
+  EXPECT_NEAR(low.Entropy(), 0.0, 1e-9);
+  const auto high = CategoricalDistribution::EntropyTargeted(16, 99.0);
+  EXPECT_NEAR(high.Entropy(), 4.0, 1e-9);
+}
+
+TEST(DistributionsTest, SampleStaysInSupport) {
+  const auto dist = CategoricalDistribution::Zipf(7, 1.2);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(dist.Sample(rng), 7u);
+}
+
+TEST(DistributionsTest, SampleFrequenciesMatchPmf) {
+  const auto dist = CategoricalDistribution::Zipf(5, 1.0);
+  Rng rng(9);
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[dist.Sample(rng)];
+  for (uint32_t v = 0; v < 5; ++v) {
+    const double expected = dist.pmf()[v] * kDraws;
+    EXPECT_NEAR(counts[v], expected, 5 * std::sqrt(expected) + 5)
+        << "value " << v;
+  }
+}
+
+TEST(DistributionsTest, SampleManyMatchesRepeatedSample) {
+  const auto dist = CategoricalDistribution::Geometric(8, 0.3);
+  Rng rng_a(77);
+  Rng rng_b(77);
+  const auto many = dist.SampleMany(100, rng_a);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(many[i], dist.Sample(rng_b));
+  }
+}
+
+TEST(DistributionsTest, PointMassSamplesConstant) {
+  const auto dist = CategoricalDistribution::EntropyTargeted(10, 0.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dist.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace swope

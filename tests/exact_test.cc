@@ -1,0 +1,104 @@
+#include "src/baselines/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/entropy.h"
+#include "tests/test_util.h"
+
+namespace swope {
+namespace {
+
+using test::MakeEntropyTable;
+using test::MakeMiTable;
+
+TEST(ExactTest, TopKEntropyOrdersCorrectly) {
+  const Table table = MakeEntropyTable({1.0, 4.0, 2.0, 3.0}, 5000, 1);
+  auto result = ExactTopKEntropy(table, 2);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->items.size(), 2u);
+  EXPECT_EQ(result->items[0].index, 1u);
+  EXPECT_EQ(result->items[1].index, 3u);
+  EXPECT_GE(result->items[0].estimate, result->items[1].estimate);
+}
+
+TEST(ExactTest, TopKEntropyDegenerateIntervals) {
+  const Table table = MakeEntropyTable({2.0, 3.0}, 2000, 2);
+  auto result = ExactTopKEntropy(table, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->items[0].lower, result->items[0].estimate);
+  EXPECT_DOUBLE_EQ(result->items[0].upper, result->items[0].estimate);
+}
+
+TEST(ExactTest, TopKEntropyClampsK) {
+  const Table table = MakeEntropyTable({1.0, 2.0}, 1000, 3);
+  auto result = ExactTopKEntropy(table, 99);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->items.size(), 2u);
+}
+
+TEST(ExactTest, TopKEntropyRejectsBadArgs) {
+  const Table table = MakeEntropyTable({1.0}, 100, 4);
+  EXPECT_TRUE(ExactTopKEntropy(table, 0).status().IsInvalidArgument());
+  auto empty = Table::Make({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(ExactTopKEntropy(*empty, 1).status().IsInvalidArgument());
+}
+
+TEST(ExactTest, FilterEntropyMatchesDefinition) {
+  const Table table = MakeEntropyTable({0.5, 2.5, 1.5, 3.5}, 5000, 5);
+  const auto scores = ExactEntropies(table);
+  auto result = ExactFilterEntropy(table, 1.5);
+  ASSERT_TRUE(result.ok());
+  for (size_t j = 0; j < scores.size(); ++j) {
+    EXPECT_EQ(result->Contains(j), scores[j] >= 1.5) << j;
+  }
+}
+
+TEST(ExactTest, FilterEntropyStatsShowFullScan) {
+  const Table table = MakeEntropyTable({1.0, 2.0}, 3000, 6);
+  auto result = ExactFilterEntropy(table, 1.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.final_sample_size, 3000u);
+  EXPECT_TRUE(result->stats.exhausted_dataset);
+  EXPECT_EQ(result->stats.cells_scanned, 3000u * 2);
+}
+
+TEST(ExactTest, TopKMiRanksByTrueMi) {
+  const Table table = MakeMiTable({0.2, 0.9, 0.5}, 20000, 7);
+  auto result = ExactTopKMi(table, 0, 3);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->items.size(), 3u);
+  EXPECT_EQ(result->items[0].index, 2u);  // rho = 0.9
+  EXPECT_EQ(result->items[1].index, 3u);  // rho = 0.5
+  EXPECT_EQ(result->items[2].index, 1u);  // rho = 0.2
+}
+
+TEST(ExactTest, TopKMiExcludesTarget) {
+  const Table table = MakeMiTable({0.5, 0.5}, 3000, 8);
+  auto result = ExactTopKMi(table, 0, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->items.size(), 2u);
+  for (const auto& item : result->items) EXPECT_NE(item.index, 0u);
+}
+
+TEST(ExactTest, TopKMiRejectsBadTarget) {
+  const Table table = MakeMiTable({0.5}, 100, 9);
+  EXPECT_FALSE(ExactTopKMi(table, 7, 1).ok());
+  EXPECT_TRUE(ExactTopKMi(table, 0, 0).status().IsInvalidArgument());
+}
+
+TEST(ExactTest, FilterMiMatchesExactScores) {
+  const Table table = MakeMiTable({0.9, 0.1, 0.6}, 20000, 10);
+  auto scores = ExactMutualInformations(table, 0);
+  ASSERT_TRUE(scores.ok());
+  const double eta = 0.3;
+  auto result = ExactFilterMi(table, 0, eta);
+  ASSERT_TRUE(result.ok());
+  for (size_t j = 1; j < table.num_columns(); ++j) {
+    EXPECT_EQ(result->Contains(j), (*scores)[j] >= eta) << j;
+  }
+  EXPECT_FALSE(result->Contains(0));
+}
+
+}  // namespace
+}  // namespace swope

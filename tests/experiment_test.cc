@@ -1,0 +1,76 @@
+#include "src/eval/experiment.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace swope {
+namespace {
+
+TEST(ExperimentTest, TimeRepeatedRunsExactCount) {
+  int calls = 0;
+  const Timing timing = TimeRepeated(5, [&] { ++calls; });
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(timing.repetitions, 5);
+  EXPECT_GE(timing.mean_seconds, 0.0);
+  EXPECT_LE(timing.min_seconds, timing.mean_seconds + 1e-12);
+  EXPECT_GE(timing.max_seconds, timing.mean_seconds - 1e-12);
+}
+
+TEST(ExperimentTest, TimeRepeatedClampsToOne) {
+  int calls = 0;
+  const Timing timing = TimeRepeated(0, [&] { ++calls; });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(timing.repetitions, 1);
+}
+
+TEST(ExperimentTest, TimeRepeatedMeasuresWork) {
+  const Timing timing = TimeRepeated(2, [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  });
+  EXPECT_GE(timing.mean_seconds, 0.005);
+}
+
+TEST(ExperimentTest, BenchConfigDefaults) {
+  char prog[] = "bench";
+  char* argv[] = {prog};
+  const BenchConfig config = BenchConfig::FromArgs(1, argv);
+  EXPECT_EQ(config.rows, 0u);
+  EXPECT_EQ(config.reps, 1);
+  EXPECT_FALSE(config.quick);
+  EXPECT_EQ(config.RowsOrDefault(5000), 5000u);
+}
+
+TEST(ExperimentTest, BenchConfigParsesFlags) {
+  char prog[] = "bench";
+  char rows[] = "--rows=12345";
+  char reps[] = "--reps=7";
+  char targets[] = "--targets=4";
+  char seed[] = "--seed=99";
+  char* argv[] = {prog, rows, reps, targets, seed};
+  const BenchConfig config = BenchConfig::FromArgs(5, argv);
+  EXPECT_EQ(config.rows, 12345u);
+  EXPECT_EQ(config.reps, 7);
+  EXPECT_EQ(config.targets, 4);
+  EXPECT_EQ(config.seed, 99u);
+  EXPECT_EQ(config.RowsOrDefault(5000), 12345u);
+}
+
+TEST(ExperimentTest, BenchConfigQuickShrinksDefaults) {
+  char prog[] = "bench";
+  char quick[] = "--quick";
+  char* argv[] = {prog, quick};
+  const BenchConfig config = BenchConfig::FromArgs(2, argv);
+  EXPECT_TRUE(config.quick);
+  EXPECT_EQ(config.RowsOrDefault(5000), 500u);
+  EXPECT_GE(config.RowsOrDefault(5), 1u);
+}
+
+TEST(ExperimentTest, FormatSpeedup) {
+  EXPECT_EQ(FormatSpeedup(10.0, 2.0), "5.0x");
+  EXPECT_EQ(FormatSpeedup(1.0, 0.0), "inf");
+  EXPECT_EQ(FormatSpeedup(3.0, 2.0), "1.5x");
+}
+
+}  // namespace
+}  // namespace swope

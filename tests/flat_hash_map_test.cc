@@ -1,0 +1,115 @@
+#include "src/common/flat_hash_map.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace swope {
+namespace {
+
+TEST(FlatHashMapTest, StartsEmpty) {
+  FlatHashMap<uint64_t, uint32_t> map;
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(42), nullptr);
+  EXPECT_FALSE(map.Contains(42));
+}
+
+TEST(FlatHashMapTest, InsertAndFind) {
+  FlatHashMap<uint64_t, uint32_t> map;
+  map[5] = 50;
+  map[9] = 90;
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.Find(5), nullptr);
+  EXPECT_EQ(*map.Find(5), 50u);
+  ASSERT_NE(map.Find(9), nullptr);
+  EXPECT_EQ(*map.Find(9), 90u);
+  EXPECT_EQ(map.Find(7), nullptr);
+}
+
+TEST(FlatHashMapTest, OperatorBracketDefaultConstructs) {
+  FlatHashMap<uint64_t, uint32_t> map;
+  EXPECT_EQ(map[123], 0u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMapTest, IncrementThroughBracket) {
+  FlatHashMap<uint64_t, uint64_t> map;
+  for (int i = 0; i < 10; ++i) ++map[77];
+  EXPECT_EQ(*map.Find(77), 10u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMapTest, ZeroKeyIsUsable) {
+  FlatHashMap<uint64_t, uint32_t> map;
+  map[0] = 11;
+  EXPECT_EQ(*map.Find(0), 11u);
+}
+
+TEST(FlatHashMapTest, GrowsBeyondInitialCapacity) {
+  FlatHashMap<uint64_t, uint32_t> map(4);
+  for (uint64_t k = 0; k < 1000; ++k) map[k * 3 + 1] = static_cast<uint32_t>(k);
+  EXPECT_EQ(map.size(), 1000u);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_NE(map.Find(k * 3 + 1), nullptr) << k;
+    EXPECT_EQ(*map.Find(k * 3 + 1), static_cast<uint32_t>(k));
+  }
+}
+
+TEST(FlatHashMapTest, ClearKeepsCapacityDropsEntries) {
+  FlatHashMap<uint64_t, uint32_t> map;
+  for (uint64_t k = 1; k <= 100; ++k) map[k] = 1;
+  const size_t cap = map.capacity();
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.capacity(), cap);
+  EXPECT_EQ(map.Find(50), nullptr);
+  map[50] = 5;
+  EXPECT_EQ(*map.Find(50), 5u);
+}
+
+TEST(FlatHashMapTest, ForEachVisitsEveryEntryOnce) {
+  FlatHashMap<uint64_t, uint32_t> map;
+  for (uint64_t k = 10; k < 60; ++k) map[k] = static_cast<uint32_t>(k * 2);
+  uint64_t visits = 0;
+  uint64_t key_sum = 0;
+  map.ForEach([&](uint64_t key, uint32_t value) {
+    ++visits;
+    key_sum += key;
+    EXPECT_EQ(value, key * 2);
+  });
+  EXPECT_EQ(visits, 50u);
+  EXPECT_EQ(key_sum, (10 + 59) * 50 / 2);
+}
+
+TEST(FlatHashMapTest, AgreesWithUnorderedMapUnderRandomWorkload) {
+  FlatHashMap<uint64_t, uint64_t> map;
+  std::unordered_map<uint64_t, uint64_t> reference;
+  Rng rng(123);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = rng.UniformU64(5000);
+    ++map[key];
+    ++reference[key];
+  }
+  EXPECT_EQ(map.size(), reference.size());
+  for (const auto& [key, count] : reference) {
+    ASSERT_NE(map.Find(key), nullptr);
+    EXPECT_EQ(*map.Find(key), count);
+  }
+}
+
+TEST(FlatHashMapTest, CollidingKeysAllSurvive) {
+  // Keys chosen to collide modulo small power-of-two capacities.
+  FlatHashMap<uint64_t, uint32_t> map(4);
+  for (uint64_t k = 0; k < 64; ++k) map[k << 32] = static_cast<uint32_t>(k);
+  for (uint64_t k = 0; k < 64; ++k) {
+    ASSERT_NE(map.Find(k << 32), nullptr);
+    EXPECT_EQ(*map.Find(k << 32), static_cast<uint32_t>(k));
+  }
+}
+
+}  // namespace
+}  // namespace swope

@@ -1,0 +1,110 @@
+#include "src/datagen/generator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/entropy.h"
+
+namespace swope {
+namespace {
+
+TEST(GeneratorTest, ColumnSpecFactories) {
+  const auto uniform = ColumnSpec::Uniform("u", 4);
+  EXPECT_EQ(uniform.family, ColumnFamily::kUniform);
+  EXPECT_EQ(uniform.support, 4u);
+
+  const auto zipf = ColumnSpec::Zipf("z", 10, 1.1);
+  EXPECT_EQ(zipf.family, ColumnFamily::kZipf);
+  EXPECT_DOUBLE_EQ(zipf.param, 1.1);
+
+  EXPECT_EQ(ColumnSpec::Geometric("g", 5, 0.2).family,
+            ColumnFamily::kGeometric);
+  EXPECT_EQ(ColumnSpec::TwoLevel("t", 5, 0.9).family,
+            ColumnFamily::kTwoLevel);
+  EXPECT_EQ(ColumnSpec::EntropyTargeted("e", 5, 1.5).family,
+            ColumnFamily::kEntropyTargeted);
+}
+
+TEST(GeneratorTest, FamilyNames) {
+  EXPECT_EQ(ColumnFamilyToString(ColumnFamily::kUniform), "uniform");
+  EXPECT_EQ(ColumnFamilyToString(ColumnFamily::kZipf), "zipf");
+  EXPECT_EQ(ColumnFamilyToString(ColumnFamily::kGeometric), "geometric");
+  EXPECT_EQ(ColumnFamilyToString(ColumnFamily::kTwoLevel), "two_level");
+  EXPECT_EQ(ColumnFamilyToString(ColumnFamily::kEntropyTargeted),
+            "entropy_targeted");
+}
+
+TEST(GeneratorTest, GenerateColumnShape) {
+  auto column = GenerateColumn(ColumnSpec::Uniform("u", 6), 5000, 1);
+  ASSERT_TRUE(column.ok());
+  EXPECT_EQ(column->size(), 5000u);
+  EXPECT_EQ(column->support(), 6u);
+  EXPECT_EQ(column->name(), "u");
+  for (uint64_t r = 0; r < column->size(); ++r) {
+    ASSERT_LT(column->code(r), 6u);
+  }
+}
+
+TEST(GeneratorTest, GenerateColumnRejectsZeroSupport) {
+  ColumnSpec bad = ColumnSpec::Uniform("b", 0);
+  EXPECT_FALSE(GenerateColumn(bad, 10, 1).ok());
+}
+
+TEST(GeneratorTest, GenerateColumnDeterministicInSeed) {
+  auto a = GenerateColumn(ColumnSpec::Zipf("z", 20, 1.0), 1000, 5);
+  auto b = GenerateColumn(ColumnSpec::Zipf("z", 20, 1.0), 1000, 5);
+  auto c = GenerateColumn(ColumnSpec::Zipf("z", 20, 1.0), 1000, 6);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a->codes(), b->codes());
+  EXPECT_NE(a->codes(), c->codes());
+}
+
+TEST(GeneratorTest, EmpiricalEntropyNearDistributionEntropy) {
+  const ColumnSpec spec = ColumnSpec::EntropyTargeted("e", 64, 3.0);
+  auto column = GenerateColumn(spec, 200000, 11);
+  ASSERT_TRUE(column.ok());
+  EXPECT_NEAR(ExactEntropy(*column), 3.0, 0.05);
+}
+
+TEST(GeneratorTest, GenerateTableShapeAndDeterminism) {
+  TableSpec spec;
+  spec.name = "t";
+  spec.num_rows = 2000;
+  spec.seed = 3;
+  spec.columns = {ColumnSpec::Uniform("a", 4), ColumnSpec::Zipf("b", 50, 1.0),
+                  ColumnSpec::TwoLevel("c", 10, 0.9)};
+  auto table = GenerateTable(spec);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2000u);
+  EXPECT_EQ(table->num_columns(), 3u);
+  EXPECT_EQ(table->MaxSupport(), 50u);
+
+  auto again = GenerateTable(spec);
+  ASSERT_TRUE(again.ok());
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(table->column(c).codes(), again->column(c).codes());
+  }
+}
+
+TEST(GeneratorTest, ColumnsGetIndependentStreams) {
+  TableSpec spec;
+  spec.num_rows = 1000;
+  spec.seed = 4;
+  spec.columns = {ColumnSpec::Uniform("a", 16), ColumnSpec::Uniform("b", 16)};
+  auto table = GenerateTable(spec);
+  ASSERT_TRUE(table.ok());
+  EXPECT_NE(table->column(0).codes(), table->column(1).codes());
+}
+
+TEST(GeneratorTest, GenerateTablePropagatesColumnErrors) {
+  TableSpec spec;
+  spec.num_rows = 10;
+  spec.columns = {ColumnSpec::Uniform("ok", 2), ColumnSpec::Uniform("bad", 0)};
+  EXPECT_FALSE(GenerateTable(spec).ok());
+}
+
+}  // namespace
+}  // namespace swope

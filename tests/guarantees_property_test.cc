@@ -1,0 +1,200 @@
+// Property suite: the formal guarantees of Definitions 5 and 6 must hold
+// across a parameterized sweep of datasets, seeds, epsilons, k values and
+// thresholds. Each sweep runs the algorithm against fresh randomness and
+// checks the definition against exact scores; the overall violation count
+// must respect the failure budget (we run with p_f well below the sweep
+// size, so the expected number of violations is << 1 and we assert zero
+// with a tiny tolerance for genuinely unlucky draws).
+
+#include <gtest/gtest.h>
+
+#include "src/core/entropy.h"
+#include "src/core/swope_filter_entropy.h"
+#include "src/core/swope_filter_mi.h"
+#include "src/core/swope_topk_entropy.h"
+#include "src/core/swope_topk_mi.h"
+#include "src/eval/accuracy.h"
+#include "tests/test_util.h"
+
+namespace swope {
+namespace {
+
+using test::AllIndices;
+using test::AllIndicesExcept;
+using test::MakeEntropyTable;
+using test::MakeMiTable;
+
+constexpr uint64_t kRows = 30000;
+
+struct EntropyCase {
+  double epsilon;
+  uint64_t data_seed;
+};
+
+class EntropyGuaranteeTest : public testing::TestWithParam<EntropyCase> {};
+
+TEST_P(EntropyGuaranteeTest, TopKSatisfiesDefinitionFive) {
+  const EntropyCase param = GetParam();
+  // Mixed entropy profile with adjacent values around every plausible k.
+  const Table table = MakeEntropyTable(
+      {5.2, 4.8, 4.0, 3.6, 3.0, 2.2, 1.5, 0.8, 0.3}, kRows, param.data_seed);
+  const auto exact = ExactEntropies(table);
+  const auto eligible = AllIndices(table.num_columns());
+
+  int violations = 0;
+  for (size_t k : {1, 2, 4, 8}) {
+    for (uint64_t query_seed = 0; query_seed < 3; ++query_seed) {
+      QueryOptions options;
+      options.epsilon = param.epsilon;
+      options.seed = 1000 * param.data_seed + 10 * k + query_seed;
+      auto result = SwopeTopKEntropy(table, k, options);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      if (!SatisfiesApproxTopK(result->items, exact, eligible, k,
+                               options.epsilon)) {
+        ++violations;
+      }
+      EXPECT_EQ(result->items.size(), std::min(k, table.num_columns()));
+    }
+  }
+  EXPECT_EQ(violations, 0);
+}
+
+TEST_P(EntropyGuaranteeTest, FilterSatisfiesDefinitionSix) {
+  const EntropyCase param = GetParam();
+  const Table table = MakeEntropyTable(
+      {5.2, 4.8, 4.0, 3.6, 3.0, 2.2, 1.5, 0.8, 0.3}, kRows, param.data_seed);
+  const auto exact = ExactEntropies(table);
+  const auto eligible = AllIndices(table.num_columns());
+
+  int violations = 0;
+  for (double eta : {0.5, 1.5, 2.5, 3.5, 5.0}) {
+    for (uint64_t query_seed = 0; query_seed < 3; ++query_seed) {
+      QueryOptions options;
+      options.epsilon = param.epsilon;
+      options.seed = 777 * param.data_seed + 31 * query_seed +
+                     static_cast<uint64_t>(eta * 10);
+      auto result = SwopeFilterEntropy(table, eta, options);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      if (!SatisfiesApproxFilter(*result, exact, eligible, eta,
+                                 options.epsilon)) {
+        ++violations;
+      }
+    }
+  }
+  EXPECT_EQ(violations, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EntropyGuaranteeTest,
+    testing::Values(EntropyCase{0.05, 1}, EntropyCase{0.1, 2},
+                    EntropyCase{0.1, 3}, EntropyCase{0.25, 4},
+                    EntropyCase{0.5, 5}),
+    [](const testing::TestParamInfo<EntropyCase>& info) {
+      return "eps" +
+             std::to_string(static_cast<int>(info.param.epsilon * 100)) +
+             "_seed" + std::to_string(info.param.data_seed);
+    });
+
+struct MiCase {
+  double epsilon;
+  uint64_t data_seed;
+};
+
+class MiGuaranteeTest : public testing::TestWithParam<MiCase> {};
+
+TEST_P(MiGuaranteeTest, TopKSatisfiesDefinitionFive) {
+  const MiCase param = GetParam();
+  const Table table = MakeMiTable({0.95, 0.8, 0.6, 0.4, 0.25, 0.1, 0.0},
+                                  kRows, param.data_seed);
+  auto exact = ExactMutualInformations(table, 0);
+  ASSERT_TRUE(exact.ok());
+  const auto eligible = AllIndicesExcept(table.num_columns(), 0);
+
+  int violations = 0;
+  for (size_t k : {1, 2, 4}) {
+    QueryOptions options;
+    options.epsilon = param.epsilon;
+    options.seed = 31 * param.data_seed + k;
+    auto result = SwopeTopKMi(table, 0, k, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (!SatisfiesApproxTopK(result->items, *exact, eligible, k,
+                             options.epsilon)) {
+      ++violations;
+    }
+  }
+  EXPECT_EQ(violations, 0);
+}
+
+TEST_P(MiGuaranteeTest, FilterSatisfiesDefinitionSix) {
+  const MiCase param = GetParam();
+  const Table table = MakeMiTable({0.95, 0.8, 0.6, 0.4, 0.25, 0.1, 0.0},
+                                  kRows, param.data_seed);
+  auto exact = ExactMutualInformations(table, 0);
+  ASSERT_TRUE(exact.ok());
+  const auto eligible = AllIndicesExcept(table.num_columns(), 0);
+
+  int violations = 0;
+  for (double eta : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    QueryOptions options;
+    options.epsilon = param.epsilon;
+    options.seed = 59 * param.data_seed + static_cast<uint64_t>(eta * 100);
+    auto result = SwopeFilterMi(table, 0, eta, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (!SatisfiesApproxFilter(*result, *exact, eligible, eta,
+                               options.epsilon)) {
+      ++violations;
+    }
+  }
+  EXPECT_EQ(violations, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MiGuaranteeTest,
+    testing::Values(MiCase{0.25, 1}, MiCase{0.5, 2}, MiCase{0.5, 3},
+                    MiCase{0.75, 4}),
+    [](const testing::TestParamInfo<MiCase>& info) {
+      return "eps" +
+             std::to_string(static_cast<int>(info.param.epsilon * 100)) +
+             "_seed" + std::to_string(info.param.data_seed);
+    });
+
+// The sampling cost must respond to the problem difficulty the way
+// Theorems 2 and 4 predict: more samples for smaller epsilon and for
+// smaller thresholds.
+TEST(GuaranteeScalingTest, SamplesGrowAsEpsilonShrinks) {
+  const Table table =
+      MakeEntropyTable({4.0, 3.5, 3.0, 2.5, 2.0, 1.5}, 100000, 7);
+  uint64_t previous = 0;
+  for (double eps : {0.5, 0.25, 0.1, 0.05}) {
+    QueryOptions options;
+    options.epsilon = eps;
+    auto result = SwopeTopKEntropy(table, 2, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->stats.final_sample_size, previous) << "eps " << eps;
+    previous = result->stats.final_sample_size;
+  }
+}
+
+TEST(GuaranteeScalingTest, FilterSamplesGrowAsEtaShrinks) {
+  // Theorem 4: cost ~ 1/(eps*eta)^2, dominated by attributes whose score
+  // sits inside the eta-band (only the width rule can resolve them). Pit
+  // a small and a large threshold against columns whose entropy equals
+  // the threshold.
+  QueryOptions options;
+  options.epsilon = 0.1;
+  uint64_t samples_small = 0;
+  uint64_t samples_large = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    const double eta = pass == 0 ? 0.5 : 3.0;
+    const Table table =
+        MakeEntropyTable({eta, eta, eta, eta}, 200000, 8 + pass);
+    auto result = SwopeFilterEntropy(table, eta, options);
+    ASSERT_TRUE(result.ok());
+    (pass == 0 ? samples_small : samples_large) =
+        result->stats.final_sample_size;
+  }
+  EXPECT_GT(samples_small, samples_large);
+}
+
+}  // namespace
+}  // namespace swope

@@ -1,0 +1,45 @@
+#include "src/common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace swope {
+namespace {
+
+TEST(LoggingTest, GlobalLevelRoundTrips) {
+  const LogLevel original = GetGlobalLogLevel();
+  SetGlobalLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetGlobalLogLevel(), LogLevel::kDebug);
+  SetGlobalLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetGlobalLogLevel(), LogLevel::kError);
+  SetGlobalLogLevel(original);
+}
+
+TEST(LoggingTest, DefaultLevelIsWarning) {
+  // The library must stay quiet at INFO by default.
+  EXPECT_EQ(GetGlobalLogLevel(), LogLevel::kWarning);
+}
+
+TEST(LoggingTest, LevelNames) {
+  EXPECT_EQ(LogLevelToString(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(LogLevelToString(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(LogLevelToString(LogLevel::kWarning), "WARN");
+  EXPECT_EQ(LogLevelToString(LogLevel::kError), "ERROR");
+  EXPECT_EQ(LogLevelToString(LogLevel::kOff), "OFF");
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash) {
+  const LogLevel original = GetGlobalLogLevel();
+  SetGlobalLogLevel(LogLevel::kOff);
+  SWOPE_LOG(kError) << "suppressed " << 1 << " " << 2.5;
+  SetGlobalLogLevel(original);
+}
+
+TEST(LoggingTest, EmittedMessagesDoNotCrash) {
+  const LogLevel original = GetGlobalLogLevel();
+  SetGlobalLogLevel(LogLevel::kDebug);
+  SWOPE_LOG(kDebug) << "visible debug message from logging_test";
+  SetGlobalLogLevel(original);
+}
+
+}  // namespace
+}  // namespace swope

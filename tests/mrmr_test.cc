@@ -1,0 +1,130 @@
+#include "src/fs/mrmr.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "tests/test_util.h"
+
+namespace swope {
+namespace {
+
+using test::MakeMiTable;
+
+TEST(MrmrTest, RejectsBadArguments) {
+  const Table table = MakeMiTable({0.5, 0.2}, 1000, 1);
+  EXPECT_TRUE(SelectFeaturesMrmr(table, 9).status().IsInvalidArgument());
+  MrmrOptions zero;
+  zero.num_features = 0;
+  EXPECT_TRUE(SelectFeaturesMrmr(table, 0, zero).status().IsInvalidArgument());
+  auto one_column = Table::Make({Column::FromCodes("only", {0, 1})});
+  ASSERT_TRUE(one_column.ok());
+  EXPECT_TRUE(SelectFeaturesMrmr(*one_column, 0).status().IsInvalidArgument());
+}
+
+TEST(MrmrTest, PicksMostRelevantFirst) {
+  const Table table = MakeMiTable({0.1, 0.9, 0.3}, 30000, 2);
+  MrmrOptions options;
+  options.num_features = 1;
+  options.sample_size = 30000;
+  auto selected = SelectFeaturesMrmr(table, 0, options);
+  ASSERT_TRUE(selected.ok()) << selected.status().ToString();
+  ASSERT_EQ(selected->size(), 1u);
+  EXPECT_EQ((*selected)[0].index, 2u);  // rho = 0.9 candidate
+  EXPECT_GT((*selected)[0].relevance, 0.5);
+}
+
+TEST(MrmrTest, PenalizesRedundantFeatures) {
+  // Target t = (A, B) with A, B independent uniform(4). Candidates:
+  // two identical copies of A and one copy of B. Each candidate has
+  // relevance I(t, .) = 2 bits, but after one A-copy is selected the
+  // second A-copy is fully redundant (score 2 - 2 = 0) while the B-copy
+  // stays fresh (score 2 - 0 = 2). mRMR must pick {A-copy, B-copy}.
+  constexpr uint64_t kRows = 20000;
+  Rng rng(77);
+  std::vector<ValueCode> a(kRows);
+  std::vector<ValueCode> b(kRows);
+  std::vector<ValueCode> t(kRows);
+  for (uint64_t r = 0; r < kRows; ++r) {
+    a[r] = static_cast<ValueCode>(rng.UniformU64(4));
+    b[r] = static_cast<ValueCode>(rng.UniformU64(4));
+    t[r] = a[r] * 4 + b[r];
+  }
+  std::vector<Column> columns;
+  auto push = [&](const char* name, uint32_t u, std::vector<ValueCode> c) {
+    auto column = Column::Make(name, u, std::move(c));
+    ASSERT_TRUE(column.ok());
+    columns.push_back(std::move(column).value());
+  };
+  push("t", 16, t);
+  push("a_copy1", 4, a);
+  push("a_copy2", 4, a);
+  push("b_copy", 4, b);
+  auto table = Table::Make(std::move(columns));
+  ASSERT_TRUE(table.ok());
+
+  MrmrOptions options;
+  options.num_features = 2;
+  options.sample_size = kRows;
+  auto selected = SelectFeaturesMrmr(*table, 0, options);
+  ASSERT_TRUE(selected.ok());
+  ASSERT_EQ(selected->size(), 2u);
+  const size_t first = (*selected)[0].index;
+  const size_t second = (*selected)[1].index;
+  EXPECT_TRUE(first == 1 || first == 3) << first;
+  EXPECT_EQ(second, first == 1 ? 3u : 1u)
+      << "should skip the redundant twin a_copy2";
+}
+
+TEST(MrmrTest, ClampsFeatureCount) {
+  const Table table = MakeMiTable({0.5, 0.3}, 5000, 4);
+  MrmrOptions options;
+  options.num_features = 100;
+  auto selected = SelectFeaturesMrmr(table, 0, options);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->size(), 2u);
+}
+
+TEST(MrmrTest, DeterministicInSeed) {
+  const Table table = MakeMiTable({0.6, 0.4, 0.2}, 20000, 5);
+  MrmrOptions options;
+  options.num_features = 3;
+  options.seed = 5;
+  auto a = SelectFeaturesMrmr(table, 0, options);
+  auto b = SelectFeaturesMrmr(table, 0, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].index, (*b)[i].index);
+    EXPECT_DOUBLE_EQ((*a)[i].score, (*b)[i].score);
+  }
+}
+
+TEST(MrmrTest, SampleSizeZeroUsesAllRows) {
+  const Table table = MakeMiTable({0.8, 0.1}, 2000, 6);
+  MrmrOptions options;
+  options.num_features = 1;
+  options.sample_size = 0;
+  auto selected = SelectFeaturesMrmr(table, 0, options);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ((*selected)[0].index, 1u);
+}
+
+TEST(MrmrTest, SelectByMiMatchesTopCorrelates) {
+  const Table table = MakeMiTable({0.9, 0.1, 0.6, 0.0}, 30000, 7);
+  QueryOptions query_options;
+  query_options.epsilon = 0.5;
+  auto selected = SelectFeaturesByMi(table, 0, 2, query_options);
+  ASSERT_TRUE(selected.ok());
+  ASSERT_EQ(selected->size(), 2u);
+  EXPECT_EQ((*selected)[0].index, 1u);  // rho 0.9
+  EXPECT_EQ((*selected)[1].index, 3u);  // rho 0.6
+}
+
+TEST(MrmrTest, SelectByMiPropagatesErrors) {
+  const Table table = MakeMiTable({0.5}, 1000, 8);
+  EXPECT_FALSE(SelectFeaturesByMi(table, 5, 1).ok());
+}
+
+}  // namespace
+}  // namespace swope

@@ -1,0 +1,65 @@
+#include "src/core/prefix_sampler.h"
+
+#include <gtest/gtest.h>
+
+namespace swope {
+namespace {
+
+TEST(PrefixSamplerTest, StartsUnconsumed) {
+  PrefixSampler sampler(100, 1);
+  EXPECT_EQ(sampler.num_rows(), 100u);
+  EXPECT_EQ(sampler.consumed(), 0u);
+  EXPECT_EQ(sampler.order().size(), 100u);
+}
+
+TEST(PrefixSamplerTest, GrowReturnsNewRange) {
+  PrefixSampler sampler(100, 1);
+  auto r1 = sampler.GrowTo(10);
+  EXPECT_EQ(r1.begin, 0u);
+  EXPECT_EQ(r1.end, 10u);
+  EXPECT_EQ(sampler.consumed(), 10u);
+
+  auto r2 = sampler.GrowTo(25);
+  EXPECT_EQ(r2.begin, 10u);
+  EXPECT_EQ(r2.end, 25u);
+  EXPECT_EQ(sampler.consumed(), 25u);
+}
+
+TEST(PrefixSamplerTest, GrowClampsAtN) {
+  PrefixSampler sampler(50, 2);
+  auto range = sampler.GrowTo(1000);
+  EXPECT_EQ(range.begin, 0u);
+  EXPECT_EQ(range.end, 50u);
+  EXPECT_EQ(sampler.consumed(), 50u);
+}
+
+TEST(PrefixSamplerTest, GrowToSmallerIsEmptyRange) {
+  PrefixSampler sampler(50, 2);
+  sampler.GrowTo(30);
+  auto range = sampler.GrowTo(20);
+  EXPECT_EQ(range.begin, 30u);
+  EXPECT_EQ(range.end, 30u);  // clamped: never rewinds
+  EXPECT_EQ(sampler.consumed(), 30u);
+}
+
+TEST(PrefixSamplerTest, OrderIsDeterministicPermutation) {
+  PrefixSampler a(200, 7);
+  PrefixSampler b(200, 7);
+  EXPECT_EQ(a.order(), b.order());
+  std::vector<bool> seen(200, false);
+  for (uint32_t r : a.order()) {
+    ASSERT_LT(r, 200u);
+    EXPECT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+}
+
+TEST(PrefixSamplerTest, ZeroRows) {
+  PrefixSampler sampler(0, 1);
+  EXPECT_EQ(sampler.num_rows(), 0u);
+  auto range = sampler.GrowTo(10);
+  EXPECT_EQ(range.begin, range.end);
+}
+
+}  // namespace
+}  // namespace swope

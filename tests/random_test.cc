@@ -1,0 +1,149 @@
+#include "src/common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace swope {
+namespace {
+
+TEST(RandomTest, SplitMix64IsDeterministic) {
+  uint64_t s1 = 123;
+  uint64_t s2 = 123;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(SplitMix64Next(s1), SplitMix64Next(s2));
+  }
+}
+
+TEST(RandomTest, SameSeedSameStream) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, UniformU64StaysInBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformU64(bound), bound);
+    }
+  }
+}
+
+TEST(RandomTest, UniformU64BoundOneIsAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.UniformU64(1), 0u);
+}
+
+TEST(RandomTest, UniformU64IsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.UniformU64(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, 5 * std::sqrt(expected));
+  }
+}
+
+TEST(RandomTest, UniformIntCoversInclusiveRange) {
+  Rng rng(13);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RandomTest, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(RandomTest, NormalHasZeroMeanUnitVariance) {
+  Rng rng(19);
+  constexpr int kDraws = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.05);
+}
+
+TEST(RandomTest, ForkProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Next() == child.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, RandomPermutationIsAPermutation) {
+  Rng rng(29);
+  const auto perm = RandomPermutation(1000, rng);
+  ASSERT_EQ(perm.size(), 1000u);
+  std::vector<bool> seen(1000, false);
+  for (uint32_t p : perm) {
+    ASSERT_LT(p, 1000u);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(RandomTest, RandomPermutationEmptyAndSingle) {
+  Rng rng(31);
+  EXPECT_TRUE(RandomPermutation(0, rng).empty());
+  const auto one = RandomPermutation(1, rng);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+TEST(RandomTest, ShuffleKeepsMultiset) {
+  Rng rng(37);
+  std::vector<int> values = {1, 2, 2, 3, 3, 3};
+  std::vector<int> shuffled = values;
+  Shuffle(shuffled, rng);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RandomTest, ShuffleActuallyMoves) {
+  Rng rng(41);
+  std::vector<int> values(200);
+  for (int i = 0; i < 200; ++i) values[i] = i;
+  std::vector<int> shuffled = values;
+  Shuffle(shuffled, rng);
+  EXPECT_NE(shuffled, values);
+}
+
+}  // namespace
+}  // namespace swope

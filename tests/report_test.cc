@@ -1,0 +1,62 @@
+#include "src/eval/report.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace swope {
+namespace {
+
+TEST(ReportTest, MarkdownLayout) {
+  ReportTable table({"k", "time"});
+  table.AddRow({"1", "10.5"});
+  table.AddRow({"2", "20.25"});
+  std::ostringstream out;
+  table.PrintMarkdown(out);
+  const std::string expected =
+      "| k | time  |\n"
+      "|---|-------|\n"
+      "| 1 | 10.5  |\n"
+      "| 2 | 20.25 |\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(ReportTest, ShortRowsArePadded) {
+  ReportTable table({"a", "b", "c"});
+  table.AddRow({"1"});
+  std::ostringstream out;
+  table.PrintMarkdown(out);
+  EXPECT_NE(out.str().find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(ReportTest, CsvOutput) {
+  ReportTable table({"x", "y"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"3", "4"});
+  std::ostringstream out;
+  table.PrintCsv(out);
+  EXPECT_EQ(out.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(ReportTest, FormatDouble) {
+  EXPECT_EQ(ReportTable::FormatDouble(1.23456, 3), "1.235");
+  EXPECT_EQ(ReportTable::FormatDouble(2.0, 1), "2.0");
+  EXPECT_EQ(ReportTable::FormatDouble(-0.5, 2), "-0.50");
+}
+
+TEST(ReportTest, FormatMillisScalesPrecision) {
+  EXPECT_EQ(ReportTable::FormatMillis(0.0012345), "1.234");  // 1.2345 ms
+  EXPECT_EQ(ReportTable::FormatMillis(0.150), "150.0");
+  EXPECT_EQ(ReportTable::FormatMillis(2.5), "2500");
+}
+
+TEST(ReportTest, NumRows) {
+  ReportTable table({"h"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow({"1"});
+  table.AddRow({"2"});
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace swope

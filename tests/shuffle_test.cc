@@ -1,0 +1,50 @@
+#include "src/table/shuffle.h"
+
+#include <gtest/gtest.h>
+
+namespace swope {
+namespace {
+
+TEST(ShuffleTest, ProducesValidPermutation) {
+  const auto order = ShuffledRowOrder(500, 1);
+  ASSERT_EQ(order.size(), 500u);
+  std::vector<bool> seen(500, false);
+  for (uint32_t r : order) {
+    ASSERT_LT(r, 500u);
+    EXPECT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+}
+
+TEST(ShuffleTest, DeterministicInSeed) {
+  EXPECT_EQ(ShuffledRowOrder(100, 7), ShuffledRowOrder(100, 7));
+}
+
+TEST(ShuffleTest, DifferentSeedsDiffer) {
+  EXPECT_NE(ShuffledRowOrder(100, 7), ShuffledRowOrder(100, 8));
+}
+
+TEST(ShuffleTest, PrefixIsUnbiasedish) {
+  // Each row should land in the first half about half the time across
+  // seeds; a crude unbiasedness check on the prefix-sampling model.
+  constexpr uint32_t kRows = 40;
+  constexpr int kTrials = 400;
+  std::vector<int> in_first_half(kRows, 0);
+  for (int seed = 0; seed < kTrials; ++seed) {
+    const auto order = ShuffledRowOrder(kRows, seed);
+    for (uint32_t i = 0; i < kRows / 2; ++i) ++in_first_half[order[i]];
+  }
+  for (uint32_t r = 0; r < kRows; ++r) {
+    EXPECT_NEAR(in_first_half[r], kTrials / 2, kTrials / 5) << "row " << r;
+  }
+}
+
+TEST(ShuffleTest, EdgeSizes) {
+  EXPECT_TRUE(ShuffledRowOrder(0, 1).empty());
+  const auto one = ShuffledRowOrder(1, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+}  // namespace
+}  // namespace swope

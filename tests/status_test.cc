@@ -1,0 +1,81 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace swope {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesSetCodeAndMessage) {
+  const Status invalid = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(invalid.ok());
+  EXPECT_TRUE(invalid.IsInvalidArgument());
+  EXPECT_EQ(invalid.message(), "bad k");
+
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, PredicatesAreExclusive) {
+  const Status status = Status::NotFound("missing");
+  EXPECT_FALSE(status.IsInvalidArgument());
+  EXPECT_FALSE(status.IsIOError());
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(StatusTest, ToStringIncludesCategoryAndMessage) {
+  EXPECT_EQ(Status::IOError("disk gone").ToString(), "IO error: disk gone");
+  EXPECT_EQ(Status(StatusCode::kCorruption, "").ToString(), "Corruption");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, CodeToStringCoversAllCodes) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
+            "Invalid argument");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "Not found");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "Out of range");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIOError), "IO error");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotSupported), "Not supported");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+Status FailsThrough() {
+  SWOPE_RETURN_NOT_OK(Status::IOError("inner"));
+  return Status::Internal("unreachable");
+}
+
+Status PassesThrough() {
+  SWOPE_RETURN_NOT_OK(Status::OK());
+  return Status::Internal("reached");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagatesErrors) {
+  EXPECT_EQ(FailsThrough(), Status::IOError("inner"));
+  EXPECT_EQ(PassesThrough(), Status::Internal("reached"));
+}
+
+}  // namespace
+}  // namespace swope

@@ -1,0 +1,40 @@
+#include "src/common/stopwatch.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace swope {
+namespace {
+
+TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotone) {
+  Stopwatch watch;
+  const double t1 = watch.ElapsedSeconds();
+  const double t2 = watch.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(StopwatchTest, MeasuresSleep) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(watch.ElapsedMillis(), 15.0);
+  EXPECT_LT(watch.ElapsedSeconds(), 5.0);
+}
+
+TEST(StopwatchTest, ResetRestartsWindow) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedMillis(), 15.0);
+}
+
+TEST(StopwatchTest, MillisMatchesSeconds) {
+  Stopwatch watch;
+  const double s = watch.ElapsedSeconds();
+  const double ms = watch.ElapsedMillis();
+  EXPECT_GE(ms, s * 1e3 * 0.5);  // same order of magnitude
+}
+
+}  // namespace
+}  // namespace swope

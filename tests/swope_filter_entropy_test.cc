@@ -1,0 +1,185 @@
+#include "src/core/swope_filter_entropy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/entropy.h"
+#include "src/eval/accuracy.h"
+#include "tests/test_util.h"
+
+namespace swope {
+namespace {
+
+using test::AllIndices;
+using test::MakeEntropyTable;
+
+TEST(SwopeFilterEntropyTest, RejectsBadArguments) {
+  const Table table = MakeEntropyTable({2.0, 1.0}, 500, 1);
+  EXPECT_TRUE(SwopeFilterEntropy(table, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(SwopeFilterEntropy(table, -1.0).status().IsInvalidArgument());
+  QueryOptions bad;
+  bad.growth_factor = 0.9;
+  EXPECT_TRUE(SwopeFilterEntropy(table, 1.0, bad).status().IsInvalidArgument());
+  auto empty = Table::Make({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(SwopeFilterEntropy(*empty, 1.0).status().IsInvalidArgument());
+}
+
+TEST(SwopeFilterEntropyTest, SeparatesClearlyAboveAndBelow) {
+  const Table table =
+      MakeEntropyTable({0.2, 5.0, 0.5, 4.5, 0.1, 5.5}, 40000, 2);
+  QueryOptions options;
+  options.epsilon = 0.05;
+  auto result = SwopeFilterEntropy(table, 2.0, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->Contains(1));
+  EXPECT_TRUE(result->Contains(3));
+  EXPECT_TRUE(result->Contains(5));
+  EXPECT_FALSE(result->Contains(0));
+  EXPECT_FALSE(result->Contains(2));
+  EXPECT_FALSE(result->Contains(4));
+}
+
+TEST(SwopeFilterEntropyTest, ItemsAscendingByIndex) {
+  const Table table =
+      MakeEntropyTable({5.0, 4.0, 4.5, 3.5, 5.5}, 20000, 3);
+  auto result = SwopeFilterEntropy(table, 1.0);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->items.size(); ++i) {
+    EXPECT_LT(result->items[i - 1].index, result->items[i].index);
+  }
+}
+
+TEST(SwopeFilterEntropyTest, VeryHighThresholdReturnsNothing) {
+  const Table table = MakeEntropyTable({1.0, 2.0, 3.0}, 20000, 4);
+  auto result = SwopeFilterEntropy(table, 50.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->items.empty());
+  // High thresholds are cheap: the upper bound dives below (1+eps)*eta
+  // quickly... but support caps already reject at iteration one.
+  EXPECT_LT(result->stats.final_sample_size, 20000u);
+}
+
+TEST(SwopeFilterEntropyTest, ThresholdBelowEverythingReturnsAll) {
+  const Table table = MakeEntropyTable({3.0, 4.0, 5.0}, 30000, 5);
+  auto result = SwopeFilterEntropy(table, 0.5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->items.size(), 3u);
+}
+
+TEST(SwopeFilterEntropyTest, DeterministicInSeed) {
+  const Table table = MakeEntropyTable({1.5, 2.5, 2.0, 3.0}, 30000, 6);
+  QueryOptions options;
+  options.seed = 5;
+  auto a = SwopeFilterEntropy(table, 2.2, options);
+  auto b = SwopeFilterEntropy(table, 2.2, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->items.size(), b->items.size());
+  for (size_t i = 0; i < a->items.size(); ++i) {
+    EXPECT_EQ(a->items[i].index, b->items[i].index);
+  }
+}
+
+TEST(SwopeFilterEntropyTest, TinyTableExactClassification) {
+  const Table table = MakeEntropyTable({1.0, 3.0, 2.0}, 60, 7);
+  const auto exact = ExactEntropies(table);
+  auto result = SwopeFilterEntropy(table, 1.5);
+  ASSERT_TRUE(result.ok());
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(result->Contains(j), exact[j] >= 1.5) << j;
+  }
+}
+
+TEST(SwopeFilterEntropyTest, CandidatesAllResolved) {
+  const Table table = MakeEntropyTable({0.5, 2.0, 3.5, 1.2}, 20000, 8);
+  auto result = SwopeFilterEntropy(table, 1.8);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.candidates_remaining, 0u);
+}
+
+TEST(SwopeFilterEntropyTest, NearThresholdScoresMayGoEitherWayButInBand) {
+  // Scores right at the threshold: whatever is returned must satisfy
+  // Definition 6 (only in-band attributes are discretionary).
+  const Table table =
+      MakeEntropyTable({2.0, 2.01, 1.99, 3.5, 0.5}, 50000, 9);
+  const auto exact = ExactEntropies(table);
+  QueryOptions options;
+  options.epsilon = 0.05;
+  auto result = SwopeFilterEntropy(table, 2.0, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(SatisfiesApproxFilter(*result, exact,
+                                    AllIndices(table.num_columns()), 2.0,
+                                    options.epsilon));
+  EXPECT_TRUE(result->Contains(3));   // clearly above the band
+  EXPECT_FALSE(result->Contains(4));  // clearly below the band
+}
+
+TEST(SwopeFilterEntropyTest, StopsEarlyOnWideGap) {
+  const Table table =
+      MakeEntropyTable({5.5, 5.0, 0.2, 0.1}, 200000, 10);
+  QueryOptions options;
+  options.epsilon = 0.1;
+  auto result = SwopeFilterEntropy(table, 2.0, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->stats.final_sample_size, 200000u / 4);
+  EXPECT_TRUE(result->Contains(0));
+  EXPECT_TRUE(result->Contains(1));
+  EXPECT_FALSE(result->Contains(2));
+}
+
+TEST(SwopeFilterEntropyTest, NonDoublingGrowthFactorStillSound) {
+  const Table table = MakeEntropyTable({3.0, 1.0, 2.2, 0.4}, 40000, 20);
+  const auto exact = ExactEntropies(table);
+  for (double growth : {1.5, 3.0}) {
+    QueryOptions options;
+    options.epsilon = 0.05;
+    options.growth_factor = growth;
+    auto result = SwopeFilterEntropy(table, 1.8, options);
+    ASSERT_TRUE(result.ok()) << "growth " << growth;
+    EXPECT_TRUE(SatisfiesApproxFilter(*result, exact,
+                                      AllIndices(table.num_columns()), 1.8,
+                                      options.epsilon))
+        << "growth " << growth;
+  }
+}
+
+TEST(SwopeFilterEntropyTest, WiderEpsilonWidensTheBandNotTheErrors) {
+  // With a huge band the query is nearly free; attributes far outside the
+  // band must still be classified correctly.
+  const Table table = MakeEntropyTable({5.5, 0.2}, 100000, 21);
+  QueryOptions options;
+  options.epsilon = 0.9;
+  auto result = SwopeFilterEntropy(table, 2.0, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->Contains(0));
+  EXPECT_FALSE(result->Contains(1));
+  EXPECT_LT(result->stats.final_sample_size, 100000u);
+}
+
+TEST(SwopeFilterEntropyTest, SequentialSamplingMatchesDefinition) {
+  const Table table = MakeEntropyTable({2.4, 2.0, 1.6, 3.5}, 40000, 22);
+  const auto exact = ExactEntropies(table);
+  QueryOptions options;
+  options.epsilon = 0.05;
+  options.sequential_sampling = true;
+  auto result = SwopeFilterEntropy(table, 2.0, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(SatisfiesApproxFilter(*result, exact,
+                                    AllIndices(table.num_columns()), 2.0,
+                                    options.epsilon));
+}
+
+TEST(SwopeFilterEntropyTest, AcceptedItemsCarryIntervals) {
+  const Table table = MakeEntropyTable({4.0, 0.5}, 30000, 11);
+  auto result = SwopeFilterEntropy(table, 2.0);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->items.size(), 1u);
+  const auto& item = result->items[0];
+  EXPECT_EQ(item.index, 0u);
+  EXPECT_EQ(item.name, "e0");
+  EXPECT_LE(item.lower, item.upper);
+  EXPECT_GE(item.estimate, item.lower - 1e-12);
+}
+
+}  // namespace
+}  // namespace swope

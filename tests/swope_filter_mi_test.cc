@@ -1,0 +1,113 @@
+#include "src/core/swope_filter_mi.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/entropy.h"
+#include "src/eval/accuracy.h"
+#include "tests/test_util.h"
+
+namespace swope {
+namespace {
+
+using test::AllIndicesExcept;
+using test::MakeMiTable;
+
+TEST(SwopeFilterMiTest, RejectsBadArguments) {
+  const Table table = MakeMiTable({0.5}, 1000, 1);
+  EXPECT_TRUE(SwopeFilterMi(table, 0, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(SwopeFilterMi(table, 9, 0.1).status().IsInvalidArgument());
+  auto one_column = Table::Make({Column::FromCodes("only", {0, 1})});
+  ASSERT_TRUE(one_column.ok());
+  EXPECT_TRUE(SwopeFilterMi(*one_column, 0, 0.1).status().IsInvalidArgument());
+}
+
+TEST(SwopeFilterMiTest, SeparatesStrongAndWeakCorrelates) {
+  const Table table = MakeMiTable({0.9, 0.85, 0.0, 0.05}, 50000, 2);
+  auto exact = ExactMutualInformations(table, 0);
+  ASSERT_TRUE(exact.ok());
+  QueryOptions options;
+  options.epsilon = 0.5;  // paper default for MI filtering
+  // Threshold chosen between the strong (rho ~ 0.9) and weak (~0) groups.
+  auto result = SwopeFilterMi(table, 0, 0.5, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->Contains(1));
+  EXPECT_TRUE(result->Contains(2));
+  EXPECT_FALSE(result->Contains(3));
+  EXPECT_FALSE(result->Contains(4));
+}
+
+TEST(SwopeFilterMiTest, SatisfiesDefinitionSix) {
+  const Table table =
+      MakeMiTable({0.95, 0.6, 0.35, 0.15, 0.0}, 50000, 3);
+  auto exact = ExactMutualInformations(table, 0);
+  ASSERT_TRUE(exact.ok());
+  QueryOptions options;
+  options.epsilon = 0.5;
+  for (double eta : {0.1, 0.3, 0.5}) {
+    auto result = SwopeFilterMi(table, 0, eta, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(SatisfiesApproxFilter(
+        *result, *exact, AllIndicesExcept(table.num_columns(), 0), eta,
+        options.epsilon))
+        << "eta=" << eta;
+  }
+}
+
+TEST(SwopeFilterMiTest, HighThresholdReturnsNothing) {
+  const Table table = MakeMiTable({0.3, 0.2}, 20000, 4);
+  auto result = SwopeFilterMi(table, 0, 10.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->items.empty());
+}
+
+TEST(SwopeFilterMiTest, TargetNeverInAnswer) {
+  const Table table = MakeMiTable({0.9, 0.9, 0.9}, 10000, 5);
+  auto result = SwopeFilterMi(table, 0, 0.01);
+  ASSERT_TRUE(result.ok());
+  for (const auto& item : result->items) EXPECT_NE(item.index, 0u);
+}
+
+TEST(SwopeFilterMiTest, ItemsAscendingByIndex) {
+  const Table table = MakeMiTable({0.9, 0.8, 0.95, 0.85}, 20000, 6);
+  auto result = SwopeFilterMi(table, 0, 0.1);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->items.size(); ++i) {
+    EXPECT_LT(result->items[i - 1].index, result->items[i].index);
+  }
+}
+
+TEST(SwopeFilterMiTest, DeterministicInSeed) {
+  const Table table = MakeMiTable({0.5, 0.3, 0.7}, 20000, 7);
+  QueryOptions options;
+  options.seed = 21;
+  auto a = SwopeFilterMi(table, 0, 0.3, options);
+  auto b = SwopeFilterMi(table, 0, 0.3, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->items.size(), b->items.size());
+  for (size_t i = 0; i < a->items.size(); ++i) {
+    EXPECT_EQ(a->items[i].index, b->items[i].index);
+  }
+}
+
+TEST(SwopeFilterMiTest, TinyTableClassifiesExactly) {
+  const Table table = MakeMiTable({0.9, 0.0}, 90, 8);
+  auto exact = ExactMutualInformations(table, 0);
+  ASSERT_TRUE(exact.ok());
+  const double eta = 0.2;
+  auto result = SwopeFilterMi(table, 0, eta);
+  ASSERT_TRUE(result.ok());
+  for (size_t j = 1; j < table.num_columns(); ++j) {
+    EXPECT_EQ(result->Contains(j), (*exact)[j] >= eta) << j;
+  }
+}
+
+TEST(SwopeFilterMiTest, AllCandidatesResolved) {
+  const Table table = MakeMiTable({0.8, 0.4, 0.1}, 30000, 9);
+  auto result = SwopeFilterMi(table, 0, 0.25);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.candidates_remaining, 0u);
+}
+
+}  // namespace
+}  // namespace swope

@@ -1,0 +1,94 @@
+#include "src/core/swope_filter_nmi.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/swope_topk_nmi.h"
+#include "tests/test_util.h"
+
+namespace swope {
+namespace {
+
+using test::AllIndicesExcept;
+using test::MakeMiTable;
+
+TEST(SwopeFilterNmiTest, RejectsBadArguments) {
+  const Table table = MakeMiTable({0.5}, 500, 1);
+  EXPECT_TRUE(SwopeFilterNmi(table, 0, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(SwopeFilterNmi(table, 0, 1.5).status().IsInvalidArgument());
+  EXPECT_TRUE(SwopeFilterNmi(table, 9, 0.2).status().IsInvalidArgument());
+  auto one = Table::Make({Column::FromCodes("only", {0, 1})});
+  ASSERT_TRUE(one.ok());
+  EXPECT_TRUE(SwopeFilterNmi(*one, 0, 0.2).status().IsInvalidArgument());
+}
+
+TEST(SwopeFilterNmiTest, SeparatesStrongFromWeak) {
+  const Table table = MakeMiTable({0.95, 0.9, 0.0, 0.05}, 50000, 2);
+  auto exact = ExactNormalizedMis(table, 0);
+  ASSERT_TRUE(exact.ok());
+  QueryOptions options;
+  options.epsilon = 0.5;
+  // Threshold between the strong (NMI ~ 0.7+) and weak (~0) groups.
+  auto result = SwopeFilterNmi(table, 0, 0.35, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->Contains(1));
+  EXPECT_TRUE(result->Contains(2));
+  EXPECT_FALSE(result->Contains(3));
+  EXPECT_FALSE(result->Contains(4));
+}
+
+TEST(SwopeFilterNmiTest, ClassificationRespectsBand) {
+  const Table table = MakeMiTable({0.9, 0.5, 0.2, 0.0}, 40000, 3);
+  auto exact = ExactNormalizedMis(table, 0);
+  ASSERT_TRUE(exact.ok());
+  QueryOptions options;
+  options.epsilon = 0.5;
+  for (double eta : {0.2, 0.5}) {
+    auto result = SwopeFilterNmi(table, 0, eta, options);
+    ASSERT_TRUE(result.ok());
+    for (size_t j = 1; j < table.num_columns(); ++j) {
+      const double score = (*exact)[j];
+      if (score >= (1.0 + options.epsilon) * eta) {
+        EXPECT_TRUE(result->Contains(j)) << "eta " << eta << " j " << j;
+      }
+      if (score < (1.0 - options.epsilon) * eta) {
+        EXPECT_FALSE(result->Contains(j)) << "eta " << eta << " j " << j;
+      }
+    }
+  }
+}
+
+TEST(SwopeFilterNmiTest, TinyTableMatchesExactClassification) {
+  const Table table = MakeMiTable({0.95, 0.0}, 70, 4);
+  auto exact = ExactNormalizedMis(table, 0);
+  ASSERT_TRUE(exact.ok());
+  const double eta = 0.3;
+  auto result = SwopeFilterNmi(table, 0, eta);
+  ASSERT_TRUE(result.ok());
+  for (size_t j = 1; j < table.num_columns(); ++j) {
+    EXPECT_EQ(result->Contains(j), (*exact)[j] >= eta) << j;
+  }
+}
+
+TEST(SwopeFilterNmiTest, HighThresholdEmpty) {
+  const Table table = MakeMiTable({0.3, 0.2}, 20000, 5);
+  auto result = SwopeFilterNmi(table, 0, 0.99);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->items.empty());
+}
+
+TEST(SwopeFilterNmiTest, DeterministicInSeed) {
+  const Table table = MakeMiTable({0.7, 0.1}, 20000, 6);
+  QueryOptions options;
+  options.seed = 9;
+  auto a = SwopeFilterNmi(table, 0, 0.2, options);
+  auto b = SwopeFilterNmi(table, 0, 0.2, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->items.size(), b->items.size());
+  for (size_t i = 0; i < a->items.size(); ++i) {
+    EXPECT_EQ(a->items[i].index, b->items[i].index);
+  }
+}
+
+}  // namespace
+}  // namespace swope

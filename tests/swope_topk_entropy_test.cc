@@ -1,0 +1,182 @@
+#include "src/core/swope_topk_entropy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/bounds.h"
+#include "src/core/entropy.h"
+#include "src/eval/accuracy.h"
+#include "tests/test_util.h"
+
+namespace swope {
+namespace {
+
+using test::AllIndices;
+using test::MakeEntropyTable;
+
+TEST(SwopeTopKEntropyTest, RejectsBadArguments) {
+  const Table table = MakeEntropyTable({2.0, 1.0}, 500, 1);
+  EXPECT_TRUE(SwopeTopKEntropy(table, 0).status().IsInvalidArgument());
+  QueryOptions bad;
+  bad.epsilon = 2.0;
+  EXPECT_TRUE(SwopeTopKEntropy(table, 1, bad).status().IsInvalidArgument());
+  auto empty = Table::Make({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(SwopeTopKEntropy(*empty, 1).status().IsInvalidArgument());
+}
+
+TEST(SwopeTopKEntropyTest, FindsClearWinner) {
+  // One high-entropy column among low-entropy ones.
+  const Table table = MakeEntropyTable({0.5, 5.5, 0.7, 1.0, 0.2}, 40000, 2);
+  auto result = SwopeTopKEntropy(table, 1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->items.size(), 1u);
+  EXPECT_EQ(result->items[0].index, 1u);
+  EXPECT_GT(result->items[0].estimate, 4.0);
+}
+
+TEST(SwopeTopKEntropyTest, KClampsToColumnCount) {
+  const Table table = MakeEntropyTable({1.0, 2.0, 3.0}, 2000, 3);
+  auto result = SwopeTopKEntropy(table, 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->items.size(), 3u);
+}
+
+TEST(SwopeTopKEntropyTest, ItemsSortedByUpperBound) {
+  const Table table =
+      MakeEntropyTable({1.0, 4.0, 2.0, 5.0, 3.0}, 30000, 4);
+  auto result = SwopeTopKEntropy(table, 5);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->items.size(); ++i) {
+    EXPECT_GE(result->items[i - 1].upper, result->items[i].upper);
+  }
+}
+
+TEST(SwopeTopKEntropyTest, BoundsBracketEstimate) {
+  const Table table = MakeEntropyTable({3.0, 1.0, 4.5}, 20000, 5);
+  auto result = SwopeTopKEntropy(table, 2);
+  ASSERT_TRUE(result.ok());
+  for (const auto& item : result->items) {
+    EXPECT_LE(item.lower, item.estimate + 1e-12);
+    EXPECT_GE(item.upper, item.estimate - 1e-12);
+  }
+}
+
+TEST(SwopeTopKEntropyTest, StatsArePopulated) {
+  const Table table = MakeEntropyTable({2.0, 4.0, 1.0, 3.0}, 50000, 6);
+  auto result = SwopeTopKEntropy(table, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.iterations, 0u);
+  EXPECT_GT(result->stats.final_sample_size, 0u);
+  EXPECT_LE(result->stats.final_sample_size, 50000u);
+  EXPECT_GT(result->stats.cells_scanned, 0u);
+  EXPECT_GE(result->stats.initial_sample_size, kMinSampleSize);
+}
+
+TEST(SwopeTopKEntropyTest, SamplesFarLessThanExactOnEasyInput) {
+  // High k-th entropy => Theorem 2 says few samples needed.
+  const Table table =
+      MakeEntropyTable({5.0, 5.5, 0.3, 0.2, 0.1, 0.4}, 200000, 7);
+  QueryOptions options;
+  options.epsilon = 0.3;
+  auto result = SwopeTopKEntropy(table, 2, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->stats.final_sample_size, 200000u / 4);
+}
+
+TEST(SwopeTopKEntropyTest, DeterministicInSeed) {
+  const Table table = MakeEntropyTable({2.0, 3.0, 1.0, 4.0}, 30000, 8);
+  QueryOptions options;
+  options.seed = 77;
+  auto a = SwopeTopKEntropy(table, 2, options);
+  auto b = SwopeTopKEntropy(table, 2, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->items.size(), b->items.size());
+  for (size_t i = 0; i < a->items.size(); ++i) {
+    EXPECT_EQ(a->items[i].index, b->items[i].index);
+    EXPECT_DOUBLE_EQ(a->items[i].estimate, b->items[i].estimate);
+  }
+  EXPECT_EQ(a->stats.final_sample_size, b->stats.final_sample_size);
+}
+
+TEST(SwopeTopKEntropyTest, TinyTableFallsBackToExact) {
+  // N smaller than M0 -> the first iteration already has M = N.
+  const Table table = MakeEntropyTable({1.0, 2.0, 0.5}, 50, 9);
+  auto result = SwopeTopKEntropy(table, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->stats.exhausted_dataset);
+  const auto exact = ExactEntropies(table);
+  size_t best = 0;
+  for (size_t j = 1; j < exact.size(); ++j) {
+    if (exact[j] > exact[best]) best = j;
+  }
+  EXPECT_EQ(result->items[0].index, best);
+  EXPECT_NEAR(result->items[0].estimate, exact[best], 1e-9);
+}
+
+TEST(SwopeTopKEntropyTest, AllZeroEntropyColumnsStillTerminate) {
+  // Constant columns: every score is 0, so the relative-error stopping
+  // rule can never fire early (Theorem 2's bound degenerates to hN) and
+  // the algorithm must fall through to the exact M = N answer without
+  // looping forever.
+  TableSpec spec;
+  spec.num_rows = 20000;
+  spec.seed = 10;
+  for (int j = 0; j < 4; ++j) {
+    spec.columns.push_back(
+        ColumnSpec::EntropyTargeted("z" + std::to_string(j), 8, 0.0));
+  }
+  auto table = GenerateTable(spec);
+  ASSERT_TRUE(table.ok());
+  auto result = SwopeTopKEntropy(*table, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->items.size(), 2u);
+  EXPECT_TRUE(result->stats.exhausted_dataset);
+  for (const auto& item : result->items) {
+    EXPECT_DOUBLE_EQ(item.estimate, 0.0);
+  }
+}
+
+TEST(SwopeTopKEntropyTest, LargerEpsilonNeverSamplesMore) {
+  const Table table =
+      MakeEntropyTable({3.0, 2.8, 2.5, 1.0, 0.5}, 100000, 11);
+  QueryOptions tight;
+  tight.epsilon = 0.05;
+  QueryOptions loose;
+  loose.epsilon = 0.5;
+  auto tight_result = SwopeTopKEntropy(table, 2, tight);
+  auto loose_result = SwopeTopKEntropy(table, 2, loose);
+  ASSERT_TRUE(tight_result.ok());
+  ASSERT_TRUE(loose_result.ok());
+  EXPECT_LE(loose_result->stats.final_sample_size,
+            tight_result->stats.final_sample_size);
+}
+
+TEST(SwopeTopKEntropyTest, InitialSampleSizeOverrideHonored) {
+  const Table table = MakeEntropyTable({3.0, 1.0}, 50000, 12);
+  QueryOptions options;
+  options.initial_sample_size = 4096;
+  auto result = SwopeTopKEntropy(table, 1, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.initial_sample_size, 4096u);
+  EXPECT_GE(result->stats.final_sample_size, 4096u);
+}
+
+TEST(SwopeTopKEntropyTest, SatisfiesDefinitionOnModerateGap) {
+  const Table table =
+      MakeEntropyTable({4.0, 3.9, 3.8, 1.0, 0.9, 0.8}, 60000, 13);
+  const auto exact = ExactEntropies(table);
+  QueryOptions options;
+  options.epsilon = 0.1;
+  for (size_t k : {1, 2, 3, 4}) {
+    auto result = SwopeTopKEntropy(table, k, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(SatisfiesApproxTopK(result->items, exact,
+                                    AllIndices(table.num_columns()), k,
+                                    options.epsilon))
+        << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace swope

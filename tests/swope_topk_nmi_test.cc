@@ -1,0 +1,118 @@
+#include "src/core/swope_topk_nmi.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/entropy.h"
+#include "tests/test_util.h"
+
+namespace swope {
+namespace {
+
+using test::MakeMiTable;
+
+TEST(SwopeTopKNmiTest, ExactNmiKnownValues) {
+  // Identical columns: NMI = 1.
+  const Column a = Column::FromCodes("a", {0, 1, 2, 3, 0, 1, 2, 3});
+  auto self = ExactNormalizedMi(a, a);
+  ASSERT_TRUE(self.ok());
+  EXPECT_NEAR(*self, 1.0, 1e-12);
+
+  // Independent uniform columns over 4 rows: NMI = 0.
+  const Column x = Column::FromCodes("x", {0, 1, 0, 1});
+  const Column y = Column::FromCodes("y", {0, 0, 1, 1});
+  auto indep = ExactNormalizedMi(x, y);
+  ASSERT_TRUE(indep.ok());
+  EXPECT_NEAR(*indep, 0.0, 1e-12);
+}
+
+TEST(SwopeTopKNmiTest, ExactNmiConstantColumnIsZero) {
+  const Column c = Column::FromCodes("c", {0, 0, 0, 0});
+  const Column x = Column::FromCodes("x", {0, 1, 0, 1});
+  auto nmi = ExactNormalizedMi(c, x);
+  ASSERT_TRUE(nmi.ok());
+  EXPECT_EQ(*nmi, 0.0);
+}
+
+TEST(SwopeTopKNmiTest, ExactNmisTargetSlotZeroAndRange) {
+  const Table table = MakeMiTable({0.9, 0.3, 0.0}, 20000, 1);
+  auto scores = ExactNormalizedMis(table, 0);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ((*scores)[0], 0.0);
+  for (double s : *scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+  EXPECT_GT((*scores)[1], (*scores)[3]);  // rho 0.9 beats rho 0.0
+  EXPECT_TRUE(ExactNormalizedMis(table, 99).status().IsInvalidArgument());
+}
+
+TEST(SwopeTopKNmiTest, RejectsBadArguments) {
+  const Table table = MakeMiTable({0.5}, 500, 2);
+  EXPECT_TRUE(SwopeTopKNmi(table, 9, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(SwopeTopKNmi(table, 0, 0).status().IsInvalidArgument());
+  auto one = Table::Make({Column::FromCodes("only", {0, 1})});
+  ASSERT_TRUE(one.ok());
+  EXPECT_TRUE(SwopeTopKNmi(*one, 0, 1).status().IsInvalidArgument());
+}
+
+TEST(SwopeTopKNmiTest, FindsStrongestCorrelate) {
+  const Table table = MakeMiTable({0.05, 0.9, 0.2, 0.0}, 40000, 3);
+  QueryOptions options;
+  options.epsilon = 0.5;
+  auto result = SwopeTopKNmi(table, 0, 1, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->items.size(), 1u);
+  EXPECT_EQ(result->items[0].index, 2u);  // the rho = 0.9 candidate
+  EXPECT_GT(result->items[0].estimate, 0.3);
+  EXPECT_LE(result->items[0].upper, 1.0 + 1e-12);
+}
+
+TEST(SwopeTopKNmiTest, RankingMatchesExactOnSpreadScores) {
+  const Table table = MakeMiTable({0.95, 0.6, 0.25, 0.0}, 50000, 4);
+  auto exact = ExactNormalizedMis(table, 0);
+  ASSERT_TRUE(exact.ok());
+  QueryOptions options;
+  options.epsilon = 0.3;
+  auto result = SwopeTopKNmi(table, 0, 2, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->items.size(), 2u);
+  EXPECT_EQ(result->items[0].index, 1u);
+  EXPECT_EQ(result->items[1].index, 2u);
+}
+
+TEST(SwopeTopKNmiTest, BoundsBracketExactScore) {
+  const Table table = MakeMiTable({0.9, 0.5, 0.1}, 40000, 5);
+  auto exact = ExactNormalizedMis(table, 0);
+  ASSERT_TRUE(exact.ok());
+  auto result = SwopeTopKNmi(table, 0, 3);
+  ASSERT_TRUE(result.ok());
+  for (const auto& item : result->items) {
+    EXPECT_LE(item.lower, (*exact)[item.index] + 1e-9) << item.name;
+    EXPECT_GE(item.upper, (*exact)[item.index] - 1e-9) << item.name;
+  }
+}
+
+TEST(SwopeTopKNmiTest, DeterministicInSeed) {
+  const Table table = MakeMiTable({0.4, 0.8}, 20000, 6);
+  QueryOptions options;
+  options.seed = 17;
+  auto a = SwopeTopKNmi(table, 0, 1, options);
+  auto b = SwopeTopKNmi(table, 0, 1, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->items[0].index, b->items[0].index);
+  EXPECT_DOUBLE_EQ(a->items[0].estimate, b->items[0].estimate);
+}
+
+TEST(SwopeTopKNmiTest, TinyTableMatchesExactWinner) {
+  const Table table = MakeMiTable({0.0, 0.95}, 60, 7);
+  auto exact = ExactNormalizedMis(table, 0);
+  ASSERT_TRUE(exact.ok());
+  auto result = SwopeTopKNmi(table, 0, 1);
+  ASSERT_TRUE(result.ok());
+  const size_t best = (*exact)[1] >= (*exact)[2] ? 1 : 2;
+  EXPECT_EQ(result->items[0].index, best);
+}
+
+}  // namespace
+}  // namespace swope

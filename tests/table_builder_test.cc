@@ -1,0 +1,95 @@
+#include "src/table/table_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace swope {
+namespace {
+
+TEST(TableBuilderTest, BuildsDictionaryInFirstSeenOrder) {
+  auto builder = TableBuilder::Make({"color", "size"});
+  ASSERT_TRUE(builder.ok());
+  ASSERT_TRUE(builder->AppendRow({"red", "S"}).ok());
+  ASSERT_TRUE(builder->AppendRow({"blue", "M"}).ok());
+  ASSERT_TRUE(builder->AppendRow({"red", "L"}).ok());
+
+  auto table = std::move(*builder).Finish();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 3u);
+  EXPECT_EQ(table->num_columns(), 2u);
+
+  const Column& color = table->column(0);
+  EXPECT_EQ(color.support(), 2u);
+  EXPECT_EQ(color.code(0), 0u);  // red first seen -> 0
+  EXPECT_EQ(color.code(1), 1u);  // blue -> 1
+  EXPECT_EQ(color.code(2), 0u);  // red again
+  EXPECT_EQ(color.LabelOf(0), "red");
+  EXPECT_EQ(color.LabelOf(1), "blue");
+
+  const Column& size = table->column(1);
+  EXPECT_EQ(size.support(), 3u);
+}
+
+TEST(TableBuilderTest, RejectsDuplicateColumnNames) {
+  EXPECT_FALSE(TableBuilder::Make({"a", "a"}).ok());
+}
+
+TEST(TableBuilderTest, RejectsEmptyColumnName) {
+  EXPECT_FALSE(TableBuilder::Make({"a", ""}).ok());
+}
+
+TEST(TableBuilderTest, RejectsWrongArity) {
+  auto builder = TableBuilder::Make({"a", "b"});
+  ASSERT_TRUE(builder.ok());
+  EXPECT_TRUE(builder->AppendRow({"1"}).IsInvalidArgument());
+  EXPECT_TRUE(builder->AppendRow({"1", "2", "3"}).IsInvalidArgument());
+  EXPECT_EQ(builder->num_rows(), 0u);
+}
+
+TEST(TableBuilderTest, EmptyStringIsAValue) {
+  auto builder = TableBuilder::Make({"a"});
+  ASSERT_TRUE(builder.ok());
+  ASSERT_TRUE(builder->AppendRow({""}).ok());
+  ASSERT_TRUE(builder->AppendRow({"x"}).ok());
+  ASSERT_TRUE(builder->AppendRow({""}).ok());
+  auto table = std::move(*builder).Finish();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->column(0).support(), 2u);
+  EXPECT_EQ(table->column(0).code(0), table->column(0).code(2));
+}
+
+TEST(TableBuilderTest, FinishOnEmptyBuilderGivesEmptyColumns) {
+  auto builder = TableBuilder::Make({"a", "b"});
+  ASSERT_TRUE(builder.ok());
+  auto table = std::move(*builder).Finish();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 0u);
+  EXPECT_EQ(table->num_columns(), 2u);
+  EXPECT_EQ(table->column(0).support(), 0u);
+}
+
+TEST(TableBuilderTest, StringViewPathMatchesStringPath) {
+  auto builder = TableBuilder::Make({"a"});
+  ASSERT_TRUE(builder.ok());
+  const std::string value = "hello";
+  std::vector<std::string_view> views = {value};
+  ASSERT_TRUE(builder->AppendRowViews(views).ok());
+  ASSERT_TRUE(builder->AppendRow(std::vector<std::string>{"hello"}).ok());
+  auto table = std::move(*builder).Finish();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->column(0).support(), 1u);
+}
+
+TEST(TableBuilderTest, ManyDistinctValues) {
+  auto builder = TableBuilder::Make({"id_like"});
+  ASSERT_TRUE(builder.ok());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(builder->AppendRow({std::to_string(i)}).ok());
+  }
+  auto table = std::move(*builder).Finish();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->column(0).support(), 500u);
+  EXPECT_EQ(table->column(0).LabelOf(499), "499");
+}
+
+}  // namespace
+}  // namespace swope

@@ -1,0 +1,73 @@
+// Shared dataset builders for the algorithm tests.
+
+#ifndef SWOPE_TESTS_TEST_UTIL_H_
+#define SWOPE_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/correlated.h"
+#include "src/datagen/generator.h"
+#include "src/table/table.h"
+
+namespace swope {
+namespace test {
+
+/// Builds a table whose column j targets entropy `entropies[j]` bits
+/// (support 64 each), with `rows` rows. Column names are e0, e1, ....
+inline Table MakeEntropyTable(const std::vector<double>& entropies,
+                              uint64_t rows, uint64_t seed) {
+  TableSpec spec;
+  spec.num_rows = rows;
+  spec.seed = seed;
+  for (size_t j = 0; j < entropies.size(); ++j) {
+    spec.columns.push_back(ColumnSpec::EntropyTargeted(
+        "e" + std::to_string(j), 64, entropies[j]));
+  }
+  auto table = GenerateTable(spec);
+  EXPECT_TRUE(table.ok()) << table.status().ToString();
+  return std::move(table).value();
+}
+
+/// Builds a table with a uniform target column "t" (index 0) and one
+/// candidate per entry of `rhos`, each correlated with the target at that
+/// rho. Candidate names are c0, c1, ....
+inline Table MakeMiTable(const std::vector<double>& rhos, uint64_t rows,
+                         uint64_t seed, uint32_t target_support = 16) {
+  const auto target_dist = CategoricalDistribution::Uniform(target_support);
+  std::vector<CategoricalDistribution> noise;
+  std::vector<std::string> names;
+  for (size_t j = 0; j < rhos.size(); ++j) {
+    noise.push_back(CategoricalDistribution::Uniform(target_support));
+    names.push_back("c" + std::to_string(j));
+  }
+  auto columns = GenerateTargetWithCorrelates(target_dist, "t", noise, names,
+                                              rhos, rows, seed);
+  EXPECT_TRUE(columns.ok()) << columns.status().ToString();
+  auto table = Table::Make(std::move(columns).value());
+  EXPECT_TRUE(table.ok()) << table.status().ToString();
+  return std::move(table).value();
+}
+
+/// Column indices [0, h) (all columns).
+inline std::vector<size_t> AllIndices(size_t h) {
+  std::vector<size_t> indices(h);
+  for (size_t j = 0; j < h; ++j) indices[j] = j;
+  return indices;
+}
+
+/// Column indices [0, h) minus `target`.
+inline std::vector<size_t> AllIndicesExcept(size_t h, size_t target) {
+  std::vector<size_t> indices;
+  for (size_t j = 0; j < h; ++j) {
+    if (j != target) indices.push_back(j);
+  }
+  return indices;
+}
+
+}  // namespace test
+}  // namespace swope
+
+#endif  // SWOPE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,68 @@
+#include "src/common/top_k_heap.h"
+
+#include <gtest/gtest.h>
+
+namespace swope {
+namespace {
+
+TEST(TopKHeapTest, KeepsLargestK) {
+  TopKHeap<int> heap(3);
+  for (int i = 0; i < 10; ++i) heap.Push(static_cast<double>(i), i);
+  const auto sorted = heap.TakeSortedDescending();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].payload, 9);
+  EXPECT_EQ(sorted[1].payload, 8);
+  EXPECT_EQ(sorted[2].payload, 7);
+}
+
+TEST(TopKHeapTest, FewerThanKItems) {
+  TopKHeap<int> heap(5);
+  heap.Push(1.0, 1);
+  heap.Push(3.0, 3);
+  EXPECT_FALSE(heap.Full());
+  const auto sorted = heap.TakeSortedDescending();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].payload, 3);
+}
+
+TEST(TopKHeapTest, MinScoreTracksKthLargest) {
+  TopKHeap<int> heap(2);
+  heap.Push(5.0, 0);
+  heap.Push(1.0, 1);
+  EXPECT_TRUE(heap.Full());
+  EXPECT_DOUBLE_EQ(heap.MinScore(), 1.0);
+  heap.Push(3.0, 2);  // evicts score 1
+  EXPECT_DOUBLE_EQ(heap.MinScore(), 3.0);
+  heap.Push(2.0, 3);  // below min, ignored
+  EXPECT_DOUBLE_EQ(heap.MinScore(), 3.0);
+}
+
+TEST(TopKHeapTest, TieBreaksTowardSmallerPayload) {
+  TopKHeap<int> heap(2);
+  heap.Push(1.0, 10);
+  heap.Push(1.0, 3);
+  heap.Push(1.0, 7);
+  const auto sorted = heap.TakeSortedDescending();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].payload, 3);
+  EXPECT_EQ(sorted[1].payload, 7);
+}
+
+TEST(TopKHeapTest, ZeroKIgnoresEverything) {
+  TopKHeap<int> heap(0);
+  heap.Push(1.0, 1);
+  EXPECT_EQ(heap.size(), 0u);
+  EXPECT_TRUE(heap.TakeSortedDescending().empty());
+}
+
+TEST(TopKHeapTest, DescendingInsertOrder) {
+  TopKHeap<int> heap(4);
+  for (int i = 100; i > 0; --i) heap.Push(static_cast<double>(i), i);
+  const auto sorted = heap.TakeSortedDescending();
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_EQ(sorted[0].payload, 100);
+  EXPECT_EQ(sorted[3].payload, 97);
+}
+
+}  // namespace
+}  // namespace swope

@@ -1,0 +1,48 @@
+// Compile-visibility check for the umbrella header: every public entry
+// point must be reachable through src/swope.h alone.
+
+#include "src/swope.h"
+
+#include <gtest/gtest.h>
+
+namespace swope {
+namespace {
+
+TEST(UmbrellaHeaderTest, CoreSymbolsVisible) {
+  QueryOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+
+  TableSpec spec;
+  spec.num_rows = 200;
+  spec.seed = 1;
+  spec.columns = {ColumnSpec::Uniform("a", 4), ColumnSpec::Zipf("b", 8, 1.0)};
+  auto table = GenerateTable(spec);
+  ASSERT_TRUE(table.ok());
+
+  EXPECT_TRUE(SwopeTopKEntropy(*table, 1).ok());
+  EXPECT_TRUE(SwopeFilterEntropy(*table, 0.5).ok());
+  EXPECT_TRUE(SwopeTopKMi(*table, 0, 1).ok());
+  EXPECT_TRUE(SwopeFilterMi(*table, 0, 0.1).ok());
+  EXPECT_TRUE(SwopeTopKNmi(*table, 0, 1).ok());
+  EXPECT_TRUE(SwopeFilterNmi(*table, 0, 0.1).ok());
+  EXPECT_TRUE(ExactTopKEntropy(*table, 1).ok());
+  EXPECT_TRUE(EntropyRankTopK(*table, 1).ok());
+  EXPECT_TRUE(EntropyFilterQuery(*table, 0.5).ok());
+  EXPECT_TRUE(MiRankTopK(*table, 0, 1).ok());
+  EXPECT_TRUE(MiFilterQuery(*table, 0, 0.1).ok());
+  EXPECT_TRUE(SelectFeaturesMrmr(*table, 0).ok());
+  EXPECT_GE(ExactEntropy(table->column(0)), 0.0);
+}
+
+TEST(UmbrellaHeaderTest, IoSymbolsVisible) {
+  auto preset = ParseDatasetPreset("cdc");
+  ASSERT_TRUE(preset.ok());
+  EXPECT_EQ(GetPresetInfo(*preset).num_columns, 100u);
+  // Status/Result basics.
+  Result<int> r(3);
+  EXPECT_EQ(r.value_or(0), 3);
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+}  // namespace
+}  // namespace swope

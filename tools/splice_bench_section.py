@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Replace one bench's section inside a combined bench_output.txt.
+
+Usage: splice_bench_section.py <combined_file> <bench_name> <new_section_file>
+
+Sections are delimited by the '===== name =====' banners run_all-style
+loops emit. Used to refresh a single bench's results without re-running
+the whole suite.
+"""
+
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    combined_path, name, section_path = sys.argv[1:]
+    with open(combined_path) as f:
+        lines = f.readlines()
+    with open(section_path) as f:
+        body = f.read().rstrip("\n") + "\n\n"
+
+    banner = f"===== {name} =====\n"
+    try:
+        start = lines.index(banner)
+    except ValueError:
+        print(f"no section '{name}' in {combined_path}", file=sys.stderr)
+        return 1
+    end = start + 1
+    while end < len(lines) and not lines[end].startswith("====="):
+        end += 1
+    lines[start + 1 : end] = [body]
+    with open(combined_path, "w") as f:
+        f.writelines(lines)
+    print(f"replaced section '{name}'")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

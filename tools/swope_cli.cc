@@ -1,0 +1,311 @@
+// swope_cli: command-line front end for the SWOPE library.
+//
+//   swope_cli gen      --preset=cdc --rows=100000 --out=data.swpb
+//   swope_cli info     --in=data.swpb
+//   swope_cli topk     --in=data.swpb --k=5 [--epsilon=0.1] [--exact]
+//   swope_cli filter   --in=data.swpb --eta=2.0 [--epsilon=0.05] [--exact]
+//   swope_cli mi-topk  --in=data.swpb --target=age --k=5 [--epsilon=0.5]
+//   swope_cli mi-filter --in=data.swpb --target=age --eta=0.3
+//
+// Files ending in .csv are parsed as CSV; anything else is read/written
+// as the SWPB binary column store. --max-support=U applies the paper's
+// support-size pruning before querying (default 1000, 0 disables).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/baselines/exact.h"
+#include "src/common/stopwatch.h"
+#include "src/core/entropy.h"
+#include "src/core/swope_filter_entropy.h"
+#include "src/core/swope_filter_mi.h"
+#include "src/core/swope_topk_entropy.h"
+#include "src/core/swope_topk_mi.h"
+#include "src/core/swope_topk_nmi.h"
+#include "src/datagen/dataset_presets.h"
+#include "src/table/binary_io.h"
+#include "src/table/csv_reader.h"
+#include "src/table/csv_writer.h"
+
+namespace swope {
+namespace {
+
+constexpr char kUsage[] =
+    R"(usage: swope_cli <command> [flags]
+
+commands:
+  gen        generate a synthetic dataset    --preset=cdc|hus|pus|enem --rows=N --out=FILE [--seed=N]
+  info       describe a dataset              --in=FILE
+  topk       approximate entropy top-k       --in=FILE --k=N [--epsilon=E] [--seed=N] [--exact]
+  filter     approximate entropy filtering   --in=FILE --eta=T [--epsilon=E] [--seed=N] [--exact]
+  mi-topk    approximate MI top-k            --in=FILE --target=COL --k=N [--epsilon=E] [--exact]
+  mi-filter  approximate MI filtering        --in=FILE --target=COL --eta=T [--epsilon=E] [--exact]
+  nmi-topk   approximate normalized-MI top-k --in=FILE --target=COL --k=N [--epsilon=E]
+
+common flags:
+  --max-support=U   drop columns with more than U distinct values before
+                    querying (default 1000; 0 keeps everything)
+
+FILE handling: *.csv is CSV with a header row; anything else is the SWPB
+binary column store.
+)";
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "swope_cli: %s\n", message.c_str());
+  return 1;
+}
+
+// Minimal --key=value flag map.
+class Flags {
+ public:
+  static Result<Flags> Parse(int argc, char** argv, int first) {
+    Flags flags;
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        return Status::InvalidArgument("unexpected argument '" + arg + "'");
+      }
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags.values_[arg] = "true";
+      } else {
+        flags.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+    return flags;
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  uint64_t GetUint(const std::string& key, uint64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtoull(it->second.c_str(), nullptr,
+                                               10);
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+  bool GetBool(const std::string& key) const {
+    return GetString(key) == "true";
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+bool IsCsvPath(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+}
+
+Result<Table> LoadTable(const Flags& flags) {
+  const std::string path = flags.GetString("in");
+  if (path.empty()) return Status::InvalidArgument("--in=FILE is required");
+  auto table = IsCsvPath(path) ? ReadCsvFile(path)
+                               : ReadBinaryTableFile(path);
+  if (!table.ok()) return table.status();
+  const uint64_t max_support = flags.GetUint("max-support", 1000);
+  if (max_support > 0) {
+    return table->DropHighSupportColumns(
+        static_cast<uint32_t>(max_support));
+  }
+  return table;
+}
+
+QueryOptions OptionsFromFlags(const Flags& flags, double default_epsilon) {
+  QueryOptions options;
+  options.epsilon = flags.GetDouble("epsilon", default_epsilon);
+  options.seed = flags.GetUint("seed", 42);
+  return options;
+}
+
+Result<size_t> ResolveTarget(const Table& table, const Flags& flags) {
+  const std::string target = flags.GetString("target");
+  if (target.empty()) {
+    return Status::InvalidArgument("--target=COLUMN is required");
+  }
+  auto by_name = table.ColumnIndex(target);
+  if (by_name.ok()) return by_name;
+  // Fall back to a numeric index.
+  char* end = nullptr;
+  const unsigned long long index = std::strtoull(target.c_str(), &end, 10);
+  if (end != target.c_str() && *end == '\0' &&
+      index < table.num_columns()) {
+    return static_cast<size_t>(index);
+  }
+  return by_name.status();
+}
+
+void PrintItems(const std::vector<AttributeScore>& items,
+                const QueryStats& stats, double elapsed_ms) {
+  for (const auto& item : items) {
+    std::printf("%-20s %.6f  [%.6f, %.6f]\n", item.name.c_str(),
+                item.estimate, item.lower, item.upper);
+  }
+  std::printf("-- %zu attributes, %.1f ms, sampled %llu rows in %u "
+              "iterations\n",
+              items.size(), elapsed_ms,
+              static_cast<unsigned long long>(stats.final_sample_size),
+              stats.iterations);
+}
+
+int CmdGen(const Flags& flags) {
+  auto preset = ParseDatasetPreset(flags.GetString("preset", "cdc"));
+  if (!preset.ok()) return Fail(preset.status().ToString());
+  const std::string out = flags.GetString("out");
+  if (out.empty()) return Fail("--out=FILE is required");
+  auto table = MakePresetTable(*preset, flags.GetUint("rows", 0),
+                               flags.GetUint("seed", 2021));
+  if (!table.ok()) return Fail(table.status().ToString());
+  const Status status = IsCsvPath(out) ? WriteCsvFile(*table, out)
+                                       : WriteBinaryTableFile(*table, out);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("wrote %llu x %zu table to %s\n",
+              static_cast<unsigned long long>(table->num_rows()),
+              table->num_columns(), out.c_str());
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  auto table = LoadTable(flags);
+  if (!table.ok()) return Fail(table.status().ToString());
+  std::printf("rows:    %llu\ncolumns: %zu\nmax u:   %u\n",
+              static_cast<unsigned long long>(table->num_rows()),
+              table->num_columns(), table->MaxSupport());
+  std::printf("%-20s %-10s %s\n", "column", "support", "entropy(bits)");
+  for (const Column& column : table->columns()) {
+    std::printf("%-20s %-10u %.4f\n", column.name().c_str(),
+                column.support(), ExactEntropy(column));
+  }
+  return 0;
+}
+
+int CmdTopK(const Flags& flags) {
+  auto table = LoadTable(flags);
+  if (!table.ok()) return Fail(table.status().ToString());
+  const size_t k = flags.GetUint("k", 5);
+  Stopwatch watch;
+  if (flags.GetBool("exact")) {
+    auto result = ExactTopKEntropy(*table, k);
+    if (!result.ok()) return Fail(result.status().ToString());
+    PrintItems(result->items, result->stats, watch.ElapsedMillis());
+    return 0;
+  }
+  auto result =
+      SwopeTopKEntropy(*table, k, OptionsFromFlags(flags, 0.1));
+  if (!result.ok()) return Fail(result.status().ToString());
+  PrintItems(result->items, result->stats, watch.ElapsedMillis());
+  return 0;
+}
+
+int CmdFilter(const Flags& flags) {
+  auto table = LoadTable(flags);
+  if (!table.ok()) return Fail(table.status().ToString());
+  const double eta = flags.GetDouble("eta", 1.0);
+  Stopwatch watch;
+  if (flags.GetBool("exact")) {
+    auto result = ExactFilterEntropy(*table, eta);
+    if (!result.ok()) return Fail(result.status().ToString());
+    PrintItems(result->items, result->stats, watch.ElapsedMillis());
+    return 0;
+  }
+  auto result =
+      SwopeFilterEntropy(*table, eta, OptionsFromFlags(flags, 0.05));
+  if (!result.ok()) return Fail(result.status().ToString());
+  PrintItems(result->items, result->stats, watch.ElapsedMillis());
+  return 0;
+}
+
+int CmdMiTopK(const Flags& flags) {
+  auto table = LoadTable(flags);
+  if (!table.ok()) return Fail(table.status().ToString());
+  auto target = ResolveTarget(*table, flags);
+  if (!target.ok()) return Fail(target.status().ToString());
+  const size_t k = flags.GetUint("k", 5);
+  Stopwatch watch;
+  if (flags.GetBool("exact")) {
+    auto result = ExactTopKMi(*table, *target, k);
+    if (!result.ok()) return Fail(result.status().ToString());
+    PrintItems(result->items, result->stats, watch.ElapsedMillis());
+    return 0;
+  }
+  auto result =
+      SwopeTopKMi(*table, *target, k, OptionsFromFlags(flags, 0.5));
+  if (!result.ok()) return Fail(result.status().ToString());
+  PrintItems(result->items, result->stats, watch.ElapsedMillis());
+  return 0;
+}
+
+int CmdMiFilter(const Flags& flags) {
+  auto table = LoadTable(flags);
+  if (!table.ok()) return Fail(table.status().ToString());
+  auto target = ResolveTarget(*table, flags);
+  if (!target.ok()) return Fail(target.status().ToString());
+  const double eta = flags.GetDouble("eta", 0.1);
+  Stopwatch watch;
+  if (flags.GetBool("exact")) {
+    auto result = ExactFilterMi(*table, *target, eta);
+    if (!result.ok()) return Fail(result.status().ToString());
+    PrintItems(result->items, result->stats, watch.ElapsedMillis());
+    return 0;
+  }
+  auto result =
+      SwopeFilterMi(*table, *target, eta, OptionsFromFlags(flags, 0.5));
+  if (!result.ok()) return Fail(result.status().ToString());
+  PrintItems(result->items, result->stats, watch.ElapsedMillis());
+  return 0;
+}
+
+int CmdNmiTopK(const Flags& flags) {
+  auto table = LoadTable(flags);
+  if (!table.ok()) return Fail(table.status().ToString());
+  auto target = ResolveTarget(*table, flags);
+  if (!target.ok()) return Fail(target.status().ToString());
+  const size_t k = flags.GetUint("k", 5);
+  Stopwatch watch;
+  auto result =
+      SwopeTopKNmi(*table, *target, k, OptionsFromFlags(flags, 0.5));
+  if (!result.ok()) return Fail(result.status().ToString());
+  PrintItems(result->items, result->stats, watch.ElapsedMillis());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  const std::string command = argv[1];
+  auto flags = Flags::Parse(argc, argv, 2);
+  if (!flags.ok()) return Fail(flags.status().ToString());
+
+  if (command == "gen") return CmdGen(*flags);
+  if (command == "info") return CmdInfo(*flags);
+  if (command == "topk") return CmdTopK(*flags);
+  if (command == "filter") return CmdFilter(*flags);
+  if (command == "mi-topk") return CmdMiTopK(*flags);
+  if (command == "mi-filter") return CmdMiFilter(*flags);
+  if (command == "nmi-topk") return CmdNmiTopK(*flags);
+  if (command == "help" || command == "--help") {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  std::fputs(kUsage, stderr);
+  return Fail("unknown command '" + command + "'");
+}
+
+}  // namespace
+}  // namespace swope
+
+int main(int argc, char** argv) { return swope::Main(argc, argv); }
