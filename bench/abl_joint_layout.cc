@@ -50,7 +50,8 @@ void Run(const BenchConfig& config) {
                  }).mean_seconds;
       }
       table.AddRow({layout.label,
-                    ReportTable::FormatMillis(total / targets.size())});
+                    ReportTable::FormatMillis(
+                        total / static_cast<double>(targets.size()))});
     }
     table.PrintMarkdown(std::cout);
     std::cout << "\n";

@@ -22,7 +22,7 @@ void Run(const BenchConfig& config) {
     std::cout << "## " << dataset.name << "\n";
     const uint64_t n = dataset.table.num_rows();
     const uint64_t paper_m0 =
-        ComputeM0(n, dataset.table.num_columns(), 1.0 / n,
+        ComputeM0(n, dataset.table.num_columns(), 1.0 / static_cast<double>(n),
                   dataset.table.MaxSupport());
     struct Policy {
       std::string label;

@@ -32,7 +32,8 @@ void Run(const BenchConfig& config) {
                        if (!result.ok()) std::exit(1);
                      }).mean_seconds;
     }
-    const double exact_mean = exact_total / targets.size();
+    const double exact_mean =
+        exact_total / static_cast<double>(targets.size());
 
     ReportTable table({"k", "SWOPE", "EntropyRank", "Exact",
                        "SWOPE vs Rank", "SWOPE vs Exact"});
@@ -55,8 +56,10 @@ void Run(const BenchConfig& config) {
               if (!result.ok()) std::exit(1);
             }).mean_seconds;
       }
-      const double swope_mean = swope_total / targets.size();
-      const double rank_mean = rank_total / targets.size();
+      const double swope_mean =
+          swope_total / static_cast<double>(targets.size());
+      const double rank_mean =
+          rank_total / static_cast<double>(targets.size());
       table.AddRow({std::to_string(k),
                     ReportTable::FormatMillis(swope_mean),
                     ReportTable::FormatMillis(rank_mean),

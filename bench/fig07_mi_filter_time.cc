@@ -33,7 +33,8 @@ void Run(const BenchConfig& config) {
                        if (!result.ok()) std::exit(1);
                      }).mean_seconds;
     }
-    const double exact_mean = exact_total / targets.size();
+    const double exact_mean =
+        exact_total / static_cast<double>(targets.size());
 
     ReportTable table({"eta", "SWOPE", "EntropyFilter", "Exact",
                        "SWOPE vs Filter", "SWOPE vs Exact"});
@@ -58,8 +59,10 @@ void Run(const BenchConfig& config) {
               if (!result.ok()) std::exit(1);
             }).mean_seconds;
       }
-      const double swope_mean = swope_total / targets.size();
-      const double filter_mean = filter_total / targets.size();
+      const double swope_mean =
+          swope_total / static_cast<double>(targets.size());
+      const double filter_mean =
+          filter_total / static_cast<double>(targets.size());
       table.AddRow({ReportTable::FormatDouble(eta, 1),
                     ReportTable::FormatMillis(swope_mean),
                     ReportTable::FormatMillis(filter_mean),

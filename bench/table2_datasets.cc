@@ -38,7 +38,7 @@ void Run(const BenchConfig& config) {
                   std::to_string(pruned.num_rows()),
                   std::to_string(pruned.num_columns()),
                   std::to_string(pruned.MaxSupport()),
-                  ReportTable::FormatDouble(sum / entropies.size(), 2),
+                  ReportTable::FormatDouble(sum / static_cast<double>(entropies.size()), 2),
                   ReportTable::FormatDouble(max_h, 2)});
   }
   table.PrintMarkdown(std::cout);

@@ -1,0 +1,49 @@
+# Sanitizer configuration for the whole tree.
+#
+# SWOPE_SANITIZE is a comma- or semicolon-separated list drawn from
+# {address, undefined, thread, leak}. Flags are applied with directory
+# scope from the top-level CMakeLists, so src/, tests/, tools/, bench/,
+# and examples/ all compile and link with the same instrumentation.
+#
+#   cmake -B build -S . -DSWOPE_SANITIZE=address,undefined
+#   cmake -B build -S . -DSWOPE_SANITIZE=thread
+#
+# thread is mutually exclusive with address/leak (the runtimes conflict);
+# combining them is a configure-time error rather than a cryptic link
+# failure.
+
+set(SWOPE_SANITIZE "" CACHE STRING
+    "Comma-separated sanitizers: address, undefined, thread, leak")
+
+function(swope_enable_sanitizers)
+  if(SWOPE_SANITIZE STREQUAL "")
+    return()
+  endif()
+
+  string(REPLACE "," ";" _sans "${SWOPE_SANITIZE}")
+  set(_known address undefined thread leak)
+  foreach(_san IN LISTS _sans)
+    if(NOT _san IN_LIST _known)
+      message(FATAL_ERROR
+        "SWOPE_SANITIZE: unknown sanitizer '${_san}' "
+        "(expected a comma-separated subset of: ${_known})")
+    endif()
+  endforeach()
+
+  if("thread" IN_LIST _sans AND
+     ("address" IN_LIST _sans OR "leak" IN_LIST _sans))
+    message(FATAL_ERROR
+      "SWOPE_SANITIZE: thread cannot be combined with address or leak")
+  endif()
+
+  string(REPLACE ";" "," _fsan "${_sans}")
+  set(_flags "-fsanitize=${_fsan}" -fno-omit-frame-pointer)
+  if("undefined" IN_LIST _sans)
+    # Make UB abort the test instead of printing and carrying on.
+    list(APPEND _flags -fno-sanitize-recover=all)
+  endif()
+
+  add_compile_options(${_flags})
+  add_link_options(${_flags})
+  message(STATUS "SWOPE: sanitizers enabled: ${_fsan}")
+endfunction()

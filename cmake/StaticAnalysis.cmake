@@ -1,0 +1,45 @@
+# Static-analysis wiring: clang-tidy and the repo lint script.
+#
+# clang-tidy is opt-in (-DSWOPE_CLANG_TIDY=ON) and degrades to a warning
+# when the binary is not installed, so machines without LLVM still
+# configure. The lint script needs only a Python 3 interpreter and is
+# registered both as a `lint` build target and as a ctest test, so a
+# plain `ctest` run enforces the repo idioms.
+
+option(SWOPE_CLANG_TIDY "Run clang-tidy on every compiled TU" OFF)
+
+set(CMAKE_EXPORT_COMPILE_COMMANDS ON)
+
+function(swope_enable_clang_tidy)
+  if(NOT SWOPE_CLANG_TIDY)
+    return()
+  endif()
+  find_program(SWOPE_CLANG_TIDY_EXE NAMES clang-tidy)
+  if(NOT SWOPE_CLANG_TIDY_EXE)
+    message(WARNING "SWOPE_CLANG_TIDY=ON but clang-tidy was not found; "
+                    "continuing without it")
+    return()
+  endif()
+  # Config comes from the top-level .clang-tidy; warnings-as-errors is set
+  # there so CI and local runs agree.
+  set(CMAKE_CXX_CLANG_TIDY "${SWOPE_CLANG_TIDY_EXE}" PARENT_SCOPE)
+  message(STATUS "SWOPE: clang-tidy enabled: ${SWOPE_CLANG_TIDY_EXE}")
+endfunction()
+
+function(swope_add_lint_target)
+  find_package(Python3 COMPONENTS Interpreter)
+  if(NOT Python3_Interpreter_FOUND)
+    message(WARNING "Python3 not found; `lint` target unavailable")
+    return()
+  endif()
+  set(_lint_cmd ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/lint.py
+                --root ${CMAKE_SOURCE_DIR})
+  add_custom_target(lint
+    COMMAND ${_lint_cmd}
+    WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+    COMMENT "Running tools/lint.py"
+    VERBATIM)
+  if(BUILD_TESTING)
+    add_test(NAME lint COMMAND ${_lint_cmd})
+  endif()
+endfunction()

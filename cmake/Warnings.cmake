@@ -1,0 +1,39 @@
+# Warning configuration for the whole tree.
+#
+# Base warnings apply to every target with directory scope. -Werror is
+# promoted per-directory (src/ and tests/ by default) through
+# swope_enable_werror(), gated on the SWOPE_WERROR cache option so a
+# newer compiler with novel diagnostics never hard-blocks a build:
+#
+#   cmake -B build -S . -DSWOPE_WERROR=OFF
+
+option(SWOPE_WERROR "Treat warnings as errors in src/ and tests/" ON)
+
+include(CheckCXXCompilerFlag)
+
+function(swope_enable_warnings)
+  add_compile_options(-Wall -Wextra -Wshadow -Wconversion)
+
+  if(CMAKE_CXX_COMPILER_ID STREQUAL "GNU" AND
+     CMAKE_CXX_COMPILER_VERSION VERSION_LESS 13)
+    # GCC 12 emits bogus -Wrestrict warnings for std::string concatenation
+    # inlined from libstdc++ headers (GCC PR105329); silence just that
+    # diagnostic so -Werror stays viable.
+    add_compile_options(-Wno-restrict)
+  endif()
+
+  # Clang's thread-safety analysis checks the GUARDED_BY/REQUIRES/EXCLUDES
+  # annotations from src/common/thread_annotations.h; GCC ignores both the
+  # flag and the attributes.
+  check_cxx_compiler_flag(-Wthread-safety SWOPE_HAVE_WTHREAD_SAFETY)
+  if(SWOPE_HAVE_WTHREAD_SAFETY)
+    add_compile_options(-Wthread-safety)
+  endif()
+endfunction()
+
+# Call from a directory whose targets should fail on warnings.
+function(swope_enable_werror)
+  if(SWOPE_WERROR)
+    add_compile_options(-Werror)
+  endif()
+endfunction()

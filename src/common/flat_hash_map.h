@@ -63,13 +63,18 @@ class FlatHashMap {
   }
 
   /// Returns a pointer to the value for `key`, or nullptr when absent.
+  /// The non-const overload yields a mutable value slot without a
+  /// const_cast round-trip, so writes through it are well-defined even
+  /// for a map that was originally declared const elsewhere.
   const Value* Find(Key key) const {
     assert(key != kEmptyKey);
     const size_t idx = Probe(key);
     return slots_[idx].first == kEmptyKey ? nullptr : &slots_[idx].second;
   }
   Value* Find(Key key) {
-    return const_cast<Value*>(std::as_const(*this).Find(key));
+    assert(key != kEmptyKey);
+    const size_t idx = Probe(key);
+    return slots_[idx].first == kEmptyKey ? nullptr : &slots_[idx].second;
   }
 
   bool Contains(Key key) const { return Find(key) != nullptr; }

@@ -12,6 +12,7 @@ namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
 
 std::mutex& LogMutex() {
+  // NOLINTNEXTLINE(swope-naked-new): leaky singleton, no destructor race
   static std::mutex* mutex = new std::mutex();
   return *mutex;
 }

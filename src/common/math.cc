@@ -23,6 +23,7 @@ double XLog2XIncrement(uint64_t old_count) {
   // Function-local static reference: built on first use, never destroyed
   // (trivially reclaimed at process exit).
   static const std::vector<double>& kTable = *[] {
+    // NOLINTNEXTLINE(swope-naked-new): leaky singleton, no destructor race
     auto* table = new std::vector<double>(internal_math::kXLog2XTableSize);
     for (uint64_t c = 0; c < table->size(); ++c) {
       (*table)[c] = XLog2X(static_cast<double>(c + 1)) -

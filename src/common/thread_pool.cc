@@ -1,6 +1,8 @@
 #include "src/common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
+#include <exception>
 
 namespace swope {
 
@@ -48,7 +50,43 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
       for (size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
-  for (auto& future : futures) future.get();
+  // Wait with work-helping: when this is itself a pool task (nested
+  // ParallelFor) every worker may be blocked here, so the queue would
+  // never drain if we simply slept on the futures. Helping also means the
+  // pool cannot deadlock regardless of nesting depth or thread count.
+  //
+  // Every future is drained before any exception is rethrown -- the chunk
+  // lambdas capture `fn` by reference, so no chunk may outlive this frame.
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    while (future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!RunOneTask()) {
+        // Queue empty: our chunk is running on another thread. Blocking
+        // indefinitely would be wrong only if new helpable work appears,
+        // so poll with a short timeout.
+        future.wait_for(std::chrono::milliseconds(1));
+      }
+    }
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+bool ThreadPool::RunOneTask() {
+  std::packaged_task<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop();
+  }
+  task();
+  return true;
 }
 
 void ThreadPool::WorkerLoop() {

@@ -16,10 +16,17 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
+
 namespace swope {
 
 /// A minimal work-queue thread pool. Tasks are std::function<void()>;
 /// Submit returns a future for completion/exception propagation.
+///
+/// ParallelFor is reentrant: a task running on the pool may itself call
+/// ParallelFor. The blocked caller helps drain the queue instead of
+/// sleeping, so nested parallel sections cannot deadlock even on a
+/// single-thread pool.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
@@ -32,21 +39,29 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
   /// Enqueues a task; the future resolves when it finishes.
-  std::future<void> Submit(std::function<void()> task);
+  std::future<void> Submit(std::function<void()> task) EXCLUDES(mutex_);
 
   /// Runs fn(i) for i in [begin, end) across the pool and blocks until all
   /// iterations complete. Iterations are distributed in contiguous chunks.
+  /// If any iteration throws, the first exception is rethrown after every
+  /// chunk has finished (so `fn` is never referenced after the call
+  /// returns). A zero-length range returns immediately.
   void ParallelFor(size_t begin, size_t end,
-                   const std::function<void(size_t)>& fn);
+                   const std::function<void(size_t)>& fn) EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mutex_);
+
+  /// Pops and runs one queued task if available. Returns false when the
+  /// queue was empty. Used by ParallelFor callers to help make progress
+  /// while they wait on their chunks.
+  bool RunOneTask() EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
   std::mutex mutex_;
+  std::queue<std::packaged_task<void()>> tasks_ GUARDED_BY(mutex_);
+  bool stop_ GUARDED_BY(mutex_) = false;
   std::condition_variable cv_;
-  bool stop_ = false;
 };
 
 }  // namespace swope

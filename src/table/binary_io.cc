@@ -38,6 +38,19 @@ bool ReadString(std::istream& in, std::string& s, uint32_t max_len) {
   return static_cast<uint32_t>(in.gcount()) == len;
 }
 
+// Returns the number of bytes left in `in`, or -1 when the stream is not
+// seekable (e.g. a pipe), in which case upfront size validation is
+// skipped and truncation is caught by the chunked reads instead.
+std::streamoff RemainingBytes(std::istream& in) {
+  const std::istream::pos_type cur = in.tellg();
+  if (cur == std::istream::pos_type(-1)) return -1;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(cur);
+  if (!in || end == std::istream::pos_type(-1) || end < cur) return -1;
+  return end - cur;
+}
+
 }  // namespace
 
 Status WriteBinaryTable(const Table& table, std::ostream& output) {
@@ -87,6 +100,25 @@ Result<Table> ReadBinaryTable(std::istream& input) {
   uint32_t num_columns = 0;
   if (!ReadPod(input, num_rows) || !ReadPod(input, num_columns)) {
     return Status::Corruption("binary table: truncated header");
+  }
+  // Lower-bound the bytes the header promises against what the stream can
+  // actually deliver: each column costs at least its 9-byte fixed header
+  // plus num_rows codes. A corrupt header claiming billions of rows fails
+  // here with Corruption instead of entering the read loop at all.
+  {
+    const std::streamoff remaining = RemainingBytes(input);
+    if (remaining >= 0) {
+      const auto avail = static_cast<uint64_t>(remaining);
+      constexpr uint64_t kColumnHeaderBytes =
+          sizeof(uint32_t) + sizeof(uint32_t) + sizeof(uint8_t);
+      const uint64_t per_column =
+          kColumnHeaderBytes + num_rows * sizeof(ValueCode);
+      if (num_rows > avail / sizeof(ValueCode) ||
+          (num_columns > 0 && per_column > avail / num_columns)) {
+        return Status::Corruption(
+            "binary table: header claims more data than the stream holds");
+      }
+    }
   }
   constexpr uint32_t kMaxNameLen = 1 << 20;
   std::vector<Column> columns;

@@ -107,8 +107,8 @@ TEST_P(BaselineExactnessTest, MiFilterMatchesFullScan) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BaselineExactnessTest,
                          testing::Values(1, 2, 3, 4, 5, 6),
-                         [](const testing::TestParamInfo<uint64_t>& info) {
-                           return "seed" + std::to_string(info.param);
+                         [](const testing::TestParamInfo<uint64_t>& param_info) {
+                           return "seed" + std::to_string(param_info.param);
                          });
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include "src/table/binary_io.h"
 
+#include <cstdint>
+#include <cstring>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -86,6 +88,37 @@ TEST(BinaryIoTest, WrongVersionIsCorruption) {
   bytes[4] = 99;  // version field follows the 4-byte magic
   std::stringstream bad(bytes);
   EXPECT_TRUE(ReadBinaryTable(bad).status().IsCorruption());
+}
+
+TEST(BinaryIoTest, LyingRowCountIsCorruptionNotAllocation) {
+  // A corrupt header claiming absurd row counts must fail upfront with
+  // Corruption -- the reader validates the declared sizes against the
+  // remaining stream bytes instead of resizing buffers for data that can
+  // never arrive.
+  const Table original = SampleTable();
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteBinaryTable(original, buffer).ok());
+  std::string bytes = buffer.str();
+  // num_rows is the u64 at offset 8 (after magic + version).
+  const uint64_t absurd_rows = uint64_t{1} << 61;
+  std::memcpy(&bytes[8], &absurd_rows, sizeof(absurd_rows));
+  std::stringstream corrupt(bytes);
+  auto loaded = ReadBinaryTable(corrupt);
+  EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status().ToString();
+}
+
+TEST(BinaryIoTest, LyingColumnCountIsCorruption) {
+  const Table original = SampleTable();
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteBinaryTable(original, buffer).ok());
+  std::string bytes = buffer.str();
+  // num_columns is the u32 at offset 16; claim far more columns than the
+  // stream could possibly hold.
+  const uint32_t absurd_columns = 0xFFFFFFFFu;
+  std::memcpy(&bytes[16], &absurd_columns, sizeof(absurd_columns));
+  std::stringstream corrupt(bytes);
+  auto loaded = ReadBinaryTable(corrupt);
+  EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status().ToString();
 }
 
 TEST(BinaryIoTest, FileRoundTrip) {

@@ -67,8 +67,8 @@ INSTANTIATE_TEST_SUITE_P(
                      ColumnSpec::EntropyTargeted("e", 100, 0.1), 1024},
         CoverageCase{"high_entropy",
                      ColumnSpec::EntropyTargeted("e", 512, 8.5), 4096}),
-    [](const testing::TestParamInfo<CoverageCase>& info) {
-      return info.param.name;
+    [](const testing::TestParamInfo<CoverageCase>& param_info) {
+      return param_info.param.name;
     });
 
 }  // namespace

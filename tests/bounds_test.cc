@@ -195,7 +195,9 @@ TEST(BoundsTest, JointIntervalCoversTruthEmpirically) {
       ++counts[a->code(row) * 8 + b->code(row)];
     }
     for (uint64_t c : counts) {
-      if (c > 1) sum += c * std::log2(static_cast<double>(c));
+      if (c > 1) {
+        sum += static_cast<double>(c) * std::log2(static_cast<double>(c));
+      }
     }
     const double sample_entropy =
         std::log2(static_cast<double>(kSample)) - sum / kSample;

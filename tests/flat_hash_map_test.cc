@@ -101,6 +101,25 @@ TEST(FlatHashMapTest, AgreesWithUnorderedMapUnderRandomWorkload) {
   }
 }
 
+TEST(FlatHashMapTest, MutationThroughNonConstFind) {
+  // Regression: the non-const Find used to round-trip through const_cast;
+  // writes through the returned pointer must be well-defined and visible
+  // to subsequent lookups.
+  FlatHashMap<uint32_t, uint64_t> map;
+  map[7] = 100;
+  map[9] = 200;
+  uint64_t* value = map.Find(7);
+  ASSERT_NE(value, nullptr);
+  *value += 23;
+  EXPECT_EQ(map[7], 123u);
+  const FlatHashMap<uint32_t, uint64_t>& cmap = map;
+  ASSERT_NE(cmap.Find(7), nullptr);
+  EXPECT_EQ(*cmap.Find(7), 123u);
+  EXPECT_EQ(*cmap.Find(9), 200u);
+  EXPECT_EQ(map.Find(8), nullptr);
+  EXPECT_EQ(map.size(), 2u);  // Find never inserts.
+}
+
 TEST(FlatHashMapTest, CollidingKeysAllSurvive) {
   // Keys chosen to collide modulo small power-of-two capacities.
   FlatHashMap<uint64_t, uint32_t> map(4);

@@ -89,10 +89,10 @@ INSTANTIATE_TEST_SUITE_P(
     testing::Values(EntropyCase{0.05, 1}, EntropyCase{0.1, 2},
                     EntropyCase{0.1, 3}, EntropyCase{0.25, 4},
                     EntropyCase{0.5, 5}),
-    [](const testing::TestParamInfo<EntropyCase>& info) {
+    [](const testing::TestParamInfo<EntropyCase>& param_info) {
       return "eps" +
-             std::to_string(static_cast<int>(info.param.epsilon * 100)) +
-             "_seed" + std::to_string(info.param.data_seed);
+             std::to_string(static_cast<int>(param_info.param.epsilon * 100)) +
+             "_seed" + std::to_string(param_info.param.data_seed);
     });
 
 struct MiCase {
@@ -152,10 +152,10 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, MiGuaranteeTest,
     testing::Values(MiCase{0.25, 1}, MiCase{0.5, 2}, MiCase{0.5, 3},
                     MiCase{0.75, 4}),
-    [](const testing::TestParamInfo<MiCase>& info) {
+    [](const testing::TestParamInfo<MiCase>& param_info) {
       return "eps" +
-             std::to_string(static_cast<int>(info.param.epsilon * 100)) +
-             "_seed" + std::to_string(info.param.data_seed);
+             std::to_string(static_cast<int>(param_info.param.epsilon * 100)) +
+             "_seed" + std::to_string(param_info.param.data_seed);
     });
 
 // The sampling cost must respond to the problem difficulty the way

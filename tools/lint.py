@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Repo-idiom linter for swope.
+
+Enforces the handful of conventions that clang-tidy cannot express:
+
+  include-guard   headers use #ifndef SWOPE_<PATH>_H_ guards derived from
+                  their path (the leading src/ component is dropped, so
+                  src/common/math.h guards with SWOPE_COMMON_MATH_H_ while
+                  tests/test_util.h guards with SWOPE_TESTS_TEST_UTIL_H_)
+  using-namespace headers must not contain `using namespace`
+  naked-new       no raw new/delete expressions; use containers or smart
+                  pointers. Intentional leaky singletons carry a trailing
+                  `// NOLINT(swope-naked-new): reason` escape.
+  banned-rand     rand()/srand() are banned; use src/common/random.h so
+                  experiments stay reproducible.
+
+Findings print as `path:line: [rule] message` and the exit status is the
+number of findings (capped at 1), so both humans and CI can consume it.
+
+Usage: tools/lint.py [--root REPO_ROOT] [paths...]
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+LINT_DIRS = ("src", "tests", "tools", "bench", "examples")
+EXTENSIONS = {".h", ".cc", ".cpp"}
+
+NAKED_NEW_RE = re.compile(r"(?<![A-Za-z0-9_])new\s+[A-Za-z_:(<]")
+NAKED_DELETE_RE = re.compile(r"(?<![A-Za-z0-9_])delete(\s*\[\s*\])?\s")
+DEFAULTED_DELETE_RE = re.compile(r"=\s*delete")
+BANNED_RAND_RE = re.compile(r"(?<![A-Za-z0-9_])s?rand\s*\(")
+USING_NAMESPACE_RE = re.compile(r"(?<![A-Za-z0-9_])using\s+namespace\b")
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literal contents.
+
+    Keeps newlines so line numbers survive, and keeps a NOLINT marker
+    visible to the rule loop by leaving line comments' text in place only
+    when they contain NOLINT.
+    """
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                end = text.find("\n", i)
+                end = n if end == -1 else end
+                comment = text[i:end]
+                out.append(comment if "NOLINT" in comment else " " * len(comment))
+                i = end
+                continue
+            if ch == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == '"':
+                state = "string"
+                out.append(ch)
+            elif ch == "'":
+                state = "char"
+                out.append(ch)
+            else:
+                out.append(ch)
+            i += 1
+        elif state == "block_comment":
+            if ch == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if ch == "\n" else " ")
+                i += 1
+        else:  # string or char literal
+            quote = '"' if state == "string" else "'"
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+            elif ch == quote:
+                state = "code"
+                out.append(ch)
+                i += 1
+            else:
+                out.append("\n" if ch == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def expected_guard(relpath):
+    parts = list(relpath.parts)
+    if parts[0] == "src":
+        parts = parts[1:]
+    stem = "/".join(parts)
+    return "SWOPE_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_"
+
+
+def check_include_guard(relpath, lines, findings):
+    guard = expected_guard(relpath)
+    ifndef_line = None
+    for idx, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("//"):
+            continue
+        if stripped.startswith("#ifndef"):
+            ifndef_line = idx
+        break
+    if ifndef_line is None or lines[ifndef_line].split()[1:2] != [guard]:
+        got = None
+        if ifndef_line is not None:
+            tokens = lines[ifndef_line].split()
+            got = tokens[1] if len(tokens) > 1 else None
+        findings.append(
+            (relpath, (ifndef_line or 0) + 1, "include-guard",
+             f"expected include guard {guard}" +
+             (f", found {got}" if got else " as the first directive")))
+        return
+    define = lines[ifndef_line + 1].strip() if ifndef_line + 1 < len(lines) else ""
+    if define != f"#define {guard}":
+        findings.append(
+            (relpath, ifndef_line + 2, "include-guard",
+             f"#ifndef {guard} must be followed by #define {guard}"))
+
+
+def lint_file(root, relpath):
+    findings = []
+    text = (root / relpath).read_text(encoding="utf-8")
+    code = strip_comments_and_strings(text)
+    raw_lines = text.splitlines()
+    code_lines = code.splitlines()
+
+    if relpath.suffix == ".h":
+        check_include_guard(relpath, raw_lines, findings)
+
+    for idx, line in enumerate(code_lines):
+        raw = raw_lines[idx] if idx < len(raw_lines) else line
+        prev = raw_lines[idx - 1] if idx > 0 else ""
+        if "NOLINT" in raw or "NOLINTNEXTLINE" in prev:
+            continue
+        lineno = idx + 1
+        if relpath.suffix == ".h" and USING_NAMESPACE_RE.search(line):
+            findings.append((relpath, lineno, "using-namespace",
+                             "`using namespace` is banned in headers"))
+        if NAKED_NEW_RE.search(line):
+            findings.append((relpath, lineno, "naked-new",
+                             "raw `new`; use containers or smart pointers "
+                             "(NOLINT(swope-naked-new) for leaky singletons)"))
+        if NAKED_DELETE_RE.search(line) and not DEFAULTED_DELETE_RE.search(line):
+            findings.append((relpath, lineno, "naked-new",
+                             "raw `delete`; use containers or smart pointers"))
+        if BANNED_RAND_RE.search(line):
+            findings.append((relpath, lineno, "banned-rand",
+                             "rand()/srand() are banned; use "
+                             "src/common/random.h for reproducibility"))
+    return findings
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("paths", nargs="*", type=pathlib.Path,
+                        help="restrict to these files (default: whole tree)")
+    args = parser.parse_args(argv)
+    root = args.root.resolve()
+
+    if args.paths:
+        files = []
+        for p in args.paths:
+            resolved = p.resolve()
+            if not resolved.is_file():
+                print(f"lint.py: no such file: {p}", file=sys.stderr)
+                return 2
+            if not resolved.is_relative_to(root):
+                print(f"lint.py: {p} is outside the repo root {root}",
+                      file=sys.stderr)
+                return 2
+            files.append(resolved.relative_to(root))
+    else:
+        files = sorted(
+            p.relative_to(root)
+            for d in LINT_DIRS
+            for p in (root / d).rglob("*")
+            if p.suffix in EXTENSIONS and p.is_file())
+
+    findings = []
+    for relpath in files:
+        findings.extend(lint_file(root, relpath))
+
+    for relpath, lineno, rule, message in findings:
+        print(f"{relpath}:{lineno}: [{rule}] {message}")
+    if findings:
+        print(f"lint.py: {len(findings)} finding(s) in {len(files)} files",
+              file=sys.stderr)
+        return 1
+    print(f"lint.py: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
