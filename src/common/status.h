@@ -23,6 +23,9 @@ enum class StatusCode : int {
   kCorruption = 5,
   kNotSupported = 6,
   kInternal = 7,
+  kCancelled = 8,
+  kDeadlineExceeded = 9,
+  kUnavailable = 10,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -68,6 +71,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -82,6 +94,11 @@ class Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<category>: <message>".
   std::string ToString() const;

@@ -1,0 +1,15 @@
+#include "src/core/exec_control.h"
+
+namespace swope {
+
+Status ExecControl::Check() const {
+  if (token != nullptr && token->cancelled()) {
+    return Status::Cancelled("query cancelled");
+  }
+  if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+    return Status::DeadlineExceeded("query deadline exceeded");
+  }
+  return Status::OK();
+}
+
+}  // namespace swope

@@ -1,0 +1,65 @@
+// Cooperative cancellation and deadlines for long-running queries.
+//
+// The SWOPE drivers are iterative: each sample-doubling round does a
+// bounded amount of work, so checking an ExecControl once per round gives
+// prompt cancellation without per-row overhead. The engine (src/engine/)
+// attaches an ExecControl to QueryOptions; library users can do the same
+// to abort a query from another thread or to bound its wall-clock time.
+
+#ifndef SWOPE_CORE_EXEC_CONTROL_H_
+#define SWOPE_CORE_EXEC_CONTROL_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "src/common/status.h"
+
+namespace swope {
+
+/// A one-way latch flipped by the cancelling thread and polled by the
+/// query. Safe to share across threads; Cancel() may race with
+/// cancelled() freely (both are atomic).
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Requests cancellation. Idempotent.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Per-query execution limits, polled by the drivers at every
+/// sample-doubling round. Both members are optional; a default
+/// ExecControl never fires. The struct does not own the token: the
+/// owner (engine or caller) must keep it alive for the query's duration.
+struct ExecControl {
+  /// When set and cancelled, the query returns Status::Cancelled.
+  const CancellationToken* token = nullptr;
+
+  /// When set (non-default), the query returns Status::DeadlineExceeded
+  /// once the steady clock passes it.
+  std::chrono::steady_clock::time_point deadline{};
+  bool has_deadline = false;
+
+  /// Convenience: deadline = now + timeout.
+  void SetTimeout(std::chrono::nanoseconds timeout) {
+    deadline = std::chrono::steady_clock::now() + timeout;
+    has_deadline = true;
+  }
+
+  /// OK while the query may keep running; Cancelled / DeadlineExceeded
+  /// otherwise.
+  Status Check() const;
+};
+
+}  // namespace swope
+
+#endif  // SWOPE_CORE_EXEC_CONTROL_H_

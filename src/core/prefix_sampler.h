@@ -10,13 +10,18 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "src/common/result.h"
+#include "src/core/query_options.h"
 #include "src/table/shuffle.h"
 
 namespace swope {
 
-/// Owns a shuffled row order and tracks how much of it has been consumed.
+/// Holds a shuffled row order (owned, or shared with other queries) and
+/// tracks how much of it has been consumed.
 class PrefixSampler {
  public:
   /// Shuffles [0, num_rows) deterministically from `seed`. When
@@ -26,14 +31,20 @@ class PrefixSampler {
   /// shuffled once offline, or generated i.i.d.) and is much more cache
   /// friendly than per-query random access.
   PrefixSampler(uint32_t num_rows, uint64_t seed, bool sequential = false)
-      : order_(sequential ? IdentityOrder(num_rows)
-                          : ShuffledRowOrder(num_rows, seed)) {}
+      : order_(std::make_shared<const std::vector<uint32_t>>(
+            sequential ? IdentityOrder(num_rows)
+                       : ShuffledRowOrder(num_rows, seed))) {}
+
+  /// Adopts an externally owned order (the engine's PermutationCache);
+  /// `order` must be a permutation of [0, order->size()) and non-null.
+  explicit PrefixSampler(std::shared_ptr<const std::vector<uint32_t>> order)
+      : order_(std::move(order)) {}
 
   /// Total number of rows.
-  uint64_t num_rows() const { return order_.size(); }
+  uint64_t num_rows() const { return order_->size(); }
   /// Rows consumed so far (current M).
   uint64_t consumed() const { return consumed_; }
-  const std::vector<uint32_t>& order() const { return order_; }
+  const std::vector<uint32_t>& order() const { return *order_; }
 
   /// Advances the consumed prefix to min(target_m, num_rows) and returns
   /// the [begin, end) range of newly exposed positions in order().
@@ -44,7 +55,7 @@ class PrefixSampler {
   };
   Range GrowTo(uint64_t target_m) {
     const uint64_t begin = consumed_;
-    const uint64_t target = std::min<uint64_t>(target_m, order_.size());
+    const uint64_t target = std::min<uint64_t>(target_m, order_->size());
     if (target > consumed_) consumed_ = target;  // never rewind
     return {begin, consumed_};
   }
@@ -56,9 +67,24 @@ class PrefixSampler {
     return order;
   }
 
-  std::vector<uint32_t> order_;
+  std::shared_ptr<const std::vector<uint32_t>> order_;
   uint64_t consumed_ = 0;
 };
+
+/// Builds the sampler a driver should use for `options` over a table of
+/// `num_rows` rows: the engine-injected shared order when present (after
+/// validating its length), otherwise a fresh per-query order.
+inline Result<PrefixSampler> MakePrefixSampler(uint32_t num_rows,
+                                               const QueryOptions& options) {
+  if (options.shared_order != nullptr) {
+    if (options.shared_order->size() != num_rows) {
+      return Status::InvalidArgument(
+          "shared_order length does not match the queried table");
+    }
+    return PrefixSampler(options.shared_order);
+  }
+  return PrefixSampler(num_rows, options.seed, options.sequential_sampling);
+}
 
 }  // namespace swope
 

@@ -5,10 +5,14 @@
 #define SWOPE_CORE_QUERY_OPTIONS_H_
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "src/common/status.h"
 
 namespace swope {
+
+struct ExecControl;
 
 /// Tunable parameters of a sampling query. Defaults follow the paper's
 /// experimental settings where one exists.
@@ -45,6 +49,19 @@ struct QueryOptions {
   /// faster because batches read columns sequentially. The benches enable
   /// this, matching the paper's implementation.
   bool sequential_sampling = false;
+
+  /// Engine hook: a pre-shuffled row order to sample from, shared across
+  /// concurrent queries over the same table (sound per Section 6.1: one
+  /// exchangeable order serves every query). Must be a permutation of
+  /// [0, N) for the queried table; when null the driver draws its own
+  /// permutation from `seed`. Ignored by ResultCache canonicalization --
+  /// the engine only injects an order equal to what `seed` would produce.
+  std::shared_ptr<const std::vector<uint32_t>> shared_order;
+
+  /// Engine hook: cooperative cancellation / deadline, polled at every
+  /// sample-doubling round. Not owned; may be null. The caller keeps the
+  /// pointee alive for the duration of the query.
+  const ExecControl* control = nullptr;
 
   /// Validates ranges; returns InvalidArgument with a description on
   /// failure.

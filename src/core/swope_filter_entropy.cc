@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/core/bounds.h"
+#include "src/core/exec_control.h"
 #include "src/core/frequency_counter.h"
 #include "src/core/prefix_sampler.h"
 
@@ -34,8 +35,9 @@ Result<FilterResult> SwopeFilterEntropy(const Table& table, double eta,
   FilterResult result;
   result.stats.initial_sample_size = m0;
 
-  PrefixSampler sampler(static_cast<uint32_t>(n), options.seed,
-                        options.sequential_sampling);
+  SWOPE_ASSIGN_OR_RETURN(
+      PrefixSampler sampler,
+      MakePrefixSampler(static_cast<uint32_t>(n), options));
   std::vector<FrequencyCounter> counters;
   counters.reserve(h);
   for (size_t j = 0; j < h; ++j) {
@@ -51,6 +53,9 @@ Result<FilterResult> SwopeFilterEntropy(const Table& table, double eta,
 
   uint64_t m = std::min<uint64_t>(m0, n);
   while (!active.empty()) {
+    if (options.control != nullptr) {
+      SWOPE_RETURN_NOT_OK(options.control->Check());
+    }
     ++result.stats.iterations;
     const PrefixSampler::Range range = sampler.GrowTo(m);
     result.stats.cells_scanned +=

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/core/bounds.h"
+#include "src/core/exec_control.h"
 #include "src/core/frequency_counter.h"
 #include "src/core/pair_counter.h"
 #include "src/core/prefix_sampler.h"
@@ -73,8 +74,9 @@ Result<FilterResult> SwopeFilterNmi(const Table& table, size_t target,
   FilterResult result;
   result.stats.initial_sample_size = m0;
 
-  PrefixSampler sampler(static_cast<uint32_t>(n), options.seed,
-                        options.sequential_sampling);
+  SWOPE_ASSIGN_OR_RETURN(
+      PrefixSampler sampler,
+      MakePrefixSampler(static_cast<uint32_t>(n), options));
   FrequencyCounter target_counter(target_col.support());
   std::vector<NmiState> states;
   states.reserve(h - 1);
@@ -93,6 +95,9 @@ Result<FilterResult> SwopeFilterNmi(const Table& table, size_t target,
 
   uint64_t m = std::min<uint64_t>(m0, n);
   while (!active.empty()) {
+    if (options.control != nullptr) {
+      SWOPE_RETURN_NOT_OK(options.control->Check());
+    }
     ++result.stats.iterations;
     const PrefixSampler::Range range = sampler.GrowTo(m);
     target_counter.AddRows(target_col, sampler.order(), range.begin,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/core/bounds.h"
+#include "src/core/exec_control.h"
 #include "src/core/frequency_counter.h"
 #include "src/core/prefix_sampler.h"
 
@@ -43,8 +44,9 @@ Result<TopKResult> SwopeTopKEntropy(const Table& table, size_t k,
   TopKResult result;
   result.stats.initial_sample_size = m0;
 
-  PrefixSampler sampler(static_cast<uint32_t>(n), options.seed,
-                        options.sequential_sampling);
+  SWOPE_ASSIGN_OR_RETURN(
+      PrefixSampler sampler,
+      MakePrefixSampler(static_cast<uint32_t>(n), options));
   std::vector<Candidate> candidates(h);
   for (size_t j = 0; j < h; ++j) {
     candidates[j].column = j;
@@ -78,6 +80,9 @@ Result<TopKResult> SwopeTopKEntropy(const Table& table, size_t k,
 
   uint64_t m = std::min<uint64_t>(m0, n);
   for (;;) {
+    if (options.control != nullptr) {
+      SWOPE_RETURN_NOT_OK(options.control->Check());
+    }
     ++result.stats.iterations;
     // Absorb the new permutation slice into every active counter.
     const PrefixSampler::Range range = sampler.GrowTo(m);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/core/bounds.h"
+#include "src/core/exec_control.h"
 #include "src/core/entropy.h"
 #include "src/core/frequency_counter.h"
 #include "src/core/pair_counter.h"
@@ -99,8 +100,9 @@ Result<TopKResult> SwopeTopKNmi(const Table& table, size_t target, size_t k,
   TopKResult result;
   result.stats.initial_sample_size = m0;
 
-  PrefixSampler sampler(static_cast<uint32_t>(n), options.seed,
-                        options.sequential_sampling);
+  SWOPE_ASSIGN_OR_RETURN(
+      PrefixSampler sampler,
+      MakePrefixSampler(static_cast<uint32_t>(n), options));
   FrequencyCounter target_counter(target_col.support());
   std::vector<NmiCandidate> candidates;
   candidates.reserve(h - 1);
@@ -139,6 +141,9 @@ Result<TopKResult> SwopeTopKNmi(const Table& table, size_t target, size_t k,
 
   uint64_t m = std::min<uint64_t>(m0, n);
   for (;;) {
+    if (options.control != nullptr) {
+      SWOPE_RETURN_NOT_OK(options.control->Check());
+    }
     ++result.stats.iterations;
     const PrefixSampler::Range range = sampler.GrowTo(m);
     target_counter.AddRows(target_col, sampler.order(), range.begin,

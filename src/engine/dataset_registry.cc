@@ -1,0 +1,100 @@
+#include "src/engine/dataset_registry.h"
+
+#include <utility>
+
+#include "src/table/fingerprint.h"
+
+namespace swope {
+
+uint64_t ApproxTableBytes(const Table& table) {
+  uint64_t bytes = 0;
+  for (const Column& column : table.columns()) {
+    bytes += column.codes().size() * sizeof(ValueCode);
+    for (const std::string& label : column.labels()) {
+      bytes += label.size() + sizeof(std::string);
+    }
+  }
+  return bytes;
+}
+
+Status DatasetRegistry::Put(const std::string& name, Table table) {
+  if (name.empty()) {
+    return Status::InvalidArgument("registry: dataset name must be non-empty");
+  }
+  // Fingerprint outside the lock: it scans every cell.
+  auto dataset = std::make_shared<Dataset>();
+  dataset->name = name;
+  dataset->fingerprint = TableFingerprint(table);
+  dataset->approx_bytes = ApproxTableBytes(table);
+  dataset->table = std::move(table);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = datasets_[name];
+  if (slot.dataset != nullptr) {
+    resident_bytes_ -= slot.dataset->approx_bytes;
+  }
+  resident_bytes_ += dataset->approx_bytes;
+  slot.dataset = std::move(dataset);
+  slot.last_used = ++tick_;
+  EvictToBudget(name);
+  return Status::OK();
+}
+
+Result<DatasetHandle> DatasetRegistry::Get(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("registry: no dataset named '" + name + "'");
+  }
+  it->second.last_used = ++tick_;
+  return it->second.dataset;
+}
+
+Status DatasetRegistry::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("registry: no dataset named '" + name + "'");
+  }
+  resident_bytes_ -= it->second.dataset->approx_bytes;
+  datasets_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> DatasetRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(datasets_.size());
+  for (const auto& [name, slot] : datasets_) names.push_back(name);
+  return names;
+}
+
+DatasetRegistry::Stats DatasetRegistry::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.resident_datasets = datasets_.size();
+  stats.resident_bytes = resident_bytes_;
+  stats.memory_budget_bytes = budget_;
+  stats.evictions = evictions_;
+  return stats;
+}
+
+void DatasetRegistry::EvictToBudget(const std::string& keep) {
+  if (budget_ == 0) return;
+  while (resident_bytes_ > budget_ && datasets_.size() > 1) {
+    auto victim = datasets_.end();
+    for (auto it = datasets_.begin(); it != datasets_.end(); ++it) {
+      if (it->first == keep) continue;
+      if (victim == datasets_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == datasets_.end()) return;
+    resident_bytes_ -= victim->second.dataset->approx_bytes;
+    datasets_.erase(victim);
+    ++evictions_;
+  }
+}
+
+}  // namespace swope

@@ -1,0 +1,105 @@
+// DatasetRegistry: named, refcounted, resident tables for the engine.
+//
+// Queries address datasets by name; the registry keeps each table loaded
+// exactly once and hands out shared_ptr handles, so a table stays alive
+// while any in-flight query uses it even if it is evicted or replaced
+// concurrently (tables are immutable, handles never dangle). A
+// configurable memory budget bounds resident bytes; crossing it evicts
+// least-recently-used datasets -- eviction only drops the registry's
+// reference, reclaiming memory once the last query handle goes away.
+//
+// Every dataset carries its content fingerprint (table/fingerprint.h),
+// which the result and permutation caches use as their table identity:
+// re-registering different data under the same name can therefore never
+// serve stale cached answers.
+
+#ifndef SWOPE_ENGINE_DATASET_REGISTRY_H_
+#define SWOPE_ENGINE_DATASET_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/thread_annotations.h"
+#include "src/table/table.h"
+
+namespace swope {
+
+/// An immutable registered dataset. Handles returned by Get() share
+/// ownership; the table outlives eviction while any handle exists.
+struct Dataset {
+  std::string name;
+  Table table;
+  /// Content fingerprint (TableFingerprint).
+  uint64_t fingerprint = 0;
+  /// Approximate resident size (codes + dictionaries), used for the
+  /// memory budget.
+  uint64_t approx_bytes = 0;
+};
+
+using DatasetHandle = std::shared_ptr<const Dataset>;
+
+/// Approximate resident bytes of a table: 4 bytes per code plus label
+/// dictionary payloads.
+uint64_t ApproxTableBytes(const Table& table);
+
+/// Thread-safe name -> Dataset map with LRU eviction under a byte budget.
+class DatasetRegistry {
+ public:
+  /// `memory_budget_bytes` == 0 disables eviction (unlimited).
+  explicit DatasetRegistry(uint64_t memory_budget_bytes = 0)
+      : budget_(memory_budget_bytes) {}
+
+  DatasetRegistry(const DatasetRegistry&) = delete;
+  DatasetRegistry& operator=(const DatasetRegistry&) = delete;
+
+  /// Registers (or replaces) `name`. The table is fingerprinted and
+  /// becomes immutable. May evict other datasets to respect the budget;
+  /// the newly inserted dataset itself is never evicted by its own Put,
+  /// even when it alone exceeds the budget (the budget is a target, not
+  /// a hard admission bound).
+  Status Put(const std::string& name, Table table) EXCLUDES(mutex_);
+
+  /// Fetches a handle and marks the dataset most-recently-used.
+  /// NotFound when `name` is not resident (never registered or evicted).
+  Result<DatasetHandle> Get(const std::string& name) EXCLUDES(mutex_);
+
+  /// Drops `name` from the registry (in-flight handles stay valid).
+  Status Remove(const std::string& name) EXCLUDES(mutex_);
+
+  /// Resident dataset names, sorted.
+  std::vector<std::string> Names() const EXCLUDES(mutex_);
+
+  struct Stats {
+    size_t resident_datasets = 0;
+    uint64_t resident_bytes = 0;
+    uint64_t memory_budget_bytes = 0;
+    uint64_t evictions = 0;
+  };
+  Stats GetStats() const EXCLUDES(mutex_);
+
+ private:
+  struct Slot {
+    DatasetHandle dataset;
+    uint64_t last_used = 0;
+  };
+
+  /// Evicts LRU datasets (never `keep`) until resident bytes fit the
+  /// budget or only `keep` remains.
+  void EvictToBudget(const std::string& keep) REQUIRES(mutex_);
+
+  const uint64_t budget_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Slot> datasets_ GUARDED_BY(mutex_);
+  uint64_t tick_ GUARDED_BY(mutex_) = 0;
+  uint64_t resident_bytes_ GUARDED_BY(mutex_) = 0;
+  uint64_t evictions_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace swope
+
+#endif  // SWOPE_ENGINE_DATASET_REGISTRY_H_

@@ -1,0 +1,75 @@
+#include "src/engine/permutation_cache.h"
+
+#include <utility>
+
+#include "src/table/shuffle.h"
+
+namespace swope {
+
+std::shared_ptr<const std::vector<uint32_t>> PermutationCache::GetOrCreate(
+    uint64_t fingerprint, uint32_t num_rows, uint64_t seed, bool sequential) {
+  const Key key{fingerprint, sequential ? 0 : seed, sequential};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.order->size() == num_rows) {
+      ++hits_;
+      it->second.last_used = ++tick_;
+      return it->second.order;
+    }
+  }
+
+  // Build outside the lock; the result is deterministic, so concurrent
+  // builders for one key produce identical vectors and any may win.
+  std::vector<uint32_t> order;
+  if (sequential) {
+    order.resize(num_rows);
+    for (uint32_t i = 0; i < num_rows; ++i) order[i] = i;
+  } else {
+    order = ShuffledRowOrder(num_rows, seed);
+  }
+  auto shared =
+      std::make_shared<const std::vector<uint32_t>>(std::move(order));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++misses_;
+  if (capacity_ == 0) return shared;
+  auto it = entries_.find(key);
+  if (it != entries_.end() && it->second.order->size() == num_rows) {
+    // Raced with another builder; reuse the incumbent so concurrent
+    // queries converge on one allocation.
+    it->second.last_used = ++tick_;
+    return it->second.order;
+  }
+  Entry& entry = entries_[key];
+  entry.order = shared;
+  entry.last_used = ++tick_;
+  EvictToCapacity();
+  return shared;
+}
+
+PermutationCache::Stats PermutationCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.entries = entries_.size();
+  return stats;
+}
+
+void PermutationCache::EvictToCapacity() {
+  while (entries_.size() > capacity_) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (victim == entries_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    entries_.erase(victim);
+    ++evictions_;
+  }
+}
+
+}  // namespace swope

@@ -1,0 +1,84 @@
+// PermutationCache: one shuffled row order shared by concurrent queries.
+//
+// Drawing a permutation of N rows is O(N) time and 4N bytes -- for a
+// resident table under heavy traffic that can rival the sampling cost
+// itself. By the paper's Section 6.1 observation a single exchangeable
+// order is sound for every query over the same table, and because each
+// query's order is the deterministic function ShuffledRowOrder(N, seed),
+// sharing it changes nothing about any individual answer. Entries are
+// keyed by (table fingerprint, seed, sequential flag) and handed out as
+// shared_ptr so eviction never invalidates a running query.
+
+#ifndef SWOPE_ENGINE_PERMUTATION_CACHE_H_
+#define SWOPE_ENGINE_PERMUTATION_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/thread_annotations.h"
+
+namespace swope {
+
+/// Thread-safe LRU cache of row orders. The expensive shuffle runs
+/// outside the lock; a racing miss on the same key builds the identical
+/// (deterministic) vector and the first insertion wins.
+class PermutationCache {
+ public:
+  /// Keeps at most `capacity` orders; 0 disables sharing (every call
+  /// builds a fresh order).
+  explicit PermutationCache(size_t capacity) : capacity_(capacity) {}
+
+  PermutationCache(const PermutationCache&) = delete;
+  PermutationCache& operator=(const PermutationCache&) = delete;
+
+  /// Returns the shared order for (fingerprint, seed, sequential) over
+  /// `num_rows` rows, building and caching it on first use. `sequential`
+  /// returns the identity order (the paper's sequential sampling); the
+  /// seed is then irrelevant and ignored in the key.
+  std::shared_ptr<const std::vector<uint32_t>> GetOrCreate(
+      uint64_t fingerprint, uint32_t num_rows, uint64_t seed,
+      bool sequential) EXCLUDES(mutex_);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+  Stats GetStats() const EXCLUDES(mutex_);
+
+ private:
+  struct Key {
+    uint64_t fingerprint;
+    uint64_t seed;
+    bool sequential;
+    bool operator<(const Key& other) const {
+      if (fingerprint != other.fingerprint) {
+        return fingerprint < other.fingerprint;
+      }
+      if (seed != other.seed) return seed < other.seed;
+      return sequential < other.sequential;
+    }
+  };
+  struct Entry {
+    std::shared_ptr<const std::vector<uint32_t>> order;
+    uint64_t last_used = 0;
+  };
+
+  void EvictToCapacity() REQUIRES(mutex_);
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::map<Key, Entry> entries_ GUARDED_BY(mutex_);
+  uint64_t tick_ GUARDED_BY(mutex_) = 0;
+  uint64_t hits_ GUARDED_BY(mutex_) = 0;
+  uint64_t misses_ GUARDED_BY(mutex_) = 0;
+  uint64_t evictions_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace swope
+
+#endif  // SWOPE_ENGINE_PERMUTATION_CACHE_H_

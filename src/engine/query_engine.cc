@@ -1,0 +1,236 @@
+#include "src/engine/query_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/core/swope_filter_entropy.h"
+#include "src/core/swope_filter_mi.h"
+#include "src/core/swope_filter_nmi.h"
+#include "src/core/swope_topk_entropy.h"
+#include "src/core/swope_topk_mi.h"
+#include "src/core/swope_topk_nmi.h"
+#include "src/table/binary_io.h"
+#include "src/table/csv_reader.h"
+
+namespace swope {
+
+namespace {
+
+bool IsCsvPath(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(EngineConfig config)
+    : config_([&config] {
+        config.num_threads = std::max<size_t>(1, config.num_threads);
+        config.max_in_flight = std::max<size_t>(1, config.max_in_flight);
+        return config;
+      }()),
+      registry_(config_.memory_budget_bytes),
+      result_cache_(config_.result_cache_capacity),
+      permutation_cache_(config_.permutation_cache_capacity),
+      pool_(config_.num_threads) {}
+
+Status QueryEngine::RegisterDataset(const std::string& name, Table table) {
+  return registry_.Put(name, std::move(table));
+}
+
+Status QueryEngine::RegisterDatasetFile(const std::string& name,
+                                        const std::string& path,
+                                        uint32_t max_support) {
+  auto table =
+      IsCsvPath(path) ? ReadCsvFile(path) : ReadBinaryTableFile(path);
+  if (!table.ok()) return table.status();
+  if (max_support > 0) {
+    return registry_.Put(name, table->DropHighSupportColumns(max_support));
+  }
+  return registry_.Put(name, *std::move(table));
+}
+
+Status QueryEngine::RemoveDataset(const std::string& name) {
+  return registry_.Remove(name);
+}
+
+Result<QueryResponse> QueryEngine::Run(const QuerySpec& spec,
+                                       const CancellationToken* cancel) {
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.queries_started;
+  }
+  auto fail = [this](Status status) -> Result<QueryResponse> {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.queries_failed;
+    if (status.IsCancelled()) ++counters_.cancelled;
+    if (status.IsDeadlineExceeded()) ++counters_.deadline_exceeded;
+    return status;
+  };
+
+  auto dataset = registry_.Get(spec.dataset);
+  if (!dataset.ok()) return fail(dataset.status());
+  auto resolved = ResolveSpec(spec, (*dataset)->table);
+  if (!resolved.ok()) return fail(resolved.status());
+
+  // A certified answer for the same (table contents, canonical spec) is
+  // byte-identical to a re-run; serve it without sampling a single row.
+  if (auto cached = result_cache_.Lookup((*dataset)->fingerprint,
+                                         resolved->canonical_key)) {
+    QueryResponse response;
+    response.kind = resolved->kind;
+    response.fingerprint = (*dataset)->fingerprint;
+    response.canonical_key = resolved->canonical_key;
+    response.cache_hit = true;
+    response.items = cached->items;
+    response.stats = cached->stats;
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.queries_ok;
+    return response;
+  }
+
+  auto response = Execute(*dataset, *resolved, cancel);
+  if (!response.ok()) return fail(response.status());
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.queries_ok;
+    counters_.rows_sampled += response->stats.final_sample_size;
+  }
+  result_cache_.Insert(response->fingerprint, response->canonical_key,
+                       CachedAnswer{response->items, response->stats});
+  return response;
+}
+
+std::future<Result<QueryResponse>> QueryEngine::Submit(
+    QuerySpec spec, const CancellationToken* cancel) {
+  auto promise = std::make_shared<std::promise<Result<QueryResponse>>>();
+  std::future<Result<QueryResponse>> future = promise->get_future();
+  pool_.Submit([this, promise, spec = std::move(spec), cancel] {
+    promise->set_value(Run(spec, cancel));
+  });
+  return future;
+}
+
+Result<QueryResponse> QueryEngine::Execute(const DatasetHandle& dataset,
+                                           const ResolvedSpec& resolved,
+                                           const CancellationToken* cancel) {
+  ExecControl control;
+  control.token = cancel;
+  const uint64_t timeout_ms = resolved.timeout_ms > 0
+                                  ? resolved.timeout_ms
+                                  : config_.default_timeout_ms;
+  if (timeout_ms > 0) {
+    control.SetTimeout(std::chrono::milliseconds(timeout_ms));
+  }
+
+  // Admission control: bounded concurrent executions. Waiting honours the
+  // query's own deadline and cancellation (polled, so no token->cv hookup
+  // is needed).
+  {
+    std::unique_lock<std::mutex> lock(admission_mutex_);
+    while (in_flight_ >= config_.max_in_flight) {
+      SWOPE_RETURN_NOT_OK(control.Check());
+      admission_cv_.wait_for(lock, std::chrono::milliseconds(5));
+    }
+    ++in_flight_;
+  }
+  struct SlotRelease {
+    QueryEngine* engine;
+    ~SlotRelease() {
+      {
+        std::lock_guard<std::mutex> lock(engine->admission_mutex_);
+        --engine->in_flight_;
+      }
+      engine->admission_cv_.notify_one();
+    }
+  } release{this};
+
+  const Table& table = dataset->table;
+  QueryOptions options = resolved.options;
+  options.control = &control;
+  if (table.num_rows() > 0) {
+    options.shared_order = permutation_cache_.GetOrCreate(
+        dataset->fingerprint, static_cast<uint32_t>(table.num_rows()),
+        options.seed, options.sequential_sampling);
+  }
+
+  auto response = Dispatch(table, resolved, options);
+  if (!response.ok()) return response.status();
+  response->fingerprint = dataset->fingerprint;
+  response->canonical_key = resolved.canonical_key;
+  return response;
+}
+
+Result<QueryResponse> QueryEngine::Dispatch(const Table& table,
+                                            const ResolvedSpec& resolved,
+                                            const QueryOptions& options) {
+  QueryResponse response;
+  response.kind = resolved.kind;
+  switch (resolved.kind) {
+    case QueryKind::kEntropyTopK: {
+      auto result = SwopeTopKEntropy(table, resolved.k, options);
+      if (!result.ok()) return result.status();
+      response.items = std::move(result->items);
+      response.stats = result->stats;
+      return response;
+    }
+    case QueryKind::kEntropyFilter: {
+      auto result = SwopeFilterEntropy(table, resolved.eta, options);
+      if (!result.ok()) return result.status();
+      response.items = std::move(result->items);
+      response.stats = result->stats;
+      return response;
+    }
+    case QueryKind::kMiTopK: {
+      auto result =
+          SwopeTopKMi(table, resolved.target, resolved.k, options);
+      if (!result.ok()) return result.status();
+      response.items = std::move(result->items);
+      response.stats = result->stats;
+      return response;
+    }
+    case QueryKind::kMiFilter: {
+      auto result =
+          SwopeFilterMi(table, resolved.target, resolved.eta, options);
+      if (!result.ok()) return result.status();
+      response.items = std::move(result->items);
+      response.stats = result->stats;
+      return response;
+    }
+    case QueryKind::kNmiTopK: {
+      auto result =
+          SwopeTopKNmi(table, resolved.target, resolved.k, options);
+      if (!result.ok()) return result.status();
+      response.items = std::move(result->items);
+      response.stats = result->stats;
+      return response;
+    }
+    case QueryKind::kNmiFilter: {
+      auto result =
+          SwopeFilterNmi(table, resolved.target, resolved.eta, options);
+      if (!result.ok()) return result.status();
+      response.items = std::move(result->items);
+      response.stats = result->stats;
+      return response;
+    }
+  }
+  return Status::Internal("query engine: unhandled query kind");
+}
+
+EngineCounters QueryEngine::GetCounters() const {
+  EngineCounters counters;
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    counters = counters_;
+  }
+  const ResultCache::Stats results = result_cache_.GetStats();
+  counters.result_cache_hits = results.hits;
+  counters.result_cache_misses = results.misses;
+  const PermutationCache::Stats perms = permutation_cache_.GetStats();
+  counters.permutation_cache_hits = perms.hits;
+  counters.permutation_cache_misses = perms.misses;
+  counters.registry_evictions = registry_.GetStats().evictions;
+  return counters;
+}
+
+}  // namespace swope

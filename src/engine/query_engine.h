@@ -1,0 +1,148 @@
+// QueryEngine: the long-lived serving layer over the SWOPE library.
+//
+// One engine owns a DatasetRegistry of resident tables, a ResultCache of
+// certified answers, a PermutationCache of shared row orders, and a
+// ThreadPool executor. QueryEngine::Run is the single dispatcher for all
+// six query kinds; Submit runs the same path asynchronously on the pool.
+//
+// Run's pipeline:
+//   1. resolve the spec against the named dataset (canonicalization),
+//   2. serve from ResultCache when a prior run certified the same
+//      (fingerprint, canonical spec) -- zero rows sampled,
+//   3. otherwise admit the query (bounded in-flight concurrency; waiting
+//      respects the query's deadline), attach the shared permutation and
+//      an ExecControl (cancellation + deadline, polled by the driver at
+//      every sample-doubling round), execute, and cache the answer.
+//
+// Thread safety: every public method is safe to call concurrently.
+
+#ifndef SWOPE_ENGINE_QUERY_ENGINE_H_
+#define SWOPE_ENGINE_QUERY_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/thread_annotations.h"
+#include "src/common/thread_pool.h"
+#include "src/core/exec_control.h"
+#include "src/engine/dataset_registry.h"
+#include "src/engine/permutation_cache.h"
+#include "src/engine/query_spec.h"
+#include "src/engine/result_cache.h"
+
+namespace swope {
+
+/// Engine sizing knobs.
+struct EngineConfig {
+  /// Executor threads for Submit(); >= 1.
+  size_t num_threads = 4;
+  /// Admission control: queries executing concurrently (not counting
+  /// cache hits, which bypass admission). Further Run calls wait; >= 1.
+  size_t max_in_flight = 8;
+  /// DatasetRegistry byte budget; 0 = unlimited.
+  uint64_t memory_budget_bytes = 0;
+  /// ResultCache entries; 0 disables result caching.
+  size_t result_cache_capacity = 256;
+  /// PermutationCache entries; 0 disables permutation sharing.
+  size_t permutation_cache_capacity = 16;
+  /// Applied to specs with timeout_ms == 0; 0 = no default deadline.
+  uint64_t default_timeout_ms = 0;
+};
+
+/// Answer to one engine query.
+struct QueryResponse {
+  /// Kind echo plus the canonical identity of the executed query.
+  QueryKind kind = QueryKind::kEntropyTopK;
+  uint64_t fingerprint = 0;
+  std::string canonical_key;
+  /// True when served from ResultCache without sampling.
+  bool cache_hit = false;
+  std::vector<AttributeScore> items;
+  QueryStats stats;
+};
+
+/// Monotonic counters, snapshot via QueryEngine::GetCounters.
+struct EngineCounters {
+  uint64_t queries_started = 0;
+  uint64_t queries_ok = 0;
+  uint64_t queries_failed = 0;
+  uint64_t result_cache_hits = 0;
+  uint64_t result_cache_misses = 0;
+  uint64_t permutation_cache_hits = 0;
+  uint64_t permutation_cache_misses = 0;
+  /// Rows actually sampled by executed (non-cache-hit) queries.
+  uint64_t rows_sampled = 0;
+  uint64_t cancelled = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t registry_evictions = 0;
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(EngineConfig config = {});
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Registers `table` under `name` (replacing any previous dataset of
+  /// that name; in-flight queries keep their handle).
+  Status RegisterDataset(const std::string& name, Table table);
+
+  /// Loads a table from `path` (*.csv is CSV, anything else SWPB binary),
+  /// optionally dropping columns with support > max_support (the paper's
+  /// preprocessing; 0 keeps everything), and registers it.
+  Status RegisterDatasetFile(const std::string& name, const std::string& path,
+                             uint32_t max_support = 0);
+
+  Status RemoveDataset(const std::string& name);
+
+  /// Synchronous dispatch. `cancel` may be null; when set, the caller may
+  /// flip it from any thread to abort the query at the next round.
+  Result<QueryResponse> Run(const QuerySpec& spec,
+                            const CancellationToken* cancel = nullptr);
+
+  /// Asynchronous dispatch on the engine's pool.
+  std::future<Result<QueryResponse>> Submit(
+      QuerySpec spec, const CancellationToken* cancel = nullptr);
+
+  EngineCounters GetCounters() const;
+
+  DatasetRegistry& registry() { return registry_; }
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  /// Runs the resolved query under admission control.
+  Result<QueryResponse> Execute(const DatasetHandle& dataset,
+                                const ResolvedSpec& resolved,
+                                const CancellationToken* cancel);
+
+  /// Dispatches to the right driver; returns items via `response`.
+  Result<QueryResponse> Dispatch(const Table& table,
+                                 const ResolvedSpec& resolved,
+                                 const QueryOptions& options);
+
+  const EngineConfig config_;
+  DatasetRegistry registry_;
+  ResultCache result_cache_;
+  PermutationCache permutation_cache_;
+
+  std::mutex admission_mutex_;
+  std::condition_variable admission_cv_;
+  size_t in_flight_ GUARDED_BY(admission_mutex_) = 0;
+
+  mutable std::mutex counters_mutex_;
+  EngineCounters counters_ GUARDED_BY(counters_mutex_);
+
+  /// Last member: destroyed first, so queued queries finish while the
+  /// rest of the engine is still alive.
+  ThreadPool pool_;
+};
+
+}  // namespace swope
+
+#endif  // SWOPE_ENGINE_QUERY_ENGINE_H_

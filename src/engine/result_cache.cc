@@ -1,0 +1,64 @@
+#include "src/engine/result_cache.h"
+
+#include <utility>
+
+namespace swope {
+
+std::string ResultCache::MakeKey(uint64_t fingerprint,
+                                 const std::string& spec_key) {
+  return std::to_string(fingerprint) + "|" + spec_key;
+}
+
+std::shared_ptr<const CachedAnswer> ResultCache::Lookup(
+    uint64_t fingerprint, const std::string& spec_key) {
+  const std::string key = MakeKey(fingerprint, spec_key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  it->second.last_used = ++tick_;
+  return it->second.answer;
+}
+
+void ResultCache::Insert(uint64_t fingerprint, const std::string& spec_key,
+                         CachedAnswer answer) {
+  if (capacity_ == 0) return;
+  auto shared = std::make_shared<const CachedAnswer>(std::move(answer));
+  const std::string key = MakeKey(fingerprint, spec_key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[key];
+  entry.answer = std::move(shared);
+  entry.last_used = ++tick_;
+  ++insertions_;
+  EvictToCapacity();
+}
+
+ResultCache::Stats ResultCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.insertions = insertions_;
+  stats.evictions = evictions_;
+  stats.entries = entries_.size();
+  return stats;
+}
+
+void ResultCache::EvictToCapacity() {
+  while (entries_.size() > capacity_) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (victim == entries_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    entries_.erase(victim);
+    ++evictions_;
+  }
+}
+
+}  // namespace swope

@@ -1,0 +1,84 @@
+// ResultCache: memoizes certified query answers.
+//
+// Every SWOPE run is a deterministic function of (table contents, resolved
+// spec): the permutation comes from the spec's seed, and the adaptive
+// stopping rule is data-driven. A cached answer is therefore *identical*
+// to what re-running the query would produce -- including its epsilon/p_f
+// certification -- so serving it costs zero sampled rows and loses
+// nothing (docs/ENGINE.md spells out the soundness argument). Entries are
+// keyed by (table fingerprint, canonical spec key) and evicted LRU beyond
+// a configurable capacity.
+
+#ifndef SWOPE_ENGINE_RESULT_CACHE_H_
+#define SWOPE_ENGINE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/thread_annotations.h"
+#include "src/core/query_result.h"
+
+namespace swope {
+
+/// The cached payload: the answer items plus the stats of the run that
+/// produced them (so a cache hit can still report the original cost).
+struct CachedAnswer {
+  std::vector<AttributeScore> items;
+  QueryStats stats;
+};
+
+/// Thread-safe LRU map from (fingerprint, canonical spec) to answers.
+class ResultCache {
+ public:
+  /// Keeps at most `capacity` entries; 0 disables caching entirely.
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached answer or null; a hit refreshes recency.
+  std::shared_ptr<const CachedAnswer> Lookup(uint64_t fingerprint,
+                                             const std::string& spec_key)
+      EXCLUDES(mutex_);
+
+  /// Inserts (or refreshes) an entry, evicting LRU entries over capacity.
+  void Insert(uint64_t fingerprint, const std::string& spec_key,
+              CachedAnswer answer) EXCLUDES(mutex_);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+  Stats GetStats() const EXCLUDES(mutex_);
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CachedAnswer> answer;
+    uint64_t last_used = 0;
+  };
+
+  static std::string MakeKey(uint64_t fingerprint,
+                             const std::string& spec_key);
+
+  void EvictToCapacity() REQUIRES(mutex_);
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_ GUARDED_BY(mutex_);
+  uint64_t tick_ GUARDED_BY(mutex_) = 0;
+  uint64_t hits_ GUARDED_BY(mutex_) = 0;
+  uint64_t misses_ GUARDED_BY(mutex_) = 0;
+  uint64_t insertions_ GUARDED_BY(mutex_) = 0;
+  uint64_t evictions_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace swope
+
+#endif  // SWOPE_ENGINE_RESULT_CACHE_H_

@@ -1,0 +1,308 @@
+#include "src/engine/serve.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace swope {
+
+namespace {
+
+// Shortest round-trippable rendering of a double. %.17g is exact for IEEE
+// doubles, so equal values always render identically (the determinism
+// regression test relies on this).
+std::string JsonDouble(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+struct ParsedRequest {
+  std::string op;
+  std::map<std::string, std::string> args;
+};
+
+Result<ParsedRequest> ParseRequest(const std::string& line) {
+  std::istringstream stream(line);
+  ParsedRequest request;
+  stream >> request.op;
+  std::string token;
+  while (stream >> token) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("malformed argument '" + token +
+                                     "' (want key=value)");
+    }
+    request.args[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return request;
+}
+
+Result<uint64_t> ParseUint(const std::string& text, const std::string& key) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("argument " + key +
+                                   " wants an unsigned integer, got '" +
+                                   text + "'");
+  }
+  return static_cast<uint64_t>(value);
+}
+
+Result<double> ParseDouble(const std::string& text, const std::string& key) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("argument " + key +
+                                   " wants a number, got '" + text + "'");
+  }
+  return value;
+}
+
+Result<QuerySpec> SpecFromArgs(
+    const std::map<std::string, std::string>& args) {
+  QuerySpec spec;
+  auto get = [&args](const std::string& key) -> const std::string* {
+    auto it = args.find(key);
+    return it == args.end() ? nullptr : &it->second;
+  };
+  const std::string* dataset = get("dataset");
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("query: dataset=<id> is required");
+  }
+  spec.dataset = *dataset;
+  const std::string* kind = get("kind");
+  if (kind == nullptr) {
+    return Status::InvalidArgument("query: kind=<kind> is required");
+  }
+  SWOPE_ASSIGN_OR_RETURN(spec.kind, ParseQueryKind(*kind));
+  if (const std::string* v = get("k")) {
+    SWOPE_ASSIGN_OR_RETURN(uint64_t k, ParseUint(*v, "k"));
+    spec.k = static_cast<size_t>(k);
+  }
+  if (const std::string* v = get("eta")) {
+    SWOPE_ASSIGN_OR_RETURN(spec.eta, ParseDouble(*v, "eta"));
+  }
+  if (const std::string* v = get("target")) spec.target = *v;
+  if (const std::string* v = get("epsilon")) {
+    SWOPE_ASSIGN_OR_RETURN(spec.options.epsilon,
+                           ParseDouble(*v, "epsilon"));
+  }
+  if (const std::string* v = get("seed")) {
+    SWOPE_ASSIGN_OR_RETURN(spec.options.seed, ParseUint(*v, "seed"));
+  }
+  if (const std::string* v = get("pf")) {
+    SWOPE_ASSIGN_OR_RETURN(spec.options.failure_probability,
+                           ParseDouble(*v, "pf"));
+  }
+  if (const std::string* v = get("m0")) {
+    SWOPE_ASSIGN_OR_RETURN(spec.options.initial_sample_size,
+                           ParseUint(*v, "m0"));
+  }
+  if (const std::string* v = get("growth")) {
+    SWOPE_ASSIGN_OR_RETURN(spec.options.growth_factor,
+                           ParseDouble(*v, "growth"));
+  }
+  if (const std::string* v = get("sequential")) {
+    spec.options.sequential_sampling = (*v == "1" || *v == "true");
+  }
+  if (const std::string* v = get("timeout-ms")) {
+    SWOPE_ASSIGN_OR_RETURN(spec.timeout_ms, ParseUint(*v, "timeout-ms"));
+  }
+  return spec;
+}
+
+std::string CountersToJson(const EngineCounters& counters,
+                           const DatasetRegistry::Stats& registry) {
+  std::string json = "{\"ok\":true,\"op\":\"stats\"";
+  auto add = [&json](const char* name, uint64_t value) {
+    json += ",\"";
+    json += name;
+    json += "\":" + std::to_string(value);
+  };
+  add("queries_started", counters.queries_started);
+  add("queries_ok", counters.queries_ok);
+  add("queries_failed", counters.queries_failed);
+  add("result_cache_hits", counters.result_cache_hits);
+  add("result_cache_misses", counters.result_cache_misses);
+  add("permutation_cache_hits", counters.permutation_cache_hits);
+  add("permutation_cache_misses", counters.permutation_cache_misses);
+  add("rows_sampled", counters.rows_sampled);
+  add("cancelled", counters.cancelled);
+  add("deadline_exceeded", counters.deadline_exceeded);
+  add("registry_evictions", counters.registry_evictions);
+  add("resident_datasets", registry.resident_datasets);
+  add("resident_bytes", registry.resident_bytes);
+  json += "}";
+  return json;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      case '\r':
+        escaped += "\\r";
+        break;
+      case '\t':
+        escaped += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          escaped += buffer;
+        } else {
+          escaped += static_cast<char>(c);
+        }
+    }
+  }
+  return escaped;
+}
+
+std::string QueryResponseToJson(const QueryResponse& response) {
+  std::string json = "{\"ok\":true,\"op\":\"query\",\"kind\":\"";
+  json += QueryKindToString(response.kind);
+  json += "\",\"cache_hit\":";
+  json += response.cache_hit ? "true" : "false";
+  json += ",\"items\":[";
+  bool first = true;
+  for (const AttributeScore& item : response.items) {
+    if (!first) json += ",";
+    first = false;
+    json += "{\"index\":" + std::to_string(item.index);
+    json += ",\"name\":\"" + JsonEscape(item.name) + "\"";
+    json += ",\"estimate\":" + JsonDouble(item.estimate);
+    json += ",\"lower\":" + JsonDouble(item.lower);
+    json += ",\"upper\":" + JsonDouble(item.upper) + "}";
+  }
+  json += "],\"stats\":{";
+  json += "\"final_sample_size\":" +
+          std::to_string(response.stats.final_sample_size);
+  json += ",\"initial_sample_size\":" +
+          std::to_string(response.stats.initial_sample_size);
+  json += ",\"iterations\":" + std::to_string(response.stats.iterations);
+  json += ",\"cells_scanned\":" +
+          std::to_string(response.stats.cells_scanned);
+  json += ",\"candidates_remaining\":" +
+          std::to_string(response.stats.candidates_remaining);
+  json += ",\"exhausted_dataset\":";
+  json += response.stats.exhausted_dataset ? "true" : "false";
+  json += "}}";
+  return json;
+}
+
+std::string StatusToJson(const Status& status) {
+  std::string json = "{\"ok\":false,\"code\":\"";
+  json += JsonEscape(std::string(StatusCodeToString(status.code())));
+  json += "\",\"error\":\"" + JsonEscape(status.message()) + "\"}";
+  return json;
+}
+
+std::string HandleRequestLine(QueryEngine& engine, const std::string& line,
+                              bool* quit) {
+  *quit = false;
+  auto request = ParseRequest(line);
+  if (!request.ok()) return StatusToJson(request.status());
+
+  if (request->op == "quit") {
+    *quit = true;
+    return "{\"ok\":true,\"op\":\"quit\"}";
+  }
+  if (request->op == "stats") {
+    return CountersToJson(engine.GetCounters(),
+                          engine.registry().GetStats());
+  }
+  if (request->op == "datasets") {
+    std::string json = "{\"ok\":true,\"op\":\"datasets\",\"names\":[";
+    bool first = true;
+    for (const std::string& name : engine.registry().Names()) {
+      if (!first) json += ",";
+      first = false;
+      json += "\"" + JsonEscape(name) + "\"";
+    }
+    json += "]}";
+    return json;
+  }
+  if (request->op == "load") {
+    auto name = request->args.find("name");
+    auto path = request->args.find("path");
+    if (name == request->args.end() || path == request->args.end()) {
+      return StatusToJson(Status::InvalidArgument(
+          "load: name=<id> and path=<file> are required"));
+    }
+    uint32_t max_support = 0;
+    if (auto it = request->args.find("max-support");
+        it != request->args.end()) {
+      auto parsed = ParseUint(it->second, "max-support");
+      if (!parsed.ok()) return StatusToJson(parsed.status());
+      max_support = static_cast<uint32_t>(*parsed);
+    }
+    const Status status =
+        engine.RegisterDatasetFile(name->second, path->second, max_support);
+    if (!status.ok()) return StatusToJson(status);
+    auto dataset = engine.registry().Get(name->second);
+    if (!dataset.ok()) return StatusToJson(dataset.status());
+    std::string json = "{\"ok\":true,\"op\":\"load\",\"name\":\"" +
+                       JsonEscape(name->second) + "\"";
+    json += ",\"rows\":" + std::to_string((*dataset)->table.num_rows());
+    json +=
+        ",\"columns\":" + std::to_string((*dataset)->table.num_columns());
+    json +=
+        ",\"fingerprint\":" + std::to_string((*dataset)->fingerprint) + "}";
+    return json;
+  }
+  if (request->op == "unload") {
+    auto name = request->args.find("name");
+    if (name == request->args.end()) {
+      return StatusToJson(
+          Status::InvalidArgument("unload: name=<id> is required"));
+    }
+    const Status status = engine.RemoveDataset(name->second);
+    if (!status.ok()) return StatusToJson(status);
+    return "{\"ok\":true,\"op\":\"unload\",\"name\":\"" +
+           JsonEscape(name->second) + "\"}";
+  }
+  if (request->op == "query") {
+    auto spec = SpecFromArgs(request->args);
+    if (!spec.ok()) return StatusToJson(spec.status());
+    auto response = engine.Run(*spec);
+    if (!response.ok()) return StatusToJson(response.status());
+    return QueryResponseToJson(*response);
+  }
+  return StatusToJson(Status::InvalidArgument(
+      "unknown request '" + request->op +
+      "' (want load/query/unload/datasets/stats/quit)"));
+}
+
+uint64_t ServeLoop(QueryEngine& engine, std::istream& in,
+                   std::ostream& out) {
+  uint64_t failures = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    bool quit = false;
+    const std::string response = HandleRequestLine(engine, line, &quit);
+    out << response << "\n" << std::flush;
+    if (response.rfind("{\"ok\":false", 0) == 0) ++failures;
+    if (quit) break;
+  }
+  return failures;
+}
+
+}  // namespace swope

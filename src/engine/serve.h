@@ -1,0 +1,57 @@
+// Line-protocol front end for QueryEngine (`swope_cli serve`).
+//
+// Reads one request per line from an input stream and writes exactly one
+// JSON object per request to the output stream, so the engine is drivable
+// end-to-end from a shell pipe or a socket relay. Blank lines and
+// #-comments are skipped. Requests:
+//
+//   load name=<id> path=<file> [max-support=U]
+//   query dataset=<id> kind=<kind> [k=N] [eta=T] [target=COL]
+//         [epsilon=E] [seed=N] [pf=P] [m0=N] [growth=G] [sequential=0|1]
+//         [timeout-ms=N]
+//   unload name=<id>
+//   datasets
+//   stats
+//   quit
+//
+// <kind> is one of entropy-topk, entropy-filter, mi-topk, mi-filter,
+// nmi-topk, nmi-filter. Successful responses carry "ok":true; failures
+// carry "ok":false plus the Status code and message -- still as JSON on
+// `out`, so the response stream stays line-aligned with the requests and
+// machine-parseable throughout.
+
+#ifndef SWOPE_ENGINE_SERVE_H_
+#define SWOPE_ENGINE_SERVE_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "src/engine/query_engine.h"
+
+namespace swope {
+
+/// Escapes `text` for inclusion inside a JSON string literal.
+std::string JsonEscape(const std::string& text);
+
+/// Renders a response as a single-line JSON object ("ok":true form).
+/// Deterministic: equal responses render byte-identically.
+std::string QueryResponseToJson(const QueryResponse& response);
+
+/// Renders a failure as a single-line JSON object ("ok":false form).
+std::string StatusToJson(const Status& status);
+
+/// Parses and executes one request line against `engine`, returning the
+/// JSON response line (without trailing newline). Unknown or malformed
+/// requests yield an "ok":false response rather than an error.
+/// Sets *quit when the line is the quit request.
+std::string HandleRequestLine(QueryEngine& engine, const std::string& line,
+                              bool* quit);
+
+/// Runs the read-eval-print loop until EOF or `quit`. Returns the number
+/// of failed requests (0 means every request succeeded).
+uint64_t ServeLoop(QueryEngine& engine, std::istream& in, std::ostream& out);
+
+}  // namespace swope
+
+#endif  // SWOPE_ENGINE_SERVE_H_

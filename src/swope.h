@@ -4,7 +4,9 @@
 //
 // pulls in the table substrate (CSV / binary IO, dictionary encoding),
 // the four SWOPE query algorithms, the exact and sampling baselines, the
-// synthetic dataset generators, and the feature-selection helpers.
+// synthetic dataset generators, the feature-selection helpers, and the
+// concurrent query engine (dataset registry, unified dispatch, result and
+// permutation caching, line-protocol serving).
 
 #ifndef SWOPE_SWOPE_H_
 #define SWOPE_SWOPE_H_
@@ -18,6 +20,7 @@
 #include "src/common/status.h"
 #include "src/core/bounds.h"
 #include "src/core/entropy.h"
+#include "src/core/exec_control.h"
 #include "src/core/query_options.h"
 #include "src/core/query_result.h"
 #include "src/core/swope_filter_entropy.h"
@@ -28,10 +31,17 @@
 #include "src/core/swope_topk_nmi.h"
 #include "src/datagen/dataset_presets.h"
 #include "src/datagen/generator.h"
+#include "src/engine/dataset_registry.h"
+#include "src/engine/permutation_cache.h"
+#include "src/engine/query_engine.h"
+#include "src/engine/query_spec.h"
+#include "src/engine/result_cache.h"
+#include "src/engine/serve.h"
 #include "src/fs/mrmr.h"
 #include "src/table/binary_io.h"
 #include "src/table/csv_reader.h"
 #include "src/table/csv_writer.h"
+#include "src/table/fingerprint.h"
 #include "src/table/table.h"
 #include "src/table/table_builder.h"
 

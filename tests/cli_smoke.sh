@@ -55,4 +55,39 @@ if "$CLI" mi-topk --in="$TMP/d.swpb" --target=zzz --k=1 2>/dev/null; then
   fail "bad target accepted"
 fi
 
+# exit codes are distinct: usage errors exit 2, runtime failures exit 1
+set +e
+"$CLI" frobnicate 2>/dev/null
+[ $? -eq 2 ] || fail "unknown command should exit 2"
+"$CLI" topk --k=1 2>/dev/null   # missing --in: usage
+[ $? -eq 2 ] || fail "missing flag should exit 2"
+"$CLI" topk --in="$TMP/nope.swpb" --k=1 2>/dev/null   # missing file: runtime
+[ $? -eq 1 ] || fail "missing file should exit 1"
+set -e
+
+# diagnostics go to stderr, never stdout
+"$CLI" topk --in="$TMP/nope.swpb" --k=1 \
+  >"$TMP/out.txt" 2>"$TMP/err.txt" || true
+[ ! -s "$TMP/out.txt" ] || fail "error text leaked to stdout"
+grep -q "swope_cli:" "$TMP/err.txt" || fail "no diagnostic on stderr"
+
+# serve mode: line protocol in, one JSON object per line out
+printf '%s\n' \
+  "load name=d path=$TMP/d.swpb" \
+  "query dataset=d kind=entropy-topk k=2" \
+  "query dataset=d kind=entropy-topk k=2" \
+  "query dataset=d kind=mi-topk target=cdc_a0 k=2" \
+  "query dataset=ghost kind=entropy-topk k=1" \
+  "stats" \
+  "quit" \
+  | "$CLI" serve > "$TMP/serve.out" || fail "serve exited non-zero"
+grep -q '"ok":true,"op":"load"' "$TMP/serve.out" || fail "serve load"
+[ "$(grep -c '"op":"query"' "$TMP/serve.out")" -eq 3 ] \
+  || fail "serve query count"
+grep -q '"cache_hit":true' "$TMP/serve.out" || fail "serve cache hit"
+grep -q '"ok":false' "$TMP/serve.out" || fail "serve in-band error"
+grep -q '"result_cache_hits":1' "$TMP/serve.out" || fail "serve stats"
+# every stdout line is JSON (starts with '{')
+if grep -qv '^{' "$TMP/serve.out"; then fail "serve stdout not JSON"; fi
+
 echo "cli_smoke: OK"

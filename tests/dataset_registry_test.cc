@@ -1,0 +1,119 @@
+#include "src/engine/dataset_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "src/table/fingerprint.h"
+#include "tests/test_util.h"
+
+namespace swope {
+namespace {
+
+using test::MakeEntropyTable;
+
+Table SmallTable(uint64_t seed) {
+  return MakeEntropyTable({3.0, 2.0}, 400, seed);
+}
+
+TEST(DatasetRegistryTest, PutGetRoundTrip) {
+  DatasetRegistry registry;
+  const Table table = SmallTable(1);
+  const uint64_t fingerprint = TableFingerprint(table);
+  ASSERT_TRUE(registry.Put("ds", Table(table)).ok());
+
+  auto handle = registry.Get("ds");
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ((*handle)->name, "ds");
+  EXPECT_EQ((*handle)->fingerprint, fingerprint);
+  EXPECT_EQ((*handle)->table.num_rows(), table.num_rows());
+  EXPECT_EQ((*handle)->approx_bytes, ApproxTableBytes(table));
+}
+
+TEST(DatasetRegistryTest, GetUnknownIsNotFound) {
+  DatasetRegistry registry;
+  EXPECT_TRUE(registry.Get("nope").status().IsNotFound());
+}
+
+TEST(DatasetRegistryTest, RemoveDropsDataset) {
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Put("ds", SmallTable(1)).ok());
+  ASSERT_TRUE(registry.Remove("ds").ok());
+  EXPECT_TRUE(registry.Get("ds").status().IsNotFound());
+  EXPECT_TRUE(registry.Remove("ds").IsNotFound());
+}
+
+TEST(DatasetRegistryTest, PutReplacesInPlace) {
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Put("ds", SmallTable(1)).ok());
+  const Table replacement = SmallTable(2);
+  ASSERT_TRUE(registry.Put("ds", Table(replacement)).ok());
+
+  auto handle = registry.Get("ds");
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ((*handle)->fingerprint, TableFingerprint(replacement));
+  EXPECT_EQ(registry.GetStats().resident_datasets, 1u);
+}
+
+TEST(DatasetRegistryTest, NamesAreSorted) {
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Put("zeta", SmallTable(1)).ok());
+  ASSERT_TRUE(registry.Put("alpha", SmallTable(2)).ok());
+  const std::vector<std::string> names = registry.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(DatasetRegistryTest, BudgetEvictsLeastRecentlyUsed) {
+  const Table table = SmallTable(1);
+  const uint64_t one = ApproxTableBytes(table);
+  // Budget fits two tables but not three.
+  DatasetRegistry registry(2 * one + one / 2);
+  ASSERT_TRUE(registry.Put("a", SmallTable(1)).ok());
+  ASSERT_TRUE(registry.Put("b", SmallTable(2)).ok());
+  // Touch "a" so "b" becomes the LRU victim.
+  ASSERT_TRUE(registry.Get("a").ok());
+  ASSERT_TRUE(registry.Put("c", SmallTable(3)).ok());
+
+  EXPECT_TRUE(registry.Get("a").ok());
+  EXPECT_TRUE(registry.Get("b").status().IsNotFound());
+  EXPECT_TRUE(registry.Get("c").ok());
+  const DatasetRegistry::Stats stats = registry.GetStats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.resident_datasets, 2u);
+  EXPECT_LE(stats.resident_bytes, stats.memory_budget_bytes);
+}
+
+TEST(DatasetRegistryTest, OversizedDatasetIsStillAdmitted) {
+  const Table table = SmallTable(1);
+  // Budget smaller than a single table: Put must still keep the new
+  // dataset (budget is a target, not an admission bound).
+  DatasetRegistry registry(ApproxTableBytes(table) / 2);
+  ASSERT_TRUE(registry.Put("big", Table(table)).ok());
+  EXPECT_TRUE(registry.Get("big").ok());
+  EXPECT_EQ(registry.GetStats().resident_datasets, 1u);
+}
+
+TEST(DatasetRegistryTest, HandleSurvivesEviction) {
+  const Table table = SmallTable(1);
+  DatasetRegistry registry(ApproxTableBytes(table) + 16);
+  ASSERT_TRUE(registry.Put("a", Table(table)).ok());
+  auto handle = registry.Get("a");
+  ASSERT_TRUE(handle.ok());
+
+  // Inserting "b" evicts "a" from the registry...
+  ASSERT_TRUE(registry.Put("b", SmallTable(2)).ok());
+  EXPECT_TRUE(registry.Get("a").status().IsNotFound());
+  // ...but the held handle still points at intact, immutable data.
+  EXPECT_EQ((*handle)->table.num_rows(), table.num_rows());
+  EXPECT_EQ((*handle)->fingerprint, TableFingerprint(table));
+}
+
+TEST(DatasetRegistryTest, ApproxBytesCountsCodes) {
+  const Table table = SmallTable(1);
+  // At minimum 4 bytes per cell.
+  EXPECT_GE(ApproxTableBytes(table),
+            4 * table.num_rows() * table.num_columns());
+}
+
+}  // namespace
+}  // namespace swope

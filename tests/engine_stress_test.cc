@@ -1,0 +1,219 @@
+// Acceptance stress test for the concurrent query engine: mixed query
+// kinds racing over a shared registry under eviction pressure, plus the
+// result-cache "zero additional rows" guarantee. Must stay clean under
+// TSan (SWOPE_SANITIZE=thread).
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/engine/query_engine.h"
+#include "tests/test_util.h"
+
+namespace swope {
+namespace {
+
+using test::MakeEntropyTable;
+using test::MakeMiTable;
+
+QuerySpec MakeSpec(const std::string& dataset, QueryKind kind,
+                   uint64_t seed) {
+  QuerySpec spec;
+  spec.dataset = dataset;
+  spec.kind = kind;
+  spec.options.seed = seed;
+  if (IsTopKKind(kind)) {
+    spec.k = 2;
+  } else {
+    spec.eta = kind == QueryKind::kNmiFilter ? 0.2 : 0.3;
+  }
+  if (NeedsTarget(kind)) spec.target = "t";
+  return spec;
+}
+
+// >= 8 concurrent queries of all six kinds over two shared datasets; all
+// must succeed and identical specs must produce identical answers.
+TEST(EngineStressTest, ConcurrentMixedQueries) {
+  EngineConfig config;
+  config.num_threads = 8;
+  config.max_in_flight = 4;  // admission control active under the load
+  QueryEngine engine(config);
+  ASSERT_TRUE(
+      engine.RegisterDataset("ent", MakeEntropyTable({5.0, 3.0, 1.0}, 2000, 1))
+          .ok());
+  ASSERT_TRUE(
+      engine.RegisterDataset("mi", MakeMiTable({0.2, 0.7, 0.5}, 2000, 2))
+          .ok());
+
+  const QueryKind kinds[] = {QueryKind::kEntropyTopK,
+                             QueryKind::kEntropyFilter,
+                             QueryKind::kMiTopK,
+                             QueryKind::kMiFilter,
+                             QueryKind::kNmiTopK,
+                             QueryKind::kNmiFilter};
+  std::vector<QuerySpec> specs;
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  for (int round = 0; round < 3; ++round) {
+    for (QueryKind kind : kinds) {
+      const std::string dataset = NeedsTarget(kind) ? "mi" : "ent";
+      // Same spec every round: later rounds race against the first
+      // execution and may hit the cache mid-flight.
+      specs.push_back(MakeSpec(dataset, kind, 7));
+      futures.push_back(engine.Submit(specs.back()));
+    }
+  }
+
+  std::vector<std::string> first_round;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    auto response = futures[i].get();
+    ASSERT_TRUE(response.ok())
+        << "query #" << i << ": " << response.status().ToString();
+    const std::string key = response->canonical_key;
+    if (i < 6) {
+      first_round.push_back(key);
+    } else {
+      // Identical spec => identical canonical key, regardless of which
+      // execution (fresh or cached) served it.
+      EXPECT_EQ(key, first_round[i % 6]);
+    }
+  }
+  const EngineCounters counters = engine.GetCounters();
+  EXPECT_EQ(counters.queries_started, futures.size());
+  EXPECT_EQ(counters.queries_ok, futures.size());
+  EXPECT_EQ(counters.queries_failed, 0u);
+}
+
+// Registration churn under a tight memory budget while queries race:
+// eviction must never corrupt an in-flight query or deadlock.
+TEST(EngineStressTest, EvictionPressureUnderConcurrentLoad) {
+  const Table sample = MakeEntropyTable({4.0, 2.0}, 1000, 0);
+  EngineConfig config;
+  config.num_threads = 8;
+  config.max_in_flight = 8;
+  // Roughly two of the four datasets fit: every Put evicts.
+  config.memory_budget_bytes = 2 * ApproxTableBytes(sample) + 1024;
+  QueryEngine engine(config);
+
+  const int kDatasets = 4;
+  for (int d = 0; d < kDatasets; ++d) {
+    ASSERT_TRUE(engine
+                    .RegisterDataset("ds" + std::to_string(d),
+                                     MakeEntropyTable({4.0, 2.0}, 1000,
+                                                      static_cast<uint64_t>(d)))
+                    .ok());
+  }
+
+  std::atomic<uint64_t> ok_queries{0};
+  std::atomic<uint64_t> not_found{0};
+  std::vector<std::thread> workers;
+  // 4 query threads x 8 queries, racing with a re-registration thread.
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&engine, &ok_queries, &not_found, w] {
+      for (int i = 0; i < 8; ++i) {
+        const std::string dataset =
+            "ds" + std::to_string((w + i) % kDatasets);
+        const QueryKind kind = (i % 2 == 0) ? QueryKind::kEntropyTopK
+                                            : QueryKind::kEntropyFilter;
+        auto response = engine.Run(
+            MakeSpec(dataset, kind, static_cast<uint64_t>(w * 100 + i)));
+        if (response.ok()) {
+          ++ok_queries;
+        } else {
+          // Eviction can only manifest as NotFound, never as a torn read.
+          ASSERT_TRUE(response.status().IsNotFound())
+              << response.status().ToString();
+          ++not_found;
+        }
+      }
+    });
+  }
+  workers.emplace_back([&engine] {
+    for (int i = 0; i < 12; ++i) {
+      const std::string dataset = "ds" + std::to_string(i % kDatasets);
+      ASSERT_TRUE(engine
+                      .RegisterDataset(
+                          dataset, MakeEntropyTable({4.0, 2.0}, 1000,
+                                                    static_cast<uint64_t>(
+                                                        i % kDatasets)))
+                      .ok());
+    }
+  });
+  for (std::thread& worker : workers) worker.join();
+
+  const EngineCounters counters = engine.GetCounters();
+  EXPECT_GT(counters.registry_evictions, 0u);
+  EXPECT_GT(ok_queries.load(), 0u);
+  EXPECT_EQ(counters.queries_ok, ok_queries.load());
+  EXPECT_EQ(counters.queries_failed, not_found.load());
+  // The budget holds after the dust settles.
+  const DatasetRegistry::Stats registry = engine.registry().GetStats();
+  EXPECT_LE(registry.resident_bytes, registry.memory_budget_bytes);
+}
+
+// Acceptance: a repeated query is served from the ResultCache with zero
+// additional sampled rows, asserted via engine counters.
+TEST(EngineStressTest, RepeatedQueryCostsZeroAdditionalRows) {
+  EngineConfig config;
+  config.num_threads = 4;
+  QueryEngine engine(config);
+  ASSERT_TRUE(
+      engine.RegisterDataset("mi", MakeMiTable({0.3, 0.8}, 2500, 5)).ok());
+
+  const QuerySpec spec = MakeSpec("mi", QueryKind::kMiTopK, 21);
+  auto first = engine.Run(spec);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_FALSE(first->cache_hit);
+  const uint64_t rows_after_first = engine.GetCounters().rows_sampled;
+  ASSERT_GT(rows_after_first, 0u);
+
+  // Hammer the same spec from many threads: every run must be a cache
+  // hit and the sampled-row counter must not move at all.
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  for (int i = 0; i < 16; ++i) futures.push_back(engine.Submit(spec));
+  for (auto& future : futures) {
+    auto response = future.get();
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(response->cache_hit);
+  }
+  const EngineCounters counters = engine.GetCounters();
+  EXPECT_EQ(counters.rows_sampled, rows_after_first);
+  EXPECT_GE(counters.result_cache_hits, 16u);
+}
+
+// Cancellation from another thread lands as Status::Cancelled without
+// disturbing concurrent queries.
+TEST(EngineStressTest, CancellationRacesAreClean) {
+  EngineConfig config;
+  config.num_threads = 4;
+  config.result_cache_capacity = 0;  // force real executions
+  QueryEngine engine(config);
+  ASSERT_TRUE(
+      engine.RegisterDataset("ent", MakeEntropyTable({5.0, 4.0}, 4000, 8))
+          .ok());
+
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    CancellationToken token;
+    auto doomed = engine.Submit(
+        MakeSpec("ent", QueryKind::kEntropyTopK,
+                 static_cast<uint64_t>(attempt)),
+        &token);
+    auto healthy = engine.Submit(
+        MakeSpec("ent", QueryKind::kEntropyFilter,
+                 static_cast<uint64_t>(attempt)));
+    token.Cancel();
+    auto doomed_result = doomed.get();
+    if (!doomed_result.ok()) {
+      EXPECT_TRUE(doomed_result.status().IsCancelled())
+          << doomed_result.status().ToString();
+    }
+    auto healthy_result = healthy.get();
+    ASSERT_TRUE(healthy_result.ok()) << healthy_result.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace swope

@@ -1,0 +1,73 @@
+#include "src/core/exec_control.h"
+
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+#include "src/core/swope_topk_entropy.h"
+#include "tests/test_util.h"
+
+namespace swope {
+namespace {
+
+TEST(ExecControlTest, DefaultNeverFires) {
+  const ExecControl control;
+  EXPECT_TRUE(control.Check().ok());
+}
+
+TEST(ExecControlTest, CancellationFlipsCheck) {
+  CancellationToken token;
+  ExecControl control;
+  control.token = &token;
+  EXPECT_TRUE(control.Check().ok());
+  token.Cancel();
+  EXPECT_TRUE(control.Check().IsCancelled());
+  token.Cancel();  // idempotent
+  EXPECT_TRUE(control.Check().IsCancelled());
+}
+
+TEST(ExecControlTest, ExpiredDeadlineFiresImmediately) {
+  ExecControl control;
+  control.SetTimeout(std::chrono::nanoseconds(0));
+  EXPECT_TRUE(control.Check().IsDeadlineExceeded());
+}
+
+TEST(ExecControlTest, FarDeadlineDoesNotFire) {
+  ExecControl control;
+  control.SetTimeout(std::chrono::hours(1));
+  EXPECT_TRUE(control.Check().ok());
+}
+
+TEST(ExecControlTest, CancellationWinsOverDeadline) {
+  CancellationToken token;
+  token.Cancel();
+  ExecControl control;
+  control.token = &token;
+  control.SetTimeout(std::chrono::nanoseconds(0));
+  EXPECT_TRUE(control.Check().IsCancelled());
+}
+
+TEST(ExecControlTest, DriverHonorsPreCancelledToken) {
+  const Table table = test::MakeEntropyTable({3.0, 4.0}, 2000, 5);
+  CancellationToken token;
+  token.Cancel();
+  ExecControl control;
+  control.token = &token;
+  QueryOptions options;
+  options.control = &control;
+  auto result = SwopeTopKEntropy(table, 1, options);
+  EXPECT_TRUE(result.status().IsCancelled());
+}
+
+TEST(ExecControlTest, DriverHonorsExpiredDeadline) {
+  const Table table = test::MakeEntropyTable({3.0, 4.0}, 2000, 5);
+  ExecControl control;
+  control.SetTimeout(std::chrono::nanoseconds(0));
+  QueryOptions options;
+  options.control = &control;
+  auto result = SwopeTopKEntropy(table, 1, options);
+  EXPECT_TRUE(result.status().IsDeadlineExceeded());
+}
+
+}  // namespace
+}  // namespace swope

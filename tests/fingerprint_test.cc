@@ -1,0 +1,62 @@
+#include "src/table/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/generator.h"
+#include "tests/test_util.h"
+
+namespace swope {
+namespace {
+
+using test::MakeEntropyTable;
+
+TEST(FingerprintTest, DeterministicAcrossCopies) {
+  const Table a = MakeEntropyTable({3.0, 4.0}, 500, 7);
+  const Table b = MakeEntropyTable({3.0, 4.0}, 500, 7);
+  EXPECT_EQ(TableFingerprint(a), TableFingerprint(b));
+  // Repeated calls on the same object agree too.
+  EXPECT_EQ(TableFingerprint(a), TableFingerprint(a));
+}
+
+TEST(FingerprintTest, SensitiveToData) {
+  const Table base = MakeEntropyTable({3.0, 4.0}, 500, 7);
+  // Different generation seed => different codes => different print.
+  EXPECT_NE(TableFingerprint(base),
+            TableFingerprint(MakeEntropyTable({3.0, 4.0}, 500, 8)));
+  // Different row count.
+  EXPECT_NE(TableFingerprint(base),
+            TableFingerprint(MakeEntropyTable({3.0, 4.0}, 501, 7)));
+  // Different column count.
+  EXPECT_NE(TableFingerprint(base),
+            TableFingerprint(MakeEntropyTable({3.0, 4.0, 2.0}, 500, 7)));
+}
+
+TEST(FingerprintTest, SensitiveToColumnName) {
+  TableSpec spec;
+  spec.num_rows = 200;
+  spec.seed = 11;
+  spec.columns.push_back(ColumnSpec::EntropyTargeted("alpha", 16, 3.0));
+  auto a = GenerateTable(spec);
+  ASSERT_TRUE(a.ok());
+  spec.columns[0] = ColumnSpec::EntropyTargeted("beta", 16, 3.0);
+  auto b = GenerateTable(spec);
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(TableFingerprint(*a), TableFingerprint(*b));
+}
+
+TEST(FingerprintTest, SensitiveToRowOrder) {
+  const Table base = MakeEntropyTable({3.0, 4.0}, 500, 7);
+  std::vector<uint32_t> perm(500);
+  for (uint32_t r = 0; r < 500; ++r) perm[r] = 499 - r;
+  auto permuted = base.PermuteRows(perm);
+  ASSERT_TRUE(permuted.ok());
+  EXPECT_NE(TableFingerprint(base), TableFingerprint(*permuted));
+}
+
+TEST(FingerprintTest, EmptyTableHasStablePrint) {
+  const Table empty;
+  EXPECT_EQ(TableFingerprint(empty), TableFingerprint(Table()));
+}
+
+}  // namespace
+}  // namespace swope

@@ -1,5 +1,7 @@
 #include "src/core/query_options.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 namespace swope {
@@ -42,6 +44,46 @@ TEST(QueryOptionsTest, RejectsBadGrowthFactor) {
   EXPECT_TRUE(options.Validate().IsInvalidArgument());
   options.growth_factor = 1.5;
   EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(QueryOptionsTest, EpsilonOpenIntervalBoundaries) {
+  // (0, 1) is open on both ends, but anything strictly inside is fine --
+  // including the closest representable neighbours of the endpoints.
+  QueryOptions options;
+  options.epsilon = std::nextafter(0.0, 1.0);
+  EXPECT_TRUE(options.Validate().ok());
+  options.epsilon = std::nextafter(1.0, 0.0);
+  EXPECT_TRUE(options.Validate().ok());
+  options.epsilon = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+}
+
+TEST(QueryOptionsTest, GrowthFactorExactlyOneIsRejected) {
+  QueryOptions options;
+  options.growth_factor = 1.0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+  options.growth_factor = std::nextafter(1.0, 2.0);
+  EXPECT_TRUE(options.Validate().ok());
+  options.growth_factor = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+}
+
+TEST(QueryOptionsTest, FailureProbabilityBoundaries) {
+  QueryOptions options;
+  options.failure_probability = std::nextafter(1.0, 0.0);
+  EXPECT_TRUE(options.Validate().ok());
+  options.failure_probability = std::nextafter(0.0, -1.0);
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+  options.failure_probability = -1e-300;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+}
+
+TEST(QueryOptionsTest, EngineHooksDefaultNull) {
+  // shared_order / control are engine-managed; default-constructed
+  // options must not carry them (QuerySpec::Validate relies on this).
+  QueryOptions options;
+  EXPECT_EQ(options.shared_order, nullptr);
+  EXPECT_EQ(options.control, nullptr);
 }
 
 TEST(QueryOptionsTest, RejectsZeroDensePairLimit) {

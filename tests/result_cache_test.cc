@@ -1,0 +1,91 @@
+#include "src/engine/result_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace swope {
+namespace {
+
+CachedAnswer MakeAnswer(double estimate) {
+  CachedAnswer answer;
+  AttributeScore item;
+  item.index = 1;
+  item.name = "e1";
+  item.estimate = estimate;
+  item.lower = estimate - 0.1;
+  item.upper = estimate + 0.1;
+  answer.items.push_back(item);
+  answer.stats.final_sample_size = 128;
+  return answer;
+}
+
+TEST(ResultCacheTest, MissThenHit) {
+  ResultCache cache(4);
+  EXPECT_EQ(cache.Lookup(7, "spec"), nullptr);
+  cache.Insert(7, "spec", MakeAnswer(2.5));
+
+  auto hit = cache.Lookup(7, "spec");
+  ASSERT_NE(hit, nullptr);
+  ASSERT_EQ(hit->items.size(), 1u);
+  EXPECT_DOUBLE_EQ(hit->items[0].estimate, 2.5);
+  EXPECT_EQ(hit->stats.final_sample_size, 128u);
+
+  const ResultCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ResultCacheTest, FingerprintAndSpecBothKeyTheEntry) {
+  ResultCache cache(8);
+  cache.Insert(7, "spec", MakeAnswer(1.0));
+  EXPECT_EQ(cache.Lookup(8, "spec"), nullptr);
+  EXPECT_EQ(cache.Lookup(7, "other"), nullptr);
+  EXPECT_NE(cache.Lookup(7, "spec"), nullptr);
+}
+
+TEST(ResultCacheTest, InsertRefreshesExistingEntry) {
+  ResultCache cache(4);
+  cache.Insert(7, "spec", MakeAnswer(1.0));
+  cache.Insert(7, "spec", MakeAnswer(2.0));
+  auto hit = cache.Lookup(7, "spec");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(hit->items[0].estimate, 2.0);
+  EXPECT_EQ(cache.GetStats().entries, 1u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedOverCapacity) {
+  ResultCache cache(2);
+  cache.Insert(1, "a", MakeAnswer(1.0));
+  cache.Insert(1, "b", MakeAnswer(2.0));
+  // Touch "a" so "b" is the LRU victim.
+  ASSERT_NE(cache.Lookup(1, "a"), nullptr);
+  cache.Insert(1, "c", MakeAnswer(3.0));
+
+  EXPECT_NE(cache.Lookup(1, "a"), nullptr);
+  EXPECT_EQ(cache.Lookup(1, "b"), nullptr);
+  EXPECT_NE(cache.Lookup(1, "c"), nullptr);
+  const ResultCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  cache.Insert(7, "spec", MakeAnswer(1.0));
+  EXPECT_EQ(cache.Lookup(7, "spec"), nullptr);
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+}
+
+TEST(ResultCacheTest, HandleOutlivesEviction) {
+  ResultCache cache(1);
+  cache.Insert(1, "a", MakeAnswer(1.0));
+  auto handle = cache.Lookup(1, "a");
+  ASSERT_NE(handle, nullptr);
+  cache.Insert(1, "b", MakeAnswer(2.0));  // evicts "a"
+  EXPECT_EQ(cache.Lookup(1, "a"), nullptr);
+  EXPECT_DOUBLE_EQ(handle->items[0].estimate, 1.0);
+}
+
+}  // namespace
+}  // namespace swope

@@ -1,0 +1,170 @@
+#include "src/engine/serve.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/table/binary_io.h"
+#include "src/table/csv_writer.h"
+#include "tests/test_util.h"
+
+namespace swope {
+namespace {
+
+using test::MakeEntropyTable;
+using test::MakeMiTable;
+
+std::string Handle(QueryEngine& engine, const std::string& line) {
+  bool quit = false;
+  return HandleRequestLine(engine, line, &quit);
+}
+
+TEST(JsonEscapeTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string("a") + '\x01' + "b"), "a\\u0001b");
+}
+
+TEST(ServeTest, QueryOverRegisteredDataset) {
+  QueryEngine engine;
+  ASSERT_TRUE(
+      engine.RegisterDataset("ds", MakeEntropyTable({5.0, 2.0}, 1500, 3))
+          .ok());
+  const std::string response =
+      Handle(engine, "query dataset=ds kind=entropy-topk k=1");
+  EXPECT_EQ(response.rfind("{\"ok\":true,\"op\":\"query\"", 0), 0u)
+      << response;
+  EXPECT_NE(response.find("\"kind\":\"entropy-topk\""), std::string::npos);
+  EXPECT_NE(response.find("\"cache_hit\":false"), std::string::npos);
+  EXPECT_NE(response.find("\"estimate\":"), std::string::npos);
+
+  // The repeat is answered from cache, visibly.
+  const std::string repeat =
+      Handle(engine, "query dataset=ds kind=entropy-topk k=1");
+  EXPECT_NE(repeat.find("\"cache_hit\":true"), std::string::npos) << repeat;
+}
+
+TEST(ServeTest, LoadBinaryAndCsvFiles) {
+  const Table table = MakeMiTable({0.4, 0.7}, 800, 9);
+  const std::string binary_path = ::testing::TempDir() + "serve_test.swpb";
+  const std::string csv_path = ::testing::TempDir() + "serve_test.csv";
+  ASSERT_TRUE(WriteBinaryTableFile(table, binary_path).ok());
+  ASSERT_TRUE(WriteCsvFile(table, csv_path).ok());
+
+  QueryEngine engine;
+  const std::string bin_response =
+      Handle(engine, "load name=bin path=" + binary_path);
+  EXPECT_EQ(bin_response.rfind("{\"ok\":true,\"op\":\"load\"", 0), 0u)
+      << bin_response;
+  EXPECT_NE(bin_response.find("\"rows\":800"), std::string::npos);
+  EXPECT_NE(bin_response.find("\"columns\":3"), std::string::npos);
+
+  const std::string csv_response =
+      Handle(engine, "load name=csv path=" + csv_path);
+  EXPECT_EQ(csv_response.rfind("{\"ok\":true", 0), 0u) << csv_response;
+
+  // Both loads carry the same data modulo dictionary code assignment;
+  // a query against each must succeed.
+  EXPECT_EQ(Handle(engine, "query dataset=bin kind=mi-topk k=1 target=t")
+                .rfind("{\"ok\":true", 0),
+            0u);
+  EXPECT_EQ(Handle(engine, "query dataset=csv kind=mi-topk k=1 target=t")
+                .rfind("{\"ok\":true", 0),
+            0u);
+}
+
+TEST(ServeTest, DatasetsAndUnload) {
+  QueryEngine engine;
+  ASSERT_TRUE(
+      engine.RegisterDataset("a", MakeEntropyTable({3.0}, 300, 1)).ok());
+  ASSERT_TRUE(
+      engine.RegisterDataset("b", MakeEntropyTable({3.0}, 300, 2)).ok());
+  EXPECT_EQ(Handle(engine, "datasets"),
+            "{\"ok\":true,\"op\":\"datasets\",\"names\":[\"a\",\"b\"]}");
+  EXPECT_EQ(Handle(engine, "unload name=a"),
+            "{\"ok\":true,\"op\":\"unload\",\"name\":\"a\"}");
+  EXPECT_EQ(Handle(engine, "datasets"),
+            "{\"ok\":true,\"op\":\"datasets\",\"names\":[\"b\"]}");
+  const std::string missing = Handle(engine, "unload name=a");
+  EXPECT_EQ(missing.rfind("{\"ok\":false", 0), 0u);
+  EXPECT_NE(missing.find("\"code\":\"Not found\""), std::string::npos)
+      << missing;
+}
+
+TEST(ServeTest, StatsReflectTraffic) {
+  QueryEngine engine;
+  ASSERT_TRUE(
+      engine.RegisterDataset("ds", MakeEntropyTable({4.0}, 1000, 1)).ok());
+  ASSERT_TRUE(
+      Handle(engine, "query dataset=ds kind=entropy-topk k=1")
+          .rfind("{\"ok\":true", 0) == 0);
+  const std::string stats = Handle(engine, "stats");
+  EXPECT_EQ(stats.rfind("{\"ok\":true,\"op\":\"stats\"", 0), 0u) << stats;
+  EXPECT_NE(stats.find("\"queries_ok\":1"), std::string::npos);
+  EXPECT_NE(stats.find("\"resident_datasets\":1"), std::string::npos);
+}
+
+TEST(ServeTest, MalformedRequestsAreInBandErrors) {
+  QueryEngine engine;
+  // Unknown op.
+  EXPECT_EQ(Handle(engine, "frobnicate").rfind("{\"ok\":false", 0), 0u);
+  // Missing '=' in an argument.
+  EXPECT_EQ(Handle(engine, "query dataset").rfind("{\"ok\":false", 0), 0u);
+  // Unknown kind.
+  EXPECT_EQ(Handle(engine, "query dataset=x kind=magic")
+                .rfind("{\"ok\":false", 0),
+            0u);
+  // Non-numeric numeric argument.
+  EXPECT_EQ(Handle(engine, "query dataset=x kind=entropy-topk k=lots")
+                .rfind("{\"ok\":false", 0),
+            0u);
+  // Unknown dataset surfaces the engine's NotFound.
+  const std::string response =
+      Handle(engine, "query dataset=ghost kind=entropy-topk k=1");
+  EXPECT_NE(response.find("\"code\":\"Not found\""), std::string::npos)
+      << response;
+}
+
+TEST(ServeTest, QuitStopsTheLoop) {
+  QueryEngine engine;
+  bool quit = false;
+  EXPECT_EQ(HandleRequestLine(engine, "quit", &quit),
+            "{\"ok\":true,\"op\":\"quit\"}");
+  EXPECT_TRUE(quit);
+}
+
+TEST(ServeTest, ServeLoopProcessesAScript) {
+  QueryEngine engine;
+  ASSERT_TRUE(
+      engine.RegisterDataset("ds", MakeEntropyTable({5.0, 1.0}, 1200, 6))
+          .ok());
+  std::istringstream in(
+      "# comment line\n"
+      "\n"
+      "datasets\n"
+      "query dataset=ds kind=entropy-topk k=1\n"
+      "query dataset=ds kind=entropy-topk k=1\n"
+      "query dataset=nope kind=entropy-topk k=1\n"
+      "quit\n"
+      "datasets\n");  // after quit: must not be processed
+  std::ostringstream out;
+  const uint64_t failures = ServeLoop(engine, in, out);
+  EXPECT_EQ(failures, 1u);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<std::string> responses;
+  while (std::getline(lines, line)) responses.push_back(line);
+  ASSERT_EQ(responses.size(), 5u);  // comment/blank skipped, quit stops
+  EXPECT_EQ(responses[0].rfind("{\"ok\":true,\"op\":\"datasets\"", 0), 0u);
+  EXPECT_NE(responses[1].find("\"cache_hit\":false"), std::string::npos);
+  EXPECT_NE(responses[2].find("\"cache_hit\":true"), std::string::npos);
+  EXPECT_EQ(responses[3].rfind("{\"ok\":false", 0), 0u);
+  EXPECT_EQ(responses[4], "{\"ok\":true,\"op\":\"quit\"}");
+}
+
+}  // namespace
+}  // namespace swope

@@ -13,6 +13,9 @@ Enforces the handful of conventions that clang-tidy cannot express:
                   `// NOLINT(swope-naked-new): reason` escape.
   banned-rand     rand()/srand() are banned; use src/common/random.h so
                   experiments stay reproducible.
+  banned-sleep    sleep_for/sleep_until/usleep are banned in src/ (library
+                  code must block on condition variables or poll an
+                  ExecControl, never nap); tests and benches may sleep.
 
 Findings print as `path:line: [rule] message` and the exit status is the
 number of findings (capped at 1), so both humans and CI can consume it.
@@ -33,6 +36,8 @@ NAKED_DELETE_RE = re.compile(r"(?<![A-Za-z0-9_])delete(\s*\[\s*\])?\s")
 DEFAULTED_DELETE_RE = re.compile(r"=\s*delete")
 BANNED_RAND_RE = re.compile(r"(?<![A-Za-z0-9_])s?rand\s*\(")
 USING_NAMESPACE_RE = re.compile(r"(?<![A-Za-z0-9_])using\s+namespace\b")
+BANNED_SLEEP_RE = re.compile(
+    r"(?<![A-Za-z0-9_])(sleep_for|sleep_until|usleep)\s*\(")
 
 
 def strip_comments_and_strings(text):
@@ -158,6 +163,10 @@ def lint_file(root, relpath):
             findings.append((relpath, lineno, "banned-rand",
                              "rand()/srand() are banned; use "
                              "src/common/random.h for reproducibility"))
+        if relpath.parts[0] == "src" and BANNED_SLEEP_RE.search(line):
+            findings.append((relpath, lineno, "banned-sleep",
+                             "sleeping is banned in library code; block on "
+                             "a condition variable or poll an ExecControl"))
     return findings
 
 

@@ -28,6 +28,8 @@
 #include "src/core/swope_topk_mi.h"
 #include "src/core/swope_topk_nmi.h"
 #include "src/datagen/dataset_presets.h"
+#include "src/engine/query_engine.h"
+#include "src/engine/serve.h"
 #include "src/table/binary_io.h"
 #include "src/table/csv_reader.h"
 #include "src/table/csv_writer.h"
@@ -46,6 +48,9 @@ commands:
   mi-topk    approximate MI top-k            --in=FILE --target=COL --k=N [--epsilon=E] [--exact]
   mi-filter  approximate MI filtering        --in=FILE --target=COL --eta=T [--epsilon=E] [--exact]
   nmi-topk   approximate normalized-MI top-k --in=FILE --target=COL --k=N [--epsilon=E]
+  serve      query engine REPL: line requests on stdin, JSON on stdout
+             [--threads=N] [--max-in-flight=N] [--memory-budget-mb=N]
+             [--result-cache=N] [--timeout-ms=N]
 
 common flags:
   --max-support=U   drop columns with more than U distinct values before
@@ -53,11 +58,28 @@ common flags:
 
 FILE handling: *.csv is CSV with a header row; anything else is the SWPB
 binary column store.
+
+exit codes: 0 success, 1 runtime failure (I/O, corruption, query error),
+2 usage error (unknown command/flag, invalid argument). Diagnostics go to
+stderr; stdout carries only results (JSON in serve mode).
 )";
 
-int Fail(const std::string& message) {
-  std::fprintf(stderr, "swope_cli: %s\n", message.c_str());
-  return 1;
+// Exit codes: usage errors (2) are the caller holding it wrong; runtime
+// failures (1) are the environment (missing/corrupt files, ...). Keeping
+// them distinct lets scripts retry the latter without re-reading --help.
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+
+int ExitCodeFor(const Status& status) {
+  return status.IsInvalidArgument() || status.IsNotFound() ? kExitUsage
+                                                           : kExitRuntime;
+}
+
+// All diagnostics go to stderr so stdout stays clean for results --
+// serve-mode JSON in particular must never interleave with error text.
+int Fail(const Status& status) {
+  std::fprintf(stderr, "swope_cli: %s\n", status.ToString().c_str());
+  return ExitCodeFor(status);
 }
 
 // Minimal --key=value flag map.
@@ -162,15 +184,17 @@ void PrintItems(const std::vector<AttributeScore>& items,
 
 int CmdGen(const Flags& flags) {
   auto preset = ParseDatasetPreset(flags.GetString("preset", "cdc"));
-  if (!preset.ok()) return Fail(preset.status().ToString());
+  if (!preset.ok()) return Fail(preset.status());
   const std::string out = flags.GetString("out");
-  if (out.empty()) return Fail("--out=FILE is required");
+  if (out.empty()) {
+    return Fail(Status::InvalidArgument("--out=FILE is required"));
+  }
   auto table = MakePresetTable(*preset, flags.GetUint("rows", 0),
                                flags.GetUint("seed", 2021));
-  if (!table.ok()) return Fail(table.status().ToString());
+  if (!table.ok()) return Fail(table.status());
   const Status status = IsCsvPath(out) ? WriteCsvFile(*table, out)
                                        : WriteBinaryTableFile(*table, out);
-  if (!status.ok()) return Fail(status.ToString());
+  if (!status.ok()) return Fail(status);
   std::printf("wrote %llu x %zu table to %s\n",
               static_cast<unsigned long long>(table->num_rows()),
               table->num_columns(), out.c_str());
@@ -179,7 +203,7 @@ int CmdGen(const Flags& flags) {
 
 int CmdInfo(const Flags& flags) {
   auto table = LoadTable(flags);
-  if (!table.ok()) return Fail(table.status().ToString());
+  if (!table.ok()) return Fail(table.status());
   std::printf("rows:    %llu\ncolumns: %zu\nmax u:   %u\n",
               static_cast<unsigned long long>(table->num_rows()),
               table->num_columns(), table->MaxSupport());
@@ -193,91 +217,108 @@ int CmdInfo(const Flags& flags) {
 
 int CmdTopK(const Flags& flags) {
   auto table = LoadTable(flags);
-  if (!table.ok()) return Fail(table.status().ToString());
+  if (!table.ok()) return Fail(table.status());
   const size_t k = flags.GetUint("k", 5);
   Stopwatch watch;
   if (flags.GetBool("exact")) {
     auto result = ExactTopKEntropy(*table, k);
-    if (!result.ok()) return Fail(result.status().ToString());
+    if (!result.ok()) return Fail(result.status());
     PrintItems(result->items, result->stats, watch.ElapsedMillis());
     return 0;
   }
   auto result =
       SwopeTopKEntropy(*table, k, OptionsFromFlags(flags, 0.1));
-  if (!result.ok()) return Fail(result.status().ToString());
+  if (!result.ok()) return Fail(result.status());
   PrintItems(result->items, result->stats, watch.ElapsedMillis());
   return 0;
 }
 
 int CmdFilter(const Flags& flags) {
   auto table = LoadTable(flags);
-  if (!table.ok()) return Fail(table.status().ToString());
+  if (!table.ok()) return Fail(table.status());
   const double eta = flags.GetDouble("eta", 1.0);
   Stopwatch watch;
   if (flags.GetBool("exact")) {
     auto result = ExactFilterEntropy(*table, eta);
-    if (!result.ok()) return Fail(result.status().ToString());
+    if (!result.ok()) return Fail(result.status());
     PrintItems(result->items, result->stats, watch.ElapsedMillis());
     return 0;
   }
   auto result =
       SwopeFilterEntropy(*table, eta, OptionsFromFlags(flags, 0.05));
-  if (!result.ok()) return Fail(result.status().ToString());
+  if (!result.ok()) return Fail(result.status());
   PrintItems(result->items, result->stats, watch.ElapsedMillis());
   return 0;
 }
 
 int CmdMiTopK(const Flags& flags) {
   auto table = LoadTable(flags);
-  if (!table.ok()) return Fail(table.status().ToString());
+  if (!table.ok()) return Fail(table.status());
   auto target = ResolveTarget(*table, flags);
-  if (!target.ok()) return Fail(target.status().ToString());
+  if (!target.ok()) return Fail(target.status());
   const size_t k = flags.GetUint("k", 5);
   Stopwatch watch;
   if (flags.GetBool("exact")) {
     auto result = ExactTopKMi(*table, *target, k);
-    if (!result.ok()) return Fail(result.status().ToString());
+    if (!result.ok()) return Fail(result.status());
     PrintItems(result->items, result->stats, watch.ElapsedMillis());
     return 0;
   }
   auto result =
       SwopeTopKMi(*table, *target, k, OptionsFromFlags(flags, 0.5));
-  if (!result.ok()) return Fail(result.status().ToString());
+  if (!result.ok()) return Fail(result.status());
   PrintItems(result->items, result->stats, watch.ElapsedMillis());
   return 0;
 }
 
 int CmdMiFilter(const Flags& flags) {
   auto table = LoadTable(flags);
-  if (!table.ok()) return Fail(table.status().ToString());
+  if (!table.ok()) return Fail(table.status());
   auto target = ResolveTarget(*table, flags);
-  if (!target.ok()) return Fail(target.status().ToString());
+  if (!target.ok()) return Fail(target.status());
   const double eta = flags.GetDouble("eta", 0.1);
   Stopwatch watch;
   if (flags.GetBool("exact")) {
     auto result = ExactFilterMi(*table, *target, eta);
-    if (!result.ok()) return Fail(result.status().ToString());
+    if (!result.ok()) return Fail(result.status());
     PrintItems(result->items, result->stats, watch.ElapsedMillis());
     return 0;
   }
   auto result =
       SwopeFilterMi(*table, *target, eta, OptionsFromFlags(flags, 0.5));
-  if (!result.ok()) return Fail(result.status().ToString());
+  if (!result.ok()) return Fail(result.status());
   PrintItems(result->items, result->stats, watch.ElapsedMillis());
   return 0;
 }
 
 int CmdNmiTopK(const Flags& flags) {
   auto table = LoadTable(flags);
-  if (!table.ok()) return Fail(table.status().ToString());
+  if (!table.ok()) return Fail(table.status());
   auto target = ResolveTarget(*table, flags);
-  if (!target.ok()) return Fail(target.status().ToString());
+  if (!target.ok()) return Fail(target.status());
   const size_t k = flags.GetUint("k", 5);
   Stopwatch watch;
   auto result =
       SwopeTopKNmi(*table, *target, k, OptionsFromFlags(flags, 0.5));
-  if (!result.ok()) return Fail(result.status().ToString());
+  if (!result.ok()) return Fail(result.status());
   PrintItems(result->items, result->stats, watch.ElapsedMillis());
+  return 0;
+}
+
+int CmdServe(const Flags& flags) {
+  EngineConfig config;
+  config.num_threads = static_cast<size_t>(flags.GetUint("threads", 4));
+  config.max_in_flight =
+      static_cast<size_t>(flags.GetUint("max-in-flight", 8));
+  config.memory_budget_bytes =
+      flags.GetUint("memory-budget-mb", 0) * (1ULL << 20);
+  config.result_cache_capacity =
+      static_cast<size_t>(flags.GetUint("result-cache", 256));
+  config.default_timeout_ms = flags.GetUint("timeout-ms", 0);
+  QueryEngine engine(config);
+  // Per-request failures are reported in-band as {"ok":false,...} JSON;
+  // reaching EOF (or quit) with the transport intact is a success.
+  ServeLoop(engine, std::cin, std::cout);
   return 0;
 }
 
@@ -288,7 +329,7 @@ int Main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   auto flags = Flags::Parse(argc, argv, 2);
-  if (!flags.ok()) return Fail(flags.status().ToString());
+  if (!flags.ok()) return Fail(flags.status());
 
   if (command == "gen") return CmdGen(*flags);
   if (command == "info") return CmdInfo(*flags);
@@ -297,12 +338,14 @@ int Main(int argc, char** argv) {
   if (command == "mi-topk") return CmdMiTopK(*flags);
   if (command == "mi-filter") return CmdMiFilter(*flags);
   if (command == "nmi-topk") return CmdNmiTopK(*flags);
+  if (command == "serve") return CmdServe(*flags);
   if (command == "help" || command == "--help") {
     std::fputs(kUsage, stdout);
     return 0;
   }
   std::fputs(kUsage, stderr);
-  return Fail("unknown command '" + command + "'");
+  std::fprintf(stderr, "swope_cli: unknown command '%s'\n", command.c_str());
+  return kExitUsage;
 }
 
 }  // namespace
