@@ -7,8 +7,10 @@
 
 #include <algorithm>
 #include <iostream>
+#include <memory>
 
 #include "bench/bench_util.h"
+#include "src/common/thread_pool.h"
 #include "src/baselines/entropy_rank.h"
 #include "src/baselines/exact.h"
 #include "src/core/entropy.h"
@@ -116,6 +118,50 @@ void Run(const BenchConfig& config) {
                                    swope_time.mean_seconds)});
   }
   mi_table.PrintMarkdown(std::cout);
+
+  // Intra-query parallelism: the per-candidate counter-update phase fans
+  // out across QueryOptions::pool. The answer is byte-identical at every
+  // thread count (docs/CORE.md), so this sweep is purely a latency curve;
+  // it needs a wide table (many candidates per round) to have work to
+  // split, hence the 100-column cdc preset with a small epsilon to force
+  // deep sampling.
+  std::cout << "\n# Intra-query thread sweep (cdc preset, entropy top-4, "
+               "eps=0.01)\n\n";
+  {
+    const uint64_t rows = config.quick ? 500000 : 2000000;
+    auto made = MakePresetTable(DatasetPreset::kCdc, rows, config.seed);
+    if (!made.ok()) std::exit(1);
+    const Table dataset = made->DropHighSupportColumns(1000);
+
+    QueryOptions options;
+    options.epsilon = 0.01;
+    options.seed = config.seed;
+    options.sequential_sampling = true;
+
+    ReportTable sweep({"threads", "SWOPE (ms)", "SWOPE samples",
+                       "vs 1 thread"});
+    double serial_seconds = 0.0;
+    for (size_t threads : {1, 2, 4, 8}) {
+      std::unique_ptr<ThreadPool> pool;
+      if (threads > 1) {
+        pool = std::make_unique<ThreadPool>(threads);
+        options.pool = pool.get();
+      } else {
+        options.pool = nullptr;
+      }
+      Result<TopKResult> swope(Status::Internal("unset"));
+      const Timing timing = TimeRepeated(config.reps, [&] {
+        swope = SwopeTopKEntropy(dataset, 4, options);
+        if (!swope.ok()) std::exit(1);
+      });
+      if (threads == 1) serial_seconds = timing.mean_seconds;
+      sweep.AddRow({std::to_string(threads),
+                    ReportTable::FormatMillis(timing.mean_seconds),
+                    std::to_string(swope->stats.final_sample_size),
+                    FormatSpeedup(serial_seconds, timing.mean_seconds)});
+    }
+    sweep.PrintMarkdown(std::cout);
+  }
 }
 
 }  // namespace

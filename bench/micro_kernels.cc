@@ -1,11 +1,14 @@
 // google-benchmark microbenchmarks for the kernels on the query hot path:
 // counter updates, bound evaluation, sampling, shuffling, CSV parsing.
 
+#include <memory>
 #include <sstream>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "src/common/flat_hash_map.h"
+#include "src/common/thread_pool.h"
 #include "src/core/bounds.h"
 #include "src/core/entropy.h"
 #include "src/core/frequency_counter.h"
@@ -142,6 +145,43 @@ void BM_CsvParse(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * text.size());
 }
 BENCHMARK(BM_CsvParse);
+
+// The unified driver's per-round hot phase: fold a sample slice into one
+// FrequencyCounter per candidate and recompute its entropy, fanned across
+// a pool — the kernel parallelized by QueryOptions::pool. Arg = threads.
+void BM_ParallelCandidateUpdate(benchmark::State& state) {
+  constexpr size_t kCandidates = 32;
+  constexpr uint64_t kRows = 1 << 16;
+  std::vector<Column> columns;
+  columns.reserve(kCandidates);
+  for (size_t j = 0; j < kCandidates; ++j) {
+    columns.push_back(MakeColumn(64, kRows, 100 + j));
+  }
+  std::vector<uint32_t> order(kRows);
+  for (uint32_t i = 0; i < kRows; ++i) order[i] = i;
+
+  const size_t threads = static_cast<size_t>(state.range(0));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  std::vector<FrequencyCounter> counters(kCandidates,
+                                         FrequencyCounter(64));
+  std::vector<double> entropies(kCandidates, 0.0);
+  for (auto _ : state) {
+    auto update = [&](size_t j) {
+      counters[j].AddRows(columns[j], order, 0, kRows);
+      entropies[j] = counters[j].SampleEntropy();
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(0, kCandidates, update);
+    } else {
+      for (size_t j = 0; j < kCandidates; ++j) update(j);
+    }
+    benchmark::DoNotOptimize(entropies.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kCandidates * kRows);
+}
+BENCHMARK(BM_ParallelCandidateUpdate)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 }  // namespace swope

@@ -2,7 +2,8 @@
 //
 // The query algorithms are sequential by default (the paper's experiments
 // are single-threaded), but per-attribute counter updates are embarrassingly
-// parallel; QueryOptions::num_threads > 1 routes them through this pool.
+// parallel; setting QueryOptions::pool routes them through this pool (the
+// engine wires EngineConfig::intra_query_threads to it).
 
 #ifndef SWOPE_COMMON_THREAD_POOL_H_
 #define SWOPE_COMMON_THREAD_POOL_H_

@@ -1,0 +1,190 @@
+#include "src/core/adaptive_sampling_driver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "src/common/thread_pool.h"
+#include "src/core/bounds.h"
+#include "src/core/exec_control.h"
+#include "src/core/prefix_sampler.h"
+
+namespace swope {
+
+void Scorer::BeginRound(const std::vector<uint32_t>& /*order*/,
+                        uint64_t /*begin*/, uint64_t /*end*/,
+                        uint64_t /*m*/) {}
+
+namespace {
+
+// Fans UpdateCandidate out across the pool when one is available. Distinct
+// candidates touch disjoint state, so the only requirement for determinism
+// is that every reduction afterwards runs serially — which Decide does.
+void UpdateActiveCandidates(Scorer& scorer, const std::vector<size_t>& active,
+                            const std::vector<uint32_t>& order,
+                            PrefixSampler::Range range, uint64_t m,
+                            ThreadPool* pool) {
+  if (pool != nullptr && pool->num_threads() > 1 && active.size() > 1) {
+    pool->ParallelFor(0, active.size(), [&](size_t i) {
+      scorer.UpdateCandidate(active[i], order, range.begin, range.end, m);
+    });
+  } else {
+    for (size_t idx : active) {
+      scorer.UpdateCandidate(idx, order, range.begin, range.end, m);
+    }
+  }
+}
+
+}  // namespace
+
+Result<AdaptiveSamplingDriver::Output> AdaptiveSamplingDriver::Run(
+    Scorer& scorer, DecisionPolicy& policy) {
+  const uint64_t n = table_.num_rows();
+  const size_t h = table_.num_columns();
+
+  const double pf = options_.ResolveFailureProbability(n);
+  const uint64_t m0 =
+      options_.initial_sample_size > 0
+          ? std::min<uint64_t>(n, std::max<uint64_t>(
+                                      kMinSampleSize,
+                                      options_.initial_sample_size))
+          : ComputeM0(n, h, pf, table_.MaxSupport());
+  const uint32_t i_max = MaxIterations(n, m0);
+  // Splits the failure budget over rounds and candidates; the scorer's
+  // union-bound multiplier covers how many intervals it derives per
+  // candidate per round.
+  const double p_iter =
+      pf / (scorer.bounds_per_candidate() * static_cast<double>(i_max) *
+            static_cast<double>(scorer.num_candidates()));
+  scorer.Bind(n, p_iter);
+
+  Output output;
+  output.stats.initial_sample_size = m0;
+
+  SWOPE_ASSIGN_OR_RETURN(
+      PrefixSampler sampler,
+      MakePrefixSampler(static_cast<uint32_t>(n), options_));
+  std::vector<size_t> active(scorer.num_candidates());
+  for (size_t i = 0; i < active.size(); ++i) active[i] = i;
+
+  uint64_t m = std::min<uint64_t>(m0, n);
+  while (!active.empty()) {
+    if (options_.control != nullptr) {
+      SWOPE_RETURN_NOT_OK(options_.control->Check());
+    }
+    ++output.stats.iterations;
+    const PrefixSampler::Range range = sampler.GrowTo(m);
+    scorer.BeginRound(sampler.order(), range.begin, range.end, m);
+    UpdateActiveCandidates(scorer, active, sampler.order(), range, m,
+                           options_.pool);
+    output.stats.cells_scanned +=
+        (range.end - range.begin) * scorer.CellsPerRow(active.size());
+
+    if (policy.Decide(scorer, active, m, n, output.items)) break;
+
+    const uint64_t grown = static_cast<uint64_t>(
+        std::ceil(static_cast<double>(m) * options_.growth_factor));
+    m = std::min<uint64_t>(n, std::max<uint64_t>(m + 1, grown));
+  }
+
+  policy.Finalize(scorer, active, output.items);
+  output.stats.final_sample_size = sampler.consumed();
+  output.stats.candidates_remaining = active.size();
+  output.stats.exhausted_dataset = (sampler.consumed() >= n);
+  return output;
+}
+
+bool TopKPolicy::Decide(const Scorer& scorer, std::vector<size_t>& active,
+                        uint64_t m, uint64_t n,
+                        std::vector<AttributeScore>& /*items*/) {
+  // k-th largest upper bound over the active set.
+  std::vector<double> uppers;
+  uppers.reserve(active.size());
+  for (size_t idx : active) uppers.push_back(scorer.interval(idx).upper);
+  std::nth_element(uppers.begin(), uppers.begin() + (k_ - 1), uppers.end(),
+                   std::greater<double>());
+  const double kth_upper = uppers[k_ - 1];
+
+  if (scorer.TopKShouldStop(active, kth_upper, m, epsilon_)) return true;
+  if (m >= n) {
+    // Bounds are exact at M = N, so the stopping rule always fires there;
+    // this is a defensive backstop.
+    return true;
+  }
+
+  // Prune candidates that cannot be in the top-k: upper bound strictly
+  // below the k-th largest lower bound (Algorithm 1 lines 14-17).
+  std::vector<double> lowers;
+  lowers.reserve(active.size());
+  for (size_t idx : active) lowers.push_back(scorer.interval(idx).lower);
+  std::nth_element(lowers.begin(), lowers.begin() + (k_ - 1), lowers.end(),
+                   std::greater<double>());
+  const double kth_lower = lowers[k_ - 1];
+  std::erase_if(active, [&](size_t idx) {
+    return scorer.interval(idx).upper < kth_lower;
+  });
+  return false;
+}
+
+void TopKPolicy::Finalize(const Scorer& scorer,
+                          const std::vector<size_t>& active,
+                          std::vector<AttributeScore>& items) {
+  // Order the active candidates by descending upper bound (ties by
+  // ascending column index) and emit the top k.
+  std::vector<size_t> order = active;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (scorer.interval(a).upper != scorer.interval(b).upper) {
+      return scorer.interval(a).upper > scorer.interval(b).upper;
+    }
+    return scorer.column(a) < scorer.column(b);
+  });
+  order.resize(std::min(order.size(), k_));
+  for (size_t idx : order) {
+    const ScoreInterval& interval = scorer.interval(idx);
+    items.push_back({scorer.column(idx),
+                     table_.column(scorer.column(idx)).name(),
+                     interval.Estimate(), interval.lower, interval.upper});
+  }
+}
+
+bool FilterPolicy::Decide(const Scorer& scorer, std::vector<size_t>& active,
+                          uint64_t m, uint64_t n,
+                          std::vector<AttributeScore>& items) {
+  std::vector<size_t> still_active;
+  still_active.reserve(active.size());
+  for (size_t idx : active) {
+    const ScoreInterval& interval = scorer.interval(idx);
+    const size_t column = scorer.column(idx);
+    // Rules in the paper's order (Algorithm 2 lines 6-14).
+    if (interval.Width() < 2.0 * epsilon_ * eta_) {
+      if (interval.Estimate() >= eta_) {
+        items.push_back({column, table_.column(column).name(),
+                         interval.Estimate(), interval.lower,
+                         interval.upper});
+      }
+    } else if (interval.lower >= (1.0 - epsilon_) * eta_) {
+      items.push_back({column, table_.column(column).name(),
+                       interval.Estimate(), interval.lower, interval.upper});
+    } else if (interval.upper < (1.0 + epsilon_) * eta_) {
+      // rejected
+    } else {
+      still_active.push_back(idx);
+    }
+  }
+  active = std::move(still_active);
+
+  // Exact bounds have zero width at M = N, so everything is classified
+  // above; the m >= n arm is a defensive backstop.
+  return active.empty() || m >= n;
+}
+
+void FilterPolicy::Finalize(const Scorer& /*scorer*/,
+                            const std::vector<size_t>& /*active*/,
+                            std::vector<AttributeScore>& items) {
+  std::sort(items.begin(), items.end(),
+            [](const AttributeScore& a, const AttributeScore& b) {
+              return a.index < b.index;
+            });
+}
+
+}  // namespace swope

@@ -1,0 +1,196 @@
+// The unified SWOPE adaptive-sampling loop (internal to src/core/).
+//
+// Every SWOPE query — entropy / MI / NMI, top-k / filter — runs the same
+// machinery: draw one row permutation, grow a sample prefix, fold the new
+// slice into per-candidate counters, derive El-Yaniv–Pechyony + bias
+// confidence intervals, apply a stopping rule, prune, and grow M. The
+// AdaptiveSamplingDriver owns that loop once; a Scorer supplies the
+// per-candidate counters and intervals, and a DecisionPolicy supplies the
+// stopping rule, pruning, and answer assembly. The public entry points
+// (swope_topk_entropy.h et al.) are thin wrappers that pick the pair.
+//
+// Parallelism and determinism: when QueryOptions::pool is set, the driver
+// fans the per-candidate update phase of each round out across the pool.
+// The answer is byte-identical to the serial path because
+//   (1) shared round state (the MI target counter) is absorbed serially in
+//       BeginRound before any candidate update,
+//   (2) UpdateCandidate touches only candidate-local state, and
+//   (3) every reduction over candidates (k-th bounds, stopping slack,
+//       filter classification) runs serially afterwards, in the fixed
+//       active-candidate order.
+// docs/CORE.md spells out the full argument.
+//
+// This header is internal: outside src/core/, include the public
+// swope_*.h entry points instead (tools/lint.py enforces this).
+
+#ifndef SWOPE_CORE_ADAPTIVE_SAMPLING_DRIVER_H_
+#define SWOPE_CORE_ADAPTIVE_SAMPLING_DRIVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/query_options.h"
+#include "src/core/query_result.h"
+#include "src/table/table.h"
+
+namespace swope {
+
+/// A candidate's confidence interval plus the scorer-specific stopping
+/// ingredient (entropy: the Lemma 1 bias b; MI: the total slack b').
+struct ScoreInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double slack = 0.0;
+
+  /// Midpoint estimate (lower + upper) / 2 — the certified answer value.
+  double Estimate() const { return 0.5 * (lower + upper); }
+  double Width() const { return upper - lower; }
+};
+
+/// Owns the per-candidate counters of one query and turns sample prefixes
+/// into ScoreIntervals. Implementations: EntropyScorer, MiScorer,
+/// NmiScorer (src/core/scorers.h).
+class Scorer {
+ public:
+  virtual ~Scorer() = default;
+
+  Scorer(const Scorer&) = delete;
+  Scorer& operator=(const Scorer&) = delete;
+
+  /// Number of candidate attributes (h for entropy, h-1 for MI/NMI).
+  size_t num_candidates() const { return columns_.size(); }
+  /// Table column index of candidate `c`.
+  size_t column(size_t c) const { return columns_[c]; }
+  /// Interval computed by the most recent UpdateCandidate(c, ...).
+  const ScoreInterval& interval(size_t c) const { return intervals_[c]; }
+
+  /// Union-bound multiplier: intervals derived per candidate per round
+  /// (1 for entropy; 3 for MI/NMI, which bound three entropies).
+  virtual double bounds_per_candidate() const = 0;
+
+  /// Counter cells touched per newly sampled row while `active` candidates
+  /// remain (entropy: one per candidate; MI/NMI: the shared target update
+  /// plus a marginal and a joint update per candidate).
+  virtual uint64_t CellsPerRow(size_t active) const = 0;
+
+  /// Fixes the query-wide constants before the first round.
+  void Bind(uint64_t n, double p_iter) {
+    n_ = n;
+    p_iter_ = p_iter;
+  }
+
+  /// Absorbs order[begin..end) into candidate-independent shared state
+  /// (the MI/NMI target counter). Runs serially, once per round, before
+  /// any UpdateCandidate of that round.
+  virtual void BeginRound(const std::vector<uint32_t>& order, uint64_t begin,
+                          uint64_t end, uint64_t m);
+
+  /// Absorbs order[begin..end) into candidate `c`'s counters and
+  /// recomputes interval(c) at sample size `m`. Must touch only
+  /// candidate-`c` state: the driver calls this concurrently for distinct
+  /// candidates.
+  virtual void UpdateCandidate(size_t c, const std::vector<uint32_t>& order,
+                               uint64_t begin, uint64_t end, uint64_t m) = 0;
+
+  /// The kind-specific top-k stopping rule, given the k-th largest upper
+  /// bound over `active`. Each implementation reproduces its algorithm's
+  /// exact arithmetic (Algorithms 1 and 3, and the NMI relative-width
+  /// rule); a non-positive kth_upper always stops.
+  virtual bool TopKShouldStop(const std::vector<size_t>& active,
+                              double kth_upper, uint64_t m,
+                              double epsilon) const = 0;
+
+ protected:
+  Scorer() = default;
+
+  std::vector<size_t> columns_;         // candidate -> table column
+  std::vector<ScoreInterval> intervals_;  // candidate -> latest interval
+  uint64_t n_ = 0;
+  double p_iter_ = 0.0;
+};
+
+/// Consumes the round's intervals: classifies / prunes candidates, decides
+/// when to stop, and assembles the answer items.
+class DecisionPolicy {
+ public:
+  virtual ~DecisionPolicy() = default;
+
+  /// One round's decision, after all active candidates were updated.
+  /// May shrink `active` (pruning / classification); returns true when the
+  /// query is done. Runs serially in the fixed active order.
+  virtual bool Decide(const Scorer& scorer, std::vector<size_t>& active,
+                      uint64_t m, uint64_t n,
+                      std::vector<AttributeScore>& items) = 0;
+
+  /// Assembles the final items after the loop stops.
+  virtual void Finalize(const Scorer& scorer,
+                        const std::vector<size_t>& active,
+                        std::vector<AttributeScore>& items) = 0;
+};
+
+/// Top-k (Algorithms 1 and 3): stop via Scorer::TopKShouldStop on the
+/// k-th largest upper bound, prune candidates whose upper bound falls
+/// below the k-th largest lower bound, emit the k best by upper bound
+/// (ties by ascending column index).
+class TopKPolicy : public DecisionPolicy {
+ public:
+  TopKPolicy(const Table& table, size_t k, double epsilon)
+      : table_(table), k_(k), epsilon_(epsilon) {}
+
+  bool Decide(const Scorer& scorer, std::vector<size_t>& active, uint64_t m,
+              uint64_t n, std::vector<AttributeScore>& items) override;
+  void Finalize(const Scorer& scorer, const std::vector<size_t>& active,
+                std::vector<AttributeScore>& items) override;
+
+ private:
+  const Table& table_;
+  size_t k_;
+  double epsilon_;
+};
+
+/// Filter (Algorithms 2 and 4): classify each candidate against eta as
+/// soon as its interval permits — accept when the interval is narrow and
+/// the estimate clears eta, or the lower bound certifies it; reject when
+/// the upper bound rules it out; keep sampling otherwise. Stops when no
+/// candidate is left undecided. Accepted items are emitted in ascending
+/// column order.
+class FilterPolicy : public DecisionPolicy {
+ public:
+  FilterPolicy(const Table& table, double eta, double epsilon)
+      : table_(table), eta_(eta), epsilon_(epsilon) {}
+
+  bool Decide(const Scorer& scorer, std::vector<size_t>& active, uint64_t m,
+              uint64_t n, std::vector<AttributeScore>& items) override;
+  void Finalize(const Scorer& scorer, const std::vector<size_t>& active,
+                std::vector<AttributeScore>& items) override;
+
+ private:
+  const Table& table_;
+  double eta_;
+  double epsilon_;
+};
+
+/// The shared sampling loop. Wrappers validate their inputs, construct the
+/// scorer/policy pair, and call Run.
+class AdaptiveSamplingDriver {
+ public:
+  AdaptiveSamplingDriver(const Table& table, const QueryOptions& options)
+      : table_(table), options_(options) {}
+
+  struct Output {
+    std::vector<AttributeScore> items;
+    QueryStats stats;
+  };
+
+  Result<Output> Run(Scorer& scorer, DecisionPolicy& policy);
+
+ private:
+  const Table& table_;
+  const QueryOptions& options_;
+};
+
+}  // namespace swope
+
+#endif  // SWOPE_CORE_ADAPTIVE_SAMPLING_DRIVER_H_

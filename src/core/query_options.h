@@ -13,6 +13,7 @@
 namespace swope {
 
 struct ExecControl;
+class ThreadPool;
 
 /// Tunable parameters of a sampling query. Defaults follow the paper's
 /// experimental settings where one exists.
@@ -62,6 +63,15 @@ struct QueryOptions {
   /// sample-doubling round. Not owned; may be null. The caller keeps the
   /// pointee alive for the duration of the query.
   const ExecControl* control = nullptr;
+
+  /// Intra-query parallelism: when non-null, the driver fans the
+  /// per-candidate counter-update phase of each round out across this
+  /// pool. Answers are byte-identical to the serial path (candidates are
+  /// independent and every reduction runs serially in fixed candidate
+  /// order; see docs/CORE.md), so this is ignored by ResultCache
+  /// canonicalization. Not owned; may be null. The caller keeps the pool
+  /// alive for the duration of the query.
+  ThreadPool* pool = nullptr;
 
   /// Validates ranges; returns InvalidArgument with a description on
   /// failure.

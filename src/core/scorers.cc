@@ -1,0 +1,157 @@
+#include "src/core/scorers.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace swope {
+
+namespace {
+
+// Composes the NMI interval from the MI interval and the two marginal
+// entropy intervals. When a marginal lower bound is 0 the upper bound is
+// vacuous (1); when a marginal upper bound is 0 the attribute is constant
+// and NMI is 0.
+ScoreInterval ComposeNmi(const MiInterval& mi, const EntropyInterval& target,
+                         const EntropyInterval& candidate) {
+  ScoreInterval interval;
+  const double denom_upper = std::sqrt(target.upper * candidate.upper);
+  const double denom_lower = std::sqrt(target.lower * candidate.lower);
+  if (denom_upper <= 0.0) return interval;  // a constant attribute: NMI = 0
+  interval.lower = std::clamp(mi.lower / denom_upper, 0.0, 1.0);
+  interval.upper =
+      denom_lower > 0.0
+          ? std::clamp(mi.upper / denom_lower, interval.lower, 1.0)
+          : 1.0;
+  return interval;
+}
+
+}  // namespace
+
+EntropyScorer::EntropyScorer(const Table& table) : table_(table) {
+  const size_t h = table.num_columns();
+  columns_.resize(h);
+  counters_.reserve(h);
+  for (size_t j = 0; j < h; ++j) {
+    columns_[j] = j;
+    counters_.emplace_back(table.column(j).support());
+  }
+  intervals_.resize(h);
+}
+
+void EntropyScorer::UpdateCandidate(size_t c,
+                                    const std::vector<uint32_t>& order,
+                                    uint64_t begin, uint64_t end,
+                                    uint64_t m) {
+  const Column& col = table_.column(columns_[c]);
+  counters_[c].AddRows(col, order, begin, end);
+  const EntropyInterval interval = MakeEntropyInterval(
+      counters_[c].SampleEntropy(), col.support(), n_, m, p_iter_);
+  intervals_[c] = {interval.lower, interval.upper, interval.bias};
+}
+
+bool EntropyScorer::TopKShouldStop(const std::vector<size_t>& active,
+                                   double kth_upper, uint64_t m,
+                                   double epsilon) const {
+  // A non-positive k-th upper bound means every candidate entropy is
+  // zero, so any answer is exact.
+  if (kth_upper <= 0.0) return true;
+  double b_max = 0.0;
+  for (size_t idx : active) {
+    if (intervals_[idx].upper >= kth_upper) {
+      b_max = std::max(b_max, intervals_[idx].slack);
+    }
+  }
+  const double lambda = PermutationLambda(n_, m, p_iter_);
+  // Stopping rule (Algorithm 1 line 8).
+  return (kth_upper - 2.0 * lambda - b_max) / kth_upper >= 1.0 - epsilon;
+}
+
+MiScorer::MiScorer(const Table& table, size_t target,
+                   uint64_t dense_pair_limit)
+    : table_(table),
+      target_col_(table.column(target)),
+      target_counter_(target_col_.support()) {
+  const size_t h = table.num_columns();
+  columns_.reserve(h - 1);
+  counters_.reserve(h - 1);
+  for (size_t j = 0; j < h; ++j) {
+    if (j == target) continue;
+    columns_.push_back(j);
+    CandidateCounters counter;
+    counter.marginal = FrequencyCounter(table.column(j).support());
+    counter.joint = PairCounter(target_col_.support(),
+                                table.column(j).support(), dense_pair_limit);
+    counters_.push_back(std::move(counter));
+  }
+  intervals_.resize(columns_.size());
+}
+
+void MiScorer::BeginRound(const std::vector<uint32_t>& order, uint64_t begin,
+                          uint64_t end, uint64_t m) {
+  target_counter_.AddRows(target_col_, order, begin, end);
+  target_interval_ =
+      MakeEntropyInterval(target_counter_.SampleEntropy(),
+                          target_col_.support(), n_, m, p_iter_);
+}
+
+MiInterval MiScorer::UpdateMi(size_t c, const std::vector<uint32_t>& order,
+                              uint64_t begin, uint64_t end, uint64_t m,
+                              EntropyInterval* marginal_out) {
+  CandidateCounters& counter = counters_[c];
+  const Column& col = table_.column(columns_[c]);
+  counter.marginal.AddRows(col, order, begin, end);
+  counter.joint.AddRows(target_col_, col, order, begin, end);
+  const EntropyInterval marginal_interval = MakeEntropyInterval(
+      counter.marginal.SampleEntropy(), col.support(), n_, m, p_iter_);
+  const uint64_t u_bar = static_cast<uint64_t>(target_col_.support()) *
+                         static_cast<uint64_t>(col.support());
+  const EntropyInterval joint_interval = MakeEntropyInterval(
+      counter.joint.SampleJointEntropy(), u_bar, n_, m, p_iter_);
+  if (marginal_out != nullptr) *marginal_out = marginal_interval;
+  return MakeMiInterval(target_interval_, marginal_interval, joint_interval);
+}
+
+void MiScorer::UpdateCandidate(size_t c, const std::vector<uint32_t>& order,
+                               uint64_t begin, uint64_t end, uint64_t m) {
+  const MiInterval mi = UpdateMi(c, order, begin, end, m, nullptr);
+  intervals_[c] = {mi.lower, mi.upper, mi.slack};
+}
+
+bool MiScorer::TopKShouldStop(const std::vector<size_t>& active,
+                              double kth_upper, uint64_t /*m*/,
+                              double epsilon) const {
+  if (kth_upper <= 0.0) return true;
+  double slack_max = 0.0;
+  for (size_t idx : active) {
+    if (intervals_[idx].upper >= kth_upper) {
+      slack_max = std::max(slack_max, intervals_[idx].slack);
+    }
+  }
+  // Stopping rule (Algorithm 3).
+  return (kth_upper - slack_max) / kth_upper >= 1.0 - epsilon;
+}
+
+void NmiScorer::UpdateCandidate(size_t c, const std::vector<uint32_t>& order,
+                                uint64_t begin, uint64_t end, uint64_t m) {
+  EntropyInterval marginal_interval;
+  const MiInterval mi = UpdateMi(c, order, begin, end, m, &marginal_interval);
+  intervals_[c] = ComposeNmi(mi, target_interval(), marginal_interval);
+}
+
+bool NmiScorer::TopKShouldStop(const std::vector<size_t>& active,
+                               double kth_upper, uint64_t /*m*/,
+                               double epsilon) const {
+  if (kth_upper <= 0.0) return true;
+  // Generalized relative-width stopping rule: every member of the
+  // current top-k set must satisfy upper - lower <= eps * upper.
+  for (size_t idx : active) {
+    const ScoreInterval& interval = intervals_[idx];
+    if (interval.upper >= kth_upper &&
+        interval.upper - interval.lower > epsilon * interval.upper) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace swope

@@ -1,0 +1,112 @@
+// The three Scorer implementations behind the SWOPE entry points
+// (internal to src/core/ — see adaptive_sampling_driver.h).
+//
+//   EntropyScorer  one FrequencyCounter per column; Lemma 3 intervals.
+//   MiScorer       a shared target counter plus, per candidate, a marginal
+//                  FrequencyCounter and a joint PairCounter; Section 4.1
+//                  interval composition.
+//   NmiScorer      MiScorer's counters, with the MI interval normalized by
+//                  sqrt(H(t) * H(a)) bounds.
+//
+// This header is internal: outside src/core/, include the public
+// swope_*.h entry points instead (tools/lint.py enforces this).
+
+#ifndef SWOPE_CORE_SCORERS_H_
+#define SWOPE_CORE_SCORERS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/adaptive_sampling_driver.h"
+#include "src/core/bounds.h"
+#include "src/core/frequency_counter.h"
+#include "src/core/pair_counter.h"
+#include "src/table/table.h"
+
+namespace swope {
+
+/// Scores every column of the table by its empirical entropy.
+class EntropyScorer : public Scorer {
+ public:
+  explicit EntropyScorer(const Table& table);
+
+  double bounds_per_candidate() const override { return 1.0; }
+  uint64_t CellsPerRow(size_t active) const override { return active; }
+  void UpdateCandidate(size_t c, const std::vector<uint32_t>& order,
+                       uint64_t begin, uint64_t end, uint64_t m) override;
+  /// Algorithm 1 line 8: (kth_upper - 2*lambda - b_max) / kth_upper
+  /// >= 1 - epsilon, with b_max the largest bias among current top-k
+  /// members.
+  bool TopKShouldStop(const std::vector<size_t>& active, double kth_upper,
+                      uint64_t m, double epsilon) const override;
+
+ private:
+  const Table& table_;
+  std::vector<FrequencyCounter> counters_;
+};
+
+/// Scores every non-target column by its mutual information with the
+/// target column.
+class MiScorer : public Scorer {
+ public:
+  MiScorer(const Table& table, size_t target, uint64_t dense_pair_limit);
+
+  double bounds_per_candidate() const override { return 3.0; }
+  uint64_t CellsPerRow(size_t active) const override {
+    // Target marginal plus, per candidate, one marginal and one joint
+    // update per row.
+    return 1 + 2 * active;
+  }
+  void BeginRound(const std::vector<uint32_t>& order, uint64_t begin,
+                  uint64_t end, uint64_t m) override;
+  void UpdateCandidate(size_t c, const std::vector<uint32_t>& order,
+                       uint64_t begin, uint64_t end, uint64_t m) override;
+  /// Algorithm 3: (kth_upper - slack_max) / kth_upper >= 1 - epsilon,
+  /// with slack_max the largest b' among current top-k members.
+  bool TopKShouldStop(const std::vector<size_t>& active, double kth_upper,
+                      uint64_t m, double epsilon) const override;
+
+ protected:
+  /// Folds order[begin..end) into candidate `c`'s marginal and joint
+  /// counters and returns the composed MI interval at sample size `m`;
+  /// also reports the candidate's marginal entropy interval (the NMI
+  /// normalization needs it).
+  MiInterval UpdateMi(size_t c, const std::vector<uint32_t>& order,
+                      uint64_t begin, uint64_t end, uint64_t m,
+                      EntropyInterval* marginal_out);
+
+  const EntropyInterval& target_interval() const { return target_interval_; }
+
+  const Table& table_;
+  const Column& target_col_;
+
+ private:
+  struct CandidateCounters {
+    FrequencyCounter marginal{0};
+    PairCounter joint{0, 0};
+  };
+
+  FrequencyCounter target_counter_;
+  EntropyInterval target_interval_;
+  std::vector<CandidateCounters> counters_;
+};
+
+/// Scores every non-target column by its normalized mutual information
+/// NMI(t, a) = I(t; a) / sqrt(H(t) * H(a)) with the target column.
+class NmiScorer : public MiScorer {
+ public:
+  NmiScorer(const Table& table, size_t target, uint64_t dense_pair_limit)
+      : MiScorer(table, target, dense_pair_limit) {}
+
+  void UpdateCandidate(size_t c, const std::vector<uint32_t>& order,
+                       uint64_t begin, uint64_t end, uint64_t m) override;
+  /// Generalized relative-width rule: every current top-k member must
+  /// satisfy upper - lower <= epsilon * upper.
+  bool TopKShouldStop(const std::vector<size_t>& active, double kth_upper,
+                      uint64_t m, double epsilon) const override;
+};
+
+}  // namespace swope
+
+#endif  // SWOPE_CORE_SCORERS_H_

@@ -1,13 +1,9 @@
 #include "src/core/swope_filter_entropy.h"
 
-#include <algorithm>
-#include <cmath>
-#include <vector>
+#include <utility>
 
-#include "src/core/bounds.h"
-#include "src/core/exec_control.h"
-#include "src/core/frequency_counter.h"
-#include "src/core/prefix_sampler.h"
+#include "src/core/adaptive_sampling_driver.h"
+#include "src/core/scorers.h"
 
 namespace swope {
 
@@ -17,89 +13,15 @@ Result<FilterResult> SwopeFilterEntropy(const Table& table, double eta,
   if (!(eta > 0.0)) {
     return Status::InvalidArgument("filter: eta must be > 0");
   }
-  const uint64_t n = table.num_rows();
   const size_t h = table.num_columns();
   if (h == 0) return Status::InvalidArgument("filter: table has no columns");
 
-  const double pf = options.ResolveFailureProbability(n);
-  const uint64_t m0 =
-      options.initial_sample_size > 0
-          ? std::min<uint64_t>(n, std::max<uint64_t>(
-                                      kMinSampleSize,
-                                      options.initial_sample_size))
-          : ComputeM0(n, h, pf, table.MaxSupport());
-  const uint32_t i_max = MaxIterations(n, m0);
-  const double p_iter = pf / (static_cast<double>(i_max) *
-                              static_cast<double>(h));
-
-  FilterResult result;
-  result.stats.initial_sample_size = m0;
-
-  SWOPE_ASSIGN_OR_RETURN(
-      PrefixSampler sampler,
-      MakePrefixSampler(static_cast<uint32_t>(n), options));
-  std::vector<FrequencyCounter> counters;
-  counters.reserve(h);
-  for (size_t j = 0; j < h; ++j) {
-    counters.emplace_back(table.column(j).support());
-  }
-  std::vector<size_t> active(h);
-  for (size_t j = 0; j < h; ++j) active[j] = j;
-
-  auto accept = [&](size_t j, const EntropyInterval& interval) {
-    result.items.push_back({j, table.column(j).name(), interval.Estimate(),
-                            interval.lower, interval.upper});
-  };
-
-  uint64_t m = std::min<uint64_t>(m0, n);
-  while (!active.empty()) {
-    if (options.control != nullptr) {
-      SWOPE_RETURN_NOT_OK(options.control->Check());
-    }
-    ++result.stats.iterations;
-    const PrefixSampler::Range range = sampler.GrowTo(m);
-    result.stats.cells_scanned +=
-        (range.end - range.begin) * active.size();
-
-    std::vector<size_t> still_active;
-    still_active.reserve(active.size());
-    for (size_t j : active) {
-      counters[j].AddRows(table.column(j), sampler.order(), range.begin,
-                          range.end);
-      const EntropyInterval interval =
-          MakeEntropyInterval(counters[j].SampleEntropy(),
-                              table.column(j).support(), n, m, p_iter);
-      // Rules in the paper's order (Algorithm 2 lines 6-14).
-      if (interval.Width() < 2.0 * options.epsilon * eta) {
-        if (interval.Estimate() >= eta) accept(j, interval);
-      } else if (interval.lower >= (1.0 - options.epsilon) * eta) {
-        accept(j, interval);
-      } else if (interval.upper < (1.0 + options.epsilon) * eta) {
-        // rejected
-      } else {
-        still_active.push_back(j);
-      }
-    }
-    active = std::move(still_active);
-
-    if (m >= n) {
-      // Exact bounds have zero width, so everything is classified above;
-      // defensive backstop.
-      break;
-    }
-    const uint64_t grown = static_cast<uint64_t>(
-        std::ceil(static_cast<double>(m) * options.growth_factor));
-    m = std::min<uint64_t>(n, std::max<uint64_t>(m + 1, grown));
-  }
-
-  std::sort(result.items.begin(), result.items.end(),
-            [](const AttributeScore& a, const AttributeScore& b) {
-              return a.index < b.index;
-            });
-  result.stats.final_sample_size = sampler.consumed();
-  result.stats.candidates_remaining = active.size();
-  result.stats.exhausted_dataset = (sampler.consumed() >= n);
-  return result;
+  EntropyScorer scorer(table);
+  FilterPolicy policy(table, eta, options.epsilon);
+  AdaptiveSamplingDriver driver(table, options);
+  SWOPE_ASSIGN_OR_RETURN(AdaptiveSamplingDriver::Output output,
+                         driver.Run(scorer, policy));
+  return FilterResult{std::move(output.items), output.stats};
 }
 
 }  // namespace swope

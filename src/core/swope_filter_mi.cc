@@ -1,26 +1,11 @@
 #include "src/core/swope_filter_mi.h"
 
-#include <algorithm>
-#include <cmath>
-#include <vector>
+#include <utility>
 
-#include "src/core/bounds.h"
-#include "src/core/exec_control.h"
-#include "src/core/frequency_counter.h"
-#include "src/core/pair_counter.h"
-#include "src/core/prefix_sampler.h"
+#include "src/core/adaptive_sampling_driver.h"
+#include "src/core/scorers.h"
 
 namespace swope {
-
-namespace {
-
-struct MiState {
-  size_t column = 0;
-  FrequencyCounter marginal{0};
-  PairCounter joint{0, 0};
-};
-
-}  // namespace
 
 Result<FilterResult> SwopeFilterMi(const Table& table, size_t target,
                                    double eta, const QueryOptions& options) {
@@ -28,7 +13,6 @@ Result<FilterResult> SwopeFilterMi(const Table& table, size_t target,
   if (!(eta > 0.0)) {
     return Status::InvalidArgument("mi filter: eta must be > 0");
   }
-  const uint64_t n = table.num_rows();
   const size_t h = table.num_columns();
   if (target >= h) {
     return Status::InvalidArgument("mi filter: target index out of range");
@@ -37,104 +21,12 @@ Result<FilterResult> SwopeFilterMi(const Table& table, size_t target,
     return Status::InvalidArgument("mi filter: need at least two columns");
   }
 
-  const Column& target_col = table.column(target);
-  const double pf = options.ResolveFailureProbability(n);
-  const uint64_t m0 =
-      options.initial_sample_size > 0
-          ? std::min<uint64_t>(n, std::max<uint64_t>(
-                                      kMinSampleSize,
-                                      options.initial_sample_size))
-          : ComputeM0(n, h, pf, table.MaxSupport());
-  const uint32_t i_max = MaxIterations(n, m0);
-  const double p_iter =
-      pf / (3.0 * static_cast<double>(i_max) * static_cast<double>(h - 1));
-
-  FilterResult result;
-  result.stats.initial_sample_size = m0;
-
-  SWOPE_ASSIGN_OR_RETURN(
-      PrefixSampler sampler,
-      MakePrefixSampler(static_cast<uint32_t>(n), options));
-  FrequencyCounter target_counter(target_col.support());
-  std::vector<MiState> states;
-  states.reserve(h - 1);
-  for (size_t j = 0; j < h; ++j) {
-    if (j == target) continue;
-    MiState state;
-    state.column = j;
-    state.marginal = FrequencyCounter(table.column(j).support());
-    state.joint = PairCounter(target_col.support(),
-                              table.column(j).support(),
-                              options.dense_pair_limit);
-    states.push_back(std::move(state));
-  }
-  std::vector<size_t> active(states.size());
-  for (size_t i = 0; i < active.size(); ++i) active[i] = i;
-
-  auto accept = [&](size_t column, const MiInterval& interval) {
-    result.items.push_back({column, table.column(column).name(),
-                            interval.Estimate(), interval.lower,
-                            interval.upper});
-  };
-
-  uint64_t m = std::min<uint64_t>(m0, n);
-  while (!active.empty()) {
-    if (options.control != nullptr) {
-      SWOPE_RETURN_NOT_OK(options.control->Check());
-    }
-    ++result.stats.iterations;
-    const PrefixSampler::Range range = sampler.GrowTo(m);
-    target_counter.AddRows(target_col, sampler.order(), range.begin,
-                           range.end);
-    const EntropyInterval target_interval =
-        MakeEntropyInterval(target_counter.SampleEntropy(),
-                            target_col.support(), n, m, p_iter);
-    result.stats.cells_scanned +=
-        (range.end - range.begin) * (1 + 2 * active.size());
-
-    std::vector<size_t> still_active;
-    still_active.reserve(active.size());
-    for (size_t idx : active) {
-      MiState& state = states[idx];
-      const Column& col = table.column(state.column);
-      state.marginal.AddRows(col, sampler.order(), range.begin, range.end);
-      state.joint.AddRows(target_col, col, sampler.order(), range.begin,
-                          range.end);
-      const EntropyInterval marginal_interval = MakeEntropyInterval(
-          state.marginal.SampleEntropy(), col.support(), n, m, p_iter);
-      const uint64_t u_bar = static_cast<uint64_t>(target_col.support()) *
-                             static_cast<uint64_t>(col.support());
-      const EntropyInterval joint_interval = MakeEntropyInterval(
-          state.joint.SampleJointEntropy(), u_bar, n, m, p_iter);
-      const MiInterval interval =
-          MakeMiInterval(target_interval, marginal_interval, joint_interval);
-
-      if (interval.Width() < 2.0 * options.epsilon * eta) {
-        if (interval.Estimate() >= eta) accept(state.column, interval);
-      } else if (interval.lower >= (1.0 - options.epsilon) * eta) {
-        accept(state.column, interval);
-      } else if (interval.upper < (1.0 + options.epsilon) * eta) {
-        // rejected
-      } else {
-        still_active.push_back(idx);
-      }
-    }
-    active = std::move(still_active);
-
-    if (m >= n) break;  // exact bounds classify everything above
-    const uint64_t grown = static_cast<uint64_t>(
-        std::ceil(static_cast<double>(m) * options.growth_factor));
-    m = std::min<uint64_t>(n, std::max<uint64_t>(m + 1, grown));
-  }
-
-  std::sort(result.items.begin(), result.items.end(),
-            [](const AttributeScore& a, const AttributeScore& b) {
-              return a.index < b.index;
-            });
-  result.stats.final_sample_size = sampler.consumed();
-  result.stats.candidates_remaining = active.size();
-  result.stats.exhausted_dataset = (sampler.consumed() >= n);
-  return result;
+  MiScorer scorer(table, target, options.dense_pair_limit);
+  FilterPolicy policy(table, eta, options.epsilon);
+  AdaptiveSamplingDriver driver(table, options);
+  SWOPE_ASSIGN_OR_RETURN(AdaptiveSamplingDriver::Output output,
+                         driver.Run(scorer, policy));
+  return FilterResult{std::move(output.items), output.stats};
 }
 
 }  // namespace swope

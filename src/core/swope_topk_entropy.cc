@@ -1,151 +1,27 @@
 #include "src/core/swope_topk_entropy.h"
 
 #include <algorithm>
-#include <cmath>
-#include <vector>
+#include <utility>
 
-#include "src/core/bounds.h"
-#include "src/core/exec_control.h"
-#include "src/core/frequency_counter.h"
-#include "src/core/prefix_sampler.h"
+#include "src/core/adaptive_sampling_driver.h"
+#include "src/core/scorers.h"
 
 namespace swope {
-
-namespace {
-
-struct Candidate {
-  size_t column = 0;
-  FrequencyCounter counter{0};
-  EntropyInterval interval;
-};
-
-}  // namespace
 
 Result<TopKResult> SwopeTopKEntropy(const Table& table, size_t k,
                                     const QueryOptions& options) {
   SWOPE_RETURN_NOT_OK(options.Validate());
-  const uint64_t n = table.num_rows();
   const size_t h = table.num_columns();
   if (h == 0) return Status::InvalidArgument("top-k: table has no columns");
   if (k == 0) return Status::InvalidArgument("top-k: k must be >= 1");
   k = std::min(k, h);
 
-  const double pf = options.ResolveFailureProbability(n);
-  const uint64_t m0 =
-      options.initial_sample_size > 0
-          ? std::min<uint64_t>(n, std::max<uint64_t>(
-                                      kMinSampleSize,
-                                      options.initial_sample_size))
-          : ComputeM0(n, h, pf, table.MaxSupport());
-  const uint32_t i_max = MaxIterations(n, m0);
-  const double p_iter = pf / (static_cast<double>(i_max) *
-                              static_cast<double>(h));
-
-  TopKResult result;
-  result.stats.initial_sample_size = m0;
-
-  SWOPE_ASSIGN_OR_RETURN(
-      PrefixSampler sampler,
-      MakePrefixSampler(static_cast<uint32_t>(n), options));
-  std::vector<Candidate> candidates(h);
-  for (size_t j = 0; j < h; ++j) {
-    candidates[j].column = j;
-    candidates[j].counter = FrequencyCounter(table.column(j).support());
-  }
-  // Indices into `candidates` still in the candidate set C.
-  std::vector<size_t> active(h);
-  for (size_t j = 0; j < h; ++j) active[j] = j;
-
-  auto finalize = [&](uint64_t m) {
-    // Order the active candidates by descending upper bound and emit the
-    // top k.
-    std::vector<size_t> order = active;
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      if (candidates[a].interval.upper != candidates[b].interval.upper) {
-        return candidates[a].interval.upper > candidates[b].interval.upper;
-      }
-      return a < b;
-    });
-    order.resize(std::min(order.size(), k));
-    for (size_t idx : order) {
-      const Candidate& c = candidates[idx];
-      result.items.push_back({c.column, table.column(c.column).name(),
-                              c.interval.Estimate(), c.interval.lower,
-                              c.interval.upper});
-    }
-    result.stats.final_sample_size = m;
-    result.stats.candidates_remaining = active.size();
-    result.stats.exhausted_dataset = (m >= n);
-  };
-
-  uint64_t m = std::min<uint64_t>(m0, n);
-  for (;;) {
-    if (options.control != nullptr) {
-      SWOPE_RETURN_NOT_OK(options.control->Check());
-    }
-    ++result.stats.iterations;
-    // Absorb the new permutation slice into every active counter.
-    const PrefixSampler::Range range = sampler.GrowTo(m);
-    for (size_t idx : active) {
-      Candidate& c = candidates[idx];
-      c.counter.AddRows(table.column(c.column), sampler.order(), range.begin,
-                        range.end);
-      c.interval = MakeEntropyInterval(c.counter.SampleEntropy(),
-                                       table.column(c.column).support(), n, m,
-                                       p_iter);
-    }
-    result.stats.cells_scanned +=
-        (range.end - range.begin) * active.size();
-
-    // k-th largest upper bound and the bias of the current top-k set.
-    std::vector<double> uppers;
-    uppers.reserve(active.size());
-    for (size_t idx : active) uppers.push_back(candidates[idx].interval.upper);
-    std::nth_element(uppers.begin(), uppers.begin() + (k - 1), uppers.end(),
-                     std::greater<double>());
-    const double kth_upper = uppers[k - 1];
-
-    double b_max = 0.0;
-    for (size_t idx : active) {
-      const Candidate& c = candidates[idx];
-      if (c.interval.upper >= kth_upper) {
-        b_max = std::max(b_max, c.interval.bias);
-      }
-    }
-    const double lambda = PermutationLambda(n, m, p_iter);
-
-    // Stopping rule (Algorithm 1 line 8). A non-positive k-th upper bound
-    // means every candidate entropy is zero, so any answer is exact.
-    const bool stop =
-        kth_upper <= 0.0 ||
-        (kth_upper - 2.0 * lambda - b_max) / kth_upper >= 1.0 - options.epsilon;
-    if (stop) {
-      finalize(m);
-      return result;
-    }
-    if (m >= n) {
-      // Bounds are exact at M = N, so `stop` always fires there; this is a
-      // defensive backstop.
-      finalize(m);
-      return result;
-    }
-
-    // Prune candidates that cannot be in the top-k: upper bound strictly
-    // below the k-th largest lower bound (Algorithm 1 lines 14-17).
-    std::vector<double> lowers;
-    lowers.reserve(active.size());
-    for (size_t idx : active) lowers.push_back(candidates[idx].interval.lower);
-    std::nth_element(lowers.begin(), lowers.begin() + (k - 1), lowers.end(),
-                     std::greater<double>());
-    const double kth_lower = lowers[k - 1];
-    std::erase_if(active, [&](size_t idx) {
-      return candidates[idx].interval.upper < kth_lower;
-    });
-
-    const uint64_t grown = static_cast<uint64_t>(
-        std::ceil(static_cast<double>(m) * options.growth_factor));
-    m = std::min<uint64_t>(n, std::max<uint64_t>(m + 1, grown));
-  }
+  EntropyScorer scorer(table);
+  TopKPolicy policy(table, k, options.epsilon);
+  AdaptiveSamplingDriver driver(table, options);
+  SWOPE_ASSIGN_OR_RETURN(AdaptiveSamplingDriver::Output output,
+                         driver.Run(scorer, policy));
+  return TopKResult{std::move(output.items), output.stats};
 }
 
 }  // namespace swope

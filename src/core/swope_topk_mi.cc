@@ -1,32 +1,16 @@
 #include "src/core/swope_topk_mi.h"
 
 #include <algorithm>
-#include <cmath>
-#include <vector>
+#include <utility>
 
-#include "src/core/bounds.h"
-#include "src/core/exec_control.h"
-#include "src/core/frequency_counter.h"
-#include "src/core/pair_counter.h"
-#include "src/core/prefix_sampler.h"
+#include "src/core/adaptive_sampling_driver.h"
+#include "src/core/scorers.h"
 
 namespace swope {
-
-namespace {
-
-struct MiCandidate {
-  size_t column = 0;
-  FrequencyCounter marginal{0};
-  PairCounter joint{0, 0};
-  MiInterval interval;
-};
-
-}  // namespace
 
 Result<TopKResult> SwopeTopKMi(const Table& table, size_t target, size_t k,
                                const QueryOptions& options) {
   SWOPE_RETURN_NOT_OK(options.Validate());
-  const uint64_t n = table.num_rows();
   const size_t h = table.num_columns();
   if (target >= h) {
     return Status::InvalidArgument("mi top-k: target index out of range");
@@ -37,128 +21,12 @@ Result<TopKResult> SwopeTopKMi(const Table& table, size_t target, size_t k,
   if (k == 0) return Status::InvalidArgument("mi top-k: k must be >= 1");
   k = std::min(k, h - 1);
 
-  const Column& target_col = table.column(target);
-  const double pf = options.ResolveFailureProbability(n);
-  const uint64_t m0 =
-      options.initial_sample_size > 0
-          ? std::min<uint64_t>(n, std::max<uint64_t>(
-                                      kMinSampleSize,
-                                      options.initial_sample_size))
-          : ComputeM0(n, h, pf, table.MaxSupport());
-  const uint32_t i_max = MaxIterations(n, m0);
-  const double p_iter =
-      pf / (3.0 * static_cast<double>(i_max) * static_cast<double>(h - 1));
-
-  TopKResult result;
-  result.stats.initial_sample_size = m0;
-
-  SWOPE_ASSIGN_OR_RETURN(
-      PrefixSampler sampler,
-      MakePrefixSampler(static_cast<uint32_t>(n), options));
-  FrequencyCounter target_counter(target_col.support());
-  std::vector<MiCandidate> candidates;
-  candidates.reserve(h - 1);
-  for (size_t j = 0; j < h; ++j) {
-    if (j == target) continue;
-    MiCandidate c;
-    c.column = j;
-    c.marginal = FrequencyCounter(table.column(j).support());
-    c.joint = PairCounter(target_col.support(), table.column(j).support(),
-                          options.dense_pair_limit);
-    candidates.push_back(std::move(c));
-  }
-  std::vector<size_t> active(candidates.size());
-  for (size_t i = 0; i < active.size(); ++i) active[i] = i;
-
-  auto finalize = [&](uint64_t m) {
-    std::vector<size_t> order = active;
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      if (candidates[a].interval.upper != candidates[b].interval.upper) {
-        return candidates[a].interval.upper > candidates[b].interval.upper;
-      }
-      return candidates[a].column < candidates[b].column;
-    });
-    order.resize(std::min(order.size(), k));
-    for (size_t idx : order) {
-      const MiCandidate& c = candidates[idx];
-      result.items.push_back({c.column, table.column(c.column).name(),
-                              c.interval.Estimate(), c.interval.lower,
-                              c.interval.upper});
-    }
-    result.stats.final_sample_size = m;
-    result.stats.candidates_remaining = active.size();
-    result.stats.exhausted_dataset = (m >= n);
-  };
-
-  uint64_t m = std::min<uint64_t>(m0, n);
-  for (;;) {
-    if (options.control != nullptr) {
-      SWOPE_RETURN_NOT_OK(options.control->Check());
-    }
-    ++result.stats.iterations;
-    const PrefixSampler::Range range = sampler.GrowTo(m);
-    target_counter.AddRows(target_col, sampler.order(), range.begin,
-                           range.end);
-    const EntropyInterval target_interval =
-        MakeEntropyInterval(target_counter.SampleEntropy(),
-                            target_col.support(), n, m, p_iter);
-    for (size_t idx : active) {
-      MiCandidate& c = candidates[idx];
-      const Column& col = table.column(c.column);
-      c.marginal.AddRows(col, sampler.order(), range.begin, range.end);
-      c.joint.AddRows(target_col, col, sampler.order(), range.begin,
-                      range.end);
-      const EntropyInterval marginal_interval = MakeEntropyInterval(
-          c.marginal.SampleEntropy(), col.support(), n, m, p_iter);
-      const uint64_t u_bar = static_cast<uint64_t>(target_col.support()) *
-                             static_cast<uint64_t>(col.support());
-      const EntropyInterval joint_interval = MakeEntropyInterval(
-          c.joint.SampleJointEntropy(), u_bar, n, m, p_iter);
-      c.interval =
-          MakeMiInterval(target_interval, marginal_interval, joint_interval);
-    }
-    // Target marginal plus, per candidate, one marginal and one joint
-    // update per row.
-    result.stats.cells_scanned +=
-        (range.end - range.begin) * (1 + 2 * active.size());
-
-    std::vector<double> uppers;
-    uppers.reserve(active.size());
-    for (size_t idx : active) uppers.push_back(candidates[idx].interval.upper);
-    std::nth_element(uppers.begin(), uppers.begin() + (k - 1), uppers.end(),
-                     std::greater<double>());
-    const double kth_upper = uppers[k - 1];
-
-    double slack_max = 0.0;
-    for (size_t idx : active) {
-      const MiCandidate& c = candidates[idx];
-      if (c.interval.upper >= kth_upper) {
-        slack_max = std::max(slack_max, c.interval.slack);
-      }
-    }
-
-    const bool stop = kth_upper <= 0.0 ||
-                      (kth_upper - slack_max) / kth_upper >=
-                          1.0 - options.epsilon;
-    if (stop || m >= n) {
-      finalize(m);
-      return result;
-    }
-
-    std::vector<double> lowers;
-    lowers.reserve(active.size());
-    for (size_t idx : active) lowers.push_back(candidates[idx].interval.lower);
-    std::nth_element(lowers.begin(), lowers.begin() + (k - 1), lowers.end(),
-                     std::greater<double>());
-    const double kth_lower = lowers[k - 1];
-    std::erase_if(active, [&](size_t idx) {
-      return candidates[idx].interval.upper < kth_lower;
-    });
-
-    const uint64_t grown = static_cast<uint64_t>(
-        std::ceil(static_cast<double>(m) * options.growth_factor));
-    m = std::min<uint64_t>(n, std::max<uint64_t>(m + 1, grown));
-  }
+  MiScorer scorer(table, target, options.dense_pair_limit);
+  TopKPolicy policy(table, k, options.epsilon);
+  AdaptiveSamplingDriver driver(table, options);
+  SWOPE_ASSIGN_OR_RETURN(AdaptiveSamplingDriver::Output output,
+                         driver.Run(scorer, policy));
+  return TopKResult{std::move(output.items), output.stats};
 }
 
 }  // namespace swope

@@ -2,51 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 #include <vector>
 
-#include "src/core/bounds.h"
-#include "src/core/exec_control.h"
+#include "src/core/adaptive_sampling_driver.h"
 #include "src/core/entropy.h"
-#include "src/core/frequency_counter.h"
-#include "src/core/pair_counter.h"
-#include "src/core/prefix_sampler.h"
+#include "src/core/scorers.h"
 
 namespace swope {
-
-namespace {
-
-struct NmiInterval {
-  double lower = 0.0;
-  double upper = 0.0;
-};
-
-// Composes the NMI interval from the MI interval and the two marginal
-// entropy intervals. When a marginal lower bound is 0 the upper bound is
-// vacuous (1); when a marginal upper bound is 0 the attribute is constant
-// and NMI is 0.
-NmiInterval MakeNmiInterval(const MiInterval& mi,
-                            const EntropyInterval& target,
-                            const EntropyInterval& candidate) {
-  NmiInterval interval;
-  const double denom_upper = std::sqrt(target.upper * candidate.upper);
-  const double denom_lower = std::sqrt(target.lower * candidate.lower);
-  if (denom_upper <= 0.0) return interval;  // a constant attribute: NMI = 0
-  interval.lower = std::clamp(mi.lower / denom_upper, 0.0, 1.0);
-  interval.upper = denom_lower > 0.0
-                       ? std::clamp(mi.upper / denom_lower, interval.lower,
-                                    1.0)
-                       : 1.0;
-  return interval;
-}
-
-struct NmiCandidate {
-  size_t column = 0;
-  FrequencyCounter marginal{0};
-  PairCounter joint{0, 0};
-  NmiInterval interval;
-};
-
-}  // namespace
 
 Result<double> ExactNormalizedMi(const Column& a, const Column& b) {
   auto mi = ExactMutualInformation(a, b);
@@ -74,7 +37,6 @@ Result<std::vector<double>> ExactNormalizedMis(const Table& table,
 Result<TopKResult> SwopeTopKNmi(const Table& table, size_t target, size_t k,
                                 const QueryOptions& options) {
   SWOPE_RETURN_NOT_OK(options.Validate());
-  const uint64_t n = table.num_rows();
   const size_t h = table.num_columns();
   if (target >= h) {
     return Status::InvalidArgument("nmi top-k: target index out of range");
@@ -85,132 +47,12 @@ Result<TopKResult> SwopeTopKNmi(const Table& table, size_t target, size_t k,
   if (k == 0) return Status::InvalidArgument("nmi top-k: k must be >= 1");
   k = std::min(k, h - 1);
 
-  const Column& target_col = table.column(target);
-  const double pf = options.ResolveFailureProbability(n);
-  const uint64_t m0 =
-      options.initial_sample_size > 0
-          ? std::min<uint64_t>(n, std::max<uint64_t>(
-                                      kMinSampleSize,
-                                      options.initial_sample_size))
-          : ComputeM0(n, h, pf, table.MaxSupport());
-  const uint32_t i_max = MaxIterations(n, m0);
-  const double p_iter =
-      pf / (3.0 * static_cast<double>(i_max) * static_cast<double>(h - 1));
-
-  TopKResult result;
-  result.stats.initial_sample_size = m0;
-
-  SWOPE_ASSIGN_OR_RETURN(
-      PrefixSampler sampler,
-      MakePrefixSampler(static_cast<uint32_t>(n), options));
-  FrequencyCounter target_counter(target_col.support());
-  std::vector<NmiCandidate> candidates;
-  candidates.reserve(h - 1);
-  for (size_t j = 0; j < h; ++j) {
-    if (j == target) continue;
-    NmiCandidate c;
-    c.column = j;
-    c.marginal = FrequencyCounter(table.column(j).support());
-    c.joint = PairCounter(target_col.support(), table.column(j).support(),
-                          options.dense_pair_limit);
-    candidates.push_back(std::move(c));
-  }
-  std::vector<size_t> active(candidates.size());
-  for (size_t i = 0; i < active.size(); ++i) active[i] = i;
-
-  auto finalize = [&](uint64_t m) {
-    std::vector<size_t> order = active;
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      if (candidates[a].interval.upper != candidates[b].interval.upper) {
-        return candidates[a].interval.upper > candidates[b].interval.upper;
-      }
-      return candidates[a].column < candidates[b].column;
-    });
-    order.resize(std::min(order.size(), k));
-    for (size_t idx : order) {
-      const NmiCandidate& c = candidates[idx];
-      result.items.push_back(
-          {c.column, table.column(c.column).name(),
-           0.5 * (c.interval.lower + c.interval.upper), c.interval.lower,
-           c.interval.upper});
-    }
-    result.stats.final_sample_size = m;
-    result.stats.candidates_remaining = active.size();
-    result.stats.exhausted_dataset = (m >= n);
-  };
-
-  uint64_t m = std::min<uint64_t>(m0, n);
-  for (;;) {
-    if (options.control != nullptr) {
-      SWOPE_RETURN_NOT_OK(options.control->Check());
-    }
-    ++result.stats.iterations;
-    const PrefixSampler::Range range = sampler.GrowTo(m);
-    target_counter.AddRows(target_col, sampler.order(), range.begin,
-                           range.end);
-    const EntropyInterval target_interval =
-        MakeEntropyInterval(target_counter.SampleEntropy(),
-                            target_col.support(), n, m, p_iter);
-    for (size_t idx : active) {
-      NmiCandidate& c = candidates[idx];
-      const Column& col = table.column(c.column);
-      c.marginal.AddRows(col, sampler.order(), range.begin, range.end);
-      c.joint.AddRows(target_col, col, sampler.order(), range.begin,
-                      range.end);
-      const EntropyInterval marginal_interval = MakeEntropyInterval(
-          c.marginal.SampleEntropy(), col.support(), n, m, p_iter);
-      const uint64_t u_bar = static_cast<uint64_t>(target_col.support()) *
-                             static_cast<uint64_t>(col.support());
-      const EntropyInterval joint_interval = MakeEntropyInterval(
-          c.joint.SampleJointEntropy(), u_bar, n, m, p_iter);
-      const MiInterval mi =
-          MakeMiInterval(target_interval, marginal_interval, joint_interval);
-      c.interval = MakeNmiInterval(mi, target_interval, marginal_interval);
-    }
-    result.stats.cells_scanned +=
-        (range.end - range.begin) * (1 + 2 * active.size());
-
-    // Current top-k set by upper bound.
-    std::vector<double> uppers;
-    uppers.reserve(active.size());
-    for (size_t idx : active) uppers.push_back(candidates[idx].interval.upper);
-    std::nth_element(uppers.begin(), uppers.begin() + (k - 1), uppers.end(),
-                     std::greater<double>());
-    const double kth_upper = uppers[k - 1];
-
-    // Generalized relative-width stopping rule: every member of the
-    // current top-k set must satisfy upper - lower <= eps * upper.
-    bool stop = true;
-    if (kth_upper > 0.0) {
-      for (size_t idx : active) {
-        const NmiInterval& interval = candidates[idx].interval;
-        if (interval.upper >= kth_upper &&
-            interval.upper - interval.lower >
-                options.epsilon * interval.upper) {
-          stop = false;
-          break;
-        }
-      }
-    }
-    if (stop || m >= n) {
-      finalize(m);
-      return result;
-    }
-
-    std::vector<double> lowers;
-    lowers.reserve(active.size());
-    for (size_t idx : active) lowers.push_back(candidates[idx].interval.lower);
-    std::nth_element(lowers.begin(), lowers.begin() + (k - 1), lowers.end(),
-                     std::greater<double>());
-    const double kth_lower = lowers[k - 1];
-    std::erase_if(active, [&](size_t idx) {
-      return candidates[idx].interval.upper < kth_lower;
-    });
-
-    const uint64_t grown = static_cast<uint64_t>(
-        std::ceil(static_cast<double>(m) * options.growth_factor));
-    m = std::min<uint64_t>(n, std::max<uint64_t>(m + 1, grown));
-  }
+  NmiScorer scorer(table, target, options.dense_pair_limit);
+  TopKPolicy policy(table, k, options.epsilon);
+  AdaptiveSamplingDriver driver(table, options);
+  SWOPE_ASSIGN_OR_RETURN(AdaptiveSamplingDriver::Output output,
+                         driver.Run(scorer, policy));
+  return TopKResult{std::move(output.items), output.stats};
 }
 
 }  // namespace swope

@@ -26,12 +26,18 @@ bool IsCsvPath(const std::string& path) {
 QueryEngine::QueryEngine(EngineConfig config)
     : config_([&config] {
         config.num_threads = std::max<size_t>(1, config.num_threads);
+        config.intra_query_threads =
+            std::max<size_t>(1, config.intra_query_threads);
         config.max_in_flight = std::max<size_t>(1, config.max_in_flight);
         return config;
       }()),
       registry_(config_.memory_budget_bytes),
       result_cache_(config_.result_cache_capacity),
       permutation_cache_(config_.permutation_cache_capacity),
+      intra_pool_(config_.intra_query_threads > 1
+                      ? std::make_unique<ThreadPool>(
+                            config_.intra_query_threads)
+                      : nullptr),
       pool_(config_.num_threads) {}
 
 Status QueryEngine::RegisterDataset(const std::string& name, Table table) {
@@ -148,6 +154,9 @@ Result<QueryResponse> QueryEngine::Execute(const DatasetHandle& dataset,
   const Table& table = dataset->table;
   QueryOptions options = resolved.options;
   options.control = &control;
+  // Dedicated pool: intra-query ParallelFor must not share the executor,
+  // where a blocked caller would help-drain whole-query tasks.
+  options.pool = intra_pool_.get();
   if (table.num_rows() > 0) {
     options.shared_order = permutation_cache_.GetOrCreate(
         dataset->fingerprint, static_cast<uint32_t>(table.num_rows()),
@@ -164,55 +173,31 @@ Result<QueryResponse> QueryEngine::Execute(const DatasetHandle& dataset,
 Result<QueryResponse> QueryEngine::Dispatch(const Table& table,
                                             const ResolvedSpec& resolved,
                                             const QueryOptions& options) {
+  // All six drivers return {items, stats}; `fill` hoists the shared
+  // unwrap-and-move so each case is one line.
   QueryResponse response;
   response.kind = resolved.kind;
+  auto fill = [&response](auto result) -> Result<QueryResponse> {
+    if (!result.ok()) return result.status();
+    response.items = std::move(result->items);
+    response.stats = result->stats;
+    return std::move(response);
+  };
   switch (resolved.kind) {
-    case QueryKind::kEntropyTopK: {
-      auto result = SwopeTopKEntropy(table, resolved.k, options);
-      if (!result.ok()) return result.status();
-      response.items = std::move(result->items);
-      response.stats = result->stats;
-      return response;
-    }
-    case QueryKind::kEntropyFilter: {
-      auto result = SwopeFilterEntropy(table, resolved.eta, options);
-      if (!result.ok()) return result.status();
-      response.items = std::move(result->items);
-      response.stats = result->stats;
-      return response;
-    }
-    case QueryKind::kMiTopK: {
-      auto result =
-          SwopeTopKMi(table, resolved.target, resolved.k, options);
-      if (!result.ok()) return result.status();
-      response.items = std::move(result->items);
-      response.stats = result->stats;
-      return response;
-    }
-    case QueryKind::kMiFilter: {
-      auto result =
-          SwopeFilterMi(table, resolved.target, resolved.eta, options);
-      if (!result.ok()) return result.status();
-      response.items = std::move(result->items);
-      response.stats = result->stats;
-      return response;
-    }
-    case QueryKind::kNmiTopK: {
-      auto result =
-          SwopeTopKNmi(table, resolved.target, resolved.k, options);
-      if (!result.ok()) return result.status();
-      response.items = std::move(result->items);
-      response.stats = result->stats;
-      return response;
-    }
-    case QueryKind::kNmiFilter: {
-      auto result =
-          SwopeFilterNmi(table, resolved.target, resolved.eta, options);
-      if (!result.ok()) return result.status();
-      response.items = std::move(result->items);
-      response.stats = result->stats;
-      return response;
-    }
+    case QueryKind::kEntropyTopK:
+      return fill(SwopeTopKEntropy(table, resolved.k, options));
+    case QueryKind::kEntropyFilter:
+      return fill(SwopeFilterEntropy(table, resolved.eta, options));
+    case QueryKind::kMiTopK:
+      return fill(SwopeTopKMi(table, resolved.target, resolved.k, options));
+    case QueryKind::kMiFilter:
+      return fill(
+          SwopeFilterMi(table, resolved.target, resolved.eta, options));
+    case QueryKind::kNmiTopK:
+      return fill(SwopeTopKNmi(table, resolved.target, resolved.k, options));
+    case QueryKind::kNmiFilter:
+      return fill(
+          SwopeFilterNmi(table, resolved.target, resolved.eta, options));
   }
   return Status::Internal("query engine: unhandled query kind");
 }

@@ -22,6 +22,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -41,6 +42,10 @@ namespace swope {
 struct EngineConfig {
   /// Executor threads for Submit(); >= 1.
   size_t num_threads = 4;
+  /// Worker threads for the intra-query parallel candidate-update phase
+  /// (QueryOptions::pool); 1 = serial. Answers are byte-identical either
+  /// way (docs/CORE.md), so this is purely a latency knob.
+  size_t intra_query_threads = 1;
   /// Admission control: queries executing concurrently (not counting
   /// cache hits, which bypass admission). Further Run calls wait; >= 1.
   size_t max_in_flight = 8;
@@ -137,6 +142,11 @@ class QueryEngine {
 
   mutable std::mutex counters_mutex_;
   EngineCounters counters_ GUARDED_BY(counters_mutex_);
+
+  /// Shared intra-query worker pool (null when intra_query_threads <= 1).
+  /// Declared before pool_ so it outlives the executor: queries still
+  /// draining from pool_ during destruction may be using it.
+  std::unique_ptr<ThreadPool> intra_pool_;
 
   /// Last member: destroyed first, so queued queries finish while the
   /// rest of the engine is still alive.

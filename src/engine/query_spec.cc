@@ -76,10 +76,11 @@ Status QuerySpec::Validate() const {
     return Status::InvalidArgument("query spec: dataset name is required");
   }
   SWOPE_RETURN_NOT_OK(options.Validate());
-  if (options.shared_order != nullptr || options.control != nullptr) {
+  if (options.shared_order != nullptr || options.control != nullptr ||
+      options.pool != nullptr) {
     return Status::InvalidArgument(
-        "query spec: shared_order / control are engine-managed and must be "
-        "null on submitted specs");
+        "query spec: shared_order / control / pool are engine-managed and "
+        "must be null on submitted specs");
   }
   if (IsTopKKind(kind)) {
     if (k == 0) {

@@ -67,8 +67,8 @@ struct QuerySpec {
   /// (names win when a column is literally named like a number).
   std::string target;
 
-  /// Sampling parameters; QueryOptions::shared_order and ::control are
-  /// engine-managed and must be left null on submitted specs.
+  /// Sampling parameters; QueryOptions::shared_order, ::control, and
+  /// ::pool are engine-managed and must be left null on submitted specs.
   QueryOptions options;
 
   /// Wall-clock budget in milliseconds; 0 means no deadline.

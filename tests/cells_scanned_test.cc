@@ -1,0 +1,131 @@
+// Pins the unified driver's cells_scanned accounting for all six query
+// kinds: every newly sampled row costs CellsPerRow(active) counter
+// updates — `active` for entropy kinds (one per active candidate), and
+// 1 + 2 * active for MI/NMI kinds (the shared target marginal plus a
+// marginal and a joint update per active candidate).
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "src/core/swope_filter_entropy.h"
+#include "src/core/swope_filter_mi.h"
+#include "src/core/swope_filter_nmi.h"
+#include "src/core/swope_topk_entropy.h"
+#include "src/core/swope_topk_mi.h"
+#include "src/core/swope_topk_nmi.h"
+#include "src/table/table_builder.h"
+#include "tests/test_util.h"
+
+namespace swope {
+namespace {
+
+// 12 rows x 3 columns. With N = 12 below kMinSampleSize, every query
+// starts at M0 = N and finishes in exactly one round over all
+// candidates, making the expected cell count exact by hand.
+Table MakeTinyTable() {
+  auto builder = TableBuilder::Make({"a", "b", "c"});
+  EXPECT_TRUE(builder.ok());
+  for (int i = 0; i < 12; ++i) {
+    const std::string a = std::to_string(i % 4);
+    const std::string b = std::to_string(i % 3);
+    const std::string c = std::to_string(i % 2);
+    EXPECT_TRUE(builder->AppendRow({a, b, c}).ok());
+  }
+  auto table = std::move(*builder).Finish();
+  EXPECT_TRUE(table.ok());
+  return std::move(table).value();
+}
+
+QueryOptions TinyOptions() {
+  QueryOptions options;
+  options.seed = 11;
+  return options;
+}
+
+TEST(CellsScannedTest, EntropyTopKSingleRound) {
+  const Table table = MakeTinyTable();
+  auto result = SwopeTopKEntropy(table, 2, TinyOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.iterations, 1u);
+  EXPECT_EQ(result->stats.final_sample_size, 12u);
+  EXPECT_TRUE(result->stats.exhausted_dataset);
+  // 12 rows x 3 active candidates, one counter update each.
+  EXPECT_EQ(result->stats.cells_scanned, 12u * 3u);
+}
+
+TEST(CellsScannedTest, EntropyFilterSingleRound) {
+  const Table table = MakeTinyTable();
+  auto result = SwopeFilterEntropy(table, 1.0, TinyOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.iterations, 1u);
+  EXPECT_EQ(result->stats.cells_scanned, 12u * 3u);
+}
+
+TEST(CellsScannedTest, MiTopKSingleRound) {
+  const Table table = MakeTinyTable();
+  auto result = SwopeTopKMi(table, /*target=*/0, 1, TinyOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.iterations, 1u);
+  // 12 rows x (target marginal + 2 candidates x (marginal + joint)).
+  EXPECT_EQ(result->stats.cells_scanned, 12u * (1u + 2u * 2u));
+}
+
+TEST(CellsScannedTest, MiFilterSingleRound) {
+  const Table table = MakeTinyTable();
+  auto result = SwopeFilterMi(table, /*target=*/0, 0.1, TinyOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.iterations, 1u);
+  EXPECT_EQ(result->stats.cells_scanned, 12u * (1u + 2u * 2u));
+}
+
+TEST(CellsScannedTest, NmiTopKSingleRound) {
+  const Table table = MakeTinyTable();
+  auto result = SwopeTopKNmi(table, /*target=*/0, 1, TinyOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.iterations, 1u);
+  EXPECT_EQ(result->stats.cells_scanned, 12u * (1u + 2u * 2u));
+}
+
+TEST(CellsScannedTest, NmiFilterSingleRound) {
+  const Table table = MakeTinyTable();
+  auto result = SwopeFilterNmi(table, /*target=*/0, 0.5, TinyOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.iterations, 1u);
+  EXPECT_EQ(result->stats.cells_scanned, 12u * (1u + 2u * 2u));
+}
+
+// Multi-round accounting: 64 rows, M0 = 16, doubling. With epsilon tiny
+// and k = all candidates, nothing stops or prunes before M = N, so the
+// rounds consume 16 + 16 + 32 rows and every row is counted against the
+// full candidate set: total = 64 * CellsPerRow(all).
+QueryOptions MultiRoundOptions() {
+  QueryOptions options;
+  options.seed = 11;
+  options.epsilon = 0.0001;
+  options.initial_sample_size = 16;
+  return options;
+}
+
+TEST(CellsScannedTest, EntropyTopKMultiRound) {
+  const Table table = test::MakeEntropyTable({2.0, 2.0, 2.0}, 64, 5);
+  auto result = SwopeTopKEntropy(table, 3, MultiRoundOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.iterations, 3u);
+  EXPECT_EQ(result->stats.final_sample_size, 64u);
+  EXPECT_EQ(result->stats.candidates_remaining, 3u);
+  EXPECT_EQ(result->stats.cells_scanned, 64u * 3u);
+}
+
+TEST(CellsScannedTest, MiTopKMultiRound) {
+  const Table table = test::MakeMiTable({0.5, 0.5}, 64, 5);
+  auto result = SwopeTopKMi(table, /*target=*/0, 2, MultiRoundOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.iterations, 3u);
+  EXPECT_EQ(result->stats.final_sample_size, 64u);
+  EXPECT_EQ(result->stats.candidates_remaining, 2u);
+  EXPECT_EQ(result->stats.cells_scanned, 64u * (1u + 2u * 2u));
+}
+
+}  // namespace
+}  // namespace swope

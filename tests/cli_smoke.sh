@@ -45,6 +45,19 @@ if "$CLI" frobnicate 2>/dev/null; then fail "unknown command accepted"; fi
 "$CLI" topk --in="$TMP/d.csv" --k=2 | grep -q -- "-- 2 attributes" \
   || fail "csv topk"
 
+# --threads=N parallelizes candidate updates without changing the answer
+# (drop the summary line: it carries wall-clock ms)
+"$CLI" topk --in="$TMP/d.swpb" --k=5 | grep -v '^-- ' > "$TMP/serial.txt"
+"$CLI" topk --in="$TMP/d.swpb" --k=5 --threads=4 | grep -v '^-- ' \
+  > "$TMP/parallel.txt"
+diff "$TMP/serial.txt" "$TMP/parallel.txt" || fail "--threads changed answer"
+"$CLI" mi-topk --in="$TMP/d.swpb" --target=5 --k=3 | grep -v '^-- ' \
+  > "$TMP/serial.txt"
+"$CLI" mi-topk --in="$TMP/d.swpb" --target=5 --k=3 --threads=4 \
+  | grep -v '^-- ' > "$TMP/parallel.txt"
+diff "$TMP/serial.txt" "$TMP/parallel.txt" \
+  || fail "mi --threads changed answer"
+
 # missing file is a clean error
 if "$CLI" topk --in="$TMP/nope.swpb" --k=1 2>/dev/null; then
   fail "missing file accepted"
@@ -87,7 +100,25 @@ grep -q '"ok":true,"op":"load"' "$TMP/serve.out" || fail "serve load"
 grep -q '"cache_hit":true' "$TMP/serve.out" || fail "serve cache hit"
 grep -q '"ok":false' "$TMP/serve.out" || fail "serve in-band error"
 grep -q '"result_cache_hits":1' "$TMP/serve.out" || fail "serve stats"
+# query responses carry the full QueryStats block
+for field in '"stats":{' '"final_sample_size":' '"iterations":' \
+             '"cells_scanned":' '"candidates_remaining":'; do
+  grep -F -q "$field" "$TMP/serve.out" || fail "serve missing $field"
+done
 # every stdout line is JSON (starts with '{')
 if grep -qv '^{' "$TMP/serve.out"; then fail "serve stdout not JSON"; fi
+
+# serve with intra-query threads answers identically to serial serve
+printf '%s\n' \
+  "load name=d path=$TMP/d.swpb" \
+  "query dataset=d kind=entropy-topk k=3" \
+  "query dataset=d kind=nmi-topk target=cdc_a0 k=2" \
+  "quit" > "$TMP/serve.req"
+"$CLI" serve < "$TMP/serve.req" > "$TMP/serve1.out" \
+  || fail "serial serve exited non-zero"
+"$CLI" serve --intra-threads=4 < "$TMP/serve.req" > "$TMP/serve4.out" \
+  || fail "parallel serve exited non-zero"
+diff "$TMP/serve1.out" "$TMP/serve4.out" \
+  || fail "--intra-threads changed serve answers"
 
 echo "cli_smoke: OK"

@@ -40,6 +40,7 @@ QuerySpec MakeSpec(const std::string& dataset, QueryKind kind,
 TEST(EngineStressTest, ConcurrentMixedQueries) {
   EngineConfig config;
   config.num_threads = 8;
+  config.intra_query_threads = 4;  // exercise the parallel update path
   config.max_in_flight = 4;  // admission control active under the load
   QueryEngine engine(config);
   ASSERT_TRUE(
@@ -189,6 +190,7 @@ TEST(EngineStressTest, RepeatedQueryCostsZeroAdditionalRows) {
 TEST(EngineStressTest, CancellationRacesAreClean) {
   EngineConfig config;
   config.num_threads = 4;
+  config.intra_query_threads = 4;  // cancellation mid-parallel-round
   config.result_cache_capacity = 0;  // force real executions
   QueryEngine engine(config);
   ASSERT_TRUE(

@@ -1,0 +1,139 @@
+// Golden determinism regression for the unified driver's parallel path:
+// for a fixed seed, running with QueryOptions::pool set (N worker
+// threads) must produce results byte-identical to the serial path across
+// all six query kinds — same items (bitwise-equal doubles), same stats.
+// The argument for why this holds by construction is in docs/CORE.md.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/thread_pool.h"
+#include "src/core/swope_filter_entropy.h"
+#include "src/core/swope_filter_mi.h"
+#include "src/core/swope_filter_nmi.h"
+#include "src/core/swope_topk_entropy.h"
+#include "src/core/swope_topk_mi.h"
+#include "src/core/swope_topk_nmi.h"
+#include "tests/test_util.h"
+
+namespace swope {
+namespace {
+
+// Bitwise equality: any divergence in ordering or arithmetic between the
+// serial and parallel paths shows up here, not just large errors.
+void ExpectIdentical(const std::vector<AttributeScore>& serial,
+                     const std::vector<AttributeScore>& parallel) {
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].index, parallel[i].index);
+    EXPECT_EQ(serial[i].name, parallel[i].name);
+    EXPECT_EQ(serial[i].estimate, parallel[i].estimate);
+    EXPECT_EQ(serial[i].lower, parallel[i].lower);
+    EXPECT_EQ(serial[i].upper, parallel[i].upper);
+  }
+}
+
+void ExpectIdentical(const QueryStats& serial, const QueryStats& parallel) {
+  EXPECT_EQ(serial.final_sample_size, parallel.final_sample_size);
+  EXPECT_EQ(serial.initial_sample_size, parallel.initial_sample_size);
+  EXPECT_EQ(serial.iterations, parallel.iterations);
+  EXPECT_EQ(serial.cells_scanned, parallel.cells_scanned);
+  EXPECT_EQ(serial.candidates_remaining, parallel.candidates_remaining);
+  EXPECT_EQ(serial.exhausted_dataset, parallel.exhausted_dataset);
+}
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  ParallelDeterminismTest()
+      : entropy_table_(test::MakeEntropyTable(
+            {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0}, 4000, 21)),
+        mi_table_(test::MakeMiTable({0.0, 0.2, 0.4, 0.6, 0.8}, 4000, 22)),
+        pool_(4) {}
+
+  QueryOptions Serial() const {
+    QueryOptions options;
+    options.seed = 9;
+    return options;
+  }
+
+  QueryOptions Parallel() {
+    QueryOptions options = Serial();
+    options.pool = &pool_;
+    return options;
+  }
+
+  Table entropy_table_;
+  Table mi_table_;
+  ThreadPool pool_;
+};
+
+TEST_F(ParallelDeterminismTest, EntropyTopK) {
+  auto serial = SwopeTopKEntropy(entropy_table_, 3, Serial());
+  auto parallel = SwopeTopKEntropy(entropy_table_, 3, Parallel());
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ExpectIdentical(serial->items, parallel->items);
+  ExpectIdentical(serial->stats, parallel->stats);
+}
+
+TEST_F(ParallelDeterminismTest, EntropyFilter) {
+  auto serial = SwopeFilterEntropy(entropy_table_, 2.0, Serial());
+  auto parallel = SwopeFilterEntropy(entropy_table_, 2.0, Parallel());
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ExpectIdentical(serial->items, parallel->items);
+  ExpectIdentical(serial->stats, parallel->stats);
+}
+
+TEST_F(ParallelDeterminismTest, MiTopK) {
+  auto serial = SwopeTopKMi(mi_table_, 0, 3, Serial());
+  auto parallel = SwopeTopKMi(mi_table_, 0, 3, Parallel());
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ExpectIdentical(serial->items, parallel->items);
+  ExpectIdentical(serial->stats, parallel->stats);
+}
+
+TEST_F(ParallelDeterminismTest, MiFilter) {
+  auto serial = SwopeFilterMi(mi_table_, 0, 0.1, Serial());
+  auto parallel = SwopeFilterMi(mi_table_, 0, 0.1, Parallel());
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ExpectIdentical(serial->items, parallel->items);
+  ExpectIdentical(serial->stats, parallel->stats);
+}
+
+TEST_F(ParallelDeterminismTest, NmiTopK) {
+  auto serial = SwopeTopKNmi(mi_table_, 0, 3, Serial());
+  auto parallel = SwopeTopKNmi(mi_table_, 0, 3, Parallel());
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ExpectIdentical(serial->items, parallel->items);
+  ExpectIdentical(serial->stats, parallel->stats);
+}
+
+TEST_F(ParallelDeterminismTest, NmiFilter) {
+  auto serial = SwopeFilterNmi(mi_table_, 0, 0.2, Serial());
+  auto parallel = SwopeFilterNmi(mi_table_, 0, 0.2, Parallel());
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ExpectIdentical(serial->items, parallel->items);
+  ExpectIdentical(serial->stats, parallel->stats);
+}
+
+// Repeated parallel runs are stable against scheduling noise: several
+// executions with the pool enabled agree with each other exactly.
+TEST_F(ParallelDeterminismTest, RepeatedParallelRunsAgree) {
+  auto first = SwopeTopKMi(mi_table_, 0, 3, Parallel());
+  ASSERT_TRUE(first.ok());
+  for (int run = 0; run < 5; ++run) {
+    auto again = SwopeTopKMi(mi_table_, 0, 3, Parallel());
+    ASSERT_TRUE(again.ok());
+    ExpectIdentical(first->items, again->items);
+    ExpectIdentical(first->stats, again->stats);
+  }
+}
+
+}  // namespace
+}  // namespace swope

@@ -236,25 +236,40 @@ TEST(QueryEngineTest, ConfigClampsDegenerateValues) {
 }
 
 // Satellite (c): same seed + same table => byte-identical results no
-// matter how many executor threads the engine uses.
+// matter how many executor threads the engine uses, nor how many
+// intra-query worker threads the drivers fan candidate updates across.
+// Covers all six query kinds through the unified driver.
 TEST(QueryEngineDeterminismTest, IdenticalAcrossThreadCounts) {
   const Table table = MakeMiTable({0.2, 0.8, 0.5, 0.3}, 2500, 13);
 
   std::vector<QuerySpec> specs;
   specs.push_back(EntropyTopKSpec("ds", 2));
   specs.push_back(MiFilterSpec("ds", 0.2));
+  auto targeted = [](QueryKind kind, size_t k, double eta) {
+    QuerySpec spec;
+    spec.dataset = "ds";
+    spec.kind = kind;
+    spec.k = k;
+    spec.eta = eta;
+    spec.target = "t";
+    return spec;
+  };
   {
-    QuerySpec nmi;
-    nmi.dataset = "ds";
-    nmi.kind = QueryKind::kNmiTopK;
-    nmi.k = 2;
-    nmi.target = "t";
-    specs.push_back(nmi);
+    QuerySpec entropy_filter;
+    entropy_filter.dataset = "ds";
+    entropy_filter.kind = QueryKind::kEntropyFilter;
+    entropy_filter.eta = 2.0;
+    specs.push_back(entropy_filter);
   }
+  specs.push_back(targeted(QueryKind::kMiTopK, 2, 0.0));
+  specs.push_back(targeted(QueryKind::kNmiTopK, 2, 0.0));
+  specs.push_back(targeted(QueryKind::kNmiFilter, 0, 0.2));
 
-  auto render_all = [&table, &specs](size_t num_threads) {
+  auto render_all = [&table, &specs](size_t num_threads,
+                                     size_t intra_threads) {
     EngineConfig config;
     config.num_threads = num_threads;
+    config.intra_query_threads = intra_threads;
     config.result_cache_capacity = 0;  // force real execution every time
     QueryEngine engine(config);
     EXPECT_TRUE(engine.RegisterDataset("ds", Table(table)).ok());
@@ -271,8 +286,8 @@ TEST(QueryEngineDeterminismTest, IdenticalAcrossThreadCounts) {
     return rendered;
   };
 
-  const std::vector<std::string> single = render_all(1);
-  const std::vector<std::string> parallel = render_all(8);
+  const std::vector<std::string> single = render_all(1, 1);
+  const std::vector<std::string> parallel = render_all(8, 4);
   ASSERT_EQ(single.size(), parallel.size());
   for (size_t i = 0; i < single.size(); ++i) {
     EXPECT_EQ(single[i], parallel[i]) << "spec #" << i;

@@ -41,6 +41,15 @@ TEST(ServeTest, QueryOverRegisteredDataset) {
   EXPECT_NE(response.find("\"cache_hit\":false"), std::string::npos);
   EXPECT_NE(response.find("\"estimate\":"), std::string::npos);
 
+  // The per-line JSON carries the full QueryStats block.
+  for (const char* field :
+       {"\"stats\":{", "\"final_sample_size\":", "\"initial_sample_size\":",
+        "\"iterations\":", "\"cells_scanned\":", "\"candidates_remaining\":",
+        "\"exhausted_dataset\":"}) {
+    EXPECT_NE(response.find(field), std::string::npos)
+        << field << " missing in " << response;
+  }
+
   // The repeat is answered from cache, visibly.
   const std::string repeat =
       Handle(engine, "query dataset=ds kind=entropy-topk k=1");

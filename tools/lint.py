@@ -16,6 +16,11 @@ Enforces the handful of conventions that clang-tidy cannot express:
   banned-sleep    sleep_for/sleep_until/usleep are banned in src/ (library
                   code must block on condition variables or poll an
                   ExecControl, never nap); tests and benches may sleep.
+  core-layering   the adaptive-sampling internals (src/core/
+                  adaptive_sampling_driver.h and src/core/scorers.h) may
+                  only be included from src/core/; everything else goes
+                  through the public driver headers (swope_topk_*.h,
+                  swope_filter_*.h).
 
 Findings print as `path:line: [rule] message` and the exit status is the
 number of findings (capped at 1), so both humans and CI can consume it.
@@ -38,6 +43,11 @@ BANNED_RAND_RE = re.compile(r"(?<![A-Za-z0-9_])s?rand\s*\(")
 USING_NAMESPACE_RE = re.compile(r"(?<![A-Za-z0-9_])using\s+namespace\b")
 BANNED_SLEEP_RE = re.compile(
     r"(?<![A-Za-z0-9_])(sleep_for|sleep_until|usleep)\s*\(")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+CORE_INTERNAL_HEADERS = frozenset({
+    "src/core/adaptive_sampling_driver.h",
+    "src/core/scorers.h",
+})
 
 
 def strip_comments_and_strings(text):
@@ -167,6 +177,18 @@ def lint_file(root, relpath):
             findings.append((relpath, lineno, "banned-sleep",
                              "sleeping is banned in library code; block on "
                              "a condition variable or poll an ExecControl"))
+        # Include paths live inside string literals, which the code view
+        # blanks — gate on the directive in the code line, then read the
+        # path from the raw line.
+        if INCLUDE_RE.match(line):
+            match = INCLUDE_RE.match(raw)
+            included = match.group(1) if match else ""
+            if (included in CORE_INTERNAL_HEADERS
+                    and relpath.parts[:2] != ("src", "core")):
+                findings.append(
+                    (relpath, lineno, "core-layering",
+                     f"{included} is internal to src/core/; include the "
+                     "public swope_topk_*/swope_filter_* headers instead"))
     return findings
 
 

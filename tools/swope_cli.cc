@@ -16,11 +16,13 @@
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/baselines/exact.h"
 #include "src/common/stopwatch.h"
+#include "src/common/thread_pool.h"
 #include "src/core/entropy.h"
 #include "src/core/swope_filter_entropy.h"
 #include "src/core/swope_filter_mi.h"
@@ -49,12 +51,15 @@ commands:
   mi-filter  approximate MI filtering        --in=FILE --target=COL --eta=T [--epsilon=E] [--exact]
   nmi-topk   approximate normalized-MI top-k --in=FILE --target=COL --k=N [--epsilon=E]
   serve      query engine REPL: line requests on stdin, JSON on stdout
-             [--threads=N] [--max-in-flight=N] [--memory-budget-mb=N]
-             [--result-cache=N] [--timeout-ms=N]
+             [--threads=N] [--intra-threads=N] [--max-in-flight=N]
+             [--memory-budget-mb=N] [--result-cache=N] [--timeout-ms=N]
 
 common flags:
   --max-support=U   drop columns with more than U distinct values before
                     querying (default 1000; 0 keeps everything)
+  --threads=N       query commands: fan per-candidate counter updates out
+                    across N worker threads (default 1 = serial; the answer
+                    is byte-identical either way)
 
 FILE handling: *.csv is CSV with a header row; anything else is the SWPB
 binary column store.
@@ -152,6 +157,24 @@ QueryOptions OptionsFromFlags(const Flags& flags, double default_epsilon) {
   return options;
 }
 
+// Owns the optional intra-query worker pool (--threads=N) for one CLI
+// query; the pool must stay alive until the query returns.
+struct QueryRuntime {
+  std::unique_ptr<ThreadPool> pool;
+  QueryOptions options;
+};
+
+QueryRuntime RuntimeFromFlags(const Flags& flags, double default_epsilon) {
+  QueryRuntime runtime;
+  runtime.options = OptionsFromFlags(flags, default_epsilon);
+  const uint64_t threads = flags.GetUint("threads", 1);
+  if (threads > 1) {
+    runtime.pool = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
+    runtime.options.pool = runtime.pool.get();
+  }
+  return runtime;
+}
+
 Result<size_t> ResolveTarget(const Table& table, const Flags& flags) {
   const std::string target = flags.GetString("target");
   if (target.empty()) {
@@ -226,8 +249,8 @@ int CmdTopK(const Flags& flags) {
     PrintItems(result->items, result->stats, watch.ElapsedMillis());
     return 0;
   }
-  auto result =
-      SwopeTopKEntropy(*table, k, OptionsFromFlags(flags, 0.1));
+  const QueryRuntime runtime = RuntimeFromFlags(flags, 0.1);
+  auto result = SwopeTopKEntropy(*table, k, runtime.options);
   if (!result.ok()) return Fail(result.status());
   PrintItems(result->items, result->stats, watch.ElapsedMillis());
   return 0;
@@ -244,8 +267,8 @@ int CmdFilter(const Flags& flags) {
     PrintItems(result->items, result->stats, watch.ElapsedMillis());
     return 0;
   }
-  auto result =
-      SwopeFilterEntropy(*table, eta, OptionsFromFlags(flags, 0.05));
+  const QueryRuntime runtime = RuntimeFromFlags(flags, 0.05);
+  auto result = SwopeFilterEntropy(*table, eta, runtime.options);
   if (!result.ok()) return Fail(result.status());
   PrintItems(result->items, result->stats, watch.ElapsedMillis());
   return 0;
@@ -264,8 +287,8 @@ int CmdMiTopK(const Flags& flags) {
     PrintItems(result->items, result->stats, watch.ElapsedMillis());
     return 0;
   }
-  auto result =
-      SwopeTopKMi(*table, *target, k, OptionsFromFlags(flags, 0.5));
+  const QueryRuntime runtime = RuntimeFromFlags(flags, 0.5);
+  auto result = SwopeTopKMi(*table, *target, k, runtime.options);
   if (!result.ok()) return Fail(result.status());
   PrintItems(result->items, result->stats, watch.ElapsedMillis());
   return 0;
@@ -284,8 +307,8 @@ int CmdMiFilter(const Flags& flags) {
     PrintItems(result->items, result->stats, watch.ElapsedMillis());
     return 0;
   }
-  auto result =
-      SwopeFilterMi(*table, *target, eta, OptionsFromFlags(flags, 0.5));
+  const QueryRuntime runtime = RuntimeFromFlags(flags, 0.5);
+  auto result = SwopeFilterMi(*table, *target, eta, runtime.options);
   if (!result.ok()) return Fail(result.status());
   PrintItems(result->items, result->stats, watch.ElapsedMillis());
   return 0;
@@ -298,8 +321,8 @@ int CmdNmiTopK(const Flags& flags) {
   if (!target.ok()) return Fail(target.status());
   const size_t k = flags.GetUint("k", 5);
   Stopwatch watch;
-  auto result =
-      SwopeTopKNmi(*table, *target, k, OptionsFromFlags(flags, 0.5));
+  const QueryRuntime runtime = RuntimeFromFlags(flags, 0.5);
+  auto result = SwopeTopKNmi(*table, *target, k, runtime.options);
   if (!result.ok()) return Fail(result.status());
   PrintItems(result->items, result->stats, watch.ElapsedMillis());
   return 0;
@@ -308,6 +331,8 @@ int CmdNmiTopK(const Flags& flags) {
 int CmdServe(const Flags& flags) {
   EngineConfig config;
   config.num_threads = static_cast<size_t>(flags.GetUint("threads", 4));
+  config.intra_query_threads =
+      static_cast<size_t>(flags.GetUint("intra-threads", 1));
   config.max_in_flight =
       static_cast<size_t>(flags.GetUint("max-in-flight", 8));
   config.memory_budget_bytes =
