@@ -21,7 +21,7 @@ void Run(const BenchConfig& config) {
   for (const auto& dataset : datasets) {
     std::cout << "## " << dataset.name << "\n";
     ReportTable table({"eta", "SWOPE", "EntropyFilter", "Exact",
-                       "SWOPE vs Filter", "SWOPE vs Exact"});
+                       "SWOPE vs Filter", "SWOPE vs Exact", "SWOPE cells"});
     const Timing exact_time = TimeRepeated(config.reps, [&] {
       auto result = ExactFilterEntropy(dataset.table, 1.0);
       if (!result.ok()) std::exit(1);
@@ -31,9 +31,11 @@ void Run(const BenchConfig& config) {
       options.epsilon = 0.05;
       options.seed = config.seed;
       options.sequential_sampling = true;
+      uint64_t swope_cells = 0;
       const Timing swope_time = TimeRepeated(config.reps, [&] {
         auto result = SwopeFilterEntropy(dataset.table, eta, options);
         if (!result.ok()) std::exit(1);
+        swope_cells = result->stats.cells_scanned;
       });
       const Timing filter_time = TimeRepeated(config.reps, [&] {
         auto result = EntropyFilterQuery(dataset.table, eta, options);
@@ -45,7 +47,8 @@ void Run(const BenchConfig& config) {
            ReportTable::FormatMillis(filter_time.mean_seconds),
            ReportTable::FormatMillis(exact_time.mean_seconds),
            FormatSpeedup(filter_time.mean_seconds, swope_time.mean_seconds),
-           FormatSpeedup(exact_time.mean_seconds, swope_time.mean_seconds)});
+           FormatSpeedup(exact_time.mean_seconds, swope_time.mean_seconds),
+           std::to_string(swope_cells)});
     }
     table.PrintMarkdown(std::cout);
     std::cout << "\n";

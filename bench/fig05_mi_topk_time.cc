@@ -36,20 +36,24 @@ void Run(const BenchConfig& config) {
         exact_total / static_cast<double>(targets.size());
 
     ReportTable table({"k", "SWOPE", "EntropyRank", "Exact",
-                       "SWOPE vs Rank", "SWOPE vs Exact"});
+                       "SWOPE vs Rank", "SWOPE vs Exact", "SWOPE cells"});
     for (size_t k : {1, 2, 4, 8, 10}) {
       double swope_total = 0.0;
       double rank_total = 0.0;
+      uint64_t swope_cells = 0;  // summed over targets, like the times
       for (size_t target : targets) {
         QueryOptions options;
         options.epsilon = 0.5;
         options.seed = config.seed + target;
         options.sequential_sampling = true;
+        uint64_t target_cells = 0;
         swope_total +=
             TimeRepeated(config.reps, [&] {
               auto result = SwopeTopKMi(dataset.table, target, k, options);
               if (!result.ok()) std::exit(1);
+              target_cells = result->stats.cells_scanned;
             }).mean_seconds;
+        swope_cells += target_cells;
         rank_total +=
             TimeRepeated(config.reps, [&] {
               auto result = MiRankTopK(dataset.table, target, k, options);
@@ -65,7 +69,8 @@ void Run(const BenchConfig& config) {
                     ReportTable::FormatMillis(rank_mean),
                     ReportTable::FormatMillis(exact_mean),
                     FormatSpeedup(rank_mean, swope_mean),
-                    FormatSpeedup(exact_mean, swope_mean)});
+                    FormatSpeedup(exact_mean, swope_mean),
+                    std::to_string(swope_cells)});
     }
     table.PrintMarkdown(std::cout);
     std::cout << "\n";

@@ -37,21 +37,25 @@ void Run(const BenchConfig& config) {
         exact_total / static_cast<double>(targets.size());
 
     ReportTable table({"eta", "SWOPE", "EntropyFilter", "Exact",
-                       "SWOPE vs Filter", "SWOPE vs Exact"});
+                       "SWOPE vs Filter", "SWOPE vs Exact", "SWOPE cells"});
     for (double eta : {0.1, 0.2, 0.3, 0.4, 0.5}) {
       double swope_total = 0.0;
       double filter_total = 0.0;
+      uint64_t swope_cells = 0;  // summed over targets, like the times
       for (size_t target : targets) {
         QueryOptions options;
         options.epsilon = 0.5;
         options.seed = config.seed + target;
         options.sequential_sampling = true;
+        uint64_t target_cells = 0;
         swope_total +=
             TimeRepeated(config.reps, [&] {
               auto result =
                   SwopeFilterMi(dataset.table, target, eta, options);
               if (!result.ok()) std::exit(1);
+              target_cells = result->stats.cells_scanned;
             }).mean_seconds;
+        swope_cells += target_cells;
         filter_total +=
             TimeRepeated(config.reps, [&] {
               auto result =
@@ -68,7 +72,8 @@ void Run(const BenchConfig& config) {
                     ReportTable::FormatMillis(filter_mean),
                     ReportTable::FormatMillis(exact_mean),
                     FormatSpeedup(filter_mean, swope_mean),
-                    FormatSpeedup(exact_mean, swope_mean)});
+                    FormatSpeedup(exact_mean, swope_mean),
+                    std::to_string(swope_cells)});
     }
     table.PrintMarkdown(std::cout);
     std::cout << "\n";

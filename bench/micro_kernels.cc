@@ -13,8 +13,11 @@
 #include "src/core/entropy.h"
 #include "src/core/frequency_counter.h"
 #include "src/core/pair_counter.h"
+#include "src/core/swope_topk_entropy.h"
 #include "src/datagen/distributions.h"
 #include "src/datagen/generator.h"
+#include "src/obs/metrics.h"
+#include "src/obs/query_trace.h"
 #include "src/table/csv_reader.h"
 #include "src/table/csv_writer.h"
 #include "src/table/shuffle.h"
@@ -182,6 +185,63 @@ void BM_ParallelCandidateUpdate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kCandidates * kRows);
 }
 BENCHMARK(BM_ParallelCandidateUpdate)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Observability primitives in isolation: the per-update cost ceiling for
+// any instrumented hot path.
+void BM_CounterIncrement(benchmark::State& state) {
+  Counter counter;
+  for (auto _ : state) {
+    counter.Increment();
+  }
+  benchmark::DoNotOptimize(counter.Value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterIncrement);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  Histogram histogram(DefaultLatencyBucketsMs());
+  double value = 0.01;
+  for (auto _ : state) {
+    histogram.Observe(value);
+    value = value < 5000.0 ? value * 1.7 : 0.01;
+  }
+  benchmark::DoNotOptimize(histogram.TotalCount());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramObserve);
+
+// The tracing-overhead acceptance bench: a full SwopeTopKEntropy query
+// with tracing off (Arg 0, QueryOptions::trace null -- the default) vs
+// on (Arg 1). Disabled tracing costs one branch per sampling round, so
+// the two timings must agree within noise (well under 1%); compare the
+// per-iteration times of the two args.
+void BM_MetricsOverhead(benchmark::State& state) {
+  TableSpec spec;
+  spec.num_rows = 1 << 16;
+  spec.seed = 29;
+  for (int j = 0; j < 16; ++j) {
+    spec.columns.push_back(
+        ColumnSpec::Zipf("z" + std::to_string(j), 64,
+                         1.0 + 0.05 * static_cast<double>(j)));
+  }
+  auto table = GenerateTable(spec);
+  if (!table.ok()) std::abort();
+
+  const bool traced = state.range(0) != 0;
+  QueryTrace trace;
+  QueryOptions options;
+  options.seed = 5;
+  options.sequential_sampling = true;
+  if (traced) options.trace = &trace;
+  for (auto _ : state) {
+    trace.Clear();
+    auto result = SwopeTopKEntropy(*table, 4, options);
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result->items.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsOverhead)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace swope

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Runs every reproduction bench in order and tees the combined output.
+# Runs every reproduction bench in order and tees the combined output,
+# then distills it into BENCH_results.json (per-figure timings and
+# cells-scanned counts) via tools/bench_to_json.py.
 #
 #   bench/run_all.sh [outfile] [extra flags passed to every bench]
 #
 # Example: bench/run_all.sh /tmp/bench.out --quick
 
 set -u
-BUILD_DIR="$(dirname "$0")/../build/bench"
+SCRIPT_DIR="$(dirname "$0")"
+BUILD_DIR="$SCRIPT_DIR/../build/bench"
 OUT="${1:-bench_output.txt}"
 shift || true
 
@@ -18,3 +21,7 @@ for b in "$BUILD_DIR"/*; do
   echo | tee -a "$OUT"
 done
 echo "wrote $OUT"
+
+JSON="$(dirname "$OUT")/BENCH_results.json"
+python3 "$SCRIPT_DIR/../tools/bench_to_json.py" "$OUT" -o "$JSON" \
+  || echo "bench_to_json failed; text output is still in $OUT" >&2

@@ -7,17 +7,24 @@
 
 namespace swope {
 
+/// The repo's single steady-clock read. All timing funnels through here
+/// (or through src/obs/) so instrumentation sees every clock access --
+/// lint.py bans raw steady_clock::now() everywhere else.
+inline std::chrono::steady_clock::time_point SteadyNow() {
+  return std::chrono::steady_clock::now();
+}
+
 /// Measures elapsed wall time with steady_clock. Starts on construction.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(SteadyNow()) {}
 
   /// Restarts the measurement window.
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ = SteadyNow(); }
 
   /// Seconds elapsed since construction or the last Reset().
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return std::chrono::duration<double>(SteadyNow() - start_).count();
   }
 
   /// Milliseconds elapsed since construction or the last Reset().

@@ -3,10 +3,23 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <utility>
+
+#include "src/obs/metrics.h"
 
 namespace swope {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, MetricsRegistry* metrics,
+                       const std::string& pool_name) {
+  if (metrics != nullptr) {
+    const MetricLabels labels = {{"pool", pool_name}};
+    queue_depth_ = metrics->GetGauge("swope_pool_queue_depth", labels);
+    tasks_total_ = metrics->GetCounter("swope_pool_tasks_total", labels);
+    wait_ms_ = metrics->GetHistogram("swope_pool_task_wait_ms", labels,
+                                     DefaultLatencyBucketsMs());
+    run_ms_ = metrics->GetHistogram("swope_pool_task_run_ms", labels,
+                                    DefaultLatencyBucketsMs());
+  }
   const size_t n = std::max<size_t>(1, num_threads);
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -28,10 +41,24 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::future<void> future = packaged.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    tasks_.push(std::move(packaged));
+    tasks_.push(Task{std::move(packaged), Stopwatch()});
   }
+  if (queue_depth_ != nullptr) queue_depth_->Add(1);
   cv_.notify_one();
   return future;
+}
+
+void ThreadPool::RunTask(Task task) {
+  if (queue_depth_ != nullptr) {
+    queue_depth_->Add(-1);
+    tasks_total_->Increment();
+    wait_ms_->Observe(task.wait.ElapsedMillis());
+    Stopwatch run;
+    task.fn();
+    run_ms_->Observe(run.ElapsedMillis());
+    return;
+  }
+  task.fn();
 }
 
 void ThreadPool::ParallelFor(size_t begin, size_t end,
@@ -78,20 +105,20 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
 }
 
 bool ThreadPool::RunOneTask() {
-  std::packaged_task<void()> task;
+  Task task;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (tasks_.empty()) return false;
     task = std::move(tasks_.front());
     tasks_.pop();
   }
-  task();
+  RunTask(std::move(task));
   return true;
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::packaged_task<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
@@ -99,7 +126,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    RunTask(std::move(task));
   }
 }
 

@@ -14,12 +14,19 @@
 #include <future>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/stopwatch.h"
 #include "src/common/thread_annotations.h"
 
 namespace swope {
+
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
 
 /// A minimal work-queue thread pool. Tasks are std::function<void()>;
 /// Submit returns a future for completion/exception propagation.
@@ -31,7 +38,17 @@ namespace swope {
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
-  explicit ThreadPool(size_t num_threads);
+  explicit ThreadPool(size_t num_threads)
+      : ThreadPool(num_threads, nullptr, "") {}
+
+  /// Instrumented pool: when `metrics` is non-null, the pool reports
+  ///   swope_pool_queue_depth{pool=...}        gauge
+  ///   swope_pool_tasks_total{pool=...}        counter
+  ///   swope_pool_task_wait_ms{pool=...}       histogram (enqueue -> start)
+  ///   swope_pool_task_run_ms{pool=...}        histogram (start -> finish)
+  /// The registry must outlive the pool.
+  ThreadPool(size_t num_threads, MetricsRegistry* metrics,
+             const std::string& pool_name);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -51,6 +68,13 @@ class ThreadPool {
                    const std::function<void(size_t)>& fn) EXCLUDES(mutex_);
 
  private:
+  /// A queued unit of work. `wait` starts at enqueue time so the task
+  /// wait histogram measures time spent in the queue.
+  struct Task {
+    std::packaged_task<void()> fn;
+    Stopwatch wait;
+  };
+
   void WorkerLoop() EXCLUDES(mutex_);
 
   /// Pops and runs one queued task if available. Returns false when the
@@ -58,11 +82,22 @@ class ThreadPool {
   /// while they wait on their chunks.
   bool RunOneTask() EXCLUDES(mutex_);
 
+  /// Runs a dequeued task, feeding the wait/run histograms when the pool
+  /// is instrumented.
+  void RunTask(Task task);
+
   std::vector<std::thread> workers_;
   std::mutex mutex_;
-  std::queue<std::packaged_task<void()>> tasks_ GUARDED_BY(mutex_);
+  std::queue<Task> tasks_ GUARDED_BY(mutex_);
   bool stop_ GUARDED_BY(mutex_) = false;
   std::condition_variable cv_;
+
+  /// Metric handles, resolved once at construction; all null for an
+  /// uninstrumented pool.
+  Gauge* queue_depth_ = nullptr;
+  Counter* tasks_total_ = nullptr;
+  Histogram* wait_ms_ = nullptr;
+  Histogram* run_ms_ = nullptr;
 };
 
 }  // namespace swope

@@ -4,10 +4,12 @@
 #include <cmath>
 #include <functional>
 
+#include "src/common/stopwatch.h"
 #include "src/common/thread_pool.h"
 #include "src/core/bounds.h"
 #include "src/core/exec_control.h"
 #include "src/core/prefix_sampler.h"
+#include "src/obs/query_trace.h"
 
 namespace swope {
 
@@ -67,24 +69,58 @@ Result<AdaptiveSamplingDriver::Output> AdaptiveSamplingDriver::Run(
   std::vector<size_t> active(scorer.num_candidates());
   for (size_t i = 0; i < active.size(); ++i) active[i] = i;
 
+  // Tracing cost when disabled is the null checks below -- one branch per
+  // round -- plus this one Stopwatch construction (a single clock read)
+  // per query. BM_MetricsOverhead pins that to <1%.
+  QueryTrace* const trace = options_.trace;
+  Stopwatch round_timer;
+
   uint64_t m = std::min<uint64_t>(m0, n);
-  while (!active.empty()) {
+  bool done = false;
+  while (!done && !active.empty()) {
     if (options_.control != nullptr) {
       SWOPE_RETURN_NOT_OK(options_.control->Check());
     }
+    if (trace != nullptr) round_timer.Reset();
     ++output.stats.iterations;
     const PrefixSampler::Range range = sampler.GrowTo(m);
     scorer.BeginRound(sampler.order(), range.begin, range.end, m);
     UpdateActiveCandidates(scorer, active, sampler.order(), range, m,
                            options_.pool);
-    output.stats.cells_scanned +=
-        (range.end - range.begin) * scorer.CellsPerRow(active.size());
+    const size_t active_before = active.size();
+    const uint64_t round_cells =
+        (range.end - range.begin) * scorer.CellsPerRow(active_before);
+    output.stats.cells_scanned += round_cells;
 
-    if (policy.Decide(scorer, active, m, n, output.items)) break;
+    // The bias slack snapshot must precede Decide: it covers the
+    // candidates the round actually evaluated, not the survivors.
+    double max_bias = 0.0;
+    if (trace != nullptr) {
+      for (size_t idx : active) {
+        max_bias = std::max(max_bias, scorer.interval(idx).slack);
+      }
+    }
 
-    const uint64_t grown = static_cast<uint64_t>(
-        std::ceil(static_cast<double>(m) * options_.growth_factor));
-    m = std::min<uint64_t>(n, std::max<uint64_t>(m + 1, grown));
+    done = policy.Decide(scorer, active, m, n, output.items);
+
+    if (trace != nullptr) {
+      RoundTrace round;
+      round.round = output.stats.iterations;
+      round.sample_size = m;
+      round.lambda = PermutationLambda(n, m, p_iter);
+      round.max_bias = max_bias;
+      round.active_before = static_cast<uint32_t>(active_before);
+      round.decided = static_cast<uint32_t>(active_before - active.size());
+      round.cells_scanned = round_cells;
+      round.wall_ms = round_timer.ElapsedMillis();
+      trace->Record(round);
+    }
+
+    if (!done) {
+      const uint64_t grown = static_cast<uint64_t>(
+          std::ceil(static_cast<double>(m) * options_.growth_factor));
+      m = std::min<uint64_t>(n, std::max<uint64_t>(m + 1, grown));
+    }
   }
 
   policy.Finalize(scorer, active, output.items);

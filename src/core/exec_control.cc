@@ -1,12 +1,14 @@
 #include "src/core/exec_control.h"
 
+#include "src/common/stopwatch.h"
+
 namespace swope {
 
 Status ExecControl::Check() const {
   if (token != nullptr && token->cancelled()) {
     return Status::Cancelled("query cancelled");
   }
-  if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+  if (has_deadline && SteadyNow() >= deadline) {
     return Status::DeadlineExceeded("query deadline exceeded");
   }
   return Status::OK();

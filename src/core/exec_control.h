@@ -13,6 +13,7 @@
 #include <chrono>
 
 #include "src/common/status.h"
+#include "src/common/stopwatch.h"
 
 namespace swope {
 
@@ -51,7 +52,7 @@ struct ExecControl {
 
   /// Convenience: deadline = now + timeout.
   void SetTimeout(std::chrono::nanoseconds timeout) {
-    deadline = std::chrono::steady_clock::now() + timeout;
+    deadline = SteadyNow() + timeout;
     has_deadline = true;
   }
 

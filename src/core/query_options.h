@@ -13,6 +13,7 @@
 namespace swope {
 
 struct ExecControl;
+class QueryTrace;
 class ThreadPool;
 
 /// Tunable parameters of a sampling query. Defaults follow the paper's
@@ -72,6 +73,14 @@ struct QueryOptions {
   /// canonicalization. Not owned; may be null. The caller keeps the pool
   /// alive for the duration of the query.
   ThreadPool* pool = nullptr;
+
+  /// Observability hook: when non-null, the driver records one RoundTrace
+  /// per sampling round into it (src/obs/query_trace.h). Every field
+  /// except wall time is deterministic for a given (table, spec, seed),
+  /// so it is ignored by ResultCache canonicalization. When null (the
+  /// default) the driver's only extra work is one branch per round. Not
+  /// owned; the caller keeps the pointee alive for the query's duration.
+  QueryTrace* trace = nullptr;
 
   /// Validates ranges; returns InvalidArgument with a description on
   /// failure.

@@ -3,6 +3,7 @@
 #ifndef SWOPE_CORE_QUERY_RESULT_H_
 #define SWOPE_CORE_QUERY_RESULT_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -54,12 +55,13 @@ struct FilterResult {
   std::vector<AttributeScore> items;
   QueryStats stats;
 
-  /// True when column `index` is in the answer set.
+  /// True when column `index` is in the answer set. Binary search over
+  /// the ascending-index invariant above.
   bool Contains(size_t index) const {
-    for (const AttributeScore& item : items) {
-      if (item.index == index) return true;
-    }
-    return false;
+    auto it = std::lower_bound(
+        items.begin(), items.end(), index,
+        [](const AttributeScore& item, size_t i) { return item.index < i; });
+    return it != items.end() && it->index == index;
   }
 };
 

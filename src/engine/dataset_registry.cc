@@ -2,9 +2,25 @@
 
 #include <utility>
 
+#include "src/obs/metrics.h"
 #include "src/table/fingerprint.h"
 
 namespace swope {
+
+void DatasetRegistry::BindMetrics(MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  evictions_metric_ = metrics->GetCounter("swope_registry_evictions_total");
+  resident_datasets_metric_ =
+      metrics->GetGauge("swope_registry_resident_datasets");
+  resident_bytes_metric_ = metrics->GetGauge("swope_registry_resident_bytes");
+  UpdateGauges();
+}
+
+void DatasetRegistry::UpdateGauges() {
+  if (resident_datasets_metric_ == nullptr) return;
+  resident_datasets_metric_->Set(static_cast<int64_t>(datasets_.size()));
+  resident_bytes_metric_->Set(static_cast<int64_t>(resident_bytes_));
+}
 
 uint64_t ApproxTableBytes(const Table& table) {
   uint64_t bytes = 0;
@@ -37,6 +53,7 @@ Status DatasetRegistry::Put(const std::string& name, Table table) {
   slot.dataset = std::move(dataset);
   slot.last_used = ++tick_;
   EvictToBudget(name);
+  UpdateGauges();
   return Status::OK();
 }
 
@@ -58,6 +75,7 @@ Status DatasetRegistry::Remove(const std::string& name) {
   }
   resident_bytes_ -= it->second.dataset->approx_bytes;
   datasets_.erase(it);
+  UpdateGauges();
   return Status::OK();
 }
 
@@ -94,6 +112,7 @@ void DatasetRegistry::EvictToBudget(const std::string& keep) {
     resident_bytes_ -= victim->second.dataset->approx_bytes;
     datasets_.erase(victim);
     ++evictions_;
+    if (evictions_metric_ != nullptr) evictions_metric_->Increment();
   }
 }
 

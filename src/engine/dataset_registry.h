@@ -29,6 +29,10 @@
 
 namespace swope {
 
+class Counter;
+class Gauge;
+class MetricsRegistry;
+
 /// An immutable registered dataset. Handles returned by Get() share
 /// ownership; the table outlives eviction while any handle exists.
 struct Dataset {
@@ -82,6 +86,11 @@ class DatasetRegistry {
   };
   Stats GetStats() const EXCLUDES(mutex_);
 
+  /// Mirrors eviction counts and the resident dataset/byte gauges into
+  /// `metrics` (swope_registry_*). Call once, before concurrent use; the
+  /// registry must outlive this object.
+  void BindMetrics(MetricsRegistry* metrics) EXCLUDES(mutex_);
+
  private:
   struct Slot {
     DatasetHandle dataset;
@@ -98,6 +107,14 @@ class DatasetRegistry {
   uint64_t tick_ GUARDED_BY(mutex_) = 0;
   uint64_t resident_bytes_ GUARDED_BY(mutex_) = 0;
   uint64_t evictions_ GUARDED_BY(mutex_) = 0;
+
+  /// Optional metric mirrors (null when unbound). Updated under mutex_.
+  Counter* evictions_metric_ GUARDED_BY(mutex_) = nullptr;
+  Gauge* resident_datasets_metric_ GUARDED_BY(mutex_) = nullptr;
+  Gauge* resident_bytes_metric_ GUARDED_BY(mutex_) = nullptr;
+
+  /// Refreshes the resident gauges from the local tallies.
+  void UpdateGauges() REQUIRES(mutex_);
 };
 
 }  // namespace swope

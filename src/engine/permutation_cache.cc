@@ -2,9 +2,20 @@
 
 #include <utility>
 
+#include "src/obs/metrics.h"
 #include "src/table/shuffle.h"
 
 namespace swope {
+
+void PermutationCache::BindMetrics(MetricsRegistry* metrics) {
+  const MetricLabels labels = {{"cache", "permutation"}};
+  std::lock_guard<std::mutex> lock(mutex_);
+  hits_metric_ = metrics->GetCounter("swope_cache_hits_total", labels);
+  misses_metric_ = metrics->GetCounter("swope_cache_misses_total", labels);
+  evictions_metric_ =
+      metrics->GetCounter("swope_cache_evictions_total", labels);
+  entries_metric_ = metrics->GetGauge("swope_cache_entries", labels);
+}
 
 std::shared_ptr<const std::vector<uint32_t>> PermutationCache::GetOrCreate(
     uint64_t fingerprint, uint32_t num_rows, uint64_t seed, bool sequential) {
@@ -14,6 +25,7 @@ std::shared_ptr<const std::vector<uint32_t>> PermutationCache::GetOrCreate(
     auto it = entries_.find(key);
     if (it != entries_.end() && it->second.order->size() == num_rows) {
       ++hits_;
+      if (hits_metric_ != nullptr) hits_metric_->Increment();
       it->second.last_used = ++tick_;
       return it->second.order;
     }
@@ -33,6 +45,7 @@ std::shared_ptr<const std::vector<uint32_t>> PermutationCache::GetOrCreate(
 
   std::lock_guard<std::mutex> lock(mutex_);
   ++misses_;
+  if (misses_metric_ != nullptr) misses_metric_->Increment();
   if (capacity_ == 0) return shared;
   auto it = entries_.find(key);
   if (it != entries_.end() && it->second.order->size() == num_rows) {
@@ -45,6 +58,9 @@ std::shared_ptr<const std::vector<uint32_t>> PermutationCache::GetOrCreate(
   entry.order = shared;
   entry.last_used = ++tick_;
   EvictToCapacity();
+  if (entries_metric_ != nullptr) {
+    entries_metric_->Set(static_cast<int64_t>(entries_.size()));
+  }
   return shared;
 }
 
@@ -69,6 +85,7 @@ void PermutationCache::EvictToCapacity() {
     }
     entries_.erase(victim);
     ++evictions_;
+    if (evictions_metric_ != nullptr) evictions_metric_->Increment();
   }
 }
 

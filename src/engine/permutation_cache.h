@@ -22,6 +22,10 @@
 
 namespace swope {
 
+class Counter;
+class Gauge;
+class MetricsRegistry;
+
 /// Thread-safe LRU cache of row orders. The expensive shuffle runs
 /// outside the lock; a racing miss on the same key builds the identical
 /// (deterministic) vector and the first insertion wins.
@@ -50,6 +54,11 @@ class PermutationCache {
   };
   Stats GetStats() const EXCLUDES(mutex_);
 
+  /// Mirrors hit/miss/eviction counts and the entry count into `metrics`
+  /// under the label {cache="permutation"}. Call once, before concurrent
+  /// use; the registry must outlive the cache.
+  void BindMetrics(MetricsRegistry* metrics) EXCLUDES(mutex_);
+
  private:
   struct Key {
     uint64_t fingerprint;
@@ -77,6 +86,13 @@ class PermutationCache {
   uint64_t hits_ GUARDED_BY(mutex_) = 0;
   uint64_t misses_ GUARDED_BY(mutex_) = 0;
   uint64_t evictions_ GUARDED_BY(mutex_) = 0;
+
+  /// Optional metric mirrors (null when unbound). Updated under mutex_,
+  /// alongside the local counters they shadow.
+  Counter* hits_metric_ GUARDED_BY(mutex_) = nullptr;
+  Counter* misses_metric_ GUARDED_BY(mutex_) = nullptr;
+  Counter* evictions_metric_ GUARDED_BY(mutex_) = nullptr;
+  Gauge* entries_metric_ GUARDED_BY(mutex_) = nullptr;
 };
 
 }  // namespace swope

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <utility>
 
+#include "src/common/stopwatch.h"
 #include "src/core/swope_filter_entropy.h"
 #include "src/core/swope_filter_mi.h"
 #include "src/core/swope_filter_nmi.h"
@@ -34,11 +36,37 @@ QueryEngine::QueryEngine(EngineConfig config)
       registry_(config_.memory_budget_bytes),
       result_cache_(config_.result_cache_capacity),
       permutation_cache_(config_.permutation_cache_capacity),
+      queries_started_(
+          metrics_.GetCounter("swope_engine_queries_started_total")),
+      queries_ok_(metrics_.GetCounter("swope_engine_queries_ok_total")),
+      queries_failed_(metrics_.GetCounter("swope_engine_queries_failed_total")),
+      cancelled_(metrics_.GetCounter("swope_engine_queries_cancelled_total")),
+      deadline_exceeded_(
+          metrics_.GetCounter("swope_engine_queries_deadline_exceeded_total")),
+      rows_sampled_(metrics_.GetCounter("swope_engine_rows_sampled_total")),
+      admission_waits_(
+          metrics_.GetCounter("swope_engine_admission_waits_total")),
+      in_flight_gauge_(metrics_.GetGauge("swope_engine_in_flight")),
+      admission_waiting_(metrics_.GetGauge("swope_engine_admission_waiting")),
+      query_rounds_(metrics_.GetHistogram(
+          "swope_query_rounds", {},
+          {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64})),
       intra_pool_(config_.intra_query_threads > 1
                       ? std::make_unique<ThreadPool>(
-                            config_.intra_query_threads)
+                            config_.intra_query_threads, &metrics_, "intra")
                       : nullptr),
-      pool_(config_.num_threads) {}
+      pool_(config_.num_threads, &metrics_, "executor") {
+  registry_.BindMetrics(&metrics_);
+  result_cache_.BindMetrics(&metrics_);
+  permutation_cache_.BindMetrics(&metrics_);
+  for (int kind = 0; kind < 6; ++kind) {
+    query_latency_ms_[kind] = metrics_.GetHistogram(
+        "swope_engine_query_latency_ms",
+        {{"kind", std::string(QueryKindToString(
+                      static_cast<QueryKind>(kind)))}},
+        DefaultLatencyBucketsMs());
+  }
+}
 
 Status QueryEngine::RegisterDataset(const std::string& name, Table table) {
   return registry_.Put(name, std::move(table));
@@ -62,15 +90,12 @@ Status QueryEngine::RemoveDataset(const std::string& name) {
 
 Result<QueryResponse> QueryEngine::Run(const QuerySpec& spec,
                                        const CancellationToken* cancel) {
-  {
-    std::lock_guard<std::mutex> lock(counters_mutex_);
-    ++counters_.queries_started;
-  }
+  queries_started_->Increment();
+  Stopwatch latency;
   auto fail = [this](Status status) -> Result<QueryResponse> {
-    std::lock_guard<std::mutex> lock(counters_mutex_);
-    ++counters_.queries_failed;
-    if (status.IsCancelled()) ++counters_.cancelled;
-    if (status.IsDeadlineExceeded()) ++counters_.deadline_exceeded;
+    queries_failed_->Increment();
+    if (status.IsCancelled()) cancelled_->Increment();
+    if (status.IsDeadlineExceeded()) deadline_exceeded_->Increment();
     return status;
   };
 
@@ -90,20 +115,21 @@ Result<QueryResponse> QueryEngine::Run(const QuerySpec& spec,
     response.cache_hit = true;
     response.items = cached->items;
     response.stats = cached->stats;
-    std::lock_guard<std::mutex> lock(counters_mutex_);
-    ++counters_.queries_ok;
+    queries_ok_->Increment();
+    query_latency_ms_[static_cast<int>(resolved->kind)]->Observe(
+        latency.ElapsedMillis());
     return response;
   }
 
   auto response = Execute(*dataset, *resolved, cancel);
   if (!response.ok()) return fail(response.status());
-  {
-    std::lock_guard<std::mutex> lock(counters_mutex_);
-    ++counters_.queries_ok;
-    counters_.rows_sampled += response->stats.final_sample_size;
-  }
+  queries_ok_->Increment();
+  rows_sampled_->Increment(response->stats.final_sample_size);
+  query_rounds_->Observe(static_cast<double>(response->stats.iterations));
   result_cache_.Insert(response->fingerprint, response->canonical_key,
                        CachedAnswer{response->items, response->stats});
+  query_latency_ms_[static_cast<int>(resolved->kind)]->Observe(
+      latency.ElapsedMillis());
   return response;
 }
 
@@ -134,11 +160,21 @@ Result<QueryResponse> QueryEngine::Execute(const DatasetHandle& dataset,
   // is needed).
   {
     std::unique_lock<std::mutex> lock(admission_mutex_);
-    while (in_flight_ >= config_.max_in_flight) {
-      SWOPE_RETURN_NOT_OK(control.Check());
-      admission_cv_.wait_for(lock, std::chrono::milliseconds(5));
+    if (in_flight_ >= config_.max_in_flight) {
+      admission_waits_->Increment();
+      admission_waiting_->Add(1);
+      while (in_flight_ >= config_.max_in_flight) {
+        const Status status = control.Check();
+        if (!status.ok()) {
+          admission_waiting_->Add(-1);
+          return status;
+        }
+        admission_cv_.wait_for(lock, std::chrono::milliseconds(5));
+      }
+      admission_waiting_->Add(-1);
     }
     ++in_flight_;
+    in_flight_gauge_->Set(static_cast<int64_t>(in_flight_));
   }
   struct SlotRelease {
     QueryEngine* engine;
@@ -146,6 +182,8 @@ Result<QueryResponse> QueryEngine::Execute(const DatasetHandle& dataset,
       {
         std::lock_guard<std::mutex> lock(engine->admission_mutex_);
         --engine->in_flight_;
+        engine->in_flight_gauge_->Set(
+            static_cast<int64_t>(engine->in_flight_));
       }
       engine->admission_cv_.notify_one();
     }
@@ -154,6 +192,11 @@ Result<QueryResponse> QueryEngine::Execute(const DatasetHandle& dataset,
   const Table& table = dataset->table;
   QueryOptions options = resolved.options;
   options.control = &control;
+  std::shared_ptr<QueryTrace> trace;
+  if (resolved.trace) {
+    trace = std::make_shared<QueryTrace>();
+    options.trace = trace.get();
+  }
   // Dedicated pool: intra-query ParallelFor must not share the executor,
   // where a blocked caller would help-drain whole-query tasks.
   options.pool = intra_pool_.get();
@@ -167,6 +210,7 @@ Result<QueryResponse> QueryEngine::Execute(const DatasetHandle& dataset,
   if (!response.ok()) return response.status();
   response->fingerprint = dataset->fingerprint;
   response->canonical_key = resolved.canonical_key;
+  response->trace = std::move(trace);
   return response;
 }
 
@@ -203,11 +247,17 @@ Result<QueryResponse> QueryEngine::Dispatch(const Table& table,
 }
 
 EngineCounters QueryEngine::GetCounters() const {
+  // Assembled from independent relaxed counters: totals are exact once
+  // the engine quiesces, but a snapshot taken mid-query may catch one
+  // counter ahead of another (fine for monitoring).
   EngineCounters counters;
-  {
-    std::lock_guard<std::mutex> lock(counters_mutex_);
-    counters = counters_;
-  }
+  counters.queries_started = queries_started_->Value();
+  counters.queries_ok = queries_ok_->Value();
+  counters.queries_failed = queries_failed_->Value();
+  counters.rows_sampled = rows_sampled_->Value();
+  counters.cancelled = cancelled_->Value();
+  counters.deadline_exceeded = deadline_exceeded_->Value();
+  counters.admission_waits = admission_waits_->Value();
   const ResultCache::Stats results = result_cache_.GetStats();
   counters.result_cache_hits = results.hits;
   counters.result_cache_misses = results.misses;

@@ -35,6 +35,8 @@
 #include "src/engine/permutation_cache.h"
 #include "src/engine/query_spec.h"
 #include "src/engine/result_cache.h"
+#include "src/obs/metrics.h"
+#include "src/obs/query_trace.h"
 
 namespace swope {
 
@@ -69,6 +71,9 @@ struct QueryResponse {
   bool cache_hit = false;
   std::vector<AttributeScore> items;
   QueryStats stats;
+  /// Round-by-round trace, present when QuerySpec::trace was set and the
+  /// query actually executed (cache hits run zero rounds and carry none).
+  std::shared_ptr<const QueryTrace> trace;
 };
 
 /// Monotonic counters, snapshot via QueryEngine::GetCounters.
@@ -85,6 +90,9 @@ struct EngineCounters {
   uint64_t cancelled = 0;
   uint64_t deadline_exceeded = 0;
   uint64_t registry_evictions = 0;
+  /// Queries that found every execution slot busy and had to wait in
+  /// admission control (counted once per wait, not per poll).
+  uint64_t admission_waits = 0;
 };
 
 class QueryEngine {
@@ -120,6 +128,11 @@ class QueryEngine {
   DatasetRegistry& registry() { return registry_; }
   const EngineConfig& config() const { return config_; }
 
+  /// The engine's metric store: engine counters and latency histograms,
+  /// cache and registry mirrors, and both pools' queue stats. Render with
+  /// RenderPrometheusText() / RenderJson(); see docs/OBSERVABILITY.md.
+  const MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   /// Runs the resolved query under admission control.
   Result<QueryResponse> Execute(const DatasetHandle& dataset,
@@ -132,6 +145,11 @@ class QueryEngine {
                                  const QueryOptions& options);
 
   const EngineConfig config_;
+
+  /// Declared first: every other member resolves handles into it at
+  /// construction and updates them until destruction.
+  MetricsRegistry metrics_;
+
   DatasetRegistry registry_;
   ResultCache result_cache_;
   PermutationCache permutation_cache_;
@@ -140,8 +158,22 @@ class QueryEngine {
   std::condition_variable admission_cv_;
   size_t in_flight_ GUARDED_BY(admission_mutex_) = 0;
 
-  mutable std::mutex counters_mutex_;
-  EngineCounters counters_ GUARDED_BY(counters_mutex_);
+  /// Engine metric handles (all resolved once in the constructor).
+  Counter* queries_started_;
+  Counter* queries_ok_;
+  Counter* queries_failed_;
+  Counter* cancelled_;
+  Counter* deadline_exceeded_;
+  Counter* rows_sampled_;
+  Counter* admission_waits_;
+  Gauge* in_flight_gauge_;
+  Gauge* admission_waiting_;
+  /// Whole-query wall time, one histogram per query kind (indexed by
+  /// static_cast<int>(QueryKind)). Cache hits are observed too: the
+  /// latency a client saw is the latency, however it was served.
+  Histogram* query_latency_ms_[6];
+  /// Sampling rounds per executed query (from QueryStats::iterations).
+  Histogram* query_rounds_;
 
   /// Shared intra-query worker pool (null when intra_query_threads <= 1).
   /// Declared before pool_ so it outlives the executor: queries still

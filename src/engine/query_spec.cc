@@ -77,10 +77,11 @@ Status QuerySpec::Validate() const {
   }
   SWOPE_RETURN_NOT_OK(options.Validate());
   if (options.shared_order != nullptr || options.control != nullptr ||
-      options.pool != nullptr) {
+      options.pool != nullptr || options.trace != nullptr) {
     return Status::InvalidArgument(
-        "query spec: shared_order / control / pool are engine-managed and "
-        "must be null on submitted specs");
+        "query spec: shared_order / control / pool / trace are "
+        "engine-managed and must be null on submitted specs (use "
+        "QuerySpec::trace to request tracing)");
   }
   if (IsTopKKind(kind)) {
     if (k == 0) {
@@ -111,6 +112,7 @@ Result<ResolvedSpec> ResolveSpec(const QuerySpec& spec, const Table& table) {
   resolved.eta = IsTopKKind(spec.kind) ? 0.0 : spec.eta;
   resolved.options = spec.options;
   resolved.timeout_ms = spec.timeout_ms;
+  resolved.trace = spec.trace;
 
   if (NeedsTarget(spec.kind)) {
     SWOPE_ASSIGN_OR_RETURN(resolved.target,

@@ -74,6 +74,13 @@ struct QuerySpec {
   /// Wall-clock budget in milliseconds; 0 means no deadline.
   uint64_t timeout_ms = 0;
 
+  /// Requests a per-round QueryTrace on the response. Purely
+  /// observational: traced and untraced runs compute identical answers,
+  /// so this is NOT part of the canonical cache key. (A cache hit serves
+  /// no trace -- no rounds ran.) QueryOptions::trace itself is
+  /// engine-managed and must stay null on submitted specs.
+  bool trace = false;
+
   /// Table-independent validation (kind/parameter coherence plus
   /// QueryOptions::Validate).
   Status Validate() const;
@@ -91,6 +98,8 @@ struct ResolvedSpec {
   /// the canonical key of "0 = paper default" and an explicit 1/N agree.
   QueryOptions options;
   uint64_t timeout_ms = 0;
+  /// Echo of QuerySpec::trace (not part of canonical_key).
+  bool trace = false;
   /// Canonical cache key; equal keys <=> the driver sees equal inputs.
   std::string canonical_key;
 };

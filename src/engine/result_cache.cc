@@ -2,7 +2,19 @@
 
 #include <utility>
 
+#include "src/obs/metrics.h"
+
 namespace swope {
+
+void ResultCache::BindMetrics(MetricsRegistry* metrics) {
+  const MetricLabels labels = {{"cache", "result"}};
+  std::lock_guard<std::mutex> lock(mutex_);
+  hits_metric_ = metrics->GetCounter("swope_cache_hits_total", labels);
+  misses_metric_ = metrics->GetCounter("swope_cache_misses_total", labels);
+  evictions_metric_ =
+      metrics->GetCounter("swope_cache_evictions_total", labels);
+  entries_metric_ = metrics->GetGauge("swope_cache_entries", labels);
+}
 
 std::string ResultCache::MakeKey(uint64_t fingerprint,
                                  const std::string& spec_key) {
@@ -16,9 +28,11 @@ std::shared_ptr<const CachedAnswer> ResultCache::Lookup(
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
+    if (misses_metric_ != nullptr) misses_metric_->Increment();
     return nullptr;
   }
   ++hits_;
+  if (hits_metric_ != nullptr) hits_metric_->Increment();
   it->second.last_used = ++tick_;
   return it->second.answer;
 }
@@ -34,6 +48,9 @@ void ResultCache::Insert(uint64_t fingerprint, const std::string& spec_key,
   entry.last_used = ++tick_;
   ++insertions_;
   EvictToCapacity();
+  if (entries_metric_ != nullptr) {
+    entries_metric_->Set(static_cast<int64_t>(entries_.size()));
+  }
 }
 
 ResultCache::Stats ResultCache::GetStats() const {
@@ -58,6 +75,7 @@ void ResultCache::EvictToCapacity() {
     }
     entries_.erase(victim);
     ++evictions_;
+    if (evictions_metric_ != nullptr) evictions_metric_->Increment();
   }
 }
 

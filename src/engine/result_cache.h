@@ -24,6 +24,10 @@
 
 namespace swope {
 
+class Counter;
+class Gauge;
+class MetricsRegistry;
+
 /// The cached payload: the answer items plus the stats of the run that
 /// produced them (so a cache hit can still report the original cost).
 struct CachedAnswer {
@@ -58,6 +62,11 @@ class ResultCache {
   };
   Stats GetStats() const EXCLUDES(mutex_);
 
+  /// Mirrors hit/miss/eviction counts and the entry count into `metrics`
+  /// under the label {cache="result"}. Call once, before concurrent use;
+  /// the registry must outlive the cache.
+  void BindMetrics(MetricsRegistry* metrics) EXCLUDES(mutex_);
+
  private:
   struct Entry {
     std::shared_ptr<const CachedAnswer> answer;
@@ -77,6 +86,13 @@ class ResultCache {
   uint64_t misses_ GUARDED_BY(mutex_) = 0;
   uint64_t insertions_ GUARDED_BY(mutex_) = 0;
   uint64_t evictions_ GUARDED_BY(mutex_) = 0;
+
+  /// Optional metric mirrors (null when unbound). Updated under mutex_,
+  /// alongside the local counters they shadow.
+  Counter* hits_metric_ GUARDED_BY(mutex_) = nullptr;
+  Counter* misses_metric_ GUARDED_BY(mutex_) = nullptr;
+  Counter* evictions_metric_ GUARDED_BY(mutex_) = nullptr;
+  Gauge* entries_metric_ GUARDED_BY(mutex_) = nullptr;
 };
 
 }  // namespace swope

@@ -111,6 +111,9 @@ Result<QuerySpec> SpecFromArgs(
   if (const std::string* v = get("timeout-ms")) {
     SWOPE_ASSIGN_OR_RETURN(spec.timeout_ms, ParseUint(*v, "timeout-ms"));
   }
+  if (const std::string* v = get("trace")) {
+    spec.trace = (*v == "1" || *v == "true");
+  }
   return spec;
 }
 
@@ -133,6 +136,7 @@ std::string CountersToJson(const EngineCounters& counters,
   add("cancelled", counters.cancelled);
   add("deadline_exceeded", counters.deadline_exceeded);
   add("registry_evictions", counters.registry_evictions);
+  add("admission_waits", counters.admission_waits);
   add("resident_datasets", registry.resident_datasets);
   add("resident_bytes", registry.resident_bytes);
   json += "}";
@@ -202,7 +206,25 @@ std::string QueryResponseToJson(const QueryResponse& response) {
           std::to_string(response.stats.candidates_remaining);
   json += ",\"exhausted_dataset\":";
   json += response.stats.exhausted_dataset ? "true" : "false";
-  json += "}}";
+  json += "}";
+  if (response.trace != nullptr) {
+    json += ",\"trace\":[";
+    bool first_round = true;
+    for (const RoundTrace& round : response.trace->rounds()) {
+      if (!first_round) json += ",";
+      first_round = false;
+      json += "{\"round\":" + std::to_string(round.round);
+      json += ",\"m\":" + std::to_string(round.sample_size);
+      json += ",\"lambda\":" + JsonDouble(round.lambda);
+      json += ",\"max_bias\":" + JsonDouble(round.max_bias);
+      json += ",\"active\":" + std::to_string(round.active_before);
+      json += ",\"decided\":" + std::to_string(round.decided);
+      json += ",\"cells\":" + std::to_string(round.cells_scanned);
+      json += ",\"ms\":" + JsonDouble(round.wall_ms) + "}";
+    }
+    json += "]";
+  }
+  json += "}";
   return json;
 }
 
@@ -226,6 +248,15 @@ std::string HandleRequestLine(QueryEngine& engine, const std::string& line,
   if (request->op == "stats") {
     return CountersToJson(engine.GetCounters(),
                           engine.registry().GetStats());
+  }
+  if (request->op == "metrics") {
+    // Both exposition forms in one response: the Prometheus text is a
+    // JSON string (scrape adapters unescape it), the snapshot is plain
+    // nested JSON.
+    std::string json = "{\"ok\":true,\"op\":\"metrics\",\"prometheus\":\"";
+    json += JsonEscape(engine.metrics().RenderPrometheusText());
+    json += "\",\"snapshot\":" + engine.metrics().RenderJson() + "}";
+    return json;
   }
   if (request->op == "datasets") {
     std::string json = "{\"ok\":true,\"op\":\"datasets\",\"names\":[";
@@ -286,7 +317,7 @@ std::string HandleRequestLine(QueryEngine& engine, const std::string& line,
   }
   return StatusToJson(Status::InvalidArgument(
       "unknown request '" + request->op +
-      "' (want load/query/unload/datasets/stats/quit)"));
+      "' (want load/query/unload/datasets/stats/metrics/quit)"));
 }
 
 uint64_t ServeLoop(QueryEngine& engine, std::istream& in,

@@ -8,11 +8,17 @@
 //   load name=<id> path=<file> [max-support=U]
 //   query dataset=<id> kind=<kind> [k=N] [eta=T] [target=COL]
 //         [epsilon=E] [seed=N] [pf=P] [m0=N] [growth=G] [sequential=0|1]
-//         [timeout-ms=N]
+//         [timeout-ms=N] [trace=0|1]
 //   unload name=<id>
 //   datasets
 //   stats
+//   metrics
 //   quit
+//
+// `trace=1` attaches a per-round "trace" array to the query response (see
+// docs/OBSERVABILITY.md for the row schema). `metrics` returns the
+// engine's MetricsRegistry both as escaped Prometheus exposition text
+// ("prometheus") and as a nested JSON snapshot ("snapshot").
 //
 // <kind> is one of entropy-topk, entropy-filter, mi-topk, mi-filter,
 // nmi-topk, nmi-filter. Successful responses carry "ok":true; failures

@@ -1,0 +1,67 @@
+#include "src/obs/query_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace swope {
+
+namespace {
+
+std::string FormatCell(const char* format, double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), format, value);
+  return buffer;
+}
+
+std::string FormatCell(const char* format, uint64_t value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), format,
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+void AppendRow(std::string* out, const std::vector<std::string>& cells,
+               const std::vector<size_t>& widths) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) *out += "  ";
+    const std::string& cell = cells[i];
+    out->append(widths[i] > cell.size() ? widths[i] - cell.size() : 0, ' ');
+    *out += cell;
+  }
+  *out += "\n";
+}
+
+}  // namespace
+
+std::string FormatTraceTable(const QueryTrace& trace,
+                             bool include_wall_time) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back(
+      {"round", "M", "lambda", "max_bias", "active", "decided", "cells"});
+  if (include_wall_time) rows.front().push_back("ms");
+  for (const RoundTrace& round : trace.rounds()) {
+    std::vector<std::string> cells = {
+        FormatCell("%llu", static_cast<uint64_t>(round.round)),
+        FormatCell("%llu", round.sample_size),
+        FormatCell("%.6f", round.lambda),
+        FormatCell("%.6f", round.max_bias),
+        FormatCell("%llu", static_cast<uint64_t>(round.active_before)),
+        FormatCell("%llu", static_cast<uint64_t>(round.decided)),
+        FormatCell("%llu", round.cells_scanned),
+    };
+    if (include_wall_time) cells.push_back(FormatCell("%.3f", round.wall_ms));
+    rows.push_back(std::move(cells));
+  }
+
+  std::vector<size_t> widths(rows.front().size(), 0);
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::string out;
+  for (const auto& row : rows) AppendRow(&out, row, widths);
+  return out;
+}
+
+}  // namespace swope

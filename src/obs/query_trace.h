@@ -1,0 +1,90 @@
+// QueryTrace: a per-query, allocation-light record of every adaptive
+// sampling round -- the observable form of the paper's convergence story.
+//
+// Each round the driver appends one RoundTrace: the sample size M it ran
+// at, the El-Yaniv--Pechyony deviation bound lambda for that (n, M), the
+// largest Lemma-1 bias slack across the still-active candidates, how many
+// candidates were active before the round's decision and how many the
+// decision retired, the cells scanned, and the round's wall time.
+//
+// Everything except wall_ms is a pure function of (dataset, spec, seed),
+// so traces are byte-identical across thread counts -- the parallel
+// determinism tests assert exactly that.
+//
+// Tracing is an opt-in via QueryOptions::trace. When the pointer is null
+// the driver's only extra work is one branch per round, so the disabled
+// cost is unmeasurable (see BM_MetricsOverhead).
+
+#ifndef SWOPE_OBS_QUERY_TRACE_H_
+#define SWOPE_OBS_QUERY_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace swope {
+
+/// One adaptive-sampling round as the driver saw it.
+struct RoundTrace {
+  /// 1-based round index (matches QueryStats::iterations).
+  uint32_t round = 0;
+  /// Sample size M the round's intervals were computed at.
+  uint64_t sample_size = 0;
+  /// El-Yaniv--Pechyony deviation bound lambda(n, M) for this round.
+  double lambda = 0.0;
+  /// Largest Lemma-1 bias slack over candidates active entering the round
+  /// (the additive half-width the decision policy had to overcome).
+  double max_bias = 0.0;
+  /// Candidates still undecided entering the round.
+  uint32_t active_before = 0;
+  /// Candidates the round's decision retired (resolved or pruned).
+  uint32_t decided = 0;
+  /// Cells scanned this round (rows grown x cells per active row).
+  uint64_t cells_scanned = 0;
+  /// Wall time of the round in milliseconds. The only field that is not
+  /// deterministic across runs or thread counts.
+  double wall_ms = 0.0;
+};
+
+/// The per-query round log. The driver calls Reserve() once with the
+/// usual round budget and Record() once per round; appends never allocate
+/// until a query exceeds the reservation, which keeps tracing off the
+/// allocator in the steady state.
+class QueryTrace {
+ public:
+  QueryTrace() { rounds_.reserve(kDefaultReserve); }
+
+  void Record(const RoundTrace& round) { rounds_.push_back(round); }
+
+  /// Drops recorded rounds but keeps the capacity, so one trace object
+  /// can be reused across queries without reallocating.
+  void Clear() { rounds_.clear(); }
+
+  const std::vector<RoundTrace>& rounds() const { return rounds_; }
+  bool empty() const { return rounds_.empty(); }
+  size_t size() const { return rounds_.size(); }
+
+ private:
+  /// Doubling growth from M0 decides in well under 32 rounds for any
+  /// dataset that fits in memory, so the default reservation makes the
+  /// no-reallocation claim hold in practice.
+  static constexpr size_t kDefaultReserve = 32;
+
+  std::vector<RoundTrace> rounds_;
+};
+
+/// Renders the trace as an aligned text table, one row per round:
+///
+///   round         M    lambda  max_bias  active  decided       cells      ms
+///       1      1024  0.031250  0.001953      12        3       98304   0.412
+///
+/// `include_wall_time` drops the trailing ms column, which is the one
+/// nondeterministic column -- the determinism tests and the cli smoke
+/// diff render without it.
+std::string FormatTraceTable(const QueryTrace& trace,
+                             bool include_wall_time = true);
+
+}  // namespace swope
+
+#endif  // SWOPE_OBS_QUERY_TRACE_H_

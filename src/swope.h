@@ -4,9 +4,10 @@
 //
 // pulls in the table substrate (CSV / binary IO, dictionary encoding),
 // the four SWOPE query algorithms, the exact and sampling baselines, the
-// synthetic dataset generators, the feature-selection helpers, and the
+// synthetic dataset generators, the feature-selection helpers, the
 // concurrent query engine (dataset registry, unified dispatch, result and
-// permutation caching, line-protocol serving).
+// permutation caching, line-protocol serving), and the observability
+// layer (metrics registry, per-round query tracing).
 
 #ifndef SWOPE_SWOPE_H_
 #define SWOPE_SWOPE_H_
@@ -38,6 +39,8 @@
 #include "src/engine/result_cache.h"
 #include "src/engine/serve.h"
 #include "src/fs/mrmr.h"
+#include "src/obs/metrics.h"
+#include "src/obs/query_trace.h"
 #include "src/table/binary_io.h"
 #include "src/table/csv_reader.h"
 #include "src/table/csv_writer.h"

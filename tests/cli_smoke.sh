@@ -58,6 +58,19 @@ diff "$TMP/serial.txt" "$TMP/parallel.txt" || fail "--threads changed answer"
 diff "$TMP/serial.txt" "$TMP/parallel.txt" \
   || fail "mi --threads changed answer"
 
+# --trace prints a per-round convergence table whose deterministic
+# columns (everything but the trailing ms column) are byte-identical
+# between 1-thread and 4-thread runs
+"$CLI" topk --in="$TMP/d.swpb" --k=3 --trace | grep -v '^-- ' \
+  | awk 'NF > 1 { $NF=""; print }' > "$TMP/trace1.txt"
+"$CLI" topk --in="$TMP/d.swpb" --k=3 --trace --threads=4 | grep -v '^-- ' \
+  | awk 'NF > 1 { $NF=""; print }' > "$TMP/trace4.txt"
+grep -q "round" "$TMP/trace1.txt" || fail "--trace printed no table"
+grep -q "max_bias" "$TMP/trace1.txt" || fail "--trace missing max_bias"
+[ "$(wc -l < "$TMP/trace1.txt")" -ge 2 ] || fail "--trace has no rounds"
+diff "$TMP/trace1.txt" "$TMP/trace4.txt" \
+  || fail "--trace differs across thread counts"
+
 # missing file is a clean error
 if "$CLI" topk --in="$TMP/nope.swpb" --k=1 2>/dev/null; then
   fail "missing file accepted"
@@ -107,6 +120,35 @@ for field in '"stats":{' '"final_sample_size":' '"iterations":' \
 done
 # every stdout line is JSON (starts with '{')
 if grep -qv '^{' "$TMP/serve.out"; then fail "serve stdout not JSON"; fi
+
+# metrics op: after a query burst the Prometheus exposition carries
+# nonzero latency-histogram counts, cache counters, and pool stats, and
+# the JSON snapshot rides along; trace=1 attaches per-round rows
+printf '%s\n' \
+  "load name=d path=$TMP/d.swpb" \
+  "query dataset=d kind=entropy-topk k=2" \
+  "query dataset=d kind=entropy-topk k=2" \
+  "query dataset=d kind=entropy-topk k=2" \
+  "query dataset=d kind=entropy-topk k=3 trace=1" \
+  "metrics" \
+  "quit" \
+  | "$CLI" serve > "$TMP/metrics.out" || fail "metrics serve exited non-zero"
+grep -q '"ok":true,"op":"metrics"' "$TMP/metrics.out" || fail "metrics op"
+grep -F -q '"prometheus":"' "$TMP/metrics.out" || fail "metrics prometheus"
+grep -F -q '"snapshot":{' "$TMP/metrics.out" || fail "metrics snapshot"
+grep -F -q 'swope_engine_queries_ok_total 4' "$TMP/metrics.out" \
+  || fail "metrics queries_ok"
+grep -F -q \
+  'swope_engine_query_latency_ms_count{kind=\"entropy-topk\"} 4' \
+  "$TMP/metrics.out" || fail "metrics latency histogram"
+grep -F -q 'swope_cache_hits_total{cache=\"result\"} 2' "$TMP/metrics.out" \
+  || fail "metrics cache hits"
+grep -F -q 'swope_cache_misses_total{cache=\"result\"} 2' "$TMP/metrics.out" \
+  || fail "metrics cache misses"
+grep -F -q 'swope_pool_tasks_total{pool=\"executor\"}' "$TMP/metrics.out" \
+  || fail "metrics pool stats"
+grep -F -q '"trace":[{"round":1,' "$TMP/metrics.out" \
+  || fail "serve trace rows"
 
 # serve with intra-query threads answers identically to serial serve
 printf '%s\n' \

@@ -185,6 +185,98 @@ TEST(EngineStressTest, RepeatedQueryCostsZeroAdditionalRows) {
   EXPECT_GE(counters.result_cache_hits, 16u);
 }
 
+// Deterministic cache accounting: one miss for the first execution, one
+// hit per repeat, mirrored identically in the Prometheus exposition.
+TEST(EngineStressTest, CacheCountersAreExact) {
+  EngineConfig config;
+  config.num_threads = 2;
+  QueryEngine engine(config);
+  ASSERT_TRUE(
+      engine.RegisterDataset("ent", MakeEntropyTable({4.0, 1.5}, 1500, 3))
+          .ok());
+
+  const QuerySpec spec = MakeSpec("ent", QueryKind::kEntropyTopK, 11);
+  ASSERT_TRUE(engine.Run(spec).ok());
+  EngineCounters counters = engine.GetCounters();
+  EXPECT_EQ(counters.result_cache_hits, 0u);
+  EXPECT_EQ(counters.result_cache_misses, 1u);
+  // The first execution also populates the permutation cache.
+  EXPECT_EQ(counters.permutation_cache_misses, 1u);
+  EXPECT_EQ(counters.permutation_cache_hits, 0u);
+
+  constexpr uint64_t kRepeats = 5;
+  for (uint64_t i = 0; i < kRepeats; ++i) {
+    auto response = engine.Run(spec);
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(response->cache_hit);
+  }
+  counters = engine.GetCounters();
+  EXPECT_EQ(counters.result_cache_hits, kRepeats);
+  EXPECT_EQ(counters.result_cache_misses, 1u);
+
+  // The MetricsRegistry mirror agrees with the mutex-guarded tallies.
+  const std::string text = engine.metrics().RenderPrometheusText();
+  EXPECT_NE(text.find("swope_cache_hits_total{cache=\"result\"} " +
+                      std::to_string(kRepeats)),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("swope_cache_misses_total{cache=\"result\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("swope_cache_misses_total{cache=\"permutation\"} 1"),
+            std::string::npos);
+}
+
+// With a single execution slot and a burst of slow distinct queries,
+// some of them must observably wait in admission control.
+TEST(EngineStressTest, AdmissionWaitsAreCounted) {
+  // Near-tied column entropies are unseparable by sampling, so every
+  // query scans to M = N -- slow enough that the burst overlaps the one
+  // execution slot. Retried a few times to absorb scheduler wake
+  // latency on loaded CI machines.
+  const Table table = MakeEntropyTable(
+      {3.0, 3.0, 3.0, 3.0, 3.0, 3.0, 3.0, 3.0}, 20000, 6);
+  constexpr int kBurst = 8;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    EngineConfig config;
+    config.num_threads = 8;
+    config.max_in_flight = 1;
+    config.result_cache_capacity = 0;  // force every query to execute
+    QueryEngine engine(config);
+    ASSERT_TRUE(engine.RegisterDataset("ent", table).ok());
+
+    std::vector<std::future<Result<QueryResponse>>> futures;
+    for (uint64_t seed = 0; seed < kBurst; ++seed) {
+      futures.push_back(
+          engine.Submit(MakeSpec("ent", QueryKind::kEntropyTopK, seed)));
+    }
+    for (auto& future : futures) {
+      auto response = future.get();
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+    }
+
+    const EngineCounters counters = engine.GetCounters();
+    ASSERT_EQ(counters.queries_ok, futures.size());
+    if (counters.admission_waits == 0 && attempt < 4) continue;
+    // kBurst executing queries through 1 slot: waits are expected.
+    EXPECT_GT(counters.admission_waits, 0u);
+
+    // Once quiesced, the latency histogram has observed every query and
+    // the in-flight gauge is back to zero.
+    const std::string text = engine.metrics().RenderPrometheusText();
+    EXPECT_NE(text.find(
+                  "swope_engine_query_latency_ms_count{kind=\"entropy-topk\"}"
+                  " " +
+                  std::to_string(futures.size())),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("swope_engine_in_flight 0"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("swope_engine_admission_waits_total"),
+              std::string::npos);
+    break;
+  }
+}
+
 // Cancellation from another thread lands as Status::Cancelled without
 // disturbing concurrent queries.
 TEST(EngineStressTest, CancellationRacesAreClean) {

@@ -1,0 +1,183 @@
+// Unit tests for the observability metric primitives and the registry's
+// two renderers (Prometheus text exposition and the JSON snapshot).
+
+#include "src/obs/metrics.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace swope {
+namespace {
+
+TEST(CounterTest, IncrementsAndSums) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(counter.Value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0);
+  gauge.Set(7);
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.Add(-10);
+  EXPECT_EQ(gauge.Value(), -3);
+}
+
+TEST(HistogramTest, ObservationsLandInInclusiveBuckets) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  histogram.Observe(0.5);    // <= 1
+  histogram.Observe(1.0);    // le is inclusive: still the first bucket
+  histogram.Observe(10.0);   // <= 10
+  histogram.Observe(99.0);   // <= 100
+  histogram.Observe(1e6);    // +Inf
+
+  const Histogram::Snapshot snapshot = histogram.GetSnapshot();
+  ASSERT_EQ(snapshot.bounds.size(), 3u);
+  // One cumulative cell per finite bound plus the +Inf catch-all.
+  ASSERT_EQ(snapshot.cumulative.size(), 4u);
+  EXPECT_EQ(snapshot.cumulative[0], 2u);
+  EXPECT_EQ(snapshot.cumulative[1], 3u);
+  EXPECT_EQ(snapshot.cumulative[2], 4u);
+  EXPECT_EQ(snapshot.cumulative[3], 5u);
+  EXPECT_EQ(snapshot.count, 5u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 0.5 + 1.0 + 10.0 + 99.0 + 1e6);
+  EXPECT_EQ(histogram.TotalCount(), 5u);
+}
+
+TEST(HistogramTest, DefaultLatencyBucketsAreAscending) {
+  const std::vector<double>& bounds = DefaultLatencyBucketsMs();
+  ASSERT_FALSE(bounds.empty());
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(MetricsRegistryTest, HandlesAreIdempotent) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("swope_test_total", {{"kind", "x"}});
+  Counter* b = registry.GetCounter("swope_test_total", {{"kind", "x"}});
+  EXPECT_EQ(a, b);
+  // A different label set is a different metric.
+  Counter* c = registry.GetCounter("swope_test_total", {{"kind", "y"}});
+  EXPECT_NE(a, c);
+  // Label order does not split a metric: labels are sorted at
+  // registration.
+  Gauge* g1 = registry.GetGauge("swope_test_gauge",
+                                {{"a", "1"}, {"b", "2"}});
+  Gauge* g2 = registry.GetGauge("swope_test_gauge",
+                                {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(g1, g2);
+  Histogram* h1 =
+      registry.GetHistogram("swope_test_ms", {}, {1.0, 2.0});
+  Histogram* h2 =
+      registry.GetHistogram("swope_test_ms", {}, {1.0, 2.0});
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(MetricsRegistryTest, PrometheusTextHasTypesAndSamples) {
+  MetricsRegistry registry;
+  registry.GetCounter("swope_requests_total")->Increment(3);
+  registry.GetGauge("swope_in_flight")->Set(2);
+  Histogram* latency =
+      registry.GetHistogram("swope_latency_ms", {{"kind", "topk"}},
+                            {1.0, 10.0});
+  latency->Observe(0.5);
+  latency->Observe(5.0);
+  latency->Observe(50.0);
+
+  const std::string text = registry.RenderPrometheusText();
+  EXPECT_NE(text.find("# TYPE swope_requests_total counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("swope_requests_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE swope_in_flight gauge"), std::string::npos);
+  EXPECT_NE(text.find("swope_in_flight 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE swope_latency_ms histogram"),
+            std::string::npos);
+  // Cumulative inclusive buckets plus the +Inf catch-all, _sum and
+  // _count, all carrying the label.
+  EXPECT_NE(text.find("swope_latency_ms_bucket{kind=\"topk\",le=\"1\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("swope_latency_ms_bucket{kind=\"topk\",le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("swope_latency_ms_bucket{kind=\"topk\",le=\"+Inf\"} 3"),
+      std::string::npos);
+  EXPECT_NE(text.find("swope_latency_ms_sum{kind=\"topk\"} 55.5"),
+            std::string::npos);
+  EXPECT_NE(text.find("swope_latency_ms_count{kind=\"topk\"} 3"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusTextIsDeterministicallySorted) {
+  MetricsRegistry registry;
+  // Register out of order; exposition must sort by family and labels.
+  registry.GetCounter("swope_b_total")->Increment();
+  registry.GetCounter("swope_a_total")->Increment();
+  const std::string text = registry.RenderPrometheusText();
+  const size_t a = text.find("swope_a_total");
+  const size_t b = text.find("swope_b_total");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(text, registry.RenderPrometheusText());
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotCarriesAllThreeSections) {
+  MetricsRegistry registry;
+  registry.GetCounter("swope_requests_total")->Increment(5);
+  registry.GetGauge("swope_depth")->Set(-4);
+  registry.GetHistogram("swope_wait_ms", {}, {1.0})->Observe(0.25);
+
+  const std::string json = registry.RenderJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"swope_requests_total\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"swope_depth\":-4"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"le\":\"+Inf\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, LabelValuesAreEscapedInExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("swope_odd_total", {{"path", "a\"b\\c\nd"}})
+      ->Increment();
+  const std::string text = registry.RenderPrometheusText();
+  EXPECT_NE(text.find("path=\"a\\\"b\\\\c\\nd\""), std::string::npos)
+      << text;
+}
+
+TEST(MetricsRegistryTest, EmptyRegistryRendersEmpty) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.RenderPrometheusText(), "");
+  EXPECT_EQ(registry.RenderJson(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+}  // namespace
+}  // namespace swope

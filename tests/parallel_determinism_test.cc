@@ -10,6 +10,7 @@
 
 #include "src/common/thread_pool.h"
 #include "src/core/swope_filter_entropy.h"
+#include "src/obs/query_trace.h"
 #include "src/core/swope_filter_mi.h"
 #include "src/core/swope_filter_nmi.h"
 #include "src/core/swope_topk_entropy.h"
@@ -41,6 +42,23 @@ void ExpectIdentical(const QueryStats& serial, const QueryStats& parallel) {
   EXPECT_EQ(serial.cells_scanned, parallel.cells_scanned);
   EXPECT_EQ(serial.candidates_remaining, parallel.candidates_remaining);
   EXPECT_EQ(serial.exhausted_dataset, parallel.exhausted_dataset);
+}
+
+// Every trace field except wall time is a pure function of (dataset,
+// spec, seed), so serial and parallel runs must agree bitwise.
+void ExpectIdentical(const QueryTrace& serial, const QueryTrace& parallel) {
+  ASSERT_EQ(serial.rounds().size(), parallel.rounds().size());
+  for (size_t i = 0; i < serial.rounds().size(); ++i) {
+    const RoundTrace& s = serial.rounds()[i];
+    const RoundTrace& p = parallel.rounds()[i];
+    EXPECT_EQ(s.round, p.round);
+    EXPECT_EQ(s.sample_size, p.sample_size);
+    EXPECT_EQ(s.lambda, p.lambda);
+    EXPECT_EQ(s.max_bias, p.max_bias);
+    EXPECT_EQ(s.active_before, p.active_before);
+    EXPECT_EQ(s.decided, p.decided);
+    EXPECT_EQ(s.cells_scanned, p.cells_scanned);
+  }
 }
 
 class ParallelDeterminismTest : public ::testing::Test {
@@ -120,6 +138,58 @@ TEST_F(ParallelDeterminismTest, NmiFilter) {
   ASSERT_TRUE(parallel.ok());
   ExpectIdentical(serial->items, parallel->items);
   ExpectIdentical(serial->stats, parallel->stats);
+}
+
+// Acceptance: a traced top-k entropy query records one row per sampling
+// round whose deterministic columns (M, lambda, max bias, active,
+// decided, cells) are byte-identical between 1-thread and 4-thread runs.
+TEST_F(ParallelDeterminismTest, EntropyTopKTraceIsDeterministic) {
+  QueryTrace serial_trace;
+  QueryTrace parallel_trace;
+  QueryOptions serial_options = Serial();
+  serial_options.trace = &serial_trace;
+  QueryOptions parallel_options = Parallel();
+  parallel_options.trace = &parallel_trace;
+
+  auto serial = SwopeTopKEntropy(entropy_table_, 3, serial_options);
+  auto parallel = SwopeTopKEntropy(entropy_table_, 3, parallel_options);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+
+  // Tracing must not perturb the answer.
+  ExpectIdentical(serial->items, parallel->items);
+  ExpectIdentical(serial->stats, parallel->stats);
+
+  // One row per round, and the rows agree bitwise.
+  ASSERT_FALSE(serial_trace.empty());
+  EXPECT_EQ(serial_trace.size(), serial->stats.iterations);
+  ExpectIdentical(serial_trace, parallel_trace);
+
+  // The rendered table (minus the wall-time column) is byte-equal too --
+  // this is exactly what `swope_cli --trace` prints.
+  EXPECT_EQ(FormatTraceTable(serial_trace, /*include_wall_time=*/false),
+            FormatTraceTable(parallel_trace, /*include_wall_time=*/false));
+}
+
+// The same guarantee holds on the pair-counting (MI) path.
+TEST_F(ParallelDeterminismTest, MiTopKTraceIsDeterministic) {
+  QueryTrace serial_trace;
+  QueryTrace parallel_trace;
+  QueryOptions serial_options = Serial();
+  serial_options.trace = &serial_trace;
+  QueryOptions parallel_options = Parallel();
+  parallel_options.trace = &parallel_trace;
+
+  auto serial = SwopeTopKMi(mi_table_, 0, 3, serial_options);
+  auto parallel = SwopeTopKMi(mi_table_, 0, 3, parallel_options);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ExpectIdentical(serial->items, parallel->items);
+  ExpectIdentical(serial->stats, parallel->stats);
+  EXPECT_EQ(serial_trace.size(), serial->stats.iterations);
+  ExpectIdentical(serial_trace, parallel_trace);
+  EXPECT_EQ(FormatTraceTable(serial_trace, /*include_wall_time=*/false),
+            FormatTraceTable(parallel_trace, /*include_wall_time=*/false));
 }
 
 // Repeated parallel runs are stable against scheduling noise: several

@@ -1,0 +1,77 @@
+// Unit tests for the query result types, in particular the
+// FilterResult::Contains binary search over the ascending-index
+// invariant.
+
+#include "src/core/query_result.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/swope_filter_entropy.h"
+#include "tests/test_util.h"
+
+namespace swope {
+namespace {
+
+AttributeScore Item(size_t index) {
+  AttributeScore item;
+  item.index = index;
+  item.name = "c" + std::to_string(index);
+  return item;
+}
+
+TEST(FilterResultContainsTest, EmptyResultContainsNothing) {
+  FilterResult result;
+  EXPECT_FALSE(result.Contains(0));
+  EXPECT_FALSE(result.Contains(42));
+}
+
+TEST(FilterResultContainsTest, FindsEveryMemberAndNoOthers) {
+  FilterResult result;
+  // Ascending, with gaps at both ends and in the middle.
+  for (size_t index : {1u, 4u, 5u, 9u, 100u}) {
+    result.items.push_back(Item(index));
+  }
+  for (const AttributeScore& item : result.items) {
+    EXPECT_TRUE(result.Contains(item.index)) << item.index;
+  }
+  // Before the first, between members, and after the last.
+  EXPECT_FALSE(result.Contains(0));
+  EXPECT_FALSE(result.Contains(2));
+  EXPECT_FALSE(result.Contains(3));
+  EXPECT_FALSE(result.Contains(6));
+  EXPECT_FALSE(result.Contains(99));
+  EXPECT_FALSE(result.Contains(101));
+  EXPECT_FALSE(result.Contains(1000000));
+}
+
+TEST(FilterResultContainsTest, SingleElement) {
+  FilterResult result;
+  result.items.push_back(Item(7));
+  EXPECT_TRUE(result.Contains(7));
+  EXPECT_FALSE(result.Contains(6));
+  EXPECT_FALSE(result.Contains(8));
+}
+
+// End-to-end: Contains agrees with a linear scan over a real filter
+// answer, which also pins the ascending-index output invariant.
+TEST(FilterResultContainsTest, AgreesWithLinearScanOnRealAnswer) {
+  const Table table =
+      test::MakeEntropyTable({0.5, 1.0, 2.0, 3.0, 4.0}, 2000, 17);
+  QueryOptions options;
+  options.seed = 3;
+  auto result = SwopeFilterEntropy(table, 2.0, options);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->items.size(); ++i) {
+    ASSERT_LT(result->items[i - 1].index, result->items[i].index);
+  }
+  for (size_t column = 0; column < table.num_columns() + 2; ++column) {
+    bool linear = false;
+    for (const AttributeScore& item : result->items) {
+      if (item.index == column) linear = true;
+    }
+    EXPECT_EQ(result->Contains(column), linear) << column;
+  }
+}
+
+}  // namespace
+}  // namespace swope

@@ -1,0 +1,163 @@
+// Unit tests for QueryTrace and the driver's trace recording: the trace
+// must describe the run exactly (one row per round, cells summing to
+// QueryStats::cells_scanned) without perturbing the answer.
+
+#include "src/obs/query_trace.h"
+
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/swope_topk_entropy.h"
+#include "src/core/swope_topk_mi.h"
+#include "tests/test_util.h"
+
+namespace swope {
+namespace {
+
+using test::MakeEntropyTable;
+using test::MakeMiTable;
+
+TEST(QueryTraceTest, RecordClearAndAccessors) {
+  QueryTrace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.size(), 0u);
+
+  RoundTrace round;
+  round.round = 1;
+  round.sample_size = 128;
+  round.active_before = 5;
+  trace.Record(round);
+  round.round = 2;
+  round.sample_size = 256;
+  trace.Record(round);
+
+  EXPECT_FALSE(trace.empty());
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.rounds()[0].round, 1u);
+  EXPECT_EQ(trace.rounds()[0].sample_size, 128u);
+  EXPECT_EQ(trace.rounds()[1].sample_size, 256u);
+
+  trace.Clear();
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(QueryTraceTest, FormatTraceTableRendersOneRowPerRound) {
+  QueryTrace trace;
+  RoundTrace round;
+  round.round = 1;
+  round.sample_size = 1024;
+  round.lambda = 0.03125;
+  round.max_bias = 0.001953125;
+  round.active_before = 12;
+  round.decided = 3;
+  round.cells_scanned = 98304;
+  round.wall_ms = 0.5;
+  trace.Record(round);
+
+  const std::string with_ms = FormatTraceTable(trace);
+  // Header plus one data row.
+  EXPECT_NE(with_ms.find("round"), std::string::npos);
+  EXPECT_NE(with_ms.find("max_bias"), std::string::npos);
+  EXPECT_NE(with_ms.find("ms"), std::string::npos);
+  EXPECT_NE(with_ms.find("0.031250"), std::string::npos);
+  EXPECT_NE(with_ms.find("98304"), std::string::npos);
+  EXPECT_NE(with_ms.find("0.500"), std::string::npos);
+  EXPECT_EQ(std::count(with_ms.begin(), with_ms.end(), '\n'), 2);
+
+  // Without wall time, the nondeterministic column vanishes entirely.
+  const std::string without_ms =
+      FormatTraceTable(trace, /*include_wall_time=*/false);
+  EXPECT_EQ(without_ms.find("ms"), std::string::npos);
+  EXPECT_EQ(without_ms.find("0.500"), std::string::npos);
+  EXPECT_NE(without_ms.find("0.031250"), std::string::npos);
+}
+
+TEST(QueryTraceTest, EmptyTraceRendersHeaderOnly) {
+  QueryTrace trace;
+  const std::string table = FormatTraceTable(trace);
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 1);
+  EXPECT_NE(table.find("round"), std::string::npos);
+}
+
+// Driver integration: the trace is an exact ledger of the run.
+TEST(QueryTraceTest, EntropyTopKTraceMatchesStats) {
+  const Table table =
+      MakeEntropyTable({0.5, 1.5, 2.5, 3.5}, 3000, 11);
+  QueryTrace trace;
+  QueryOptions options;
+  options.seed = 4;
+  options.trace = &trace;
+  auto traced = SwopeTopKEntropy(table, 2, options);
+  ASSERT_TRUE(traced.ok());
+
+  ASSERT_EQ(trace.size(), traced->stats.iterations);
+  uint64_t cells = 0;
+  uint64_t previous_m = 0;
+  uint32_t previous_active = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const RoundTrace& round = trace.rounds()[i];
+    // Rounds are numbered 1..N in order.
+    EXPECT_EQ(round.round, static_cast<uint32_t>(i + 1));
+    // M never shrinks; lambda is a positive bound until sampling
+    // exhausts the dataset (lambda(n, n) == 0: no deviation remains).
+    EXPECT_GE(round.sample_size, previous_m);
+    if (round.sample_size < table.num_rows()) {
+      EXPECT_GT(round.lambda, 0.0);
+    } else {
+      EXPECT_EQ(round.lambda, 0.0);
+    }
+    EXPECT_GE(round.max_bias, 0.0);
+    // The active set only loses candidates.
+    if (i > 0) {
+      EXPECT_LE(round.active_before, previous_active);
+    }
+    EXPECT_LE(round.decided, round.active_before);
+    EXPECT_GE(round.wall_ms, 0.0);
+    previous_m = round.sample_size;
+    previous_active = round.active_before - round.decided;
+    cells += round.cells_scanned;
+  }
+  EXPECT_EQ(cells, traced->stats.cells_scanned);
+
+  // Tracing must not change the answer: an untraced run with the same
+  // options agrees bitwise.
+  QueryOptions untraced_options;
+  untraced_options.seed = 4;
+  auto untraced = SwopeTopKEntropy(table, 2, untraced_options);
+  ASSERT_TRUE(untraced.ok());
+  ASSERT_EQ(traced->items.size(), untraced->items.size());
+  for (size_t i = 0; i < traced->items.size(); ++i) {
+    EXPECT_EQ(traced->items[i].index, untraced->items[i].index);
+    EXPECT_EQ(traced->items[i].estimate, untraced->items[i].estimate);
+    EXPECT_EQ(traced->items[i].lower, untraced->items[i].lower);
+    EXPECT_EQ(traced->items[i].upper, untraced->items[i].upper);
+  }
+  EXPECT_EQ(traced->stats.iterations, untraced->stats.iterations);
+  EXPECT_EQ(traced->stats.cells_scanned, untraced->stats.cells_scanned);
+  EXPECT_EQ(traced->stats.final_sample_size,
+            untraced->stats.final_sample_size);
+}
+
+// A trace object is reusable across queries via Clear().
+TEST(QueryTraceTest, TraceReuseAcrossQueries) {
+  const Table table = MakeMiTable({0.2, 0.6}, 2000, 7);
+  QueryTrace trace;
+  QueryOptions options;
+  options.seed = 13;
+  options.trace = &trace;
+
+  auto first = SwopeTopKMi(table, 0, 1, options);
+  ASSERT_TRUE(first.ok());
+  const size_t first_rounds = trace.size();
+  ASSERT_GT(first_rounds, 0u);
+
+  trace.Clear();
+  auto second = SwopeTopKMi(table, 0, 1, options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(trace.size(), first_rounds);
+}
+
+}  // namespace
+}  // namespace swope

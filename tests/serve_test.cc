@@ -116,6 +116,82 @@ TEST(ServeTest, StatsReflectTraffic) {
   EXPECT_NE(stats.find("\"resident_datasets\":1"), std::string::npos);
 }
 
+TEST(ServeTest, TracedQueryCarriesPerRoundRows) {
+  QueryEngine engine;
+  ASSERT_TRUE(
+      engine.RegisterDataset("ds", MakeEntropyTable({5.0, 2.0}, 1500, 3))
+          .ok());
+  const std::string response =
+      Handle(engine, "query dataset=ds kind=entropy-topk k=1 trace=1");
+  EXPECT_EQ(response.rfind("{\"ok\":true,\"op\":\"query\"", 0), 0u)
+      << response;
+  ASSERT_NE(response.find("\"trace\":["), std::string::npos) << response;
+  // One row per sampling round, each with the full schema.
+  for (const char* field : {"\"round\":1", "\"m\":", "\"lambda\":",
+                            "\"max_bias\":", "\"active\":", "\"decided\":",
+                            "\"cells\":", "\"ms\":"}) {
+    EXPECT_NE(response.find(field), std::string::npos)
+        << field << " missing in " << response;
+  }
+
+  // The untraced form of the same query omits the array -- and note the
+  // traced run above populated the cache (trace is not part of the
+  // canonical key), so this is also the cache-hit-carries-no-trace case.
+  const std::string untraced =
+      Handle(engine, "query dataset=ds kind=entropy-topk k=1");
+  EXPECT_NE(untraced.find("\"cache_hit\":true"), std::string::npos)
+      << untraced;
+  EXPECT_EQ(untraced.find("\"trace\":["), std::string::npos) << untraced;
+
+  // A traced repeat is served from cache and therefore ran zero rounds:
+  // no trace either.
+  const std::string traced_hit =
+      Handle(engine, "query dataset=ds kind=entropy-topk k=1 trace=1");
+  EXPECT_NE(traced_hit.find("\"cache_hit\":true"), std::string::npos);
+  EXPECT_EQ(traced_hit.find("\"trace\":["), std::string::npos) << traced_hit;
+}
+
+TEST(ServeTest, MetricsReflectQueryBurst) {
+  QueryEngine engine;
+  ASSERT_TRUE(
+      engine.RegisterDataset("ds", MakeEntropyTable({4.0, 1.0}, 1200, 5))
+          .ok());
+  // A small burst: one real execution, two cache hits.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(Handle(engine, "query dataset=ds kind=entropy-topk k=1")
+                  .rfind("{\"ok\":true", 0),
+              0u);
+  }
+
+  const std::string response = Handle(engine, "metrics");
+  EXPECT_EQ(response.rfind("{\"ok\":true,\"op\":\"metrics\"", 0), 0u)
+      << response;
+  // Prometheus text is embedded as an escaped JSON string; the family
+  // names survive escaping verbatim.
+  ASSERT_NE(response.find("\"prometheus\":\""), std::string::npos);
+  EXPECT_NE(response.find("swope_engine_queries_ok_total 3"),
+            std::string::npos)
+      << response;
+  EXPECT_NE(
+      response.find(
+          "swope_engine_query_latency_ms_count{kind=\\\"entropy-topk\\\"} 3"),
+      std::string::npos)
+      << response;
+  EXPECT_NE(response.find("swope_cache_hits_total{cache=\\\"result\\\"} 2"),
+            std::string::npos);
+  EXPECT_NE(
+      response.find("swope_cache_misses_total{cache=\\\"result\\\"} 1"),
+      std::string::npos);
+  // Executor pool stats are present (the burst above ran synchronously,
+  // so the counter may be zero -- the family must still be exposed).
+  EXPECT_NE(response.find("swope_pool_tasks_total{pool=\\\"executor\\\"}"),
+            std::string::npos);
+  // The JSON snapshot rides along as a nested object.
+  ASSERT_NE(response.find("\"snapshot\":{"), std::string::npos);
+  EXPECT_NE(response.find("\"swope_engine_queries_ok_total\":3"),
+            std::string::npos);
+}
+
 TEST(ServeTest, MalformedRequestsAreInBandErrors) {
   QueryEngine engine;
   // Unknown op.

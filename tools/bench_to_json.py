@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Converts combined bench output (bench/run_all.sh) to machine-readable JSON.
+
+The bench binaries print human-oriented text: one `===== <binary> =====`
+banner per bench, a `# <title>` header, a `rows=... reps=...` config
+line, then one `## <dataset>` section per dataset each holding a
+markdown table (per-figure timings plus the `SWOPE cells` work counter).
+micro_kernels prints google-benchmark rows instead. This script parses
+all of it into one JSON document so downstream tooling (regression
+dashboards, paper-figure plotting) never scrapes the text itself.
+
+Usage: tools/bench_to_json.py BENCH_OUTPUT.txt [-o BENCH_results.json]
+
+Output shape:
+  {"benches": {
+     "fig01_entropy_topk_time": {
+       "title": "Figure 1: entropy top-k query time (ms)",
+       "config": {"rows": 2000000, "reps": 3, ...},
+       "datasets": {"cdc": [{"k": 1, "SWOPE": 12.3,
+                             "SWOPE cells": 51200, ...}, ...]}},
+     "micro_kernels": {
+       "benchmarks": [{"name": "BM_CounterIncrement", "time": "2.1 ns",
+                       "cpu": "2.1 ns", "iterations": 334917012}, ...]}}}
+Cells parse as int or float when they look numeric; otherwise the string
+is kept verbatim (speedup cells like "12.4x" stay strings).
+"""
+
+import argparse
+import json
+import re
+import sys
+
+SECTION_RE = re.compile(r"^===== (\S+) =====$")
+TITLE_RE = re.compile(r"^# (.+)$")
+CONFIG_RE = re.compile(r"^(\w+=\S+ )*\w+=\S+( \(quick\))?$")
+DATASET_RE = re.compile(r"^## (.+)$")
+TABLE_ROW_RE = re.compile(r"^\|(.+)\|$")
+TABLE_RULE_RE = re.compile(r"^\|[-|]+\|$")
+GBENCH_ROW_RE = re.compile(
+    r"^(BM_\S+)\s+(\S+ \S+)\s+(\S+ \S+)\s+(\d+)")
+
+
+def parse_cell(text):
+    """int/float when the cell is purely numeric, else the string."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def parse_config(line):
+    config = {}
+    for token in line.split():
+        if "=" in token:
+            key, _, value = token.partition("=")
+            config[key] = parse_cell(value)
+        elif token == "(quick)":
+            config["quick"] = True
+    return config
+
+
+def split_table_row(line):
+    match = TABLE_ROW_RE.match(line)
+    return [cell.strip() for cell in match.group(1).split("|")]
+
+
+def parse_text(text):
+    benches = {}
+    bench = None
+    dataset = None
+    header = None
+    for line in text.splitlines():
+        line = line.rstrip()
+        section = SECTION_RE.match(line)
+        if section:
+            bench = {"title": None, "config": {}, "datasets": {},
+                     "benchmarks": []}
+            benches[section.group(1)] = bench
+            dataset = None
+            header = None
+            continue
+        if bench is None:
+            continue
+        title = TITLE_RE.match(line)
+        if title and bench["title"] is None:
+            bench["title"] = title.group(1)
+            continue
+        if bench["title"] is not None and not bench["config"] \
+                and CONFIG_RE.match(line):
+            bench["config"] = parse_config(line)
+            continue
+        ds = DATASET_RE.match(line)
+        if ds:
+            # "## cdc (avg over 3 targets)" -> "cdc"; the averaging note
+            # is already captured by config["targets"].
+            dataset = re.sub(r"\s*\(.*\)$", "", ds.group(1))
+            bench["datasets"][dataset] = []
+            header = None
+            continue
+        gbench = GBENCH_ROW_RE.match(line)
+        if gbench:
+            bench["benchmarks"].append({
+                "name": gbench.group(1),
+                "time": gbench.group(2),
+                "cpu": gbench.group(3),
+                "iterations": int(gbench.group(4)),
+            })
+            continue
+        if TABLE_RULE_RE.match(line):
+            continue
+        if TABLE_ROW_RE.match(line) and dataset is not None:
+            cells = split_table_row(line)
+            if header is None:
+                header = cells
+            else:
+                bench["datasets"][dataset].append(
+                    {key: parse_cell(value)
+                     for key, value in zip(header, cells)})
+            continue
+        if not line:
+            header = None
+
+    # Drop empty sections so the JSON reflects what actually ran.
+    for bench in benches.values():
+        if not bench["datasets"]:
+            del bench["datasets"]
+        if not bench["benchmarks"]:
+            del bench["benchmarks"]
+    return {"benches": benches}
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="bench text output -> JSON")
+    parser.add_argument("input", help="combined bench output text file")
+    parser.add_argument("-o", "--output", default="BENCH_results.json",
+                        help="JSON output path (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    with open(args.input, encoding="utf-8") as f:
+        document = parse_text(f.read())
+    if not document["benches"]:
+        print(f"bench_to_json: no bench sections found in {args.input}",
+              file=sys.stderr)
+        return 1
+    with open(args.output, "w", encoding="utf-8") as f:
+        json.dump(document, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.output} "
+          f"({len(document['benches'])} bench sections)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

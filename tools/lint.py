@@ -16,6 +16,10 @@ Enforces the handful of conventions that clang-tidy cannot express:
   banned-sleep    sleep_for/sleep_until/usleep are banned in src/ (library
                   code must block on condition variables or poll an
                   ExecControl, never nap); tests and benches may sleep.
+  banned-clock    raw steady_clock::now() is banned outside
+                  src/common/stopwatch.h and src/obs/ -- all timing
+                  funnels through SteadyNow()/Stopwatch so the
+                  observability layer sees every clock read.
   core-layering   the adaptive-sampling internals (src/core/
                   adaptive_sampling_driver.h and src/core/scorers.h) may
                   only be included from src/core/; everything else goes
@@ -43,6 +47,9 @@ BANNED_RAND_RE = re.compile(r"(?<![A-Za-z0-9_])s?rand\s*\(")
 USING_NAMESPACE_RE = re.compile(r"(?<![A-Za-z0-9_])using\s+namespace\b")
 BANNED_SLEEP_RE = re.compile(
     r"(?<![A-Za-z0-9_])(sleep_for|sleep_until|usleep)\s*\(")
+BANNED_CLOCK_RE = re.compile(r"steady_clock\s*::\s*now\s*\(")
+CLOCK_EXEMPT_PATHS = ("src/common/stopwatch.h",)
+CLOCK_EXEMPT_DIRS = (("src", "obs"),)
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
 CORE_INTERNAL_HEADERS = frozenset({
     "src/core/adaptive_sampling_driver.h",
@@ -177,6 +184,13 @@ def lint_file(root, relpath):
             findings.append((relpath, lineno, "banned-sleep",
                              "sleeping is banned in library code; block on "
                              "a condition variable or poll an ExecControl"))
+        if (BANNED_CLOCK_RE.search(line)
+                and relpath.as_posix() not in CLOCK_EXEMPT_PATHS
+                and relpath.parts[:2] not in CLOCK_EXEMPT_DIRS):
+            findings.append((relpath, lineno, "banned-clock",
+                             "raw steady_clock::now(); use SteadyNow() or "
+                             "Stopwatch (src/common/stopwatch.h) so timing "
+                             "stays observable"))
         # Include paths live inside string literals, which the code view
         # blanks — gate on the directive in the code line, then read the
         # path from the raw line.

@@ -32,6 +32,7 @@
 #include "src/datagen/dataset_presets.h"
 #include "src/engine/query_engine.h"
 #include "src/engine/serve.h"
+#include "src/obs/query_trace.h"
 #include "src/table/binary_io.h"
 #include "src/table/csv_reader.h"
 #include "src/table/csv_writer.h"
@@ -60,6 +61,10 @@ common flags:
   --threads=N       query commands: fan per-candidate counter updates out
                     across N worker threads (default 1 = serial; the answer
                     is byte-identical either way)
+  --trace           SWOPE query commands: print the round-by-round
+                    convergence table (round, M, lambda, max bias, active,
+                    decided, cells, ms); all columns except ms are
+                    deterministic for a given dataset/seed
 
 FILE handling: *.csv is CSV with a header row; anything else is the SWPB
 binary column store.
@@ -157,11 +162,20 @@ QueryOptions OptionsFromFlags(const Flags& flags, double default_epsilon) {
   return options;
 }
 
-// Owns the optional intra-query worker pool (--threads=N) for one CLI
-// query; the pool must stay alive until the query returns.
+// Owns the optional intra-query worker pool (--threads=N) and the
+// optional round trace (--trace) for one CLI query; both must stay alive
+// until the query returns.
 struct QueryRuntime {
   std::unique_ptr<ThreadPool> pool;
+  std::unique_ptr<QueryTrace> trace;
   QueryOptions options;
+
+  /// Prints the convergence table when --trace was given.
+  void PrintTrace() const {
+    if (trace != nullptr) {
+      std::fputs(FormatTraceTable(*trace).c_str(), stdout);
+    }
+  }
 };
 
 QueryRuntime RuntimeFromFlags(const Flags& flags, double default_epsilon) {
@@ -171,6 +185,10 @@ QueryRuntime RuntimeFromFlags(const Flags& flags, double default_epsilon) {
   if (threads > 1) {
     runtime.pool = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
     runtime.options.pool = runtime.pool.get();
+  }
+  if (flags.GetBool("trace")) {
+    runtime.trace = std::make_unique<QueryTrace>();
+    runtime.options.trace = runtime.trace.get();
   }
   return runtime;
 }
@@ -253,6 +271,7 @@ int CmdTopK(const Flags& flags) {
   auto result = SwopeTopKEntropy(*table, k, runtime.options);
   if (!result.ok()) return Fail(result.status());
   PrintItems(result->items, result->stats, watch.ElapsedMillis());
+  runtime.PrintTrace();
   return 0;
 }
 
@@ -271,6 +290,7 @@ int CmdFilter(const Flags& flags) {
   auto result = SwopeFilterEntropy(*table, eta, runtime.options);
   if (!result.ok()) return Fail(result.status());
   PrintItems(result->items, result->stats, watch.ElapsedMillis());
+  runtime.PrintTrace();
   return 0;
 }
 
@@ -291,6 +311,7 @@ int CmdMiTopK(const Flags& flags) {
   auto result = SwopeTopKMi(*table, *target, k, runtime.options);
   if (!result.ok()) return Fail(result.status());
   PrintItems(result->items, result->stats, watch.ElapsedMillis());
+  runtime.PrintTrace();
   return 0;
 }
 
@@ -311,6 +332,7 @@ int CmdMiFilter(const Flags& flags) {
   auto result = SwopeFilterMi(*table, *target, eta, runtime.options);
   if (!result.ok()) return Fail(result.status());
   PrintItems(result->items, result->stats, watch.ElapsedMillis());
+  runtime.PrintTrace();
   return 0;
 }
 
@@ -325,6 +347,7 @@ int CmdNmiTopK(const Flags& flags) {
   auto result = SwopeTopKNmi(*table, *target, k, runtime.options);
   if (!result.ok()) return Fail(result.status());
   PrintItems(result->items, result->stats, watch.ElapsedMillis());
+  runtime.PrintTrace();
   return 0;
 }
 
