@@ -18,6 +18,7 @@
 #include "src/datagen/generator.h"
 #include "src/obs/metrics.h"
 #include "src/obs/query_trace.h"
+#include "src/table/column_view.h"
 #include "src/table/csv_reader.h"
 #include "src/table/csv_writer.h"
 #include "src/table/shuffle.h"
@@ -34,10 +35,12 @@ Column MakeColumn(uint32_t support, uint64_t rows, uint64_t seed) {
 
 void BM_FrequencyCounterAdd(benchmark::State& state) {
   const Column column = MakeColumn(64, 1 << 16, 1);
+  const std::vector<ValueCode> codes =
+      column.codes();  // NOLINT(swope-raw-codes): bench setup decode
   FrequencyCounter counter(64);
   uint64_t i = 0;
   for (auto _ : state) {
-    counter.Add(column.code(i & 0xffff));
+    counter.Add(codes[i & 0xffff]);
     ++i;
   }
   benchmark::DoNotOptimize(counter.SampleEntropy());
@@ -46,12 +49,14 @@ void BM_FrequencyCounterAdd(benchmark::State& state) {
 BENCHMARK(BM_FrequencyCounterAdd);
 
 void BM_PairCounterAddDense(benchmark::State& state) {
-  const Column a = MakeColumn(64, 1 << 16, 2);
-  const Column b = MakeColumn(64, 1 << 16, 3);
+  const std::vector<ValueCode> a =
+      MakeColumn(64, 1 << 16, 2).codes();  // NOLINT(swope-raw-codes): setup
+  const std::vector<ValueCode> b =
+      MakeColumn(64, 1 << 16, 3).codes();  // NOLINT(swope-raw-codes): setup
   PairCounter counter(64, 64, /*dense_limit=*/1 << 20);
   uint64_t i = 0;
   for (auto _ : state) {
-    counter.Add(a.code(i & 0xffff), b.code(i & 0xffff));
+    counter.Add(a[i & 0xffff], b[i & 0xffff]);
     ++i;
   }
   benchmark::DoNotOptimize(counter.SampleJointEntropy());
@@ -60,18 +65,55 @@ void BM_PairCounterAddDense(benchmark::State& state) {
 BENCHMARK(BM_PairCounterAddDense);
 
 void BM_PairCounterAddSparse(benchmark::State& state) {
-  const Column a = MakeColumn(64, 1 << 16, 2);
-  const Column b = MakeColumn(64, 1 << 16, 3);
+  const std::vector<ValueCode> a =
+      MakeColumn(64, 1 << 16, 2).codes();  // NOLINT(swope-raw-codes): setup
+  const std::vector<ValueCode> b =
+      MakeColumn(64, 1 << 16, 3).codes();  // NOLINT(swope-raw-codes): setup
   PairCounter counter(64, 64, /*dense_limit=*/1);
   uint64_t i = 0;
   for (auto _ : state) {
-    counter.Add(a.code(i & 0xffff), b.code(i & 0xffff));
+    counter.Add(a[i & 0xffff], b[i & 0xffff]);
     ++i;
   }
   benchmark::DoNotOptimize(counter.SampleJointEntropy());
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PairCounterAddSparse);
+
+// The acceptance race for the packed storage: batch width-specialized
+// gather (ColumnView::Gather) vs a per-row `code(order[i])` loop over the
+// same permuted index sequence, at a realistic per-round slice size.
+// Arg = support size (width 1, 6, 10 bits).
+void BM_GatherDecode(benchmark::State& state) {
+  constexpr uint64_t kRows = 1 << 14;
+  const Column column =
+      MakeColumn(static_cast<uint32_t>(state.range(0)), kRows, 21);
+  const std::vector<uint32_t> order = ShuffledRowOrder(kRows, 9);
+  const ColumnView view(column);
+  std::vector<ValueCode> scratch(kRows);
+  for (auto _ : state) {
+    const ValueCode* codes = view.Gather(order, 0, kRows, scratch);
+    benchmark::DoNotOptimize(codes);
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_GatherDecode)->Arg(2)->Arg(64)->Arg(1000);
+
+void BM_GatherDecodePerRow(benchmark::State& state) {
+  constexpr uint64_t kRows = 1 << 14;
+  const Column column =
+      MakeColumn(static_cast<uint32_t>(state.range(0)), kRows, 21);
+  const std::vector<uint32_t> order = ShuffledRowOrder(kRows, 9);
+  std::vector<ValueCode> scratch(kRows);
+  for (auto _ : state) {
+    for (uint64_t i = 0; i < kRows; ++i) {
+      scratch[i] = column.code(order[i]);  // NOLINT(swope-raw-codes): baseline
+    }
+    benchmark::DoNotOptimize(scratch.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_GatherDecodePerRow)->Arg(2)->Arg(64)->Arg(1000);
 
 void BM_FlatHashMapIncrement(benchmark::State& state) {
   FlatHashMap<uint64_t, uint64_t> map(1 << 12);
@@ -167,12 +209,17 @@ void BM_ParallelCandidateUpdate(benchmark::State& state) {
   std::unique_ptr<ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
 
+  std::vector<ColumnView> views;
+  views.reserve(kCandidates);
+  for (const Column& column : columns) views.emplace_back(column);
   std::vector<FrequencyCounter> counters(kCandidates,
                                          FrequencyCounter(64));
+  std::vector<std::vector<ValueCode>> scratches(kCandidates);
   std::vector<double> entropies(kCandidates, 0.0);
   for (auto _ : state) {
     auto update = [&](size_t j) {
-      counters[j].AddRows(columns[j], order, 0, kRows);
+      const ValueCode* codes = views[j].Gather(order, 0, kRows, scratches[j]);
+      counters[j].AddCodes(codes, kRows);
       entropies[j] = counters[j].SampleEntropy();
     };
     if (pool != nullptr) {

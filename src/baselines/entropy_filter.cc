@@ -7,6 +7,7 @@
 #include "src/core/bounds.h"
 #include "src/core/frequency_counter.h"
 #include "src/core/prefix_sampler.h"
+#include "src/table/column_view.h"
 
 namespace swope {
 
@@ -39,10 +40,14 @@ Result<FilterResult> EntropyFilterQuery(const Table& table, double eta,
   PrefixSampler sampler(static_cast<uint32_t>(n), options.seed,
                         options.sequential_sampling);
   std::vector<FrequencyCounter> counters;
+  std::vector<ColumnView> views;
   counters.reserve(h);
+  views.reserve(h);
   for (size_t j = 0; j < h; ++j) {
     counters.emplace_back(table.column(j).support());
+    views.emplace_back(table.column(j));
   }
+  std::vector<ValueCode> scratch;
   std::vector<size_t> active(h);
   for (size_t j = 0; j < h; ++j) active[j] = j;
 
@@ -56,11 +61,12 @@ Result<FilterResult> EntropyFilterQuery(const Table& table, double eta,
     std::vector<size_t> still_active;
     still_active.reserve(active.size());
     for (size_t j : active) {
-      counters[j].AddRows(table.column(j), sampler.order(), range.begin,
-                          range.end);
+      const ValueCode* codes =
+          views[j].Gather(sampler.order(), range.begin, range.end, scratch);
+      counters[j].AddCodes(codes, range.end - range.begin);
       const EntropyInterval interval =
           MakeEntropyInterval(counters[j].SampleEntropy(),
-                              table.column(j).support(), n, m, p_iter);
+                              views[j].support(), n, m, p_iter);
       if (interval.lower >= eta) {
         result.items.push_back({j, table.column(j).name(),
                                 interval.Estimate(), interval.lower,

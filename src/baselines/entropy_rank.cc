@@ -7,6 +7,7 @@
 #include "src/core/bounds.h"
 #include "src/core/frequency_counter.h"
 #include "src/core/prefix_sampler.h"
+#include "src/table/column_view.h"
 
 namespace swope {
 
@@ -14,6 +15,7 @@ namespace {
 
 struct Candidate {
   size_t column = 0;
+  ColumnView view;
   FrequencyCounter counter{0};
   EntropyInterval interval;
 };
@@ -50,8 +52,10 @@ Result<TopKResult> EntropyRankTopK(const Table& table, size_t k,
   std::vector<Candidate> candidates(h);
   for (size_t j = 0; j < h; ++j) {
     candidates[j].column = j;
+    candidates[j].view = ColumnView(table.column(j));
     candidates[j].counter = FrequencyCounter(table.column(j).support());
   }
+  std::vector<ValueCode> scratch;
   std::vector<size_t> active(h);
   for (size_t j = 0; j < h; ++j) active[j] = j;
 
@@ -81,11 +85,11 @@ Result<TopKResult> EntropyRankTopK(const Table& table, size_t k,
     const PrefixSampler::Range range = sampler.GrowTo(m);
     for (size_t idx : active) {
       Candidate& c = candidates[idx];
-      c.counter.AddRows(table.column(c.column), sampler.order(), range.begin,
-                        range.end);
+      const ValueCode* codes =
+          c.view.Gather(sampler.order(), range.begin, range.end, scratch);
+      c.counter.AddCodes(codes, range.end - range.begin);
       c.interval = MakeEntropyInterval(c.counter.SampleEntropy(),
-                                       table.column(c.column).support(), n, m,
-                                       p_iter);
+                                       c.view.support(), n, m, p_iter);
     }
     result.stats.cells_scanned +=
         (range.end - range.begin) * active.size();

@@ -8,6 +8,7 @@
 #include "src/core/frequency_counter.h"
 #include "src/core/pair_counter.h"
 #include "src/core/prefix_sampler.h"
+#include "src/table/column_view.h"
 
 namespace swope {
 
@@ -15,6 +16,7 @@ namespace {
 
 struct MiState {
   size_t column = 0;
+  ColumnView view;
   FrequencyCounter marginal{0};
   PairCounter joint{0, 0};
 };
@@ -62,12 +64,16 @@ Result<FilterResult> MiFilterQuery(const Table& table, size_t target,
     if (j == target) continue;
     MiState state;
     state.column = j;
+    state.view = ColumnView(table.column(j));
     state.marginal = FrequencyCounter(table.column(j).support());
     state.joint = PairCounter(target_col.support(),
                               table.column(j).support(),
                               options.dense_pair_limit);
     states.push_back(std::move(state));
   }
+  const ColumnView target_view(target_col);
+  std::vector<ValueCode> target_slice;
+  std::vector<ValueCode> scratch;
   std::vector<size_t> active(states.size());
   for (size_t i = 0; i < active.size(); ++i) active[i] = i;
 
@@ -75,8 +81,11 @@ Result<FilterResult> MiFilterQuery(const Table& table, size_t target,
   while (!active.empty()) {
     ++result.stats.iterations;
     const PrefixSampler::Range range = sampler.GrowTo(m);
-    target_counter.AddRows(target_col, sampler.order(), range.begin,
-                           range.end);
+    const uint64_t count = range.end - range.begin;
+    const ValueCode* target_codes =
+        target_view.Gather(sampler.order(), range.begin, range.end,
+                           target_slice);
+    target_counter.AddCodes(target_codes, count);
     const EntropyInterval target_interval =
         MakeEntropyInterval(target_counter.SampleEntropy(),
                             target_col.support(), n, m, p_iter);
@@ -88,9 +97,10 @@ Result<FilterResult> MiFilterQuery(const Table& table, size_t target,
     for (size_t idx : active) {
       MiState& state = states[idx];
       const Column& col = table.column(state.column);
-      state.marginal.AddRows(col, sampler.order(), range.begin, range.end);
-      state.joint.AddRows(target_col, col, sampler.order(), range.begin,
-                          range.end);
+      const ValueCode* codes =
+          state.view.Gather(sampler.order(), range.begin, range.end, scratch);
+      state.marginal.AddCodes(codes, count);
+      state.joint.AddCodes(target_codes, codes, count);
       const EntropyInterval marginal_interval = MakeEntropyInterval(
           state.marginal.SampleEntropy(), col.support(), n, m, p_iter);
       const uint64_t u_bar = static_cast<uint64_t>(target_col.support()) *

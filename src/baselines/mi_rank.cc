@@ -8,6 +8,7 @@
 #include "src/core/frequency_counter.h"
 #include "src/core/pair_counter.h"
 #include "src/core/prefix_sampler.h"
+#include "src/table/column_view.h"
 
 namespace swope {
 
@@ -15,6 +16,7 @@ namespace {
 
 struct MiCandidate {
   size_t column = 0;
+  ColumnView view;
   FrequencyCounter marginal{0};
   PairCounter joint{0, 0};
   MiInterval interval;
@@ -60,11 +62,15 @@ Result<TopKResult> MiRankTopK(const Table& table, size_t target, size_t k,
     if (j == target) continue;
     MiCandidate c;
     c.column = j;
+    c.view = ColumnView(table.column(j));
     c.marginal = FrequencyCounter(table.column(j).support());
     c.joint = PairCounter(target_col.support(), table.column(j).support(),
                           options.dense_pair_limit);
     candidates.push_back(std::move(c));
   }
+  const ColumnView target_view(target_col);
+  std::vector<ValueCode> target_slice;
+  std::vector<ValueCode> scratch;
   std::vector<size_t> active(candidates.size());
   for (size_t i = 0; i < active.size(); ++i) active[i] = i;
 
@@ -92,21 +98,24 @@ Result<TopKResult> MiRankTopK(const Table& table, size_t target, size_t k,
   for (;;) {
     ++result.stats.iterations;
     const PrefixSampler::Range range = sampler.GrowTo(m);
-    target_counter.AddRows(target_col, sampler.order(), range.begin,
-                           range.end);
+    const uint64_t count = range.end - range.begin;
+    const ValueCode* target_codes =
+        target_view.Gather(sampler.order(), range.begin, range.end,
+                           target_slice);
+    target_counter.AddCodes(target_codes, count);
     const EntropyInterval target_interval =
         MakeEntropyInterval(target_counter.SampleEntropy(),
                             target_col.support(), n, m, p_iter);
     for (size_t idx : active) {
       MiCandidate& c = candidates[idx];
-      const Column& col = table.column(c.column);
-      c.marginal.AddRows(col, sampler.order(), range.begin, range.end);
-      c.joint.AddRows(target_col, col, sampler.order(), range.begin,
-                      range.end);
+      const ValueCode* codes =
+          c.view.Gather(sampler.order(), range.begin, range.end, scratch);
+      c.marginal.AddCodes(codes, count);
+      c.joint.AddCodes(target_codes, codes, count);
       const EntropyInterval marginal_interval = MakeEntropyInterval(
-          c.marginal.SampleEntropy(), col.support(), n, m, p_iter);
+          c.marginal.SampleEntropy(), c.view.support(), n, m, p_iter);
       const uint64_t u_bar = static_cast<uint64_t>(target_col.support()) *
-                             static_cast<uint64_t>(col.support());
+                             static_cast<uint64_t>(c.view.support());
       const EntropyInterval joint_interval = MakeEntropyInterval(
           c.joint.SampleJointEntropy(), u_bar, n, m, p_iter);
       c.interval =

@@ -1,0 +1,67 @@
+// CodeScratchArena: reusable decode buffers for gather-then-count.
+//
+// Scorers decode each round's newly exposed permutation slice into a
+// scratch buffer before feeding the span to a counter (the split the
+// bit-packed storage forces: PackedCodes has no per-row hot path). The
+// arena keeps those buffers alive across rounds and hands them out to
+// whichever worker asks, so a query allocates O(pool size) buffers total
+// instead of one per (candidate, round). Buffer contents are never
+// reused -- Gather overwrites the prefix a lease reads -- so recycling
+// cannot affect results.
+
+#ifndef SWOPE_CORE_CODE_SCRATCH_H_
+#define SWOPE_CORE_CODE_SCRATCH_H_
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/common/thread_annotations.h"
+#include "src/table/packed_codes.h"
+
+namespace swope {
+
+/// A thread-safe pool of ValueCode vectors. Acquire returns a buffer
+/// (empty or recycled); Release returns it for reuse. Typical use is via
+/// the RAII Lease.
+class CodeScratchArena {
+ public:
+  /// RAII lease: holds a buffer, returns it to the arena on destruction.
+  class Lease {
+   public:
+    explicit Lease(CodeScratchArena& arena)
+        : arena_(&arena), buffer_(arena.Acquire()) {}
+    ~Lease() {
+      if (arena_ != nullptr) arena_->Release(std::move(buffer_));
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    std::vector<ValueCode>& buffer() { return buffer_; }
+
+   private:
+    CodeScratchArena* arena_;
+    std::vector<ValueCode> buffer_;
+  };
+
+  std::vector<ValueCode> Acquire() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (free_.empty()) return {};
+    std::vector<ValueCode> buffer = std::move(free_.back());
+    free_.pop_back();
+    return buffer;
+  }
+
+  void Release(std::vector<ValueCode> buffer) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(buffer));
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::vector<ValueCode>> free_ GUARDED_BY(mutex_);
+};
+
+}  // namespace swope
+
+#endif  // SWOPE_CORE_CODE_SCRATCH_H_

@@ -1,7 +1,10 @@
 #include "src/core/entropy.h"
 
+#include <algorithm>
+
 #include "src/common/flat_hash_map.h"
 #include "src/common/math.h"
+#include "src/table/column_view.h"
 
 namespace swope {
 
@@ -9,6 +12,10 @@ namespace {
 
 // Threshold (in cells) below which a dense joint-count table is used.
 constexpr uint64_t kDenseJointLimit = 1ULL << 22;  // 4M cells = 32 MB
+
+// Decode chunk for the exact sequential scans below: big enough to
+// amortize the kernel dispatch, small enough to stay in L1.
+constexpr uint64_t kDecodeChunk = 4096;
 
 }  // namespace
 
@@ -19,7 +26,13 @@ double ExactEntropy(const Column& column) {
 double ExactEntropyPrefix(const Column& column, uint64_t m) {
   if (m == 0) return 0.0;
   std::vector<uint64_t> counts(column.support(), 0);
-  for (uint64_t r = 0; r < m; ++r) ++counts[column.code(r)];
+  const ColumnView view(column);
+  std::vector<ValueCode> scratch;
+  for (uint64_t begin = 0; begin < m; begin += kDecodeChunk) {
+    const uint64_t end = std::min(m, begin + kDecodeChunk);
+    const ValueCode* codes = view.Decode(begin, end, scratch);
+    for (uint64_t i = 0; i < end - begin; ++i) ++counts[codes[i]];
+  }
   return EntropyFromCounts(counts, m);
 }
 
@@ -34,21 +47,34 @@ Result<double> ExactJointEntropy(const Column& a, const Column& b) {
   const uint64_t cells =
       static_cast<uint64_t>(a.support()) * static_cast<uint64_t>(b.support());
   double sum_xlog2x = 0.0;
+  const ColumnView view_a(a);
+  const ColumnView view_b(b);
+  std::vector<ValueCode> scratch_a;
+  std::vector<ValueCode> scratch_b;
   if (cells > 0 && cells <= kDenseJointLimit) {
     std::vector<uint64_t> counts(cells, 0);
     const uint32_t ub = b.support();
-    for (uint64_t r = 0; r < n; ++r) {
-      ++counts[static_cast<uint64_t>(a.code(r)) * ub + b.code(r)];
+    for (uint64_t begin = 0; begin < n; begin += kDecodeChunk) {
+      const uint64_t end = std::min(n, begin + kDecodeChunk);
+      const ValueCode* ca = view_a.Decode(begin, end, scratch_a);
+      const ValueCode* cb = view_b.Decode(begin, end, scratch_b);
+      for (uint64_t i = 0; i < end - begin; ++i) {
+        ++counts[static_cast<uint64_t>(ca[i]) * ub + cb[i]];
+      }
     }
     for (uint64_t c : counts) {
       if (c > 1) sum_xlog2x += XLog2X(static_cast<double>(c));
     }
   } else {
     FlatHashMap<uint64_t, uint64_t> counts(1 << 12);
-    for (uint64_t r = 0; r < n; ++r) {
-      const uint64_t key =
-          (static_cast<uint64_t>(a.code(r)) << 32) | b.code(r);
-      ++counts[key];
+    for (uint64_t begin = 0; begin < n; begin += kDecodeChunk) {
+      const uint64_t end = std::min(n, begin + kDecodeChunk);
+      const ValueCode* ca = view_a.Decode(begin, end, scratch_a);
+      const ValueCode* cb = view_b.Decode(begin, end, scratch_b);
+      for (uint64_t i = 0; i < end - begin; ++i) {
+        const uint64_t key = (static_cast<uint64_t>(ca[i]) << 32) | cb[i];
+        ++counts[key];
+      }
     }
     counts.ForEach([&](uint64_t, uint64_t c) {
       if (c > 1) sum_xlog2x += XLog2X(static_cast<double>(c));

@@ -1,20 +1,11 @@
 #include "src/core/frequency_counter.h"
 
-#include <cassert>
-
 #include "src/common/math.h"
 
 namespace swope {
 
 FrequencyCounter::FrequencyCounter(uint32_t support)
     : counts_(support, 0) {}
-
-void FrequencyCounter::AddRows(const Column& column,
-                               const std::vector<uint32_t>& order,
-                               uint64_t begin, uint64_t end) {
-  assert(end <= order.size());
-  for (uint64_t i = begin; i < end; ++i) Add(column.code(order[i]));
-}
 
 double FrequencyCounter::SampleEntropy() const {
   return EntropyFromCounts(counts_, sample_count_);

@@ -14,7 +14,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "src/table/column.h"
+#include "src/table/packed_codes.h"
 
 namespace swope {
 
@@ -39,9 +39,12 @@ class FrequencyCounter {
     ++sample_count_;
   }
 
-  /// Absorbs column values at rows order[begin..end) (a permutation slice).
-  void AddRows(const Column& column, const std::vector<uint32_t>& order,
-               uint64_t begin, uint64_t end);
+  /// Absorbs a contiguous span of already-decoded codes (a gathered
+  /// permutation slice; see ColumnView::Gather). Counting is decoupled
+  /// from storage: callers batch-decode once, then feed the span here.
+  void AddCodes(const ValueCode* codes, uint64_t count) {
+    for (uint64_t i = 0; i < count; ++i) Add(codes[i]);
+  }
 
   /// Sample entropy H_S(alpha) in bits (0 when no samples). One O(u)
   /// scan per call.

@@ -42,16 +42,6 @@ void PairCounter::MigrateToDense() {
   is_dense_ = true;
 }
 
-void PairCounter::AddRows(const Column& col_a, const Column& col_b,
-                          const std::vector<uint32_t>& order, uint64_t begin,
-                          uint64_t end) {
-  assert(end <= order.size());
-  for (uint64_t i = begin; i < end; ++i) {
-    const uint32_t row = order[i];
-    Add(col_a.code(row), col_b.code(row));
-  }
-}
-
 double PairCounter::SampleJointEntropy() const {
   return EntropyFromXLog2XSum(sum_xlog2x_, sample_count_);
 }

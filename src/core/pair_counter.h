@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "src/common/flat_hash_map.h"
-#include "src/table/column.h"
+#include "src/table/packed_codes.h"
 
 namespace swope {
 
@@ -49,10 +49,12 @@ class PairCounter {
     }
   }
 
-  /// Absorbs paired column values at rows order[begin..end).
-  void AddRows(const Column& col_a, const Column& col_b,
-               const std::vector<uint32_t>& order, uint64_t begin,
-               uint64_t end);
+  /// Absorbs `count` pre-decoded pairs (a[i], b[i]), in order. Callers
+  /// gather both columns' slices through ColumnView first; preserving the
+  /// per-index order keeps results bit-identical to per-row Add calls.
+  void AddCodes(const ValueCode* a, const ValueCode* b, uint64_t count) {
+    for (uint64_t i = 0; i < count; ++i) Add(a[i], b[i]);
+  }
 
   /// Sample joint entropy H_S(a, b) in bits.
   double SampleJointEntropy() const;

@@ -30,9 +30,11 @@ ScoreInterval ComposeNmi(const MiInterval& mi, const EntropyInterval& target,
 EntropyScorer::EntropyScorer(const Table& table) : table_(table) {
   const size_t h = table.num_columns();
   columns_.resize(h);
+  views_.reserve(h);
   counters_.reserve(h);
   for (size_t j = 0; j < h; ++j) {
     columns_[j] = j;
+    views_.emplace_back(table.column(j));
     counters_.emplace_back(table.column(j).support());
   }
   intervals_.resize(h);
@@ -42,10 +44,13 @@ void EntropyScorer::UpdateCandidate(size_t c,
                                     const std::vector<uint32_t>& order,
                                     uint64_t begin, uint64_t end,
                                     uint64_t m) {
-  const Column& col = table_.column(columns_[c]);
-  counters_[c].AddRows(col, order, begin, end);
-  const EntropyInterval interval = MakeEntropyInterval(
-      counters_[c].SampleEntropy(), col.support(), n_, m, p_iter_);
+  // Gather-then-count: decode the round's slice once, then feed the span.
+  CodeScratchArena::Lease lease(arena_);
+  const ValueCode* codes = views_[c].Gather(order, begin, end, lease.buffer());
+  counters_[c].AddCodes(codes, end - begin);
+  const EntropyInterval interval =
+      MakeEntropyInterval(counters_[c].SampleEntropy(), views_[c].support(),
+                          n_, m, p_iter_);
   intervals_[c] = {interval.lower, interval.upper, interval.bias};
 }
 
@@ -70,13 +75,16 @@ MiScorer::MiScorer(const Table& table, size_t target,
                    uint64_t dense_pair_limit)
     : table_(table),
       target_col_(table.column(target)),
+      target_view_(table.column(target)),
       target_counter_(target_col_.support()) {
   const size_t h = table.num_columns();
   columns_.reserve(h - 1);
+  views_.reserve(h - 1);
   counters_.reserve(h - 1);
   for (size_t j = 0; j < h; ++j) {
     if (j == target) continue;
     columns_.push_back(j);
+    views_.emplace_back(table.column(j));
     CandidateCounters counter;
     counter.marginal = FrequencyCounter(table.column(j).support());
     counter.joint = PairCounter(target_col_.support(),
@@ -88,7 +96,11 @@ MiScorer::MiScorer(const Table& table, size_t target,
 
 void MiScorer::BeginRound(const std::vector<uint32_t>& order, uint64_t begin,
                           uint64_t end, uint64_t m) {
-  target_counter_.AddRows(target_col_, order, begin, end);
+  // Decode the target's slice once per round; every candidate's joint
+  // update this round reads the same span.
+  const ValueCode* target_codes =
+      target_view_.Gather(order, begin, end, target_slice_);
+  target_counter_.AddCodes(target_codes, end - begin);
   target_interval_ =
       MakeEntropyInterval(target_counter_.SampleEntropy(),
                           target_col_.support(), n_, m, p_iter_);
@@ -98,13 +110,16 @@ MiInterval MiScorer::UpdateMi(size_t c, const std::vector<uint32_t>& order,
                               uint64_t begin, uint64_t end, uint64_t m,
                               EntropyInterval* marginal_out) {
   CandidateCounters& counter = counters_[c];
-  const Column& col = table_.column(columns_[c]);
-  counter.marginal.AddRows(col, order, begin, end);
-  counter.joint.AddRows(target_col_, col, order, begin, end);
+  const ColumnView& view = views_[c];
+  CodeScratchArena::Lease lease(arena_);
+  const ValueCode* codes = view.Gather(order, begin, end, lease.buffer());
+  const uint64_t count = end - begin;
+  counter.marginal.AddCodes(codes, count);
+  counter.joint.AddCodes(target_slice_.data(), codes, count);
   const EntropyInterval marginal_interval = MakeEntropyInterval(
-      counter.marginal.SampleEntropy(), col.support(), n_, m, p_iter_);
+      counter.marginal.SampleEntropy(), view.support(), n_, m, p_iter_);
   const uint64_t u_bar = static_cast<uint64_t>(target_col_.support()) *
-                         static_cast<uint64_t>(col.support());
+                         static_cast<uint64_t>(view.support());
   const EntropyInterval joint_interval = MakeEntropyInterval(
       counter.joint.SampleJointEntropy(), u_bar, n_, m, p_iter_);
   if (marginal_out != nullptr) *marginal_out = marginal_interval;

@@ -20,8 +20,10 @@
 
 #include "src/core/adaptive_sampling_driver.h"
 #include "src/core/bounds.h"
+#include "src/core/code_scratch.h"
 #include "src/core/frequency_counter.h"
 #include "src/core/pair_counter.h"
+#include "src/table/column_view.h"
 #include "src/table/table.h"
 
 namespace swope {
@@ -43,7 +45,10 @@ class EntropyScorer : public Scorer {
 
  private:
   const Table& table_;
+  std::vector<ColumnView> views_;
   std::vector<FrequencyCounter> counters_;
+  // Decode buffers, recycled across rounds and shared by the pool workers.
+  CodeScratchArena arena_;
 };
 
 /// Scores every non-target column by its mutual information with the
@@ -87,9 +92,17 @@ class MiScorer : public Scorer {
     PairCounter joint{0, 0};
   };
 
+  ColumnView target_view_;
+  std::vector<ColumnView> views_;
   FrequencyCounter target_counter_;
   EntropyInterval target_interval_;
+  // The round's gathered target slice: target_slice_[i] is the target
+  // code at order[begin + i]. Written once per round in BeginRound
+  // (serial), read by every UpdateCandidate (the pool's fork provides the
+  // happens-before edge).
+  std::vector<ValueCode> target_slice_;
   std::vector<CandidateCounters> counters_;
+  CodeScratchArena arena_;
 };
 
 /// Scores every non-target column by its normalized mutual information

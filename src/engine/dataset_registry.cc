@@ -22,17 +22,6 @@ void DatasetRegistry::UpdateGauges() {
   resident_bytes_metric_->Set(static_cast<int64_t>(resident_bytes_));
 }
 
-uint64_t ApproxTableBytes(const Table& table) {
-  uint64_t bytes = 0;
-  for (const Column& column : table.columns()) {
-    bytes += column.codes().size() * sizeof(ValueCode);
-    for (const std::string& label : column.labels()) {
-      bytes += label.size() + sizeof(std::string);
-    }
-  }
-  return bytes;
-}
-
 Status DatasetRegistry::Put(const std::string& name, Table table) {
   if (name.empty()) {
     return Status::InvalidArgument("registry: dataset name must be non-empty");
@@ -41,15 +30,15 @@ Status DatasetRegistry::Put(const std::string& name, Table table) {
   auto dataset = std::make_shared<Dataset>();
   dataset->name = name;
   dataset->fingerprint = TableFingerprint(table);
-  dataset->approx_bytes = ApproxTableBytes(table);
+  dataset->memory_bytes = table.MemoryBytes();
   dataset->table = std::move(table);
 
   std::lock_guard<std::mutex> lock(mutex_);
   Slot& slot = datasets_[name];
   if (slot.dataset != nullptr) {
-    resident_bytes_ -= slot.dataset->approx_bytes;
+    resident_bytes_ -= slot.dataset->memory_bytes;
   }
-  resident_bytes_ += dataset->approx_bytes;
+  resident_bytes_ += dataset->memory_bytes;
   slot.dataset = std::move(dataset);
   slot.last_used = ++tick_;
   EvictToBudget(name);
@@ -73,7 +62,7 @@ Status DatasetRegistry::Remove(const std::string& name) {
   if (it == datasets_.end()) {
     return Status::NotFound("registry: no dataset named '" + name + "'");
   }
-  resident_bytes_ -= it->second.dataset->approx_bytes;
+  resident_bytes_ -= it->second.dataset->memory_bytes;
   datasets_.erase(it);
   UpdateGauges();
   return Status::OK();
@@ -109,7 +98,7 @@ void DatasetRegistry::EvictToBudget(const std::string& keep) {
       }
     }
     if (victim == datasets_.end()) return;
-    resident_bytes_ -= victim->second.dataset->approx_bytes;
+    resident_bytes_ -= victim->second.dataset->memory_bytes;
     datasets_.erase(victim);
     ++evictions_;
     if (evictions_metric_ != nullptr) evictions_metric_->Increment();

@@ -40,16 +40,12 @@ struct Dataset {
   Table table;
   /// Content fingerprint (TableFingerprint).
   uint64_t fingerprint = 0;
-  /// Approximate resident size (codes + dictionaries), used for the
-  /// memory budget.
-  uint64_t approx_bytes = 0;
+  /// Exact resident size (Table::MemoryBytes(): bit-packed payloads plus
+  /// dictionaries), used for the memory budget.
+  uint64_t memory_bytes = 0;
 };
 
 using DatasetHandle = std::shared_ptr<const Dataset>;
-
-/// Approximate resident bytes of a table: 4 bytes per code plus label
-/// dictionary payloads.
-uint64_t ApproxTableBytes(const Table& table);
 
 /// Thread-safe name -> Dataset map with LRU eviction under a byte budget.
 class DatasetRegistry {

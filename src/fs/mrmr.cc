@@ -5,23 +5,33 @@
 #include "src/core/frequency_counter.h"
 #include "src/core/pair_counter.h"
 #include "src/core/swope_topk_mi.h"
+#include "src/table/column_view.h"
 #include "src/table/shuffle.h"
 
 namespace swope {
 
 namespace {
 
-// Sample MI between two columns over the first m rows of `order`.
+// Sample MI between two columns over the first m rows of `order`,
+// gathering both slices in chunks before counting.
 double SampledMi(const Column& a, const Column& b,
                  const std::vector<uint32_t>& order, uint64_t m) {
   FrequencyCounter counter_a(a.support());
   FrequencyCounter counter_b(b.support());
   PairCounter joint(a.support(), b.support());
-  for (uint64_t i = 0; i < m; ++i) {
-    const uint32_t row = order[i];
-    counter_a.Add(a.code(row));
-    counter_b.Add(b.code(row));
-    joint.Add(a.code(row), b.code(row));
+  const ColumnView view_a(a);
+  const ColumnView view_b(b);
+  std::vector<ValueCode> scratch_a;
+  std::vector<ValueCode> scratch_b;
+  constexpr uint64_t kChunk = 4096;
+  for (uint64_t begin = 0; begin < m; begin += kChunk) {
+    const uint64_t end = std::min(m, begin + kChunk);
+    const ValueCode* ca = view_a.Gather(order, begin, end, scratch_a);
+    const ValueCode* cb = view_b.Gather(order, begin, end, scratch_b);
+    const uint64_t count = end - begin;
+    counter_a.AddCodes(ca, count);
+    counter_b.AddCodes(cb, count);
+    joint.AddCodes(ca, cb, count);
   }
   const double mi = counter_a.SampleEntropy() + counter_b.SampleEntropy() -
                     joint.SampleJointEntropy();

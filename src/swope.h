@@ -42,6 +42,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/query_trace.h"
 #include "src/table/binary_io.h"
+#include "src/table/column_view.h"
 #include "src/table/csv_reader.h"
 #include "src/table/csv_writer.h"
 #include "src/table/fingerprint.h"

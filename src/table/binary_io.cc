@@ -5,6 +5,8 @@
 #include <limits>
 #include <vector>
 
+#include "src/table/packed_codes.h"
+
 namespace swope {
 
 namespace {
@@ -51,6 +53,93 @@ std::streamoff RemainingBytes(std::istream& in) {
   return end - cur;
 }
 
+// Reads a version-1 payload: num_rows 4-byte codes, then re-packs via the
+// validating factory. Chunked so a lying header fails with Corruption
+// rather than one huge allocation.
+Result<Column> ReadColumnV1(std::istream& input, std::string name,
+                            uint32_t support, uint64_t num_rows,
+                            std::vector<std::string> labels) {
+  std::vector<ValueCode> codes;
+  codes.reserve(std::min<uint64_t>(num_rows, 1 << 20));
+  constexpr uint64_t kChunkRows = 1 << 20;
+  uint64_t remaining = num_rows;
+  while (remaining > 0) {
+    const uint64_t chunk = std::min(remaining, kChunkRows);
+    const size_t old_size = codes.size();
+    codes.resize(old_size + chunk);
+    const auto bytes =
+        static_cast<std::streamsize>(chunk * sizeof(ValueCode));
+    input.read(reinterpret_cast<char*>(codes.data() + old_size), bytes);
+    if (input.gcount() != bytes) {
+      return Status::Corruption("binary table: truncated codes in column '" +
+                                name + "'");
+    }
+    remaining -= chunk;
+  }
+  auto column = Column::Make(std::move(name), support, std::move(codes),
+                             std::move(labels));
+  if (!column.ok()) {
+    return Status::Corruption("binary table: " + column.status().message());
+  }
+  return column;
+}
+
+// Reads a version-2 payload: a declared bit width (which must be the
+// canonical width for the declared support) followed by the packed words.
+Result<Column> ReadColumnV2(std::istream& input, std::string name,
+                            uint32_t support, uint64_t num_rows,
+                            std::vector<std::string> labels) {
+  uint8_t width = 0;
+  if (!ReadPod(input, width)) {
+    return Status::Corruption("binary table: truncated column width");
+  }
+  if (width != PackedCodes::WidthForSupport(support)) {
+    return Status::Corruption(
+        "binary table: column '" + name + "' declares width " +
+        std::to_string(width) + ", expected " +
+        std::to_string(PackedCodes::WidthForSupport(support)) +
+        " for support " + std::to_string(support));
+  }
+  const uint64_t num_words = PackedCodes::NumDataWords(num_rows, width);
+  // Against lying headers: check the stream can actually hold the payload
+  // before allocating (when seekable), and read in bounded chunks.
+  {
+    const std::streamoff remaining = RemainingBytes(input);
+    if (remaining >= 0 &&
+        num_words > static_cast<uint64_t>(remaining) / sizeof(uint64_t)) {
+      return Status::Corruption("binary table: truncated codes in column '" +
+                                name + "'");
+    }
+  }
+  std::vector<uint64_t> words;
+  words.reserve(std::min<uint64_t>(num_words, 1 << 17));
+  constexpr uint64_t kChunkWords = 1 << 17;
+  uint64_t remaining = num_words;
+  while (remaining > 0) {
+    const uint64_t chunk = std::min(remaining, kChunkWords);
+    const size_t old_size = words.size();
+    words.resize(old_size + chunk);
+    const auto bytes = static_cast<std::streamsize>(chunk * sizeof(uint64_t));
+    input.read(reinterpret_cast<char*>(words.data() + old_size), bytes);
+    if (input.gcount() != bytes) {
+      return Status::Corruption("binary table: truncated codes in column '" +
+                                name + "'");
+    }
+    remaining -= chunk;
+  }
+  auto packed = PackedCodes::FromWords(num_rows, width, std::move(words));
+  if (!packed.ok()) {
+    return Status::Corruption("binary table: " + packed.status().message());
+  }
+  auto column = Column::FromPacked(std::move(name), support,
+                                   std::move(packed).value(),
+                                   std::move(labels));
+  if (!column.ok()) {
+    return Status::Corruption("binary table: " + column.status().message());
+  }
+  return column;
+}
+
 }  // namespace
 
 Status WriteBinaryTable(const Table& table, std::ostream& output) {
@@ -68,9 +157,11 @@ Status WriteBinaryTable(const Table& table, std::ostream& output) {
         WriteString(output, label);
       }
     }
-    output.write(reinterpret_cast<const char*>(col.codes().data()),
-                 static_cast<std::streamsize>(col.codes().size() *
-                                              sizeof(ValueCode)));
+    const PackedCodes& packed = col.packed();
+    WritePod<uint8_t>(output, static_cast<uint8_t>(packed.width()));
+    output.write(reinterpret_cast<const char*>(packed.data_words()),
+                 static_cast<std::streamsize>(packed.num_data_words() *
+                                              sizeof(uint64_t)));
   }
   if (!output) return Status::IOError("binary table: write failed");
   return Status::OK();
@@ -92,9 +183,12 @@ Result<Table> ReadBinaryTable(std::istream& input) {
     return Status::Corruption("binary table: bad magic");
   }
   uint32_t version = 0;
-  if (!ReadPod(input, version) || version != kBinaryTableVersion) {
-    return Status::Corruption("binary table: unsupported version " +
-                              std::to_string(version));
+  if (!ReadPod(input, version) ||
+      (version != kBinaryTableVersion && version != kBinaryTableVersionV1)) {
+    return Status::Corruption(
+        "binary table: unsupported version " + std::to_string(version) +
+        " (supported: " + std::to_string(kBinaryTableVersionV1) + ", " +
+        std::to_string(kBinaryTableVersion) + ")");
   }
   uint64_t num_rows = 0;
   uint32_t num_columns = 0;
@@ -102,19 +196,29 @@ Result<Table> ReadBinaryTable(std::istream& input) {
     return Status::Corruption("binary table: truncated header");
   }
   // Lower-bound the bytes the header promises against what the stream can
-  // actually deliver: each column costs at least its 9-byte fixed header
-  // plus num_rows codes. A corrupt header claiming billions of rows fails
-  // here with Corruption instead of entering the read loop at all.
+  // actually deliver. Version 1 columns cost at least their 9-byte fixed
+  // header plus num_rows 4-byte codes; version 2 columns cost at least a
+  // 10-byte header (payload words are checked per column once the width is
+  // known, since a width of 0 legitimately has no payload). A corrupt
+  // header claiming billions of rows or columns fails here with Corruption
+  // instead of entering the read loop at all.
   {
     const std::streamoff remaining = RemainingBytes(input);
     if (remaining >= 0) {
       const auto avail = static_cast<uint64_t>(remaining);
       constexpr uint64_t kColumnHeaderBytes =
           sizeof(uint32_t) + sizeof(uint32_t) + sizeof(uint8_t);
-      const uint64_t per_column =
-          kColumnHeaderBytes + num_rows * sizeof(ValueCode);
-      if (num_rows > avail / sizeof(ValueCode) ||
-          (num_columns > 0 && per_column > avail / num_columns)) {
+      uint64_t per_column = kColumnHeaderBytes;
+      if (version == kBinaryTableVersionV1) {
+        if (num_rows > avail / sizeof(ValueCode)) {
+          return Status::Corruption(
+              "binary table: header claims more data than the stream holds");
+        }
+        per_column += num_rows * sizeof(ValueCode);
+      } else {
+        per_column += sizeof(uint8_t);
+      }
+      if (num_columns > 0 && per_column > avail / num_columns) {
         return Status::Corruption(
             "binary table: header claims more data than the stream holds");
       }
@@ -145,28 +249,13 @@ Result<Table> ReadBinaryTable(std::istream& input) {
         labels.push_back(std::move(label));
       }
     }
-    std::vector<ValueCode> codes;
-    codes.reserve(std::min<uint64_t>(num_rows, 1 << 20));
-    constexpr uint64_t kChunkRows = 1 << 20;
-    uint64_t remaining = num_rows;
-    while (remaining > 0) {
-      const uint64_t chunk = std::min(remaining, kChunkRows);
-      const size_t old_size = codes.size();
-      codes.resize(old_size + chunk);
-      const auto bytes = static_cast<std::streamsize>(
-          chunk * sizeof(ValueCode));
-      input.read(reinterpret_cast<char*>(codes.data() + old_size), bytes);
-      if (input.gcount() != bytes) {
-        return Status::Corruption(
-            "binary table: truncated codes in column '" + name + "'");
-      }
-      remaining -= chunk;
-    }
-    auto column = Column::Make(std::move(name), support, std::move(codes),
-                               std::move(labels));
-    if (!column.ok()) {
-      return Status::Corruption("binary table: " + column.status().message());
-    }
+    auto column =
+        version == kBinaryTableVersionV1
+            ? ReadColumnV1(input, std::move(name), support, num_rows,
+                           std::move(labels))
+            : ReadColumnV2(input, std::move(name), support, num_rows,
+                           std::move(labels));
+    if (!column.ok()) return column.status();
     columns.push_back(std::move(column).value());
   }
   auto table = Table::Make(std::move(columns));

@@ -1,13 +1,22 @@
 // Binary column-store format for fast save/load of encoded tables.
 //
-// Layout (little-endian):
+// Layout (little-endian; full wire spec in docs/STORAGE.md):
 //   magic "SWPB" | u32 version | u64 num_rows | u32 num_columns
 //   per column:
 //     u32 name_len | name bytes
 //     u32 support
 //     u8  has_labels
 //     if has_labels: support x (u32 len | bytes)
-//     num_rows x u32 codes
+//     version 1: num_rows x u32 codes
+//     version 2: u8 width | ceil(num_rows*width/64) x u64 packed words
+//
+// Version 2 stores each column's codes bit-packed at the canonical width
+// ceil(log2(support)) -- the exact in-memory representation
+// (src/table/packed_codes.h) -- so loading is a header parse plus one
+// contiguous read per column, and the file is 4-8x smaller for typical
+// categorical supports. Writers always emit version 2; the reader still
+// accepts version 1 (4-byte codes) and re-packs on load, and
+// `swope_cli convert` re-encodes v1 files in place of re-generating.
 //
 // Loading a binary table skips dictionary building entirely, which is the
 // point: re-running experiments over a generated dataset becomes I/O bound
@@ -25,16 +34,18 @@
 
 namespace swope {
 
-/// Current format version.
-inline constexpr uint32_t kBinaryTableVersion = 1;
+/// Current format version (bit-packed payload), the only version written.
+inline constexpr uint32_t kBinaryTableVersion = 2;
+/// Legacy 4-bytes-per-code version, still readable.
+inline constexpr uint32_t kBinaryTableVersionV1 = 1;
 
-/// Serializes `table` to the binary column-store format.
+/// Serializes `table` to the binary column-store format (version 2).
 Status WriteBinaryTable(const Table& table, std::ostream& output);
 Status WriteBinaryTableFile(const Table& table, const std::string& path);
 
 /// Deserializes a table; validates the magic, version and all structural
-/// invariants (code ranges, label counts), returning Corruption on any
-/// mismatch.
+/// invariants (code ranges, packed widths, label counts), returning
+/// Corruption on any mismatch. Reads versions 1 and 2.
 Result<Table> ReadBinaryTable(std::istream& input);
 Result<Table> ReadBinaryTableFile(const std::string& path);
 

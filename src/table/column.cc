@@ -24,14 +24,64 @@ Result<Column> Column::Make(std::string name, uint32_t support,
                                      std::to_string(support));
     }
   }
-  return Column(std::move(name), support, std::move(codes),
+  PackedCodes packed =
+      PackedCodes::Pack(codes, PackedCodes::WidthForSupport(support));
+  return Column(std::move(name), support, std::move(packed),
                 std::move(labels));
 }
 
 Column Column::FromCodes(std::string name, std::vector<ValueCode> codes) {
   uint32_t support = 0;
   for (ValueCode c : codes) support = std::max(support, c + 1);
-  return Column(std::move(name), support, std::move(codes), {});
+  PackedCodes packed =
+      PackedCodes::Pack(codes, PackedCodes::WidthForSupport(support));
+  return Column(std::move(name), support, std::move(packed), {});
+}
+
+Result<Column> Column::FromPacked(std::string name, uint32_t support,
+                                  PackedCodes packed,
+                                  std::vector<std::string> labels) {
+  if (!packed.empty() && support == 0) {
+    return Status::InvalidArgument("column '" + name +
+                                   "': support is 0 but codes are present");
+  }
+  if (!labels.empty() && labels.size() != support) {
+    return Status::InvalidArgument(
+        "column '" + name + "': label count " +
+        std::to_string(labels.size()) + " != support " +
+        std::to_string(support));
+  }
+  if (packed.width() != PackedCodes::WidthForSupport(support)) {
+    return Status::InvalidArgument(
+        "column '" + name + "': width " + std::to_string(packed.width()) +
+        " is not canonical for support " + std::to_string(support));
+  }
+  // Validate decoded codes chunk by chunk; a packed payload can encode
+  // values in [support, 2^width).
+  std::vector<ValueCode> scratch(std::min<uint64_t>(packed.size(), 4096));
+  for (uint64_t begin = 0; begin < packed.size();
+       begin += scratch.size()) {
+    const uint64_t end =
+        std::min<uint64_t>(packed.size(), begin + scratch.size());
+    packed.Decode(begin, end, scratch.data());
+    for (uint64_t i = 0; i < end - begin; ++i) {
+      if (scratch[i] >= support) {
+        return Status::InvalidArgument(
+            "column '" + name + "': code " + std::to_string(scratch[i]) +
+            " >= support " + std::to_string(support));
+      }
+    }
+  }
+  return Column(std::move(name), support, std::move(packed),
+                std::move(labels));
+}
+
+uint64_t Column::MemoryBytes() const {
+  uint64_t bytes = packed_.MemoryBytes() + name_.size();
+  for (const std::string& label : labels_) {
+    bytes += label.size() + sizeof(std::string);
+  }
+  return bytes;
 }
 
 std::string Column::LabelOf(ValueCode code) const {
@@ -41,7 +91,14 @@ std::string Column::LabelOf(ValueCode code) const {
 
 std::vector<uint64_t> Column::ValueCounts() const {
   std::vector<uint64_t> counts(support_, 0);
-  for (ValueCode c : codes_) ++counts[c];
+  std::vector<ValueCode> scratch(std::min<uint64_t>(packed_.size(), 4096));
+  for (uint64_t begin = 0; begin < packed_.size();
+       begin += scratch.size()) {
+    const uint64_t end =
+        std::min<uint64_t>(packed_.size(), begin + scratch.size());
+    packed_.Decode(begin, end, scratch.data());
+    for (uint64_t i = 0; i < end - begin; ++i) ++counts[scratch[i]];
+  }
   return counts;
 }
 

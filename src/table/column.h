@@ -2,8 +2,11 @@
 //
 // The paper's model (Section 2.1) assumes attribute values fall in
 // [1, u_alpha] after a one-to-one preprocessing match. We store codes in
-// [0, u) as uint32_t plus an optional dictionary of original string labels,
-// which is exactly that preprocessing made concrete.
+// [0, u) bit-packed at ceil(log2(u)) bits per value (src/table/
+// packed_codes.h), plus an optional dictionary of original string labels
+// -- the preprocessing made concrete, at the memory footprint the
+// paper's columnar-storage argument assumes. Hot paths batch-decode
+// through ColumnView (src/table/column_view.h); see docs/STORAGE.md.
 
 #ifndef SWOPE_TABLE_COLUMN_H_
 #define SWOPE_TABLE_COLUMN_H_
@@ -14,11 +17,9 @@
 
 #include "src/common/result.h"
 #include "src/common/status.h"
+#include "src/table/packed_codes.h"
 
 namespace swope {
-
-/// Value code type: a dictionary-encoded attribute value in [0, support()).
-using ValueCode = uint32_t;
 
 /// An immutable dictionary-encoded column. `support` is u_alpha, the number
 /// of distinct attribute values; every stored code is < support.
@@ -26,7 +27,7 @@ class Column {
  public:
   /// Validating factory. Fails if any code is >= support, or if support is 0
   /// while codes are present, or if `labels` is non-empty but its size does
-  /// not equal support.
+  /// not equal support. Codes are bit-packed on construction.
   static Result<Column> Make(std::string name, uint32_t support,
                              std::vector<ValueCode> codes,
                              std::vector<std::string> labels = {});
@@ -34,6 +35,13 @@ class Column {
   /// Convenience factory for tests/generators holding already-valid data:
   /// computes support as max(code)+1 (0 for an empty column).
   static Column FromCodes(std::string name, std::vector<ValueCode> codes);
+
+  /// Factory over an already-packed payload (binary format v2). Requires
+  /// the canonical width for `support` and validates every decoded code
+  /// against it.
+  static Result<Column> FromPacked(std::string name, uint32_t support,
+                                   PackedCodes packed,
+                                   std::vector<std::string> labels = {});
 
   Column() = default;
 
@@ -43,11 +51,24 @@ class Column {
   /// has every slot occupied at least once.
   uint32_t support() const { return support_; }
   /// Number of rows.
-  uint64_t size() const { return codes_.size(); }
-  bool empty() const { return codes_.empty(); }
+  uint64_t size() const { return packed_.size(); }
+  bool empty() const { return packed_.empty(); }
 
-  ValueCode code(uint64_t row) const { return codes_[row]; }
-  const std::vector<ValueCode>& codes() const { return codes_; }
+  /// Per-row decode. Cold-path accessor (writers, tests, permutation):
+  /// query kernels batch-decode through ColumnView instead.
+  ValueCode code(uint64_t row) const { return packed_.Get(row); }
+
+  /// Decodes the whole column into a fresh vector. Cold paths and tests
+  /// only; tools/lint.py bans it outside src/table/ and tests.
+  std::vector<ValueCode> codes() const { return packed_.ToVector(); }
+
+  /// The bit-packed payload (ColumnView and binary_io use this).
+  const PackedCodes& packed() const { return packed_; }
+
+  /// Exact resident bytes: packed payload plus the label dictionary
+  /// (per-string object plus character payload) plus the name. The
+  /// accounting rules live in docs/STORAGE.md.
+  uint64_t MemoryBytes() const;
 
   /// True when the column retains original value labels.
   bool has_labels() const { return !labels_.empty(); }
@@ -61,16 +82,16 @@ class Column {
   std::vector<uint64_t> ValueCounts() const;
 
  private:
-  Column(std::string name, uint32_t support, std::vector<ValueCode> codes,
+  Column(std::string name, uint32_t support, PackedCodes packed,
          std::vector<std::string> labels)
       : name_(std::move(name)),
         support_(support),
-        codes_(std::move(codes)),
+        packed_(std::move(packed)),
         labels_(std::move(labels)) {}
 
   std::string name_;
   uint32_t support_ = 0;
-  std::vector<ValueCode> codes_;
+  PackedCodes packed_;
   std::vector<std::string> labels_;
 };
 

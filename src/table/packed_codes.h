@@ -1,0 +1,117 @@
+// PackedCodes: bit-packed storage for dictionary codes.
+//
+// A column with support u only needs ceil(log2(u)) bits per value, and
+// real categorical attributes (Table 2's CDC/HUS/PUS columns) mostly fit
+// in 8 bits or fewer, so packing shrinks the resident working set 4-8x
+// versus 4-bytes-per-value vectors. That is what makes the paper's
+// columnar-storage argument (Section 6.1) bite: the sampled prefix of
+// every column stays cache-resident. Values are stored little-endian
+// within consecutive uint64_t words; width 0 encodes a constant column
+// (support <= 1) with no payload at all.
+//
+// Batch decode goes through width-specialized kernels -- one template
+// instantiation per width, dispatched once per batch -- so the shift and
+// mask are compile-time constants and the inner loops stay branch-free.
+// docs/STORAGE.md documents the layout, the accessor contract, and the
+// byte-accounting rules built on top of it.
+
+#ifndef SWOPE_TABLE_PACKED_CODES_H_
+#define SWOPE_TABLE_PACKED_CODES_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace swope {
+
+/// Value code type: a dictionary-encoded attribute value in [0, support).
+using ValueCode = uint32_t;
+
+/// Immutable bit-packed sequence of codes, all below 2^width.
+class PackedCodes {
+ public:
+  /// Bits needed to store any code in [0, support): ceil(log2(support)),
+  /// with 0 for constant columns (support <= 1).
+  static uint32_t WidthForSupport(uint32_t support) {
+    return support <= 1
+               ? 0u
+               : static_cast<uint32_t>(std::bit_width(support - 1u));
+  }
+
+  /// Number of payload words a sequence occupies (excludes the padding
+  /// word the in-memory representation appends).
+  static uint64_t NumDataWords(uint64_t size, uint32_t width) {
+    return (size * width + 63) / 64;
+  }
+
+  PackedCodes() = default;
+
+  /// Packs `codes`, all of which must be < 2^width (the caller validates
+  /// against its support before packing).
+  static PackedCodes Pack(const std::vector<ValueCode>& codes,
+                          uint32_t width);
+
+  /// Reconstructs from serialized payload words (binary format v2).
+  /// Validates the width and word count; decoded values still need a
+  /// support check by the caller (Column::FromPacked).
+  static Result<PackedCodes> FromWords(uint64_t size, uint32_t width,
+                                       std::vector<uint64_t> words);
+
+  uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint32_t width() const { return width_; }
+
+  /// Single-value decode. Cold-path accessor: batch loops should call
+  /// Decode/Gather instead, which hoist the width dispatch out of the
+  /// loop.
+  ValueCode Get(uint64_t i) const {
+    if (width_ == 0) return 0;
+    const uint64_t bit = i * width_;
+    const uint64_t mask = (uint64_t{1} << width_) - 1;
+    // The trailing padding word keeps the two-word read in bounds.
+    const unsigned __int128 pair =
+        (static_cast<unsigned __int128>(words_[(bit >> 6) + 1]) << 64) |
+        words_[bit >> 6];
+    return static_cast<ValueCode>(
+        static_cast<uint64_t>(pair >> (bit & 63)) & mask);
+  }
+
+  /// Decodes the contiguous range [begin, end) into `out` (which must
+  /// hold end - begin values). Width-specialized.
+  void Decode(uint64_t begin, uint64_t end, ValueCode* out) const;
+
+  /// Decodes the `count` values at positions order[0..count) into `out`.
+  /// Width-specialized; this is the sampled-prefix hot path.
+  void Gather(const uint32_t* order, uint64_t count, ValueCode* out) const;
+
+  /// Decodes everything into a fresh vector (tests / cold paths).
+  std::vector<ValueCode> ToVector() const;
+
+  /// Serialized payload (NumDataWords entries; the padding word is not
+  /// part of the wire format).
+  const uint64_t* data_words() const { return words_.data(); }
+  uint64_t num_data_words() const { return NumDataWords(size_, width_); }
+
+  /// Exact resident payload bytes (including the in-memory padding word).
+  uint64_t MemoryBytes() const {
+    return words_.size() * sizeof(uint64_t);
+  }
+
+ private:
+  PackedCodes(uint64_t size, uint32_t width, std::vector<uint64_t> words)
+      : size_(size), width_(width), words_(std::move(words)) {}
+
+  uint64_t size_ = 0;
+  uint32_t width_ = 0;
+  /// Payload words plus one zero padding word (when non-empty), so the
+  /// unaligned two-word reads in the decode kernels never run off the
+  /// end.
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace swope
+
+#endif  // SWOPE_TABLE_PACKED_CODES_H_

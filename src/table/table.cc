@@ -51,6 +51,12 @@ uint32_t Table::MaxSupport() const {
   return max_support;
 }
 
+uint64_t Table::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const Column& col : columns_) bytes += col.MemoryBytes();
+  return bytes;
+}
+
 Table Table::DropHighSupportColumns(uint32_t max_support) const {
   std::vector<Column> kept;
   for (const Column& col : columns_) {
@@ -75,8 +81,9 @@ Result<Table> Table::PermuteRows(const std::vector<uint32_t>& perm) const {
   std::vector<Column> permuted;
   permuted.reserve(columns_.size());
   for (const Column& col : columns_) {
+    // One batch gather per column: decode col[perm[r]] for every row.
     std::vector<ValueCode> codes(col.size());
-    for (uint64_t r = 0; r < col.size(); ++r) codes[r] = col.code(perm[r]);
+    col.packed().Gather(perm.data(), perm.size(), codes.data());
     std::vector<std::string> labels = col.labels();
     auto made =
         Column::Make(col.name(), col.support(), std::move(codes), labels);

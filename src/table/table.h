@@ -42,6 +42,11 @@ class Table {
   /// table). Used by the M0 policy.
   uint32_t MaxSupport() const;
 
+  /// Exact resident bytes across all columns (bit-packed payloads plus
+  /// label dictionaries; accounting rules in docs/STORAGE.md). The
+  /// engine's DatasetRegistry budgets and reports this number.
+  uint64_t MemoryBytes() const;
+
   /// Returns a table containing only the columns with support size
   /// <= max_support. This is the paper's preprocessing step: "we eliminate
   /// columns with a support size larger than 1000" (Section 6.1).

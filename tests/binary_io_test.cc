@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <cstring>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -88,6 +90,112 @@ TEST(BinaryIoTest, WrongVersionIsCorruption) {
   bytes[4] = 99;  // version field follows the 4-byte magic
   std::stringstream bad(bytes);
   EXPECT_TRUE(ReadBinaryTable(bad).status().IsCorruption());
+}
+
+TEST(BinaryIoTest, WrongVersionDiagnosticNamesSupportedVersions) {
+  const Table original = SampleTable();
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteBinaryTable(original, buffer).ok());
+  std::string bytes = buffer.str();
+  bytes[4] = 99;
+  std::stringstream bad(bytes);
+  const Status status = ReadBinaryTable(bad).status();
+  EXPECT_NE(status.message().find("unsupported version 99"),
+            std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("supported: 1, 2"), std::string::npos)
+      << status.ToString();
+}
+
+// A complete version-1 image, checked in byte-for-byte, so the legacy
+// read path keeps working no matter what the current writer emits:
+// 4 rows, two columns -- "x" (support 3, no labels, codes 2 0 1 2) and
+// "g" (support 2, labels "lo"/"hi", codes 0 1 1 0). Version-1 payloads
+// are one little-endian u32 per code.
+constexpr unsigned char kV1Fixture[] = {
+    'S', 'W', 'P', 'B',              // magic
+    1, 0, 0, 0,                      // version = 1
+    4, 0, 0, 0, 0, 0, 0, 0,          // num_rows = 4
+    2, 0, 0, 0,                      // num_columns = 2
+    // column "x"
+    1, 0, 0, 0, 'x',                 // name
+    3, 0, 0, 0,                      // support = 3
+    0,                               // has_labels = 0
+    2, 0, 0, 0, 0, 0, 0, 0,          // codes[0..1] = 2, 0
+    1, 0, 0, 0, 2, 0, 0, 0,          // codes[2..3] = 1, 2
+    // column "g"
+    1, 0, 0, 0, 'g',                 // name
+    2, 0, 0, 0,                      // support = 2
+    1,                               // has_labels = 1
+    2, 0, 0, 0, 'l', 'o',            // labels[0] = "lo"
+    2, 0, 0, 0, 'h', 'i',            // labels[1] = "hi"
+    0, 0, 0, 0, 1, 0, 0, 0,          // codes[0..1] = 0, 1
+    1, 0, 0, 0, 0, 0, 0, 0,          // codes[2..3] = 1, 0
+};
+
+TEST(BinaryIoTest, ReadsCheckedInV1Fixture) {
+  std::stringstream buffer(std::string(
+      reinterpret_cast<const char*>(kV1Fixture), sizeof(kV1Fixture)));
+  auto loaded = ReadBinaryTable(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_rows(), 4u);
+  ASSERT_EQ(loaded->num_columns(), 2u);
+  EXPECT_EQ(loaded->column(0).name(), "x");
+  EXPECT_EQ(loaded->column(0).support(), 3u);
+  EXPECT_FALSE(loaded->column(0).has_labels());
+  EXPECT_EQ(loaded->column(0).codes(),
+            (std::vector<ValueCode>{2, 0, 1, 2}));
+  EXPECT_EQ(loaded->column(1).name(), "g");
+  EXPECT_EQ(loaded->column(1).support(), 2u);
+  EXPECT_EQ(loaded->column(1).labels(),
+            (std::vector<std::string>{"lo", "hi"}));
+  EXPECT_EQ(loaded->column(1).codes(),
+            (std::vector<ValueCode>{0, 1, 1, 0}));
+}
+
+TEST(BinaryIoTest, RewritingV1FixtureUpgradesToV2) {
+  std::stringstream buffer(std::string(
+      reinterpret_cast<const char*>(kV1Fixture), sizeof(kV1Fixture)));
+  auto loaded = ReadBinaryTable(buffer);
+  ASSERT_TRUE(loaded.ok());
+  std::stringstream rewritten;
+  ASSERT_TRUE(WriteBinaryTable(*loaded, rewritten).ok());
+  const std::string bytes = rewritten.str();
+  ASSERT_GE(bytes.size(), size_t{8});
+  EXPECT_EQ(bytes[4], 2);  // current version: bit-packed payload
+  // Packing shrinks the payload: the v2 image must be smaller than the
+  // 4-bytes-per-code v1 fixture.
+  EXPECT_LT(bytes.size(), sizeof(kV1Fixture));
+  std::stringstream reread(bytes);
+  auto roundtrip = ReadBinaryTable(reread);
+  ASSERT_TRUE(roundtrip.ok()) << roundtrip.status().ToString();
+  EXPECT_EQ(roundtrip->column(0).codes(), loaded->column(0).codes());
+  EXPECT_EQ(roundtrip->column(1).codes(), loaded->column(1).codes());
+  EXPECT_EQ(roundtrip->column(1).labels(), loaded->column(1).labels());
+}
+
+TEST(BinaryIoTest, V2WidthMismatchIsCorruption) {
+  // Corrupt the declared width byte of a v2 column; the reader must
+  // reject it because it disagrees with the canonical width for the
+  // declared support.
+  auto column = Column::Make("w", 5, {4, 1, 3, 0, 0});
+  ASSERT_TRUE(column.ok());
+  auto original = Table::Make({std::move(column).value()});
+  ASSERT_TRUE(original.ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteBinaryTable(*original, buffer).ok());
+  std::string bytes = buffer.str();
+  // Column header: magic(4) + version(4) + rows(8) + cols(4) = offset 20;
+  // then name len(4) + "w"(1) + support(4) + has_labels(1) puts the width
+  // byte at offset 30.
+  ASSERT_GT(bytes.size(), size_t{30});
+  ASSERT_EQ(bytes[30], 3);  // WidthForSupport(5)
+  bytes[30] = 7;
+  std::stringstream bad(bytes);
+  const Status status = ReadBinaryTable(bad).status();
+  EXPECT_TRUE(status.IsCorruption());
+  EXPECT_NE(status.message().find("width"), std::string::npos)
+      << status.ToString();
 }
 
 TEST(BinaryIoTest, LyingRowCountIsCorruptionNotAllocation) {

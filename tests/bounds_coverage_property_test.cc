@@ -12,6 +12,7 @@
 #include "src/core/entropy.h"
 #include "src/core/frequency_counter.h"
 #include "src/datagen/generator.h"
+#include "src/table/column_view.h"
 #include "src/table/shuffle.h"
 
 namespace swope {
@@ -39,7 +40,10 @@ TEST_P(BoundsCoverageTest, IntervalCoversEmpiricalEntropy) {
   for (int trial = 0; trial < kTrials; ++trial) {
     const auto order = ShuffledRowOrder(kRows, 9000 + trial);
     FrequencyCounter counter(column->support());
-    counter.AddRows(*column, order, 0, param.sample_size);
+    std::vector<ValueCode> scratch;
+    counter.AddCodes(
+        ColumnView(*column).Gather(order, 0, param.sample_size, scratch),
+        param.sample_size);
     const EntropyInterval interval =
         MakeEntropyInterval(counter.SampleEntropy(), column->support(),
                             kRows, param.sample_size, kP);

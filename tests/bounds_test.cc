@@ -7,6 +7,7 @@
 #include "src/core/entropy.h"
 #include "src/core/frequency_counter.h"
 #include "src/datagen/generator.h"
+#include "src/table/column_view.h"
 #include "src/table/shuffle.h"
 
 namespace swope {
@@ -226,7 +227,9 @@ TEST(BoundsTest, IntervalCoversTruthEmpirically) {
   for (int trial = 0; trial < kTrials; ++trial) {
     const auto order = ShuffledRowOrder(kRows, 1000 + trial);
     FrequencyCounter counter(32);
-    counter.AddRows(*column, order, 0, kSample);
+    std::vector<ValueCode> scratch;
+    counter.AddCodes(ColumnView(*column).Gather(order, 0, kSample, scratch),
+                     kSample);
     const EntropyInterval interval = MakeEntropyInterval(
         counter.SampleEntropy(), 32, kRows, kSample, kP);
     if (truth < interval.lower - 1e-12 || truth > interval.upper + 1e-12) {

@@ -22,8 +22,31 @@ if "$CLI" frobnicate 2>/dev/null; then fail "unknown command accepted"; fi
 "$CLI" gen --preset=hus --rows=500 --seed=3 --out="$TMP/d.csv" \
   | grep -q "wrote 500 x 107" || fail "gen csv"
 
-# info prints the shape
+# info prints the shape and the exact resident footprint
 "$CLI" info --in="$TMP/d.swpb" | grep -q "rows:    5000" || fail "info rows"
+"$CLI" info --in="$TMP/d.swpb" | grep -q "memory:  " || fail "info memory"
+
+# convert: CSV -> SWPB -> CSV round-trips losslessly
+"$CLI" convert --in="$TMP/d.csv" --out="$TMP/rt.swpb" \
+  | grep -q "converted .* (500 rows, 107 columns)" || fail "convert to swpb"
+"$CLI" convert --in="$TMP/rt.swpb" --out="$TMP/rt.csv" \
+  | grep -q "converted" || fail "convert to csv"
+diff "$TMP/d.csv" "$TMP/rt.csv" || fail "convert round trip not lossless"
+
+# convert: SWPB -> SWPB re-encode reads back with identical query answers
+"$CLI" convert --in="$TMP/d.swpb" --out="$TMP/re.swpb" >/dev/null \
+  || fail "convert swpb re-encode"
+"$CLI" topk --in="$TMP/d.swpb" --k=5 | grep -v '^-- ' > "$TMP/orig.txt"
+"$CLI" topk --in="$TMP/re.swpb" --k=5 | grep -v '^-- ' > "$TMP/reenc.txt"
+diff "$TMP/orig.txt" "$TMP/reenc.txt" || fail "re-encoded answers differ"
+
+# convert exit codes: missing flag is usage (2), missing input is runtime (1)
+set +e
+"$CLI" convert --in="$TMP/d.csv" 2>/dev/null
+[ $? -eq 2 ] || fail "convert without --out should exit 2"
+"$CLI" convert --in="$TMP/nope.csv" --out="$TMP/x.swpb" 2>/dev/null
+[ $? -eq 1 ] || fail "convert missing input should exit 1"
+set -e
 
 # approximate and exact queries run and report attributes
 "$CLI" topk --in="$TMP/d.swpb" --k=3 | grep -q -- "-- 3 attributes" \
@@ -113,6 +136,15 @@ grep -q '"ok":true,"op":"load"' "$TMP/serve.out" || fail "serve load"
 grep -q '"cache_hit":true' "$TMP/serve.out" || fail "serve cache hit"
 grep -q '"ok":false' "$TMP/serve.out" || fail "serve in-band error"
 grep -q '"result_cache_hits":1' "$TMP/serve.out" || fail "serve stats"
+# bit-packed storage: the cdc table (5000 rows x 100 cols, supports
+# <= 1000 -> <= 10 bits/code) must stay at or below 40% of the
+# 4-bytes-per-code footprint (2,000,000 bytes) the old estimate charged
+resident="$(grep -o '"resident_bytes":[0-9]*' "$TMP/serve.out" \
+  | head -1 | cut -d: -f2)"
+[ -n "$resident" ] || fail "serve stats missing resident_bytes"
+[ "$resident" -gt 0 ] || fail "resident_bytes is zero"
+[ "$resident" -le 800000 ] \
+  || fail "resident_bytes $resident exceeds 40% of unpacked footprint"
 # query responses carry the full QueryStats block
 for field in '"stats":{' '"final_sample_size":' '"iterations":' \
              '"cells_scanned":' '"candidates_remaining":'; do

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/table/column_view.h"
+
 namespace swope {
 namespace {
 
@@ -65,6 +67,69 @@ TEST(ColumnTest, FromCodesEmpty) {
   const Column column = Column::FromCodes("x", {});
   EXPECT_EQ(column.support(), 0u);
   EXPECT_TRUE(column.empty());
+}
+
+TEST(ColumnTest, StoresCodesBitPacked) {
+  // Support 3 -> 2 bits per value; 100 values fit in 4 payload words
+  // (plus one padding word) instead of 400 unpacked bytes.
+  std::vector<ValueCode> codes(100);
+  for (size_t i = 0; i < codes.size(); ++i) {
+    codes[i] = static_cast<ValueCode>(i % 3);
+  }
+  auto column = Column::Make("p", 3, codes);
+  ASSERT_TRUE(column.ok());
+  EXPECT_EQ(column->packed().width(), 2u);
+  EXPECT_EQ(column->packed().num_data_words(), 4u);
+  EXPECT_LT(column->MemoryBytes(), 100 * sizeof(ValueCode));
+  EXPECT_EQ(column->codes(), codes);
+}
+
+TEST(ColumnTest, ConstantColumnPacksToWidthZero) {
+  auto column = Column::Make("c", 1, std::vector<ValueCode>(5000, 0));
+  ASSERT_TRUE(column.ok());
+  EXPECT_EQ(column->packed().width(), 0u);
+  EXPECT_EQ(column->packed().num_data_words(), 0u);
+  EXPECT_EQ(column->code(4999), 0u);
+}
+
+TEST(ColumnTest, FromPackedValidatesCodesAgainstSupport) {
+  const PackedCodes good = PackedCodes::Pack({4, 1, 3, 0, 0}, 3);
+  EXPECT_TRUE(Column::FromPacked("x", 5, good).ok());
+  // Width 2 is canonical for support 3, but the payload can still encode
+  // the out-of-dictionary value 3; FromPacked must reject it.
+  const PackedCodes bad = PackedCodes::Pack({3, 1, 2, 0, 0}, 2);
+  EXPECT_FALSE(Column::FromPacked("x", 3, bad).ok());
+}
+
+TEST(ColumnTest, FromPackedRejectsNonCanonicalWidth) {
+  // Support 5 needs width 3; a payload packed wider must be rejected so
+  // a column's resident size is a pure function of its logical content.
+  const PackedCodes wide = PackedCodes::Pack({4, 1, 3, 0, 0}, 4);
+  auto column = Column::FromPacked("x", 5, wide);
+  EXPECT_FALSE(column.ok());
+  EXPECT_TRUE(column.status().IsInvalidArgument());
+}
+
+TEST(ColumnTest, ViewGatherMatchesPerRowDecode) {
+  auto column = Column::Make("v", 6, {5, 0, 3, 2, 1, 4, 5, 5, 0, 2});
+  ASSERT_TRUE(column.ok());
+  const ColumnView view(*column);
+  EXPECT_EQ(view.size(), column->size());
+  EXPECT_EQ(view.support(), column->support());
+  const std::vector<uint32_t> order = {9, 0, 4, 4, 7, 2};
+  std::vector<ValueCode> scratch;
+  const ValueCode* gathered = view.Gather(order, 1, 6, scratch);
+  for (size_t i = 1; i < 6; ++i) {
+    EXPECT_EQ(gathered[i - 1], column->code(order[i])) << "i=" << i;
+  }
+}
+
+TEST(ColumnTest, MemoryBytesAccountsLabels) {
+  auto plain = Column::Make("x", 2, {0, 1, 0, 1});
+  auto labeled = Column::Make("x", 2, {0, 1, 0, 1}, {"off", "on"});
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(labeled.ok());
+  EXPECT_GT(labeled->MemoryBytes(), plain->MemoryBytes());
 }
 
 TEST(ColumnTest, ValueCountsSumToSize) {

@@ -43,6 +43,21 @@ TEST(DatasetPresetsTest, MaterializedShape) {
   EXPECT_LE(table->MaxSupport(), 1000u);
 }
 
+TEST(DatasetPresetsTest, PackedFootprintWellUnderUnpacked) {
+  // The acceptance ratio for the bit-packed storage: cdc columns have
+  // supports <= 1000 (<= 10 bits), so the exact resident size must come
+  // in at no more than 40% of the 4-bytes-per-code footprint the old
+  // ApproxTableBytes estimate charged.
+  auto table = MakePresetTable(DatasetPreset::kCdc, 5000, 1);
+  ASSERT_TRUE(table.ok());
+  const uint64_t unpacked =
+      table->num_rows() * table->num_columns() * sizeof(ValueCode);
+  const uint64_t resident = table->MemoryBytes();
+  EXPECT_GT(resident, 0u);
+  EXPECT_LE(resident, unpacked * 2 / 5)
+      << "resident " << resident << " vs unpacked " << unpacked;
+}
+
 TEST(DatasetPresetsTest, DeterministicInSeed) {
   auto a = MakePresetTable(DatasetPreset::kHus, 2000, 9);
   auto b = MakePresetTable(DatasetPreset::kHus, 2000, 9);

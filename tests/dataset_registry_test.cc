@@ -25,7 +25,7 @@ TEST(DatasetRegistryTest, PutGetRoundTrip) {
   EXPECT_EQ((*handle)->name, "ds");
   EXPECT_EQ((*handle)->fingerprint, fingerprint);
   EXPECT_EQ((*handle)->table.num_rows(), table.num_rows());
-  EXPECT_EQ((*handle)->approx_bytes, ApproxTableBytes(table));
+  EXPECT_EQ((*handle)->memory_bytes, table.MemoryBytes());
 }
 
 TEST(DatasetRegistryTest, GetUnknownIsNotFound) {
@@ -65,7 +65,7 @@ TEST(DatasetRegistryTest, NamesAreSorted) {
 
 TEST(DatasetRegistryTest, BudgetEvictsLeastRecentlyUsed) {
   const Table table = SmallTable(1);
-  const uint64_t one = ApproxTableBytes(table);
+  const uint64_t one = table.MemoryBytes();
   // Budget fits two tables but not three.
   DatasetRegistry registry(2 * one + one / 2);
   ASSERT_TRUE(registry.Put("a", SmallTable(1)).ok());
@@ -87,7 +87,7 @@ TEST(DatasetRegistryTest, OversizedDatasetIsStillAdmitted) {
   const Table table = SmallTable(1);
   // Budget smaller than a single table: Put must still keep the new
   // dataset (budget is a target, not an admission bound).
-  DatasetRegistry registry(ApproxTableBytes(table) / 2);
+  DatasetRegistry registry(table.MemoryBytes() / 2);
   ASSERT_TRUE(registry.Put("big", Table(table)).ok());
   EXPECT_TRUE(registry.Get("big").ok());
   EXPECT_EQ(registry.GetStats().resident_datasets, 1u);
@@ -95,7 +95,7 @@ TEST(DatasetRegistryTest, OversizedDatasetIsStillAdmitted) {
 
 TEST(DatasetRegistryTest, HandleSurvivesEviction) {
   const Table table = SmallTable(1);
-  DatasetRegistry registry(ApproxTableBytes(table) + 16);
+  DatasetRegistry registry(table.MemoryBytes() + 16);
   ASSERT_TRUE(registry.Put("a", Table(table)).ok());
   auto handle = registry.Get("a");
   ASSERT_TRUE(handle.ok());
@@ -108,10 +108,11 @@ TEST(DatasetRegistryTest, HandleSurvivesEviction) {
   EXPECT_EQ((*handle)->fingerprint, TableFingerprint(table));
 }
 
-TEST(DatasetRegistryTest, ApproxBytesCountsCodes) {
+TEST(DatasetRegistryTest, MemoryBytesBeatsUnpackedFootprint) {
   const Table table = SmallTable(1);
-  // At minimum 4 bytes per cell.
-  EXPECT_GE(ApproxTableBytes(table),
+  // Bit-packed columns must undercut the old 4-bytes-per-cell layout.
+  EXPECT_GT(table.MemoryBytes(), 0u);
+  EXPECT_LT(table.MemoryBytes(),
             4 * table.num_rows() * table.num_columns());
 }
 

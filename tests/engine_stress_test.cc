@@ -96,7 +96,7 @@ TEST(EngineStressTest, EvictionPressureUnderConcurrentLoad) {
   config.num_threads = 8;
   config.max_in_flight = 8;
   // Roughly two of the four datasets fit: every Put evicts.
-  config.memory_budget_bytes = 2 * ApproxTableBytes(sample) + 1024;
+  config.memory_budget_bytes = 2 * sample.MemoryBytes() + 1024;
   QueryEngine engine(config);
 
   const int kDatasets = 4;

@@ -5,6 +5,7 @@
 #include "src/common/math.h"
 #include "src/core/entropy.h"
 #include "src/datagen/generator.h"
+#include "src/table/column_view.h"
 #include "src/table/shuffle.h"
 
 namespace swope {
@@ -65,14 +66,16 @@ TEST(FrequencyCounterTest, IncrementalMatchesRecomputeAtEveryStep) {
   }
 }
 
-TEST(FrequencyCounterTest, AddRowsMatchesManualAdds) {
+TEST(FrequencyCounterTest, GatheredAddCodesMatchesManualAdds) {
   auto column = GenerateColumn(ColumnSpec::Uniform("u", 6), 1000, 5);
   ASSERT_TRUE(column.ok());
   const auto order = ShuffledRowOrder(1000, 11);
+  const ColumnView view(*column);
+  std::vector<ValueCode> scratch;
 
   FrequencyCounter batched(6);
-  batched.AddRows(*column, order, 0, 400);
-  batched.AddRows(*column, order, 400, 1000);
+  batched.AddCodes(view.Gather(order, 0, 400, scratch), 400);
+  batched.AddCodes(view.Gather(order, 400, 1000, scratch), 600);
 
   FrequencyCounter manual(6);
   for (uint32_t i = 0; i < 1000; ++i) manual.Add(column->code(order[i]));
@@ -88,8 +91,10 @@ TEST(FrequencyCounterTest, FullPrefixEqualsExactEntropy) {
   auto column = GenerateColumn(ColumnSpec::Geometric("g", 9, 0.3), 5000, 7);
   ASSERT_TRUE(column.ok());
   const auto order = ShuffledRowOrder(5000, 13);
+  const ColumnView view(*column);
+  std::vector<ValueCode> scratch;
   FrequencyCounter counter(9);
-  counter.AddRows(*column, order, 0, 5000);
+  counter.AddCodes(view.Gather(order, 0, 5000, scratch), 5000);
   EXPECT_NEAR(counter.SampleEntropy(), ExactEntropy(*column), 1e-9);
 }
 

@@ -69,6 +69,86 @@ TEST(FuzzRoundTripTest, CsvSurvivesHostileCells) {
   }
 }
 
+// Serializes a table as a version-1 image (one u32 per code), which the
+// current writer no longer emits but the reader must keep accepting.
+std::string WriteV1Image(const Table& table) {
+  std::ostringstream out;
+  auto put_u32 = [&out](uint32_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  out.write("SWPB", 4);
+  put_u32(1);  // version
+  const uint64_t rows = table.num_rows();
+  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  put_u32(static_cast<uint32_t>(table.num_columns()));
+  for (const Column& col : table.columns()) {
+    put_u32(static_cast<uint32_t>(col.name().size()));
+    out.write(col.name().data(),
+              static_cast<std::streamsize>(col.name().size()));
+    put_u32(col.support());
+    const char has_labels = col.has_labels() ? 1 : 0;
+    out.write(&has_labels, 1);
+    if (col.has_labels()) {
+      for (const std::string& label : col.labels()) {
+        put_u32(static_cast<uint32_t>(label.size()));
+        out.write(label.data(),
+                  static_cast<std::streamsize>(label.size()));
+      }
+    }
+    for (ValueCode code : col.codes()) put_u32(code);
+  }
+  return out.str();
+}
+
+TEST(FuzzRoundTripTest, V1ImageReadsBackIdentical) {
+  const Table table = test::MakeEntropyTable({1.5, 3.0, 0.8}, 700, 13);
+  std::stringstream stream(WriteV1Image(table));
+  auto loaded = ReadBinaryTable(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_rows(), table.num_rows());
+  ASSERT_EQ(loaded->num_columns(), table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    EXPECT_EQ(loaded->column(c).codes(), table.column(c).codes());
+    EXPECT_EQ(loaded->column(c).support(), table.column(c).support());
+  }
+}
+
+TEST(FuzzRoundTripTest, V1CorruptionNeverCrashes) {
+  const Table table = test::MakeEntropyTable({1.0, 2.5, 0.5}, 500, 3);
+  const std::string image = WriteV1Image(table);
+
+  Rng rng(173);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = image;
+    const int flips = 1 + static_cast<int>(rng.UniformU64(4));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = rng.UniformU64(mutated.size());
+      mutated[pos] = static_cast<char>(rng.Next());
+    }
+    std::stringstream stream(mutated);
+    auto loaded = ReadBinaryTable(stream);  // must not crash or hang
+    if (loaded.ok()) {
+      for (const Column& col : loaded->columns()) {
+        for (uint64_t r = 0; r < col.size(); ++r) {
+          ASSERT_LT(col.code(r), std::max<uint32_t>(col.support(), 1));
+        }
+      }
+    }
+  }
+}
+
+TEST(FuzzRoundTripTest, V1TruncationAlwaysCorruption) {
+  const Table table = test::MakeEntropyTable({2.0, 1.0}, 200, 5);
+  const std::string image = WriteV1Image(table);
+  Rng rng(29);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t cut = rng.UniformU64(image.size());
+    std::stringstream stream(image.substr(0, cut));
+    auto loaded = ReadBinaryTable(stream);
+    EXPECT_FALSE(loaded.ok()) << "cut=" << cut;
+  }
+}
+
 TEST(FuzzRoundTripTest, BinaryCorruptionNeverCrashes) {
   const Table table = test::MakeEntropyTable({1.0, 2.5, 0.5}, 500, 3);
   std::stringstream buffer;

@@ -5,6 +5,7 @@
 #include "src/common/random.h"
 #include "src/core/entropy.h"
 #include "src/datagen/generator.h"
+#include "src/table/column_view.h"
 #include "src/table/shuffle.h"
 
 namespace swope {
@@ -107,27 +108,38 @@ TEST(PairCounterTest, FullScanMatchesExactJointEntropy) {
   ASSERT_TRUE(b.ok());
   const auto order = ShuffledRowOrder(8000, 5);
 
+  std::vector<ValueCode> sa;
+  std::vector<ValueCode> sb;
   PairCounter counter(5, 7);
-  counter.AddRows(*a, *b, order, 0, 8000);
+  counter.AddCodes(ColumnView(*a).Gather(order, 0, 8000, sa),
+                   ColumnView(*b).Gather(order, 0, 8000, sb), 8000);
   auto exact = ExactJointEntropy(*a, *b);
   ASSERT_TRUE(exact.ok());
   EXPECT_NEAR(counter.SampleJointEntropy(), *exact, 1e-9);
 }
 
-TEST(PairCounterTest, AddRowsInBatchesMatchesOneShot) {
+TEST(PairCounterTest, AddCodesInBatchesMatchesOneShot) {
   auto a = GenerateColumn(ColumnSpec::Uniform("a", 4), 2000, 6);
   auto b = GenerateColumn(ColumnSpec::Uniform("b", 4), 2000, 7);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   const auto order = ShuffledRowOrder(2000, 8);
+  const ColumnView view_a(*a);
+  const ColumnView view_b(*b);
+  std::vector<ValueCode> sa;
+  std::vector<ValueCode> sb;
 
   PairCounter batched(4, 4);
-  batched.AddRows(*a, *b, order, 0, 500);
-  batched.AddRows(*a, *b, order, 500, 1300);
-  batched.AddRows(*a, *b, order, 1300, 2000);
+  batched.AddCodes(view_a.Gather(order, 0, 500, sa),
+                   view_b.Gather(order, 0, 500, sb), 500);
+  batched.AddCodes(view_a.Gather(order, 500, 1300, sa),
+                   view_b.Gather(order, 500, 1300, sb), 800);
+  batched.AddCodes(view_a.Gather(order, 1300, 2000, sa),
+                   view_b.Gather(order, 1300, 2000, sb), 700);
 
   PairCounter oneshot(4, 4);
-  oneshot.AddRows(*a, *b, order, 0, 2000);
+  oneshot.AddCodes(view_a.Gather(order, 0, 2000, sa),
+                   view_b.Gather(order, 0, 2000, sb), 2000);
 
   EXPECT_NEAR(batched.SampleJointEntropy(), oneshot.SampleJointEntropy(),
               1e-12);

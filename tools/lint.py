@@ -25,6 +25,11 @@ Enforces the handful of conventions that clang-tidy cannot express:
                   only be included from src/core/; everything else goes
                   through the public driver headers (swope_topk_*.h,
                   swope_filter_*.h).
+  raw-codes       per-row `.code(row)` and whole-column `.codes()` access
+                  is banned outside src/table/ and tests/ -- hot paths
+                  batch-decode through ColumnView::Gather/Decode (see
+                  docs/STORAGE.md). Benchmark baselines carry a
+                  `// NOLINT(swope-raw-codes): reason` escape.
 
 Findings print as `path:line: [rule] message` and the exit status is the
 number of findings (capped at 1), so both humans and CI can consume it.
@@ -55,6 +60,10 @@ CORE_INTERNAL_HEADERS = frozenset({
     "src/core/adaptive_sampling_driver.h",
     "src/core/scorers.h",
 })
+# `.codes()` always, `.code(` only with an argument (so Status::code() and
+# other nullary `.code()` accessors stay legal).
+RAW_CODES_RE = re.compile(r"\.\s*codes\s*\(|\.\s*code\s*\(\s*[^)\s]")
+RAW_CODES_EXEMPT_DIRS = ("src/table", "tests")
 
 
 def strip_comments_and_strings(text):
@@ -191,6 +200,13 @@ def lint_file(root, relpath):
                              "raw steady_clock::now(); use SteadyNow() or "
                              "Stopwatch (src/common/stopwatch.h) so timing "
                              "stays observable"))
+        if (RAW_CODES_RE.search(line)
+                and not relpath.as_posix().startswith(RAW_CODES_EXEMPT_DIRS)):
+            findings.append((relpath, lineno, "raw-codes",
+                             "raw per-row code()/codes() access outside "
+                             "src/table/; batch-decode through "
+                             "ColumnView::Gather/Decode instead "
+                             "(docs/STORAGE.md)"))
         # Include paths live inside string literals, which the code view
         # blanks — gate on the directive in the code line, then read the
         # path from the raw line.

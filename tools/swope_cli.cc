@@ -46,6 +46,9 @@ constexpr char kUsage[] =
 commands:
   gen        generate a synthetic dataset    --preset=cdc|hus|pus|enem --rows=N --out=FILE [--seed=N]
   info       describe a dataset              --in=FILE
+  convert    re-encode a dataset             --in=FILE --out=FILE
+             CSV <-> SWPB in either direction; SWPB -> SWPB re-encodes
+             legacy v1 files as bit-packed v2. Lossless: no column drop.
   topk       approximate entropy top-k       --in=FILE --k=N [--epsilon=E] [--seed=N] [--exact]
   filter     approximate entropy filtering   --in=FILE --eta=T [--epsilon=E] [--seed=N] [--exact]
   mi-topk    approximate MI top-k            --in=FILE --target=COL --k=N [--epsilon=E] [--exact]
@@ -67,7 +70,8 @@ common flags:
                     deterministic for a given dataset/seed
 
 FILE handling: *.csv is CSV with a header row; anything else is the SWPB
-binary column store.
+binary column store (written as bit-packed format v2; v1 files are still
+read -- see docs/STORAGE.md).
 
 exit codes: 0 success, 1 runtime failure (I/O, corruption, query error),
 2 usage error (unknown command/flag, invalid argument). Diagnostics go to
@@ -242,12 +246,36 @@ int CmdGen(const Flags& flags) {
   return 0;
 }
 
+// Lossless re-encode: unlike the query commands, convert never applies
+// --max-support pruning -- the output holds exactly the input's columns.
+int CmdConvert(const Flags& flags) {
+  const std::string in = flags.GetString("in");
+  if (in.empty()) {
+    return Fail(Status::InvalidArgument("--in=FILE is required"));
+  }
+  const std::string out = flags.GetString("out");
+  if (out.empty()) {
+    return Fail(Status::InvalidArgument("--out=FILE is required"));
+  }
+  auto table = IsCsvPath(in) ? ReadCsvFile(in) : ReadBinaryTableFile(in);
+  if (!table.ok()) return Fail(table.status());
+  const Status status = IsCsvPath(out) ? WriteCsvFile(*table, out)
+                                       : WriteBinaryTableFile(*table, out);
+  if (!status.ok()) return Fail(status);
+  std::printf("converted %s -> %s (%llu rows, %zu columns)\n", in.c_str(),
+              out.c_str(),
+              static_cast<unsigned long long>(table->num_rows()),
+              table->num_columns());
+  return 0;
+}
+
 int CmdInfo(const Flags& flags) {
   auto table = LoadTable(flags);
   if (!table.ok()) return Fail(table.status());
-  std::printf("rows:    %llu\ncolumns: %zu\nmax u:   %u\n",
+  std::printf("rows:    %llu\ncolumns: %zu\nmax u:   %u\nmemory:  %llu\n",
               static_cast<unsigned long long>(table->num_rows()),
-              table->num_columns(), table->MaxSupport());
+              table->num_columns(), table->MaxSupport(),
+              static_cast<unsigned long long>(table->MemoryBytes()));
   std::printf("%-20s %-10s %s\n", "column", "support", "entropy(bits)");
   for (const Column& column : table->columns()) {
     std::printf("%-20s %-10u %.4f\n", column.name().c_str(),
@@ -380,6 +408,7 @@ int Main(int argc, char** argv) {
   if (!flags.ok()) return Fail(flags.status());
 
   if (command == "gen") return CmdGen(*flags);
+  if (command == "convert") return CmdConvert(*flags);
   if (command == "info") return CmdInfo(*flags);
   if (command == "topk") return CmdTopK(*flags);
   if (command == "filter") return CmdFilter(*flags);
