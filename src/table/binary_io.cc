@@ -100,6 +100,17 @@ Result<Column> ReadColumnV2(std::istream& input, std::string name,
         std::to_string(PackedCodes::WidthForSupport(support)) +
         " for support " + std::to_string(support));
   }
+  // The table header only pre-charges 10 bytes per v2 column, so num_rows
+  // is still untrusted here. Reject sizes whose bit count would overflow
+  // uint64 before calling NumDataWords -- a wrapped word count would pass
+  // both the RemainingBytes check and FromWords' (same-formula) count
+  // check, yielding a PackedCodes that decodes out of bounds.
+  if (num_rows > PackedCodes::MaxSizeForWidth(width)) {
+    return Status::Corruption(
+        "binary table: column '" + name + "' claims " +
+        std::to_string(num_rows) + " rows, too many for width " +
+        std::to_string(width));
+  }
   const uint64_t num_words = PackedCodes::NumDataWords(num_rows, width);
   // Against lying headers: check the stream can actually hold the payload
   // before allocating (when seekable), and read in bounded chunks.

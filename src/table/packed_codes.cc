@@ -106,6 +106,14 @@ Result<PackedCodes> PackedCodes::FromWords(uint64_t size, uint32_t width,
     return Status::InvalidArgument("packed codes: width " +
                                    std::to_string(width) + " > 32");
   }
+  if (size > MaxSizeForWidth(width)) {
+    // Without this, NumDataWords wraps uint64 and a tiny words vector
+    // would pass the count check below while size_ claims billions of
+    // values -- every later Decode would then read out of bounds.
+    return Status::InvalidArgument(
+        "packed codes: size " + std::to_string(size) +
+        " overflows the bit count for width " + std::to_string(width));
+  }
   const uint64_t expect =
       (width == 0 || size == 0) ? 0 : NumDataWords(size, width);
   if (words.size() != expect) {

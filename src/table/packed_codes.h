@@ -42,9 +42,19 @@ class PackedCodes {
   }
 
   /// Number of payload words a sequence occupies (excludes the padding
-  /// word the in-memory representation appends).
+  /// word the in-memory representation appends). Precondition:
+  /// size <= MaxSizeForWidth(width), or the bit count overflows uint64.
   static uint64_t NumDataWords(uint64_t size, uint32_t width) {
     return (size * width + 63) / 64;
+  }
+
+  /// Largest sequence length whose bit count size * width + 63 still fits
+  /// in uint64 -- the precondition for NumDataWords. Untrusted sizes
+  /// (e.g. file headers) must be checked against this before any word
+  /// count is computed; FromWords rejects larger sizes itself. Width 0
+  /// stores no payload, so any size is representable.
+  static uint64_t MaxSizeForWidth(uint32_t width) {
+    return width == 0 ? UINT64_MAX : (UINT64_MAX - 63) / width;
   }
 
   PackedCodes() = default;

@@ -215,6 +215,29 @@ TEST(BinaryIoTest, LyingRowCountIsCorruptionNotAllocation) {
   EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status().ToString();
 }
 
+TEST(BinaryIoTest, OverflowingRowCountTimesWidthIsCorruption) {
+  // num_rows = 2^59 with a width-32 column makes num_rows * width wrap
+  // uint64 to 0 bits, so the naive word count is 0: an empty payload
+  // would sail past both the stream-size check and FromWords' count
+  // check, and the first decode would read out of bounds. The reader
+  // must reject the size before computing any word count.
+  constexpr unsigned char kOverflowV2[] = {
+      'S', 'W', 'P', 'B',              // magic
+      2, 0, 0, 0,                      // version = 2
+      0, 0, 0, 0, 0, 0, 0, 8,          // num_rows = 2^59
+      1, 0, 0, 0,                      // num_columns = 1
+      1, 0, 0, 0, 'x',                 // name "x"
+      0xFF, 0xFF, 0xFF, 0xFF,          // support = 2^32 - 1 -> width 32
+      0,                               // has_labels = 0
+      32,                              // declared width
+                                       // no payload: wrapped count is 0
+  };
+  std::stringstream corrupt(std::string(
+      reinterpret_cast<const char*>(kOverflowV2), sizeof(kOverflowV2)));
+  auto loaded = ReadBinaryTable(corrupt);
+  EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status().ToString();
+}
+
 TEST(BinaryIoTest, LyingColumnCountIsCorruption) {
   const Table original = SampleTable();
   std::stringstream buffer;

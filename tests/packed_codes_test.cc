@@ -163,6 +163,19 @@ TEST(PackedCodesTest, FromWordsRejectsWrongWordCount) {
       PackedCodes::FromWords(10, 7, std::vector<uint64_t>(2, 0)).ok());
 }
 
+TEST(PackedCodesTest, FromWordsRejectsOverflowingSize) {
+  // size * width wraps uint64 exactly (2^59 * 32 = 2^64), so the naive
+  // word count is 0 and an empty payload would match it; FromWords must
+  // reject the size outright instead of constructing a PackedCodes whose
+  // decodes read out of bounds.
+  EXPECT_FALSE(
+      PackedCodes::FromWords(uint64_t{1} << 59, 32, {}).ok());
+  // Just past the largest representable size for the width.
+  EXPECT_FALSE(
+      PackedCodes::FromWords(PackedCodes::MaxSizeForWidth(7) + 1, 7, {})
+          .ok());
+}
+
 TEST(PackedCodesTest, MemoryBytesCountsWordsIncludingPadding) {
   // 100 values * 6 bits = 600 bits -> 10 payload words + 1 padding word.
   const PackedCodes packed =
