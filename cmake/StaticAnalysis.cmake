@@ -1,10 +1,13 @@
-# Static-analysis wiring: clang-tidy and the repo lint script.
+# Static-analysis wiring: clang-tidy, the repo lint script, the
+# tools/analyze architecture analyzer, and the check_headers
+# self-containment target.
 #
 # clang-tidy is opt-in (-DSWOPE_CLANG_TIDY=ON) and degrades to a warning
 # when the binary is not installed, so machines without LLVM still
-# configure. The lint script needs only a Python 3 interpreter and is
-# registered both as a `lint` build target and as a ctest test, so a
-# plain `ctest` run enforces the repo idioms.
+# configure. The Python tools (tools/lint.py, tools/analyze) need only a
+# Python 3 interpreter and are registered both as build targets and as
+# ctest tests, so a plain `ctest` run enforces the repo idioms and the
+# declared architecture (tools/analyze/layers.toml).
 
 option(SWOPE_CLANG_TIDY "Run clang-tidy on every compiled TU" OFF)
 
@@ -41,5 +44,69 @@ function(swope_add_lint_target)
     VERBATIM)
   if(BUILD_TESTING)
     add_test(NAME lint COMMAND ${_lint_cmd})
+    add_test(NAME lint_test
+      COMMAND ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/lint_test.py)
+  endif()
+endfunction()
+
+# tools/analyze: `analyze` build target + ctest tests. The `analyze` test
+# runs the includes + locks passes over the tree (headers runs through
+# the check_headers target below, under the build's own compiler);
+# `analyze_test` runs the analyzer's unit tests, which include the seeded
+# counterexamples for every rule.
+function(swope_add_analyze_target)
+  find_package(Python3 COMPONENTS Interpreter)
+  if(NOT Python3_Interpreter_FOUND)
+    message(WARNING "Python3 not found; `analyze` target unavailable")
+    return()
+  endif()
+  set(_analyze_cmd ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/analyze
+                   includes locks --root ${CMAKE_SOURCE_DIR})
+  add_custom_target(analyze
+    COMMAND ${_analyze_cmd}
+    WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+    COMMENT "Running tools/analyze (includes, locks)"
+    VERBATIM)
+  if(BUILD_TESTING)
+    add_test(NAME analyze COMMAND ${_analyze_cmd})
+    add_test(NAME analyze_test
+      COMMAND ${Python3_EXECUTABLE}
+              ${CMAKE_SOURCE_DIR}/tools/analyze/analyze_test.py)
+  endif()
+endfunction()
+
+# check_headers: one generated stub TU per public src/ header, compiled
+# as an object library so every header must be self-contained under the
+# build's real compiler and warning set. Stubs are (re)generated at
+# configure time by the analyzer's headers pass; a new header therefore
+# joins the check at the next configure (CI configures fresh every run).
+function(swope_add_check_headers_target)
+  find_package(Python3 COMPONENTS Interpreter)
+  if(NOT Python3_Interpreter_FOUND)
+    message(WARNING "Python3 not found; `check_headers` target unavailable")
+    return()
+  endif()
+  set(_stub_dir ${CMAKE_BINARY_DIR}/check_headers)
+  execute_process(
+    COMMAND ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/analyze
+            headers --root ${CMAKE_SOURCE_DIR} --out-dir ${_stub_dir} -q
+    RESULT_VARIABLE _stub_result)
+  if(NOT _stub_result EQUAL 0)
+    message(FATAL_ERROR "tools/analyze headers failed to generate stubs")
+  endif()
+  file(GLOB _stubs CONFIGURE_DEPENDS ${_stub_dir}/*.check.cc)
+  add_library(check_headers_objects OBJECT EXCLUDE_FROM_ALL ${_stubs})
+  target_include_directories(check_headers_objects
+    PRIVATE ${CMAKE_SOURCE_DIR})
+  add_custom_target(check_headers DEPENDS check_headers_objects)
+  if(BUILD_TESTING)
+    # Building the stub objects IS the test; driving it through ctest
+    # keeps `ctest` the single local verification entry point.
+    add_test(NAME check_headers
+      COMMAND ${CMAKE_COMMAND} --build ${CMAKE_BINARY_DIR}
+              --target check_headers)
+    set_tests_properties(check_headers PROPERTIES
+      RUN_SERIAL TRUE
+      LABELS "static-analysis")
   endif()
 endfunction()

@@ -22,12 +22,26 @@ function(swope_enable_warnings)
     add_compile_options(-Wno-restrict)
   endif()
 
-  # Clang's thread-safety analysis checks the GUARDED_BY/REQUIRES/EXCLUDES
-  # annotations from src/common/thread_annotations.h; GCC ignores both the
-  # flag and the attributes.
+  # Clang's thread-safety analysis checks the GUARDED_BY/REQUIRES/ACQUIRE
+  # annotations from src/common/thread_annotations.h against the
+  # swope::Mutex capability (src/common/mutex.h); GCC ignores both the
+  # flags and the attributes. The full set is on — -beta for the newest
+  # checks and -negative so REQUIRES(!mu) contracts catch double-locking
+  # (tests/compile_fail/double_lock.cc proves it). With SWOPE_WERROR (the
+  # default, and what CI's clang job builds with) any violation is a
+  # build break.
   check_cxx_compiler_flag(-Wthread-safety SWOPE_HAVE_WTHREAD_SAFETY)
   if(SWOPE_HAVE_WTHREAD_SAFETY)
     add_compile_options(-Wthread-safety)
+    check_cxx_compiler_flag(-Wthread-safety-beta SWOPE_HAVE_WTHREAD_SAFETY_BETA)
+    if(SWOPE_HAVE_WTHREAD_SAFETY_BETA)
+      add_compile_options(-Wthread-safety-beta)
+    endif()
+    check_cxx_compiler_flag(-Wthread-safety-negative
+                            SWOPE_HAVE_WTHREAD_SAFETY_NEGATIVE)
+    if(SWOPE_HAVE_WTHREAD_SAFETY_NEGATIVE)
+      add_compile_options(-Wthread-safety-negative)
+    endif()
   endif()
 endfunction()
 

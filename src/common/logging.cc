@@ -3,7 +3,9 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace swope {
 
@@ -11,9 +13,9 @@ namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
 
-std::mutex& LogMutex() {
+Mutex& LogMutex() {
   // NOLINTNEXTLINE(swope-naked-new): leaky singleton, no destructor race
-  static std::mutex* mutex = new std::mutex();
+  static Mutex* mutex = new Mutex();
   return *mutex;
 }
 
@@ -57,9 +59,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
       file_(file),
       line_(line) {}
 
-LogMessage::~LogMessage() {
+// The log mutex serializes stderr writes only; it guards no data. Its
+// capability is a function-local singleton that the class declaration in
+// logging.h cannot name, so negative-capability tracking is opted out
+// here rather than leaking the singleton into the public header.
+LogMessage::~LogMessage() NO_THREAD_SAFETY_ANALYSIS {
   if (!enabled_) return;
-  std::lock_guard<std::mutex> lock(LogMutex());
+  MutexLock lock(LogMutex());
   std::fprintf(stderr, "[%.*s %s:%d] %s\n",
                static_cast<int>(LogLevelToString(level_).size()),
                LogLevelToString(level_).data(), Basename(file_), line_,

@@ -15,8 +15,11 @@ namespace swope {
 /// value could not be produced. Constructing a Result from an OK status is
 /// a programming error (asserted in debug builds, demoted to an Internal
 /// status otherwise).
+///
+/// Like Status, the class is [[nodiscard]]: a dropped Result silently
+/// swallows the error path, so every producer call must be consumed.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}

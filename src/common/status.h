@@ -35,7 +35,12 @@ std::string_view StatusCodeToString(StatusCode code);
 /// A Status carries a StatusCode plus an optional message. The default
 /// constructed Status is OK. Statuses are cheap to copy (OK statuses carry
 /// no allocation is not guaranteed, but messages are short).
-class Status {
+///
+/// The class is [[nodiscard]]: any call returning a Status must consume
+/// it (check, return, or explicitly `(void)` it with a comment saying why
+/// the error is irrelevant). Enforced repo-wide by -Werror; see
+/// tests/compile_fail/discarded_status.cc.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -38,6 +38,11 @@
 #define RELEASE(...) \
   SWOPE_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
 
+// Documents that a function attempts the acquisition and reports success
+// as the given boolean return value.
+#define TRY_ACQUIRE(...) \
+  SWOPE_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
 // Escape hatch for functions the analysis cannot model.
 #define NO_THREAD_SAFETY_ANALYSIS \
   SWOPE_THREAD_ANNOTATION__(no_thread_safety_analysis)

@@ -10,29 +10,40 @@
 namespace swope {
 
 ThreadPool::ThreadPool(size_t num_threads, MetricsRegistry* metrics,
-                       const std::string& pool_name) {
-  if (metrics != nullptr) {
-    const MetricLabels labels = {{"pool", pool_name}};
-    queue_depth_ = metrics->GetGauge("swope_pool_queue_depth", labels);
-    tasks_total_ = metrics->GetCounter("swope_pool_tasks_total", labels);
-    wait_ms_ = metrics->GetHistogram("swope_pool_task_wait_ms", labels,
-                                     DefaultLatencyBucketsMs());
-    run_ms_ = metrics->GetHistogram("swope_pool_task_run_ms", labels,
-                                    DefaultLatencyBucketsMs());
-  }
+                       const std::string& pool_name)
+    : queue_depth_(metrics != nullptr
+                       ? metrics->GetGauge("swope_pool_queue_depth",
+                                           {{"pool", pool_name}})
+                       : nullptr),
+      tasks_total_(metrics != nullptr
+                       ? metrics->GetCounter("swope_pool_tasks_total",
+                                             {{"pool", pool_name}})
+                       : nullptr),
+      wait_ms_(metrics != nullptr
+                   ? metrics->GetHistogram("swope_pool_task_wait_ms",
+                                           {{"pool", pool_name}},
+                                           DefaultLatencyBucketsMs())
+                   : nullptr),
+      run_ms_(metrics != nullptr
+                  ? metrics->GetHistogram("swope_pool_task_run_ms",
+                                          {{"pool", pool_name}},
+                                          DefaultLatencyBucketsMs())
+                  : nullptr) {
   const size_t n = std::max<size_t>(1, num_threads);
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    // A fresh thread starts with no locks held; stating that lets the
+    // negative-capability analysis accept the WorkerLoop call.
+    workers_.emplace_back([this]() REQUIRES(!mutex_) { WorkerLoop(); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& worker : workers_) worker.join();
 }
 
@@ -40,11 +51,11 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     tasks_.push(Task{std::move(packaged), Stopwatch()});
   }
   if (queue_depth_ != nullptr) queue_depth_->Add(1);
-  cv_.notify_one();
+  cv_.NotifyOne();
   return future;
 }
 
@@ -107,7 +118,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
 bool ThreadPool::RunOneTask() {
   Task task;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (tasks_.empty()) return false;
     task = std::move(tasks_.front());
     tasks_.pop();
@@ -120,8 +131,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) cv_.Wait(mutex_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();

@@ -8,16 +8,15 @@
 #ifndef SWOPE_COMMON_THREAD_POOL_H_
 #define SWOPE_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/stopwatch.h"
 #include "src/common/thread_annotations.h"
 
@@ -49,7 +48,7 @@ class ThreadPool {
   /// The registry must outlive the pool.
   ThreadPool(size_t num_threads, MetricsRegistry* metrics,
              const std::string& pool_name);
-  ~ThreadPool();
+  ~ThreadPool() REQUIRES(!mutex_);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -57,7 +56,7 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
   /// Enqueues a task; the future resolves when it finishes.
-  std::future<void> Submit(std::function<void()> task) EXCLUDES(mutex_);
+  std::future<void> Submit(std::function<void()> task) REQUIRES(!mutex_);
 
   /// Runs fn(i) for i in [begin, end) across the pool and blocks until all
   /// iterations complete. Iterations are distributed in contiguous chunks.
@@ -65,7 +64,7 @@ class ThreadPool {
   /// chunk has finished (so `fn` is never referenced after the call
   /// returns). A zero-length range returns immediately.
   void ParallelFor(size_t begin, size_t end,
-                   const std::function<void(size_t)>& fn) EXCLUDES(mutex_);
+                   const std::function<void(size_t)>& fn) REQUIRES(!mutex_);
 
  private:
   /// A queued unit of work. `wait` starts at enqueue time so the task
@@ -75,29 +74,32 @@ class ThreadPool {
     Stopwatch wait;
   };
 
-  void WorkerLoop() EXCLUDES(mutex_);
+  void WorkerLoop() REQUIRES(!mutex_);
 
   /// Pops and runs one queued task if available. Returns false when the
   /// queue was empty. Used by ParallelFor callers to help make progress
   /// while they wait on their chunks.
-  bool RunOneTask() EXCLUDES(mutex_);
+  bool RunOneTask() REQUIRES(!mutex_);
 
   /// Runs a dequeued task, feeding the wait/run histograms when the pool
   /// is instrumented.
   void RunTask(Task task);
 
+  /// Written only during construction (before workers run) and joined in
+  /// the destructor; never mutated while the pool is concurrent.
+  // NOLINTNEXTLINE(swope-lock-discipline): ctor/dtor-only state
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
+  Mutex mutex_;
   std::queue<Task> tasks_ GUARDED_BY(mutex_);
   bool stop_ GUARDED_BY(mutex_) = false;
-  std::condition_variable cv_;
+  CondVar cv_;
 
   /// Metric handles, resolved once at construction; all null for an
   /// uninstrumented pool.
-  Gauge* queue_depth_ = nullptr;
-  Counter* tasks_total_ = nullptr;
-  Histogram* wait_ms_ = nullptr;
-  Histogram* run_ms_ = nullptr;
+  Gauge* const queue_depth_;
+  Counter* const tasks_total_;
+  Histogram* const wait_ms_;
+  Histogram* const run_ms_;
 };
 
 }  // namespace swope

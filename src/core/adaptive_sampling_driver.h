@@ -21,10 +21,18 @@
 // docs/CORE.md spells out the full argument.
 //
 // This header is internal: outside src/core/, include the public
-// swope_*.h entry points instead (tools/lint.py enforces this).
+// swope_*.h entry points instead. src/core/ TUs opt in by defining
+// SWOPE_CORE_INTERNAL before their includes; everyone else hits the
+// #error below (tools/lint.py catches the include textually, the
+// preprocessor makes it a hard build break — see
+// tests/compile_fail/core_internal_include.cc).
 
 #ifndef SWOPE_CORE_ADAPTIVE_SAMPLING_DRIVER_H_
 #define SWOPE_CORE_ADAPTIVE_SAMPLING_DRIVER_H_
+
+#ifndef SWOPE_CORE_INTERNAL
+#error "src/core/adaptive_sampling_driver.h is internal to src/core/; include the public swope_topk_*/swope_filter_* headers instead"
+#endif
 
 #include <cstddef>
 #include <cstdint>

@@ -12,10 +12,10 @@
 #ifndef SWOPE_CORE_CODE_SCRATCH_H_
 #define SWOPE_CORE_CODE_SCRATCH_H_
 
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/thread_annotations.h"
 #include "src/table/packed_codes.h"
 
@@ -29,9 +29,9 @@ class CodeScratchArena {
   /// RAII lease: holds a buffer, returns it to the arena on destruction.
   class Lease {
    public:
-    explicit Lease(CodeScratchArena& arena)
+    explicit Lease(CodeScratchArena& arena) REQUIRES(!arena.mutex_)
         : arena_(&arena), buffer_(arena.Acquire()) {}
-    ~Lease() {
+    ~Lease() REQUIRES(!arena_->mutex_) {
       if (arena_ != nullptr) arena_->Release(std::move(buffer_));
     }
     Lease(const Lease&) = delete;
@@ -44,21 +44,21 @@ class CodeScratchArena {
     std::vector<ValueCode> buffer_;
   };
 
-  std::vector<ValueCode> Acquire() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ValueCode> Acquire() REQUIRES(!mutex_) {
+    MutexLock lock(mutex_);
     if (free_.empty()) return {};
     std::vector<ValueCode> buffer = std::move(free_.back());
     free_.pop_back();
     return buffer;
   }
 
-  void Release(std::vector<ValueCode> buffer) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void Release(std::vector<ValueCode> buffer) REQUIRES(!mutex_) {
+    MutexLock lock(mutex_);
     free_.push_back(std::move(buffer));
   }
 
  private:
-  std::mutex mutex_;
+  Mutex mutex_;
   std::vector<std::vector<ValueCode>> free_ GUARDED_BY(mutex_);
 };
 

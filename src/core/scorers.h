@@ -9,10 +9,16 @@
 //                  sqrt(H(t) * H(a)) bounds.
 //
 // This header is internal: outside src/core/, include the public
-// swope_*.h entry points instead (tools/lint.py enforces this).
+// swope_*.h entry points instead. src/core/ TUs opt in by defining
+// SWOPE_CORE_INTERNAL before their includes; everyone else hits the
+// #error below.
 
 #ifndef SWOPE_CORE_SCORERS_H_
 #define SWOPE_CORE_SCORERS_H_
+
+#ifndef SWOPE_CORE_INTERNAL
+#error "src/core/scorers.h is internal to src/core/; include the public swope_topk_*/swope_filter_* headers instead"
+#endif
 
 #include <cstddef>
 #include <cstdint>

@@ -1,3 +1,6 @@
+// This TU lives in src/core/ and may use the internal driver headers.
+#define SWOPE_CORE_INTERNAL
+
 #include "src/core/swope_topk_entropy.h"
 
 #include <algorithm>

@@ -8,7 +8,7 @@
 namespace swope {
 
 void DatasetRegistry::BindMetrics(MetricsRegistry* metrics) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   evictions_metric_ = metrics->GetCounter("swope_registry_evictions_total");
   resident_datasets_metric_ =
       metrics->GetGauge("swope_registry_resident_datasets");
@@ -33,7 +33,7 @@ Status DatasetRegistry::Put(const std::string& name, Table table) {
   dataset->memory_bytes = table.MemoryBytes();
   dataset->table = std::move(table);
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Slot& slot = datasets_[name];
   if (slot.dataset != nullptr) {
     resident_bytes_ -= slot.dataset->memory_bytes;
@@ -47,7 +47,7 @@ Status DatasetRegistry::Put(const std::string& name, Table table) {
 }
 
 Result<DatasetHandle> DatasetRegistry::Get(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = datasets_.find(name);
   if (it == datasets_.end()) {
     return Status::NotFound("registry: no dataset named '" + name + "'");
@@ -57,7 +57,7 @@ Result<DatasetHandle> DatasetRegistry::Get(const std::string& name) {
 }
 
 Status DatasetRegistry::Remove(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = datasets_.find(name);
   if (it == datasets_.end()) {
     return Status::NotFound("registry: no dataset named '" + name + "'");
@@ -69,7 +69,7 @@ Status DatasetRegistry::Remove(const std::string& name) {
 }
 
 std::vector<std::string> DatasetRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(datasets_.size());
   for (const auto& [name, slot] : datasets_) names.push_back(name);
@@ -77,7 +77,7 @@ std::vector<std::string> DatasetRegistry::Names() const {
 }
 
 DatasetRegistry::Stats DatasetRegistry::GetStats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Stats stats;
   stats.resident_datasets = datasets_.size();
   stats.resident_bytes = resident_bytes_;

@@ -19,11 +19,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/common/mutex.h"
 #include "src/common/thread_annotations.h"
 #include "src/table/table.h"
 
@@ -62,17 +62,17 @@ class DatasetRegistry {
   /// the newly inserted dataset itself is never evicted by its own Put,
   /// even when it alone exceeds the budget (the budget is a target, not
   /// a hard admission bound).
-  Status Put(const std::string& name, Table table) EXCLUDES(mutex_);
+  Status Put(const std::string& name, Table table) REQUIRES(!mutex_);
 
   /// Fetches a handle and marks the dataset most-recently-used.
   /// NotFound when `name` is not resident (never registered or evicted).
-  Result<DatasetHandle> Get(const std::string& name) EXCLUDES(mutex_);
+  Result<DatasetHandle> Get(const std::string& name) REQUIRES(!mutex_);
 
   /// Drops `name` from the registry (in-flight handles stay valid).
-  Status Remove(const std::string& name) EXCLUDES(mutex_);
+  Status Remove(const std::string& name) REQUIRES(!mutex_);
 
   /// Resident dataset names, sorted.
-  std::vector<std::string> Names() const EXCLUDES(mutex_);
+  std::vector<std::string> Names() const REQUIRES(!mutex_);
 
   struct Stats {
     size_t resident_datasets = 0;
@@ -80,12 +80,12 @@ class DatasetRegistry {
     uint64_t memory_budget_bytes = 0;
     uint64_t evictions = 0;
   };
-  Stats GetStats() const EXCLUDES(mutex_);
+  Stats GetStats() const REQUIRES(!mutex_);
 
   /// Mirrors eviction counts and the resident dataset/byte gauges into
   /// `metrics` (swope_registry_*). Call once, before concurrent use; the
   /// registry must outlive this object.
-  void BindMetrics(MetricsRegistry* metrics) EXCLUDES(mutex_);
+  void BindMetrics(MetricsRegistry* metrics) REQUIRES(!mutex_);
 
  private:
   struct Slot {
@@ -98,7 +98,7 @@ class DatasetRegistry {
   void EvictToBudget(const std::string& keep) REQUIRES(mutex_);
 
   const uint64_t budget_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::map<std::string, Slot> datasets_ GUARDED_BY(mutex_);
   uint64_t tick_ GUARDED_BY(mutex_) = 0;
   uint64_t resident_bytes_ GUARDED_BY(mutex_) = 0;

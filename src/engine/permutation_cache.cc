@@ -9,7 +9,7 @@ namespace swope {
 
 void PermutationCache::BindMetrics(MetricsRegistry* metrics) {
   const MetricLabels labels = {{"cache", "permutation"}};
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   hits_metric_ = metrics->GetCounter("swope_cache_hits_total", labels);
   misses_metric_ = metrics->GetCounter("swope_cache_misses_total", labels);
   evictions_metric_ =
@@ -21,7 +21,7 @@ std::shared_ptr<const std::vector<uint32_t>> PermutationCache::GetOrCreate(
     uint64_t fingerprint, uint32_t num_rows, uint64_t seed, bool sequential) {
   const Key key{fingerprint, sequential ? 0 : seed, sequential};
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find(key);
     if (it != entries_.end() && it->second.order->size() == num_rows) {
       ++hits_;
@@ -43,7 +43,7 @@ std::shared_ptr<const std::vector<uint32_t>> PermutationCache::GetOrCreate(
   auto shared =
       std::make_shared<const std::vector<uint32_t>>(std::move(order));
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++misses_;
   if (misses_metric_ != nullptr) misses_metric_->Increment();
   if (capacity_ == 0) return shared;
@@ -65,7 +65,7 @@ std::shared_ptr<const std::vector<uint32_t>> PermutationCache::GetOrCreate(
 }
 
 PermutationCache::Stats PermutationCache::GetStats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Stats stats;
   stats.hits = hits_;
   stats.misses = misses_;

@@ -15,9 +15,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/thread_annotations.h"
 
 namespace swope {
@@ -44,7 +44,7 @@ class PermutationCache {
   /// seed is then irrelevant and ignored in the key.
   std::shared_ptr<const std::vector<uint32_t>> GetOrCreate(
       uint64_t fingerprint, uint32_t num_rows, uint64_t seed,
-      bool sequential) EXCLUDES(mutex_);
+      bool sequential) REQUIRES(!mutex_);
 
   struct Stats {
     uint64_t hits = 0;
@@ -52,12 +52,12 @@ class PermutationCache {
     uint64_t evictions = 0;
     size_t entries = 0;
   };
-  Stats GetStats() const EXCLUDES(mutex_);
+  Stats GetStats() const REQUIRES(!mutex_);
 
   /// Mirrors hit/miss/eviction counts and the entry count into `metrics`
   /// under the label {cache="permutation"}. Call once, before concurrent
   /// use; the registry must outlive the cache.
-  void BindMetrics(MetricsRegistry* metrics) EXCLUDES(mutex_);
+  void BindMetrics(MetricsRegistry* metrics) REQUIRES(!mutex_);
 
  private:
   struct Key {
@@ -80,7 +80,7 @@ class PermutationCache {
   void EvictToCapacity() REQUIRES(mutex_);
 
   const size_t capacity_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::map<Key, Entry> entries_ GUARDED_BY(mutex_);
   uint64_t tick_ GUARDED_BY(mutex_) = 0;
   uint64_t hits_ GUARDED_BY(mutex_) = 0;

@@ -23,6 +23,14 @@ bool IsCsvPath(const std::string& path) {
   return path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
 }
 
+Histogram* LatencyHistogram(MetricsRegistry& metrics, int kind) {
+  return metrics.GetHistogram(
+      "swope_engine_query_latency_ms",
+      {{"kind",
+        std::string(QueryKindToString(static_cast<QueryKind>(kind)))}},
+      DefaultLatencyBucketsMs());
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(EngineConfig config)
@@ -48,6 +56,12 @@ QueryEngine::QueryEngine(EngineConfig config)
           metrics_.GetCounter("swope_engine_admission_waits_total")),
       in_flight_gauge_(metrics_.GetGauge("swope_engine_in_flight")),
       admission_waiting_(metrics_.GetGauge("swope_engine_admission_waiting")),
+      query_latency_ms_{LatencyHistogram(metrics_, 0),
+                        LatencyHistogram(metrics_, 1),
+                        LatencyHistogram(metrics_, 2),
+                        LatencyHistogram(metrics_, 3),
+                        LatencyHistogram(metrics_, 4),
+                        LatencyHistogram(metrics_, 5)},
       query_rounds_(metrics_.GetHistogram(
           "swope_query_rounds", {},
           {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64})),
@@ -59,13 +73,6 @@ QueryEngine::QueryEngine(EngineConfig config)
   registry_.BindMetrics(&metrics_);
   result_cache_.BindMetrics(&metrics_);
   permutation_cache_.BindMetrics(&metrics_);
-  for (int kind = 0; kind < 6; ++kind) {
-    query_latency_ms_[kind] = metrics_.GetHistogram(
-        "swope_engine_query_latency_ms",
-        {{"kind", std::string(QueryKindToString(
-                      static_cast<QueryKind>(kind)))}},
-        DefaultLatencyBucketsMs());
-  }
 }
 
 Status QueryEngine::RegisterDataset(const std::string& name, Table table) {
@@ -137,7 +144,10 @@ std::future<Result<QueryResponse>> QueryEngine::Submit(
     QuerySpec spec, const CancellationToken* cancel) {
   auto promise = std::make_shared<std::promise<Result<QueryResponse>>>();
   std::future<Result<QueryResponse>> future = promise->get_future();
-  pool_.Submit([this, promise, spec = std::move(spec), cancel] {
+  // The lambda runs on the executor with no admission lock held; annotate
+  // so the negative-capability analysis accepts the nested Run call.
+  pool_.Submit([this, promise, spec = std::move(spec),
+                cancel]() REQUIRES(!admission_mutex_) {
     promise->set_value(Run(spec, cancel));
   });
   return future;
@@ -155,37 +165,11 @@ Result<QueryResponse> QueryEngine::Execute(const DatasetHandle& dataset,
     control.SetTimeout(std::chrono::milliseconds(timeout_ms));
   }
 
-  // Admission control: bounded concurrent executions. Waiting honours the
-  // query's own deadline and cancellation (polled, so no token->cv hookup
-  // is needed).
-  {
-    std::unique_lock<std::mutex> lock(admission_mutex_);
-    if (in_flight_ >= config_.max_in_flight) {
-      admission_waits_->Increment();
-      admission_waiting_->Add(1);
-      while (in_flight_ >= config_.max_in_flight) {
-        const Status status = control.Check();
-        if (!status.ok()) {
-          admission_waiting_->Add(-1);
-          return status;
-        }
-        admission_cv_.wait_for(lock, std::chrono::milliseconds(5));
-      }
-      admission_waiting_->Add(-1);
-    }
-    ++in_flight_;
-    in_flight_gauge_->Set(static_cast<int64_t>(in_flight_));
-  }
+  SWOPE_RETURN_NOT_OK(AdmitQuery(control));
   struct SlotRelease {
     QueryEngine* engine;
-    ~SlotRelease() {
-      {
-        std::lock_guard<std::mutex> lock(engine->admission_mutex_);
-        --engine->in_flight_;
-        engine->in_flight_gauge_->Set(
-            static_cast<int64_t>(engine->in_flight_));
-      }
-      engine->admission_cv_.notify_one();
+    ~SlotRelease() REQUIRES(!engine->admission_mutex_) {
+      engine->ReleaseSlot();
     }
   } release{this};
 
@@ -212,6 +196,38 @@ Result<QueryResponse> QueryEngine::Execute(const DatasetHandle& dataset,
   response->canonical_key = resolved.canonical_key;
   response->trace = std::move(trace);
   return response;
+}
+
+Status QueryEngine::AdmitQuery(ExecControl& control) {
+  // Admission control: bounded concurrent executions. Waiting honours the
+  // query's own deadline and cancellation (polled, so no token->cv hookup
+  // is needed).
+  MutexLock lock(admission_mutex_);
+  if (in_flight_ >= config_.max_in_flight) {
+    admission_waits_->Increment();
+    admission_waiting_->Add(1);
+    while (in_flight_ >= config_.max_in_flight) {
+      const Status status = control.Check();
+      if (!status.ok()) {
+        admission_waiting_->Add(-1);
+        return status;
+      }
+      admission_cv_.WaitFor(admission_mutex_, std::chrono::milliseconds(5));
+    }
+    admission_waiting_->Add(-1);
+  }
+  ++in_flight_;
+  in_flight_gauge_->Set(static_cast<int64_t>(in_flight_));
+  return Status::OK();
+}
+
+void QueryEngine::ReleaseSlot() {
+  {
+    MutexLock lock(admission_mutex_);
+    --in_flight_;
+    in_flight_gauge_->Set(static_cast<int64_t>(in_flight_));
+  }
+  admission_cv_.NotifyOne();
 }
 
 Result<QueryResponse> QueryEngine::Dispatch(const Table& table,

@@ -19,14 +19,13 @@
 #ifndef SWOPE_ENGINE_QUERY_ENGINE_H_
 #define SWOPE_ENGINE_QUERY_ENGINE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/result.h"
 #include "src/common/thread_annotations.h"
 #include "src/common/thread_pool.h"
@@ -117,7 +116,8 @@ class QueryEngine {
   /// Synchronous dispatch. `cancel` may be null; when set, the caller may
   /// flip it from any thread to abort the query at the next round.
   Result<QueryResponse> Run(const QuerySpec& spec,
-                            const CancellationToken* cancel = nullptr);
+                            const CancellationToken* cancel = nullptr)
+      REQUIRES(!admission_mutex_);
 
   /// Asynchronous dispatch on the engine's pool.
   std::future<Result<QueryResponse>> Submit(
@@ -137,7 +137,16 @@ class QueryEngine {
   /// Runs the resolved query under admission control.
   Result<QueryResponse> Execute(const DatasetHandle& dataset,
                                 const ResolvedSpec& resolved,
-                                const CancellationToken* cancel);
+                                const CancellationToken* cancel)
+      REQUIRES(!admission_mutex_);
+
+  /// Blocks until an execution slot is free (or `control` cancels /
+  /// expires) and claims it. Each successful admission must be paired
+  /// with exactly one ReleaseSlot().
+  Status AdmitQuery(ExecControl& control) REQUIRES(!admission_mutex_);
+
+  /// Returns an execution slot claimed by AdmitQuery.
+  void ReleaseSlot() REQUIRES(!admission_mutex_);
 
   /// Dispatches to the right driver; returns items via `response`.
   Result<QueryResponse> Dispatch(const Table& table,
@@ -154,26 +163,26 @@ class QueryEngine {
   ResultCache result_cache_;
   PermutationCache permutation_cache_;
 
-  std::mutex admission_mutex_;
-  std::condition_variable admission_cv_;
+  Mutex admission_mutex_;
+  CondVar admission_cv_;
   size_t in_flight_ GUARDED_BY(admission_mutex_) = 0;
 
   /// Engine metric handles (all resolved once in the constructor).
-  Counter* queries_started_;
-  Counter* queries_ok_;
-  Counter* queries_failed_;
-  Counter* cancelled_;
-  Counter* deadline_exceeded_;
-  Counter* rows_sampled_;
-  Counter* admission_waits_;
-  Gauge* in_flight_gauge_;
-  Gauge* admission_waiting_;
+  Counter* const queries_started_;
+  Counter* const queries_ok_;
+  Counter* const queries_failed_;
+  Counter* const cancelled_;
+  Counter* const deadline_exceeded_;
+  Counter* const rows_sampled_;
+  Counter* const admission_waits_;
+  Gauge* const in_flight_gauge_;
+  Gauge* const admission_waiting_;
   /// Whole-query wall time, one histogram per query kind (indexed by
   /// static_cast<int>(QueryKind)). Cache hits are observed too: the
   /// latency a client saw is the latency, however it was served.
-  Histogram* query_latency_ms_[6];
+  Histogram* const query_latency_ms_[6];
   /// Sampling rounds per executed query (from QueryStats::iterations).
-  Histogram* query_rounds_;
+  Histogram* const query_rounds_;
 
   /// Shared intra-query worker pool (null when intra_query_threads <= 1).
   /// Declared before pool_ so it outlives the executor: queries still

@@ -8,7 +8,7 @@ namespace swope {
 
 void ResultCache::BindMetrics(MetricsRegistry* metrics) {
   const MetricLabels labels = {{"cache", "result"}};
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   hits_metric_ = metrics->GetCounter("swope_cache_hits_total", labels);
   misses_metric_ = metrics->GetCounter("swope_cache_misses_total", labels);
   evictions_metric_ =
@@ -24,7 +24,7 @@ std::string ResultCache::MakeKey(uint64_t fingerprint,
 std::shared_ptr<const CachedAnswer> ResultCache::Lookup(
     uint64_t fingerprint, const std::string& spec_key) {
   const std::string key = MakeKey(fingerprint, spec_key);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
@@ -42,7 +42,7 @@ void ResultCache::Insert(uint64_t fingerprint, const std::string& spec_key,
   if (capacity_ == 0) return;
   auto shared = std::make_shared<const CachedAnswer>(std::move(answer));
   const std::string key = MakeKey(fingerprint, spec_key);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Entry& entry = entries_[key];
   entry.answer = std::move(shared);
   entry.last_used = ++tick_;
@@ -54,7 +54,7 @@ void ResultCache::Insert(uint64_t fingerprint, const std::string& spec_key,
 }
 
 ResultCache::Stats ResultCache::GetStats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Stats stats;
   stats.hits = hits_;
   stats.misses = misses_;

@@ -14,11 +14,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/thread_annotations.h"
 #include "src/core/query_result.h"
 
@@ -47,11 +47,11 @@ class ResultCache {
   /// Returns the cached answer or null; a hit refreshes recency.
   std::shared_ptr<const CachedAnswer> Lookup(uint64_t fingerprint,
                                              const std::string& spec_key)
-      EXCLUDES(mutex_);
+      REQUIRES(!mutex_);
 
   /// Inserts (or refreshes) an entry, evicting LRU entries over capacity.
   void Insert(uint64_t fingerprint, const std::string& spec_key,
-              CachedAnswer answer) EXCLUDES(mutex_);
+              CachedAnswer answer) REQUIRES(!mutex_);
 
   struct Stats {
     uint64_t hits = 0;
@@ -60,12 +60,12 @@ class ResultCache {
     uint64_t evictions = 0;
     size_t entries = 0;
   };
-  Stats GetStats() const EXCLUDES(mutex_);
+  Stats GetStats() const REQUIRES(!mutex_);
 
   /// Mirrors hit/miss/eviction counts and the entry count into `metrics`
   /// under the label {cache="result"}. Call once, before concurrent use;
   /// the registry must outlive the cache.
-  void BindMetrics(MetricsRegistry* metrics) EXCLUDES(mutex_);
+  void BindMetrics(MetricsRegistry* metrics) REQUIRES(!mutex_);
 
  private:
   struct Entry {
@@ -79,7 +79,7 @@ class ResultCache {
   void EvictToCapacity() REQUIRES(mutex_);
 
   const size_t capacity_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::unordered_map<std::string, Entry> entries_ GUARDED_BY(mutex_);
   uint64_t tick_ GUARDED_BY(mutex_) = 0;
   uint64_t hits_ GUARDED_BY(mutex_) = 0;

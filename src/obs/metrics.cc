@@ -131,7 +131,7 @@ MetricsRegistry::Entry& MetricsRegistry::GetOrCreate(const std::string& name,
                                                      Type type) {
   std::sort(labels.begin(), labels.end());
   const Key key{name, RenderLabels(labels)};
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     if (it->second.type != type) {
@@ -170,7 +170,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 std::string MetricsRegistry::RenderPrometheusText() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string text;
   std::string last_family;
   for (const auto& [key, entry] : entries_) {
@@ -220,7 +220,7 @@ std::string MetricsRegistry::RenderPrometheusText() const {
 }
 
 std::string MetricsRegistry::RenderJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string counters, gauges, histograms;
   for (const auto& [key, entry] : entries_) {
     const std::string id =

@@ -28,11 +28,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/thread_annotations.h"
 
 namespace swope {
@@ -147,27 +147,27 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   Counter* GetCounter(const std::string& name, MetricLabels labels = {})
-      EXCLUDES(mutex_);
+      REQUIRES(!mutex_);
   Gauge* GetGauge(const std::string& name, MetricLabels labels = {})
-      EXCLUDES(mutex_);
+      REQUIRES(!mutex_);
   /// `bounds`: strictly ascending finite bucket upper bounds. Bounds are
   /// fixed by the first registration of (name, labels).
   Histogram* GetHistogram(const std::string& name, MetricLabels labels,
-                          std::vector<double> bounds) EXCLUDES(mutex_);
+                          std::vector<double> bounds) REQUIRES(!mutex_);
 
   /// Prometheus text exposition format, families sorted by name:
   ///   # TYPE swope_engine_queries_ok_total counter
   ///   swope_engine_queries_ok_total 17
   ///   swope_pool_task_wait_ms_bucket{pool="executor",le="0.25"} 40
   ///   ...
-  std::string RenderPrometheusText() const EXCLUDES(mutex_);
+  std::string RenderPrometheusText() const REQUIRES(!mutex_);
 
   /// One JSON object keyed by metric identity (same sort order):
   ///   {"counters":{"swope_engine_queries_ok_total":17,...},
   ///    "gauges":{...},
   ///    "histograms":{"name{label=\"v\"}":{"count":9,"sum":12.5,
   ///       "buckets":[{"le":"0.25","count":4},...,{"le":"+Inf","count":9}]}}
-  std::string RenderJson() const EXCLUDES(mutex_);
+  std::string RenderJson() const REQUIRES(!mutex_);
 
  private:
   enum class Type { kCounter, kGauge, kHistogram };
@@ -183,9 +183,9 @@ class MetricsRegistry {
   using Key = std::pair<std::string, std::string>;
 
   Entry& GetOrCreate(const std::string& name, MetricLabels labels,
-                     Type type) EXCLUDES(mutex_);
+                     Type type) REQUIRES(!mutex_);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::map<Key, Entry> entries_ GUARDED_BY(mutex_);
 };
 

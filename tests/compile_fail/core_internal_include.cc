@@ -1,0 +1,15 @@
+// Negative-compile case: including a src/core/-internal header from
+// outside src/core/ must not build. The headers carry a preprocessor
+// gate (#ifndef SWOPE_CORE_INTERNAL -> #error); tools/lint.py catches
+// the include textually and this case proves the hard break. Works
+// under any compiler.
+//
+// EXPECT-ERROR-RE: internal to src/core/
+// EXPECT-ERROR-RE: swope_topk_\*/swope_filter_\* headers
+
+// The include below is the violation this case exists to prove, so it
+// carries the lint escape; the preprocessor gate still fires.
+// NOLINTNEXTLINE(swope-core-layering): the violation under test
+#include "src/core/scorers.h"
+
+int main() { return 0; }

@@ -1,0 +1,32 @@
+// Negative-compile case: dropping a swope::Status on the floor must not
+// build. Status and Result<T> are class-level [[nodiscard]]; under the
+// repo's -Werror that makes a silently ignored error path a build
+// break. Intentional discards are spelled `(void)Call();  // reason`.
+//
+// Both GCC and clang diagnose this, so the case runs under any
+// compiler ("ignoring returned value" on GCC, "ignoring return value"
+// on clang — the regex accepts both).
+//
+// EXPECT-ERROR-RE: ignoring return[a-z]* value
+// EXPECT-ERROR-RE: nodiscard
+
+#include "src/common/status.h"
+
+namespace {
+
+swope::Status MightFail(int x) {
+  if (x < 0) return swope::Status::InvalidArgument("negative");
+  return swope::Status::OK();
+}
+
+void Caller() {
+  MightFail(7);  // BAD: error path silently swallowed
+  (void)MightFail(8);  // fine: explicit, visible discard
+}
+
+}  // namespace
+
+int main() {
+  Caller();
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Negative-compile case: acquiring a non-reentrant swope::Mutex twice
+// in the same scope must not build. MutexLock is a SCOPED_CAPABILITY,
+// so clang's analysis knows the capability is already held when the
+// second guard tries to take it.
+//
+// REQUIRES: clang
+// EXPECT-ERROR-RE: acquiring mutex 'mutex_' that is already held
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+
+namespace {
+
+class Once {
+ public:
+  int Get() {
+    swope::MutexLock lock(mutex_);
+    swope::MutexLock again(mutex_);  // BAD: self-deadlock
+    return value_;
+  }
+
+ private:
+  swope::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Once once;
+  return once.Get();
+}

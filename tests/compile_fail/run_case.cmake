@@ -1,0 +1,88 @@
+# Runs one negative-compile case. Invoked by ctest as
+#
+#   cmake -DCASE=<case.cc> -DCOMPILER=<c++> -DCOMPILER_ID=<GNU|Clang|...>
+#         -DREPO_ROOT=<root> -DCXX_STANDARD=<20> [-DEXTRA_FLAGS=<...>]
+#         -P run_case.cmake
+#
+# The case file declares its own expectations in comments:
+#
+#   // REQUIRES: clang          only meaningful under clang (thread-safety
+#                               analysis); prints [SKIP-COMPILE-FAIL] under
+#                               other compilers, which ctest maps to a skip
+#                               via SKIP_REGULAR_EXPRESSION.
+#   // EXPECT-ERROR-RE: <re>    CMake regex that must match the compiler's
+#                               stderr. May appear multiple times; all must
+#                               match.
+#
+# The test PASSES iff the compile fails AND every expected regex matches.
+# A case that compiles cleanly is a hard failure: the contract it guards
+# has been silently dropped.
+
+foreach(var CASE COMPILER COMPILER_ID REPO_ROOT CXX_STANDARD)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_case.cmake: missing -D${var}=")
+  endif()
+endforeach()
+
+file(READ "${CASE}" case_text)
+
+string(REGEX MATCHALL "// EXPECT-ERROR-RE: [^\n]*" expect_lines "${case_text}")
+if(NOT expect_lines)
+  message(FATAL_ERROR "${CASE}: no // EXPECT-ERROR-RE: lines")
+endif()
+
+set(is_clang FALSE)
+if(COMPILER_ID MATCHES "Clang")
+  set(is_clang TRUE)
+endif()
+
+if(case_text MATCHES "// REQUIRES: clang" AND NOT is_clang)
+  message(STATUS "[SKIP-COMPILE-FAIL] ${CASE} requires clang; compiler "
+                 "is ${COMPILER_ID}")
+  return()
+endif()
+
+set(flags
+    -std=c++${CXX_STANDARD}
+    -I${REPO_ROOT}
+    -fsyntax-only
+    -Wall
+    -Wextra
+    -Werror)
+if(is_clang)
+  # The full thread-safety set CI builds src/ with (cmake/Warnings.cmake);
+  # the lock cases rely on it.
+  list(APPEND flags -Wthread-safety -Wthread-safety-beta
+       -Wthread-safety-negative)
+endif()
+if(DEFINED EXTRA_FLAGS AND NOT EXTRA_FLAGS STREQUAL "")
+  separate_arguments(extra UNIX_COMMAND "${EXTRA_FLAGS}")
+  list(APPEND flags ${extra})
+endif()
+
+execute_process(
+  COMMAND "${COMPILER}" ${flags} "${CASE}"
+  WORKING_DIRECTORY "${REPO_ROOT}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+set(diagnostics "${out}${err}")
+
+if(exit_code EQUAL 0)
+  message(FATAL_ERROR
+      "${CASE}: compiled cleanly but MUST fail to build — the contract "
+      "this case guards is no longer enforced")
+endif()
+
+foreach(line ${expect_lines})
+  string(REGEX REPLACE "^// EXPECT-ERROR-RE: " "" expected "${line}")
+  if(NOT diagnostics MATCHES "${expected}")
+    message(FATAL_ERROR
+        "${CASE}: compile failed (good) but the diagnostic did not match "
+        "expected regex:\n  ${expected}\ncompiler output:\n${diagnostics}")
+  endif()
+endforeach()
+
+message(STATUS "${CASE}: failed to compile with the expected "
+               "diagnostics, as required")

@@ -1,0 +1,41 @@
+// Negative-compile case: writing a GUARDED_BY member without holding
+// its mutex must not build. This is the contract tools/analyze's `locks`
+// pass demands annotations for and clang's -Wthread-safety (promoted to
+// -Werror in CI) enforces at compile time.
+//
+// REQUIRES: clang
+// EXPECT-ERROR-RE: variable 'balance_' requires holding mutex 'mutex_'
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void DepositLocked(int amount) {
+    swope::MutexLock lock(mutex_);
+    balance_ += amount;  // fine: lock held
+  }
+
+  void DepositRacy(int amount) {
+    balance_ += amount;  // BAD: no lock held
+  }
+
+ private:
+  swope::Mutex mutex_;
+  int balance_ GUARDED_BY(mutex_) = 0;
+};
+
+void Use() {
+  Account account;
+  account.DepositLocked(1);
+  account.DepositRacy(1);
+}
+
+}  // namespace
+
+int main() {
+  Use();
+  return 0;
+}

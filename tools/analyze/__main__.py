@@ -1,0 +1,121 @@
+"""swope-analyze: compile-commands-driven architecture checks.
+
+Usage:
+  python3 tools/analyze [includes] [locks] [headers] [options]
+
+Passes (default: includes + locks; `all` selects all three):
+  includes   layer DAG conformance, header include cycles, and unused
+             public headers, against tools/analyze/layers.toml
+  locks      lock discipline: no raw std sync primitives outside
+             src/common/mutex.h; every mutable member of a Mutex-owning
+             class GUARDED_BY-annotated (clang -Wthread-safety is the
+             runtime-truth half of this contract)
+  headers    header self-containment; generates stub TUs, and with
+             --compile syntax-checks them via compile_commands.json
+
+Exit codes: 0 clean, 1 findings, 2 usage/config error.
+
+Findings print as `path:line: [rule] message` — same shape as
+tools/lint.py, so editors and CI annotate them identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import layers_config  # noqa: E402
+import pass_headers  # noqa: E402
+import pass_includes  # noqa: E402
+import pass_locks  # noqa: E402
+import srcmodel  # noqa: E402
+
+PASSES = ("includes", "locks", "headers")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tools/analyze", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument(
+        "passes", nargs="*", choices=PASSES + ("all",),
+        help="passes to run (default: includes locks)")
+    parser.add_argument(
+        "--root", default=None,
+        help="repository root (default: parent of tools/)")
+    parser.add_argument(
+        "--layers", default=None,
+        help="layer config (default: tools/analyze/layers.toml)")
+    parser.add_argument(
+        "--out-dir", default=None,
+        help="stub directory for the headers pass "
+             "(default: <root>/build/check_headers)")
+    parser.add_argument(
+        "--compile-commands", default=None,
+        help="compile_commands.json for headers --compile "
+             "(default: <root>/build/compile_commands.json)")
+    parser.add_argument(
+        "--compile", action="store_true",
+        help="headers pass: syntax-check each stub with the real compiler")
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="print findings only, no per-pass progress")
+    args = parser.parse_args(argv)
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    selected = list(dict.fromkeys(args.passes)) or ["includes", "locks"]
+    if "all" in selected:
+        selected = list(PASSES)
+
+    def log(msg):
+        if not args.quiet:
+            print(msg)
+
+    try:
+        config = layers_config.load(
+            args.layers or os.path.join(root, "tools", "analyze", "layers.toml"))
+    except layers_config.ConfigError as e:
+        print(f"tools/analyze: {e}", file=sys.stderr)
+        return 2
+
+    tree = srcmodel.load_tree(root)
+    findings = []
+    for name in selected:
+        log(f"pass {name} ...")
+        if name == "includes":
+            findings.extend(pass_includes.run(tree, config))
+        elif name == "locks":
+            findings.extend(pass_locks.run(tree, config))
+        elif name == "headers":
+            out_dir = args.out_dir or os.path.join(root, "build", "check_headers")
+            if args.compile:
+                cc = args.compile_commands or os.path.join(
+                    root, "build", "compile_commands.json")
+                if not os.path.isfile(cc):
+                    print(f"tools/analyze: {cc} not found; configure the "
+                          "build first or pass --compile-commands",
+                          file=sys.stderr)
+                    return 2
+                try:
+                    findings.extend(pass_headers.run_compile(
+                        tree, out_dir, cc, root, log=log))
+                except RuntimeError as e:
+                    print(f"tools/analyze: {e}", file=sys.stderr)
+                    return 2
+            else:
+                stubs = pass_headers.generate_stubs(tree, out_dir)
+                log(f"  generated {len(stubs)} stubs in {out_dir}")
+
+    for finding in findings:
+        print(finding)
+    log(f"tools/analyze: {len(findings)} finding(s) "
+        f"across {len(selected)} pass(es)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,467 @@
+"""Tests for tools/analyze: every rule demonstrated firing on a seeded
+violation and staying quiet on the compliant twin.
+
+Run directly (`python3 tools/analyze/analyze_test.py`) or via ctest
+(`ctest -R analyze_test`).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import textwrap
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import layers_config
+import pass_headers
+import pass_includes
+import pass_locks
+import srcmodel
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+MINIMAL_LAYERS = textwrap.dedent(
+    """\
+    [layers.common]
+    path = "src/common"
+    deps = []
+
+    [layers.core]
+    path = "src/core"
+    deps = ["common"]
+
+    [layers.engine]
+    path = "src/engine"
+    deps = ["common", "core"]
+    """
+)
+
+
+class TempTree:
+    """A throwaway repo root built from {relpath: content}."""
+
+    def __init__(self, files, layers_toml=MINIMAL_LAYERS):
+        self.dir = tempfile.mkdtemp(prefix="swope_analyze_test_")
+        for rel, content in files.items():
+            path = os.path.join(self.dir, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(textwrap.dedent(content))
+        self.layers_path = os.path.join(self.dir, "layers.toml")
+        with open(self.layers_path, "w", encoding="utf-8") as f:
+            f.write(layers_toml)
+
+    def cleanup(self):
+        shutil.rmtree(self.dir, ignore_errors=True)
+
+    def load(self):
+        return srcmodel.load_tree(self.dir)
+
+    def config(self):
+        return layers_config.load(self.layers_path)
+
+
+def rules(findings):
+    return sorted({f.rule for f in findings})
+
+
+class SrcModelTest(unittest.TestCase):
+    def test_strip_blanks_comments_and_strings(self):
+        text = 'int a; // trailing\nconst char* s = "// not a comment";\n'
+        stripped = srcmodel.strip_comments_and_strings(text)
+        self.assertIn("int a;", stripped)
+        self.assertNotIn("trailing", stripped)
+        self.assertNotIn("not a comment", stripped)
+        self.assertEqual(text.count("\n"), stripped.count("\n"))
+
+    def test_strip_keep_strings_preserves_include_paths(self):
+        text = '#include "src/common/status.h"  // why\n'
+        kept = srcmodel.strip_comments_and_strings(text, keep_strings=True)
+        self.assertIn('"src/common/status.h"', kept)
+        self.assertNotIn("why", kept)
+
+    def test_block_comment_spanning_lines_keeps_line_numbers(self):
+        text = "a /* one\n two */ b\n"
+        stripped = srcmodel.strip_comments_and_strings(text)
+        self.assertEqual(2, stripped.count("\n"))
+        self.assertIn("b", stripped.splitlines()[1])
+
+    def test_nolint_lines_inline_and_nextline(self):
+        tree = TempTree(
+            {
+                "src/common/x.h": """\
+                int a;  // NOLINT(swope-lock-discipline)
+                // NOLINTNEXTLINE(lock-discipline): reason
+                int b;
+                int c;  // NOLINT(other-rule)
+                """
+            }
+        )
+        self.addCleanup(tree.cleanup)
+        sf = tree.load()["src/common/x.h"]
+        self.assertEqual({1, 3}, sf.nolint_lines("lock-discipline"))
+
+    def test_includes_extracted_with_line_numbers(self):
+        tree = TempTree(
+            {
+                "src/common/x.h": """\
+                #include <vector>
+                #include "src/common/y.h"
+                """,
+                "src/common/y.h": "\n",
+            }
+        )
+        self.addCleanup(tree.cleanup)
+        sf = tree.load()["src/common/x.h"]
+        self.assertEqual([(2, "src/common/y.h")], sf.includes)
+
+
+class LayersConfigTest(unittest.TestCase):
+    def test_loads_the_real_config(self):
+        config = layers_config.load(
+            os.path.join(REPO_ROOT, "tools", "analyze", "layers.toml"))
+        self.assertIn("core", config.layers)
+        self.assertIn(
+            ("src/common/thread_pool.cc", "src/obs/metrics.h"),
+            config.exceptions)
+
+    def test_longest_prefix_layer_resolution(self):
+        tree = TempTree({})
+        self.addCleanup(tree.cleanup)
+        config = tree.config()
+        self.assertEqual("common",
+                         config.layer_of("src/common/status.h").name)
+        self.assertIsNone(config.layer_of("tests/foo.cc"))
+
+    def test_declared_cycle_is_a_config_error(self):
+        cyclic = MINIMAL_LAYERS.replace('deps = []', 'deps = ["engine"]')
+        tree = TempTree({}, layers_toml=cyclic)
+        self.addCleanup(tree.cleanup)
+        with self.assertRaisesRegex(layers_config.ConfigError, "cycle"):
+            tree.config()
+
+    def test_unknown_dep_is_a_config_error(self):
+        bad = MINIMAL_LAYERS.replace('deps = ["common"]', 'deps = ["nope"]')
+        tree = TempTree({}, layers_toml=bad)
+        self.addCleanup(tree.cleanup)
+        with self.assertRaisesRegex(layers_config.ConfigError, "unknown"):
+            tree.config()
+
+    def test_exception_requires_reason(self):
+        toml = MINIMAL_LAYERS + textwrap.dedent(
+            """
+            [[exceptions]]
+            file = "src/common/a.cc"
+            include = "src/core/b.h"
+            """
+        )
+        tree = TempTree({}, layers_toml=toml)
+        self.addCleanup(tree.cleanup)
+        with self.assertRaisesRegex(layers_config.ConfigError, "reason"):
+            tree.config()
+
+
+class IncludePassTest(unittest.TestCase):
+    def make(self, files, layers_toml=MINIMAL_LAYERS):
+        tree = TempTree(files, layers_toml)
+        self.addCleanup(tree.cleanup)
+        return tree.load(), tree.config()
+
+    def test_undeclared_edge_fires_and_declared_edge_does_not(self):
+        tree, config = self.make(
+            {
+                # common -> core is not declared: violation.
+                "src/common/bad.cc": '#include "src/core/algo.h"\n',
+                # core -> common is declared: fine.
+                "src/core/algo.h": '#include "src/common/util.h"\n',
+                "src/core/algo.cc": '#include "src/core/algo.h"\n',
+                "src/common/util.h": "\n",
+                "src/common/util.cc": '#include "src/common/util.h"\n',
+                "tests/algo_test.cc": '#include "src/core/algo.h"\n'
+                                      '#include "src/common/util.h"\n'
+                                      '#include "src/common/bad_helper.h"\n',
+                "src/common/bad_helper.h": "\n",
+            }
+        )
+        findings = pass_includes.run(tree, config)
+        layer = [f for f in findings if f.rule == "layer-dep"]
+        self.assertEqual(1, len(layer))
+        self.assertEqual("src/common/bad.cc", layer[0].path)
+        self.assertEqual(1, layer[0].line)
+        self.assertIn("'common' does not depend on 'core'", layer[0].message)
+
+    def test_documented_exception_suppresses_the_edge(self):
+        toml = MINIMAL_LAYERS + textwrap.dedent(
+            """
+            [[exceptions]]
+            file = "src/common/bad.cc"
+            include = "src/core/algo.h"
+            reason = "transitional"
+            """
+        )
+        tree, config = self.make(
+            {
+                "src/common/bad.cc": '#include "src/core/algo.h"\n',
+                "src/core/algo.h": "\n",
+                "src/core/algo.cc": '#include "src/core/algo.h"\n',
+                "tests/t.cc": '#include "src/core/algo.h"\n',
+            },
+            layers_toml=toml,
+        )
+        findings = pass_includes.run(tree, config)
+        self.assertEqual([], [f for f in findings if f.rule == "layer-dep"])
+
+    def test_header_cycle_detected(self):
+        tree, config = self.make(
+            {
+                "src/common/a.h": '#include "src/common/b.h"\n',
+                "src/common/b.h": '#include "src/common/a.h"\n',
+                "tests/t.cc": '#include "src/common/a.h"\n'
+                              '#include "src/common/b.h"\n',
+            }
+        )
+        findings = pass_includes.run(tree, config)
+        cycles = [f for f in findings if f.rule == "include-cycle"]
+        self.assertEqual(1, len(cycles))
+        self.assertIn("src/common/a.h", cycles[0].message)
+        self.assertIn("src/common/b.h", cycles[0].message)
+
+    def test_unused_public_header_flagged_only_when_truly_unused(self):
+        tree, config = self.make(
+            {
+                "src/common/dead.h": "\n",
+                "src/common/dead.cc": '#include "src/common/dead.h"\n',
+                "src/common/live.h": "\n",
+                "tests/t.cc": '#include "src/common/live.h"\n',
+            }
+        )
+        findings = pass_includes.run(tree, config)
+        unused = [f for f in findings if f.rule == "unused-header"]
+        self.assertEqual(["src/common/dead.h"], [f.path for f in unused])
+
+    def test_unlayered_src_file_flagged(self):
+        toml = MINIMAL_LAYERS  # no umbrella layer for src/ root
+        tree, config = self.make(
+            {"src/orphan/x.h": "\n", "tests/t.cc": '#include "src/orphan/x.h"\n'},
+            layers_toml=toml,
+        )
+        findings = pass_includes.run(tree, config)
+        self.assertIn("layer-dep", rules(findings))
+        self.assertIn("no layer", findings[0].message)
+
+
+LOCKED_CLASS = """\
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+
+namespace swope {{
+class Widget {{
+ public:
+  void Poke();
+
+ private:
+  Mutex mutex_;
+  {member}
+}};
+}}  // namespace swope
+"""
+
+
+class LockPassTest(unittest.TestCase):
+    def check_member(self, member):
+        tree = TempTree(
+            {"src/common/widget.h": LOCKED_CLASS.format(member=member)})
+        self.addCleanup(tree.cleanup)
+        return pass_locks.run(tree.load())
+
+    def test_unguarded_member_fires(self):
+        findings = self.check_member("int count_ = 0;")
+        self.assertEqual(["lock-discipline"], rules(findings))
+        self.assertIn("'count_'", findings[0].message)
+        self.assertIn("Widget", findings[0].message)
+
+    def test_guarded_member_is_clean(self):
+        self.assertEqual([], self.check_member(
+            "int count_ GUARDED_BY(mutex_) = 0;"))
+
+    def test_guarded_container_with_parens_in_type_is_clean(self):
+        self.assertEqual([], self.check_member(
+            "std::deque<std::function<void()>> tasks_ GUARDED_BY(mutex_);"))
+
+    def test_const_static_atomic_members_exempt(self):
+        self.assertEqual([], self.check_member("const int limit_ = 3;"))
+        self.assertEqual([], self.check_member("Gauge* const gauge_;"))
+        self.assertEqual([], self.check_member("static int counter_;"))
+        self.assertEqual([], self.check_member("std::atomic<int> hits_{0};"))
+
+    def test_self_synchronized_member_exempt(self):
+        tree = TempTree(
+            {
+                "src/common/widget.h": LOCKED_CLASS.format(
+                    member="Inner inner_; std::unique_ptr<Inner> extra_;"),
+                "src/common/inner.h": LOCKED_CLASS.format(
+                    member="int x_ GUARDED_BY(mutex_) = 0;").replace(
+                        "Widget", "Inner"),
+            }
+        )
+        self.addCleanup(tree.cleanup)
+        self.assertEqual([], pass_locks.run(tree.load()))
+
+    def test_nolint_escapes_suppress(self):
+        self.assertEqual([], self.check_member(
+            "int scratch_;  // NOLINT(swope-lock-discipline): ctor-only"))
+        self.assertEqual([], self.check_member(
+            "// NOLINTNEXTLINE(swope-lock-discipline): ctor-only\n"
+            "  int scratch_;"))
+
+    def test_raw_std_mutex_member_fires_anywhere_but_the_wrapper(self):
+        tree = TempTree(
+            {
+                "src/core/holder.h": """\
+                namespace swope {
+                class Holder {
+                 private:
+                  std::mutex raw_;
+                };
+                }  // namespace swope
+                """
+            }
+        )
+        self.addCleanup(tree.cleanup)
+        findings = pass_locks.run(tree.load())
+        self.assertEqual(["raw-sync-member"], rules(findings))
+
+    def test_wrapper_header_may_hold_raw_mutex(self):
+        repo_tree = srcmodel.load_tree(REPO_ROOT, subdirs=("src/common",))
+        findings = pass_locks.run(
+            {"src/common/mutex.h": repo_tree["src/common/mutex.h"]})
+        self.assertEqual([], findings)
+
+    def test_function_declarations_are_not_members(self):
+        findings = self.check_member(
+            "void Helper(int x) REQUIRES(!mutex_);\n"
+            "  int guarded_ GUARDED_BY(mutex_) = 0;")
+        self.assertEqual([], findings)
+
+    def test_class_without_mutex_needs_no_annotations(self):
+        tree = TempTree(
+            {
+                "src/common/plain.h": """\
+                namespace swope {
+                class Plain {
+                 private:
+                  int a_ = 0;
+                  std::vector<int> b_;
+                };
+                }  // namespace swope
+                """
+            }
+        )
+        self.addCleanup(tree.cleanup)
+        self.assertEqual([], pass_locks.run(tree.load()))
+
+    def test_annotated_class_name_parsed_through_macros(self):
+        tree = TempTree(
+            {
+                "src/common/w.h": """\
+                class CAPABILITY("mutex") Wrapped {
+                 private:
+                  int x_ = 0;
+                };
+                """
+            }
+        )
+        self.addCleanup(tree.cleanup)
+        classes = pass_locks.parse_classes(tree.load()["src/common/w.h"])
+        self.assertEqual(["Wrapped"], [c.name for c in classes])
+
+
+class HeaderPassTest(unittest.TestCase):
+    def test_stub_contents(self):
+        text = pass_headers.stub_text("src/core/scorers.h")
+        self.assertIn("#define SWOPE_CORE_INTERNAL", text)
+        self.assertIn('#include "src/core/scorers.h"', text)
+        public = pass_headers.stub_text("src/common/status.h")
+        self.assertNotIn("SWOPE_CORE_INTERNAL", public)
+
+    def test_generate_stubs_removes_stale_and_is_idempotent(self):
+        tree = TempTree({"src/common/a.h": "\n", "tests/t.cc":
+                         '#include "src/common/a.h"\n'})
+        self.addCleanup(tree.cleanup)
+        out = os.path.join(tree.dir, "stubs")
+        loaded = tree.load()
+        stubs = pass_headers.generate_stubs(loaded, out)
+        self.assertEqual(1, len(stubs))
+        stale = os.path.join(out, "src_gone.check.cc")
+        with open(stale, "w", encoding="utf-8") as f:
+            f.write("// stale\n")
+        before = os.path.getmtime(stubs[0][1])
+        pass_headers.generate_stubs(loaded, out)
+        self.assertFalse(os.path.exists(stale))
+        self.assertEqual(before, os.path.getmtime(stubs[0][1]))
+
+    @unittest.skipUnless(shutil.which("c++") or shutil.which("g++"),
+                         "no C++ compiler on PATH")
+    def test_compile_catches_non_self_contained_header(self):
+        compiler = shutil.which("c++") or shutil.which("g++")
+        tree = TempTree(
+            {
+                # Uses std::vector without including <vector>.
+                "src/common/broken.h": "inline int F(std::vector<int> v)"
+                                       " { return (int)v.size(); }\n",
+                "src/common/fine.h": "#include <vector>\n"
+                                     "inline int G(std::vector<int> v)"
+                                     " { return (int)v.size(); }\n",
+                "tests/t.cc": '#include "src/common/broken.h"\n'
+                              '#include "src/common/fine.h"\n',
+                "src/common/ref.cc": "int main() { return 0; }\n",
+            }
+        )
+        self.addCleanup(tree.cleanup)
+        cc_json = os.path.join(tree.dir, "compile_commands.json")
+        ref = os.path.join(tree.dir, "src/common/ref.cc")
+        with open(cc_json, "w", encoding="utf-8") as f:
+            f.write(
+                '[{"directory": "%s", "file": "%s", '
+                '"command": "%s -std=c++17 -c %s -o ref.o"}]'
+                % (tree.dir, ref, compiler, ref)
+            )
+        findings = pass_headers.run_compile(
+            tree.load(), os.path.join(tree.dir, "stubs"), cc_json, tree.dir)
+        self.assertEqual(["src/common/broken.h"], [f.path for f in findings])
+        self.assertEqual(["self-contained"], rules(findings))
+
+
+class RealRepoTest(unittest.TestCase):
+    """The analyzer must be green on the repo itself — the same
+    invocation ctest runs."""
+
+    def test_cli_includes_locks_green(self):
+        proc = subprocess.run(
+            [sys.executable, os.path.join(REPO_ROOT, "tools", "analyze"),
+             "includes", "locks", "-q"],
+            capture_output=True, text=True, check=False)
+        self.assertEqual(0, proc.returncode,
+                         proc.stdout + proc.stderr)
+        self.assertEqual("", proc.stdout.strip())
+
+    def test_real_tree_lock_pass_sees_the_lock_owners(self):
+        tree = srcmodel.load_tree(REPO_ROOT, subdirs=("src",))
+        classes = []
+        for sf in tree.values():
+            classes.extend(pass_locks.parse_classes(sf))
+        owners = pass_locks.self_synchronized_types(classes)
+        for expected in ("ThreadPool", "MetricsRegistry", "DatasetRegistry",
+                         "ResultCache", "PermutationCache", "QueryEngine",
+                         "CodeScratchArena"):
+            self.assertIn(expected, owners)
+
+
+if __name__ == "__main__":
+    unittest.main()

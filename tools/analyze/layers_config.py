@@ -1,0 +1,128 @@
+"""Loads and validates tools/analyze/layers.toml.
+
+The declared layer graph itself must be a DAG over known layer names;
+configuration errors are raised as ConfigError (exit code 2 in the CLI)
+so they are never confused with findings about the source tree.
+"""
+
+from __future__ import annotations
+
+import os
+import tomllib
+from dataclasses import dataclass
+
+
+class ConfigError(Exception):
+    pass
+
+
+@dataclass(frozen=True)
+class Layer:
+    name: str
+    path: str  # directory prefix, '/'-separated, no trailing slash
+    deps: frozenset  # layer names; the sentinel "*" allows everything
+
+
+@dataclass(frozen=True)
+class Exception_:
+    file: str
+    include: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class LayersConfig:
+    layers: dict  # name -> Layer
+    exceptions: frozenset  # {(file, include)}
+
+    def layer_of(self, path: str):
+        """Longest-prefix match of `path` against the declared layer dirs.
+
+        A layer whose path is a parent directory only claims files that no
+        deeper layer claims (so "src" means "directly under src/" once
+        "src/common" etc. exist). Returns None for unlayered files.
+        """
+        best = None
+        for layer in self.layers.values():
+            if path.startswith(layer.path + "/"):
+                if best is None or len(layer.path) > len(best.path):
+                    best = layer
+        return best
+
+
+def load(path: str) -> LayersConfig:
+    if not os.path.isfile(path):
+        raise ConfigError(f"layer config not found: {path}")
+    with open(path, "rb") as f:
+        try:
+            raw = tomllib.load(f)
+        except tomllib.TOMLDecodeError as e:
+            raise ConfigError(f"{path}: {e}") from e
+
+    layers_raw = raw.get("layers")
+    if not isinstance(layers_raw, dict) or not layers_raw:
+        raise ConfigError(f"{path}: missing [layers.*] tables")
+
+    layers = {}
+    for name, body in layers_raw.items():
+        if not isinstance(body, dict) or "path" not in body:
+            raise ConfigError(f"{path}: layer '{name}' needs a path")
+        deps = body.get("deps", [])
+        if not isinstance(deps, list):
+            raise ConfigError(f"{path}: layer '{name}': deps must be a list")
+        layers[name] = Layer(
+            name=name,
+            path=str(body["path"]).rstrip("/"),
+            deps=frozenset(str(d) for d in deps),
+        )
+
+    for layer in layers.values():
+        for dep in layer.deps:
+            if dep != "*" and dep not in layers:
+                raise ConfigError(
+                    f"{path}: layer '{layer.name}' depends on unknown "
+                    f"layer '{dep}'"
+                )
+
+    _check_dag(path, layers)
+
+    exceptions = set()
+    for entry in raw.get("exceptions", []):
+        if not isinstance(entry, dict) or "file" not in entry or "include" not in entry:
+            raise ConfigError(f"{path}: each [[exceptions]] needs file + include")
+        if not str(entry.get("reason", "")).strip():
+            raise ConfigError(
+                f"{path}: exception {entry['file']} -> {entry['include']} "
+                "needs a non-empty reason"
+            )
+        exceptions.add((entry["file"], entry["include"]))
+
+    return LayersConfig(layers=layers, exceptions=frozenset(exceptions))
+
+
+def _check_dag(path: str, layers: dict) -> None:
+    """Rejects cycles in the declared deps ("*" edges are exempt: a layer
+    that sees everything is a sink for the cycle check, not a source)."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {name: WHITE for name in layers}
+
+    def visit(name, stack):
+        color[name] = GRAY
+        stack.append(name)
+        for dep in sorted(layers[name].deps):
+            if dep == "*":
+                continue
+            if color[dep] == GRAY:
+                cycle = stack[stack.index(dep):] + [dep]
+                raise ConfigError(
+                    f"{path}: declared layer graph has a cycle: "
+                    + " -> ".join(cycle)
+                )
+            if color[dep] == WHITE:
+                visit(dep, stack)
+        stack.pop()
+        color[name] = BLACK
+
+    for name in sorted(layers):
+        if color[name] == WHITE:
+            visit(name, [])

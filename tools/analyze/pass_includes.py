@@ -1,0 +1,162 @@
+"""Pass `includes`: the architecture checks over the include graph.
+
+Three checks, all driven by the declared DAG in layers.toml plus the
+real `#include "src/..."` edges of the tree:
+
+  layer-dep      a file includes a header from a layer its own layer
+                 does not declare a dependency on (and the edge is not a
+                 documented [[exceptions]] entry);
+  include-cycle  the file-level include graph under src/ has a cycle
+                 (headers that transitively include themselves);
+  unused-header  a public src/ header that no file in the repo includes
+                 other than itself and its own .cc — dead API surface.
+
+Files outside src/ (tests, tools, bench, examples) are "apps": they are
+not layer-checked, but they do count as users for unused-header (a
+header only tests exercise is still live API).
+"""
+
+from __future__ import annotations
+
+from srcmodel import Finding
+
+# Headers internal to their layer: excluded from unused-header (their
+# audience is the layer itself, enforced separately by the
+# SWOPE_CORE_INTERNAL preprocessor gate and tools/lint.py).
+INTERNAL_HEADERS = frozenset(
+    {
+        "src/core/adaptive_sampling_driver.h",
+        "src/core/scorers.h",
+    }
+)
+
+
+def run(tree: dict, config) -> list:
+    findings = []
+    findings.extend(_check_layer_deps(tree, config))
+    findings.extend(_check_cycles(tree))
+    findings.extend(_check_unused_headers(tree))
+    return findings
+
+
+def _check_layer_deps(tree: dict, config) -> list:
+    findings = []
+    for path in sorted(tree):
+        if not path.startswith("src/"):
+            continue
+        layer = config.layer_of(path)
+        if layer is None:
+            findings.append(
+                Finding(
+                    path,
+                    1,
+                    "layer-dep",
+                    "file is under src/ but no layer in layers.toml claims "
+                    "it; add a [layers.*] entry",
+                )
+            )
+            continue
+        if "*" in layer.deps:
+            continue
+        for lineno, inc in tree[path].includes:
+            if not inc.startswith("src/"):
+                continue
+            target = config.layer_of(inc)
+            if target is None or target.name == layer.name:
+                continue
+            if target.name in layer.deps:
+                continue
+            if (path, inc) in config.exceptions:
+                continue
+            findings.append(
+                Finding(
+                    path,
+                    lineno,
+                    "layer-dep",
+                    f"layer '{layer.name}' does not depend on "
+                    f"'{target.name}' (include of {inc}); extend deps in "
+                    "layers.toml or add a documented exception",
+                )
+            )
+    return findings
+
+
+def _check_cycles(tree: dict) -> list:
+    """File-level cycle detection over src/ includes.
+
+    Includes from .cc files cannot close a cycle (nothing includes a
+    .cc), so the graph is restricted to headers.
+    """
+    graph = {}
+    for path, sf in tree.items():
+        if not path.startswith("src/") or not path.endswith(".h"):
+            continue
+        graph[path] = sorted(
+            inc
+            for _, inc in sf.includes
+            if inc.startswith("src/") and inc.endswith(".h") and inc in tree
+        )
+
+    findings = []
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {p: WHITE for p in graph}
+    reported = set()
+
+    def visit(node, stack):
+        color[node] = GRAY
+        stack.append(node)
+        for nxt in graph.get(node, ()):
+            if nxt not in color:
+                continue
+            if color[nxt] == GRAY:
+                cycle = tuple(stack[stack.index(nxt):] + [nxt])
+                if frozenset(cycle) not in reported:
+                    reported.add(frozenset(cycle))
+                    findings.append(
+                        Finding(
+                            nxt,
+                            1,
+                            "include-cycle",
+                            "header include cycle: " + " -> ".join(cycle),
+                        )
+                    )
+            elif color[nxt] == WHITE:
+                visit(nxt, stack)
+        stack.pop()
+        color[node] = BLACK
+
+    for node in sorted(graph):
+        if color[node] == WHITE:
+            visit(node, [])
+    return findings
+
+
+def _check_unused_headers(tree: dict) -> list:
+    used = set()
+    for sf in tree.values():
+        for _, inc in sf.includes:
+            used.add(inc)
+    findings = []
+    for path in sorted(tree):
+        if not path.startswith("src/") or not path.endswith(".h"):
+            continue
+        if path in INTERNAL_HEADERS:
+            continue
+        includers = {
+            p
+            for p, sf in tree.items()
+            if p != path
+            and p != path[:-2] + ".cc"
+            and any(inc == path for _, inc in sf.includes)
+        }
+        if not includers:
+            findings.append(
+                Finding(
+                    path,
+                    1,
+                    "unused-header",
+                    "public header is included by nothing outside its own "
+                    "TU; delete it or fold it into its only user",
+                )
+            )
+    return findings

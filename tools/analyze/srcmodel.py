@@ -1,0 +1,164 @@
+"""Source-tree model shared by the tools/analyze passes.
+
+Stdlib only. The model is textual: files are read once, comments and
+string literals are blanked (preserving line structure so findings carry
+real line numbers), and passes work on the stripped text. That is the
+same trade tools/lint.py makes — fast, dependency-free, and precise
+enough because the repo's style is regular (clang-format enforced).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+
+SOURCE_SUFFIXES = (".h", ".cc", ".cpp")
+
+# Directories whose sources participate in include scans. src/ is the
+# library (layer-checked); the rest are "apps" that may include any
+# public header and count as users for the unused-header check.
+SRC_ROOT = "src"
+APP_ROOTS = ("tests", "tools", "bench", "examples", "apps")
+
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+_NOLINT_RE = re.compile(r"NOLINT\(([^)]*)\)")
+_NOLINTNEXTLINE_RE = re.compile(r"NOLINTNEXTLINE\(([^)]*)\)")
+
+
+def strip_comments_and_strings(text: str, keep_strings: bool = False) -> str:
+    """Blanks comments and (unless keep_strings) string/char literals,
+    keeping newlines.
+
+    Keeps NOLINT markers visible by replacing comment bodies with spaces
+    except for NOLINT(...) / NOLINTNEXTLINE(...) tokens, which passes
+    need to honour as escapes. keep_strings=True still scans strings (so
+    comment markers inside literals don't confuse the stripper) but
+    leaves their text intact — include extraction needs the quoted path.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(_preserve_nolint(text[i:j]))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append(_blank_keep_newlines(text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote or text[j] == "\n":
+                    break
+                j += 1
+            j = min(j + 1, n)
+            if keep_strings:
+                out.append(text[i:j])
+            else:
+                out.append(
+                    quote
+                    + " " * max(0, j - i - 2)
+                    + (quote if j - i >= 2 else "")
+                )
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def _blank_keep_newlines(chunk: str) -> str:
+    return "".join(ch if ch == "\n" else " " for ch in chunk)
+
+
+def _preserve_nolint(comment: str) -> str:
+    marker = _NOLINT_RE.search(comment) or _NOLINTNEXTLINE_RE.search(comment)
+    if marker is None:
+        return " " * len(comment)
+    blanked = list(" " * len(comment))
+    blanked[marker.start() : marker.end()] = comment[marker.start() : marker.end()]
+    return "".join(blanked)
+
+
+@dataclass
+class SourceFile:
+    """One file: raw text, stripped text, and its repo-relative includes."""
+
+    path: str  # repo-relative, '/'-separated
+    text: str
+    stripped: str
+    includes: list = field(default_factory=list)  # [(line, "src/...h")]
+
+    def nolint_lines(self, rule: str) -> set:
+        """Line numbers (1-based) where `rule` is NOLINT-escaped."""
+        lines = set()
+        for lineno, line in enumerate(self.stripped.splitlines(), start=1):
+            m = _NOLINT_RE.search(line)
+            if m and _rule_matches(m.group(1), rule):
+                lines.add(lineno)
+            m = _NOLINTNEXTLINE_RE.search(line)
+            if m and _rule_matches(m.group(1), rule):
+                lines.add(lineno + 1)
+        return lines
+
+
+def _rule_matches(spec: str, rule: str) -> bool:
+    """True when the NOLINT tag list covers `rule`. Tags may carry the
+    conventional `swope-` prefix (clang-tidy style): both
+    NOLINT(lock-discipline) and NOLINT(swope-lock-discipline) match."""
+    names = [s.strip() for s in spec.split(",")]
+    return rule in names or "swope-" + rule in names or "*" in names
+
+
+def load_file(root: str, relpath: str) -> SourceFile:
+    with open(os.path.join(root, relpath), encoding="utf-8") as f:
+        text = f.read()
+    stripped = strip_comments_and_strings(text)
+    includes = []
+    include_src = strip_comments_and_strings(text, keep_strings=True)
+    for lineno, line in enumerate(include_src.splitlines(), start=1):
+        m = _INCLUDE_RE.match(line)
+        if m:
+            includes.append((lineno, m.group(1)))
+    return SourceFile(path=relpath, text=text, stripped=stripped, includes=includes)
+
+
+def walk_sources(root: str, subdirs) -> list:
+    """All source files under root/{subdirs}, as repo-relative paths."""
+    paths = []
+    for sub in subdirs:
+        top = os.path.join(root, sub)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_SUFFIXES):
+                    rel = os.path.relpath(os.path.join(dirpath, name), root)
+                    paths.append(rel.replace(os.sep, "/"))
+    return paths
+
+
+def load_tree(root: str, subdirs=(SRC_ROOT,) + APP_ROOTS) -> dict:
+    """path -> SourceFile for every source file under the given subdirs."""
+    return {p: load_file(root, p) for p in walk_sources(root, subdirs)}
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"

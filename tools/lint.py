@@ -16,10 +16,12 @@ Enforces the handful of conventions that clang-tidy cannot express:
   banned-sleep    sleep_for/sleep_until/usleep are banned in src/ (library
                   code must block on condition variables or poll an
                   ExecControl, never nap); tests and benches may sleep.
-  banned-clock    raw steady_clock::now() is banned outside
-                  src/common/stopwatch.h and src/obs/ -- all timing
-                  funnels through SteadyNow()/Stopwatch so the
-                  observability layer sees every clock read.
+  banned-clock    raw steady_clock::now() and system_clock::now() are
+                  banned outside src/common/stopwatch.h and src/obs/ --
+                  all timing funnels through SteadyNow()/Stopwatch so the
+                  observability layer sees every clock read, and
+                  wall-clock reads would make certified answers depend on
+                  the machine's clock.
   core-layering   the adaptive-sampling internals (src/core/
                   adaptive_sampling_driver.h and src/core/scorers.h) may
                   only be included from src/core/; everything else goes
@@ -52,7 +54,7 @@ BANNED_RAND_RE = re.compile(r"(?<![A-Za-z0-9_])s?rand\s*\(")
 USING_NAMESPACE_RE = re.compile(r"(?<![A-Za-z0-9_])using\s+namespace\b")
 BANNED_SLEEP_RE = re.compile(
     r"(?<![A-Za-z0-9_])(sleep_for|sleep_until|usleep)\s*\(")
-BANNED_CLOCK_RE = re.compile(r"steady_clock\s*::\s*now\s*\(")
+BANNED_CLOCK_RE = re.compile(r"(?:steady_clock|system_clock)\s*::\s*now\s*\(")
 CLOCK_EXEMPT_PATHS = ("src/common/stopwatch.h",)
 CLOCK_EXEMPT_DIRS = (("src", "obs"),)
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
@@ -197,9 +199,10 @@ def lint_file(root, relpath):
                 and relpath.as_posix() not in CLOCK_EXEMPT_PATHS
                 and relpath.parts[:2] not in CLOCK_EXEMPT_DIRS):
             findings.append((relpath, lineno, "banned-clock",
-                             "raw steady_clock::now(); use SteadyNow() or "
-                             "Stopwatch (src/common/stopwatch.h) so timing "
-                             "stays observable"))
+                             "raw steady_clock/system_clock ::now(); use "
+                             "SteadyNow() or Stopwatch "
+                             "(src/common/stopwatch.h) so timing stays "
+                             "observable and answers stay reproducible"))
         if (RAW_CODES_RE.search(line)
                 and not relpath.as_posix().startswith(RAW_CODES_EXEMPT_DIRS)):
             findings.append((relpath, lineno, "raw-codes",

@@ -1,0 +1,187 @@
+"""Tests for tools/lint.py: every rule shown firing on a violation,
+staying quiet on compliant code, and honouring its NOLINT escape.
+
+Run directly (`python3 tools/lint_test.py`) or via ctest
+(`ctest -R lint_test`).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import shutil
+import sys
+import tempfile
+import textwrap
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import lint
+
+GUARDED_HEADER = """\
+#ifndef SWOPE_{guard}_
+#define SWOPE_{guard}_
+{body}
+#endif  // SWOPE_{guard}_
+"""
+
+
+class LintFileTest(unittest.TestCase):
+    def setUp(self):
+        self.root = pathlib.Path(tempfile.mkdtemp(prefix="swope_lint_test_"))
+        self.addCleanup(shutil.rmtree, self.root, ignore_errors=True)
+
+    def lint(self, relpath, content):
+        path = self.root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content), encoding="utf-8")
+        return lint.lint_file(self.root, pathlib.Path(relpath))
+
+    def lint_header(self, relpath, body):
+        guard = (
+            relpath[len("src/"):] if relpath.startswith("src/") else relpath)
+        guard = "".join(c if c.isalnum() else "_" for c in guard).upper()
+        return self.lint(relpath, GUARDED_HEADER.format(guard=guard, body=body))
+
+    def rules(self, findings):
+        return sorted({rule for _, _, rule, _ in findings})
+
+    # ---- include-guard ----------------------------------------------------
+
+    def test_include_guard_ok(self):
+        self.assertEqual([], self.lint_header("src/common/foo.h", "int x;"))
+
+    def test_include_guard_wrong_name(self):
+        findings = self.lint(
+            "src/common/foo.h",
+            "#ifndef WRONG_H_\n#define WRONG_H_\n#endif\n")
+        self.assertEqual(["include-guard"], self.rules(findings))
+        self.assertIn("SWOPE_COMMON_FOO_H_", findings[0][3])
+
+    def test_include_guard_missing_define(self):
+        findings = self.lint(
+            "src/common/foo.h",
+            "#ifndef SWOPE_COMMON_FOO_H_\nint x;\n#endif\n")
+        self.assertEqual(["include-guard"], self.rules(findings))
+
+    # ---- using-namespace --------------------------------------------------
+
+    def test_using_namespace_fires_in_headers_only(self):
+        findings = self.lint_header("src/common/ns.h", "using namespace std;")
+        self.assertEqual(["using-namespace"], self.rules(findings))
+        self.assertEqual([], self.lint("src/common/ns.cc",
+                                       "using namespace std;\n"))
+
+    def test_using_namespace_nolint(self):
+        findings = self.lint_header(
+            "src/common/ns.h", "using namespace std;  // NOLINT")
+        self.assertEqual([], findings)
+
+    # ---- naked-new --------------------------------------------------------
+
+    def test_naked_new_and_delete_fire(self):
+        self.assertEqual(["naked-new"], self.rules(
+            self.lint("src/common/a.cc", "int* p = new int(3);\n")))
+        self.assertEqual(["naked-new"], self.rules(
+            self.lint("src/common/b.cc", "void F(int* p) { delete p; }\n")))
+
+    def test_defaulted_and_deleted_functions_are_fine(self):
+        self.assertEqual([], self.lint(
+            "src/common/c.cc",
+            "struct S { S(const S&) = delete; S() = default; };\n"))
+
+    def test_naked_new_nolint_escape(self):
+        self.assertEqual([], self.lint(
+            "src/common/d.cc",
+            "static int* p = new int(3);"
+            "  // NOLINT(swope-naked-new): leaky singleton\n"))
+
+    # ---- banned-rand ------------------------------------------------------
+
+    def test_banned_rand(self):
+        self.assertEqual(["banned-rand"], self.rules(
+            self.lint("src/common/r.cc", "int x = rand();\n")))
+        self.assertEqual([], self.lint(
+            "src/common/r2.cc", "int x = my_rand();\n"))
+
+    # ---- banned-sleep -----------------------------------------------------
+
+    def test_banned_sleep_fires_in_src_only(self):
+        body = "void F() { std::this_thread::sleep_for(d); }\n"
+        self.assertEqual(["banned-sleep"], self.rules(
+            self.lint("src/common/s.cc", body)))
+        self.assertEqual([], self.lint("tests/s_test.cc", body))
+
+    # ---- banned-clock -----------------------------------------------------
+
+    def test_banned_clock_catches_steady_and_system(self):
+        self.assertEqual(["banned-clock"], self.rules(self.lint(
+            "src/core/t.cc",
+            "auto t = std::chrono::steady_clock::now();\n")))
+        self.assertEqual(["banned-clock"], self.rules(self.lint(
+            "src/core/u.cc",
+            "auto t = std::chrono::system_clock::now();\n")))
+
+    def test_banned_clock_exempts_stopwatch_and_obs(self):
+        body = "auto t = std::chrono::steady_clock::now();\n"
+        for relpath in ("src/obs/clockuser.cc",):
+            self.assertEqual([], self.lint(relpath, body))
+        stopwatch = GUARDED_HEADER.format(
+            guard="COMMON_STOPWATCH_H", body=body.strip())
+        self.assertEqual([], self.lint("src/common/stopwatch.h", stopwatch))
+
+    def test_banned_clock_nolintnextline(self):
+        self.assertEqual([], self.lint(
+            "src/core/v.cc",
+            "// NOLINTNEXTLINE\n"
+            "auto t = std::chrono::system_clock::now();\n"))
+
+    # ---- core-layering ----------------------------------------------------
+
+    def test_core_internal_include_fires_outside_core(self):
+        body = '#include "src/core/scorers.h"\n'
+        findings = self.lint("src/engine/e.cc", body)
+        self.assertEqual(["core-layering"], self.rules(findings))
+        self.assertEqual([], self.lint("src/core/c.cc", body))
+
+    # ---- raw-codes --------------------------------------------------------
+
+    def test_raw_codes_fires_outside_table_and_tests(self):
+        body = "auto v = col.codes();\n"
+        self.assertEqual(["raw-codes"], self.rules(
+            self.lint("src/core/w.cc", body)))
+        self.assertEqual([], self.lint("src/table/w.cc", body))
+        self.assertEqual([], self.lint("tests/w_test.cc", body))
+
+    # ---- comment/string stripping -----------------------------------------
+
+    def test_rules_ignore_comments_and_strings(self):
+        self.assertEqual([], self.lint(
+            "src/common/x.cc",
+            '// int* p = new int(3);\n'
+            'const char* s = "rand()";\n'))
+
+
+class MainTest(unittest.TestCase):
+    def setUp(self):
+        self.root = pathlib.Path(tempfile.mkdtemp(prefix="swope_lint_main_"))
+        self.addCleanup(shutil.rmtree, self.root, ignore_errors=True)
+
+    def test_exit_codes(self):
+        bad = self.root / "src" / "common" / "bad.cc"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("int x = rand();\n", encoding="utf-8")
+        self.assertEqual(1, lint.main(["--root", str(self.root), str(bad)]))
+        bad.write_text("int x = 0;\n", encoding="utf-8")
+        self.assertEqual(0, lint.main(["--root", str(self.root), str(bad)]))
+        self.assertEqual(
+            2, lint.main(["--root", str(self.root), str(self.root / "no.cc")]))
+
+    def test_repo_is_clean(self):
+        repo_root = pathlib.Path(__file__).resolve().parent.parent
+        self.assertEqual(0, lint.main(["--root", str(repo_root)]))
+
+
+if __name__ == "__main__":
+    unittest.main()
