@@ -15,7 +15,9 @@ shift || true
 
 : > "$OUT"
 for b in "$BUILD_DIR"/*; do
-  [ -x "$b" ] || continue
+  # Executable regular files only: CMake drops CMakeFiles/ and other
+  # directories (also "executable") into the same build dir.
+  [ -f "$b" ] && [ -x "$b" ] || continue
   echo "===== $(basename "$b") =====" | tee -a "$OUT"
   "$b" "$@" 2>&1 | tee -a "$OUT"
   echo | tee -a "$OUT"

@@ -128,6 +128,7 @@ Result<AdaptiveSamplingDriver::Output> AdaptiveSamplingDriver::Run(
 
   policy.Finalize(scorer, active, output.items);
   output.stats.final_sample_size = sampler.consumed();
+  output.stats.sketch_candidates = scorer.sketch_candidates();
   output.stats.candidates_remaining = active.size();
   output.stats.exhausted_dataset = (sampler.consumed() >= n);
   return output;

@@ -73,6 +73,10 @@ class Scorer {
   size_t column(size_t c) const { return columns_[c]; }
   /// Interval computed by the most recent UpdateCandidate(c, ...).
   const ScoreInterval& interval(size_t c) const { return intervals_[c]; }
+  /// Candidates scored through the sketch-backed frequency path; fixed at
+  /// construction, copied into QueryStats::sketch_candidates by the
+  /// driver.
+  size_t sketch_candidates() const { return sketch_candidates_; }
 
   /// Union-bound multiplier: intervals derived per candidate per round
   /// (1 for entropy; 3 for MI/NMI, which bound three entropies).
@@ -115,6 +119,7 @@ class Scorer {
 
   std::vector<size_t> columns_;         // candidate -> table column
   std::vector<ScoreInterval> intervals_;  // candidate -> latest interval
+  size_t sketch_candidates_ = 0;        // candidates on the sketch path
   uint64_t n_ = 0;
   double p_iter_ = 0.0;
 };

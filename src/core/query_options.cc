@@ -21,6 +21,15 @@ Status QueryOptions::Validate() const {
     return Status::InvalidArgument(
         "query options: dense pair limit must be > 0");
   }
+  if (sketch_threshold == 0) {
+    return Status::InvalidArgument(
+        "query options: sketch threshold must be >= 1");
+  }
+  if (sketch_epsilon < 0.0 || sketch_epsilon >= 1.0) {
+    return Status::InvalidArgument(
+        "query options: sketch epsilon must be in [0, 1); 0 disables the "
+        "sketch path");
+  }
   return Status::OK();
 }
 

@@ -44,6 +44,18 @@ struct QueryOptions {
   /// back to hashing. MI queries only.
   uint64_t dense_pair_limit = 1ULL << 20;
 
+  /// Columns whose support exceeds this take the sketch-backed frequency
+  /// path when sketch_epsilon > 0, and are rejected with InvalidArgument
+  /// when it is 0 (the paper's "eliminate columns with a support size
+  /// larger than 1000" preprocessing, made explicit). See docs/SKETCH.md.
+  uint32_t sketch_threshold = 1000;
+
+  /// Count-min sketch additive-error target for the sketch path:
+  /// frequency overcounts stay below sketch_epsilon * M with probability
+  /// 1 - kSketchDelta. 0 (the default) disables sketches entirely; must
+  /// otherwise be in (0, 1).
+  double sketch_epsilon = 0.0;
+
   /// When true, sample the stored row order directly instead of drawing a
   /// fresh permutation -- the paper's "sequential sampling" on columnar
   /// storage (Section 6.1). Sound whenever the stored order is

@@ -39,6 +39,10 @@ struct QueryStats {
   /// Candidates still undecided at termination (0 for filtering queries
   /// that classified everything).
   size_t candidates_remaining = 0;
+  /// Candidates scored through the sketch-backed frequency path (support
+  /// above QueryOptions::sketch_threshold with sketches enabled); 0 means
+  /// the query ran entirely on exact counters. See docs/SKETCH.md.
+  size_t sketch_candidates = 0;
   /// True when the algorithm had to sample every record (M reached N).
   bool exhausted_dataset = false;
 };

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace swope {
 
@@ -28,17 +29,41 @@ ScoreInterval ComposeNmi(const MiInterval& mi, const EntropyInterval& target,
   return interval;
 }
 
+// Builds one sketch provider for a scorer slot. The wrappers validate
+// options before constructing any scorer and the heavy capacities are
+// compile-time constants >= 1, so provider construction cannot fail here.
+std::unique_ptr<SketchFrequencyProvider> MakeScorerSketch(
+    const QueryOptions& options, uint64_t seed_salt, uint32_t heavy_capacity) {
+  Result<SketchFrequencyProvider> provider =
+      MakeQuerySketchProvider(options, seed_salt, heavy_capacity);
+  return std::make_unique<SketchFrequencyProvider>(
+      std::move(provider).value());
+}
+
+// Seed-salt namespace bit for joint sketches: column supports fit in 32
+// bits, so (kJointSaltBit | column) never collides with a marginal salt.
+constexpr uint64_t kJointSaltBit = uint64_t{1} << 32;
+
 }  // namespace
 
-EntropyScorer::EntropyScorer(const Table& table) : table_(table) {
+EntropyScorer::EntropyScorer(const Table& table, const QueryOptions& options)
+    : table_(table) {
   const size_t h = table.num_columns();
   columns_.resize(h);
   views_.reserve(h);
   counters_.reserve(h);
+  sketches_.resize(h);
   for (size_t j = 0; j < h; ++j) {
     columns_[j] = j;
     views_.emplace_back(table.column(j));
-    counters_.emplace_back(table.column(j).support());
+    const uint32_t support = table.column(j).support();
+    if (UsesSketchPath(support, options)) {
+      sketches_[j] = MakeScorerSketch(options, j, kSketchHeavyCapacity);
+      counters_.emplace_back(0);  // placeholder; the sketch is live
+      ++sketch_candidates_;
+    } else {
+      counters_.emplace_back(support);
+    }
   }
   intervals_.resize(h);
 }
@@ -50,10 +75,17 @@ void EntropyScorer::UpdateCandidate(size_t c,
   // Gather-then-count: decode the round's slice once, then feed the span.
   CodeScratchArena::Lease lease(arena_);
   const ValueCode* codes = views_[c].Gather(order, begin, end, lease.buffer());
-  counters_[c].AddCodes(codes, end - begin);
-  const EntropyInterval interval =
-      MakeEntropyInterval(counters_[c].SampleEntropy(), views_[c].support(),
-                          n_, m, p_iter_);
+  EntropyInterval interval;
+  if (sketches_[c] != nullptr) {
+    sketches_[c]->AddCodes(codes, end - begin);
+    interval = MakeSketchEntropyInterval(sketches_[c]->Summarize(),
+                                         views_[c].support(), n_, m, p_iter_);
+  } else {
+    counters_[c].AddCodes(codes, end - begin);
+    interval =
+        MakeEntropyInterval(counters_[c].SampleEntropy(), views_[c].support(),
+                            n_, m, p_iter_);
+  }
   intervals_[c] = {interval.lower, interval.upper, interval.bias};
 }
 
@@ -75,11 +107,18 @@ bool EntropyScorer::TopKShouldStop(const std::vector<size_t>& active,
 }
 
 MiScorer::MiScorer(const Table& table, size_t target,
-                   uint64_t dense_pair_limit)
+                   const QueryOptions& options)
     : table_(table),
       target_col_(table.column(target)),
       target_view_(table.column(target)),
-      target_counter_(target_col_.support()) {
+      target_counter_(UsesSketchPath(table.column(target).support(), options)
+                          ? 0
+                          : table.column(target).support()) {
+  const bool target_sketched =
+      UsesSketchPath(target_col_.support(), options);
+  if (target_sketched) {
+    target_sketch_ = MakeScorerSketch(options, target, kSketchHeavyCapacity);
+  }
   const size_t h = table.num_columns();
   columns_.reserve(h - 1);
   views_.reserve(h - 1);
@@ -88,10 +127,25 @@ MiScorer::MiScorer(const Table& table, size_t target,
     if (j == target) continue;
     columns_.push_back(j);
     views_.emplace_back(table.column(j));
+    const uint32_t support = table.column(j).support();
+    const bool marginal_sketched = UsesSketchPath(support, options);
     CandidateCounters counter;
-    counter.marginal = FrequencyCounter(table.column(j).support());
-    counter.joint = PairCounter(target_col_.support(),
-                                table.column(j).support(), dense_pair_limit);
+    if (marginal_sketched) {
+      counter.marginal_sketch =
+          MakeScorerSketch(options, j, kSketchHeavyCapacity);
+    } else {
+      counter.marginal = FrequencyCounter(support);
+    }
+    if (target_sketched || marginal_sketched) {
+      // The joint domain contains a sketched side, so it is counted
+      // through a sketch too (keyed (target_code << 32) | code).
+      counter.joint_sketch = MakeScorerSketch(options, kJointSaltBit | j,
+                                              kSketchJointHeavyCapacity);
+      ++sketch_candidates_;
+    } else {
+      counter.joint = PairCounter(target_col_.support(), support,
+                                  options.dense_pair_limit);
+    }
     counters_.push_back(std::move(counter));
   }
   intervals_.resize(columns_.size());
@@ -103,10 +157,17 @@ void MiScorer::BeginRound(const std::vector<uint32_t>& order, uint64_t begin,
   // update this round reads the same span.
   const ValueCode* target_codes =
       target_view_.Gather(order, begin, end, target_slice_);
-  target_counter_.AddCodes(target_codes, end - begin);
-  target_interval_ =
-      MakeEntropyInterval(target_counter_.SampleEntropy(),
-                          target_col_.support(), n_, m, p_iter_);
+  if (target_sketch_ != nullptr) {
+    target_sketch_->AddCodes(target_codes, end - begin);
+    target_interval_ =
+        MakeSketchEntropyInterval(target_sketch_->Summarize(),
+                                  target_col_.support(), n_, m, p_iter_);
+  } else {
+    target_counter_.AddCodes(target_codes, end - begin);
+    target_interval_ =
+        MakeEntropyInterval(target_counter_.SampleEntropy(),
+                            target_col_.support(), n_, m, p_iter_);
+  }
 }
 
 MiInterval MiScorer::UpdateMi(size_t c, const std::vector<uint32_t>& order,
@@ -117,14 +178,29 @@ MiInterval MiScorer::UpdateMi(size_t c, const std::vector<uint32_t>& order,
   CodeScratchArena::Lease lease(arena_);
   const ValueCode* codes = view.Gather(order, begin, end, lease.buffer());
   const uint64_t count = end - begin;
-  counter.marginal.AddCodes(codes, count);
-  counter.joint.AddCodes(target_slice_.data(), codes, count);
-  const EntropyInterval marginal_interval = MakeEntropyInterval(
-      counter.marginal.SampleEntropy(), view.support(), n_, m, p_iter_);
+  EntropyInterval marginal_interval;
+  if (counter.marginal_sketch != nullptr) {
+    counter.marginal_sketch->AddCodes(codes, count);
+    marginal_interval =
+        MakeSketchEntropyInterval(counter.marginal_sketch->Summarize(),
+                                  view.support(), n_, m, p_iter_);
+  } else {
+    counter.marginal.AddCodes(codes, count);
+    marginal_interval = MakeEntropyInterval(
+        counter.marginal.SampleEntropy(), view.support(), n_, m, p_iter_);
+  }
   const uint64_t u_bar = static_cast<uint64_t>(target_col_.support()) *
                          static_cast<uint64_t>(view.support());
-  const EntropyInterval joint_interval = MakeEntropyInterval(
-      counter.joint.SampleJointEntropy(), u_bar, n_, m, p_iter_);
+  EntropyInterval joint_interval;
+  if (counter.joint_sketch != nullptr) {
+    counter.joint_sketch->AddPairs(target_slice_.data(), codes, count);
+    joint_interval = MakeSketchEntropyInterval(
+        counter.joint_sketch->Summarize(), u_bar, n_, m, p_iter_);
+  } else {
+    counter.joint.AddCodes(target_slice_.data(), codes, count);
+    joint_interval = MakeEntropyInterval(counter.joint.SampleJointEntropy(),
+                                         u_bar, n_, m, p_iter_);
+  }
   if (marginal_out != nullptr) *marginal_out = marginal_interval;
   return MakeMiInterval(target_interval_, marginal_interval, joint_interval);
 }

@@ -8,6 +8,14 @@
 //   NmiScorer      MiScorer's counters, with the MI interval normalized by
 //                  sqrt(H(t) * H(a)) bounds.
 //
+// Columns whose support exceeds QueryOptions::sketch_threshold take the
+// sketch-backed path when sketches are enabled: the exact counter is
+// replaced by a SketchFrequencyProvider and the interval by
+// MakeSketchEntropyInterval (src/core/sketch_estimation.h). The split is
+// per candidate, so one query can mix exact and sketched columns; MI/NMI
+// joints go through a sketch whenever either side does. docs/SKETCH.md
+// covers the estimator.
+//
 // This header is internal: outside src/core/, include the public
 // swope_*.h entry points instead. src/core/ TUs opt in by defining
 // SWOPE_CORE_INTERNAL before their includes; everyone else hits the
@@ -22,6 +30,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/core/adaptive_sampling_driver.h"
@@ -29,6 +38,9 @@
 #include "src/core/code_scratch.h"
 #include "src/core/frequency_counter.h"
 #include "src/core/pair_counter.h"
+#include "src/core/query_options.h"
+#include "src/core/sketch_estimation.h"
+#include "src/sketch/frequency_provider.h"
 #include "src/table/column_view.h"
 #include "src/table/table.h"
 
@@ -37,7 +49,7 @@ namespace swope {
 /// Scores every column of the table by its empirical entropy.
 class EntropyScorer : public Scorer {
  public:
-  explicit EntropyScorer(const Table& table);
+  EntropyScorer(const Table& table, const QueryOptions& options);
 
   double bounds_per_candidate() const override { return 1.0; }
   uint64_t CellsPerRow(size_t active) const override { return active; }
@@ -52,7 +64,10 @@ class EntropyScorer : public Scorer {
  private:
   const Table& table_;
   std::vector<ColumnView> views_;
+  // Exactly one of counters_[c] (sized 0 when sketched) and sketches_[c]
+  // (null when exact) is live per candidate.
   std::vector<FrequencyCounter> counters_;
+  std::vector<std::unique_ptr<SketchFrequencyProvider>> sketches_;
   // Decode buffers, recycled across rounds and shared by the pool workers.
   CodeScratchArena arena_;
 };
@@ -61,7 +76,7 @@ class EntropyScorer : public Scorer {
 /// target column.
 class MiScorer : public Scorer {
  public:
-  MiScorer(const Table& table, size_t target, uint64_t dense_pair_limit);
+  MiScorer(const Table& table, size_t target, const QueryOptions& options);
 
   double bounds_per_candidate() const override { return 3.0; }
   uint64_t CellsPerRow(size_t active) const override {
@@ -96,11 +111,17 @@ class MiScorer : public Scorer {
   struct CandidateCounters {
     FrequencyCounter marginal{0};
     PairCounter joint{0, 0};
+    // Sketch-path replacements; null means the exact counter above is
+    // live. The joint sketch is keyed (target_code << 32) | code and is
+    // engaged whenever either marginal is sketched.
+    std::unique_ptr<SketchFrequencyProvider> marginal_sketch;
+    std::unique_ptr<SketchFrequencyProvider> joint_sketch;
   };
 
   ColumnView target_view_;
   std::vector<ColumnView> views_;
   FrequencyCounter target_counter_;
+  std::unique_ptr<SketchFrequencyProvider> target_sketch_;
   EntropyInterval target_interval_;
   // The round's gathered target slice: target_slice_[i] is the target
   // code at order[begin + i]. Written once per round in BeginRound
@@ -115,8 +136,8 @@ class MiScorer : public Scorer {
 /// NMI(t, a) = I(t; a) / sqrt(H(t) * H(a)) with the target column.
 class NmiScorer : public MiScorer {
  public:
-  NmiScorer(const Table& table, size_t target, uint64_t dense_pair_limit)
-      : MiScorer(table, target, dense_pair_limit) {}
+  NmiScorer(const Table& table, size_t target, const QueryOptions& options)
+      : MiScorer(table, target, options) {}
 
   void UpdateCandidate(size_t c, const std::vector<uint32_t>& order,
                        uint64_t begin, uint64_t end, uint64_t m) override;

@@ -1,0 +1,124 @@
+#include "src/core/sketch_estimation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/math.h"
+
+namespace swope {
+
+bool UsesSketchPath(uint32_t support, const QueryOptions& options) {
+  return options.sketch_epsilon > 0.0 && support > options.sketch_threshold;
+}
+
+Status ValidateColumnSupports(const Table& table,
+                              const QueryOptions& options) {
+  if (options.sketch_epsilon > 0.0) return Status::OK();
+  for (const Column& column : table.columns()) {
+    if (column.support() > options.sketch_threshold) {
+      return Status::InvalidArgument(
+          "column '" + column.name() + "' has support " +
+          std::to_string(column.support()) + " > " +
+          std::to_string(options.sketch_threshold) +
+          "; drop it (--max-support), raise sketch_threshold, or enable "
+          "the sketch path (sketch_epsilon > 0)");
+    }
+  }
+  return Status::OK();
+}
+
+Result<SketchFrequencyProvider> MakeQuerySketchProvider(
+    const QueryOptions& options, uint64_t seed_salt,
+    uint32_t heavy_capacity) {
+  SketchFrequencyProvider::Params params;
+  params.epsilon = options.sketch_epsilon;
+  params.delta = kSketchDelta;
+  // Salt the hash seed per column so collision patterns are independent
+  // across candidates, while staying a pure function of (seed, salt) for
+  // reproducibility.
+  params.seed = options.seed ^ (0x9e3779b97f4a7c15ULL * (seed_salt + 1));
+  params.heavy_capacity = heavy_capacity;
+  return SketchFrequencyProvider::Make(params);
+}
+
+SketchEntropyEstimate EstimateSketchEntropy(const SketchSummary& summary,
+                                            uint64_t support_cap) {
+  SketchEntropyEstimate result;
+  const uint64_t m = summary.sample_count;
+  if (m == 0) return result;
+  const double m_d = static_cast<double>(m);
+  const double noise_denom =
+      static_cast<double>(summary.width > 1 ? summary.width - 1 : 1);
+
+  // Bias-corrected heavy mass: subtract each estimate's expected
+  // collision noise (M - c_hat) / (w - 1), floored at one occurrence (a
+  // tracked value was seen at least once).
+  double heavy_mass = 0.0;
+  double heavy_xlogx = 0.0;  // sum c~ * log2(c~)
+  for (const SketchHeavyHitter& h : summary.heavy) {
+    const double c_hat = static_cast<double>(h.estimate);
+    const double corrected =
+        std::max(1.0, c_hat - (m_d - c_hat) / noise_denom);
+    heavy_mass += corrected;
+    heavy_xlogx += XLog2X(corrected);
+  }
+  // Collision pile-ups can push the corrected sum past M; rescale so the
+  // masses below stay a distribution.
+  if (heavy_mass > m_d) {
+    const double scale = m_d / heavy_mass;
+    heavy_xlogx = scale * heavy_xlogx + heavy_mass * scale * SafeLog2(scale);
+    heavy_mass = m_d;
+  }
+  // H contribution of the heavy set: sum (c/M) log2(M/c).
+  const double h_heavy =
+      heavy_mass / m_d * SafeLog2(m_d) - heavy_xlogx / m_d;
+
+  const double residual = std::max(0.0, m_d - heavy_mass);
+  double lower = h_heavy;
+  double upper = h_heavy;
+  if (residual >= 1.0) {
+    // Residual distinct budget: what linear counting saw, minus the
+    // tracked values, capped by the support and by the residual mass
+    // itself (each residual value occurs at least once).
+    const uint64_t distinct_cap =
+        std::min<uint64_t>(summary.distinct_estimate,
+                           std::min<uint64_t>(support_cap, m));
+    const double r = std::max(
+        1.0, std::min(residual,
+                      static_cast<double>(distinct_cap) -
+                          static_cast<double>(summary.heavy.size())));
+    // All of R on one value (minimum) ... R uniform over r values
+    // (maximum).
+    lower += residual / m_d * SafeLog2(m_d / residual);
+    upper += residual / m_d * SafeLog2(m_d * r / residual);
+  }
+
+  const double cap =
+      SafeLog2(static_cast<double>(std::min<uint64_t>(support_cap, m)));
+  result.lower = Clamp(lower, 0.0, cap);
+  result.upper = Clamp(upper, result.lower, cap);
+  result.estimate = 0.5 * (result.lower + result.upper);
+  return result;
+}
+
+EntropyInterval MakeSketchEntropyInterval(const SketchSummary& summary,
+                                          uint64_t support_cap, uint64_t n,
+                                          uint64_t m, double p) {
+  const SketchEntropyEstimate band =
+      EstimateSketchEntropy(summary, support_cap);
+  const EntropyInterval lo =
+      MakeEntropyInterval(band.lower, support_cap, n, m, p);
+  const EntropyInterval hi =
+      MakeEntropyInterval(band.upper, support_cap, n, m, p);
+  EntropyInterval interval;
+  interval.lower = lo.lower;
+  interval.upper = hi.upper;
+  interval.lambda = hi.lambda;
+  // The band's width never shrinks with more samples, so the stopping
+  // rules must treat it like bias: irreducible slack.
+  interval.bias = hi.bias + (band.upper - band.lower);
+  interval.sample_entropy = band.estimate;
+  return interval;
+}
+
+}  // namespace swope

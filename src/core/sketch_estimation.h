@@ -1,0 +1,87 @@
+// Bias-corrected entropy estimation over a SketchSummary, plus the
+// policy that decides when a column takes the sketch path.
+//
+// A CountMinSketch overcounts: every counter carries collision noise of
+// roughly (M - c) / (w - 1) on top of a value's true count c (the mass of
+// the other values spread over the row's remaining w - 1 cells).
+// EstimateSketchEntropy subtracts that noise from each tracked heavy
+// value, then brackets the contribution of the untracked residual mass R
+// between its two extremes -- all of R on one value (minimum entropy) and
+// R spread uniformly over the remaining distinct values (maximum) --
+// yielding a [lower, upper] band around the sample entropy.
+// MakeSketchEntropyInterval composes that band with the same
+// El-Yaniv-Pechyony + Lemma 1 machinery the exact path uses
+// (src/core/bounds.h), folding the band's width into the interval's
+// slack so the stopping rules stay conservative. docs/SKETCH.md derives
+// the estimator and its failure modes.
+
+#ifndef SWOPE_CORE_SKETCH_ESTIMATION_H_
+#define SWOPE_CORE_SKETCH_ESTIMATION_H_
+
+#include <cstdint>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/core/bounds.h"
+#include "src/core/query_options.h"
+#include "src/sketch/frequency_provider.h"
+#include "src/table/table.h"
+
+namespace swope {
+
+/// Sketch failure probability per provider (the delta in the CMS
+/// guarantee; fixed so sketch shape depends only on sketch_epsilon and
+/// the canonical key stays small).
+inline constexpr double kSketchDelta = 0.01;
+
+/// Heavy values tracked per marginal provider. Columns whose support is
+/// at most this are summarized exactly up to collision noise -- chosen
+/// above the paper's u <= 1000 regime so a control column run through the
+/// sketch path reproduces the exact answer within the sketch epsilon.
+inline constexpr uint32_t kSketchHeavyCapacity = 1024;
+/// Heavy pairs tracked per joint provider.
+inline constexpr uint32_t kSketchJointHeavyCapacity = 4096;
+
+/// True when a column with this support takes the sketch path under
+/// `options`: sketches are enabled (sketch_epsilon > 0) and the support
+/// exceeds sketch_threshold.
+bool UsesSketchPath(uint32_t support, const QueryOptions& options);
+
+/// The exact path's admission check: with sketches disabled, a candidate
+/// column whose support exceeds options.sketch_threshold is rejected with
+/// InvalidArgument naming the column and its support (the paper's u <=
+/// 1000 preprocessing made explicit instead of silently dropping
+/// columns). OK when every column is admissible.
+Status ValidateColumnSupports(const Table& table, const QueryOptions& options);
+
+/// A provider sized for `options` (width from sketch_epsilon, depth from
+/// kSketchDelta). `seed_salt` decorrelates the hash streams of distinct
+/// columns; `heavy_capacity` is one of the capacities above.
+Result<SketchFrequencyProvider> MakeQuerySketchProvider(
+    const QueryOptions& options, uint64_t seed_salt,
+    uint32_t heavy_capacity);
+
+/// The bias-corrected sample-entropy band of a summary. All values in
+/// bits, clamped into [0, log2(min(support_cap, M))].
+struct SketchEntropyEstimate {
+  double lower = 0.0;
+  double upper = 0.0;
+  /// Midpoint of the band: the reported sample-entropy estimate.
+  double estimate = 0.0;
+};
+
+SketchEntropyEstimate EstimateSketchEntropy(const SketchSummary& summary,
+                                            uint64_t support_cap);
+
+/// Composes the sketch band with the permutation deviation and bias
+/// bounds at sample size m of n (failure probability p), mirroring
+/// MakeEntropyInterval on the exact path. The band's width is added to
+/// the interval's bias term, which the top-k / filter stopping rules
+/// treat as irreducible slack.
+EntropyInterval MakeSketchEntropyInterval(const SketchSummary& summary,
+                                          uint64_t support_cap, uint64_t n,
+                                          uint64_t m, double p);
+
+}  // namespace swope
+
+#endif  // SWOPE_CORE_SKETCH_ESTIMATION_H_

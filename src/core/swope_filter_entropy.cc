@@ -7,19 +7,21 @@
 
 #include "src/core/adaptive_sampling_driver.h"
 #include "src/core/scorers.h"
+#include "src/core/sketch_estimation.h"
 
 namespace swope {
 
 Result<FilterResult> SwopeFilterEntropy(const Table& table, double eta,
                                         const QueryOptions& options) {
   SWOPE_RETURN_NOT_OK(options.Validate());
+  SWOPE_RETURN_NOT_OK(ValidateColumnSupports(table, options));
   if (!(eta > 0.0)) {
     return Status::InvalidArgument("filter: eta must be > 0");
   }
   const size_t h = table.num_columns();
   if (h == 0) return Status::InvalidArgument("filter: table has no columns");
 
-  EntropyScorer scorer(table);
+  EntropyScorer scorer(table, options);
   FilterPolicy policy(table, eta, options.epsilon);
   AdaptiveSamplingDriver driver(table, options);
   SWOPE_ASSIGN_OR_RETURN(AdaptiveSamplingDriver::Output output,

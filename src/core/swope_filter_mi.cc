@@ -7,12 +7,14 @@
 
 #include "src/core/adaptive_sampling_driver.h"
 #include "src/core/scorers.h"
+#include "src/core/sketch_estimation.h"
 
 namespace swope {
 
 Result<FilterResult> SwopeFilterMi(const Table& table, size_t target,
                                    double eta, const QueryOptions& options) {
   SWOPE_RETURN_NOT_OK(options.Validate());
+  SWOPE_RETURN_NOT_OK(ValidateColumnSupports(table, options));
   if (!(eta > 0.0)) {
     return Status::InvalidArgument("mi filter: eta must be > 0");
   }
@@ -24,7 +26,7 @@ Result<FilterResult> SwopeFilterMi(const Table& table, size_t target,
     return Status::InvalidArgument("mi filter: need at least two columns");
   }
 
-  MiScorer scorer(table, target, options.dense_pair_limit);
+  MiScorer scorer(table, target, options);
   FilterPolicy policy(table, eta, options.epsilon);
   AdaptiveSamplingDriver driver(table, options);
   SWOPE_ASSIGN_OR_RETURN(AdaptiveSamplingDriver::Output output,

@@ -7,6 +7,7 @@
 
 #include "src/core/adaptive_sampling_driver.h"
 #include "src/core/scorers.h"
+#include "src/core/sketch_estimation.h"
 
 namespace swope {
 
@@ -14,6 +15,7 @@ Result<FilterResult> SwopeFilterNmi(const Table& table, size_t target,
                                     double eta,
                                     const QueryOptions& options) {
   SWOPE_RETURN_NOT_OK(options.Validate());
+  SWOPE_RETURN_NOT_OK(ValidateColumnSupports(table, options));
   if (!(eta > 0.0) || eta > 1.0) {
     return Status::InvalidArgument("nmi filter: eta must be in (0, 1]");
   }
@@ -25,7 +27,7 @@ Result<FilterResult> SwopeFilterNmi(const Table& table, size_t target,
     return Status::InvalidArgument("nmi filter: need at least two columns");
   }
 
-  NmiScorer scorer(table, target, options.dense_pair_limit);
+  NmiScorer scorer(table, target, options);
   FilterPolicy policy(table, eta, options.epsilon);
   AdaptiveSamplingDriver driver(table, options);
   SWOPE_ASSIGN_OR_RETURN(AdaptiveSamplingDriver::Output output,

@@ -8,18 +8,20 @@
 
 #include "src/core/adaptive_sampling_driver.h"
 #include "src/core/scorers.h"
+#include "src/core/sketch_estimation.h"
 
 namespace swope {
 
 Result<TopKResult> SwopeTopKEntropy(const Table& table, size_t k,
                                     const QueryOptions& options) {
   SWOPE_RETURN_NOT_OK(options.Validate());
+  SWOPE_RETURN_NOT_OK(ValidateColumnSupports(table, options));
   const size_t h = table.num_columns();
   if (h == 0) return Status::InvalidArgument("top-k: table has no columns");
   if (k == 0) return Status::InvalidArgument("top-k: k must be >= 1");
   k = std::min(k, h);
 
-  EntropyScorer scorer(table);
+  EntropyScorer scorer(table, options);
   TopKPolicy policy(table, k, options.epsilon);
   AdaptiveSamplingDriver driver(table, options);
   SWOPE_ASSIGN_OR_RETURN(AdaptiveSamplingDriver::Output output,

@@ -11,6 +11,7 @@
 #include "src/core/adaptive_sampling_driver.h"
 #include "src/core/entropy.h"
 #include "src/core/scorers.h"
+#include "src/core/sketch_estimation.h"
 
 namespace swope {
 
@@ -40,6 +41,7 @@ Result<std::vector<double>> ExactNormalizedMis(const Table& table,
 Result<TopKResult> SwopeTopKNmi(const Table& table, size_t target, size_t k,
                                 const QueryOptions& options) {
   SWOPE_RETURN_NOT_OK(options.Validate());
+  SWOPE_RETURN_NOT_OK(ValidateColumnSupports(table, options));
   const size_t h = table.num_columns();
   if (target >= h) {
     return Status::InvalidArgument("nmi top-k: target index out of range");
@@ -50,7 +52,7 @@ Result<TopKResult> SwopeTopKNmi(const Table& table, size_t target, size_t k,
   if (k == 0) return Status::InvalidArgument("nmi top-k: k must be >= 1");
   k = std::min(k, h - 1);
 
-  NmiScorer scorer(table, target, options.dense_pair_limit);
+  NmiScorer scorer(table, target, options);
   TopKPolicy policy(table, k, options.epsilon);
   AdaptiveSamplingDriver driver(table, options);
   SWOPE_ASSIGN_OR_RETURN(AdaptiveSamplingDriver::Output output,

@@ -13,6 +13,7 @@ void DatasetRegistry::BindMetrics(MetricsRegistry* metrics) {
   resident_datasets_metric_ =
       metrics->GetGauge("swope_registry_resident_datasets");
   resident_bytes_metric_ = metrics->GetGauge("swope_registry_resident_bytes");
+  sketch_bytes_metric_ = metrics->GetGauge("swope_sketch_memory_bytes");
   UpdateGauges();
 }
 
@@ -20,6 +21,7 @@ void DatasetRegistry::UpdateGauges() {
   if (resident_datasets_metric_ == nullptr) return;
   resident_datasets_metric_->Set(static_cast<int64_t>(datasets_.size()));
   resident_bytes_metric_->Set(static_cast<int64_t>(resident_bytes_));
+  sketch_bytes_metric_->Set(static_cast<int64_t>(sketch_bytes_));
 }
 
 Status DatasetRegistry::Put(const std::string& name, Table table) {
@@ -31,14 +33,17 @@ Status DatasetRegistry::Put(const std::string& name, Table table) {
   dataset->name = name;
   dataset->fingerprint = TableFingerprint(table);
   dataset->memory_bytes = table.MemoryBytes();
+  dataset->sketch_bytes = table.SketchMemoryBytes();
   dataset->table = std::move(table);
 
   MutexLock lock(mutex_);
   Slot& slot = datasets_[name];
   if (slot.dataset != nullptr) {
     resident_bytes_ -= slot.dataset->memory_bytes;
+    sketch_bytes_ -= slot.dataset->sketch_bytes;
   }
   resident_bytes_ += dataset->memory_bytes;
+  sketch_bytes_ += dataset->sketch_bytes;
   slot.dataset = std::move(dataset);
   slot.last_used = ++tick_;
   EvictToBudget(name);
@@ -63,6 +68,7 @@ Status DatasetRegistry::Remove(const std::string& name) {
     return Status::NotFound("registry: no dataset named '" + name + "'");
   }
   resident_bytes_ -= it->second.dataset->memory_bytes;
+  sketch_bytes_ -= it->second.dataset->sketch_bytes;
   datasets_.erase(it);
   UpdateGauges();
   return Status::OK();
@@ -81,6 +87,7 @@ DatasetRegistry::Stats DatasetRegistry::GetStats() const {
   Stats stats;
   stats.resident_datasets = datasets_.size();
   stats.resident_bytes = resident_bytes_;
+  stats.sketch_bytes = sketch_bytes_;
   stats.memory_budget_bytes = budget_;
   stats.evictions = evictions_;
   return stats;
@@ -99,6 +106,7 @@ void DatasetRegistry::EvictToBudget(const std::string& keep) {
     }
     if (victim == datasets_.end()) return;
     resident_bytes_ -= victim->second.dataset->memory_bytes;
+    sketch_bytes_ -= victim->second.dataset->sketch_bytes;
     datasets_.erase(victim);
     ++evictions_;
     if (evictions_metric_ != nullptr) evictions_metric_->Increment();

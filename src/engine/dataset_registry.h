@@ -43,6 +43,9 @@ struct Dataset {
   /// Exact resident size (Table::MemoryBytes(): bit-packed payloads plus
   /// dictionaries), used for the memory budget.
   uint64_t memory_bytes = 0;
+  /// Resident count-min sidecar bytes (Table::SketchMemoryBytes()),
+  /// tracked separately so the sketch footprint has its own gauge.
+  uint64_t sketch_bytes = 0;
 };
 
 using DatasetHandle = std::shared_ptr<const Dataset>;
@@ -77,6 +80,7 @@ class DatasetRegistry {
   struct Stats {
     size_t resident_datasets = 0;
     uint64_t resident_bytes = 0;
+    uint64_t sketch_bytes = 0;
     uint64_t memory_budget_bytes = 0;
     uint64_t evictions = 0;
   };
@@ -102,12 +106,14 @@ class DatasetRegistry {
   std::map<std::string, Slot> datasets_ GUARDED_BY(mutex_);
   uint64_t tick_ GUARDED_BY(mutex_) = 0;
   uint64_t resident_bytes_ GUARDED_BY(mutex_) = 0;
+  uint64_t sketch_bytes_ GUARDED_BY(mutex_) = 0;
   uint64_t evictions_ GUARDED_BY(mutex_) = 0;
 
   /// Optional metric mirrors (null when unbound). Updated under mutex_.
   Counter* evictions_metric_ GUARDED_BY(mutex_) = nullptr;
   Gauge* resident_datasets_metric_ GUARDED_BY(mutex_) = nullptr;
   Gauge* resident_bytes_metric_ GUARDED_BY(mutex_) = nullptr;
+  Gauge* sketch_bytes_metric_ GUARDED_BY(mutex_) = nullptr;
 
   /// Refreshes the resident gauges from the local tallies.
   void UpdateGauges() REQUIRES(mutex_);

@@ -6,14 +6,17 @@
 #include <utility>
 
 #include "src/common/stopwatch.h"
+#include "src/core/sketch_estimation.h"
 #include "src/core/swope_filter_entropy.h"
 #include "src/core/swope_filter_mi.h"
 #include "src/core/swope_filter_nmi.h"
 #include "src/core/swope_topk_entropy.h"
 #include "src/core/swope_topk_mi.h"
 #include "src/core/swope_topk_nmi.h"
+#include "src/table/append.h"
 #include "src/table/binary_io.h"
 #include "src/table/csv_reader.h"
+#include "src/table/sketch_sidecar.h"
 
 namespace swope {
 
@@ -54,6 +57,10 @@ QueryEngine::QueryEngine(EngineConfig config)
       rows_sampled_(metrics_.GetCounter("swope_engine_rows_sampled_total")),
       admission_waits_(
           metrics_.GetCounter("swope_engine_admission_waits_total")),
+      queries_sketch_(
+          metrics_.GetCounter("swope_engine_queries_sketch_total")),
+      queries_exact_(metrics_.GetCounter("swope_engine_queries_exact_total")),
+      ingest_rows_(metrics_.GetCounter("swope_engine_ingest_rows_total")),
       in_flight_gauge_(metrics_.GetGauge("swope_engine_in_flight")),
       admission_waiting_(metrics_.GetGauge("swope_engine_admission_waiting")),
       query_latency_ms_{LatencyHistogram(metrics_, 0),
@@ -65,6 +72,8 @@ QueryEngine::QueryEngine(EngineConfig config)
       query_rounds_(metrics_.GetHistogram(
           "swope_query_rounds", {},
           {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64})),
+      ingest_latency_ms_(metrics_.GetHistogram(
+          "swope_engine_ingest_latency_ms", {}, DefaultLatencyBucketsMs())),
       intra_pool_(config_.intra_query_threads > 1
                       ? std::make_unique<ThreadPool>(
                             config_.intra_query_threads, &metrics_, "intra")
@@ -81,18 +90,42 @@ Status QueryEngine::RegisterDataset(const std::string& name, Table table) {
 
 Status QueryEngine::RegisterDatasetFile(const std::string& name,
                                         const std::string& path,
-                                        uint32_t max_support) {
+                                        uint32_t max_support,
+                                        double sketch_epsilon,
+                                        uint32_t sketch_threshold) {
   auto table =
       IsCsvPath(path) ? ReadCsvFile(path) : ReadBinaryTableFile(path);
   if (!table.ok()) return table.status();
   if (max_support > 0) {
-    return registry_.Put(name, table->DropHighSupportColumns(max_support));
+    *table = table->DropHighSupportColumns(max_support);
+  }
+  if (sketch_epsilon > 0.0) {
+    auto sketched =
+        AttachSketches(*table, sketch_epsilon, kSketchDelta, sketch_threshold,
+                       /*seed=*/0);
+    if (!sketched.ok()) return sketched.status();
+    *table = *std::move(sketched);
   }
   return registry_.Put(name, *std::move(table));
 }
 
 Status QueryEngine::RemoveDataset(const std::string& name) {
   return registry_.Remove(name);
+}
+
+Status QueryEngine::Ingest(const std::string& name,
+                           const std::vector<std::vector<std::string>>& rows) {
+  Stopwatch latency;
+  auto dataset = registry_.Get(name);
+  if (!dataset.ok()) return dataset.status();
+  auto appended = AppendRowsToTable((*dataset)->table, rows);
+  if (!appended.ok()) return appended.status();
+  // Put re-fingerprints the new contents; result-cache entries keyed by
+  // the old fingerprint become unreachable for this name automatically.
+  SWOPE_RETURN_NOT_OK(registry_.Put(name, *std::move(appended)));
+  ingest_rows_->Increment(rows.size());
+  ingest_latency_ms_->Observe(latency.ElapsedMillis());
+  return Status::OK();
 }
 
 Result<QueryResponse> QueryEngine::Run(const QuerySpec& spec,
@@ -123,6 +156,8 @@ Result<QueryResponse> QueryEngine::Run(const QuerySpec& spec,
     response.items = cached->items;
     response.stats = cached->stats;
     queries_ok_->Increment();
+    (response.stats.sketch_candidates > 0 ? queries_sketch_ : queries_exact_)
+        ->Increment();
     query_latency_ms_[static_cast<int>(resolved->kind)]->Observe(
         latency.ElapsedMillis());
     return response;
@@ -131,6 +166,8 @@ Result<QueryResponse> QueryEngine::Run(const QuerySpec& spec,
   auto response = Execute(*dataset, *resolved, cancel);
   if (!response.ok()) return fail(response.status());
   queries_ok_->Increment();
+  (response->stats.sketch_candidates > 0 ? queries_sketch_ : queries_exact_)
+      ->Increment();
   rows_sampled_->Increment(response->stats.final_sample_size);
   query_rounds_->Observe(static_cast<double>(response->stats.iterations));
   result_cache_.Insert(response->fingerprint, response->canonical_key,
@@ -274,6 +311,9 @@ EngineCounters QueryEngine::GetCounters() const {
   counters.cancelled = cancelled_->Value();
   counters.deadline_exceeded = deadline_exceeded_->Value();
   counters.admission_waits = admission_waits_->Value();
+  counters.queries_sketch = queries_sketch_->Value();
+  counters.queries_exact = queries_exact_->Value();
+  counters.ingest_rows = ingest_rows_->Value();
   const ResultCache::Stats results = result_cache_.GetStats();
   counters.result_cache_hits = results.hits;
   counters.result_cache_misses = results.misses;

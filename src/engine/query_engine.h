@@ -92,6 +92,14 @@ struct EngineCounters {
   /// Queries that found every execution slot busy and had to wait in
   /// admission control (counted once per wait, not per poll).
   uint64_t admission_waits = 0;
+  /// Successful queries split by estimation path: sketch when at least
+  /// one candidate was scored through a count-min sketch
+  /// (QueryStats::sketch_candidates > 0), exact otherwise. Cache hits
+  /// count under the path the cached execution took.
+  uint64_t queries_sketch = 0;
+  uint64_t queries_exact = 0;
+  /// Rows appended through Ingest.
+  uint64_t ingest_rows = 0;
 };
 
 class QueryEngine {
@@ -107,11 +115,26 @@ class QueryEngine {
 
   /// Loads a table from `path` (*.csv is CSV, anything else SWPB binary),
   /// optionally dropping columns with support > max_support (the paper's
-  /// preprocessing; 0 keeps everything), and registers it.
+  /// preprocessing; 0 keeps everything), and registers it. When
+  /// `sketch_epsilon` > 0, columns with support > `sketch_threshold` get
+  /// count-min sidecars attached on load (table/sketch_sidecar.h), so
+  /// high-cardinality columns are servable via the sketch path without a
+  /// per-query build.
   Status RegisterDatasetFile(const std::string& name, const std::string& path,
-                             uint32_t max_support = 0);
+                             uint32_t max_support = 0,
+                             double sketch_epsilon = 0.0,
+                             uint32_t sketch_threshold = 1000);
 
   Status RemoveDataset(const std::string& name);
+
+  /// Appends `rows` (one vector of cell strings per row, in column order)
+  /// to the resident dataset `name` and re-registers the result under the
+  /// same name. The append is incremental (bit-packed payloads extend in
+  /// place, sketch sidecars absorb the tail; table/append.h) but the
+  /// fingerprint is recomputed, so cached answers for the old contents
+  /// can never be served for the new ones.
+  Status Ingest(const std::string& name,
+                const std::vector<std::vector<std::string>>& rows);
 
   /// Synchronous dispatch. `cancel` may be null; when set, the caller may
   /// flip it from any thread to abort the query at the next round.
@@ -175,6 +198,9 @@ class QueryEngine {
   Counter* const deadline_exceeded_;
   Counter* const rows_sampled_;
   Counter* const admission_waits_;
+  Counter* const queries_sketch_;
+  Counter* const queries_exact_;
+  Counter* const ingest_rows_;
   Gauge* const in_flight_gauge_;
   Gauge* const admission_waiting_;
   /// Whole-query wall time, one histogram per query kind (indexed by
@@ -183,6 +209,8 @@ class QueryEngine {
   Histogram* const query_latency_ms_[6];
   /// Sampling rounds per executed query (from QueryStats::iterations).
   Histogram* const query_rounds_;
+  /// Wall time of Ingest calls (parse + append + re-fingerprint).
+  Histogram* const ingest_latency_ms_;
 
   /// Shared intra-query worker pool (null when intra_query_threads <= 1).
   /// Declared before pool_ so it outlives the executor: queries still

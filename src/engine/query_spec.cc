@@ -148,6 +148,8 @@ Result<ResolvedSpec> ResolveSpec(const QuerySpec& spec, const Table& table) {
   key += ";m0=" + std::to_string(resolved.options.initial_sample_size);
   key += ";gf=" + HexDouble(resolved.options.growth_factor);
   key += ";dpl=" + std::to_string(resolved.options.dense_pair_limit);
+  key += ";st=" + std::to_string(resolved.options.sketch_threshold);
+  key += ";se=" + HexDouble(resolved.options.sketch_epsilon);
   key += ";seq=";
   key += resolved.options.sequential_sampling ? '1' : '0';
   resolved.canonical_key = std::move(key);

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <sstream>
 #include <vector>
@@ -61,6 +62,51 @@ Result<double> ParseDouble(const std::string& text, const std::string& key) {
   return value;
 }
 
+// Splits one ingest row on commas (no quoting: the line protocol itself
+// cannot carry spaces or newlines inside a value). Empty cells are kept.
+std::vector<std::string> SplitRow(const std::string& text) {
+  std::vector<std::string> cells;
+  size_t begin = 0;
+  while (true) {
+    const size_t comma = text.find(',', begin);
+    if (comma == std::string::npos) {
+      cells.push_back(text.substr(begin));
+      return cells;
+    }
+    cells.push_back(text.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+}
+
+// Collects ingest rows from `row=` (one inline row) and/or `csv=` (a
+// headerless file, one comma-separated row per line; blank lines and
+// #-comments are skipped).
+Result<std::vector<std::vector<std::string>>> IngestRowsFromArgs(
+    const std::map<std::string, std::string>& args) {
+  std::vector<std::vector<std::string>> rows;
+  if (auto it = args.find("row"); it != args.end()) {
+    rows.push_back(SplitRow(it->second));
+  }
+  if (auto it = args.find("csv"); it != args.end()) {
+    std::ifstream file(it->second);
+    if (!file) {
+      return Status::IOError("ingest: cannot open '" + it->second + "'");
+    }
+    std::string line;
+    while (std::getline(file, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      const size_t start = line.find_first_not_of(" \t");
+      if (start == std::string::npos || line[start] == '#') continue;
+      rows.push_back(SplitRow(line));
+    }
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument(
+        "ingest: row=v1,v2,... or csv=<path> is required");
+  }
+  return rows;
+}
+
 Result<QuerySpec> SpecFromArgs(
     const std::map<std::string, std::string>& args) {
   QuerySpec spec;
@@ -105,6 +151,15 @@ Result<QuerySpec> SpecFromArgs(
     SWOPE_ASSIGN_OR_RETURN(spec.options.growth_factor,
                            ParseDouble(*v, "growth"));
   }
+  if (const std::string* v = get("sketch-threshold")) {
+    SWOPE_ASSIGN_OR_RETURN(uint64_t threshold,
+                           ParseUint(*v, "sketch-threshold"));
+    spec.options.sketch_threshold = static_cast<uint32_t>(threshold);
+  }
+  if (const std::string* v = get("sketch-epsilon")) {
+    SWOPE_ASSIGN_OR_RETURN(spec.options.sketch_epsilon,
+                           ParseDouble(*v, "sketch-epsilon"));
+  }
   if (const std::string* v = get("sequential")) {
     spec.options.sequential_sampling = (*v == "1" || *v == "true");
   }
@@ -137,8 +192,12 @@ std::string CountersToJson(const EngineCounters& counters,
   add("deadline_exceeded", counters.deadline_exceeded);
   add("registry_evictions", counters.registry_evictions);
   add("admission_waits", counters.admission_waits);
+  add("queries_sketch", counters.queries_sketch);
+  add("queries_exact", counters.queries_exact);
+  add("ingest_rows", counters.ingest_rows);
   add("resident_datasets", registry.resident_datasets);
   add("resident_bytes", registry.resident_bytes);
+  add("sketch_bytes", registry.sketch_bytes);
   json += "}";
   return json;
 }
@@ -204,7 +263,11 @@ std::string QueryResponseToJson(const QueryResponse& response) {
           std::to_string(response.stats.cells_scanned);
   json += ",\"candidates_remaining\":" +
           std::to_string(response.stats.candidates_remaining);
-  json += ",\"exhausted_dataset\":";
+  json += ",\"sketch_candidates\":" +
+          std::to_string(response.stats.sketch_candidates);
+  json += ",\"path\":\"";
+  json += response.stats.sketch_candidates > 0 ? "sketch" : "exact";
+  json += "\",\"exhausted_dataset\":";
   json += response.stats.exhausted_dataset ? "true" : "false";
   json += "}";
   if (response.trace != nullptr) {
@@ -283,8 +346,23 @@ std::string HandleRequestLine(QueryEngine& engine, const std::string& line,
       if (!parsed.ok()) return StatusToJson(parsed.status());
       max_support = static_cast<uint32_t>(*parsed);
     }
+    double sketch_epsilon = 0.0;
+    if (auto it = request->args.find("sketch-epsilon");
+        it != request->args.end()) {
+      auto parsed = ParseDouble(it->second, "sketch-epsilon");
+      if (!parsed.ok()) return StatusToJson(parsed.status());
+      sketch_epsilon = *parsed;
+    }
+    uint32_t sketch_threshold = 1000;
+    if (auto it = request->args.find("sketch-threshold");
+        it != request->args.end()) {
+      auto parsed = ParseUint(it->second, "sketch-threshold");
+      if (!parsed.ok()) return StatusToJson(parsed.status());
+      sketch_threshold = static_cast<uint32_t>(*parsed);
+    }
     const Status status =
-        engine.RegisterDatasetFile(name->second, path->second, max_support);
+        engine.RegisterDatasetFile(name->second, path->second, max_support,
+                                   sketch_epsilon, sketch_threshold);
     if (!status.ok()) return StatusToJson(status);
     auto dataset = engine.registry().Get(name->second);
     if (!dataset.ok()) return StatusToJson(dataset.status());
@@ -308,6 +386,26 @@ std::string HandleRequestLine(QueryEngine& engine, const std::string& line,
     return "{\"ok\":true,\"op\":\"unload\",\"name\":\"" +
            JsonEscape(name->second) + "\"}";
   }
+  if (request->op == "ingest") {
+    auto name = request->args.find("dataset");
+    if (name == request->args.end()) {
+      return StatusToJson(
+          Status::InvalidArgument("ingest: dataset=<id> is required"));
+    }
+    auto rows = IngestRowsFromArgs(request->args);
+    if (!rows.ok()) return StatusToJson(rows.status());
+    const Status status = engine.Ingest(name->second, *rows);
+    if (!status.ok()) return StatusToJson(status);
+    auto dataset = engine.registry().Get(name->second);
+    if (!dataset.ok()) return StatusToJson(dataset.status());
+    std::string json = "{\"ok\":true,\"op\":\"ingest\",\"dataset\":\"" +
+                       JsonEscape(name->second) + "\"";
+    json += ",\"appended\":" + std::to_string(rows->size());
+    json += ",\"rows\":" + std::to_string((*dataset)->table.num_rows());
+    json +=
+        ",\"fingerprint\":" + std::to_string((*dataset)->fingerprint) + "}";
+    return json;
+  }
   if (request->op == "query") {
     auto spec = SpecFromArgs(request->args);
     if (!spec.ok()) return StatusToJson(spec.status());
@@ -317,7 +415,7 @@ std::string HandleRequestLine(QueryEngine& engine, const std::string& line,
   }
   return StatusToJson(Status::InvalidArgument(
       "unknown request '" + request->op +
-      "' (want load/query/unload/datasets/stats/metrics/quit)"));
+      "' (want load/query/ingest/unload/datasets/stats/metrics/quit)"));
 }
 
 uint64_t ServeLoop(QueryEngine& engine, std::istream& in,

@@ -6,9 +6,12 @@
 // #-comments are skipped. Requests:
 //
 //   load name=<id> path=<file> [max-support=U]
+//        [sketch-epsilon=E] [sketch-threshold=U]
 //   query dataset=<id> kind=<kind> [k=N] [eta=T] [target=COL]
-//         [epsilon=E] [seed=N] [pf=P] [m0=N] [growth=G] [sequential=0|1]
+//         [epsilon=E] [seed=N] [pf=P] [m0=N] [growth=G]
+//         [sketch-threshold=U] [sketch-epsilon=E] [sequential=0|1]
 //         [timeout-ms=N] [trace=0|1]
+//   ingest dataset=<id> [row=v1,v2,...] [csv=<path>]
 //   unload name=<id>
 //   datasets
 //   stats
@@ -19,6 +22,14 @@
 // docs/OBSERVABILITY.md for the row schema). `metrics` returns the
 // engine's MetricsRegistry both as escaped Prometheus exposition text
 // ("prometheus") and as a nested JSON snapshot ("snapshot").
+//
+// `sketch-epsilon` > 0 enables the count-min path for candidates whose
+// support exceeds `sketch-threshold` (docs/SKETCH.md); the query
+// response's stats block reports the route taken as "path":"sketch" or
+// "path":"exact". `ingest` appends rows to a resident dataset -- inline
+// (`row=`, comma-separated, no spaces) and/or from a headerless CSV file
+// (`csv=`) -- and re-fingerprints it, so later queries see the new
+// contents and never a stale cached answer.
 //
 // <kind> is one of entropy-topk, entropy-filter, mi-topk, mi-filter,
 // nmi-topk, nmi-filter. Successful responses carry "ok":true; failures

@@ -1,0 +1,182 @@
+#include "src/sketch/count_min.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+namespace swope {
+
+namespace {
+
+// SplitMix64 finalizer: the key mixer behind both hash functions. Chosen
+// to match the repo's other deterministic hashing (table/fingerprint.cc);
+// full-avalanche, so consecutive codes land in unrelated counters.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr size_t kAlignWords = 8;  // 64 bytes of uint64 counters
+
+}  // namespace
+
+CountMinSketch::CountMinSketch(uint32_t depth, uint32_t width, uint64_t seed)
+    : depth_(depth),
+      width_(width),
+      mask_(width - 1),
+      seed_(seed),
+      words_(static_cast<size_t>(depth) * width + kAlignWords - 1, 0) {
+  const auto base = reinterpret_cast<uintptr_t>(words_.data());
+  const uintptr_t aligned = (base + 63) & ~uintptr_t{63};
+  base_offset_ = static_cast<size_t>(aligned - base) / sizeof(uint64_t);
+}
+
+Result<CountMinSketch> CountMinSketch::Make(double epsilon, double delta,
+                                            uint64_t seed) {
+  if (!(epsilon > 0.0) || !(epsilon < 1.0)) {
+    return Status::InvalidArgument(
+        "count-min sketch: epsilon must be in (0, 1)");
+  }
+  if (!(delta > 0.0) || !(delta < 1.0)) {
+    return Status::InvalidArgument(
+        "count-min sketch: delta must be in (0, 1)");
+  }
+  const double target = std::exp(1.0) / epsilon;
+  uint64_t width = kMinWidth;
+  while (width < kMaxWidth && static_cast<double>(width) < target) {
+    width *= 2;
+  }
+  const double depth_target = std::ceil(std::log(1.0 / delta));
+  const uint32_t depth = static_cast<uint32_t>(std::clamp(
+      depth_target, static_cast<double>(kMinDepth),
+      static_cast<double>(kMaxDepth)));
+  return MakeWithShape(depth, static_cast<uint32_t>(width), seed);
+}
+
+Result<CountMinSketch> CountMinSketch::MakeWithShape(uint32_t depth,
+                                                     uint32_t width,
+                                                     uint64_t seed) {
+  if (depth < kMinDepth || depth > kMaxDepth) {
+    return Status::InvalidArgument(
+        "count-min sketch: depth " + std::to_string(depth) +
+        " outside [" + std::to_string(kMinDepth) + ", " +
+        std::to_string(kMaxDepth) + "]");
+  }
+  if (width < kMinWidth || width > kMaxWidth ||
+      !std::has_single_bit(width)) {
+    return Status::InvalidArgument(
+        "count-min sketch: width " + std::to_string(width) +
+        " must be a power of two in [" + std::to_string(kMinWidth) + ", " +
+        std::to_string(kMaxWidth) + "]");
+  }
+  return CountMinSketch(depth, width, seed);
+}
+
+Result<CountMinSketch> CountMinSketch::FromParts(
+    uint32_t depth, uint32_t width, uint64_t seed, uint64_t total_count,
+    std::vector<uint64_t> counters) {
+  SWOPE_ASSIGN_OR_RETURN(CountMinSketch sketch,
+                         MakeWithShape(depth, width, seed));
+  // Shape is validated above, so depth * width cannot overflow.
+  const uint64_t expected = static_cast<uint64_t>(depth) * width;
+  if (counters.size() != expected) {
+    return Status::Corruption(
+        "count-min sketch: payload holds " +
+        std::to_string(counters.size()) + " counters, shape wants " +
+        std::to_string(expected));
+  }
+  // Conservative update raises each row's counter sum by at most 1 per
+  // absorbed key, so every row must sum to <= total_count. Detect uint64
+  // wraparound while summing: a wrapped sum necessarily exceeded
+  // total_count too.
+  for (uint32_t row = 0; row < depth; ++row) {
+    uint64_t sum = 0;
+    bool wrapped = false;
+    for (uint32_t j = 0; j < width; ++j) {
+      const uint64_t cell =
+          counters[static_cast<size_t>(row) * width + j];
+      sum += cell;
+      wrapped = wrapped || sum < cell;
+    }
+    if (wrapped || sum > total_count) {
+      return Status::Corruption(
+          "count-min sketch: row " + std::to_string(row) +
+          " counter sum exceeds total count " +
+          std::to_string(total_count));
+    }
+  }
+  std::memcpy(sketch.mutable_counters(), counters.data(),
+              static_cast<size_t>(expected) * sizeof(uint64_t));
+  sketch.total_count_ = total_count;
+  return sketch;
+}
+
+CountMinSketch CountMinSketch::Clone() const {
+  CountMinSketch copy(depth_, width_, seed_);
+  copy.total_count_ = total_count_;
+  std::memcpy(copy.mutable_counters(), counters(),
+              static_cast<size_t>(num_counters()) * sizeof(uint64_t));
+  return copy;
+}
+
+double CountMinSketch::epsilon() const {
+  return std::exp(1.0) / static_cast<double>(width_);
+}
+
+void CountMinSketch::Index(uint64_t key, uint32_t* idx) const {
+  // Kirsch-Mitzenmacher double hashing: row i probes h1 + i * h2. h2 is
+  // forced odd so the probe sequence cycles the full power-of-two table.
+  const uint64_t h1 = Mix(key ^ seed_);
+  const uint64_t h2 = Mix(key + (seed_ | 1)) | 1;
+  for (uint32_t i = 0; i < depth_; ++i) {
+    idx[i] = static_cast<uint32_t>((h1 + i * h2) & mask_);
+  }
+}
+
+uint64_t CountMinSketch::Add(uint64_t key) {
+  uint32_t idx[kMaxDepth];
+  Index(key, idx);
+  uint64_t* base = mutable_counters();
+  uint64_t min = UINT64_MAX;
+  for (uint32_t i = 0; i < depth_; ++i) {
+    min = std::min(min, base[static_cast<size_t>(i) * width_ + idx[i]]);
+  }
+  // Conservative update: raise only the counters at the minimum; the
+  // others already over-count this key.
+  const uint64_t updated = min + 1;
+  for (uint32_t i = 0; i < depth_; ++i) {
+    uint64_t& cell = base[static_cast<size_t>(i) * width_ + idx[i]];
+    cell = std::max(cell, updated);
+  }
+  ++total_count_;
+  return updated;
+}
+
+uint64_t CountMinSketch::Estimate(uint64_t key) const {
+  uint32_t idx[kMaxDepth];
+  Index(key, idx);
+  const uint64_t* base = counters();
+  uint64_t min = UINT64_MAX;
+  for (uint32_t i = 0; i < depth_; ++i) {
+    min = std::min(min, base[static_cast<size_t>(i) * width_ + idx[i]]);
+  }
+  return min;
+}
+
+Status CountMinSketch::Merge(const CountMinSketch& other) {
+  if (!SameShape(other)) {
+    return Status::InvalidArgument(
+        "count-min sketch: merge requires equal depth/width/seed");
+  }
+  uint64_t* dst = mutable_counters();
+  const uint64_t* src = other.counters();
+  const uint64_t n = num_counters();
+  for (uint64_t i = 0; i < n; ++i) dst[i] += src[i];
+  total_count_ += other.total_count_;
+  return Status::OK();
+}
+
+}  // namespace swope

@@ -1,0 +1,131 @@
+#include "src/sketch/frequency_provider.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace swope {
+
+namespace {
+
+// 2^16 bits (8 KiB): linear counting stays within a few percent up to a
+// few hundred thousand distinct values, past which the saturation flag
+// tells the estimator the count is only a lower bound.
+constexpr uint64_t kDistinctBits = uint64_t{1} << 16;
+
+// SplitMix64 finalizer (the same mixer count_min.cc uses), salted so the
+// bitmap's bit choice is independent of the sketch's row hashing.
+uint64_t MixDistinct(uint64_t x) {
+  x += 0x632be59bd9b4e019ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+SketchFrequencyProvider::SketchFrequencyProvider(CountMinSketch sketch,
+                                                 uint32_t heavy_capacity)
+    : sketch_(std::move(sketch)),
+      heavy_capacity_(heavy_capacity),
+      heavy_(heavy_capacity),
+      distinct_bits_(kDistinctBits / 64, 0) {}
+
+Result<SketchFrequencyProvider> SketchFrequencyProvider::Make(
+    const Params& params) {
+  if (params.heavy_capacity == 0) {
+    return Status::InvalidArgument(
+        "sketch provider: heavy capacity must be >= 1");
+  }
+  SWOPE_ASSIGN_OR_RETURN(
+      CountMinSketch sketch,
+      CountMinSketch::Make(params.epsilon, params.delta, params.seed));
+  return SketchFrequencyProvider(std::move(sketch), params.heavy_capacity);
+}
+
+void SketchFrequencyProvider::Add(uint64_t key) {
+  const uint64_t estimate = sketch_.Add(key);
+  const uint64_t bit = MixDistinct(key) & (kDistinctBits - 1);
+  distinct_bits_[bit >> 6] |= uint64_t{1} << (bit & 63);
+  // Heavy tracking: refresh a tracked key in place; admit a new key once
+  // its estimate clears the bar set by the last compaction. Both rules
+  // depend only on the absorbed stream, so equal streams track equal
+  // sets.
+  if (uint64_t* slot = heavy_.Find(key)) {
+    *slot = estimate;
+    return;
+  }
+  if (estimate > admission_threshold_) {
+    heavy_[key] = estimate;
+    if (heavy_.size() >= static_cast<size_t>(heavy_capacity_) * 2) {
+      Compact();
+    }
+  }
+}
+
+void SketchFrequencyProvider::Compact() {
+  std::vector<SketchHeavyHitter> entries;
+  entries.reserve(heavy_.size());
+  heavy_.ForEach([&entries](uint64_t key, uint64_t estimate) {
+    entries.push_back({key, estimate});
+  });
+  std::sort(entries.begin(), entries.end(),
+            [](const SketchHeavyHitter& a, const SketchHeavyHitter& b) {
+              return a.estimate != b.estimate ? a.estimate > b.estimate
+                                              : a.key < b.key;
+            });
+  entries.resize(heavy_capacity_);
+  // Future keys must beat the lightest survivor to enter. Evicted keys
+  // can return once their estimates grow past the bar.
+  admission_threshold_ = entries.back().estimate;
+  heavy_.Clear();
+  for (const SketchHeavyHitter& entry : entries) {
+    heavy_[entry.key] = entry.estimate;
+  }
+}
+
+SketchSummary SketchFrequencyProvider::Summarize() const {
+  SketchSummary summary;
+  summary.sample_count = sketch_.total_count();
+  summary.width = sketch_.width();
+
+  summary.heavy.reserve(heavy_.size());
+  heavy_.ForEach([this, &summary](uint64_t key, uint64_t /*stale*/) {
+    // Refresh from the sketch: estimates only grow between a key's Adds.
+    summary.heavy.push_back({key, sketch_.Estimate(key)});
+  });
+  std::sort(summary.heavy.begin(), summary.heavy.end(),
+            [](const SketchHeavyHitter& a, const SketchHeavyHitter& b) {
+              return a.estimate != b.estimate ? a.estimate > b.estimate
+                                              : a.key < b.key;
+            });
+  if (summary.heavy.size() > heavy_capacity_) {
+    summary.heavy.resize(heavy_capacity_);
+  }
+
+  uint64_t zeros = 0;
+  for (uint64_t word : distinct_bits_) {
+    zeros += static_cast<uint64_t>(64 - std::popcount(word));
+  }
+  if (zeros == 0) {
+    summary.distinct_saturated = true;
+    summary.distinct_estimate = kDistinctBits;
+  } else {
+    const double bits = static_cast<double>(kDistinctBits);
+    const double estimate =
+        -bits * std::log(static_cast<double>(zeros) / bits);
+    summary.distinct_estimate =
+        static_cast<uint64_t>(std::llround(estimate));
+  }
+  summary.distinct_estimate = std::max<uint64_t>(
+      summary.distinct_estimate, summary.heavy.size());
+  return summary;
+}
+
+uint64_t SketchFrequencyProvider::MemoryBytes() const {
+  return sketch_.MemoryBytes() +
+         distinct_bits_.size() * sizeof(uint64_t) +
+         heavy_.capacity() * (sizeof(uint64_t) * 2);
+}
+
+}  // namespace swope

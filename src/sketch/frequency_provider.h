@@ -1,0 +1,126 @@
+// SketchFrequencyProvider: the sketch-backed counterpart of
+// FrequencyCounter / PairCounter.
+//
+// Exposes the same counting surface the exact counters give the scorers
+// (Add / AddCodes / AddPairs / sample_count) but holds a CountMinSketch
+// instead of one counter per value, so memory is O(depth * width +
+// heavy_capacity) no matter how many distinct values the stream carries.
+// Entropy cannot be read off a sketch alone (a sketch answers point
+// queries, it cannot enumerate values), so the provider additionally
+// tracks
+//   * a bounded heavy-hitter set (the values carrying most of the mass),
+//     admitted and evicted deterministically so equal streams produce
+//     equal summaries, and
+//   * a linear-counting bitmap estimating the number of distinct values
+//     seen.
+// Summarize() packages all three for the bias-corrected entropy interval
+// in src/core/sketch_estimation.h; docs/SKETCH.md derives the estimator.
+
+#ifndef SWOPE_SKETCH_FREQUENCY_PROVIDER_H_
+#define SWOPE_SKETCH_FREQUENCY_PROVIDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/flat_hash_map.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/sketch/count_min.h"
+
+namespace swope {
+
+/// One tracked heavy value with its (uncorrected) sketch estimate.
+struct SketchHeavyHitter {
+  uint64_t key = 0;
+  uint64_t estimate = 0;
+};
+
+/// A deterministic snapshot of the provider's state, the input to the
+/// entropy estimator.
+struct SketchSummary {
+  /// M: stream length absorbed.
+  uint64_t sample_count = 0;
+  /// Sketch row width (the bias-correction denominator).
+  uint32_t width = 0;
+  /// Linear-counting estimate of the number of distinct values seen;
+  /// always >= heavy.size().
+  uint64_t distinct_estimate = 0;
+  /// True when the distinct bitmap filled up and distinct_estimate is
+  /// only a lower bound.
+  bool distinct_saturated = false;
+  /// Tracked heavy values, sorted by descending estimate (ties by
+  /// ascending key), refreshed against the sketch at snapshot time.
+  std::vector<SketchHeavyHitter> heavy;
+};
+
+class SketchFrequencyProvider {
+ public:
+  struct Params {
+    /// Sketch additive-error target: overcounts stay below epsilon * M
+    /// with probability 1 - delta. Must be in (0, 1).
+    double epsilon = 0.01;
+    double delta = 0.01;
+    uint64_t seed = 0;
+    /// Heavy values tracked (the summary's enumeration budget). Streams
+    /// with at most this many distinct values are summarized exactly up
+    /// to sketch collision noise.
+    uint32_t heavy_capacity = 1024;
+  };
+
+  static Result<SketchFrequencyProvider> Make(const Params& params);
+
+  /// M: samples absorbed so far (same contract as
+  /// FrequencyCounter::sample_count).
+  uint64_t sample_count() const { return sketch_.total_count(); }
+
+  /// Absorbs one sampled value key.
+  void Add(uint64_t key);
+
+  /// Absorbs a span of decoded codes (a gathered permutation slice) --
+  /// the FrequencyCounter::AddCodes surface.
+  void AddCodes(const uint32_t* codes, uint64_t count) {
+    for (uint64_t i = 0; i < count; ++i) Add(codes[i]);
+  }
+
+  /// Absorbs a span of decoded code pairs keyed (a << 32) | b -- the
+  /// PairCounter::AddCodes surface for joint distributions.
+  void AddPairs(const uint32_t* a, const uint32_t* b, uint64_t count) {
+    for (uint64_t i = 0; i < count; ++i) {
+      Add((static_cast<uint64_t>(a[i]) << 32) | b[i]);
+    }
+  }
+
+  /// Point frequency estimate (>= true count).
+  uint64_t Estimate(uint64_t key) const { return sketch_.Estimate(key); }
+
+  /// Deterministic snapshot for the entropy estimator.
+  SketchSummary Summarize() const;
+
+  const CountMinSketch& sketch() const { return sketch_; }
+
+  /// Resident bytes: sketch counters + distinct bitmap + heavy table.
+  uint64_t MemoryBytes() const;
+
+ private:
+  SketchFrequencyProvider(CountMinSketch sketch, uint32_t heavy_capacity);
+
+  /// Rebuilds the heavy table keeping the top heavy_capacity entries by
+  /// (estimate desc, key asc) and raises the admission threshold, so the
+  /// table stays bounded and admission stays deterministic.
+  void Compact();
+
+  CountMinSketch sketch_;
+  uint32_t heavy_capacity_;
+  /// Tracked value -> estimate at its last Add. Compacted whenever it
+  /// reaches 2 * heavy_capacity_.
+  FlatHashMap<uint64_t, uint64_t> heavy_;
+  /// Entry bar after the last compaction: keys (re-)enter the table only
+  /// once their estimate exceeds it.
+  uint64_t admission_threshold_ = 0;
+  /// Linear-counting distinct bitmap (kDistinctBits bits).
+  std::vector<uint64_t> distinct_bits_;
+};
+
+}  // namespace swope
+
+#endif  // SWOPE_SKETCH_FREQUENCY_PROVIDER_H_

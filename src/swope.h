@@ -6,8 +6,9 @@
 // the four SWOPE query algorithms, the exact and sampling baselines, the
 // synthetic dataset generators, the feature-selection helpers, the
 // concurrent query engine (dataset registry, unified dispatch, result and
-// permutation caching, line-protocol serving), and the observability
-// layer (metrics registry, per-round query tracing).
+// permutation caching, line-protocol serving), the sketch substrate
+// (count-min sketches, sidecar attachment, streaming append), and the
+// observability layer (metrics registry, per-round query tracing).
 
 #ifndef SWOPE_SWOPE_H_
 #define SWOPE_SWOPE_H_
@@ -24,6 +25,7 @@
 #include "src/core/exec_control.h"
 #include "src/core/query_options.h"
 #include "src/core/query_result.h"
+#include "src/core/sketch_estimation.h"
 #include "src/core/swope_filter_entropy.h"
 #include "src/core/swope_filter_mi.h"
 #include "src/core/swope_filter_nmi.h"
@@ -41,11 +43,15 @@
 #include "src/fs/mrmr.h"
 #include "src/obs/metrics.h"
 #include "src/obs/query_trace.h"
+#include "src/sketch/count_min.h"
+#include "src/sketch/frequency_provider.h"
+#include "src/table/append.h"
 #include "src/table/binary_io.h"
 #include "src/table/column_view.h"
 #include "src/table/csv_reader.h"
 #include "src/table/csv_writer.h"
 #include "src/table/fingerprint.h"
+#include "src/table/sketch_sidecar.h"
 #include "src/table/table.h"
 #include "src/table/table_builder.h"
 

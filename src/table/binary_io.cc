@@ -3,8 +3,11 @@
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "src/sketch/count_min.h"
 #include "src/table/packed_codes.h"
 
 namespace swope {
@@ -151,11 +154,92 @@ Result<Column> ReadColumnV2(std::istream& input, std::string name,
   return column;
 }
 
+// Reads a version-3 sketch sidecar (the bytes after a column's packed
+// words): a presence flag, then shape, seed, total count and the counter
+// matrix. Shape bounds are checked before any allocation, and
+// CountMinSketch::FromParts re-validates everything including the
+// conservative-update row-sum invariant, so a corrupted sidecar fails
+// with Corruption instead of producing impossible estimates.
+Result<std::shared_ptr<const CountMinSketch>> ReadSketchSidecar(
+    std::istream& input, const std::string& name) {
+  uint8_t has_sketch = 0;
+  if (!ReadPod(input, has_sketch) || has_sketch > 1) {
+    return Status::Corruption(
+        "binary table: truncated sketch flag in column '" + name + "'");
+  }
+  if (has_sketch == 0) {
+    return std::shared_ptr<const CountMinSketch>(nullptr);
+  }
+  uint32_t depth = 0;
+  uint32_t width = 0;
+  uint64_t seed = 0;
+  uint64_t total_count = 0;
+  if (!ReadPod(input, depth) || !ReadPod(input, width) ||
+      !ReadPod(input, seed) || !ReadPod(input, total_count)) {
+    return Status::Corruption(
+        "binary table: truncated sketch header in column '" + name + "'");
+  }
+  // Bound the shape before computing the counter count: FromParts would
+  // reject these too, but only after we allocated for a lying header.
+  if (depth < CountMinSketch::kMinDepth ||
+      depth > CountMinSketch::kMaxDepth ||
+      width < CountMinSketch::kMinWidth ||
+      width > CountMinSketch::kMaxWidth) {
+    return Status::Corruption("binary table: column '" + name +
+                              "' sketch has invalid shape " +
+                              std::to_string(depth) + "x" +
+                              std::to_string(width));
+  }
+  // depth <= 16 and width <= 2^24, so the product cannot overflow uint64.
+  const uint64_t num_counters =
+      static_cast<uint64_t>(depth) * static_cast<uint64_t>(width);
+  {
+    const std::streamoff remaining = RemainingBytes(input);
+    if (remaining >= 0 &&
+        num_counters >
+            static_cast<uint64_t>(remaining) / sizeof(uint64_t)) {
+      return Status::Corruption(
+          "binary table: truncated sketch counters in column '" + name +
+          "'");
+    }
+  }
+  std::vector<uint64_t> counters;
+  counters.reserve(std::min<uint64_t>(num_counters, 1 << 17));
+  constexpr uint64_t kChunkWords = 1 << 17;
+  uint64_t remaining = num_counters;
+  while (remaining > 0) {
+    const uint64_t chunk = std::min(remaining, kChunkWords);
+    const size_t old_size = counters.size();
+    counters.resize(old_size + chunk);
+    const auto bytes =
+        static_cast<std::streamsize>(chunk * sizeof(uint64_t));
+    input.read(reinterpret_cast<char*>(counters.data() + old_size), bytes);
+    if (input.gcount() != bytes) {
+      return Status::Corruption(
+          "binary table: truncated sketch counters in column '" + name +
+          "'");
+    }
+    remaining -= chunk;
+  }
+  auto sketch = CountMinSketch::FromParts(depth, width, seed, total_count,
+                                          std::move(counters));
+  if (!sketch.ok()) {
+    return Status::Corruption("binary table: column '" + name +
+                              "' sketch: " + sketch.status().message());
+  }
+  return std::make_shared<const CountMinSketch>(std::move(sketch).value());
+}
+
 }  // namespace
 
 Status WriteBinaryTable(const Table& table, std::ostream& output) {
+  // Sketch-free tables keep byte-identical version-2 files; the sidecar
+  // section exists only in version 3.
+  const bool any_sketch = table.SketchMemoryBytes() > 0;
+  const uint32_t version =
+      any_sketch ? kBinaryTableVersionV3 : kBinaryTableVersion;
   output.write(kMagic, sizeof(kMagic));
-  WritePod<uint32_t>(output, kBinaryTableVersion);
+  WritePod<uint32_t>(output, version);
   WritePod<uint64_t>(output, table.num_rows());
   WritePod<uint32_t>(output, static_cast<uint32_t>(table.num_columns()));
   for (size_t c = 0; c < table.num_columns(); ++c) {
@@ -173,6 +257,19 @@ Status WriteBinaryTable(const Table& table, std::ostream& output) {
     output.write(reinterpret_cast<const char*>(packed.data_words()),
                  static_cast<std::streamsize>(packed.num_data_words() *
                                               sizeof(uint64_t)));
+    if (version == kBinaryTableVersionV3) {
+      WritePod<uint8_t>(output, col.has_sketch() ? 1 : 0);
+      if (col.has_sketch()) {
+        const CountMinSketch& sketch = *col.sketch();
+        WritePod<uint32_t>(output, sketch.depth());
+        WritePod<uint32_t>(output, sketch.width());
+        WritePod<uint64_t>(output, sketch.seed());
+        WritePod<uint64_t>(output, sketch.total_count());
+        output.write(reinterpret_cast<const char*>(sketch.counters()),
+                     static_cast<std::streamsize>(sketch.num_counters() *
+                                                  sizeof(uint64_t)));
+      }
+    }
   }
   if (!output) return Status::IOError("binary table: write failed");
   return Status::OK();
@@ -195,11 +292,13 @@ Result<Table> ReadBinaryTable(std::istream& input) {
   }
   uint32_t version = 0;
   if (!ReadPod(input, version) ||
-      (version != kBinaryTableVersion && version != kBinaryTableVersionV1)) {
+      (version != kBinaryTableVersion && version != kBinaryTableVersionV1 &&
+       version != kBinaryTableVersionV3)) {
     return Status::Corruption(
         "binary table: unsupported version " + std::to_string(version) +
         " (supported: " + std::to_string(kBinaryTableVersionV1) + ", " +
-        std::to_string(kBinaryTableVersion) + ")");
+        std::to_string(kBinaryTableVersion) + ", " +
+        std::to_string(kBinaryTableVersionV3) + ")");
   }
   uint64_t num_rows = 0;
   uint32_t num_columns = 0;
@@ -227,7 +326,9 @@ Result<Table> ReadBinaryTable(std::istream& input) {
         }
         per_column += num_rows * sizeof(ValueCode);
       } else {
+        // v2: the width byte. v3 additionally promises the sketch flag.
         per_column += sizeof(uint8_t);
+        if (version == kBinaryTableVersionV3) per_column += sizeof(uint8_t);
       }
       if (num_columns > 0 && per_column > avail / num_columns) {
         return Status::Corruption(
@@ -267,6 +368,15 @@ Result<Table> ReadBinaryTable(std::istream& input) {
             : ReadColumnV2(input, std::move(name), support, num_rows,
                            std::move(labels));
     if (!column.ok()) return column.status();
+    if (version == kBinaryTableVersionV3) {
+      auto sketch = ReadSketchSidecar(input, column.value().name());
+      if (!sketch.ok()) return sketch.status();
+      if (sketch.value() != nullptr) {
+        columns.push_back(
+            column.value().WithSketch(std::move(sketch).value()));
+        continue;
+      }
+    }
     columns.push_back(std::move(column).value());
   }
   auto table = Table::Make(std::move(columns));

@@ -9,14 +9,21 @@
 //     if has_labels: support x (u32 len | bytes)
 //     version 1: num_rows x u32 codes
 //     version 2: u8 width | ceil(num_rows*width/64) x u64 packed words
+//     version 3: as version 2, then
+//       u8 has_sketch
+//       if has_sketch: u32 depth | u32 width | u64 seed | u64 total_count
+//                      | depth*width x u64 counters
 //
 // Version 2 stores each column's codes bit-packed at the canonical width
 // ceil(log2(support)) -- the exact in-memory representation
 // (src/table/packed_codes.h) -- so loading is a header parse plus one
 // contiguous read per column, and the file is 4-8x smaller for typical
-// categorical supports. Writers always emit version 2; the reader still
-// accepts version 1 (4-byte codes) and re-packs on load, and
-// `swope_cli convert` re-encodes v1 files in place of re-generating.
+// categorical supports. Version 3 adds an optional count-min sidecar per
+// column (src/table/sketch_sidecar.h) and is emitted only when at least
+// one column carries one, so sketch-free tables keep byte-identical v2
+// files. Writers emit version 2 or 3 accordingly; the reader accepts all
+// three versions (v1 stores 4-byte codes and is re-packed on load;
+// `swope_cli convert` re-encodes v1 files in place of re-generating).
 //
 // Loading a binary table skips dictionary building entirely, which is the
 // point: re-running experiments over a generated dataset becomes I/O bound
@@ -34,18 +41,24 @@
 
 namespace swope {
 
-/// Current format version (bit-packed payload), the only version written.
+/// Current format version (bit-packed payload), written for tables
+/// without sketch sidecars.
 inline constexpr uint32_t kBinaryTableVersion = 2;
 /// Legacy 4-bytes-per-code version, still readable.
 inline constexpr uint32_t kBinaryTableVersionV1 = 1;
+/// Version with per-column count-min sidecars, written only when at
+/// least one column carries a sketch.
+inline constexpr uint32_t kBinaryTableVersionV3 = 3;
 
-/// Serializes `table` to the binary column-store format (version 2).
+/// Serializes `table` to the binary column-store format: version 3 when
+/// any column carries a sketch sidecar, version 2 otherwise.
 Status WriteBinaryTable(const Table& table, std::ostream& output);
 Status WriteBinaryTableFile(const Table& table, const std::string& path);
 
 /// Deserializes a table; validates the magic, version and all structural
-/// invariants (code ranges, packed widths, label counts), returning
-/// Corruption on any mismatch. Reads versions 1 and 2.
+/// invariants (code ranges, packed widths, label counts, sketch shapes
+/// and counter sums), returning Corruption on any mismatch. Reads
+/// versions 1, 2 and 3.
 Result<Table> ReadBinaryTable(std::istream& input);
 Result<Table> ReadBinaryTableFile(const std::string& path);
 

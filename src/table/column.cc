@@ -76,6 +76,31 @@ Result<Column> Column::FromPacked(std::string name, uint32_t support,
                 std::move(labels));
 }
 
+Result<Column> Column::FromPackedTrusted(
+    std::string name, uint32_t support, PackedCodes packed,
+    std::vector<std::string> labels,
+    std::shared_ptr<const CountMinSketch> sketch) {
+  if (!packed.empty() && support == 0) {
+    return Status::InvalidArgument("column '" + name +
+                                   "': support is 0 but codes are present");
+  }
+  if (!labels.empty() && labels.size() != support) {
+    return Status::InvalidArgument(
+        "column '" + name + "': label count " +
+        std::to_string(labels.size()) + " != support " +
+        std::to_string(support));
+  }
+  if (packed.width() != PackedCodes::WidthForSupport(support)) {
+    return Status::InvalidArgument(
+        "column '" + name + "': width " + std::to_string(packed.width()) +
+        " is not canonical for support " + std::to_string(support));
+  }
+  Column column(std::move(name), support, std::move(packed),
+                std::move(labels));
+  column.sketch_ = std::move(sketch);
+  return column;
+}
+
 uint64_t Column::MemoryBytes() const {
   uint64_t bytes = packed_.MemoryBytes() + name_.size();
   for (const std::string& label : labels_) {

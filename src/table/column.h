@@ -12,11 +12,14 @@
 #define SWOPE_TABLE_COLUMN_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/result.h"
 #include "src/common/status.h"
+#include "src/sketch/count_min.h"
 #include "src/table/packed_codes.h"
 
 namespace swope {
@@ -42,6 +45,17 @@ class Column {
   static Result<Column> FromPacked(std::string name, uint32_t support,
                                    PackedCodes packed,
                                    std::vector<std::string> labels = {});
+
+  /// Trusted variant for the append path (src/table/append.h): still
+  /// checks the width and label invariants, but skips FromPacked's
+  /// per-code scan -- the payload extends a column that was validated
+  /// when first constructed, and the caller encoded the tail itself.
+  /// Also attaches an optional sketch sidecar without the extra copy
+  /// WithSketch would make.
+  static Result<Column> FromPackedTrusted(
+      std::string name, uint32_t support, PackedCodes packed,
+      std::vector<std::string> labels,
+      std::shared_ptr<const CountMinSketch> sketch);
 
   Column() = default;
 
@@ -81,6 +95,29 @@ class Column {
   /// support()).
   std::vector<uint64_t> ValueCounts() const;
 
+  /// True when a whole-column count-min summary rides along (built by
+  /// AttachSketches or loaded from a v3 sidecar; see docs/SKETCH.md).
+  bool has_sketch() const { return sketch_ != nullptr; }
+  /// The sidecar sketch, or null. Shared: copies of the column (tables
+  /// are value types) reference one summary.
+  const std::shared_ptr<const CountMinSketch>& sketch() const {
+    return sketch_;
+  }
+  /// A copy of this column carrying `sketch` as its sidecar (null
+  /// detaches). The packed payload is shared work-wise only through the
+  /// copy; columns stay immutable.
+  Column WithSketch(std::shared_ptr<const CountMinSketch> sketch) const {
+    Column copy = *this;
+    copy.sketch_ = std::move(sketch);
+    return copy;
+  }
+  /// Resident bytes of the sidecar sketch (0 when none). Reported
+  /// separately from MemoryBytes: the registry's dataset budget covers
+  /// column data, sketches have their own gauge.
+  uint64_t SketchMemoryBytes() const {
+    return sketch_ != nullptr ? sketch_->MemoryBytes() : 0;
+  }
+
  private:
   Column(std::string name, uint32_t support, PackedCodes packed,
          std::vector<std::string> labels)
@@ -93,6 +130,7 @@ class Column {
   uint32_t support_ = 0;
   PackedCodes packed_;
   std::vector<std::string> labels_;
+  std::shared_ptr<const CountMinSketch> sketch_;
 };
 
 }  // namespace swope

@@ -142,4 +142,37 @@ std::vector<ValueCode> PackedCodes::ToVector() const {
   return codes;
 }
 
+PackedCodes PackedCodes::Append(const std::vector<ValueCode>& tail,
+                                uint32_t width) const {
+  assert(width >= width_ && width <= 32);
+  if (width != width_) {
+    // Width grew: decode everything once and repack at the new width.
+    std::vector<ValueCode> codes = ToVector();
+    codes.insert(codes.end(), tail.begin(), tail.end());
+    return Pack(codes, width);
+  }
+  const uint64_t n = size_ + tail.size();
+  std::vector<uint64_t> words;
+  if (width > 0 && n > 0) {
+    // Copy the old payload (dropping the padding word, which the loop
+    // below may turn into real payload) and pack the tail behind it.
+    words.assign(NumDataWords(n, width) + 1, 0);
+    std::copy(words_.begin(),
+              words_.begin() +
+                  static_cast<std::ptrdiff_t>(NumDataWords(size_, width)),
+              words.begin());
+    for (uint64_t i = 0; i < tail.size(); ++i) {
+      assert(width == 32 || tail[i] < (uint64_t{1} << width));
+      const uint64_t bit = (size_ + i) * width;
+      const uint64_t word = bit >> 6;
+      const uint32_t shift = static_cast<uint32_t>(bit & 63);
+      words[word] |= static_cast<uint64_t>(tail[i]) << shift;
+      if (shift + width > 64) {
+        words[word + 1] |= static_cast<uint64_t>(tail[i]) >> (64 - shift);
+      }
+    }
+  }
+  return PackedCodes(n, width, std::move(words));
+}
+
 }  // namespace swope

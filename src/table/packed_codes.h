@@ -100,6 +100,15 @@ class PackedCodes {
   /// Decodes everything into a fresh vector (tests / cold paths).
   std::vector<ValueCode> ToVector() const;
 
+  /// Returns a new sequence holding this sequence's values followed by
+  /// `tail`, stored at `width` bits (which must be >= the current width;
+  /// every tail code must be < 2^width). When the width is unchanged the
+  /// existing payload words are copied verbatim and only the tail is
+  /// packed -- the streaming-ingest fast path; a wider width (support
+  /// crossed a power-of-two boundary) repacks everything.
+  PackedCodes Append(const std::vector<ValueCode>& tail,
+                     uint32_t width) const;
+
   /// Serialized payload (NumDataWords entries; the padding word is not
   /// part of the wire format).
   const uint64_t* data_words() const { return words_.data(); }

@@ -57,6 +57,12 @@ uint64_t Table::MemoryBytes() const {
   return bytes;
 }
 
+uint64_t Table::SketchMemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const Column& col : columns_) bytes += col.SketchMemoryBytes();
+  return bytes;
+}
+
 Table Table::DropHighSupportColumns(uint32_t max_support) const {
   std::vector<Column> kept;
   for (const Column& col : columns_) {

@@ -47,6 +47,11 @@ class Table {
   /// engine's DatasetRegistry budgets and reports this number.
   uint64_t MemoryBytes() const;
 
+  /// Resident bytes of all column sketch sidecars (0 when none carry
+  /// one). Reported separately: the engine mirrors this into the
+  /// swope_sketch_memory_bytes gauge.
+  uint64_t SketchMemoryBytes() const;
+
   /// Returns a table containing only the columns with support size
   /// <= max_support. This is the paper's preprocessing step: "we eliminate
   /// columns with a support size larger than 1000" (Section 6.1).

@@ -1,0 +1,172 @@
+// SWPB v3 (sketch sidecar) format tests: writer version selection,
+// sidecar round trips, a byte-for-byte checked-in fixture, and
+// corrupted-sidecar rejection.
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/table/binary_io.h"
+#include "src/table/column.h"
+#include "src/table/sketch_sidecar.h"
+#include "src/table/table.h"
+
+namespace swope {
+namespace {
+
+Table MakeSketchedTable() {
+  std::vector<ValueCode> high, low;
+  for (uint32_t i = 0; i < 6000; ++i) {
+    high.push_back(i % 1400);
+    low.push_back(i % 6);
+  }
+  std::vector<Column> columns;
+  columns.push_back(Column::FromCodes("hc", std::move(high)));
+  columns.push_back(Column::FromCodes("lo", std::move(low)));
+  auto table = Table::Make(std::move(columns));
+  EXPECT_TRUE(table.ok());
+  auto sketched = AttachSketches(*table, /*epsilon=*/0.01, /*delta=*/0.01,
+                                 /*min_support=*/1000, /*seed=*/11);
+  EXPECT_TRUE(sketched.ok()) << sketched.status().ToString();
+  return std::move(sketched).value();
+}
+
+std::string Serialize(const Table& table) {
+  std::stringstream buffer;
+  EXPECT_TRUE(WriteBinaryTable(table, buffer).ok());
+  return buffer.str();
+}
+
+TEST(BinaryIoV3Test, WriterPicksVersionBySketchPresence) {
+  const Table sketched = MakeSketchedTable();
+  EXPECT_EQ(static_cast<uint8_t>(Serialize(sketched)[4]), 3);
+
+  // Dropping the only sketched column leaves a sketch-free table, which
+  // must keep writing byte-compatible v2.
+  const Table plain = sketched.DropHighSupportColumns(1000);
+  EXPECT_EQ(plain.SketchMemoryBytes(), 0u);
+  EXPECT_EQ(static_cast<uint8_t>(Serialize(plain)[4]), 2);
+}
+
+TEST(BinaryIoV3Test, SidecarRoundTripsBitwise) {
+  const Table table = MakeSketchedTable();
+  std::stringstream stream(Serialize(table));
+  auto loaded = ReadBinaryTable(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  ASSERT_EQ(loaded->num_columns(), table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& original = table.column(c);
+    const Column& roundtrip = loaded->column(c);
+    EXPECT_EQ(roundtrip.codes(), original.codes());
+    ASSERT_EQ(roundtrip.has_sketch(), original.has_sketch());
+    if (!original.has_sketch()) continue;
+    const CountMinSketch& a = *original.sketch();
+    const CountMinSketch& b = *roundtrip.sketch();
+    ASSERT_TRUE(a.SameShape(b));
+    EXPECT_EQ(a.total_count(), b.total_count());
+    EXPECT_EQ(std::memcmp(a.counters(), b.counters(),
+                          a.num_counters() * sizeof(uint64_t)),
+              0);
+  }
+  EXPECT_EQ(loaded->SketchMemoryBytes(), table.SketchMemoryBytes());
+
+  // A second serialization is byte-identical (deterministic sidecars).
+  EXPECT_EQ(Serialize(*loaded), Serialize(table));
+}
+
+// A complete version-3 image, checked in byte for byte: one label-less
+// column "a" (support 2, codes {1, 0, 1}) carrying a depth-1 width-8
+// sidecar with seed 7, total count 3 and row counters {2, 1, 0, ...}.
+std::vector<uint8_t> V3Fixture() {
+  return {
+      'S', 'W', 'P', 'B',              // magic
+      3,   0,   0,   0,                // version = 3
+      3,   0,   0,   0,   0, 0, 0, 0,  // num_rows = 3
+      1,   0,   0,   0,                // num_columns = 1
+      1,   0,   0,   0,                // name_len = 1
+      'a',                             // name
+      2,   0,   0,   0,                // support = 2
+      0,                               // has_labels = 0
+      1,                               // packed width = 1 bit
+      5,   0,   0,   0,   0, 0, 0, 0,  // packed word: codes 1,0,1
+      1,                               // has_sketch = 1
+      1,   0,   0,   0,                // sketch depth = 1
+      8,   0,   0,   0,                // sketch width = 8
+      7,   0,   0,   0,   0, 0, 0, 0,  // sketch seed = 7
+      3,   0,   0,   0,   0, 0, 0, 0,  // total_count = 3
+      2,   0,   0,   0,   0, 0, 0, 0,  // counters[0] = 2
+      1,   0,   0,   0,   0, 0, 0, 0,  // counters[1] = 1
+      0,   0,   0,   0,   0, 0, 0, 0,  // counters[2..7] = 0
+      0,   0,   0,   0,   0, 0, 0, 0,
+      0,   0,   0,   0,   0, 0, 0, 0,
+      0,   0,   0,   0,   0, 0, 0, 0,
+      0,   0,   0,   0,   0, 0, 0, 0,
+      0,   0,   0,   0,   0, 0, 0, 0,
+  };
+}
+
+std::string FixtureString(const std::vector<uint8_t>& bytes) {
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+TEST(BinaryIoV3Test, CheckedInFixtureReadsBack) {
+  std::stringstream stream(FixtureString(V3Fixture()));
+  auto loaded = ReadBinaryTable(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_columns(), 1u);
+  const Column& column = loaded->column(0);
+  EXPECT_EQ(column.name(), "a");
+  EXPECT_EQ(column.support(), 2u);
+  EXPECT_EQ(column.codes(), (std::vector<ValueCode>{1, 0, 1}));
+  ASSERT_TRUE(column.has_sketch());
+  EXPECT_EQ(column.sketch()->depth(), 1u);
+  EXPECT_EQ(column.sketch()->width(), 8u);
+  EXPECT_EQ(column.sketch()->seed(), 7u);
+  EXPECT_EQ(column.sketch()->total_count(), 3u);
+  EXPECT_EQ(column.sketch()->counters()[0], 2u);
+  EXPECT_EQ(column.sketch()->counters()[1], 1u);
+}
+
+TEST(BinaryIoV3Test, CorruptedSidecarIsRejected) {
+  const std::vector<uint8_t> fixture = V3Fixture();
+
+  {
+    // Inflate a counter's high byte: the row sum blows past total_count,
+    // violating the conservative-update invariant.
+    std::vector<uint8_t> mutated = fixture;
+    mutated[71] = 0xFF;  // counters[0], most significant byte
+    std::stringstream stream(FixtureString(mutated));
+    const Status status = ReadBinaryTable(stream).status();
+    EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+  }
+  {
+    // The has_sketch flag must be 0 or 1.
+    std::vector<uint8_t> mutated = fixture;
+    mutated[39] = 2;
+    std::stringstream stream(FixtureString(mutated));
+    EXPECT_FALSE(ReadBinaryTable(stream).ok());
+  }
+  {
+    // An absurd sketch width must be rejected before any allocation.
+    std::vector<uint8_t> mutated = fixture;
+    mutated[44] = 0xFF;
+    mutated[45] = 0xFF;
+    mutated[46] = 0xFF;
+    mutated[47] = 0xFF;
+    std::stringstream stream(FixtureString(mutated));
+    EXPECT_FALSE(ReadBinaryTable(stream).ok());
+  }
+  {
+    // Truncation inside the sidecar.
+    std::stringstream stream(FixtureString(fixture).substr(0, 100));
+    EXPECT_FALSE(ReadBinaryTable(stream).ok());
+  }
+}
+
+}  // namespace
+}  // namespace swope

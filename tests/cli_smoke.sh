@@ -195,4 +195,80 @@ printf '%s\n' \
 diff "$TMP/serve1.out" "$TMP/serve4.out" \
   || fail "--intra-threads changed serve answers"
 
+# ---- sketch path, u > 1000 rejection, and streaming ingest ----
+
+# a high-cardinality CSV: 'hi' carries 110000 distinct values (u >= 100k)
+# over 120000 rows; 'lo' is a 7-value control column
+awk 'BEGIN { print "hi,lo";
+  for (i = 0; i < 120000; i++) printf "u%d,v%d\n", i % 110000, i % 7 }' \
+  > "$TMP/big.csv"
+
+# the exact path refuses u > 1000 with an actionable message naming the
+# column and its support (usage error: exit 2)
+set +e
+"$CLI" topk --in="$TMP/big.csv" --k=2 --max-support=0 2>"$TMP/err.txt"
+[ $? -eq 2 ] || fail "high-support exact query should exit 2"
+set -e
+grep -q "'hi'" "$TMP/err.txt" || fail "rejection does not name the column"
+grep -q "support 110000" "$TMP/err.txt" \
+  || fail "rejection does not state the support"
+grep -q "sketch_epsilon" "$TMP/err.txt" \
+  || fail "rejection does not point at the sketch path"
+
+# --sketch-epsilon admits the column: 'hi' (~16.7 bits) must outrank the
+# control and both rows carry [lower, upper] intervals
+"$CLI" topk --in="$TMP/big.csv" --k=2 --sketch-epsilon=0.01 \
+  > "$TMP/sketch.txt" || fail "sketch topk failed"
+head -1 "$TMP/sketch.txt" | grep -q "^hi " || fail "sketch topk ranks hi last"
+grep "^lo " "$TMP/sketch.txt" | grep -q '\[' || fail "sketch topk intervals"
+
+# sketch: attach count-min sidecars and persist them as SWPB v3
+"$CLI" sketch --in="$TMP/big.csv" --out="$TMP/big.swpb" \
+  | grep -q "sidecar bytes" || fail "sketch command"
+"$CLI" info --in="$TMP/big.swpb" | grep -q "rows:.*120000" \
+  || fail "sketched file info"
+
+# append: lossless streaming append updates rows and sidecars in place
+"$CLI" append --in="$TMP/big.swpb" --row=u0,v0 --out="$TMP/big2.swpb" \
+  | grep -q "appended 1 rows" || fail "append command"
+"$CLI" info --in="$TMP/big2.swpb" | grep -q "rows:.*120001" \
+  || fail "append did not add the row"
+
+# serve: the sketch path is reported in JSON stats, and ingest appends
+# rows then re-answers without serving the stale cached result
+printf '%s\n' \
+  "load name=big path=$TMP/big.swpb sketch-epsilon=0.01" \
+  "query dataset=big kind=entropy-topk k=2 sketch-epsilon=0.01" \
+  "query dataset=big kind=entropy-topk k=2 sketch-threshold=200000" \
+  "ingest dataset=big row=u7,v3" \
+  "query dataset=big kind=entropy-topk k=2 sketch-epsilon=0.01" \
+  "ingest dataset=big" \
+  "stats" \
+  "quit" \
+  | "$CLI" serve > "$TMP/sketch_serve.out" \
+  || fail "sketch serve exited non-zero"
+grep -q '"ok":true,"op":"load"' "$TMP/sketch_serve.out" \
+  || fail "serve sketch load"
+grep -q '"sketch_candidates":1,"path":"sketch"' "$TMP/sketch_serve.out" \
+  || fail "serve sketch path not reported"
+grep -q '"sketch_candidates":0,"path":"exact"' "$TMP/sketch_serve.out" \
+  || fail "serve exact path not reported"
+grep -q '"ok":true,"op":"ingest","dataset":"big","appended":1' \
+  "$TMP/sketch_serve.out" || fail "serve ingest"
+# the post-ingest repeat of the first query must re-execute (the
+# fingerprint rotated), so this session never serves a cache hit
+if grep -q '"cache_hit":true' "$TMP/sketch_serve.out"; then
+  fail "ingest did not invalidate the result cache"
+fi
+# ingest with no rows is an in-band error, not a crash
+grep -q '"ok":false,"code":"Invalid argument","error":"ingest:' \
+  "$TMP/sketch_serve.out" || fail "empty ingest should fail in-band"
+grep -q '"ingest_rows":1' "$TMP/sketch_serve.out" || fail "stats ingest_rows"
+grep -q '"queries_sketch":2' "$TMP/sketch_serve.out" \
+  || fail "stats queries_sketch"
+sketch_bytes="$(grep -o '"sketch_bytes":[0-9]*' "$TMP/sketch_serve.out" \
+  | head -1 | cut -d: -f2)"
+[ -n "$sketch_bytes" ] || fail "stats missing sketch_bytes"
+[ "$sketch_bytes" -gt 0 ] || fail "sketch_bytes is zero"
+
 echo "cli_smoke: OK"

@@ -1,0 +1,233 @@
+// CountMinSketch unit and property tests: the (epsilon, delta) error
+// bound, the never-undercount invariant, merge associativity, shard
+// determinism (mirroring parallel_determinism_test for the sketch
+// substrate), and FromParts corruption rejection.
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/sketch/count_min.h"
+
+namespace swope {
+namespace {
+
+// A skewed stream: key j appears with probability ~ 1 / (j + 1).
+std::vector<uint64_t> ZipfishStream(uint64_t n, uint64_t domain,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    // Inverse-ish transform: squash a uniform draw toward small keys.
+    const uint64_t u = rng.UniformU64(domain * domain);
+    uint64_t k = 0;
+    while ((k + 1) * (k + 1) <= u) ++k;
+    keys.push_back(k);
+  }
+  return keys;
+}
+
+bool BitwiseEqual(const CountMinSketch& a, const CountMinSketch& b) {
+  return a.SameShape(b) && a.total_count() == b.total_count() &&
+         std::memcmp(a.counters(), b.counters(),
+                     a.num_counters() * sizeof(uint64_t)) == 0;
+}
+
+TEST(CountMinTest, ShapeFromEpsilonDelta) {
+  auto sketch = CountMinSketch::Make(0.01, 0.01, 7);
+  ASSERT_TRUE(sketch.ok());
+  // Smallest power of two >= e / 0.01 = 271.8.
+  EXPECT_EQ(sketch->width(), 512u);
+  // ceil(ln(100)) = 5.
+  EXPECT_EQ(sketch->depth(), 5u);
+  EXPECT_LE(sketch->epsilon(), 0.01);
+  EXPECT_EQ(sketch->total_count(), 0u);
+
+  EXPECT_FALSE(CountMinSketch::Make(0.0, 0.01, 7).ok());
+  EXPECT_FALSE(CountMinSketch::Make(1.0, 0.01, 7).ok());
+  EXPECT_FALSE(CountMinSketch::Make(0.01, 0.0, 7).ok());
+  EXPECT_FALSE(CountMinSketch::MakeWithShape(1, 12, 7).ok());  // not pow2
+  EXPECT_FALSE(CountMinSketch::MakeWithShape(0, 8, 7).ok());
+}
+
+TEST(CountMinTest, NeverUndercountsAndMeetsErrorBound) {
+  const uint64_t kN = 30000;
+  const std::vector<uint64_t> keys = ZipfishStream(kN, 2000, 11);
+  std::map<uint64_t, uint64_t> truth;
+  for (uint64_t k : keys) ++truth[k];
+
+  auto sketch = CountMinSketch::Make(0.01, 0.01, 42);
+  ASSERT_TRUE(sketch.ok());
+  for (uint64_t k : keys) sketch->Add(k);
+  EXPECT_EQ(sketch->total_count(), kN);
+
+  const double bound = sketch->epsilon() * static_cast<double>(kN);
+  uint64_t violations = 0;
+  for (const auto& [key, count] : truth) {
+    const uint64_t estimate = sketch->Estimate(key);
+    ASSERT_GE(estimate, count) << "undercount of key " << key;
+    if (static_cast<double>(estimate - count) > bound) ++violations;
+  }
+  // Per-key failure probability is delta = 0.01; allow 5x slack on the
+  // empirical rate so the fixed-seed check is robust.
+  EXPECT_LE(violations, truth.size() / 20);
+
+  // Unseen keys may collide but never report more than the stream.
+  EXPECT_LE(sketch->Estimate(999999999ull), kN);
+}
+
+TEST(CountMinTest, EqualStreamsAreBitwiseIdentical) {
+  const std::vector<uint64_t> keys = ZipfishStream(5000, 500, 3);
+  auto a = CountMinSketch::MakeWithShape(4, 64, 9);
+  auto b = CountMinSketch::MakeWithShape(4, 64, 9);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (uint64_t k : keys) {
+    a->Add(k);
+    b->Add(k);
+  }
+  EXPECT_TRUE(BitwiseEqual(*a, *b));
+
+  // A different seed must not reproduce the counters (the streams would
+  // otherwise be distinguishable only by luck).
+  auto c = CountMinSketch::MakeWithShape(4, 64, 10);
+  ASSERT_TRUE(c.ok());
+  for (uint64_t k : keys) c->Add(k);
+  EXPECT_FALSE(BitwiseEqual(*a, *c));
+}
+
+TEST(CountMinTest, MergeIsAssociativeAndCommutative) {
+  const std::vector<uint64_t> keys = ZipfishStream(8000, 800, 17);
+  std::vector<CountMinSketch> shards;
+  for (int s = 0; s < 3; ++s) {
+    auto shard = CountMinSketch::MakeWithShape(3, 128, 5);
+    ASSERT_TRUE(shard.ok());
+    shards.push_back(std::move(shard).value());
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    shards[i % shards.size()].Add(keys[i]);
+  }
+
+  // (A + B) + C.
+  CountMinSketch left = shards[0].Clone();
+  ASSERT_TRUE(left.Merge(shards[1]).ok());
+  ASSERT_TRUE(left.Merge(shards[2]).ok());
+  // A + (B + C).
+  CountMinSketch tail = shards[1].Clone();
+  ASSERT_TRUE(tail.Merge(shards[2]).ok());
+  CountMinSketch right = shards[0].Clone();
+  ASSERT_TRUE(right.Merge(tail).ok());
+  EXPECT_TRUE(BitwiseEqual(left, right));
+
+  // C + B + A.
+  CountMinSketch reversed = shards[2].Clone();
+  ASSERT_TRUE(reversed.Merge(shards[1]).ok());
+  ASSERT_TRUE(reversed.Merge(shards[0]).ok());
+  EXPECT_TRUE(BitwiseEqual(left, reversed));
+
+  // Shape or seed mismatches are refused.
+  auto other_shape = CountMinSketch::MakeWithShape(3, 256, 5);
+  auto other_seed = CountMinSketch::MakeWithShape(3, 128, 6);
+  ASSERT_TRUE(other_shape.ok() && other_seed.ok());
+  EXPECT_FALSE(left.Merge(*other_shape).ok());
+  EXPECT_FALSE(left.Merge(*other_seed).ok());
+}
+
+TEST(CountMinTest, ShardedMergeIsDeterministicAndSound) {
+  // One serial sketch vs the same stream split over 4 shards and merged:
+  // both runs of each plan are bitwise reproducible and both plans'
+  // estimates dominate the truth. (Neither plan dominates the other:
+  // conservative update is order- and partition-sensitive, so serial and
+  // merged counters differ in both directions around the true counts.)
+  const std::vector<uint64_t> keys = ZipfishStream(12000, 600, 23);
+  std::map<uint64_t, uint64_t> truth;
+  for (uint64_t k : keys) ++truth[k];
+
+  auto run_serial = [&keys] {
+    auto sketch = CountMinSketch::MakeWithShape(4, 256, 77);
+    EXPECT_TRUE(sketch.ok());
+    for (uint64_t k : keys) sketch->Add(k);
+    return std::move(sketch).value();
+  };
+  auto run_sharded = [&keys] {
+    std::vector<CountMinSketch> shards;
+    for (int s = 0; s < 4; ++s) {
+      auto shard = CountMinSketch::MakeWithShape(4, 256, 77);
+      EXPECT_TRUE(shard.ok());
+      shards.push_back(std::move(shard).value());
+    }
+    for (size_t i = 0; i < keys.size(); ++i) shards[i % 4].Add(keys[i]);
+    CountMinSketch merged = shards[0].Clone();
+    EXPECT_TRUE(merged.Merge(shards[1]).ok());
+    EXPECT_TRUE(merged.Merge(shards[2]).ok());
+    EXPECT_TRUE(merged.Merge(shards[3]).ok());
+    return merged;
+  };
+
+  const CountMinSketch serial = run_serial();
+  const CountMinSketch serial_again = run_serial();
+  EXPECT_TRUE(BitwiseEqual(serial, serial_again));
+
+  const CountMinSketch merged = run_sharded();
+  const CountMinSketch merged_again = run_sharded();
+  EXPECT_TRUE(BitwiseEqual(merged, merged_again));
+
+  EXPECT_EQ(merged.total_count(), serial.total_count());
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(serial.Estimate(key), count) << "key " << key;
+    EXPECT_GE(merged.Estimate(key), count) << "key " << key;
+  }
+}
+
+TEST(CountMinTest, CloneIsDeepAndBitwiseEqual) {
+  const std::vector<uint64_t> keys = ZipfishStream(2000, 100, 31);
+  auto sketch = CountMinSketch::MakeWithShape(2, 64, 1);
+  ASSERT_TRUE(sketch.ok());
+  for (uint64_t k : keys) sketch->Add(k);
+
+  CountMinSketch clone = sketch->Clone();
+  EXPECT_TRUE(BitwiseEqual(*sketch, clone));
+  clone.Add(12345);
+  EXPECT_EQ(clone.total_count(), sketch->total_count() + 1);
+  EXPECT_FALSE(BitwiseEqual(*sketch, clone));
+}
+
+TEST(CountMinTest, FromPartsRoundTripsAndRejectsCorruption) {
+  const std::vector<uint64_t> keys = ZipfishStream(3000, 300, 13);
+  auto sketch = CountMinSketch::MakeWithShape(3, 64, 21);
+  ASSERT_TRUE(sketch.ok());
+  for (uint64_t k : keys) sketch->Add(k);
+
+  std::vector<uint64_t> counters(
+      sketch->counters(), sketch->counters() + sketch->num_counters());
+  auto rebuilt = CountMinSketch::FromParts(3, 64, 21, sketch->total_count(),
+                                           counters);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_TRUE(BitwiseEqual(*sketch, *rebuilt));
+
+  // Wrong counter count.
+  std::vector<uint64_t> short_counters(counters.begin(), counters.end() - 1);
+  EXPECT_FALSE(
+      CountMinSketch::FromParts(3, 64, 21, sketch->total_count(),
+                                short_counters)
+          .ok());
+  // A row summing past total_count violates the conservative-update
+  // invariant and must read as Corruption.
+  std::vector<uint64_t> inflated = counters;
+  inflated[0] += sketch->total_count() + 1;
+  const Status corrupt =
+      CountMinSketch::FromParts(3, 64, 21, sketch->total_count(), inflated)
+          .status();
+  EXPECT_TRUE(corrupt.IsCorruption()) << corrupt.ToString();
+  // Bad shapes.
+  EXPECT_FALSE(CountMinSketch::FromParts(0, 64, 21, 0, {}).ok());
+  EXPECT_FALSE(
+      CountMinSketch::FromParts(1, 24, 21, 0, std::vector<uint64_t>(24, 0))
+          .ok());
+}
+
+}  // namespace
+}  // namespace swope

@@ -1,0 +1,181 @@
+// Streaming append tests: PackedCodes::Append across width boundaries,
+// AppendRowsToTable dictionary/support growth, validation failures, and
+// incremental sketch sidecar maintenance (the appended sidecar must be
+// bitwise identical to one rebuilt from scratch).
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/table/append.h"
+#include "src/table/column.h"
+#include "src/table/packed_codes.h"
+#include "src/table/sketch_sidecar.h"
+#include "src/table/table.h"
+#include "src/table/table_builder.h"
+
+namespace swope {
+namespace {
+
+Table MakeLabeledTable() {
+  auto builder = TableBuilder::Make({"city", "size"});
+  EXPECT_TRUE(builder.ok());
+  for (const auto& row : std::vector<std::vector<std::string>>{
+           {"oslo", "small"},
+           {"lima", "large"},
+           {"oslo", "large"},
+       }) {
+    EXPECT_TRUE(builder->AppendRow(row).ok());
+  }
+  auto table = std::move(*builder).Finish();
+  EXPECT_TRUE(table.ok()) << table.status().ToString();
+  return std::move(table).value();
+}
+
+TEST(PackedCodesAppendTest, SameWidthExtendsInPlaceShape) {
+  const std::vector<ValueCode> head = {0, 5, 3, 7, 1, 6, 2, 4, 7, 0};
+  const std::vector<ValueCode> tail = {6, 6, 1};
+  PackedCodes packed = PackedCodes::Pack(head, 3);
+  const PackedCodes appended = packed.Append(tail, 3);
+
+  std::vector<ValueCode> expected = head;
+  expected.insert(expected.end(), tail.begin(), tail.end());
+  EXPECT_EQ(appended.size(), expected.size());
+  EXPECT_EQ(appended.width(), 3u);
+  EXPECT_EQ(appended.ToVector(), expected);
+}
+
+TEST(PackedCodesAppendTest, WidthGrowthRepacks) {
+  std::vector<ValueCode> head;
+  for (uint32_t i = 0; i < 100; ++i) head.push_back(i % 4);
+  const std::vector<ValueCode> tail = {9, 15, 4};
+  PackedCodes packed = PackedCodes::Pack(head, 2);
+  const PackedCodes appended = packed.Append(tail, 4);
+
+  std::vector<ValueCode> expected = head;
+  expected.insert(expected.end(), tail.begin(), tail.end());
+  EXPECT_EQ(appended.width(), 4u);
+  EXPECT_EQ(appended.ToVector(), expected);
+}
+
+TEST(PackedCodesAppendTest, TailStraddlesWordBoundaries) {
+  // 7-bit codes never divide 64, so appended codes straddle words.
+  std::vector<ValueCode> head;
+  for (uint32_t i = 0; i < 61; ++i) head.push_back(i * 2 % 128);
+  std::vector<ValueCode> tail;
+  for (uint32_t i = 0; i < 40; ++i) tail.push_back((i * 7 + 3) % 128);
+  const PackedCodes appended = PackedCodes::Pack(head, 7).Append(tail, 7);
+  std::vector<ValueCode> expected = head;
+  expected.insert(expected.end(), tail.begin(), tail.end());
+  EXPECT_EQ(appended.ToVector(), expected);
+}
+
+TEST(AppendRowsTest, ExtendsDictionariesInFirstSeenOrder) {
+  const Table table = MakeLabeledTable();
+  auto appended = AppendRowsToTable(
+      table, {{"kyiv", "small"}, {"oslo", "medium"}, {"kyiv", "medium"}});
+  ASSERT_TRUE(appended.ok()) << appended.status().ToString();
+
+  EXPECT_EQ(appended->num_rows(), 6u);
+  const Column& city = appended->column(0);
+  EXPECT_EQ(city.support(), 3u);
+  EXPECT_EQ(city.labels(),
+            (std::vector<std::string>{"oslo", "lima", "kyiv"}));
+  EXPECT_EQ(city.codes(), (std::vector<ValueCode>{0, 1, 0, 2, 0, 2}));
+  const Column& size = appended->column(1);
+  EXPECT_EQ(size.labels(),
+            (std::vector<std::string>{"small", "large", "medium"}));
+  EXPECT_EQ(size.codes(), (std::vector<ValueCode>{0, 1, 1, 0, 2, 2}));
+
+  // The builder would have assigned exactly these dictionaries: a from-
+  // scratch encode of the full row set matches the appended table.
+  auto builder = TableBuilder::Make({"city", "size"});
+  ASSERT_TRUE(builder.ok());
+  for (const auto& row : std::vector<std::vector<std::string>>{
+           {"oslo", "small"},
+           {"lima", "large"},
+           {"oslo", "large"},
+           {"kyiv", "small"},
+           {"oslo", "medium"},
+           {"kyiv", "medium"},
+       }) {
+    ASSERT_TRUE(builder->AppendRow(row).ok());
+  }
+  auto rebuilt = std::move(*builder).Finish();
+  ASSERT_TRUE(rebuilt.ok());
+  for (size_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(appended->column(c).codes(), rebuilt->column(c).codes());
+    EXPECT_EQ(appended->column(c).labels(), rebuilt->column(c).labels());
+  }
+}
+
+TEST(AppendRowsTest, LabelLessColumnsParseDecimalCodes) {
+  std::vector<Column> columns;
+  columns.push_back(Column::FromCodes("n", {0, 2, 1}));
+  auto made = Table::Make(std::move(columns));
+  ASSERT_TRUE(made.ok());
+
+  auto appended = AppendRowsToTable(*made, {{"5"}, {"2"}});
+  ASSERT_TRUE(appended.ok()) << appended.status().ToString();
+  EXPECT_EQ(appended->column(0).support(), 6u);  // grew to max code + 1
+  EXPECT_EQ(appended->column(0).codes(),
+            (std::vector<ValueCode>{0, 2, 1, 5, 2}));
+
+  EXPECT_FALSE(AppendRowsToTable(*made, {{"x"}}).ok());
+  EXPECT_FALSE(AppendRowsToTable(*made, {{"-1"}}).ok());
+  EXPECT_FALSE(AppendRowsToTable(*made, {{""}}).ok());
+}
+
+TEST(AppendRowsTest, RejectsMalformedRowsUntouched) {
+  const Table table = MakeLabeledTable();
+  const Status wide = AppendRowsToTable(table, {{"oslo", "small", "extra"}})
+                          .status();
+  EXPECT_TRUE(wide.IsInvalidArgument());
+  const Status narrow = AppendRowsToTable(table, {{"oslo"}}).status();
+  EXPECT_TRUE(narrow.IsInvalidArgument());
+  EXPECT_FALSE(AppendRowsToTable(table, {}).ok());
+  // The input table is unchanged by failed (and successful) appends.
+  EXPECT_EQ(table.num_rows(), 3u);
+}
+
+TEST(AppendRowsTest, SketchSidecarsAbsorbTheTailIncrementally) {
+  // Build a table with sidecars, append rows, and require the maintained
+  // sidecar to be bitwise identical to one rebuilt from the appended
+  // column: clone + tail is the same code stream as a fresh full scan.
+  std::vector<ValueCode> codes;
+  for (uint32_t i = 0; i < 5000; ++i) codes.push_back(i % 1500);
+  std::vector<Column> columns;
+  columns.push_back(Column::FromCodes("hc", std::move(codes)));
+  auto made = Table::Make(std::move(columns));
+  ASSERT_TRUE(made.ok());
+  auto sketched = AttachSketches(*made, /*epsilon=*/0.01, /*delta=*/0.01,
+                                 /*min_support=*/1000, /*seed=*/7);
+  ASSERT_TRUE(sketched.ok()) << sketched.status().ToString();
+  ASSERT_TRUE(sketched->column(0).has_sketch());
+
+  std::vector<std::vector<std::string>> rows;
+  for (uint32_t i = 0; i < 200; ++i) {
+    rows.push_back({std::to_string(1200 + i * 3)});
+  }
+  auto appended = AppendRowsToTable(*sketched, rows);
+  ASSERT_TRUE(appended.ok()) << appended.status().ToString();
+  const Column& column = appended->column(0);
+  ASSERT_TRUE(column.has_sketch());
+  EXPECT_EQ(column.sketch()->total_count(), 5200u);
+
+  auto rebuilt = BuildColumnSketch(column, 0.01, 0.01, 7);
+  ASSERT_TRUE(rebuilt.ok());
+  ASSERT_TRUE(column.sketch()->SameShape(*rebuilt));
+  EXPECT_EQ(column.sketch()->total_count(), rebuilt->total_count());
+  EXPECT_EQ(std::memcmp(column.sketch()->counters(), rebuilt->counters(),
+                        rebuilt->num_counters() * sizeof(uint64_t)),
+            0);
+
+  // The original table kept its own (smaller) sidecar.
+  EXPECT_EQ(sketched->column(0).sketch()->total_count(), 5000u);
+}
+
+}  // namespace
+}  // namespace swope

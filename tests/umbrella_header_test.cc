@@ -34,6 +34,31 @@ TEST(UmbrellaHeaderTest, CoreSymbolsVisible) {
   EXPECT_GE(ExactEntropy(table->column(0)), 0.0);
 }
 
+TEST(UmbrellaHeaderTest, SketchSymbolsVisible) {
+  auto sketch = CountMinSketch::Make(0.01, 0.01, /*seed=*/1);
+  ASSERT_TRUE(sketch.ok());
+  sketch->Add(7);
+  EXPECT_GE(sketch->Estimate(7), 1u);
+
+  QueryOptions options;
+  options.sketch_epsilon = 0.01;
+  EXPECT_TRUE(UsesSketchPath(options.sketch_threshold + 1, options));
+
+  TableSpec spec;
+  spec.num_rows = 64;
+  spec.seed = 2;
+  spec.columns = {ColumnSpec::Uniform("a", 4)};
+  auto table = GenerateTable(spec);
+  ASSERT_TRUE(table.ok());
+  auto sketched = AttachSketches(*table, /*epsilon=*/0.05, /*delta=*/0.05,
+                                 /*min_support=*/0, /*seed=*/3);
+  ASSERT_TRUE(sketched.ok());
+  EXPECT_GT(sketched->SketchMemoryBytes(), 0u);
+  auto appended = AppendRowsToTable(*sketched, {{"0"}});
+  ASSERT_TRUE(appended.ok());
+  EXPECT_EQ(appended->num_rows(), table->num_rows() + 1);
+}
+
 TEST(UmbrellaHeaderTest, IoSymbolsVisible) {
   auto preset = ParseDatasetPreset("cdc");
   ASSERT_TRUE(preset.ok());

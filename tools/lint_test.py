@@ -154,6 +154,33 @@ class LintFileTest(unittest.TestCase):
         self.assertEqual([], self.lint("src/table/w.cc", body))
         self.assertEqual([], self.lint("tests/w_test.cc", body))
 
+    # ---- src/sketch coverage ----------------------------------------------
+    # The sketch subsystem is linted like every other src/ dir: guards
+    # derive from the path, and it gets no raw-codes exemption (sketch
+    # builders must batch-decode through ColumnView like the scorers).
+
+    def test_sketch_include_guard_derives_from_path(self):
+        self.assertEqual([], self.lint_header("src/sketch/count_min.h",
+                                              "int x;"))
+        findings = self.lint(
+            "src/sketch/count_min.h",
+            "#ifndef SWOPE_COUNT_MIN_H_\n#define SWOPE_COUNT_MIN_H_\n"
+            "#endif\n")
+        self.assertEqual(["include-guard"], self.rules(findings))
+        self.assertIn("SWOPE_SKETCH_COUNT_MIN_H_", findings[0][3])
+
+    def test_sketch_dir_is_not_raw_codes_exempt(self):
+        body = "auto v = col.codes();\n"
+        self.assertEqual(["raw-codes"], self.rules(
+            self.lint("src/sketch/provider.cc", body)))
+
+    def test_sketch_dir_bans_rand_and_sleep(self):
+        self.assertEqual(["banned-rand"], self.rules(
+            self.lint("src/sketch/h.cc", "uint64_t h = rand();\n")))
+        self.assertEqual(["banned-sleep"], self.rules(self.lint(
+            "src/sketch/w.cc",
+            "void F() { std::this_thread::sleep_for(d); }\n")))
+
     # ---- comment/string stripping -----------------------------------------
 
     def test_rules_ignore_comments_and_strings(self):

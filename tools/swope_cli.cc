@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -33,9 +34,11 @@
 #include "src/engine/query_engine.h"
 #include "src/engine/serve.h"
 #include "src/obs/query_trace.h"
+#include "src/table/append.h"
 #include "src/table/binary_io.h"
 #include "src/table/csv_reader.h"
 #include "src/table/csv_writer.h"
+#include "src/table/sketch_sidecar.h"
 
 namespace swope {
 namespace {
@@ -49,6 +52,13 @@ commands:
   convert    re-encode a dataset             --in=FILE --out=FILE
              CSV <-> SWPB in either direction; SWPB -> SWPB re-encodes
              legacy v1 files as bit-packed v2. Lossless: no column drop.
+  append     append rows to a dataset        --in=FILE (--row=v1,v2,... | --rows=CSV) [--out=FILE]
+             --rows is a headerless CSV of new rows (cells in column
+             order); --out defaults to --in (in-place). Lossless: no
+             column drop, sketch sidecars are updated incrementally.
+  sketch     attach count-min sidecars       --in=FILE --out=FILE [--sketch-epsilon=E] [--sketch-threshold=U]
+             builds a sidecar for every column with support > threshold
+             (default epsilon 0.01, threshold 1000) and writes SWPB v3.
   topk       approximate entropy top-k       --in=FILE --k=N [--epsilon=E] [--seed=N] [--exact]
   filter     approximate entropy filtering   --in=FILE --eta=T [--epsilon=E] [--seed=N] [--exact]
   mi-topk    approximate MI top-k            --in=FILE --target=COL --k=N [--epsilon=E] [--exact]
@@ -60,7 +70,15 @@ commands:
 
 common flags:
   --max-support=U   drop columns with more than U distinct values before
-                    querying (default 1000; 0 keeps everything)
+                    querying (default 1000, or 0 -- keep everything --
+                    when --sketch-epsilon is set)
+  --sketch-epsilon=E    query commands: score candidates with support >
+                    --sketch-threshold through a count-min sketch with
+                    relative error E instead of exact counters (0, the
+                    default, disables the sketch path; docs/SKETCH.md)
+  --sketch-threshold=U  support above which the sketch path applies
+                    (default 1000); without --sketch-epsilon, querying a
+                    column with support > U is rejected
   --threads=N       query commands: fan per-candidate counter updates out
                     across N worker threads (default 1 = serial; the answer
                     is byte-identical either way)
@@ -151,7 +169,12 @@ Result<Table> LoadTable(const Flags& flags) {
   auto table = IsCsvPath(path) ? ReadCsvFile(path)
                                : ReadBinaryTableFile(path);
   if (!table.ok()) return table.status();
-  const uint64_t max_support = flags.GetUint("max-support", 1000);
+  // With the sketch path enabled, high-support columns are the point --
+  // keep everything unless the user asked for pruning explicitly.
+  const uint64_t default_max_support =
+      flags.GetDouble("sketch-epsilon", 0.0) > 0.0 ? 0 : 1000;
+  const uint64_t max_support =
+      flags.GetUint("max-support", default_max_support);
   if (max_support > 0) {
     return table->DropHighSupportColumns(
         static_cast<uint32_t>(max_support));
@@ -163,6 +186,9 @@ QueryOptions OptionsFromFlags(const Flags& flags, double default_epsilon) {
   QueryOptions options;
   options.epsilon = flags.GetDouble("epsilon", default_epsilon);
   options.seed = flags.GetUint("seed", 42);
+  options.sketch_epsilon = flags.GetDouble("sketch-epsilon", 0.0);
+  options.sketch_threshold = static_cast<uint32_t>(
+      flags.GetUint("sketch-threshold", options.sketch_threshold));
   return options;
 }
 
@@ -269,17 +295,125 @@ int CmdConvert(const Flags& flags) {
   return 0;
 }
 
+// Splits one append row on commas (no quoting). Empty cells are kept.
+std::vector<std::string> SplitRow(const std::string& text) {
+  std::vector<std::string> cells;
+  size_t begin = 0;
+  while (true) {
+    const size_t comma = text.find(',', begin);
+    if (comma == std::string::npos) {
+      cells.push_back(text.substr(begin));
+      return cells;
+    }
+    cells.push_back(text.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+}
+
+// Gathers new rows from --row (one inline row) and/or --rows (headerless
+// CSV file, one row per line; blank lines and #-comments are skipped).
+Result<std::vector<std::vector<std::string>>> RowsFromFlags(
+    const Flags& flags) {
+  std::vector<std::vector<std::string>> rows;
+  if (const std::string inline_row = flags.GetString("row");
+      !inline_row.empty()) {
+    rows.push_back(SplitRow(inline_row));
+  }
+  if (const std::string path = flags.GetString("rows"); !path.empty()) {
+    std::ifstream file(path);
+    if (!file) return Status::IOError("cannot open '" + path + "'");
+    std::string line;
+    while (std::getline(file, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      const size_t start = line.find_first_not_of(" \t");
+      if (start == std::string::npos || line[start] == '#') continue;
+      rows.push_back(SplitRow(line));
+    }
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument(
+        "--row=v1,v2,... or --rows=FILE is required");
+  }
+  return rows;
+}
+
+// Lossless like convert: append never applies --max-support pruning, and
+// sketch sidecars absorb the new rows instead of being rebuilt.
+int CmdAppend(const Flags& flags) {
+  const std::string in = flags.GetString("in");
+  if (in.empty()) {
+    return Fail(Status::InvalidArgument("--in=FILE is required"));
+  }
+  const std::string out = flags.GetString("out", in);
+  auto rows = RowsFromFlags(flags);
+  if (!rows.ok()) return Fail(rows.status());
+  auto table = IsCsvPath(in) ? ReadCsvFile(in) : ReadBinaryTableFile(in);
+  if (!table.ok()) return Fail(table.status());
+  auto appended = AppendRowsToTable(*table, *rows);
+  if (!appended.ok()) return Fail(appended.status());
+  const Status status = IsCsvPath(out) ? WriteCsvFile(*appended, out)
+                                       : WriteBinaryTableFile(*appended, out);
+  if (!status.ok()) return Fail(status);
+  std::printf("appended %zu rows: %s -> %s (%llu rows, %zu columns)\n",
+              rows->size(), in.c_str(), out.c_str(),
+              static_cast<unsigned long long>(appended->num_rows()),
+              appended->num_columns());
+  return 0;
+}
+
+// Attaches count-min sidecars to high-support columns and writes SWPB v3
+// (CSV output would silently drop them, so it is rejected).
+int CmdSketch(const Flags& flags) {
+  const std::string in = flags.GetString("in");
+  if (in.empty()) {
+    return Fail(Status::InvalidArgument("--in=FILE is required"));
+  }
+  const std::string out = flags.GetString("out");
+  if (out.empty()) {
+    return Fail(Status::InvalidArgument("--out=FILE is required"));
+  }
+  if (IsCsvPath(out)) {
+    return Fail(Status::InvalidArgument(
+        "--out must be an SWPB file (CSV cannot carry sketch sidecars)"));
+  }
+  auto table = IsCsvPath(in) ? ReadCsvFile(in) : ReadBinaryTableFile(in);
+  if (!table.ok()) return Fail(table.status());
+  const double epsilon = flags.GetDouble("sketch-epsilon", 0.01);
+  const uint32_t threshold =
+      static_cast<uint32_t>(flags.GetUint("sketch-threshold", 1000));
+  auto sketched = AttachSketches(*table, epsilon, /*delta=*/0.01, threshold,
+                                 flags.GetUint("seed", 0));
+  if (!sketched.ok()) return Fail(sketched.status());
+  const Status status = WriteBinaryTableFile(*sketched, out);
+  if (!status.ok()) return Fail(status);
+  std::printf("sketched %s -> %s (%llu sidecar bytes)\n", in.c_str(),
+              out.c_str(),
+              static_cast<unsigned long long>(sketched->SketchMemoryBytes()));
+  return 0;
+}
+
 int CmdInfo(const Flags& flags) {
-  auto table = LoadTable(flags);
+  // Describe the file as stored: no --max-support pruning (a sketched
+  // v3 file's whole point is its high-support columns).
+  const std::string in = flags.GetString("in");
+  if (in.empty()) {
+    return Fail(Status::InvalidArgument("--in=FILE is required"));
+  }
+  auto table = IsCsvPath(in) ? ReadCsvFile(in) : ReadBinaryTableFile(in);
   if (!table.ok()) return Fail(table.status());
   std::printf("rows:    %llu\ncolumns: %zu\nmax u:   %u\nmemory:  %llu\n",
               static_cast<unsigned long long>(table->num_rows()),
               table->num_columns(), table->MaxSupport(),
               static_cast<unsigned long long>(table->MemoryBytes()));
+  if (table->SketchMemoryBytes() > 0) {
+    std::printf("sketch:  %llu\n", static_cast<unsigned long long>(
+                                       table->SketchMemoryBytes()));
+  }
   std::printf("%-20s %-10s %s\n", "column", "support", "entropy(bits)");
   for (const Column& column : table->columns()) {
-    std::printf("%-20s %-10u %.4f\n", column.name().c_str(),
-                column.support(), ExactEntropy(column));
+    std::printf("%-20s %-10u %.4f%s\n", column.name().c_str(),
+                column.support(), ExactEntropy(column),
+                column.has_sketch() ? "  [sketch]" : "");
   }
   return 0;
 }
@@ -409,6 +543,8 @@ int Main(int argc, char** argv) {
 
   if (command == "gen") return CmdGen(*flags);
   if (command == "convert") return CmdConvert(*flags);
+  if (command == "append") return CmdAppend(*flags);
+  if (command == "sketch") return CmdSketch(*flags);
   if (command == "info") return CmdInfo(*flags);
   if (command == "topk") return CmdTopK(*flags);
   if (command == "filter") return CmdFilter(*flags);
