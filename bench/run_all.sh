@@ -14,6 +14,15 @@ OUT="${1:-bench_output.txt}"
 shift || true
 
 : > "$OUT"
+# Run metadata, parsed into BENCH_results.json alongside the benches:
+# the host's core count plus the shard geometry and pool modes the
+# serving benches compare (see bench/serve_throughput.cc).
+{
+  echo "===== run_metadata ====="
+  echo "# Run metadata"
+  echo "host_cores=$(nproc) serve_shard_size=2048 pool_modes=stealing,single-queue"
+  echo
+} | tee -a "$OUT"
 for b in "$BUILD_DIR"/*; do
   # Executable regular files only: CMake drops CMakeFiles/ and other
   # directories (also "executable") into the same build dir.

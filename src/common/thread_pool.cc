@@ -3,20 +3,52 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <memory>
 #include <utility>
 
 #include "src/obs/metrics.h"
 
 namespace swope {
 
+namespace {
+
+// Identity of the current thread within its owning pool, set once at
+// worker startup. Lets Submit route nested work to the submitting
+// worker's own deque and RunOneTask pop it LIFO.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local size_t tls_worker_index = 0;
+
+}  // namespace
+
+bool ParsePoolMode(const std::string& text, PoolMode* out) {
+  if (text == "stealing") {
+    *out = PoolMode::kWorkStealing;
+    return true;
+  }
+  if (text == "single-queue") {
+    *out = PoolMode::kSingleQueue;
+    return true;
+  }
+  return false;
+}
+
+const char* PoolModeName(PoolMode mode) {
+  return mode == PoolMode::kWorkStealing ? "stealing" : "single-queue";
+}
+
 ThreadPool::ThreadPool(size_t num_threads, MetricsRegistry* metrics,
-                       const std::string& pool_name)
-    : queue_depth_(metrics != nullptr
+                       const std::string& pool_name, PoolMode mode)
+    : mode_(mode),
+      queue_depth_(metrics != nullptr
                        ? metrics->GetGauge("swope_pool_queue_depth",
                                            {{"pool", pool_name}})
                        : nullptr),
       tasks_total_(metrics != nullptr
                        ? metrics->GetCounter("swope_pool_tasks_total",
+                                             {{"pool", pool_name}})
+                       : nullptr),
+      steals_total_(metrics != nullptr
+                       ? metrics->GetCounter("swope_pool_steals_total",
                                              {{"pool", pool_name}})
                        : nullptr),
       wait_ms_(metrics != nullptr
@@ -30,11 +62,18 @@ ThreadPool::ThreadPool(size_t num_threads, MetricsRegistry* metrics,
                                           DefaultLatencyBucketsMs())
                   : nullptr) {
   const size_t n = std::max<size_t>(1, num_threads);
+  if (mode_ == PoolMode::kWorkStealing) {
+    deques_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      deques_.push_back(std::make_unique<StealDeque>());
+    }
+  }
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     // A fresh thread starts with no locks held; stating that lets the
     // negative-capability analysis accept the WorkerLoop call.
-    workers_.emplace_back([this]() REQUIRES(!mutex_) { WorkerLoop(); });
+    workers_.emplace_back(
+        [this, i]() REQUIRES(!mutex_) { WorkerLoop(i); });
   }
 }
 
@@ -48,35 +87,61 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged(std::move(task));
-  std::future<void> future = packaged.get_future();
-  {
-    MutexLock lock(mutex_);
-    tasks_.push(Task{std::move(packaged), Stopwatch()});
+  // Ownership transfers to the raw queue/deque cells here and is
+  // reclaimed by RunTask; unique_ptr brackets both ends.
+  auto owned = std::make_unique<Task>();
+  owned->fn = std::packaged_task<void()>(std::move(task));
+  std::future<void> future = owned->fn.get_future();
+  Task* queued = owned.release();
+  if (mode_ == PoolMode::kWorkStealing && tls_pool == this &&
+      deques_[tls_worker_index]->Push(queued)) {
+    // Nested submission from one of our own workers: deque push, no
+    // lock. The idle loop's timed wait bounds the (rare) missed-notify
+    // window, so the lock-free notify below is safe.
+    pending_.fetch_add(1);
+    if (queue_depth_ != nullptr) queue_depth_->Add(1);
+    cv_.NotifyOne();
+    return future;
   }
-  if (queue_depth_ != nullptr) queue_depth_->Add(1);
-  cv_.NotifyOne();
+  SubmitToInjector(queued);
   return future;
 }
 
-void ThreadPool::RunTask(Task task) {
+void ThreadPool::SubmitToInjector(Task* task) {
+  {
+    MutexLock lock(mutex_);
+    injector_.push(task);
+  }
+  pending_.fetch_add(1);
+  if (queue_depth_ != nullptr) queue_depth_->Add(1);
+  cv_.NotifyOne();
+}
+
+void ThreadPool::RunTask(Task* task) {
+  const std::unique_ptr<Task> owned(task);  // reclaim from the queues
   if (queue_depth_ != nullptr) {
     queue_depth_->Add(-1);
     tasks_total_->Increment();
-    wait_ms_->Observe(task.wait.ElapsedMillis());
+    wait_ms_->Observe(task->wait.ElapsedMillis());
     Stopwatch run;
-    task.fn();
+    task->fn();
     run_ms_->Observe(run.ElapsedMillis());
-    return;
+  } else {
+    task->fn();
   }
-  task.fn();
 }
 
 void ThreadPool::ParallelFor(size_t begin, size_t end,
                              const std::function<void(size_t)>& fn) {
   if (begin >= end) return;
   const size_t total = end - begin;
-  const size_t chunks = std::min(total, num_threads());
+  // Single-queue keeps the one-chunk-per-worker split (the A/B
+  // baseline); stealing oversubscribes so uneven chunks rebalance by
+  // theft.
+  const size_t target_chunks = mode_ == PoolMode::kWorkStealing
+                                   ? num_threads() * 4
+                                   : num_threads();
+  const size_t chunks = std::min(total, std::max<size_t>(1, target_chunks));
   const size_t chunk_size = (total + chunks - 1) / chunks;
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
@@ -89,9 +154,12 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
     }));
   }
   // Wait with work-helping: when this is itself a pool task (nested
-  // ParallelFor) every worker may be blocked here, so the queue would
+  // ParallelFor) every worker may be blocked here, so queued work would
   // never drain if we simply slept on the futures. Helping also means the
-  // pool cannot deadlock regardless of nesting depth or thread count.
+  // pool cannot deadlock regardless of nesting depth or thread count. In
+  // stealing mode helpers raid peer deques too, so an external caller
+  // (e.g. a query blocked on its round's shard tasks) contributes a full
+  // execution lane instead of sleeping.
   //
   // Every future is drained before any exception is rethrown -- the chunk
   // lambdas capture `fn` by reference, so no chunk may outlive this frame.
@@ -100,9 +168,9 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
     while (future.wait_for(std::chrono::seconds(0)) !=
            std::future_status::ready) {
       if (!RunOneTask()) {
-        // Queue empty: our chunk is running on another thread. Blocking
-        // indefinitely would be wrong only if new helpable work appears,
-        // so poll with a short timeout.
+        // Nothing runnable anywhere: our chunk is mid-flight on another
+        // thread. Poll with a short timeout in case helpable work
+        // appears.
         future.wait_for(std::chrono::milliseconds(1));
       }
     }
@@ -115,29 +183,78 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   if (first_error) std::rethrow_exception(first_error);
 }
 
-bool ThreadPool::RunOneTask() {
-  Task task;
-  {
-    MutexLock lock(mutex_);
-    if (tasks_.empty()) return false;
-    task = std::move(tasks_.front());
-    tasks_.pop();
+ThreadPool::Task* ThreadPool::PopInjector() {
+  MutexLock lock(mutex_);
+  if (injector_.empty()) return nullptr;
+  Task* task = injector_.front();
+  injector_.pop();
+  return task;
+}
+
+ThreadPool::Task* ThreadPool::TrySteal(const StealDeque* self) {
+  // One sweep starting after the caller's own slot (or 0 for external
+  // threads) so victims rotate instead of pack-attacking deque 0.
+  const size_t n = deques_.size();
+  const size_t start = (tls_pool == this) ? tls_worker_index + 1 : 0;
+  for (size_t i = 0; i < n; ++i) {
+    StealDeque* victim = deques_[(start + i) % n].get();
+    if (victim == self) continue;
+    Task* task = victim->Steal();
+    if (task != nullptr) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      if (steals_total_ != nullptr) steals_total_->Increment();
+      return task;
+    }
   }
-  RunTask(std::move(task));
+  return nullptr;
+}
+
+ThreadPool::Task* ThreadPool::FindTask(StealDeque* self) {
+  if (self != nullptr) {
+    Task* task = self->Pop();
+    if (task != nullptr) return task;
+  }
+  Task* task = PopInjector();
+  if (task != nullptr) return task;
+  if (mode_ == PoolMode::kWorkStealing) return TrySteal(self);
+  return nullptr;
+}
+
+bool ThreadPool::RunOneTask() {
+  StealDeque* self =
+      (mode_ == PoolMode::kWorkStealing && tls_pool == this)
+          ? deques_[tls_worker_index].get()
+          : nullptr;
+  Task* task = FindTask(self);
+  if (task == nullptr) return false;
+  pending_.fetch_sub(1);
+  RunTask(task);
   return true;
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  tls_pool = this;
+  tls_worker_index = worker_index;
+  StealDeque* self = mode_ == PoolMode::kWorkStealing
+                         ? deques_[worker_index].get()
+                         : nullptr;
   for (;;) {
-    Task task;
-    {
-      MutexLock lock(mutex_);
-      while (!stop_ && tasks_.empty()) cv_.Wait(mutex_);
-      if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+    Task* task = FindTask(self);
+    if (task != nullptr) {
+      pending_.fetch_sub(1);
+      RunTask(task);
+      continue;
     }
-    RunTask(std::move(task));
+    MutexLock lock(mutex_);
+    // Drain-before-exit: stop_ only wins once no task is queued
+    // anywhere, preserving the pre-stealing destructor contract.
+    while (!stop_ && pending_.load() == 0) {
+      // Timed wait: a worker pushing to its own deque notifies without
+      // the lock, so a wakeup can race this sleep; the timeout bounds
+      // that window instead of serializing the push hot path.
+      cv_.WaitFor(mutex_, std::chrono::milliseconds(1));
+    }
+    if (stop_ && pending_.load() == 0) return;
   }
 }
 

@@ -13,6 +13,7 @@
 namespace swope {
 
 struct ExecControl;
+class Histogram;
 class QueryTrace;
 class ThreadPool;
 
@@ -77,14 +78,23 @@ struct QueryOptions {
   /// pointee alive for the duration of the query.
   const ExecControl* control = nullptr;
 
-  /// Intra-query parallelism: when non-null, the driver fans the
-  /// per-candidate counter-update phase of each round out across this
-  /// pool. Answers are byte-identical to the serial path (candidates are
-  /// independent and every reduction runs serially in fixed candidate
-  /// order; see docs/CORE.md), so this is ignored by ResultCache
-  /// canonicalization. Not owned; may be null. The caller keeps the pool
-  /// alive for the duration of the query.
+  /// Intra-query parallelism: when non-null, the driver decomposes the
+  /// counter-update phase of each round into (candidate x shard) tasks
+  /// and fans them out across this pool. Answers are byte-identical to
+  /// the serial path at any thread count and any shard count (shard
+  /// tasks count into private deltas merged in fixed shard order, and
+  /// every reduction runs serially in fixed candidate order; see
+  /// docs/CORE.md and docs/SHARDING.md), so this is ignored by
+  /// ResultCache canonicalization. Not owned; may be null. The caller
+  /// keeps the pool alive for the duration of the query.
   ThreadPool* pool = nullptr;
+
+  /// Observability hook: when non-null, the driver records each shard
+  /// task's wall-clock milliseconds into it (the engine wires this to
+  /// the swope_engine_shard_task_ms histogram). Affects no answer bytes,
+  /// so it is ignored by ResultCache canonicalization. Not owned; may be
+  /// null. The caller keeps the pointee alive for the query's duration.
+  Histogram* shard_task_latency = nullptr;
 
   /// Observability hook: when non-null, the driver records one RoundTrace
   /// per sampling round into it (src/obs/query_trace.h). Every field

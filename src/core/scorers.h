@@ -39,6 +39,7 @@
 #include "src/core/frequency_counter.h"
 #include "src/core/pair_counter.h"
 #include "src/core/query_options.h"
+#include "src/core/shard_partition.h"
 #include "src/core/sketch_estimation.h"
 #include "src/sketch/frequency_provider.h"
 #include "src/table/column_view.h"
@@ -55,6 +56,15 @@ class EntropyScorer : public Scorer {
   uint64_t CellsPerRow(size_t active) const override { return active; }
   void UpdateCandidate(size_t c, const std::vector<uint32_t>& order,
                        uint64_t begin, uint64_t end, uint64_t m) override;
+  /// Exact candidates shard; sketched ones are order-dependent and don't.
+  bool CandidateShardable(size_t c) const override {
+    return sketches_[c] == nullptr;
+  }
+  void PrepareSharding(size_t num_shards) override;
+  void UpdateCandidateShard(size_t c, size_t shard,
+                            const ShardSlicePartition& partition) override;
+  void FinalizeCandidate(size_t c, const ShardSlicePartition& partition,
+                         uint64_t m) override;
   /// Algorithm 1 line 8: (kth_upper - 2*lambda - b_max) / kth_upper
   /// >= 1 - epsilon, with b_max the largest bias among current top-k
   /// members.
@@ -68,6 +78,9 @@ class EntropyScorer : public Scorer {
   // (null when exact) is live per candidate.
   std::vector<FrequencyCounter> counters_;
   std::vector<std::unique_ptr<SketchFrequencyProvider>> sketches_;
+  // Per-candidate per-shard delta counters for the shard-decomposed
+  // rounds (empty for sketched candidates); sized by PrepareSharding.
+  std::vector<std::vector<FrequencyCounter>> deltas_;
   // Decode buffers, recycled across rounds and shared by the pool workers.
   CodeScratchArena arena_;
 };
@@ -88,6 +101,17 @@ class MiScorer : public Scorer {
                   uint64_t end, uint64_t m) override;
   void UpdateCandidate(size_t c, const std::vector<uint32_t>& order,
                        uint64_t begin, uint64_t end, uint64_t m) override;
+  /// Shardable when both the marginal and the joint counters are exact;
+  /// any sketched side pins the candidate to whole-slice updates.
+  bool CandidateShardable(size_t c) const override {
+    return counters_[c].marginal_sketch == nullptr &&
+           counters_[c].joint_sketch == nullptr;
+  }
+  void PrepareSharding(size_t num_shards) override;
+  void UpdateCandidateShard(size_t c, size_t shard,
+                            const ShardSlicePartition& partition) override;
+  void FinalizeCandidate(size_t c, const ShardSlicePartition& partition,
+                         uint64_t m) override;
   /// Algorithm 3: (kth_upper - slack_max) / kth_upper >= 1 - epsilon,
   /// with slack_max the largest b' among current top-k members.
   bool TopKShouldStop(const std::vector<size_t>& active, double kth_upper,
@@ -116,6 +140,16 @@ class MiScorer : public Scorer {
     // engaged whenever either marginal is sketched.
     std::unique_ptr<SketchFrequencyProvider> marginal_sketch;
     std::unique_ptr<SketchFrequencyProvider> joint_sketch;
+    // Shard-task scratch (empty on the sketch path; sized by
+    // PrepareSharding). Shard tasks only *gather*: shard_codes[s] holds
+    // the candidate codes of the rows routed to shard s, aligned with
+    // the partition's slice_pos(s). FinalizeCandidate scatters them back
+    // into `replay` in slice order and feeds the serial AddCodes path,
+    // so the counters -- including the joint counter's order-sensitive
+    // running x*log2(x) sum -- evolve bit-identically to a serial round
+    // (docs/SHARDING.md).
+    std::vector<std::vector<ValueCode>> shard_codes;
+    std::vector<ValueCode> replay;
   };
 
   ColumnView target_view_;

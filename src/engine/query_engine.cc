@@ -57,6 +57,7 @@ QueryEngine::QueryEngine(EngineConfig config)
       rows_sampled_(metrics_.GetCounter("swope_engine_rows_sampled_total")),
       admission_waits_(
           metrics_.GetCounter("swope_engine_admission_waits_total")),
+      rejected_(metrics_.GetCounter("swope_engine_rejected_total")),
       queries_sketch_(
           metrics_.GetCounter("swope_engine_queries_sketch_total")),
       queries_exact_(metrics_.GetCounter("swope_engine_queries_exact_total")),
@@ -72,20 +73,29 @@ QueryEngine::QueryEngine(EngineConfig config)
       query_rounds_(metrics_.GetHistogram(
           "swope_query_rounds", {},
           {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64})),
+      shard_task_ms_(metrics_.GetHistogram("swope_engine_shard_task_ms", {},
+                                           DefaultLatencyBucketsMs())),
+      in_flight_tasks_gauge_(
+          metrics_.GetGauge("swope_engine_in_flight_tasks")),
       ingest_latency_ms_(metrics_.GetHistogram(
           "swope_engine_ingest_latency_ms", {}, DefaultLatencyBucketsMs())),
       intra_pool_(config_.intra_query_threads > 1
                       ? std::make_unique<ThreadPool>(
-                            config_.intra_query_threads, &metrics_, "intra")
+                            config_.intra_query_threads, &metrics_, "intra",
+                            config_.pool_mode)
                       : nullptr),
-      pool_(config_.num_threads, &metrics_, "executor") {
+      pool_(config_.num_threads, &metrics_, "executor", config_.pool_mode) {
   registry_.BindMetrics(&metrics_);
   result_cache_.BindMetrics(&metrics_);
   permutation_cache_.BindMetrics(&metrics_);
 }
 
 Status QueryEngine::RegisterDataset(const std::string& name, Table table) {
-  return registry_.Put(name, std::move(table));
+  if (config_.shard_size > 0) table = table.Resharded(config_.shard_size);
+  const size_t num_shards = table.num_shards();
+  SWOPE_RETURN_NOT_OK(registry_.Put(name, std::move(table)));
+  RecordShardGeometry(name, num_shards);
+  return Status::OK();
 }
 
 Status QueryEngine::RegisterDatasetFile(const std::string& name,
@@ -106,7 +116,7 @@ Status QueryEngine::RegisterDatasetFile(const std::string& name,
     if (!sketched.ok()) return sketched.status();
     *table = *std::move(sketched);
   }
-  return registry_.Put(name, *std::move(table));
+  return RegisterDataset(name, *std::move(table));
 }
 
 Status QueryEngine::RemoveDataset(const std::string& name) {
@@ -122,7 +132,9 @@ Status QueryEngine::Ingest(const std::string& name,
   if (!appended.ok()) return appended.status();
   // Put re-fingerprints the new contents; result-cache entries keyed by
   // the old fingerprint become unreachable for this name automatically.
+  const size_t num_shards = appended->num_shards();
   SWOPE_RETURN_NOT_OK(registry_.Put(name, *std::move(appended)));
+  RecordShardGeometry(name, num_shards);
   ingest_rows_->Increment(rows.size());
   ingest_latency_ms_->Observe(latency.ElapsedMillis());
   return Status::OK();
@@ -202,13 +214,18 @@ Result<QueryResponse> QueryEngine::Execute(const DatasetHandle& dataset,
     control.SetTimeout(std::chrono::milliseconds(timeout_ms));
   }
 
-  SWOPE_RETURN_NOT_OK(AdmitQuery(control));
+  // A query's admission weight is its table's shard count: the number of
+  // tasks one of its rounds can put on the shared pool per candidate.
+  const size_t task_weight =
+      std::max<size_t>(1, dataset->table.num_shards());
+  SWOPE_RETURN_NOT_OK(AdmitQuery(control, task_weight));
   struct SlotRelease {
     QueryEngine* engine;
+    size_t task_weight;
     ~SlotRelease() REQUIRES(!engine->admission_mutex_) {
-      engine->ReleaseSlot();
+      engine->ReleaseSlot(task_weight);
     }
-  } release{this};
+  } release{this, task_weight};
 
   const Table& table = dataset->table;
   QueryOptions options = resolved.options;
@@ -219,8 +236,10 @@ Result<QueryResponse> QueryEngine::Execute(const DatasetHandle& dataset,
     options.trace = trace.get();
   }
   // Dedicated pool: intra-query ParallelFor must not share the executor,
-  // where a blocked caller would help-drain whole-query tasks.
+  // where a blocked caller would help-drain whole-query tasks. Every
+  // concurrent query shards onto this one stealing pool.
   options.pool = intra_pool_.get();
+  options.shard_task_latency = shard_task_ms_;
   if (table.num_rows() > 0) {
     options.shared_order = permutation_cache_.GetOrCreate(
         dataset->fingerprint, static_cast<uint32_t>(table.num_rows()),
@@ -235,36 +254,72 @@ Result<QueryResponse> QueryEngine::Execute(const DatasetHandle& dataset,
   return response;
 }
 
-Status QueryEngine::AdmitQuery(ExecControl& control) {
-  // Admission control: bounded concurrent executions. Waiting honours the
-  // query's own deadline and cancellation (polled, so no token->cv hookup
-  // is needed).
+bool QueryEngine::AdmissibleLocked(size_t task_weight) const {
+  if (in_flight_ >= config_.max_in_flight) return false;
+  // The task budget bounds summed shard counts across executing queries.
+  // A query heavier than the whole budget still admits once it would run
+  // alone, so oversized tables degrade to serial admission instead of
+  // deadlocking.
+  if (config_.max_in_flight_tasks > 0 && in_flight_ > 0 &&
+      in_flight_tasks_ + task_weight > config_.max_in_flight_tasks) {
+    return false;
+  }
+  return true;
+}
+
+Status QueryEngine::AdmitQuery(ExecControl& control, size_t task_weight) {
+  // Admission control: bounded concurrent executions and bounded
+  // in-flight shard tasks. Waiting honours the query's own deadline and
+  // cancellation (polled, so no token->cv hookup is needed).
   MutexLock lock(admission_mutex_);
-  if (in_flight_ >= config_.max_in_flight) {
+  if (!AdmissibleLocked(task_weight)) {
+    if (config_.max_admission_waiters > 0 &&
+        admission_waiters_ >= config_.max_admission_waiters) {
+      // Load shedding: bounded queue. Callers can distinguish shed
+      // queries (Unavailable, retryable) from accepted-but-expired ones.
+      rejected_->Increment();
+      return Status::Unavailable(
+          "query engine: admission queue full, query rejected");
+    }
     admission_waits_->Increment();
+    ++admission_waiters_;
     admission_waiting_->Add(1);
-    while (in_flight_ >= config_.max_in_flight) {
+    while (!AdmissibleLocked(task_weight)) {
       const Status status = control.Check();
       if (!status.ok()) {
+        --admission_waiters_;
         admission_waiting_->Add(-1);
         return status;
       }
       admission_cv_.WaitFor(admission_mutex_, std::chrono::milliseconds(5));
     }
+    --admission_waiters_;
     admission_waiting_->Add(-1);
   }
   ++in_flight_;
+  in_flight_tasks_ += task_weight;
   in_flight_gauge_->Set(static_cast<int64_t>(in_flight_));
+  in_flight_tasks_gauge_->Set(static_cast<int64_t>(in_flight_tasks_));
   return Status::OK();
 }
 
-void QueryEngine::ReleaseSlot() {
+void QueryEngine::ReleaseSlot(size_t task_weight) {
   {
     MutexLock lock(admission_mutex_);
     --in_flight_;
+    in_flight_tasks_ -= task_weight;
     in_flight_gauge_->Set(static_cast<int64_t>(in_flight_));
+    in_flight_tasks_gauge_->Set(static_cast<int64_t>(in_flight_tasks_));
   }
-  admission_cv_.NotifyOne();
+  // NotifyAll: waiters carry different task weights, so the first waiter
+  // woken is not necessarily the one that now fits.
+  admission_cv_.NotifyAll();
+}
+
+void QueryEngine::RecordShardGeometry(const std::string& name,
+                                      size_t num_shards) {
+  metrics_.GetGauge("swope_engine_dataset_shards", {{"dataset", name}})
+      ->Set(static_cast<int64_t>(num_shards));
 }
 
 Result<QueryResponse> QueryEngine::Dispatch(const Table& table,
@@ -311,6 +366,10 @@ EngineCounters QueryEngine::GetCounters() const {
   counters.cancelled = cancelled_->Value();
   counters.deadline_exceeded = deadline_exceeded_->Value();
   counters.admission_waits = admission_waits_->Value();
+  counters.rejected = rejected_->Value();
+  counters.pool_steals =
+      pool_.steals() +
+      (intra_pool_ != nullptr ? intra_pool_->steals() : 0);
   counters.queries_sketch = queries_sketch_->Value();
   counters.queries_exact = queries_exact_->Value();
   counters.ingest_rows = ingest_rows_->Value();

@@ -43,13 +43,31 @@ namespace swope {
 struct EngineConfig {
   /// Executor threads for Submit(); >= 1.
   size_t num_threads = 4;
-  /// Worker threads for the intra-query parallel candidate-update phase
-  /// (QueryOptions::pool); 1 = serial. Answers are byte-identical either
-  /// way (docs/CORE.md), so this is purely a latency knob.
+  /// Worker threads for the intra-query shard-task phase
+  /// (QueryOptions::pool), shared by every concurrently executing query;
+  /// 1 = serial. Answers are byte-identical either way (docs/CORE.md,
+  /// docs/SHARDING.md), so this is purely a latency knob.
   size_t intra_query_threads = 1;
+  /// Scheduling mode for both pools (executor + intra-query). Never
+  /// affects answers; kSingleQueue is the throughput A/B baseline.
+  PoolMode pool_mode = PoolMode::kWorkStealing;
+  /// When > 0, tables are resharded to this many rows per shard at
+  /// registration (docs/SHARDING.md); 0 keeps each table's layout.
+  uint64_t shard_size = 0;
   /// Admission control: queries executing concurrently (not counting
   /// cache hits, which bypass admission). Further Run calls wait; >= 1.
   size_t max_in_flight = 8;
+  /// Admission control over *tasks*: bounds the summed shard counts of
+  /// concurrently executing queries (each query's weight is its table's
+  /// shard count -- the shard tasks it puts on the shared pool per
+  /// round). 0 = unbounded. A query heavier than the whole budget still
+  /// admits when it would run alone, so the bound cannot deadlock.
+  size_t max_in_flight_tasks = 0;
+  /// Load shedding: when > 0, a query that finds this many queries
+  /// already waiting in admission is rejected immediately with
+  /// Unavailable (counted in swope_engine_rejected_total) instead of
+  /// queueing behind them. 0 = wait without bound.
+  size_t max_admission_waiters = 0;
   /// DatasetRegistry byte budget; 0 = unlimited.
   uint64_t memory_budget_bytes = 0;
   /// ResultCache entries; 0 disables result caching.
@@ -92,6 +110,12 @@ struct EngineCounters {
   /// Queries that found every execution slot busy and had to wait in
   /// admission control (counted once per wait, not per poll).
   uint64_t admission_waits = 0;
+  /// Queries shed at admission (queue full; EngineConfig::
+  /// max_admission_waiters) -- distinct from cancellations and deadline
+  /// misses, which count queries the engine accepted.
+  uint64_t rejected = 0;
+  /// Successful steals across both pools' work-stealing deques.
+  uint64_t pool_steals = 0;
   /// Successful queries split by estimation path: sketch when at least
   /// one candidate was scored through a count-min sketch
   /// (QueryStats::sketch_candidates > 0), exact otherwise. Cache hits
@@ -163,13 +187,23 @@ class QueryEngine {
                                 const CancellationToken* cancel)
       REQUIRES(!admission_mutex_);
 
-  /// Blocks until an execution slot is free (or `control` cancels /
-  /// expires) and claims it. Each successful admission must be paired
-  /// with exactly one ReleaseSlot().
-  Status AdmitQuery(ExecControl& control) REQUIRES(!admission_mutex_);
+  /// Blocks until an execution slot and `task_weight` units of the task
+  /// budget are free (or `control` cancels / expires, or the waiting
+  /// queue is full) and claims them. Each successful admission must be
+  /// paired with exactly one ReleaseSlot(task_weight).
+  Status AdmitQuery(ExecControl& control, size_t task_weight)
+      REQUIRES(!admission_mutex_);
 
-  /// Returns an execution slot claimed by AdmitQuery.
-  void ReleaseSlot() REQUIRES(!admission_mutex_);
+  /// Returns an execution slot and task budget claimed by AdmitQuery.
+  void ReleaseSlot(size_t task_weight) REQUIRES(!admission_mutex_);
+
+  /// True when a query of `task_weight` may start now.
+  bool AdmissibleLocked(size_t task_weight) const
+      REQUIRES(admission_mutex_);
+
+  /// Mirrors a registered dataset's shard count into the
+  /// swope_engine_dataset_shards{dataset=...} gauge.
+  void RecordShardGeometry(const std::string& name, size_t num_shards);
 
   /// Dispatches to the right driver; returns items via `response`.
   Result<QueryResponse> Dispatch(const Table& table,
@@ -189,6 +223,10 @@ class QueryEngine {
   Mutex admission_mutex_;
   CondVar admission_cv_;
   size_t in_flight_ GUARDED_BY(admission_mutex_) = 0;
+  /// Summed task weights (table shard counts) of executing queries.
+  size_t in_flight_tasks_ GUARDED_BY(admission_mutex_) = 0;
+  /// Queries currently blocked in AdmitQuery.
+  size_t admission_waiters_ GUARDED_BY(admission_mutex_) = 0;
 
   /// Engine metric handles (all resolved once in the constructor).
   Counter* const queries_started_;
@@ -198,6 +236,7 @@ class QueryEngine {
   Counter* const deadline_exceeded_;
   Counter* const rows_sampled_;
   Counter* const admission_waits_;
+  Counter* const rejected_;
   Counter* const queries_sketch_;
   Counter* const queries_exact_;
   Counter* const ingest_rows_;
@@ -209,6 +248,11 @@ class QueryEngine {
   Histogram* const query_latency_ms_[6];
   /// Sampling rounds per executed query (from QueryStats::iterations).
   Histogram* const query_rounds_;
+  /// Per-shard task wall time inside the driver's round loop (wired to
+  /// QueryOptions::shard_task_latency for every executed query).
+  Histogram* const shard_task_ms_;
+  /// In-flight task weight (summed shard counts of executing queries).
+  Gauge* const in_flight_tasks_gauge_;
   /// Wall time of Ingest calls (parse + append + re-fingerprint).
   Histogram* const ingest_latency_ms_;
 

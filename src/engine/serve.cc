@@ -173,8 +173,15 @@ Result<QuerySpec> SpecFromArgs(
 }
 
 std::string CountersToJson(const EngineCounters& counters,
-                           const DatasetRegistry::Stats& registry) {
+                           const DatasetRegistry::Stats& registry,
+                           const EngineConfig& config) {
   std::string json = "{\"ok\":true,\"op\":\"stats\"";
+  // Execution geometry first: which scheduler and how much intra-query
+  // parallelism this engine runs with (docs/SHARDING.md).
+  json += ",\"pool_mode\":\"";
+  json += PoolModeName(config.pool_mode);
+  json += "\",\"intra_query_threads\":" +
+          std::to_string(config.intra_query_threads);
   auto add = [&json](const char* name, uint64_t value) {
     json += ",\"";
     json += name;
@@ -192,6 +199,8 @@ std::string CountersToJson(const EngineCounters& counters,
   add("deadline_exceeded", counters.deadline_exceeded);
   add("registry_evictions", counters.registry_evictions);
   add("admission_waits", counters.admission_waits);
+  add("rejected", counters.rejected);
+  add("pool_steals", counters.pool_steals);
   add("queries_sketch", counters.queries_sketch);
   add("queries_exact", counters.queries_exact);
   add("ingest_rows", counters.ingest_rows);
@@ -310,7 +319,7 @@ std::string HandleRequestLine(QueryEngine& engine, const std::string& line,
   }
   if (request->op == "stats") {
     return CountersToJson(engine.GetCounters(),
-                          engine.registry().GetStats());
+                          engine.registry().GetStats(), engine.config());
   }
   if (request->op == "metrics") {
     // Both exposition forms in one response: the Prometheus text is a
@@ -371,6 +380,9 @@ std::string HandleRequestLine(QueryEngine& engine, const std::string& line,
     json += ",\"rows\":" + std::to_string((*dataset)->table.num_rows());
     json +=
         ",\"columns\":" + std::to_string((*dataset)->table.num_columns());
+    json += ",\"shards\":" + std::to_string((*dataset)->table.num_shards());
+    json +=
+        ",\"shard_size\":" + std::to_string((*dataset)->table.shard_size());
     json +=
         ",\"fingerprint\":" + std::to_string((*dataset)->fingerprint) + "}";
     return json;

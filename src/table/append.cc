@@ -102,10 +102,11 @@ Result<Table> AppendRowsToTable(
       }
     }
 
-    // Width-stable appends copy the packed words and pack only the tail;
-    // a support that crossed a power-of-two boundary repacks the column.
-    PackedCodes packed =
-        col.packed().Append(tail, PackedCodes::WidthForSupport(support));
+    // Width-stable appends copy full shards verbatim and pack only the
+    // ragged last shard plus the tail; a support that crossed a
+    // power-of-two boundary repacks the column.
+    ShardedCodes sharded =
+        col.sharded().Append(tail, PackedCodes::WidthForSupport(support));
 
     std::shared_ptr<const CountMinSketch> sketch;
     if (col.has_sketch()) {
@@ -117,8 +118,8 @@ Result<Table> AppendRowsToTable(
 
     SWOPE_ASSIGN_OR_RETURN(
         Column column,
-        Column::FromPackedTrusted(col.name(), support, std::move(packed),
-                                  std::move(labels), std::move(sketch)));
+        Column::FromShardedTrusted(col.name(), support, std::move(sharded),
+                                   std::move(labels), std::move(sketch)));
     columns.push_back(std::move(column));
   }
   return Table::Make(std::move(columns));

@@ -252,7 +252,9 @@ Status WriteBinaryTable(const Table& table, std::ostream& output) {
         WriteString(output, label);
       }
     }
-    const PackedCodes& packed = col.packed();
+    // Shards are in-memory only: the wire payload is the contiguous
+    // concatenation, byte-identical to pre-sharding files.
+    const PackedCodes packed = col.sharded().Flatten();
     WritePod<uint8_t>(output, static_cast<uint8_t>(packed.width()));
     output.write(reinterpret_cast<const char*>(packed.data_words()),
                  static_cast<std::streamsize>(packed.num_data_words() *

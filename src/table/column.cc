@@ -24,18 +24,18 @@ Result<Column> Column::Make(std::string name, uint32_t support,
                                      std::to_string(support));
     }
   }
-  PackedCodes packed =
-      PackedCodes::Pack(codes, PackedCodes::WidthForSupport(support));
-  return Column(std::move(name), support, std::move(packed),
+  ShardedCodes sharded = ShardedCodes::Pack(
+      codes, PackedCodes::WidthForSupport(support), DefaultShardSize());
+  return Column(std::move(name), support, std::move(sharded),
                 std::move(labels));
 }
 
 Column Column::FromCodes(std::string name, std::vector<ValueCode> codes) {
   uint32_t support = 0;
   for (ValueCode c : codes) support = std::max(support, c + 1);
-  PackedCodes packed =
-      PackedCodes::Pack(codes, PackedCodes::WidthForSupport(support));
-  return Column(std::move(name), support, std::move(packed), {});
+  ShardedCodes sharded = ShardedCodes::Pack(
+      codes, PackedCodes::WidthForSupport(support), DefaultShardSize());
+  return Column(std::move(name), support, std::move(sharded), {});
 }
 
 Result<Column> Column::FromPacked(std::string name, uint32_t support,
@@ -72,15 +72,16 @@ Result<Column> Column::FromPacked(std::string name, uint32_t support,
       }
     }
   }
-  return Column(std::move(name), support, std::move(packed),
+  return Column(std::move(name), support,
+                ShardedCodes::FromPacked(packed, DefaultShardSize()),
                 std::move(labels));
 }
 
-Result<Column> Column::FromPackedTrusted(
-    std::string name, uint32_t support, PackedCodes packed,
+Result<Column> Column::FromShardedTrusted(
+    std::string name, uint32_t support, ShardedCodes codes,
     std::vector<std::string> labels,
     std::shared_ptr<const CountMinSketch> sketch) {
-  if (!packed.empty() && support == 0) {
+  if (!codes.empty() && support == 0) {
     return Status::InvalidArgument("column '" + name +
                                    "': support is 0 but codes are present");
   }
@@ -90,19 +91,19 @@ Result<Column> Column::FromPackedTrusted(
         std::to_string(labels.size()) + " != support " +
         std::to_string(support));
   }
-  if (packed.width() != PackedCodes::WidthForSupport(support)) {
+  if (codes.width() != PackedCodes::WidthForSupport(support)) {
     return Status::InvalidArgument(
-        "column '" + name + "': width " + std::to_string(packed.width()) +
+        "column '" + name + "': width " + std::to_string(codes.width()) +
         " is not canonical for support " + std::to_string(support));
   }
-  Column column(std::move(name), support, std::move(packed),
+  Column column(std::move(name), support, std::move(codes),
                 std::move(labels));
   column.sketch_ = std::move(sketch);
   return column;
 }
 
 uint64_t Column::MemoryBytes() const {
-  uint64_t bytes = packed_.MemoryBytes() + name_.size();
+  uint64_t bytes = codes_.MemoryBytes() + name_.size();
   for (const std::string& label : labels_) {
     bytes += label.size() + sizeof(std::string);
   }
@@ -116,12 +117,12 @@ std::string Column::LabelOf(ValueCode code) const {
 
 std::vector<uint64_t> Column::ValueCounts() const {
   std::vector<uint64_t> counts(support_, 0);
-  std::vector<ValueCode> scratch(std::min<uint64_t>(packed_.size(), 4096));
-  for (uint64_t begin = 0; begin < packed_.size();
+  std::vector<ValueCode> scratch(std::min<uint64_t>(codes_.size(), 4096));
+  for (uint64_t begin = 0; begin < codes_.size();
        begin += scratch.size()) {
     const uint64_t end =
-        std::min<uint64_t>(packed_.size(), begin + scratch.size());
-    packed_.Decode(begin, end, scratch.data());
+        std::min<uint64_t>(codes_.size(), begin + scratch.size());
+    codes_.Decode(begin, end, scratch.data());
     for (uint64_t i = 0; i < end - begin; ++i) ++counts[scratch[i]];
   }
   return counts;

@@ -5,8 +5,11 @@
 // [0, u) bit-packed at ceil(log2(u)) bits per value (src/table/
 // packed_codes.h), plus an optional dictionary of original string labels
 // -- the preprocessing made concrete, at the memory footprint the
-// paper's columnar-storage argument assumes. Hot paths batch-decode
-// through ColumnView (src/table/column_view.h); see docs/STORAGE.md.
+// paper's columnar-storage argument assumes. Storage is sharded into
+// fixed-size row ranges (src/table/sharded_codes.h; docs/SHARDING.md)
+// so paper-scale columns decompose into independently decodable units.
+// Hot paths batch-decode through ColumnView (src/table/column_view.h);
+// see docs/STORAGE.md.
 
 #ifndef SWOPE_TABLE_COLUMN_H_
 #define SWOPE_TABLE_COLUMN_H_
@@ -21,6 +24,7 @@
 #include "src/common/status.h"
 #include "src/sketch/count_min.h"
 #include "src/table/packed_codes.h"
+#include "src/table/sharded_codes.h"
 
 namespace swope {
 
@@ -39,9 +43,11 @@ class Column {
   /// computes support as max(code)+1 (0 for an empty column).
   static Column FromCodes(std::string name, std::vector<ValueCode> codes);
 
-  /// Factory over an already-packed payload (binary format v2). Requires
-  /// the canonical width for `support` and validates every decoded code
-  /// against it.
+  /// Factory over an already-packed contiguous payload (binary format
+  /// v2). Requires the canonical width for `support`, validates every
+  /// decoded code against it, and splits the payload into shards of the
+  /// process default size (the wire format stays contiguous; sharding is
+  /// in-memory only).
   static Result<Column> FromPacked(std::string name, uint32_t support,
                                    PackedCodes packed,
                                    std::vector<std::string> labels = {});
@@ -52,8 +58,8 @@ class Column {
   /// when first constructed, and the caller encoded the tail itself.
   /// Also attaches an optional sketch sidecar without the extra copy
   /// WithSketch would make.
-  static Result<Column> FromPackedTrusted(
-      std::string name, uint32_t support, PackedCodes packed,
+  static Result<Column> FromShardedTrusted(
+      std::string name, uint32_t support, ShardedCodes codes,
       std::vector<std::string> labels,
       std::shared_ptr<const CountMinSketch> sketch);
 
@@ -65,19 +71,27 @@ class Column {
   /// has every slot occupied at least once.
   uint32_t support() const { return support_; }
   /// Number of rows.
-  uint64_t size() const { return packed_.size(); }
-  bool empty() const { return packed_.empty(); }
+  uint64_t size() const { return codes_.size(); }
+  bool empty() const { return codes_.empty(); }
 
   /// Per-row decode. Cold-path accessor (writers, tests, permutation):
   /// query kernels batch-decode through ColumnView instead.
-  ValueCode code(uint64_t row) const { return packed_.Get(row); }
+  ValueCode code(uint64_t row) const { return codes_.Get(row); }
 
   /// Decodes the whole column into a fresh vector. Cold paths and tests
   /// only; tools/lint.py bans it outside src/table/ and tests.
-  std::vector<ValueCode> codes() const { return packed_.ToVector(); }
+  std::vector<ValueCode> codes() const { return codes_.ToVector(); }
 
-  /// The bit-packed payload (ColumnView and binary_io use this).
-  const PackedCodes& packed() const { return packed_; }
+  /// The sharded bit-packed payload (ColumnView and binary_io use this).
+  const ShardedCodes& sharded() const { return codes_; }
+
+  /// A copy of this column with the same values split at `shard_size`
+  /// rows per shard (registry/CLI geometry overrides).
+  Column Resharded(uint64_t shard_size) const {
+    Column copy = *this;
+    copy.codes_ = codes_.Resharded(shard_size);
+    return copy;
+  }
 
   /// Exact resident bytes: packed payload plus the label dictionary
   /// (per-string object plus character payload) plus the name. The
@@ -119,16 +133,16 @@ class Column {
   }
 
  private:
-  Column(std::string name, uint32_t support, PackedCodes packed,
+  Column(std::string name, uint32_t support, ShardedCodes codes,
          std::vector<std::string> labels)
       : name_(std::move(name)),
         support_(support),
-        packed_(std::move(packed)),
+        codes_(std::move(codes)),
         labels_(std::move(labels)) {}
 
   std::string name_;
   uint32_t support_ = 0;
-  PackedCodes packed_;
+  ShardedCodes codes_;
   std::vector<std::string> labels_;
   std::shared_ptr<const CountMinSketch> sketch_;
 };

@@ -11,9 +11,13 @@
 // This splits decode from counting: the width-specialized decode kernel
 // (src/table/packed_codes.h) and the count loop each stay branch-free,
 // and the scratch buffer is reusable across rounds so steady-state
-// queries allocate nothing. tools/lint.py bans raw `.codes()` / per-row
-// `.code(row)` access outside src/table/ and tests to keep this the only
-// hot-path route. The full contract lives in docs/STORAGE.md.
+// queries allocate nothing. Storage is sharded (src/table/
+// sharded_codes.h): shard-parallel kernels address one shard at a time
+// through GatherShard with shard-local rows, while Gather/Decode span
+// the whole column for order-preserving paths. tools/lint.py bans raw
+// `.codes()` / per-row `.code(row)` access outside src/table/ and tests
+// to keep this the only hot-path route. The full contract lives in
+// docs/STORAGE.md and docs/SHARDING.md.
 
 #ifndef SWOPE_TABLE_COLUMN_VIEW_H_
 #define SWOPE_TABLE_COLUMN_VIEW_H_
@@ -30,22 +34,37 @@ class ColumnView {
  public:
   ColumnView() = default;
   explicit ColumnView(const Column& column)
-      : packed_(&column.packed()), support_(column.support()) {}
+      : codes_(&column.sharded()), support_(column.support()) {}
 
-  uint64_t size() const { return packed_->size(); }
+  uint64_t size() const { return codes_->size(); }
   uint32_t support() const { return support_; }
-  uint32_t width() const { return packed_->width(); }
+  uint32_t width() const { return codes_->width(); }
+  size_t num_shards() const { return codes_->num_shards(); }
+  uint64_t shard_size() const { return codes_->shard_size(); }
 
-  /// Decodes the values at rows order[begin..end) (a permutation slice)
-  /// into `scratch`, growing it as needed, and returns the decoded span's
-  /// base pointer. The span is valid until the next call with the same
-  /// scratch buffer.
+  /// Decodes the values at global rows order[begin..end) (a permutation
+  /// slice) into `scratch`, growing it as needed, and returns the decoded
+  /// span's base pointer. The span is valid until the next call with the
+  /// same scratch buffer. Preserves the slice order across shards (the
+  /// sketch path's conservative-update counting depends on it).
   const ValueCode* Gather(const std::vector<uint32_t>& order,
                           uint64_t begin, uint64_t end,
                           std::vector<ValueCode>& scratch) const {
     const uint64_t count = end - begin;
     if (scratch.size() < count) scratch.resize(count);
-    packed_->Gather(order.data() + begin, count, scratch.data());
+    codes_->Gather(order.data() + begin, count, scratch.data());
+    return scratch.data();
+  }
+
+  /// Decodes the values at the `count` shard-local rows of shard `shard`
+  /// into `scratch` and returns the decoded span's base pointer. The
+  /// shard-parallel hot path: one width-specialized batch kernel per
+  /// shard, no cross-shard addressing in the inner loop.
+  const ValueCode* GatherShard(size_t shard, const uint32_t* local_rows,
+                               uint64_t count,
+                               std::vector<ValueCode>& scratch) const {
+    if (scratch.size() < count) scratch.resize(count);
+    codes_->shard(shard).Gather(local_rows, count, scratch.data());
     return scratch.data();
   }
 
@@ -56,12 +75,12 @@ class ColumnView {
                           std::vector<ValueCode>& scratch) const {
     const uint64_t count = end - begin;
     if (scratch.size() < count) scratch.resize(count);
-    packed_->Decode(begin, end, scratch.data());
+    codes_->Decode(begin, end, scratch.data());
     return scratch.data();
   }
 
  private:
-  const PackedCodes* packed_ = nullptr;
+  const ShardedCodes* codes_ = nullptr;
   uint32_t support_ = 0;
 };
 

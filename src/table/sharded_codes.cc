@@ -1,0 +1,142 @@
+#include "src/table/sharded_codes.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+namespace swope {
+
+namespace {
+
+constexpr uint64_t kFactoryDefaultShardSize = 1ULL << 20;
+
+std::atomic<uint64_t>& DefaultShardSizeSlot() {
+  static std::atomic<uint64_t> slot{kFactoryDefaultShardSize};
+  return slot;
+}
+
+}  // namespace
+
+uint64_t DefaultShardSize() {
+  return DefaultShardSizeSlot().load(std::memory_order_relaxed);
+}
+
+void SetDefaultShardSize(uint64_t shard_size) {
+  DefaultShardSizeSlot().store(std::max<uint64_t>(shard_size, 1),
+                               std::memory_order_relaxed);
+}
+
+ShardedCodes ShardedCodes::Pack(const std::vector<ValueCode>& codes,
+                                uint32_t width, uint64_t shard_size) {
+  shard_size = std::max<uint64_t>(shard_size, 1);
+  const uint64_t n = codes.size();
+  std::vector<PackedCodes> shards;
+  shards.reserve(static_cast<size_t>((n + shard_size - 1) / shard_size));
+  std::vector<ValueCode> chunk;
+  for (uint64_t begin = 0; begin < n; begin += shard_size) {
+    const uint64_t end = std::min(n, begin + shard_size);
+    chunk.assign(codes.begin() + static_cast<ptrdiff_t>(begin),
+                 codes.begin() + static_cast<ptrdiff_t>(end));
+    shards.push_back(PackedCodes::Pack(chunk, width));
+  }
+  return ShardedCodes(n, width, shard_size, std::move(shards));
+}
+
+ShardedCodes ShardedCodes::FromPacked(const PackedCodes& whole,
+                                      uint64_t shard_size) {
+  shard_size = std::max<uint64_t>(shard_size, 1);
+  const uint64_t n = whole.size();
+  std::vector<PackedCodes> shards;
+  shards.reserve(static_cast<size_t>((n + shard_size - 1) / shard_size));
+  std::vector<ValueCode> chunk;
+  for (uint64_t begin = 0; begin < n; begin += shard_size) {
+    const uint64_t end = std::min(n, begin + shard_size);
+    chunk.resize(end - begin);
+    whole.Decode(begin, end, chunk.data());
+    shards.push_back(PackedCodes::Pack(chunk, whole.width()));
+  }
+  return ShardedCodes(n, whole.width(), shard_size, std::move(shards));
+}
+
+void ShardedCodes::Decode(uint64_t begin, uint64_t end,
+                          ValueCode* out) const {
+  while (begin < end) {
+    const size_t s = ShardOf(begin);
+    const uint64_t shard_begin = ShardBegin(s);
+    const uint64_t local_begin = begin - shard_begin;
+    const uint64_t local_end =
+        std::min(end - shard_begin, shards_[s].size());
+    shards_[s].Decode(local_begin, local_end, out);
+    out += local_end - local_begin;
+    begin = shard_begin + local_end;
+  }
+}
+
+void ShardedCodes::Gather(const uint32_t* order, uint64_t count,
+                          ValueCode* out) const {
+  if (shards_.size() == 1) {
+    shards_[0].Gather(order, count, out);
+    return;
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    out[i] = Get(order[i]);
+  }
+}
+
+std::vector<ValueCode> ShardedCodes::ToVector() const {
+  std::vector<ValueCode> codes(size_);
+  if (size_ > 0) Decode(0, size_, codes.data());
+  return codes;
+}
+
+PackedCodes ShardedCodes::Flatten() const {
+  if (shards_.size() == 1) return shards_[0];
+  return PackedCodes::Pack(ToVector(), width_);
+}
+
+ShardedCodes ShardedCodes::Append(const std::vector<ValueCode>& tail,
+                                  uint32_t width) const {
+  if (width != width_) {
+    // Support crossed a power-of-two boundary: repack everything.
+    std::vector<ValueCode> codes = ToVector();
+    codes.insert(codes.end(), tail.begin(), tail.end());
+    return Pack(codes, width, shard_size_);
+  }
+  std::vector<PackedCodes> shards = shards_;
+  uint64_t consumed = 0;
+  // Extend the ragged last shard to a full shard first.
+  if (!shards.empty() && shards.back().size() < shard_size_) {
+    const uint64_t room = shard_size_ - shards.back().size();
+    const uint64_t take = std::min<uint64_t>(room, tail.size());
+    std::vector<ValueCode> chunk(tail.begin(),
+                                 tail.begin() + static_cast<ptrdiff_t>(take));
+    shards.back() = shards.back().Append(chunk, width);
+    consumed = take;
+  }
+  // Pack the remainder as fresh shards.
+  while (consumed < tail.size()) {
+    const uint64_t take =
+        std::min<uint64_t>(shard_size_, tail.size() - consumed);
+    std::vector<ValueCode> chunk(
+        tail.begin() + static_cast<ptrdiff_t>(consumed),
+        tail.begin() + static_cast<ptrdiff_t>(consumed + take));
+    shards.push_back(PackedCodes::Pack(chunk, width));
+    consumed += take;
+  }
+  return ShardedCodes(size_ + tail.size(), width, shard_size_,
+                      std::move(shards));
+}
+
+ShardedCodes ShardedCodes::Resharded(uint64_t shard_size) const {
+  shard_size = std::max<uint64_t>(shard_size, 1);
+  if (shard_size == shard_size_) return *this;
+  return Pack(ToVector(), width_, shard_size);
+}
+
+uint64_t ShardedCodes::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const PackedCodes& shard : shards_) bytes += shard.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace swope

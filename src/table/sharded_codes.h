@@ -1,0 +1,125 @@
+// ShardedCodes: a bit-packed column split into fixed-size row shards.
+//
+// Paper-scale columns (pus/enem at up to 33.7M rows) cannot be built,
+// counted, or appended to as one contiguous blob, and shard-parallel
+// counting needs independently decodable row ranges. A ShardedCodes
+// holds one PackedCodes per shard of `shard_size` rows (the last shard
+// ragged), all at the column's canonical width. Sharding is purely an
+// in-memory decomposition: the wire format stays the single contiguous
+// payload (Flatten concatenates on save, FromPacked splits on load), so
+// SWPB files written before and after sharding are byte-identical.
+//
+// Row addressing is split-radix: global row r lives in shard
+// r / shard_size at local index r % shard_size. Hot paths address one
+// shard at a time (ColumnView::GatherShard) so the width-specialized
+// batch kernels run unchanged per shard; the global accessors below are
+// for cold paths and for slices that must preserve permutation order
+// across shards (the sketch path). docs/SHARDING.md has the full story.
+
+#ifndef SWOPE_TABLE_SHARDED_CODES_H_
+#define SWOPE_TABLE_SHARDED_CODES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/table/packed_codes.h"
+
+namespace swope {
+
+/// Process-wide default shard size (rows per shard) used by every
+/// Column/Table factory that is not given an explicit geometry. One
+/// million rows keeps small tables single-shard (no behavior change for
+/// existing datasets) while bounding any one allocation or shard task.
+uint64_t DefaultShardSize();
+
+/// Overrides the default shard size (engine/CLI startup and tests);
+/// values below 1 are clamped to 1. Affects subsequently constructed
+/// columns only.
+void SetDefaultShardSize(uint64_t shard_size);
+
+/// Immutable sharded bit-packed sequence of codes.
+class ShardedCodes {
+ public:
+  ShardedCodes() = default;
+
+  /// Packs `codes` (all < 2^width) into shards of `shard_size` rows.
+  static ShardedCodes Pack(const std::vector<ValueCode>& codes,
+                           uint32_t width, uint64_t shard_size);
+
+  /// Splits an already-packed contiguous payload (the wire layout) into
+  /// shards of `shard_size` rows. O(n) decode + repack on load.
+  static ShardedCodes FromPacked(const PackedCodes& whole,
+                                 uint64_t shard_size);
+
+  uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint32_t width() const { return width_; }
+
+  /// Rows per full shard (>= 1 even when empty; the last shard may hold
+  /// fewer rows).
+  uint64_t shard_size() const { return shard_size_; }
+  size_t num_shards() const { return shards_.size(); }
+  const PackedCodes& shard(size_t s) const { return shards_[s]; }
+  /// Global row index of shard `s`'s first row.
+  uint64_t ShardBegin(size_t s) const { return s * shard_size_; }
+  size_t ShardOf(uint64_t row) const {
+    return static_cast<size_t>(row / shard_size_);
+  }
+  uint32_t LocalRow(uint64_t row) const {
+    return static_cast<uint32_t>(row % shard_size_);
+  }
+
+  /// Single-value decode (cold path).
+  ValueCode Get(uint64_t row) const {
+    return shards_[ShardOf(row)].Get(LocalRow(row));
+  }
+
+  /// Decodes the contiguous global range [begin, end) into `out`,
+  /// batch-decoding each intersected shard.
+  void Decode(uint64_t begin, uint64_t end, ValueCode* out) const;
+
+  /// Decodes the `count` values at global rows order[0..count) into
+  /// `out`, preserving the order (the sketch path depends on it).
+  /// Single-shard columns use the batch gather kernel; multi-shard
+  /// columns route each row to its shard.
+  void Gather(const uint32_t* order, uint64_t count, ValueCode* out) const;
+
+  /// Decodes everything into a fresh vector (tests / cold paths).
+  std::vector<ValueCode> ToVector() const;
+
+  /// Concatenates all shards into the contiguous wire layout
+  /// (binary_io's save path).
+  PackedCodes Flatten() const;
+
+  /// Returns a new sequence with `tail` appended at `width` bits (>= the
+  /// current width), keeping this sequence's shard size. Width-stable
+  /// appends copy full shards verbatim, extend only the ragged last
+  /// shard, and pack fresh shards for the remainder; a width change
+  /// repacks every shard.
+  ShardedCodes Append(const std::vector<ValueCode>& tail,
+                      uint32_t width) const;
+
+  /// The same values under a different shard size.
+  ShardedCodes Resharded(uint64_t shard_size) const;
+
+  /// Exact resident payload bytes across shards (including each shard's
+  /// padding word).
+  uint64_t MemoryBytes() const;
+
+ private:
+  ShardedCodes(uint64_t size, uint32_t width, uint64_t shard_size,
+               std::vector<PackedCodes> shards)
+      : size_(size),
+        width_(width),
+        shard_size_(shard_size),
+        shards_(std::move(shards)) {}
+
+  uint64_t size_ = 0;
+  uint32_t width_ = 0;
+  uint64_t shard_size_ = 1;
+  std::vector<PackedCodes> shards_;
+};
+
+}  // namespace swope
+
+#endif  // SWOPE_TABLE_SHARDED_CODES_H_

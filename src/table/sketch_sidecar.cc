@@ -30,12 +30,12 @@ Result<CountMinSketch> BuildColumnSketch(const Column& column,
   SWOPE_ASSIGN_OR_RETURN(
       CountMinSketch sketch,
       CountMinSketch::Make(epsilon, delta, ColumnSeed(seed, column.name())));
-  const PackedCodes& packed = column.packed();
-  std::vector<ValueCode> scratch(std::min<uint64_t>(packed.size(), 4096));
-  for (uint64_t begin = 0; begin < packed.size(); begin += scratch.size()) {
+  const ShardedCodes& codes = column.sharded();
+  std::vector<ValueCode> scratch(std::min<uint64_t>(codes.size(), 4096));
+  for (uint64_t begin = 0; begin < codes.size(); begin += scratch.size()) {
     const uint64_t end =
-        std::min<uint64_t>(packed.size(), begin + scratch.size());
-    packed.Decode(begin, end, scratch.data());
+        std::min<uint64_t>(codes.size(), begin + scratch.size());
+    codes.Decode(begin, end, scratch.data());
     sketch.AddCodes(scratch.data(), end - begin);
   }
   return sketch;

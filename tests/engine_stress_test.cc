@@ -277,6 +277,63 @@ TEST(EngineStressTest, AdmissionWaitsAreCounted) {
   }
 }
 
+// Load shedding: with one execution slot and a bounded admission queue,
+// a burst of slow distinct queries must shed its overflow as
+// Unavailable, mirrored exactly in swope_engine_rejected_total.
+TEST(EngineStressTest, AdmissionOverflowIsRejectedAndCounted) {
+  // Same near-tied table as above: every query scans to M = N, so the
+  // burst reliably overlaps the single execution slot.
+  const Table table = MakeEntropyTable(
+      {3.0, 3.0, 3.0, 3.0, 3.0, 3.0, 3.0, 3.0}, 20000, 6);
+  constexpr int kBurst = 8;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    EngineConfig config;
+    config.num_threads = 8;
+    config.max_in_flight = 1;
+    config.max_admission_waiters = 1;  // slot + 1 waiter; the rest shed
+    config.result_cache_capacity = 0;  // force every query to execute
+    QueryEngine engine(config);
+    ASSERT_TRUE(engine.RegisterDataset("ent", table).ok());
+
+    std::vector<std::future<Result<QueryResponse>>> futures;
+    for (uint64_t seed = 0; seed < kBurst; ++seed) {
+      futures.push_back(
+          engine.Submit(MakeSpec("ent", QueryKind::kEntropyTopK, seed)));
+    }
+    uint64_t ok = 0;
+    uint64_t unavailable = 0;
+    for (auto& future : futures) {
+      auto response = future.get();
+      if (response.ok()) {
+        ++ok;
+      } else {
+        // Shedding is the only legal failure here, and it must be the
+        // retryable kind.
+        ASSERT_TRUE(response.status().IsUnavailable())
+            << response.status().ToString();
+        ++unavailable;
+      }
+    }
+    const EngineCounters counters = engine.GetCounters();
+    ASSERT_GT(ok, 0u);
+    ASSERT_EQ(counters.rejected, unavailable);
+    if (unavailable == 0 && attempt < 4) continue;  // burst didn't overlap
+    EXPECT_GT(counters.rejected, 0u);
+
+    // The Prometheus mirror reports the same tally, and the admission
+    // queue is empty once the dust settles.
+    const std::string text = engine.metrics().RenderPrometheusText();
+    EXPECT_NE(text.find("swope_engine_rejected_total " +
+                        std::to_string(unavailable)),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("swope_engine_admission_waiting 0"),
+              std::string::npos)
+        << text;
+    break;
+  }
+}
+
 // Cancellation from another thread lands as Status::Cancelled without
 // disturbing concurrent queries.
 TEST(EngineStressTest, CancellationRacesAreClean) {

@@ -192,6 +192,56 @@ TEST_F(ParallelDeterminismTest, MiTopKTraceIsDeterministic) {
             FormatTraceTable(parallel_trace, /*include_wall_time=*/false));
 }
 
+// Shard-count invariance: resharding a table changes only how the round
+// slice is partitioned into (candidate x shard) tasks; answers must stay
+// byte-identical to the unsharded serial baseline at every shard count
+// and thread count, in both pool modes (docs/SHARDING.md).
+TEST_F(ParallelDeterminismTest, ShardCountInvariance) {
+  // 4000 rows: shard sizes 4000 / 1000 / 572 give 1 / 4 / 7 shards (the
+  // last ragged at 568 rows).
+  const uint64_t kShardSizes[] = {4000, 1000, 572};
+  const size_t kExpectedShards[] = {1, 4, 7};
+
+  auto entropy_baseline = SwopeTopKEntropy(entropy_table_, 3, Serial());
+  auto mi_baseline = SwopeTopKMi(mi_table_, 0, 3, Serial());
+  auto nmi_baseline = SwopeFilterNmi(mi_table_, 0, 0.2, Serial());
+  ASSERT_TRUE(entropy_baseline.ok());
+  ASSERT_TRUE(mi_baseline.ok());
+  ASSERT_TRUE(nmi_baseline.ok());
+
+  ThreadPool single_queue(4, PoolMode::kSingleQueue);
+  ThreadPool* pools[] = {nullptr, &pool_, &single_queue};
+
+  for (size_t i = 0; i < 3; ++i) {
+    const Table entropy_sharded = entropy_table_.Resharded(kShardSizes[i]);
+    const Table mi_sharded = mi_table_.Resharded(kShardSizes[i]);
+    ASSERT_EQ(entropy_sharded.num_shards(), kExpectedShards[i]);
+    for (ThreadPool* pool : pools) {
+      SCOPED_TRACE(testing::Message()
+                   << "shards=" << kExpectedShards[i] << " pool="
+                   << (pool == nullptr ? "serial"
+                                       : PoolModeName(pool->mode())));
+      QueryOptions options = Serial();
+      options.pool = pool;
+
+      auto entropy = SwopeTopKEntropy(entropy_sharded, 3, options);
+      ASSERT_TRUE(entropy.ok());
+      ExpectIdentical(entropy_baseline->items, entropy->items);
+      ExpectIdentical(entropy_baseline->stats, entropy->stats);
+
+      auto mi = SwopeTopKMi(mi_sharded, 0, 3, options);
+      ASSERT_TRUE(mi.ok());
+      ExpectIdentical(mi_baseline->items, mi->items);
+      ExpectIdentical(mi_baseline->stats, mi->stats);
+
+      auto nmi = SwopeFilterNmi(mi_sharded, 0, 0.2, options);
+      ASSERT_TRUE(nmi.ok());
+      ExpectIdentical(nmi_baseline->items, nmi->items);
+      ExpectIdentical(nmi_baseline->stats, nmi->stats);
+    }
+  }
+}
+
 // Repeated parallel runs are stable against scheduling noise: several
 // executions with the pool enabled agree with each other exactly.
 TEST_F(ParallelDeterminismTest, RepeatedParallelRunsAgree) {

@@ -114,6 +114,13 @@ TEST(ServeTest, StatsReflectTraffic) {
   EXPECT_EQ(stats.rfind("{\"ok\":true,\"op\":\"stats\"", 0), 0u) << stats;
   EXPECT_NE(stats.find("\"queries_ok\":1"), std::string::npos);
   EXPECT_NE(stats.find("\"resident_datasets\":1"), std::string::npos);
+  // Execution geometry (docs/SHARDING.md): scheduler mode, intra-query
+  // width, and the sharding/admission counters are part of the stats
+  // surface.
+  EXPECT_NE(stats.find("\"pool_mode\":\"stealing\""), std::string::npos);
+  EXPECT_NE(stats.find("\"intra_query_threads\":"), std::string::npos);
+  EXPECT_NE(stats.find("\"rejected\":0"), std::string::npos);
+  EXPECT_NE(stats.find("\"pool_steals\":"), std::string::npos);
 }
 
 TEST(ServeTest, TracedQueryCarriesPerRoundRows) {

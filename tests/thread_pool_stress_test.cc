@@ -131,6 +131,34 @@ TEST(ThreadPoolStressTest, ParallelForUnderConcurrentSubmitLoad) {
   EXPECT_GE(background.load(), 0);
 }
 
+// Both scheduling modes survive the same mixed load: racing external
+// submitters plus nested ParallelFor from pool tasks. This is the
+// stress shape of concurrent engine queries fanning shard tasks.
+TEST(ThreadPoolStressTest, BothModesSurviveMixedNestedLoad) {
+  for (PoolMode mode : {PoolMode::kWorkStealing, PoolMode::kSingleQueue}) {
+    SCOPED_TRACE(PoolModeName(mode));
+    ThreadPool pool(4, mode);
+    std::atomic<int> submitted{0};
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < 3; ++s) {
+      submitters.emplace_back([&pool, &submitted] {
+        std::vector<std::future<void>> futures;
+        for (int i = 0; i < 100; ++i) {
+          futures.push_back(pool.Submit([&submitted] { ++submitted; }));
+        }
+        for (auto& f : futures) f.get();
+      });
+    }
+    std::vector<std::atomic<int>> hits(16 * 64);
+    pool.ParallelFor(0, 16, [&](size_t o) {
+      pool.ParallelFor(0, 64, [&, o](size_t i) { ++hits[o * 64 + i]; });
+    });
+    for (auto& t : submitters) t.join();
+    EXPECT_EQ(submitted.load(), 300);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
 TEST(ThreadPoolStressTest, RapidConstructDestruct) {
   for (int round = 0; round < 50; ++round) {
     ThreadPool pool(3);

@@ -58,6 +58,32 @@ TEST(ThreadPoolTest, ParallelForSmallRangeManyThreads) {
   EXPECT_EQ(counter, 3);
 }
 
+TEST(ThreadPoolTest, PoolModeNamesRoundTrip) {
+  PoolMode mode = PoolMode::kSingleQueue;
+  EXPECT_TRUE(ParsePoolMode("stealing", &mode));
+  EXPECT_EQ(mode, PoolMode::kWorkStealing);
+  EXPECT_TRUE(ParsePoolMode("single-queue", &mode));
+  EXPECT_EQ(mode, PoolMode::kSingleQueue);
+  EXPECT_FALSE(ParsePoolMode("bogus", &mode));
+  EXPECT_STREQ(PoolModeName(PoolMode::kWorkStealing), "stealing");
+  EXPECT_STREQ(PoolModeName(PoolMode::kSingleQueue), "single-queue");
+}
+
+// The A/B baseline mode must provide the same Submit/ParallelFor
+// semantics as the stealing default; only scheduling differs.
+TEST(ThreadPoolTest, SingleQueueModeRunsSubmitAndParallelFor) {
+  ThreadPool pool(3, PoolMode::kSingleQueue);
+  EXPECT_EQ(pool.mode(), PoolMode::kSingleQueue);
+  std::atomic<int> value{0};
+  pool.Submit([&] { value = 11; }).get();
+  EXPECT_EQ(value, 11);
+  std::vector<int> hits(500, 0);
+  pool.ParallelFor(0, hits.size(), [&](size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  // A central queue has no deques to steal from.
+  EXPECT_EQ(pool.steals(), 0u);
+}
+
 TEST(ThreadPoolTest, DestructorJoinsCleanly) {
   std::atomic<int> counter{0};
   {
