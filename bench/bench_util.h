@@ -15,6 +15,8 @@
 
 #include "src/datagen/dataset_presets.h"
 #include "src/eval/experiment.h"
+#include "src/eval/report.h"
+#include "src/obs/profiler.h"
 #include "src/table/table.h"
 
 namespace swope {
@@ -72,6 +74,35 @@ inline std::vector<size_t> PickTargets(const Table& table, int count,
     targets.push_back((seed + 1 + static_cast<size_t>(i) * 37) % h);
   }
   return targets;
+}
+
+/// Prints one query's stage breakdown as its own `## <dataset>-stages`
+/// section (no parentheses in the heading: tools/bench_to_json.py strips
+/// a trailing parenthesized note, and these sections must parse as
+/// distinct datasets). One row per recorded stage plus a stage-sum row;
+/// the `share` column is each stage's fraction of the stage sum.
+inline void PrintStageBreakdown(const std::string& dataset_name,
+                                const StageProfiler& profiler) {
+  std::cout << "## " << dataset_name << "-stages\n";
+  ReportTable table({"stage", "calls", "ms", "share"});
+  const double sum_ms = profiler.StageSumMs();
+  char buffer[64];
+  for (int i = 0; i < kNumStages; ++i) {
+    const Stage stage = static_cast<Stage>(i);
+    const uint64_t calls = profiler.StageCalls(stage);
+    if (calls == 0) continue;
+    const double ms = profiler.StageMs(stage);
+    std::snprintf(buffer, sizeof(buffer), "%.3f", ms);
+    std::string ms_text = buffer;
+    std::snprintf(buffer, sizeof(buffer), "%.1f%%",
+                  sum_ms > 0 ? 100.0 * ms / sum_ms : 0.0);
+    table.AddRow({StageName(stage), std::to_string(calls),
+                  std::move(ms_text), buffer});
+  }
+  std::snprintf(buffer, sizeof(buffer), "%.3f", sum_ms);
+  table.AddRow({"stage-sum", "", buffer, "100.0%"});
+  table.PrintMarkdown(std::cout);
+  std::cout << "\n";
 }
 
 /// Prints the standard bench banner.

@@ -55,6 +55,18 @@ void Run(const BenchConfig& config) {
     }
     table.PrintMarkdown(std::cout);
     std::cout << "\n";
+
+    // Where the time goes: one profiled run at the paper's default
+    // setting (k = 8) per dataset, recorded into BENCH_results.json as
+    // its own `<dataset>-stages` section.
+    QueryOptions profiled;
+    profiled.epsilon = 0.1;
+    profiled.seed = config.seed;
+    profiled.sequential_sampling = true;
+    StageProfiler profiler;
+    profiled.profiler = &profiler;
+    if (!SwopeTopKEntropy(dataset.table, 8, profiled).ok()) std::exit(1);
+    bench::PrintStageBreakdown(dataset.name, profiler);
   }
 }
 

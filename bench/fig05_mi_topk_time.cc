@@ -74,6 +74,22 @@ void Run(const BenchConfig& config) {
     }
     table.PrintMarkdown(std::cout);
     std::cout << "\n";
+
+    // Where the time goes: one profiled run at the paper's default
+    // setting (k = 8, first target) per dataset, recorded into
+    // BENCH_results.json as its own `<dataset>-stages` section.
+    if (!targets.empty()) {
+      QueryOptions profiled;
+      profiled.epsilon = 0.5;
+      profiled.seed = config.seed + targets[0];
+      profiled.sequential_sampling = true;
+      StageProfiler profiler;
+      profiled.profiler = &profiler;
+      if (!SwopeTopKMi(dataset.table, targets[0], 8, profiled).ok()) {
+        std::exit(1);
+      }
+      bench::PrintStageBreakdown(dataset.name, profiler);
+    }
   }
 }
 

@@ -17,6 +17,7 @@
 #include "src/datagen/distributions.h"
 #include "src/datagen/generator.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/query_trace.h"
 #include "src/table/column_view.h"
 #include "src/table/csv_reader.h"
@@ -289,6 +290,40 @@ void BM_MetricsOverhead(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MetricsOverhead)->Arg(0)->Arg(1);
+
+// The profiler contract (docs/OBSERVABILITY.md): attaching a
+// StageProfiler must stay within 1% of the unprofiled query. Arg(0) is
+// the disabled path (null profiler: one branch per instrumented site,
+// no clock reads), Arg(1) the enabled path (two TSC reads per stage
+// span). Same workload as BM_MetricsOverhead so the two comparisons
+// share a baseline.
+void BM_ProfileOverhead(benchmark::State& state) {
+  TableSpec spec;
+  spec.num_rows = 1 << 16;
+  spec.seed = 29;
+  for (int j = 0; j < 16; ++j) {
+    spec.columns.push_back(
+        ColumnSpec::Zipf("z" + std::to_string(j), 64,
+                         1.0 + 0.05 * static_cast<double>(j)));
+  }
+  auto table = GenerateTable(spec);
+  if (!table.ok()) std::abort();
+
+  const bool profiled = state.range(0) != 0;
+  StageProfiler profiler;
+  QueryOptions options;
+  options.seed = 5;
+  options.sequential_sampling = true;
+  if (profiled) options.profiler = &profiler;
+  for (auto _ : state) {
+    profiler.Clear();
+    auto result = SwopeTopKEntropy(*table, 4, options);
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result->items.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfileOverhead)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace swope

@@ -27,11 +27,24 @@ for b in "$BUILD_DIR"/*; do
   # Executable regular files only: CMake drops CMakeFiles/ and other
   # directories (also "executable") into the same build dir.
   [ -f "$b" ] && [ -x "$b" ] || continue
-  echo "===== $(basename "$b") =====" | tee -a "$OUT"
-  "$b" "$@" 2>&1 | tee -a "$OUT"
+  name="$(basename "$b")"
+  echo "===== $name =====" | tee -a "$OUT"
+  if [ "$name" = "micro_kernels" ]; then
+    # google-benchmark speaks --benchmark_* flags, not the figure
+    # binaries' --quick/--rows; run it with its defaults so the
+    # BM_* rows (incl. the BM_ProfileOverhead contract) always land
+    # in BENCH_results.json.
+    "$b" 2>&1 | tee -a "$OUT"
+  else
+    "$b" "$@" 2>&1 | tee -a "$OUT"
+  fi
   echo | tee -a "$OUT"
 done
 echo "wrote $OUT"
+# Repeat the core count at the end where it is hard to miss: on a 1-core
+# host the serve_throughput pool-mode comparison is meaningless (both
+# modes serialize), and bench_to_json.py annotates the JSON accordingly.
+echo "host_cores=$(nproc)"
 
 JSON="$(dirname "$OUT")/BENCH_results.json"
 python3 "$SCRIPT_DIR/../tools/bench_to_json.py" "$OUT" -o "$JSON" \

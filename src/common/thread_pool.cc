@@ -39,6 +39,7 @@ const char* PoolModeName(PoolMode mode) {
 ThreadPool::ThreadPool(size_t num_threads, MetricsRegistry* metrics,
                        const std::string& pool_name, PoolMode mode)
     : mode_(mode),
+      worker_cells_(std::max<size_t>(1, num_threads) + 1),
       queue_depth_(metrics != nullptr
                        ? metrics->GetGauge("swope_pool_queue_depth",
                                            {{"pool", pool_name}})
@@ -117,18 +118,37 @@ void ThreadPool::SubmitToInjector(Task* task) {
   cv_.NotifyOne();
 }
 
+size_t ThreadPool::StatsSlot() const {
+  return tls_pool == this ? tls_worker_index : workers_.size();
+}
+
+std::vector<ThreadPool::WorkerStats> ThreadPool::GetWorkerStats() const {
+  std::vector<WorkerStats> stats(worker_cells_.size());
+  for (size_t i = 0; i < worker_cells_.size(); ++i) {
+    const WorkerCell& cell = worker_cells_[i];
+    stats[i].run_ns = cell.run_ns.load(std::memory_order_relaxed);
+    stats[i].idle_ns = cell.idle_ns.load(std::memory_order_relaxed);
+    stats[i].tasks = cell.tasks.load(std::memory_order_relaxed);
+    stats[i].steals = cell.steals.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
 void ThreadPool::RunTask(Task* task) {
   const std::unique_ptr<Task> owned(task);  // reclaim from the queues
+  WorkerCell& cell = worker_cells_[StatsSlot()];
   if (queue_depth_ != nullptr) {
     queue_depth_->Add(-1);
     tasks_total_->Increment();
     wait_ms_->Observe(task->wait.ElapsedMillis());
-    Stopwatch run;
-    task->fn();
-    run_ms_->Observe(run.ElapsedMillis());
-  } else {
-    task->fn();
   }
+  Stopwatch run;
+  task->fn();
+  const double run_ms = run.ElapsedMillis();
+  if (run_ms_ != nullptr) run_ms_->Observe(run_ms);
+  cell.run_ns.fetch_add(static_cast<uint64_t>(run_ms * 1e6),
+                        std::memory_order_relaxed);
+  cell.tasks.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ThreadPool::ParallelFor(size_t begin, size_t end,
@@ -202,6 +222,8 @@ ThreadPool::Task* ThreadPool::TrySteal(const StealDeque* self) {
     Task* task = victim->Steal();
     if (task != nullptr) {
       steals_.fetch_add(1, std::memory_order_relaxed);
+      worker_cells_[StatsSlot()].steals.fetch_add(1,
+                                                  std::memory_order_relaxed);
       if (steals_total_ != nullptr) steals_total_->Increment();
       return task;
     }
@@ -248,12 +270,16 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
     MutexLock lock(mutex_);
     // Drain-before-exit: stop_ only wins once no task is queued
     // anywhere, preserving the pre-stealing destructor contract.
+    Stopwatch idle;
     while (!stop_ && pending_.load() == 0) {
       // Timed wait: a worker pushing to its own deque notifies without
       // the lock, so a wakeup can race this sleep; the timeout bounds
       // that window instead of serializing the push hot path.
       cv_.WaitFor(mutex_, std::chrono::milliseconds(1));
     }
+    worker_cells_[worker_index].idle_ns.fetch_add(
+        static_cast<uint64_t>(idle.ElapsedMillis() * 1e6),
+        std::memory_order_relaxed);
     if (stop_ && pending_.load() == 0) return;
   }
 }

@@ -101,6 +101,26 @@ class ThreadPool {
     return steals_.load(std::memory_order_relaxed);
   }
 
+  /// Per-worker execution telemetry, the raw material for utilization
+  /// gauges (busy fraction = run / (run + idle)). Counters are cumulative
+  /// since construction and relaxed-atomic, so a snapshot is monotone but
+  /// not linearizable -- monitoring semantics, like Counter.
+  struct WorkerStats {
+    /// Time spent executing task bodies.
+    uint64_t run_ns = 0;
+    /// Time spent parked in the idle wait loop (only workers accrue it;
+    /// external helpers never park).
+    uint64_t idle_ns = 0;
+    /// Tasks executed.
+    uint64_t tasks = 0;
+    /// Successful steals performed *by* this worker (0 in single-queue
+    /// mode).
+    uint64_t steals = 0;
+  };
+  /// One entry per worker, plus a final entry aggregating every external
+  /// helper thread (ParallelFor callers draining work while they wait).
+  std::vector<WorkerStats> GetWorkerStats() const;
+
   /// Enqueues a task; the future resolves when it finishes. Worker
   /// threads of this pool push to their own deque (stealing mode);
   /// external threads go through the shared injector.
@@ -208,8 +228,12 @@ class ThreadPool {
   void SubmitToInjector(Task* task) REQUIRES(!mutex_);
 
   /// Runs a heap task, feeding the wait/run histograms when the pool is
-  /// instrumented, and frees it.
+  /// instrumented and the per-worker run counters always, and frees it.
   void RunTask(Task* task);
+
+  /// Index into worker_cells_ for the calling thread: its worker slot on
+  /// this pool's threads, the final external-helper slot otherwise.
+  size_t StatsSlot() const;
 
   const PoolMode mode_;
 
@@ -230,6 +254,18 @@ class ThreadPool {
   /// Tasks queued anywhere (injector + deques); lets sleeping workers
   /// avoid a full deque sweep per wakeup check.
   std::atomic<int64_t> pending_{0};
+
+  /// Per-worker telemetry cells, one cache line each so concurrent
+  /// workers never contend; sized workers + 1 (the last is the shared
+  /// external-helper slot). The vector itself is ctor-immutable.
+  struct alignas(64) WorkerCell {
+    std::atomic<uint64_t> run_ns{0};
+    std::atomic<uint64_t> idle_ns{0};
+    std::atomic<uint64_t> tasks{0};
+    std::atomic<uint64_t> steals{0};
+  };
+  // NOLINTNEXTLINE(swope-lock-discipline): ctor-immutable, atomic cells
+  std::vector<WorkerCell> worker_cells_;
 
   /// Metric handles, resolved once at construction; all null for an
   /// uninstrumented pool.

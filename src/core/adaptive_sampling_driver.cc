@@ -13,6 +13,7 @@
 #include "src/core/exec_control.h"
 #include "src/core/prefix_sampler.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/query_trace.h"
 
 namespace swope {
@@ -182,7 +183,12 @@ Result<AdaptiveSamplingDriver::Output> AdaptiveSamplingDriver::Run(
       }
     }
 
-    done = policy.Decide(scorer, active, m, n, output.items);
+    {
+      // Decision work is cross-candidate ranking/pruning; the scorers
+      // attribute their own stages, so this brackets only the policy.
+      StageTimer decide_timer(options_.profiler, Stage::kFinalize);
+      done = policy.Decide(scorer, active, m, n, output.items);
+    }
 
     if (trace != nullptr) {
       RoundTrace round;
@@ -204,7 +210,10 @@ Result<AdaptiveSamplingDriver::Output> AdaptiveSamplingDriver::Run(
     }
   }
 
-  policy.Finalize(scorer, active, output.items);
+  {
+    StageTimer finalize_timer(options_.profiler, Stage::kFinalize);
+    policy.Finalize(scorer, active, output.items);
+  }
   output.stats.final_sample_size = sampler.consumed();
   output.stats.sketch_candidates = scorer.sketch_candidates();
   output.stats.candidates_remaining = active.size();

@@ -15,6 +15,7 @@ namespace swope {
 struct ExecControl;
 class Histogram;
 class QueryTrace;
+class StageProfiler;
 class ThreadPool;
 
 /// Tunable parameters of a sampling query. Defaults follow the paper's
@@ -103,6 +104,15 @@ struct QueryOptions {
   /// default) the driver's only extra work is one branch per round. Not
   /// owned; the caller keeps the pointee alive for the query's duration.
   QueryTrace* trace = nullptr;
+
+  /// Observability hook: when non-null, the driver and scorers attribute
+  /// CPU time to the fixed stage taxonomy (src/obs/profiler.h) at
+  /// (candidate x shard)-task granularity -- gather, count, shard-merge,
+  /// replay, interval-update, finalize. Affects no answer bytes, so it
+  /// is ignored by ResultCache canonicalization. When null (the default)
+  /// each would-be stage timer costs one branch and no clock read. Not
+  /// owned; the caller keeps the pointee alive for the query's duration.
+  StageProfiler* profiler = nullptr;
 
   /// Validates ranges; returns InvalidArgument with a description on
   /// failure.

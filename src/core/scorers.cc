@@ -7,6 +7,8 @@
 #include <cmath>
 #include <utility>
 
+#include "src/obs/profiler.h"
+
 namespace swope {
 
 namespace {
@@ -51,7 +53,7 @@ const std::vector<uint32_t> kEmptySlice;
 }  // namespace
 
 EntropyScorer::EntropyScorer(const Table& table, const QueryOptions& options)
-    : table_(table) {
+    : table_(table), profiler_(options.profiler) {
   const size_t h = table.num_columns();
   columns_.resize(h);
   views_.reserve(h);
@@ -78,14 +80,26 @@ void EntropyScorer::UpdateCandidate(size_t c,
                                     uint64_t m) {
   // Gather-then-count: decode the round's slice once, then feed the span.
   CodeScratchArena::Lease lease(arena_);
-  const ValueCode* codes = views_[c].Gather(order, begin, end, lease.buffer());
+  const ValueCode* codes;
+  {
+    StageTimer timer(profiler_, Stage::kGather);
+    codes = views_[c].Gather(order, begin, end, lease.buffer());
+  }
   EntropyInterval interval;
   if (sketches_[c] != nullptr) {
-    sketches_[c]->AddCodes(codes, end - begin);
+    {
+      StageTimer timer(profiler_, Stage::kCount);
+      sketches_[c]->AddCodes(codes, end - begin);
+    }
+    StageTimer timer(profiler_, Stage::kIntervalUpdate);
     interval = MakeSketchEntropyInterval(sketches_[c]->Summarize(),
                                          views_[c].support(), n_, m, p_iter_);
   } else {
-    counters_[c].AddCodes(codes, end - begin);
+    {
+      StageTimer timer(profiler_, Stage::kCount);
+      counters_[c].AddCodes(codes, end - begin);
+    }
+    StageTimer timer(profiler_, Stage::kIntervalUpdate);
     interval =
         MakeEntropyInterval(counters_[c].SampleEntropy(), views_[c].support(),
                             n_, m, p_iter_);
@@ -108,8 +122,13 @@ void EntropyScorer::UpdateCandidateShard(size_t c, size_t shard,
                                          const ShardSlicePartition& partition) {
   const std::vector<uint32_t>& rows = partition.local_rows(shard);
   CodeScratchArena::Lease lease(arena_);
-  const ValueCode* codes =
-      views_[c].GatherShard(shard, rows.data(), rows.size(), lease.buffer());
+  const ValueCode* codes;
+  {
+    StageTimer timer(profiler_, Stage::kGather);
+    codes =
+        views_[c].GatherShard(shard, rows.data(), rows.size(), lease.buffer());
+  }
+  StageTimer timer(profiler_, Stage::kCount);
   deltas_[c][shard].AddCodes(codes, rows.size());
 }
 
@@ -118,10 +137,13 @@ void EntropyScorer::FinalizeCandidate(size_t c,
                                       uint64_t m) {
   // Ascending shard order; merging is exact integer addition, so the
   // merged counts equal the whole-slice counts exactly.
-  for (size_t s = 0; s < partition.num_shards(); ++s) {
-    if (partition.local_rows(s).empty()) continue;
-    counters_[c].Merge(deltas_[c][s]);
-    deltas_[c][s].Reset();
+  {
+    StageTimer timer(profiler_, Stage::kShardMerge);
+    for (size_t s = 0; s < partition.num_shards(); ++s) {
+      if (partition.local_rows(s).empty()) continue;
+      counters_[c].Merge(deltas_[c][s]);
+      deltas_[c][s].Reset();
+    }
   }
   // Empty-slice update: absorbs nothing, evaluates the merged counts
   // through the same code path (and machine code) as a serial round, so
@@ -150,6 +172,7 @@ MiScorer::MiScorer(const Table& table, size_t target,
                    const QueryOptions& options)
     : table_(table),
       target_col_(table.column(target)),
+      profiler_(options.profiler),
       target_view_(table.column(target)),
       target_counter_(UsesSketchPath(table.column(target).support(), options)
                           ? 0
@@ -195,15 +218,26 @@ void MiScorer::BeginRound(const std::vector<uint32_t>& order, uint64_t begin,
                           uint64_t end, uint64_t m) {
   // Decode the target's slice once per round; every candidate's joint
   // update this round reads the same span.
-  const ValueCode* target_codes =
-      target_view_.Gather(order, begin, end, target_slice_);
+  const ValueCode* target_codes;
+  {
+    StageTimer timer(profiler_, Stage::kGather);
+    target_codes = target_view_.Gather(order, begin, end, target_slice_);
+  }
   if (target_sketch_ != nullptr) {
-    target_sketch_->AddCodes(target_codes, end - begin);
+    {
+      StageTimer timer(profiler_, Stage::kCount);
+      target_sketch_->AddCodes(target_codes, end - begin);
+    }
+    StageTimer timer(profiler_, Stage::kIntervalUpdate);
     target_interval_ =
         MakeSketchEntropyInterval(target_sketch_->Summarize(),
                                   target_col_.support(), n_, m, p_iter_);
   } else {
-    target_counter_.AddCodes(target_codes, end - begin);
+    {
+      StageTimer timer(profiler_, Stage::kCount);
+      target_counter_.AddCodes(target_codes, end - begin);
+    }
+    StageTimer timer(profiler_, Stage::kIntervalUpdate);
     target_interval_ =
         MakeEntropyInterval(target_counter_.SampleEntropy(),
                             target_col_.support(), n_, m, p_iter_);
@@ -216,16 +250,28 @@ MiInterval MiScorer::UpdateMi(size_t c, const std::vector<uint32_t>& order,
   CandidateCounters& counter = counters_[c];
   const ColumnView& view = views_[c];
   CodeScratchArena::Lease lease(arena_);
-  const ValueCode* codes = view.Gather(order, begin, end, lease.buffer());
+  const ValueCode* codes;
+  {
+    StageTimer timer(profiler_, Stage::kGather);
+    codes = view.Gather(order, begin, end, lease.buffer());
+  }
   const uint64_t count = end - begin;
   EntropyInterval marginal_interval;
   if (counter.marginal_sketch != nullptr) {
-    counter.marginal_sketch->AddCodes(codes, count);
+    {
+      StageTimer timer(profiler_, Stage::kCount);
+      counter.marginal_sketch->AddCodes(codes, count);
+    }
+    StageTimer timer(profiler_, Stage::kIntervalUpdate);
     marginal_interval =
         MakeSketchEntropyInterval(counter.marginal_sketch->Summarize(),
                                   view.support(), n_, m, p_iter_);
   } else {
-    counter.marginal.AddCodes(codes, count);
+    {
+      StageTimer timer(profiler_, Stage::kCount);
+      counter.marginal.AddCodes(codes, count);
+    }
+    StageTimer timer(profiler_, Stage::kIntervalUpdate);
     marginal_interval = MakeEntropyInterval(
         counter.marginal.SampleEntropy(), view.support(), n_, m, p_iter_);
   }
@@ -233,15 +279,24 @@ MiInterval MiScorer::UpdateMi(size_t c, const std::vector<uint32_t>& order,
                          static_cast<uint64_t>(view.support());
   EntropyInterval joint_interval;
   if (counter.joint_sketch != nullptr) {
-    counter.joint_sketch->AddPairs(target_slice_.data(), codes, count);
+    {
+      StageTimer timer(profiler_, Stage::kCount);
+      counter.joint_sketch->AddPairs(target_slice_.data(), codes, count);
+    }
+    StageTimer timer(profiler_, Stage::kIntervalUpdate);
     joint_interval = MakeSketchEntropyInterval(
         counter.joint_sketch->Summarize(), u_bar, n_, m, p_iter_);
   } else {
-    counter.joint.AddCodes(target_slice_.data(), codes, count);
+    {
+      StageTimer timer(profiler_, Stage::kCount);
+      counter.joint.AddCodes(target_slice_.data(), codes, count);
+    }
+    StageTimer timer(profiler_, Stage::kIntervalUpdate);
     joint_interval = MakeEntropyInterval(counter.joint.SampleJointEntropy(),
                                          u_bar, n_, m, p_iter_);
   }
   if (marginal_out != nullptr) *marginal_out = marginal_interval;
+  StageTimer timer(profiler_, Stage::kIntervalUpdate);
   return MakeMiInterval(target_interval_, marginal_interval, joint_interval);
 }
 
@@ -262,6 +317,7 @@ void MiScorer::UpdateCandidateShard(size_t c, size_t shard,
   // candidates.
   CandidateCounters& counter = counters_[c];
   const std::vector<uint32_t>& rows = partition.local_rows(shard);
+  StageTimer timer(profiler_, Stage::kGather);
   views_[c].GatherShard(shard, rows.data(), rows.size(),
                         counter.shard_codes[shard]);
 }
@@ -278,14 +334,17 @@ void MiScorer::FinalizeCandidate(size_t c,
   // normalization). Bitwise-identical answers by construction.
   CandidateCounters& counter = counters_[c];
   std::vector<ValueCode>& replay = counter.replay;
-  replay.resize(partition.slice_size());
-  for (size_t s = 0; s < partition.num_shards(); ++s) {
-    const std::vector<uint32_t>& pos = partition.slice_pos(s);
-    const std::vector<ValueCode>& codes = counter.shard_codes[s];
-    for (size_t i = 0; i < pos.size(); ++i) replay[pos[i]] = codes[i];
+  {
+    StageTimer timer(profiler_, Stage::kReplay);
+    replay.resize(partition.slice_size());
+    for (size_t s = 0; s < partition.num_shards(); ++s) {
+      const std::vector<uint32_t>& pos = partition.slice_pos(s);
+      const std::vector<ValueCode>& codes = counter.shard_codes[s];
+      for (size_t i = 0; i < pos.size(); ++i) replay[pos[i]] = codes[i];
+    }
+    counter.marginal.AddCodes(replay.data(), replay.size());
+    counter.joint.AddCodes(target_slice_.data(), replay.data(), replay.size());
   }
-  counter.marginal.AddCodes(replay.data(), replay.size());
-  counter.joint.AddCodes(target_slice_.data(), replay.data(), replay.size());
   UpdateCandidate(c, kEmptySlice, 0, 0, m);
 }
 
@@ -313,6 +372,7 @@ void NmiScorer::UpdateCandidate(size_t c, const std::vector<uint32_t>& order,
                                 uint64_t begin, uint64_t end, uint64_t m) {
   EntropyInterval marginal_interval;
   const MiInterval mi = UpdateMi(c, order, begin, end, m, &marginal_interval);
+  StageTimer timer(profiler_, Stage::kIntervalUpdate);
   intervals_[c] = ComposeNmi(mi, target_interval(), marginal_interval);
 }
 

@@ -73,6 +73,8 @@ class EntropyScorer : public Scorer {
 
  private:
   const Table& table_;
+  /// Stage-attribution hook (QueryOptions::profiler); null when off.
+  StageProfiler* const profiler_;
   std::vector<ColumnView> views_;
   // Exactly one of counters_[c] (sized 0 when sketched) and sketches_[c]
   // (null when exact) is live per candidate.
@@ -130,6 +132,9 @@ class MiScorer : public Scorer {
 
   const Table& table_;
   const Column& target_col_;
+  /// Stage-attribution hook (QueryOptions::profiler); null when off.
+  /// Protected so NmiScorer can attribute its composition step too.
+  StageProfiler* const profiler_;
 
  private:
   struct CandidateCounters {

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/obs/event_log.h"
 #include "src/obs/metrics.h"
 #include "src/table/fingerprint.h"
 
@@ -15,6 +16,11 @@ void DatasetRegistry::BindMetrics(MetricsRegistry* metrics) {
   resident_bytes_metric_ = metrics->GetGauge("swope_registry_resident_bytes");
   sketch_bytes_metric_ = metrics->GetGauge("swope_sketch_memory_bytes");
   UpdateGauges();
+}
+
+void DatasetRegistry::BindEventLog(EventLog* events) {
+  MutexLock lock(mutex_);
+  event_log_ = events;
 }
 
 void DatasetRegistry::UpdateGauges() {
@@ -70,6 +76,9 @@ Status DatasetRegistry::Remove(const std::string& name) {
   resident_bytes_ -= it->second.dataset->memory_bytes;
   sketch_bytes_ -= it->second.dataset->sketch_bytes;
   datasets_.erase(it);
+  if (event_log_ != nullptr) {
+    event_log_->Append(EventKind::kDatasetEvict, name, "unload");
+  }
   UpdateGauges();
   return Status::OK();
 }
@@ -107,6 +116,13 @@ void DatasetRegistry::EvictToBudget(const std::string& keep) {
     if (victim == datasets_.end()) return;
     resident_bytes_ -= victim->second.dataset->memory_bytes;
     sketch_bytes_ -= victim->second.dataset->sketch_bytes;
+    if (event_log_ != nullptr) {
+      event_log_->Append(
+          EventKind::kDatasetEvict, victim->first,
+          "budget (freed=" +
+              std::to_string(victim->second.dataset->memory_bytes) +
+              " bytes)");
+    }
     datasets_.erase(victim);
     ++evictions_;
     if (evictions_metric_ != nullptr) evictions_metric_->Increment();

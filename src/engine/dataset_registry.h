@@ -30,6 +30,7 @@
 namespace swope {
 
 class Counter;
+class EventLog;
 class Gauge;
 class MetricsRegistry;
 
@@ -91,6 +92,12 @@ class DatasetRegistry {
   /// registry must outlive this object.
   void BindMetrics(MetricsRegistry* metrics) REQUIRES(!mutex_);
 
+  /// Emits a dataset-evict event for every dataset that leaves the
+  /// registry (LRU budget eviction or explicit Remove; the detail says
+  /// which). Call once, before concurrent use; `events` must outlive the
+  /// registry.
+  void BindEventLog(EventLog* events) REQUIRES(!mutex_);
+
  private:
   struct Slot {
     DatasetHandle dataset;
@@ -108,6 +115,11 @@ class DatasetRegistry {
   uint64_t resident_bytes_ GUARDED_BY(mutex_) = 0;
   uint64_t sketch_bytes_ GUARDED_BY(mutex_) = 0;
   uint64_t evictions_ GUARDED_BY(mutex_) = 0;
+
+  /// Optional event sink (null when unbound). Appended under mutex_;
+  /// EventLog::Append is lock-free, so this never extends the critical
+  /// section by a blocking wait.
+  EventLog* event_log_ GUARDED_BY(mutex_) = nullptr;
 
   /// Optional metric mirrors (null when unbound). Updated under mutex_.
   Counter* evictions_metric_ GUARDED_BY(mutex_) = nullptr;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <utility>
 
@@ -34,6 +35,58 @@ Histogram* LatencyHistogram(MetricsRegistry& metrics, int kind) {
       DefaultLatencyBucketsMs());
 }
 
+std::string ShortMs(double ms) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", ms);
+  return buffer;
+}
+
+// Compact single-line stage profile (and round summary, when traced) for
+// the slow-query event payload. Fits the EventLog's bounded detail slot;
+// FormatProfileTable stays the human-facing renderer.
+std::string SlowQueryDetail(const StageProfiler& profiler,
+                            const QueryTrace* trace) {
+  std::string detail = "stages:";
+  for (size_t s = 0; s < kNumStages; ++s) {
+    const Stage stage = static_cast<Stage>(s);
+    if (profiler.StageCalls(stage) == 0) continue;
+    detail += " ";
+    detail += StageName(stage);
+    detail += "=" + ShortMs(profiler.StageMs(stage));
+  }
+  detail += " sum=" + ShortMs(profiler.StageSumMs());
+  if (trace != nullptr && !trace->rounds().empty()) {
+    detail += "; rounds:";
+    for (const RoundTrace& round : trace->rounds()) {
+      detail += " " + std::to_string(round.round) + ":m=" +
+                std::to_string(round.sample_size) + ":ms=" +
+                ShortMs(round.wall_ms);
+    }
+  }
+  return detail;
+}
+
+// Sums one pool's per-worker telemetry into (run ms, idle ms, busy
+// fraction). The final GetWorkerStats entry aggregates external helpers,
+// which never park; including their run time keeps "work executed on this
+// pool" honest while idle time stays worker-only.
+struct PoolUtilization {
+  double run_ms = 0.0;
+  double idle_ms = 0.0;
+  double fraction = 0.0;
+};
+
+PoolUtilization SummarizePool(const ThreadPool& pool) {
+  PoolUtilization util;
+  for (const ThreadPool::WorkerStats& w : pool.GetWorkerStats()) {
+    util.run_ms += static_cast<double>(w.run_ns) / 1e6;
+    util.idle_ms += static_cast<double>(w.idle_ns) / 1e6;
+  }
+  const double total = util.run_ms + util.idle_ms;
+  util.fraction = total > 0.0 ? util.run_ms / total : 0.0;
+  return util;
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(EngineConfig config)
@@ -44,6 +97,7 @@ QueryEngine::QueryEngine(EngineConfig config)
         config.max_in_flight = std::max<size_t>(1, config.max_in_flight);
         return config;
       }()),
+      event_log_(config_.event_log_capacity),
       registry_(config_.memory_budget_bytes),
       result_cache_(config_.result_cache_capacity),
       permutation_cache_(config_.permutation_cache_capacity),
@@ -73,12 +127,27 @@ QueryEngine::QueryEngine(EngineConfig config)
       query_rounds_(metrics_.GetHistogram(
           "swope_query_rounds", {},
           {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64})),
+      // Fine buckets: shard tasks are sub-50us on well-sharded tables, so
+      // the default request-latency buckets would pile everything into the
+      // lowest one or two.
       shard_task_ms_(metrics_.GetHistogram("swope_engine_shard_task_ms", {},
-                                           DefaultLatencyBucketsMs())),
+                                           FineLatencyBucketsMs())),
       in_flight_tasks_gauge_(
           metrics_.GetGauge("swope_engine_in_flight_tasks")),
       ingest_latency_ms_(metrics_.GetHistogram(
           "swope_engine_ingest_latency_ms", {}, DefaultLatencyBucketsMs())),
+      executor_busy_ms_(metrics_.GetGauge("swope_pool_worker_busy_ms",
+                                          {{"pool", "executor"}})),
+      executor_idle_ms_(metrics_.GetGauge("swope_pool_worker_idle_ms",
+                                          {{"pool", "executor"}})),
+      executor_utilization_(metrics_.GetGauge(
+          "swope_pool_utilization_percent", {{"pool", "executor"}})),
+      intra_busy_ms_(metrics_.GetGauge("swope_pool_worker_busy_ms",
+                                       {{"pool", "intra"}})),
+      intra_idle_ms_(metrics_.GetGauge("swope_pool_worker_idle_ms",
+                                       {{"pool", "intra"}})),
+      intra_utilization_(metrics_.GetGauge("swope_pool_utilization_percent",
+                                           {{"pool", "intra"}})),
       intra_pool_(config_.intra_query_threads > 1
                       ? std::make_unique<ThreadPool>(
                             config_.intra_query_threads, &metrics_, "intra",
@@ -86,6 +155,7 @@ QueryEngine::QueryEngine(EngineConfig config)
                       : nullptr),
       pool_(config_.num_threads, &metrics_, "executor", config_.pool_mode) {
   registry_.BindMetrics(&metrics_);
+  registry_.BindEventLog(&event_log_);
   result_cache_.BindMetrics(&metrics_);
   permutation_cache_.BindMetrics(&metrics_);
 }
@@ -93,8 +163,12 @@ QueryEngine::QueryEngine(EngineConfig config)
 Status QueryEngine::RegisterDataset(const std::string& name, Table table) {
   if (config_.shard_size > 0) table = table.Resharded(config_.shard_size);
   const size_t num_shards = table.num_shards();
+  const uint64_t num_rows = table.num_rows();
   SWOPE_RETURN_NOT_OK(registry_.Put(name, std::move(table)));
   RecordShardGeometry(name, num_shards);
+  event_log_.Append(EventKind::kDatasetLoad, name,
+                    "rows=" + std::to_string(num_rows) +
+                        " shards=" + std::to_string(num_shards));
   return Status::OK();
 }
 
@@ -136,7 +210,10 @@ Status QueryEngine::Ingest(const std::string& name,
   SWOPE_RETURN_NOT_OK(registry_.Put(name, *std::move(appended)));
   RecordShardGeometry(name, num_shards);
   ingest_rows_->Increment(rows.size());
-  ingest_latency_ms_->Observe(latency.ElapsedMillis());
+  const double ingest_ms = latency.ElapsedMillis();
+  ingest_latency_ms_->Observe(ingest_ms);
+  event_log_.Append(EventKind::kIngest, name,
+                    "appended=" + std::to_string(rows.size()), ingest_ms);
   return Status::OK();
 }
 
@@ -144,10 +221,18 @@ Result<QueryResponse> QueryEngine::Run(const QuerySpec& spec,
                                        const CancellationToken* cancel) {
   queries_started_->Increment();
   Stopwatch latency;
-  auto fail = [this](Status status) -> Result<QueryResponse> {
+  auto fail = [this, &spec, &latency](Status status) -> Result<QueryResponse> {
     queries_failed_->Increment();
-    if (status.IsCancelled()) cancelled_->Increment();
-    if (status.IsDeadlineExceeded()) deadline_exceeded_->Increment();
+    if (status.IsCancelled()) {
+      cancelled_->Increment();
+      event_log_.Append(EventKind::kQueryCancelled, spec.dataset,
+                        status.message(), latency.ElapsedMillis());
+    }
+    if (status.IsDeadlineExceeded()) {
+      deadline_exceeded_->Increment();
+      event_log_.Append(EventKind::kQueryDeadline, spec.dataset,
+                        status.message(), latency.ElapsedMillis());
+    }
     return status;
   };
 
@@ -170,8 +255,12 @@ Result<QueryResponse> QueryEngine::Run(const QuerySpec& spec,
     queries_ok_->Increment();
     (response.stats.sketch_candidates > 0 ? queries_sketch_ : queries_exact_)
         ->Increment();
-    query_latency_ms_[static_cast<int>(resolved->kind)]->Observe(
-        latency.ElapsedMillis());
+    const double wall_ms = latency.ElapsedMillis();
+    query_latency_ms_[static_cast<int>(resolved->kind)]->Observe(wall_ms);
+    event_log_.Append(
+        EventKind::kQueryComplete, spec.dataset,
+        std::string(QueryKindToString(resolved->kind)) + " cache-hit",
+        wall_ms);
     return response;
   }
 
@@ -184,8 +273,13 @@ Result<QueryResponse> QueryEngine::Run(const QuerySpec& spec,
   query_rounds_->Observe(static_cast<double>(response->stats.iterations));
   result_cache_.Insert(response->fingerprint, response->canonical_key,
                        CachedAnswer{response->items, response->stats});
-  query_latency_ms_[static_cast<int>(resolved->kind)]->Observe(
-      latency.ElapsedMillis());
+  const double wall_ms = latency.ElapsedMillis();
+  query_latency_ms_[static_cast<int>(resolved->kind)]->Observe(wall_ms);
+  event_log_.Append(EventKind::kQueryComplete, spec.dataset,
+                    std::string(QueryKindToString(resolved->kind)) +
+                        " rounds=" +
+                        std::to_string(response->stats.iterations),
+                    wall_ms);
   return response;
 }
 
@@ -205,6 +299,18 @@ std::future<Result<QueryResponse>> QueryEngine::Submit(
 Result<QueryResponse> QueryEngine::Execute(const DatasetHandle& dataset,
                                            const ResolvedSpec& resolved,
                                            const CancellationToken* cancel) {
+  // Executed-query wall clock: admission wait through dispatch. The
+  // profiler's stage sum is compared against this (serve's profile
+  // block, the CI smoke), so both start here.
+  Stopwatch exec_wall;
+  // The profiler exists when the client asked for it OR slow-query
+  // capture is armed: a query only known to be slow after the fact must
+  // already have been profiled.
+  std::shared_ptr<StageProfiler> profiler;
+  if (resolved.profile || config_.slow_query_ms > 0) {
+    profiler = std::make_shared<StageProfiler>();
+  }
+
   ExecControl control;
   control.token = cancel;
   const uint64_t timeout_ms = resolved.timeout_ms > 0
@@ -218,7 +324,10 @@ Result<QueryResponse> QueryEngine::Execute(const DatasetHandle& dataset,
   // tasks one of its rounds can put on the shared pool per candidate.
   const size_t task_weight =
       std::max<size_t>(1, dataset->table.num_shards());
-  SWOPE_RETURN_NOT_OK(AdmitQuery(control, task_weight));
+  {
+    StageTimer admit_timer(profiler.get(), Stage::kSchedulingWait);
+    SWOPE_RETURN_NOT_OK(AdmitQuery(control, task_weight, dataset->name));
+  }
   struct SlotRelease {
     QueryEngine* engine;
     size_t task_weight;
@@ -235,6 +344,7 @@ Result<QueryResponse> QueryEngine::Execute(const DatasetHandle& dataset,
     trace = std::make_shared<QueryTrace>();
     options.trace = trace.get();
   }
+  options.profiler = profiler.get();
   // Dedicated pool: intra-query ParallelFor must not share the executor,
   // where a blocked caller would help-drain whole-query tasks. Every
   // concurrent query shards onto this one stealing pool.
@@ -250,7 +360,16 @@ Result<QueryResponse> QueryEngine::Execute(const DatasetHandle& dataset,
   if (!response.ok()) return response.status();
   response->fingerprint = dataset->fingerprint;
   response->canonical_key = resolved.canonical_key;
+  if (profiler != nullptr) {
+    const double wall_ms = exec_wall.ElapsedMillis();
+    profiler->SetWallMs(wall_ms);
+    if (config_.slow_query_ms > 0 && wall_ms >= config_.slow_query_ms) {
+      event_log_.Append(EventKind::kSlowQuery, dataset->name,
+                        SlowQueryDetail(*profiler, trace.get()), wall_ms);
+    }
+  }
   response->trace = std::move(trace);
+  if (resolved.profile) response->profile = std::move(profiler);
   return response;
 }
 
@@ -267,7 +386,8 @@ bool QueryEngine::AdmissibleLocked(size_t task_weight) const {
   return true;
 }
 
-Status QueryEngine::AdmitQuery(ExecControl& control, size_t task_weight) {
+Status QueryEngine::AdmitQuery(ExecControl& control, size_t task_weight,
+                               const std::string& dataset) {
   // Admission control: bounded concurrent executions and bounded
   // in-flight shard tasks. Waiting honours the query's own deadline and
   // cancellation (polled, so no token->cv hookup is needed).
@@ -278,6 +398,9 @@ Status QueryEngine::AdmitQuery(ExecControl& control, size_t task_weight) {
       // Load shedding: bounded queue. Callers can distinguish shed
       // queries (Unavailable, retryable) from accepted-but-expired ones.
       rejected_->Increment();
+      event_log_.Append(EventKind::kQueryReject, dataset,
+                        "admission queue full (waiters=" +
+                            std::to_string(admission_waiters_) + ")");
       return Status::Unavailable(
           "query engine: admission queue full, query rejected");
     }
@@ -300,6 +423,9 @@ Status QueryEngine::AdmitQuery(ExecControl& control, size_t task_weight) {
   in_flight_tasks_ += task_weight;
   in_flight_gauge_->Set(static_cast<int64_t>(in_flight_));
   in_flight_tasks_gauge_->Set(static_cast<int64_t>(in_flight_tasks_));
+  event_log_.Append(EventKind::kQueryAdmit, dataset,
+                    "weight=" + std::to_string(task_weight) +
+                        " in_flight=" + std::to_string(in_flight_));
   return Status::OK();
 }
 
@@ -380,6 +506,28 @@ EngineCounters QueryEngine::GetCounters() const {
   counters.permutation_cache_hits = perms.hits;
   counters.permutation_cache_misses = perms.misses;
   counters.registry_evictions = registry_.GetStats().evictions;
+  counters.events_logged = event_log_.TotalAppended();
+
+  // Worker utilization: snapshot both pools and refresh the gauges as a
+  // side effect, so a metrics scrape that follows a stats call sees the
+  // same numbers.
+  const PoolUtilization executor = SummarizePool(pool_);
+  counters.executor_run_ms = executor.run_ms;
+  counters.executor_idle_ms = executor.idle_ms;
+  counters.executor_utilization = executor.fraction;
+  executor_busy_ms_->Set(static_cast<int64_t>(executor.run_ms));
+  executor_idle_ms_->Set(static_cast<int64_t>(executor.idle_ms));
+  executor_utilization_->Set(
+      static_cast<int64_t>(executor.fraction * 100.0));
+  if (intra_pool_ != nullptr) {
+    const PoolUtilization intra = SummarizePool(*intra_pool_);
+    counters.intra_run_ms = intra.run_ms;
+    counters.intra_idle_ms = intra.idle_ms;
+    counters.intra_utilization = intra.fraction;
+    intra_busy_ms_->Set(static_cast<int64_t>(intra.run_ms));
+    intra_idle_ms_->Set(static_cast<int64_t>(intra.idle_ms));
+    intra_utilization_->Set(static_cast<int64_t>(intra.fraction * 100.0));
+  }
   return counters;
 }
 

@@ -34,7 +34,9 @@
 #include "src/engine/permutation_cache.h"
 #include "src/engine/query_spec.h"
 #include "src/engine/result_cache.h"
+#include "src/obs/event_log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/query_trace.h"
 
 namespace swope {
@@ -76,6 +78,13 @@ struct EngineConfig {
   size_t permutation_cache_capacity = 16;
   /// Applied to specs with timeout_ms == 0; 0 = no default deadline.
   uint64_t default_timeout_ms = 0;
+  /// Slow-query capture: an executed query whose wall time reaches this
+  /// threshold records a slow-query event whose detail carries the
+  /// query's stage profile (and round summary when traced), even when the
+  /// client did not ask for profile=1. 0 disables capture.
+  double slow_query_ms = 0.0;
+  /// EventLog ring capacity (rounded up to a power of two, minimum 8).
+  size_t event_log_capacity = EventLog::kDefaultCapacity;
 };
 
 /// Answer to one engine query.
@@ -91,6 +100,10 @@ struct QueryResponse {
   /// Round-by-round trace, present when QuerySpec::trace was set and the
   /// query actually executed (cache hits run zero rounds and carry none).
   std::shared_ptr<const QueryTrace> trace;
+  /// Per-stage time breakdown, present when QuerySpec::profile was set
+  /// and the query actually executed (cache hits run zero stages and
+  /// carry none). WallMs() is set to the executed query's wall time.
+  std::shared_ptr<const StageProfiler> profile;
 };
 
 /// Monotonic counters, snapshot via QueryEngine::GetCounters.
@@ -124,6 +137,19 @@ struct EngineCounters {
   uint64_t queries_exact = 0;
   /// Rows appended through Ingest.
   uint64_t ingest_rows = 0;
+  /// Worker utilization per pool, aggregated over the pool's workers from
+  /// ThreadPool::GetWorkerStats: busy fraction = run / (run + idle), in
+  /// [0, 1]; 0 before any task ran. intra_* are 0 when the engine has no
+  /// intra-query pool (intra_query_threads <= 1).
+  double executor_run_ms = 0.0;
+  double executor_idle_ms = 0.0;
+  double executor_utilization = 0.0;
+  double intra_run_ms = 0.0;
+  double intra_idle_ms = 0.0;
+  double intra_utilization = 0.0;
+  /// Events ever appended to the engine's EventLog (monotone; exceeds
+  /// the ring capacity once it has wrapped).
+  uint64_t events_logged = 0;
 };
 
 class QueryEngine {
@@ -178,7 +204,15 @@ class QueryEngine {
   /// The engine's metric store: engine counters and latency histograms,
   /// cache and registry mirrors, and both pools' queue stats. Render with
   /// RenderPrometheusText() / RenderJson(); see docs/OBSERVABILITY.md.
+  /// The worker-utilization gauges are refreshed by GetCounters(); call
+  /// it before rendering when those must be current.
   const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The engine's event ring: admissions, rejections, completions,
+  /// cancellations, deadline expiries, ingests, dataset loads/evictions,
+  /// and slow-query captures (EngineConfig::slow_query_ms). Snapshot()
+  /// is safe concurrently with serving.
+  const EventLog& events() const { return event_log_; }
 
  private:
   /// Runs the resolved query under admission control.
@@ -190,9 +224,10 @@ class QueryEngine {
   /// Blocks until an execution slot and `task_weight` units of the task
   /// budget are free (or `control` cancels / expires, or the waiting
   /// queue is full) and claims them. Each successful admission must be
-  /// paired with exactly one ReleaseSlot(task_weight).
-  Status AdmitQuery(ExecControl& control, size_t task_weight)
-      REQUIRES(!admission_mutex_);
+  /// paired with exactly one ReleaseSlot(task_weight). `dataset` labels
+  /// the admit/reject events this emits.
+  Status AdmitQuery(ExecControl& control, size_t task_weight,
+                    const std::string& dataset) REQUIRES(!admission_mutex_);
 
   /// Returns an execution slot and task budget claimed by AdmitQuery.
   void ReleaseSlot(size_t task_weight) REQUIRES(!admission_mutex_);
@@ -215,6 +250,11 @@ class QueryEngine {
   /// Declared first: every other member resolves handles into it at
   /// construction and updates them until destruction.
   MetricsRegistry metrics_;
+
+  /// Declared before registry_ and pool_: both emit events into it until
+  /// destruction (the registry via BindEventLog, queries via Execute).
+  // NOLINTNEXTLINE(swope-lock-discipline): internally synchronized ring
+  EventLog event_log_;
 
   DatasetRegistry registry_;
   ResultCache result_cache_;
@@ -255,6 +295,16 @@ class QueryEngine {
   Gauge* const in_flight_tasks_gauge_;
   /// Wall time of Ingest calls (parse + append + re-fingerprint).
   Histogram* const ingest_latency_ms_;
+  /// Worker-utilization gauges per pool (swope_pool_worker_*,
+  /// swope_pool_utilization_percent), refreshed by GetCounters() from
+  /// ThreadPool::GetWorkerStats snapshots. The intra handles exist even
+  /// when the intra pool does not (they just stay 0).
+  Gauge* const executor_busy_ms_;
+  Gauge* const executor_idle_ms_;
+  Gauge* const executor_utilization_;
+  Gauge* const intra_busy_ms_;
+  Gauge* const intra_idle_ms_;
+  Gauge* const intra_utilization_;
 
   /// Shared intra-query worker pool (null when intra_query_threads <= 1).
   /// Declared before pool_ so it outlives the executor: queries still

@@ -77,11 +77,12 @@ Status QuerySpec::Validate() const {
   }
   SWOPE_RETURN_NOT_OK(options.Validate());
   if (options.shared_order != nullptr || options.control != nullptr ||
-      options.pool != nullptr || options.trace != nullptr) {
+      options.pool != nullptr || options.trace != nullptr ||
+      options.profiler != nullptr) {
     return Status::InvalidArgument(
-        "query spec: shared_order / control / pool / trace are "
+        "query spec: shared_order / control / pool / trace / profiler are "
         "engine-managed and must be null on submitted specs (use "
-        "QuerySpec::trace to request tracing)");
+        "QuerySpec::trace / QuerySpec::profile to request them)");
   }
   if (IsTopKKind(kind)) {
     if (k == 0) {
@@ -113,6 +114,7 @@ Result<ResolvedSpec> ResolveSpec(const QuerySpec& spec, const Table& table) {
   resolved.options = spec.options;
   resolved.timeout_ms = spec.timeout_ms;
   resolved.trace = spec.trace;
+  resolved.profile = spec.profile;
 
   if (NeedsTarget(spec.kind)) {
     SWOPE_ASSIGN_OR_RETURN(resolved.target,

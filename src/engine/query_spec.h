@@ -81,6 +81,14 @@ struct QuerySpec {
   /// engine-managed and must stay null on submitted specs.
   bool trace = false;
 
+  /// Requests a per-stage StageProfiler breakdown on the response. Purely
+  /// observational, like `trace`: profiled and unprofiled runs compute
+  /// identical answers, so this is NOT part of the canonical cache key.
+  /// (A cache hit serves no profile -- no stages ran.)
+  /// QueryOptions::profiler itself is engine-managed and must stay null
+  /// on submitted specs.
+  bool profile = false;
+
   /// Table-independent validation (kind/parameter coherence plus
   /// QueryOptions::Validate).
   Status Validate() const;
@@ -100,6 +108,8 @@ struct ResolvedSpec {
   uint64_t timeout_ms = 0;
   /// Echo of QuerySpec::trace (not part of canonical_key).
   bool trace = false;
+  /// Echo of QuerySpec::profile (not part of canonical_key).
+  bool profile = false;
   /// Canonical cache key; equal keys <=> the driver sees equal inputs.
   std::string canonical_key;
 };

@@ -169,6 +169,9 @@ Result<QuerySpec> SpecFromArgs(
   if (const std::string* v = get("trace")) {
     spec.trace = (*v == "1" || *v == "true");
   }
+  if (const std::string* v = get("profile")) {
+    spec.profile = (*v == "1" || *v == "true");
+  }
   return spec;
 }
 
@@ -207,7 +210,41 @@ std::string CountersToJson(const EngineCounters& counters,
   add("resident_datasets", registry.resident_datasets);
   add("resident_bytes", registry.resident_bytes);
   add("sketch_bytes", registry.sketch_bytes);
+  add("events_logged", counters.events_logged);
+  // Worker utilization (busy fraction in [0, 1] plus the raw run/idle
+  // totals). intra_* are 0 when intra_query_threads <= 1.
+  auto add_double = [&json](const char* name, double value) {
+    json += ",\"";
+    json += name;
+    json += "\":" + JsonDouble(value);
+  };
+  add_double("executor_utilization", counters.executor_utilization);
+  add_double("executor_run_ms", counters.executor_run_ms);
+  add_double("executor_idle_ms", counters.executor_idle_ms);
+  add_double("intra_utilization", counters.intra_utilization);
+  add_double("intra_run_ms", counters.intra_run_ms);
+  add_double("intra_idle_ms", counters.intra_idle_ms);
   json += "}";
+  return json;
+}
+
+std::string EventsToJson(const EventLog& log, size_t max_events) {
+  const std::vector<EventLog::Event> events = log.Snapshot(max_events);
+  std::string json = "{\"ok\":true,\"op\":\"events\",\"total\":" +
+                     std::to_string(log.TotalAppended());
+  json += ",\"events\":[";
+  bool first = true;
+  for (const EventLog::Event& event : events) {
+    if (!first) json += ",";
+    first = false;
+    json += "{\"seq\":" + std::to_string(event.sequence);
+    json += ",\"kind\":\"";
+    json += EventKindName(event.kind);
+    json += "\",\"dataset\":\"" + JsonEscape(event.dataset) + "\"";
+    json += ",\"wall_ms\":" + JsonDouble(event.wall_ms);
+    json += ",\"detail\":\"" + JsonEscape(event.detail) + "\"}";
+  }
+  json += "]}";
   return json;
 }
 
@@ -296,6 +333,27 @@ std::string QueryResponseToJson(const QueryResponse& response) {
     }
     json += "]";
   }
+  if (response.profile != nullptr) {
+    // Stage rows render in enum order, only for stages that recorded
+    // time, so the block is deterministic and omits dead stages.
+    json += ",\"profile\":{\"stages\":[";
+    bool first_stage = true;
+    for (size_t s = 0; s < kNumStages; ++s) {
+      const Stage stage = static_cast<Stage>(s);
+      const uint64_t calls = response.profile->StageCalls(stage);
+      if (calls == 0) continue;
+      if (!first_stage) json += ",";
+      first_stage = false;
+      json += "{\"stage\":\"";
+      json += StageName(stage);
+      json += "\",\"calls\":" + std::to_string(calls);
+      json += ",\"ms\":" + JsonDouble(response.profile->StageMs(stage)) +
+              "}";
+    }
+    json += "],\"stage_sum_ms\":" +
+            JsonDouble(response.profile->StageSumMs());
+    json += ",\"wall_ms\":" + JsonDouble(response.profile->WallMs()) + "}";
+  }
   json += "}";
   return json;
 }
@@ -321,7 +379,19 @@ std::string HandleRequestLine(QueryEngine& engine, const std::string& line,
     return CountersToJson(engine.GetCounters(),
                           engine.registry().GetStats(), engine.config());
   }
+  if (request->op == "events") {
+    size_t max_events = SIZE_MAX;
+    if (auto it = request->args.find("n"); it != request->args.end()) {
+      auto parsed = ParseUint(it->second, "n");
+      if (!parsed.ok()) return StatusToJson(parsed.status());
+      max_events = static_cast<size_t>(*parsed);
+    }
+    return EventsToJson(engine.events(), max_events);
+  }
   if (request->op == "metrics") {
+    // GetCounters refreshes the worker-utilization gauges; the snapshot
+    // itself is discarded.
+    (void)engine.GetCounters();
     // Both exposition forms in one response: the Prometheus text is a
     // JSON string (scrape adapters unescape it), the snapshot is plain
     // nested JSON.
@@ -427,7 +497,8 @@ std::string HandleRequestLine(QueryEngine& engine, const std::string& line,
   }
   return StatusToJson(Status::InvalidArgument(
       "unknown request '" + request->op +
-      "' (want load/query/ingest/unload/datasets/stats/metrics/quit)"));
+      "' (want load/query/ingest/unload/datasets/stats/events/metrics/"
+      "quit)"));
 }
 
 uint64_t ServeLoop(QueryEngine& engine, std::istream& in,

@@ -10,16 +10,21 @@
 //   query dataset=<id> kind=<kind> [k=N] [eta=T] [target=COL]
 //         [epsilon=E] [seed=N] [pf=P] [m0=N] [growth=G]
 //         [sketch-threshold=U] [sketch-epsilon=E] [sequential=0|1]
-//         [timeout-ms=N] [trace=0|1]
+//         [timeout-ms=N] [trace=0|1] [profile=0|1]
 //   ingest dataset=<id> [row=v1,v2,...] [csv=<path>]
 //   unload name=<id>
 //   datasets
 //   stats
+//   events [n=N]
 //   metrics
 //   quit
 //
-// `trace=1` attaches a per-round "trace" array to the query response (see
-// docs/OBSERVABILITY.md for the row schema). `metrics` returns the
+// `trace=1` attaches a per-round "trace" array to the query response and
+// `profile=1` a per-stage "profile" breakdown (see docs/OBSERVABILITY.md
+// for both schemas); with both off the response is byte-identical to one
+// from an engine without observability. `events` returns the engine's
+// most recent structured events (admissions, completions, slow-query
+// captures, ...), newest-last, at most n of them. `metrics` returns the
 // engine's MetricsRegistry both as escaped Prometheus exposition text
 // ("prometheus") and as a nested JSON snapshot ("snapshot").
 //

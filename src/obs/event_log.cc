@@ -1,0 +1,130 @@
+#include "src/obs/event_log.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+
+namespace swope {
+
+namespace {
+
+size_t RoundUpPow2(size_t value) {
+  size_t pow2 = 8;
+  while (pow2 < value) pow2 <<= 1;
+  return pow2;
+}
+
+uint32_t Log2(size_t pow2) {
+  uint32_t shift = 0;
+  while ((size_t{1} << shift) < pow2) ++shift;
+  return shift;
+}
+
+void CopyTruncated(char* dst, size_t dst_size, std::string_view src) {
+  const size_t n = std::min(src.size(), dst_size - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kQueryAdmit:
+      return "query-admit";
+    case EventKind::kQueryReject:
+      return "query-reject";
+    case EventKind::kQueryComplete:
+      return "query-complete";
+    case EventKind::kQueryCancelled:
+      return "query-cancelled";
+    case EventKind::kQueryDeadline:
+      return "query-deadline";
+    case EventKind::kSlowQuery:
+      return "slow-query";
+    case EventKind::kIngest:
+      return "ingest";
+    case EventKind::kDatasetLoad:
+      return "dataset-load";
+    case EventKind::kDatasetEvict:
+      return "dataset-evict";
+  }
+  return "unknown";
+}
+
+EventLog::EventLog(size_t capacity)
+    : capacity_(RoundUpPow2(capacity)),
+      mask_(capacity_ - 1),
+      shift_(Log2(capacity_)),
+      slots_(std::make_unique<Slot[]>(capacity_)) {}
+
+void EventLog::Append(EventKind kind, std::string_view dataset,
+                      std::string_view detail, double wall_ms) {
+  const uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & mask_];
+  const uint64_t lap = ticket >> shift_;
+
+  Record record;
+  std::memset(&record, 0, sizeof(record));
+  record.sequence = ticket;
+  record.kind = static_cast<uint64_t>(kind);
+  record.wall_ms = wall_ms;
+  CopyTruncated(record.dataset, sizeof(record.dataset), dataset);
+  CopyTruncated(record.detail, sizeof(record.detail), detail);
+  uint64_t words[kWords];
+  std::memcpy(words, &record, sizeof(record));
+
+  // Wait for the previous lap's writer to finish publishing this slot.
+  // The wait window is one payload copy, so this spin is short and
+  // bounded in practice; writers never block readers.
+  uint64_t expected = 2 * lap;
+  while (slot.state.load(std::memory_order_acquire) != expected) {
+  }
+  slot.state.store(expected + 1, std::memory_order_relaxed);
+  for (size_t i = 0; i < kWords; ++i) {
+    slot.words[i].store(words[i], std::memory_order_relaxed);
+  }
+  slot.state.store(2 * (lap + 1), std::memory_order_release);
+}
+
+std::vector<EventLog::Event> EventLog::Snapshot(size_t max_events) const {
+  const uint64_t total = next_.load(std::memory_order_acquire);
+  uint64_t first = total > capacity_ ? total - capacity_ : 0;
+  if (total - first > max_events) first = total - max_events;
+
+  std::vector<Event> out;
+  out.reserve(static_cast<size_t>(total - first));
+  for (uint64_t ticket = first; ticket < total; ++ticket) {
+    const Slot& slot = slots_[ticket & mask_];
+    const uint64_t published = 2 * ((ticket >> shift_) + 1);
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const uint64_t before = slot.state.load(std::memory_order_acquire);
+      if (before > published) break;  // Overwritten by a later lap.
+      if (before != published) continue;  // Writer mid-copy; retry briefly.
+      // Acquire word loads keep the state re-check below from being
+      // reordered before them (gcc's TSan rejects the classic
+      // atomic_thread_fence formulation); on x86 these are plain loads.
+      uint64_t words[kWords];
+      for (size_t i = 0; i < kWords; ++i) {
+        words[i] = slot.words[i].load(std::memory_order_acquire);
+      }
+      if (slot.state.load(std::memory_order_acquire) != before) continue;
+      Record record;
+      std::memcpy(&record, words, sizeof(record));
+      if (record.sequence != ticket) break;
+      Event event;
+      event.sequence = record.sequence;
+      event.kind = static_cast<EventKind>(record.kind);
+      event.wall_ms = record.wall_ms;
+      record.dataset[sizeof(record.dataset) - 1] = '\0';
+      record.detail[sizeof(record.detail) - 1] = '\0';
+      event.dataset = record.dataset;
+      event.detail = record.detail;
+      out.push_back(std::move(event));
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace swope

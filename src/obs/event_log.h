@@ -1,0 +1,141 @@
+// EventLog: a bounded, lock-free ring of structured engine events --
+// admissions, rejections, completions, cancellations, deadline expiries,
+// ingests, dataset loads and evictions, and slow-query captures (a query
+// over the engine's wall-time threshold persists its stage profile and
+// round trace as the event's detail payload).
+//
+// Answers the forensic question metrics cannot: "what were the last N
+// things the engine did, and which queries were slow and why?"
+//
+// Concurrency design (seqlock slots behind a ticket counter):
+//   * A writer takes a global ticket (one fetch_add), which names both
+//     its slot (ticket mod capacity) and its lap. It marks the slot odd
+//     (write in progress), stores the payload as relaxed atomic words,
+//     and publishes with a release store of the next even lap state.
+//     Writers never take a lock; a writer lapping a slot spins only for
+//     the previous writer's short copy window.
+//   * Readers are wait-free against writers: Snapshot validates each
+//     slot's state word before and after copying and simply skips slots
+//     that are mid-write or have been overwritten. A snapshot is a
+//     best-effort recent-history read, never a blocking one.
+//
+// Payload strings are truncated to fixed per-slot capacity; events are
+// for humans and dashboards, not for replaying state.
+
+#ifndef SWOPE_OBS_EVENT_LOG_H_
+#define SWOPE_OBS_EVENT_LOG_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swope {
+
+/// What happened. Stable names via EventKindName (serve `events` op and
+/// docs/OBSERVABILITY.md use the same spelling).
+enum class EventKind : uint8_t {
+  /// A query acquired its admission slot(s) and is about to execute.
+  kQueryAdmit = 0,
+  /// A query was shed at admission (Status::Unavailable).
+  kQueryReject,
+  /// A query finished successfully (cache hits included).
+  kQueryComplete,
+  /// A query observed cancellation and unwound.
+  kQueryCancelled,
+  /// A query exceeded its deadline and unwound.
+  kQueryDeadline,
+  /// A successful query exceeded the engine's slow-query threshold; the
+  /// detail payload carries its stage profile and round trace.
+  kSlowQuery,
+  /// Rows were appended to a dataset through ingest.
+  kIngest,
+  /// A dataset was registered (or replaced) in the registry.
+  kDatasetLoad,
+  /// A dataset left the registry (LRU budget eviction or explicit
+  /// unload; the detail says which).
+  kDatasetEvict,
+};
+
+/// Stable lowercase event-kind name ("query-admit", "slow-query", ...).
+const char* EventKindName(EventKind kind);
+
+/// Bounded multi-producer event ring. Writers are lock-free; readers
+/// never block writers.
+class EventLog {
+ public:
+  /// One decoded event, ordered by `sequence` (a global append index;
+  /// gaps in a snapshot mean the ring wrapped or a slot was mid-write).
+  struct Event {
+    uint64_t sequence = 0;
+    EventKind kind = EventKind::kQueryAdmit;
+    /// Duration in milliseconds where the kind has one (complete, slow
+    /// query, ingest); 0 otherwise.
+    double wall_ms = 0.0;
+    std::string dataset;
+    std::string detail;
+  };
+
+  /// `capacity` is rounded up to a power of two (minimum 8).
+  explicit EventLog(size_t capacity = kDefaultCapacity);
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Appends one event. `dataset` and `detail` are truncated to the
+  /// slot's fixed capacity (kDatasetBytes / kDetailBytes minus the
+  /// terminator). Safe from any thread.
+  void Append(EventKind kind, std::string_view dataset,
+              std::string_view detail, double wall_ms = 0.0);
+
+  /// The most recent events in ascending sequence order, at most
+  /// `max_events` of them (and never more than the ring holds). Slots
+  /// being overwritten concurrently are skipped, not waited for.
+  std::vector<Event> Snapshot(size_t max_events = SIZE_MAX) const;
+
+  /// Total events ever appended (monotone; exceeds capacity() once the
+  /// ring has wrapped).
+  uint64_t TotalAppended() const {
+    return next_.load(std::memory_order_acquire);
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  static constexpr size_t kDefaultCapacity = 256;
+  static constexpr size_t kDatasetBytes = 40;
+  static constexpr size_t kDetailBytes = 704;
+
+ private:
+  /// The POD image serialized into a slot's word buffer.
+  struct Record {
+    uint64_t sequence;
+    uint64_t kind;
+    double wall_ms;
+    char dataset[kDatasetBytes];
+    char detail[kDetailBytes];
+  };
+  static constexpr size_t kWords = sizeof(Record) / sizeof(uint64_t);
+  static_assert(sizeof(Record) % sizeof(uint64_t) == 0,
+                "Record must be word-granular");
+
+  struct Slot {
+    /// Seqlock state: 0 = never written, 2*lap + 1 = lap's write in
+    /// progress, 2*(lap + 1) = lap's write complete (which is also the
+    /// value the next lap's writer waits for).
+    std::atomic<uint64_t> state{0};
+    std::atomic<uint64_t> words[kWords];
+  };
+
+  const size_t capacity_;
+  const size_t mask_;
+  const uint32_t shift_;
+  std::atomic<uint64_t> next_{0};
+  const std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace swope
+
+#endif  // SWOPE_OBS_EVENT_LOG_H_

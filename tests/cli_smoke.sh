@@ -182,11 +182,14 @@ grep -F -q 'swope_pool_tasks_total{pool=\"executor\"}' "$TMP/metrics.out" \
 grep -F -q '"trace":[{"round":1,' "$TMP/metrics.out" \
   || fail "serve trace rows"
 
-# serve with intra-query threads answers identically to serial serve
+# serve with intra-query threads answers identically to serial serve --
+# including with profile=0 spelled out, which must not perturb a byte of
+# any reply across thread counts or pool modes
 printf '%s\n' \
   "load name=d path=$TMP/d.swpb" \
   "query dataset=d kind=entropy-topk k=3" \
   "query dataset=d kind=nmi-topk target=cdc_a0 k=2" \
+  "query dataset=d kind=mi-topk target=cdc_a0 k=2 profile=0" \
   "quit" > "$TMP/serve.req"
 "$CLI" serve < "$TMP/serve.req" > "$TMP/serve1.out" \
   || fail "serial serve exited non-zero"
@@ -194,6 +197,50 @@ printf '%s\n' \
   || fail "parallel serve exited non-zero"
 diff "$TMP/serve1.out" "$TMP/serve4.out" \
   || fail "--intra-threads changed serve answers"
+"$CLI" serve --pool-mode=single-queue < "$TMP/serve.req" \
+  > "$TMP/servesq.out" || fail "single-queue serve exited non-zero"
+diff "$TMP/serve1.out" "$TMP/servesq.out" \
+  || fail "--pool-mode changed serve answers"
+"$CLI" serve --intra-threads=4 --pool-mode=single-queue < "$TMP/serve.req" \
+  > "$TMP/servesq4.out" || fail "single-queue+intra serve exited non-zero"
+diff "$TMP/serve1.out" "$TMP/servesq4.out" \
+  || fail "pool-mode x intra-threads changed serve answers"
+grep -q '"profile":' "$TMP/serve1.out" \
+  && fail "profile=0 reply leaked a profile block"
+
+# profile=1 attaches a per-stage breakdown; the same line without it is
+# byte-identical to the profile=0 reply above (cache is per-process, so
+# each run below starts cold)
+printf '%s\n' \
+  "load name=d path=$TMP/d.swpb" \
+  "query dataset=d kind=entropy-topk k=3 profile=1" \
+  "query dataset=d kind=entropy-topk k=3 profile=1" \
+  "events" \
+  "stats" \
+  "quit" \
+  | "$CLI" serve --slow-query-ms=0.000001 --event-log-capacity=64 \
+  > "$TMP/profile.out" || fail "profile serve exited non-zero"
+grep -q '"profile":{"stages":\[' "$TMP/profile.out" \
+  || fail "profile=1 reply missing stage breakdown"
+grep -q '"stage":"count"' "$TMP/profile.out" || fail "profile missing count"
+grep -q '"stage_sum_ms":' "$TMP/profile.out" || fail "profile missing sum"
+grep -q '"wall_ms":' "$TMP/profile.out" || fail "profile missing wall"
+# the profiled repeat is a cache hit and carries no profile block
+[ "$(grep -c '"profile":{' "$TMP/profile.out")" -eq 1 ] \
+  || fail "cache hit carried a profile block"
+# events op: dataset load, admission, completion, and the slow-query
+# capture (threshold is ~0) all appear, newest last
+grep -q '"ok":true,"op":"events","total":' "$TMP/profile.out" \
+  || fail "events op"
+for kind in dataset-load query-admit query-complete slow-query; do
+  grep -q "\"kind\":\"$kind\"" "$TMP/profile.out" \
+    || fail "events missing $kind"
+done
+grep -q 'stages:' "$TMP/profile.out" || fail "slow-query detail w/o stages"
+# stats surface the event count and worker utilization telemetry
+grep -q '"events_logged":' "$TMP/profile.out" || fail "stats events_logged"
+grep -q '"executor_utilization":' "$TMP/profile.out" \
+  || fail "stats executor_utilization"
 
 # ---- sketch path, u > 1000 rejection, and streaming ingest ----
 

@@ -239,6 +239,66 @@ TEST(QueryEngineTest, ConfigClampsDegenerateValues) {
 // matter how many executor threads the engine uses, nor how many
 // intra-query worker threads the drivers fan candidate updates across.
 // Covers all six query kinds through the unified driver.
+TEST(QueryEngineTest, ProfiledRunReportsStagesAndWall) {
+  EngineConfig config;
+  config.intra_query_threads = 1;  // serial: stage sum cannot exceed wall
+  QueryEngine engine(config);
+  ASSERT_TRUE(
+      engine.RegisterDataset("ds", MakeEntropyTable({5.0, 2.0}, 3000, 3))
+          .ok());
+  QuerySpec spec = EntropyTopKSpec("ds", 1);
+  spec.profile = true;
+  auto response = engine.Run(spec);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_NE(response->profile, nullptr);
+
+  const double sum = response->profile->StageSumMs();
+  const double wall = response->profile->WallMs();
+  EXPECT_GT(sum, 0.0);
+  EXPECT_GT(wall, 0.0);
+  // Stages are disjoint intervals of one thread here, so their sum is
+  // bounded by the measured wall (plus generous jitter slack for the
+  // two clocks involved).
+  EXPECT_LE(sum, wall * 1.5 + 0.5);
+  EXPECT_GT(response->profile->StageCalls(Stage::kCount), 0u);
+
+  // Profiling is not part of the canonical key: the repeat is a cache
+  // hit and carries no profile.
+  auto repeat = engine.Run(spec);
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_TRUE(repeat->cache_hit);
+  EXPECT_EQ(repeat->profile, nullptr);
+
+  // Unprofiled runs never allocate a profiler.
+  QuerySpec plain = EntropyTopKSpec("ds", 2);
+  auto unprofiled = engine.Run(plain);
+  ASSERT_TRUE(unprofiled.ok());
+  EXPECT_EQ(unprofiled->profile, nullptr);
+}
+
+TEST(QueryEngineTest, CountersExposePoolUtilizationAndEvents) {
+  EngineConfig config;
+  config.intra_query_threads = 2;
+  QueryEngine engine(config);
+  ASSERT_TRUE(
+      engine.RegisterDataset("ds", MakeEntropyTable({4.0, 1.0}, 2000, 5))
+          .ok());
+  // Submit (not Run) so the executor pool demonstrably executes a task.
+  auto future = engine.Submit(EntropyTopKSpec("ds", 1));
+  ASSERT_TRUE(future.get().ok());
+
+  const EngineCounters counters = engine.GetCounters();
+  // dataset-load + query-admit + query-complete at minimum.
+  EXPECT_GE(counters.events_logged, 3u);
+  EXPECT_EQ(counters.events_logged, engine.events().TotalAppended());
+  EXPECT_GE(counters.executor_utilization, 0.0);
+  EXPECT_LE(counters.executor_utilization, 1.0);
+  EXPECT_GE(counters.intra_utilization, 0.0);
+  EXPECT_LE(counters.intra_utilization, 1.0);
+  // The executor ran the submitted query, so busy time was recorded.
+  EXPECT_GT(counters.executor_run_ms, 0.0);
+}
+
 TEST(QueryEngineDeterminismTest, IdenticalAcrossThreadCounts) {
   const Table table = MakeMiTable({0.2, 0.8, 0.5, 0.3}, 2500, 13);
 

@@ -199,6 +199,151 @@ TEST(ServeTest, MetricsReflectQueryBurst) {
             std::string::npos);
 }
 
+TEST(ServeTest, ProfiledQueryCarriesStageBreakdown) {
+  QueryEngine engine;
+  ASSERT_TRUE(
+      engine.RegisterDataset("ds", MakeEntropyTable({5.0, 2.0}, 1500, 3))
+          .ok());
+  const std::string response =
+      Handle(engine, "query dataset=ds kind=entropy-topk k=1 profile=1");
+  EXPECT_EQ(response.rfind("{\"ok\":true,\"op\":\"query\"", 0), 0u)
+      << response;
+  ASSERT_NE(response.find("\"profile\":{\"stages\":["), std::string::npos)
+      << response;
+  // The serial execution path exercises at least gathering, counting,
+  // interval updates, and finalization; scheduling-wait is always timed.
+  // (shard-merge only fires on multi-shard plans, so it is not required.)
+  for (const char* stage :
+       {"\"stage\":\"gather\"", "\"stage\":\"count\"",
+        "\"stage\":\"interval-update\"", "\"stage\":\"finalize\"",
+        "\"stage\":\"scheduling-wait\""}) {
+    EXPECT_NE(response.find(stage), std::string::npos)
+        << stage << " missing in " << response;
+  }
+  EXPECT_NE(response.find("\"stage_sum_ms\":"), std::string::npos);
+  EXPECT_NE(response.find("\"wall_ms\":"), std::string::npos);
+
+  // Profile is not part of the canonical cache key, and a cache hit ran
+  // no stages: the profiled repeat carries no profile block.
+  const std::string hit =
+      Handle(engine, "query dataset=ds kind=entropy-topk k=1 profile=1");
+  EXPECT_NE(hit.find("\"cache_hit\":true"), std::string::npos) << hit;
+  EXPECT_EQ(hit.find("\"profile\":"), std::string::npos) << hit;
+}
+
+TEST(ServeTest, ProfileOffOutputIsByteIdenticalToUnprofiled) {
+  // `profile=0` (and an absent profile argument) must not perturb a
+  // single byte of the reply: two identically seeded engines answer the
+  // same query identically whether or not the flag is spelled out.
+  QueryEngine plain_engine;
+  QueryEngine flagged_engine;
+  ASSERT_TRUE(
+      plain_engine
+          .RegisterDataset("ds", MakeEntropyTable({5.0, 2.0}, 1500, 3))
+          .ok());
+  ASSERT_TRUE(
+      flagged_engine
+          .RegisterDataset("ds", MakeEntropyTable({5.0, 2.0}, 1500, 3))
+          .ok());
+  const std::string plain =
+      Handle(plain_engine, "query dataset=ds kind=entropy-topk k=1");
+  const std::string flagged = Handle(
+      flagged_engine, "query dataset=ds kind=entropy-topk k=1 profile=0");
+  EXPECT_EQ(plain, flagged);
+  EXPECT_EQ(plain.find("\"profile\":"), std::string::npos) << plain;
+}
+
+TEST(ServeTest, EventsOpReportsLifecycle) {
+  QueryEngine engine;
+  ASSERT_TRUE(
+      engine.RegisterDataset("ds", MakeEntropyTable({4.0}, 1000, 1)).ok());
+  ASSERT_EQ(Handle(engine, "query dataset=ds kind=entropy-topk k=1")
+                .rfind("{\"ok\":true", 0),
+            0u);
+  const std::string response = Handle(engine, "events");
+  EXPECT_EQ(response.rfind("{\"ok\":true,\"op\":\"events\",\"total\":", 0),
+            0u)
+      << response;
+  for (const char* needle :
+       {"\"kind\":\"dataset-load\"", "\"kind\":\"query-admit\"",
+        "\"kind\":\"query-complete\"", "\"dataset\":\"ds\"",
+        "\"seq\":0", "\"detail\":\"rows=1000 shards="}) {
+    EXPECT_NE(response.find(needle), std::string::npos)
+        << needle << " missing in " << response;
+  }
+
+  // n= caps the snapshot at the newest events.
+  const std::string limited = Handle(engine, "events n=1");
+  EXPECT_EQ(limited.rfind("{\"ok\":true,\"op\":\"events\"", 0), 0u);
+  // Exactly one event object in the array.
+  size_t count = 0;
+  for (size_t pos = limited.find("\"seq\":"); pos != std::string::npos;
+       pos = limited.find("\"seq\":", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u) << limited;
+  EXPECT_NE(limited.find("\"kind\":\"query-complete\""), std::string::npos)
+      << limited;
+}
+
+TEST(ServeTest, SlowQueryThresholdCapturesStageBreakdown) {
+  EngineConfig config;
+  config.slow_query_ms = 1e-6;  // every executed query is "slow"
+  QueryEngine engine(config);
+  ASSERT_TRUE(
+      engine.RegisterDataset("ds", MakeEntropyTable({4.0, 1.0}, 1200, 5))
+          .ok());
+  ASSERT_EQ(Handle(engine, "query dataset=ds kind=entropy-topk k=1")
+                .rfind("{\"ok\":true", 0),
+            0u);
+  const std::string response = Handle(engine, "events");
+  ASSERT_NE(response.find("\"kind\":\"slow-query\""), std::string::npos)
+      << response;
+  // The captured detail embeds the stage profile even though the client
+  // never asked for profile=1.
+  EXPECT_NE(response.find("stages:"), std::string::npos) << response;
+  EXPECT_NE(response.find("sum="), std::string::npos) << response;
+
+  // Cache hits never re-trip the slow-query capture.
+  const std::string before = Handle(engine, "events");
+  ASSERT_EQ(Handle(engine, "query dataset=ds kind=entropy-topk k=1")
+                .rfind("{\"ok\":true", 0),
+            0u);
+  const std::string after = Handle(engine, "events");
+  size_t slow_before = 0, slow_after = 0;
+  for (size_t pos = before.find("slow-query"); pos != std::string::npos;
+       pos = before.find("slow-query", pos + 1)) {
+    ++slow_before;
+  }
+  for (size_t pos = after.find("slow-query"); pos != std::string::npos;
+       pos = after.find("slow-query", pos + 1)) {
+    ++slow_after;
+  }
+  EXPECT_EQ(slow_before, slow_after);
+}
+
+TEST(ServeTest, StatsCarryUtilizationAndEventTelemetry) {
+  EngineConfig config;
+  config.intra_query_threads = 2;
+  QueryEngine engine(config);
+  ASSERT_TRUE(
+      engine.RegisterDataset("ds", MakeEntropyTable({4.0}, 1000, 1)).ok());
+  ASSERT_EQ(Handle(engine, "query dataset=ds kind=entropy-topk k=1")
+                .rfind("{\"ok\":true", 0),
+            0u);
+  const std::string stats = Handle(engine, "stats");
+  for (const char* field :
+       {"\"events_logged\":", "\"executor_utilization\":",
+        "\"executor_run_ms\":", "\"executor_idle_ms\":",
+        "\"intra_utilization\":", "\"intra_run_ms\":",
+        "\"intra_idle_ms\":"}) {
+    EXPECT_NE(stats.find(field), std::string::npos)
+        << field << " missing in " << stats;
+  }
+  // At least dataset-load + admit + complete were logged.
+  EXPECT_EQ(stats.find("\"events_logged\":0"), std::string::npos) << stats;
+}
+
 TEST(ServeTest, MalformedRequestsAreInBandErrors) {
   QueryEngine engine;
   // Unknown op.

@@ -130,7 +130,24 @@ def parse_text(text):
             del bench["datasets"]
         if not bench["benchmarks"]:
             del bench["benchmarks"]
-    return {"benches": benches}
+    document = {"benches": benches}
+
+    # Single-core hosts cannot show a pool-mode difference: both the
+    # stealing and single-queue serve configurations serialize onto the
+    # one core, so serve_throughput comparisons are meaningless there.
+    # Annotate instead of silently publishing misleading numbers.
+    metadata = benches.get("run_metadata", {}).get("config", {})
+    host_cores = metadata.get("host_cores")
+    if host_cores is not None:
+        document["host_cores"] = host_cores
+        if host_cores == 1:
+            document["annotations"] = [
+                "host_cores=1: serve_throughput numbers were collected on"
+                " a single-core host where both pool modes serialize;"
+                " pool-mode and thread-scaling comparisons are not"
+                " meaningful in this run."
+            ]
+    return document
 
 
 def main(argv):

@@ -68,7 +68,11 @@ commands:
              [--threads=N] [--intra-threads=N] [--max-in-flight=N]
              [--max-in-flight-tasks=N] [--max-waiters=N] [--shard-size=N]
              [--pool-mode=stealing|single-queue] [--memory-budget-mb=N]
-             [--result-cache=N] [--timeout-ms=N]
+             [--result-cache=N] [--timeout-ms=N] [--slow-query-ms=T]
+             [--event-log-capacity=N]
+             --slow-query-ms captures any executed query slower than T ms
+             into the event ring with its stage profile (0 disables);
+             `events` reads the ring back
 
 common flags:
   --max-support=U   drop columns with more than U distinct values before
@@ -540,6 +544,9 @@ int CmdServe(const Flags& flags) {
   config.result_cache_capacity =
       static_cast<size_t>(flags.GetUint("result-cache", 256));
   config.default_timeout_ms = flags.GetUint("timeout-ms", 0);
+  config.slow_query_ms = flags.GetDouble("slow-query-ms", 0.0);
+  config.event_log_capacity = static_cast<size_t>(
+      flags.GetUint("event-log-capacity", EventLog::kDefaultCapacity));
   QueryEngine engine(config);
   // Per-request failures are reported in-band as {"ok":false,...} JSON;
   // reaching EOF (or quit) with the transport intact is a success.
