@@ -14,7 +14,7 @@
 #include "src/common/stopwatch.h"
 #include "src/core/entropy.h"
 #include "src/datagen/dataset_presets.h"
-#include "src/fs/mrmr.h"
+#include "src/eval/mrmr.h"
 
 int main() {
   auto table = swope::MakePresetTable(swope::DatasetPreset::kPus,

@@ -10,17 +10,18 @@ namespace {
 
 // Sorts (score, index) pairs by descending score, ties by ascending index,
 // and emits the first k as AttributeScores with degenerate intervals.
-std::vector<AttributeScore> TopKFromScores(const Table& table,
-                                           const std::vector<double>& scores,
-                                           const std::vector<size_t>& eligible,
-                                           size_t k) {
+// Returns a pmr vector (on the default heap resource) to match the
+// result types; the baselines take no QueryOptions and never use arenas.
+std::pmr::vector<AttributeScore> TopKFromScores(
+    const Table& table, const std::vector<double>& scores,
+    const std::vector<size_t>& eligible, size_t k) {
   std::vector<size_t> order = eligible;
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     if (scores[a] != scores[b]) return scores[a] > scores[b];
     return a < b;
   });
   order.resize(std::min(order.size(), k));
-  std::vector<AttributeScore> items;
+  std::pmr::vector<AttributeScore> items;
   items.reserve(order.size());
   for (size_t j : order) {
     items.push_back(

@@ -1,0 +1,9 @@
+#include "src/common/alloc_hook.h"
+
+namespace swope {
+
+// Weak default: a strong definition in a test binary (the counting
+// interposer) replaces it at link time.
+__attribute__((weak)) uint64_t AllocationCount() { return 0; }
+
+}  // namespace swope

@@ -1,0 +1,25 @@
+// AllocationCount: test-only heap-allocation counting hook.
+//
+// Production binaries have no interposer, so AllocationCount() is a
+// constant 0 and the per-query `allocs` field in serve's profile output
+// reads 0. Test binaries that interpose global operator new (tests/
+// alloc_regression_test.cc) provide a strong definition that returns
+// the interposer's running allocation count; the weak default here
+// yields to it at link time. This is how the zero-allocation serving
+// contract is observable end-to-end without any production-path cost.
+
+#ifndef SWOPE_COMMON_ALLOC_HOOK_H_
+#define SWOPE_COMMON_ALLOC_HOOK_H_
+
+#include <cstdint>
+
+namespace swope {
+
+/// Heap allocations observed so far in this process by the linked
+/// interposer; 0 forever when none is linked. Monotone; meaningful only
+/// as a delta across a region of interest.
+uint64_t AllocationCount();
+
+}  // namespace swope
+
+#endif  // SWOPE_COMMON_ALLOC_HOOK_H_

@@ -13,6 +13,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <memory_resource>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -30,13 +31,22 @@ class FlatHashMap {
   static constexpr Key kEmptyKey = static_cast<Key>(~Key{0});
 
   /// Creates a map sized for at least `expected_size` elements without
-  /// rehashing.
-  explicit FlatHashMap(size_t expected_size = 0) { Init(expected_size); }
+  /// rehashing. Slot storage comes from `memory` (default: the global
+  /// heap); a query-arena resource makes the map's growth part of the
+  /// per-query bump allocation (src/common/arena.h).
+  explicit FlatHashMap(size_t expected_size = 0,
+                       std::pmr::memory_resource* memory = nullptr)
+      : slots_(memory != nullptr ? memory
+                                 : std::pmr::get_default_resource()) {
+    Init(expected_size);
+  }
 
+  // Copies land on the default resource (a cached copy must not alias a
+  // rewindable arena); moves keep the source's resource.
   FlatHashMap(const FlatHashMap&) = default;
   FlatHashMap& operator=(const FlatHashMap&) = default;
   FlatHashMap(FlatHashMap&&) noexcept = default;
-  FlatHashMap& operator=(FlatHashMap&&) noexcept = default;
+  FlatHashMap& operator=(FlatHashMap&&) = default;
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
@@ -115,7 +125,7 @@ class FlatHashMap {
   }
 
   void Grow() {
-    std::vector<std::pair<Key, Value>> old = std::move(slots_);
+    std::pmr::vector<std::pair<Key, Value>> old = std::move(slots_);
     slots_.assign(old.size() * 2, {kEmptyKey, Value{}});
     size_ = 0;
     for (auto& slot : old) {
@@ -127,7 +137,7 @@ class FlatHashMap {
     }
   }
 
-  std::vector<std::pair<Key, Value>> slots_;
+  std::pmr::vector<std::pair<Key, Value>> slots_;
   size_t size_ = 0;
 };
 

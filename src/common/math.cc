@@ -2,13 +2,18 @@
 
 namespace swope {
 
-double EntropyFromCounts(const std::vector<uint64_t>& counts, uint64_t total) {
+double EntropyFromCounts(const uint64_t* counts, size_t num_counts,
+                         uint64_t total) {
   if (total == 0) return 0.0;
   double sum_xlog2x = 0.0;
-  for (uint64_t c : counts) {
-    if (c > 0) sum_xlog2x += XLog2X(static_cast<double>(c));
+  for (size_t i = 0; i < num_counts; ++i) {
+    if (counts[i] > 0) sum_xlog2x += XLog2X(static_cast<double>(counts[i]));
   }
   return EntropyFromXLog2XSum(sum_xlog2x, total);
+}
+
+double EntropyFromCounts(const std::vector<uint64_t>& counts, uint64_t total) {
+  return EntropyFromCounts(counts.data(), counts.size(), total);
 }
 
 double EntropyFromXLog2XSum(double sum_xlog2x, uint64_t total) {

@@ -21,9 +21,14 @@ inline double XLog2X(double x) {
 /// counts, where x == 0 never contributes).
 inline double SafeLog2(double x) { return x > 0.0 ? std::log2(x) : 0.0; }
 
-/// Entropy (in bits) of the empirical distribution given by `counts`,
-/// whose sum is `total`. Zero counts contribute nothing; total == 0 yields
-/// an entropy of 0 by convention.
+/// Entropy (in bits) of the empirical distribution given by the
+/// `num_counts` counts at `counts`, whose sum is `total`. Zero counts
+/// contribute nothing; total == 0 yields an entropy of 0 by convention.
+/// The pointer form serves counters in any container (the arena-backed
+/// pmr vectors of src/core/ included); the vector overload is a
+/// convenience for tests and the exact baselines.
+double EntropyFromCounts(const uint64_t* counts, size_t num_counts,
+                         uint64_t total);
 double EntropyFromCounts(const std::vector<uint64_t>& counts, uint64_t total);
 
 /// Entropy computed from the streaming statistic sum_i n_i*log2(n_i):

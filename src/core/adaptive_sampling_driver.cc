@@ -66,7 +66,8 @@ void RunRoundTask(Scorer& scorer, const RoundTask& task,
 // sequences, so intervals are byte-identical at any thread count and
 // any shard count; every cross-candidate reduction afterwards runs
 // serially in Decide.
-void UpdateActiveCandidates(Scorer& scorer, const std::vector<size_t>& active,
+void UpdateActiveCandidates(Scorer& scorer,
+                            const std::pmr::vector<size_t>& active,
                             const std::vector<uint32_t>& order,
                             PrefixSampler::Range range, uint64_t m,
                             const Table& table, ThreadPool* pool,
@@ -140,13 +141,15 @@ Result<AdaptiveSamplingDriver::Output> AdaptiveSamplingDriver::Run(
             static_cast<double>(scorer.num_candidates()));
   scorer.Bind(n, p_iter);
 
-  Output output;
+  std::pmr::memory_resource* const memory = ResolveQueryMemory(options_);
+  Output output(memory);
   output.stats.initial_sample_size = m0;
 
   SWOPE_ASSIGN_OR_RETURN(
       PrefixSampler sampler,
       MakePrefixSampler(static_cast<uint32_t>(n), options_));
-  std::vector<size_t> active(scorer.num_candidates());
+  std::pmr::vector<size_t> active(memory);
+  active.resize(scorer.num_candidates());
   for (size_t i = 0; i < active.size(); ++i) active[i] = i;
 
   // Tracing cost when disabled is the null checks below -- one branch per
@@ -221,16 +224,17 @@ Result<AdaptiveSamplingDriver::Output> AdaptiveSamplingDriver::Run(
   return output;
 }
 
-bool TopKPolicy::Decide(const Scorer& scorer, std::vector<size_t>& active,
+bool TopKPolicy::Decide(const Scorer& scorer, std::pmr::vector<size_t>& active,
                         uint64_t m, uint64_t n,
-                        std::vector<AttributeScore>& /*items*/) {
-  // k-th largest upper bound over the active set.
-  std::vector<double> uppers;
-  uppers.reserve(active.size());
-  for (size_t idx : active) uppers.push_back(scorer.interval(idx).upper);
-  std::nth_element(uppers.begin(), uppers.begin() + (k_ - 1), uppers.end(),
+                        std::pmr::vector<AttributeScore>& /*items*/) {
+  // k-th largest upper bound over the active set. The selection buffers
+  // are members so rounds after the first reuse their capacity.
+  uppers_.clear();
+  uppers_.reserve(active.size());
+  for (size_t idx : active) uppers_.push_back(scorer.interval(idx).upper);
+  std::nth_element(uppers_.begin(), uppers_.begin() + (k_ - 1), uppers_.end(),
                    std::greater<double>());
-  const double kth_upper = uppers[k_ - 1];
+  const double kth_upper = uppers_[k_ - 1];
 
   if (scorer.TopKShouldStop(active, kth_upper, m, epsilon_)) return true;
   if (m >= n) {
@@ -241,12 +245,12 @@ bool TopKPolicy::Decide(const Scorer& scorer, std::vector<size_t>& active,
 
   // Prune candidates that cannot be in the top-k: upper bound strictly
   // below the k-th largest lower bound (Algorithm 1 lines 14-17).
-  std::vector<double> lowers;
-  lowers.reserve(active.size());
-  for (size_t idx : active) lowers.push_back(scorer.interval(idx).lower);
-  std::nth_element(lowers.begin(), lowers.begin() + (k_ - 1), lowers.end(),
+  lowers_.clear();
+  lowers_.reserve(active.size());
+  for (size_t idx : active) lowers_.push_back(scorer.interval(idx).lower);
+  std::nth_element(lowers_.begin(), lowers_.begin() + (k_ - 1), lowers_.end(),
                    std::greater<double>());
-  const double kth_lower = lowers[k_ - 1];
+  const double kth_lower = lowers_[k_ - 1];
   std::erase_if(active, [&](size_t idx) {
     return scorer.interval(idx).upper < kth_lower;
   });
@@ -254,19 +258,19 @@ bool TopKPolicy::Decide(const Scorer& scorer, std::vector<size_t>& active,
 }
 
 void TopKPolicy::Finalize(const Scorer& scorer,
-                          const std::vector<size_t>& active,
-                          std::vector<AttributeScore>& items) {
+                          const std::pmr::vector<size_t>& active,
+                          std::pmr::vector<AttributeScore>& items) {
   // Order the active candidates by descending upper bound (ties by
   // ascending column index) and emit the top k.
-  std::vector<size_t> order = active;
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+  order_.assign(active.begin(), active.end());
+  std::sort(order_.begin(), order_.end(), [&](size_t a, size_t b) {
     if (scorer.interval(a).upper != scorer.interval(b).upper) {
       return scorer.interval(a).upper > scorer.interval(b).upper;
     }
     return scorer.column(a) < scorer.column(b);
   });
-  order.resize(std::min(order.size(), k_));
-  for (size_t idx : order) {
+  order_.resize(std::min(order_.size(), k_));
+  for (size_t idx : order_) {
     const ScoreInterval& interval = scorer.interval(idx);
     items.push_back({scorer.column(idx),
                      table_.column(scorer.column(idx)).name(),
@@ -274,10 +278,11 @@ void TopKPolicy::Finalize(const Scorer& scorer,
   }
 }
 
-bool FilterPolicy::Decide(const Scorer& scorer, std::vector<size_t>& active,
-                          uint64_t m, uint64_t n,
-                          std::vector<AttributeScore>& items) {
-  std::vector<size_t> still_active;
+bool FilterPolicy::Decide(const Scorer& scorer,
+                          std::pmr::vector<size_t>& active, uint64_t m,
+                          uint64_t n, std::pmr::vector<AttributeScore>& items) {
+  std::pmr::vector<size_t>& still_active = still_active_;
+  still_active.clear();
   still_active.reserve(active.size());
   for (size_t idx : active) {
     const ScoreInterval& interval = scorer.interval(idx);
@@ -298,7 +303,14 @@ bool FilterPolicy::Decide(const Scorer& scorer, std::vector<size_t>& active,
       still_active.push_back(idx);
     }
   }
-  active = std::move(still_active);
+  if (active.get_allocator() == still_active.get_allocator()) {
+    // Buffer ping-pong: both vectors keep their capacities, so
+    // steady-state rounds allocate nothing.
+    active.swap(still_active);
+    still_active.clear();
+  } else {
+    active.assign(still_active.begin(), still_active.end());
+  }
 
   // Exact bounds have zero width at M = N, so everything is classified
   // above; the m >= n arm is a defensive backstop.
@@ -306,8 +318,8 @@ bool FilterPolicy::Decide(const Scorer& scorer, std::vector<size_t>& active,
 }
 
 void FilterPolicy::Finalize(const Scorer& /*scorer*/,
-                            const std::vector<size_t>& /*active*/,
-                            std::vector<AttributeScore>& items) {
+                            const std::pmr::vector<size_t>& /*active*/,
+                            std::pmr::vector<AttributeScore>& items) {
   std::sort(items.begin(), items.end(),
             [](const AttributeScore& a, const AttributeScore& b) {
               return a.index < b.index;

@@ -45,6 +45,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory_resource>
 #include <vector>
 
 #include "src/common/result.h"
@@ -54,6 +55,14 @@
 #include "src/table/table.h"
 
 namespace swope {
+
+/// The memory resource a query's transient state allocates from: the
+/// caller-provided arena (QueryOptions::memory) or the global heap.
+inline std::pmr::memory_resource* ResolveQueryMemory(
+    const QueryOptions& options) {
+  return options.memory != nullptr ? options.memory
+                                   : std::pmr::get_default_resource();
+}
 
 /// A candidate's confidence interval plus the scorer-specific stopping
 /// ingredient (entropy: the Lemma 1 bias b; MI: the total slack b').
@@ -151,15 +160,21 @@ class Scorer {
   /// bound over `active`. Each implementation reproduces its algorithm's
   /// exact arithmetic (Algorithms 1 and 3, and the NMI relative-width
   /// rule); a non-positive kth_upper always stops.
-  virtual bool TopKShouldStop(const std::vector<size_t>& active,
+  virtual bool TopKShouldStop(const std::pmr::vector<size_t>& active,
                               double kth_upper, uint64_t m,
                               double epsilon) const = 0;
 
  protected:
-  Scorer() = default;
+  /// All per-candidate state allocates from `memory` (null: global heap).
+  explicit Scorer(std::pmr::memory_resource* memory = nullptr)
+      : memory_(memory != nullptr ? memory
+                                  : std::pmr::get_default_resource()),
+        columns_(memory_),
+        intervals_(memory_) {}
 
-  std::vector<size_t> columns_;         // candidate -> table column
-  std::vector<ScoreInterval> intervals_;  // candidate -> latest interval
+  std::pmr::memory_resource* const memory_;  // never null
+  std::pmr::vector<size_t> columns_;         // candidate -> table column
+  std::pmr::vector<ScoreInterval> intervals_;  // candidate -> latest interval
   size_t sketch_candidates_ = 0;        // candidates on the sketch path
   uint64_t n_ = 0;
   double p_iter_ = 0.0;
@@ -174,14 +189,14 @@ class DecisionPolicy {
   /// One round's decision, after all active candidates were updated.
   /// May shrink `active` (pruning / classification); returns true when the
   /// query is done. Runs serially in the fixed active order.
-  virtual bool Decide(const Scorer& scorer, std::vector<size_t>& active,
+  virtual bool Decide(const Scorer& scorer, std::pmr::vector<size_t>& active,
                       uint64_t m, uint64_t n,
-                      std::vector<AttributeScore>& items) = 0;
+                      std::pmr::vector<AttributeScore>& items) = 0;
 
   /// Assembles the final items after the loop stops.
   virtual void Finalize(const Scorer& scorer,
-                        const std::vector<size_t>& active,
-                        std::vector<AttributeScore>& items) = 0;
+                        const std::pmr::vector<size_t>& active,
+                        std::pmr::vector<AttributeScore>& items) = 0;
 };
 
 /// Top-k (Algorithms 1 and 3): stop via Scorer::TopKShouldStop on the
@@ -190,18 +205,33 @@ class DecisionPolicy {
 /// (ties by ascending column index).
 class TopKPolicy : public DecisionPolicy {
  public:
-  TopKPolicy(const Table& table, size_t k, double epsilon)
-      : table_(table), k_(k), epsilon_(epsilon) {}
+  /// Round scratch (the k-th-bound selection buffers) allocates from
+  /// `memory` (null: global heap) and keeps its capacity across rounds.
+  TopKPolicy(const Table& table, size_t k, double epsilon,
+             std::pmr::memory_resource* memory = nullptr)
+      : table_(table),
+        k_(k),
+        epsilon_(epsilon),
+        uppers_(memory != nullptr ? memory
+                                  : std::pmr::get_default_resource()),
+        lowers_(uppers_.get_allocator()),
+        order_(uppers_.get_allocator()) {}
 
-  bool Decide(const Scorer& scorer, std::vector<size_t>& active, uint64_t m,
-              uint64_t n, std::vector<AttributeScore>& items) override;
-  void Finalize(const Scorer& scorer, const std::vector<size_t>& active,
-                std::vector<AttributeScore>& items) override;
+  bool Decide(const Scorer& scorer, std::pmr::vector<size_t>& active,
+              uint64_t m, uint64_t n,
+              std::pmr::vector<AttributeScore>& items) override;
+  void Finalize(const Scorer& scorer, const std::pmr::vector<size_t>& active,
+                std::pmr::vector<AttributeScore>& items) override;
 
  private:
   const Table& table_;
   size_t k_;
   double epsilon_;
+  // Per-round selection scratch, reused so rounds allocate nothing once
+  // capacities are warm.
+  std::pmr::vector<double> uppers_;
+  std::pmr::vector<double> lowers_;
+  std::pmr::vector<size_t> order_;
 };
 
 /// Filter (Algorithms 2 and 4): classify each candidate against eta as
@@ -212,18 +242,28 @@ class TopKPolicy : public DecisionPolicy {
 /// column order.
 class FilterPolicy : public DecisionPolicy {
  public:
-  FilterPolicy(const Table& table, double eta, double epsilon)
-      : table_(table), eta_(eta), epsilon_(epsilon) {}
+  /// Round scratch allocates from `memory` (null: global heap).
+  FilterPolicy(const Table& table, double eta, double epsilon,
+               std::pmr::memory_resource* memory = nullptr)
+      : table_(table),
+        eta_(eta),
+        epsilon_(epsilon),
+        still_active_(memory != nullptr ? memory
+                                        : std::pmr::get_default_resource()) {}
 
-  bool Decide(const Scorer& scorer, std::vector<size_t>& active, uint64_t m,
-              uint64_t n, std::vector<AttributeScore>& items) override;
-  void Finalize(const Scorer& scorer, const std::vector<size_t>& active,
-                std::vector<AttributeScore>& items) override;
+  bool Decide(const Scorer& scorer, std::pmr::vector<size_t>& active,
+              uint64_t m, uint64_t n,
+              std::pmr::vector<AttributeScore>& items) override;
+  void Finalize(const Scorer& scorer, const std::pmr::vector<size_t>& active,
+                std::pmr::vector<AttributeScore>& items) override;
 
  private:
   const Table& table_;
   double eta_;
   double epsilon_;
+  // Survivor scratch swapped with `active` each round; same resource as
+  // the driver's active vector so the swap is a buffer steal.
+  std::pmr::vector<size_t> still_active_;
 };
 
 /// The shared sampling loop. Wrappers validate their inputs, construct the
@@ -233,8 +273,13 @@ class AdaptiveSamplingDriver {
   AdaptiveSamplingDriver(const Table& table, const QueryOptions& options)
       : table_(table), options_(options) {}
 
+  /// `items` allocates from QueryOptions::memory; see the TopKResult
+  /// lifetime contract (src/core/query_result.h).
   struct Output {
-    std::vector<AttributeScore> items;
+    explicit Output(std::pmr::memory_resource* memory = nullptr)
+        : items(memory != nullptr ? memory
+                                  : std::pmr::get_default_resource()) {}
+    std::pmr::vector<AttributeScore> items;
     QueryStats stats;
   };
 

@@ -4,11 +4,13 @@
 
 namespace swope {
 
-FrequencyCounter::FrequencyCounter(uint32_t support)
-    : counts_(support, 0) {}
+FrequencyCounter::FrequencyCounter(uint32_t support,
+                                   std::pmr::memory_resource* memory)
+    : counts_(support, 0,
+              memory != nullptr ? memory : std::pmr::get_default_resource()) {}
 
 double FrequencyCounter::SampleEntropy() const {
-  return EntropyFromCounts(counts_, sample_count_);
+  return EntropyFromCounts(counts_.data(), counts_.size(), sample_count_);
 }
 
 void FrequencyCounter::Merge(const FrequencyCounter& other) {

@@ -12,6 +12,7 @@
 #define SWOPE_CORE_FREQUENCY_COUNTER_H_
 
 #include <cstdint>
+#include <memory_resource>
 #include <vector>
 
 #include "src/table/packed_codes.h"
@@ -21,15 +22,18 @@ namespace swope {
 /// Incremental counter over codes in [0, support).
 class FrequencyCounter {
  public:
-  /// Creates a counter for an attribute with the given support size.
-  explicit FrequencyCounter(uint32_t support);
+  /// Creates a counter for an attribute with the given support size. The
+  /// count array comes from `memory` (default: the global heap); scorers
+  /// pass the query arena so per-query counters cost no heap traffic.
+  explicit FrequencyCounter(uint32_t support,
+                            std::pmr::memory_resource* memory = nullptr);
 
   uint32_t support() const { return static_cast<uint32_t>(counts_.size()); }
   /// M: number of samples absorbed so far.
   uint64_t sample_count() const { return sample_count_; }
   /// Count m_i of value i.
   uint64_t count(uint32_t code) const { return counts_[code]; }
-  const std::vector<uint64_t>& counts() const { return counts_; }
+  const std::pmr::vector<uint64_t>& counts() const { return counts_; }
   /// Number of values with m_i > 0.
   uint32_t distinct_seen() const { return distinct_seen_; }
 
@@ -62,7 +66,7 @@ class FrequencyCounter {
   void Reset();
 
  private:
-  std::vector<uint64_t> counts_;
+  std::pmr::vector<uint64_t> counts_;
   uint64_t sample_count_ = 0;
   uint32_t distinct_seen_ = 0;
 };

@@ -8,12 +8,15 @@
 namespace swope {
 
 PairCounter::PairCounter(uint32_t support_a, uint32_t support_b,
-                         uint64_t dense_limit)
+                         uint64_t dense_limit,
+                         std::pmr::memory_resource* memory)
     : support_b_(support_b),
       cells_(static_cast<uint64_t>(support_a) * support_b),
       dense_limit_(dense_limit),
       is_dense_(cells_ <= dense_limit && cells_ <= kImmediateDenseCells),
-      sparse_(is_dense_ ? 0 : 64) {
+      memory_(memory != nullptr ? memory : std::pmr::get_default_resource()),
+      dense_(memory_),
+      sparse_(is_dense_ ? 0 : 64, memory_) {
   if (is_dense_) dense_.assign(cells_, 0);
 }
 
@@ -77,7 +80,9 @@ void PairCounter::MigrateToDense() {
   dense_.assign(cells_, 0);
   sparse_.ForEach(
       [&](uint64_t key, uint64_t count) { dense_[key] = count; });
-  sparse_ = FlatHashMap<uint64_t, uint64_t>(0);
+  // Shrink the hash to its floor on the same resource (an arena reclaims
+  // the old slots only at rewind; that is the bump-allocator bargain).
+  sparse_ = FlatHashMap<uint64_t, uint64_t>(0, memory_);
   is_dense_ = true;
 }
 

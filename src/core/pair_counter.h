@@ -15,6 +15,7 @@
 #define SWOPE_CORE_PAIR_COUNTER_H_
 
 #include <cstdint>
+#include <memory_resource>
 #include <vector>
 
 #include "src/common/flat_hash_map.h"
@@ -30,8 +31,12 @@ class PairCounter {
 
   /// `support_a`, `support_b`: supports of the two attributes.
   /// `dense_limit`: maximum u_a*u_b (in cells) the dense layout may use.
+  /// Both layouts allocate from `memory` (default: the global heap) --
+  /// including the dense array a later migration builds -- so an
+  /// arena-backed counter never touches the heap.
   PairCounter(uint32_t support_a, uint32_t support_b,
-              uint64_t dense_limit = 1ULL << 20);
+              uint64_t dense_limit = 1ULL << 20,
+              std::pmr::memory_resource* memory = nullptr);
 
   uint64_t sample_count() const { return sample_count_; }
   /// Number of distinct pairs observed so far.
@@ -91,7 +96,8 @@ class PairCounter {
   uint64_t cells_;
   uint64_t dense_limit_;
   bool is_dense_;
-  std::vector<uint64_t> dense_;
+  std::pmr::memory_resource* memory_;
+  std::pmr::vector<uint64_t> dense_;
   FlatHashMap<uint64_t, uint64_t> sparse_;
   uint64_t sample_count_ = 0;
   uint64_t distinct_pairs_ = 0;

@@ -6,12 +6,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <vector>
 
 #include "src/common/status.h"
 
 namespace swope {
 
+class CodeScratchArena;
 struct ExecControl;
 class Histogram;
 class QueryTrace;
@@ -104,6 +106,25 @@ struct QueryOptions {
   /// default) the driver's only extra work is one branch per round. Not
   /// owned; the caller keeps the pointee alive for the query's duration.
   QueryTrace* trace = nullptr;
+
+  /// Engine hook: backing store for the query's transient state -- every
+  /// per-candidate counter, interval table, decode slice, and answer
+  /// vector allocates from it. The engine passes the pooled per-query
+  /// Arena (src/common/arena.h), whose rewind-and-reuse cycle makes
+  /// steady-state queries heap-allocation-free
+  /// (tests/alloc_regression_test.cc). Null (the default) means the
+  /// global heap; results are byte-identical either way, so this is
+  /// ignored by ResultCache canonicalization. Not owned; the caller must
+  /// not rewind the arena before the returned items are consumed.
+  std::pmr::memory_resource* memory = nullptr;
+
+  /// Engine hook: shared pool of decode buffers (src/core/code_scratch.h).
+  /// When non-null, scorers lease their gather scratch from it instead of
+  /// a query-local pool, so buffer capacity persists across queries.
+  /// Affects no answer bytes (buffers are fully overwritten before every
+  /// read); ignored by ResultCache canonicalization. Not owned; may be
+  /// null.
+  CodeScratchArena* scratch = nullptr;
 
   /// Observability hook: when non-null, the driver and scorers attribute
   /// CPU time to the fixed stage taxonomy (src/obs/profiler.h) at

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory_resource>
 #include <string>
 #include <vector>
 
@@ -49,14 +50,21 @@ struct QueryStats {
 
 /// Answer to a top-k query: `items` sorted by descending score ordering
 /// criterion (upper bound for SWOPE, exact score for baselines).
+///
+/// `items` is a pmr vector so SWOPE queries can assemble the answer in
+/// the caller's QueryOptions::memory resource (null memory behaves like
+/// a plain std::vector). An arena-backed result is valid only until the
+/// arena rewinds; copy it (copies land on the global heap) to keep it
+/// longer -- the engine's ResultCache does exactly that.
 struct TopKResult {
-  std::vector<AttributeScore> items;
+  std::pmr::vector<AttributeScore> items;
   QueryStats stats;
 };
 
 /// Answer to a filtering query: `items` in ascending column-index order.
+/// Memory contract as TopKResult.
 struct FilterResult {
-  std::vector<AttributeScore> items;
+  std::pmr::vector<AttributeScore> items;
   QueryStats stats;
 
   /// True when column `index` is in the answer set. Binary search over

@@ -53,7 +53,14 @@ const std::vector<uint32_t> kEmptySlice;
 }  // namespace
 
 EntropyScorer::EntropyScorer(const Table& table, const QueryOptions& options)
-    : table_(table), profiler_(options.profiler) {
+    : Scorer(options.memory),
+      table_(table),
+      profiler_(options.profiler),
+      views_(memory_),
+      counters_(memory_),
+      sketches_(memory_),
+      deltas_(memory_),
+      scratch_(options.scratch != nullptr ? *options.scratch : own_scratch_) {
   const size_t h = table.num_columns();
   columns_.resize(h);
   views_.reserve(h);
@@ -65,10 +72,10 @@ EntropyScorer::EntropyScorer(const Table& table, const QueryOptions& options)
     const uint32_t support = table.column(j).support();
     if (UsesSketchPath(support, options)) {
       sketches_[j] = MakeScorerSketch(options, j, kSketchHeavyCapacity);
-      counters_.emplace_back(0);  // placeholder; the sketch is live
+      counters_.emplace_back(0, memory_);  // placeholder; the sketch is live
       ++sketch_candidates_;
     } else {
-      counters_.emplace_back(support);
+      counters_.emplace_back(support, memory_);
     }
   }
   intervals_.resize(h);
@@ -79,7 +86,7 @@ void EntropyScorer::UpdateCandidate(size_t c,
                                     uint64_t begin, uint64_t end,
                                     uint64_t m) {
   // Gather-then-count: decode the round's slice once, then feed the span.
-  CodeScratchArena::Lease lease(arena_);
+  CodeScratchArena::Lease lease(scratch_);
   const ValueCode* codes;
   {
     StageTimer timer(profiler_, Stage::kGather);
@@ -113,7 +120,7 @@ void EntropyScorer::PrepareSharding(size_t num_shards) {
     if (sketches_[c] != nullptr) continue;
     deltas_[c].reserve(num_shards);
     while (deltas_[c].size() < num_shards) {
-      deltas_[c].emplace_back(views_[c].support());
+      deltas_[c].emplace_back(views_[c].support(), memory_);
     }
   }
 }
@@ -121,7 +128,7 @@ void EntropyScorer::PrepareSharding(size_t num_shards) {
 void EntropyScorer::UpdateCandidateShard(size_t c, size_t shard,
                                          const ShardSlicePartition& partition) {
   const std::vector<uint32_t>& rows = partition.local_rows(shard);
-  CodeScratchArena::Lease lease(arena_);
+  CodeScratchArena::Lease lease(scratch_);
   const ValueCode* codes;
   {
     StageTimer timer(profiler_, Stage::kGather);
@@ -151,7 +158,7 @@ void EntropyScorer::FinalizeCandidate(size_t c,
   UpdateCandidate(c, kEmptySlice, 0, 0, m);
 }
 
-bool EntropyScorer::TopKShouldStop(const std::vector<size_t>& active,
+bool EntropyScorer::TopKShouldStop(const std::pmr::vector<size_t>& active,
                                    double kth_upper, uint64_t m,
                                    double epsilon) const {
   // A non-positive k-th upper bound means every candidate entropy is
@@ -170,13 +177,19 @@ bool EntropyScorer::TopKShouldStop(const std::vector<size_t>& active,
 
 MiScorer::MiScorer(const Table& table, size_t target,
                    const QueryOptions& options)
-    : table_(table),
+    : Scorer(options.memory),
+      table_(table),
       target_col_(table.column(target)),
       profiler_(options.profiler),
       target_view_(table.column(target)),
+      views_(memory_),
       target_counter_(UsesSketchPath(table.column(target).support(), options)
                           ? 0
-                          : table.column(target).support()) {
+                          : table.column(target).support(),
+                      memory_),
+      target_slice_(memory_),
+      counters_(memory_),
+      scratch_(options.scratch != nullptr ? *options.scratch : own_scratch_) {
   const bool target_sketched =
       UsesSketchPath(target_col_.support(), options);
   if (target_sketched) {
@@ -192,12 +205,14 @@ MiScorer::MiScorer(const Table& table, size_t target,
     views_.emplace_back(table.column(j));
     const uint32_t support = table.column(j).support();
     const bool marginal_sketched = UsesSketchPath(support, options);
-    CandidateCounters counter;
+    // Assignments below move between equal-resource counters, so the
+    // arena-built buffers are stolen, not copied.
+    CandidateCounters counter(memory_);
     if (marginal_sketched) {
       counter.marginal_sketch =
           MakeScorerSketch(options, j, kSketchHeavyCapacity);
     } else {
-      counter.marginal = FrequencyCounter(support);
+      counter.marginal = FrequencyCounter(support, memory_);
     }
     if (target_sketched || marginal_sketched) {
       // The joint domain contains a sketched side, so it is counted
@@ -207,7 +222,7 @@ MiScorer::MiScorer(const Table& table, size_t target,
       ++sketch_candidates_;
     } else {
       counter.joint = PairCounter(target_col_.support(), support,
-                                  options.dense_pair_limit);
+                                  options.dense_pair_limit, memory_);
     }
     counters_.push_back(std::move(counter));
   }
@@ -249,7 +264,7 @@ MiInterval MiScorer::UpdateMi(size_t c, const std::vector<uint32_t>& order,
                               EntropyInterval* marginal_out) {
   CandidateCounters& counter = counters_[c];
   const ColumnView& view = views_[c];
-  CodeScratchArena::Lease lease(arena_);
+  CodeScratchArena::Lease lease(scratch_);
   const ValueCode* codes;
   {
     StageTimer timer(profiler_, Stage::kGather);
@@ -333,13 +348,13 @@ void MiScorer::FinalizeCandidate(size_t c,
   // code (virtual dispatch routes NmiScorer through its NMI
   // normalization). Bitwise-identical answers by construction.
   CandidateCounters& counter = counters_[c];
-  std::vector<ValueCode>& replay = counter.replay;
+  std::pmr::vector<ValueCode>& replay = counter.replay;
   {
     StageTimer timer(profiler_, Stage::kReplay);
     replay.resize(partition.slice_size());
     for (size_t s = 0; s < partition.num_shards(); ++s) {
       const std::vector<uint32_t>& pos = partition.slice_pos(s);
-      const std::vector<ValueCode>& codes = counter.shard_codes[s];
+      const std::pmr::vector<ValueCode>& codes = counter.shard_codes[s];
       for (size_t i = 0; i < pos.size(); ++i) replay[pos[i]] = codes[i];
     }
     counter.marginal.AddCodes(replay.data(), replay.size());
@@ -354,7 +369,7 @@ void MiScorer::UpdateCandidate(size_t c, const std::vector<uint32_t>& order,
   intervals_[c] = {mi.lower, mi.upper, mi.slack};
 }
 
-bool MiScorer::TopKShouldStop(const std::vector<size_t>& active,
+bool MiScorer::TopKShouldStop(const std::pmr::vector<size_t>& active,
                               double kth_upper, uint64_t /*m*/,
                               double epsilon) const {
   if (kth_upper <= 0.0) return true;
@@ -376,7 +391,7 @@ void NmiScorer::UpdateCandidate(size_t c, const std::vector<uint32_t>& order,
   intervals_[c] = ComposeNmi(mi, target_interval(), marginal_interval);
 }
 
-bool NmiScorer::TopKShouldStop(const std::vector<size_t>& active,
+bool NmiScorer::TopKShouldStop(const std::pmr::vector<size_t>& active,
                                double kth_upper, uint64_t /*m*/,
                                double epsilon) const {
   if (kth_upper <= 0.0) return true;

@@ -31,6 +31,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <vector>
 
 #include "src/core/adaptive_sampling_driver.h"
@@ -68,23 +69,27 @@ class EntropyScorer : public Scorer {
   /// Algorithm 1 line 8: (kth_upper - 2*lambda - b_max) / kth_upper
   /// >= 1 - epsilon, with b_max the largest bias among current top-k
   /// members.
-  bool TopKShouldStop(const std::vector<size_t>& active, double kth_upper,
-                      uint64_t m, double epsilon) const override;
+  bool TopKShouldStop(const std::pmr::vector<size_t>& active,
+                      double kth_upper, uint64_t m,
+                      double epsilon) const override;
 
  private:
   const Table& table_;
   /// Stage-attribution hook (QueryOptions::profiler); null when off.
   StageProfiler* const profiler_;
-  std::vector<ColumnView> views_;
+  std::pmr::vector<ColumnView> views_;
   // Exactly one of counters_[c] (sized 0 when sketched) and sketches_[c]
   // (null when exact) is live per candidate.
-  std::vector<FrequencyCounter> counters_;
-  std::vector<std::unique_ptr<SketchFrequencyProvider>> sketches_;
+  std::pmr::vector<FrequencyCounter> counters_;
+  std::pmr::vector<std::unique_ptr<SketchFrequencyProvider>> sketches_;
   // Per-candidate per-shard delta counters for the shard-decomposed
   // rounds (empty for sketched candidates); sized by PrepareSharding.
-  std::vector<std::vector<FrequencyCounter>> deltas_;
-  // Decode buffers, recycled across rounds and shared by the pool workers.
-  CodeScratchArena arena_;
+  std::pmr::vector<std::pmr::vector<FrequencyCounter>> deltas_;
+  // Decode buffers, recycled across rounds and shared by the pool
+  // workers: the engine-pooled arena (QueryOptions::scratch) when
+  // provided, else a query-local fallback.
+  CodeScratchArena own_scratch_;
+  CodeScratchArena& scratch_;
 };
 
 /// Scores every non-target column by its mutual information with the
@@ -116,8 +121,9 @@ class MiScorer : public Scorer {
                          uint64_t m) override;
   /// Algorithm 3: (kth_upper - slack_max) / kth_upper >= 1 - epsilon,
   /// with slack_max the largest b' among current top-k members.
-  bool TopKShouldStop(const std::vector<size_t>& active, double kth_upper,
-                      uint64_t m, double epsilon) const override;
+  bool TopKShouldStop(const std::pmr::vector<size_t>& active,
+                      double kth_upper, uint64_t m,
+                      double epsilon) const override;
 
  protected:
   /// Folds order[begin..end) into candidate `c`'s marginal and joint
@@ -138,8 +144,16 @@ class MiScorer : public Scorer {
 
  private:
   struct CandidateCounters {
-    FrequencyCounter marginal{0};
-    PairCounter joint{0, 0};
+    /// Every container allocates from `memory` so an arena-backed query
+    /// builds its whole candidate state in the arena.
+    explicit CandidateCounters(std::pmr::memory_resource* memory)
+        : marginal(0, memory),
+          joint(0, 0, 1ULL << 20, memory),
+          shard_codes(memory),
+          replay(memory) {}
+
+    FrequencyCounter marginal;
+    PairCounter joint;
     // Sketch-path replacements; null means the exact counter above is
     // live. The joint sketch is keyed (target_code << 32) | code and is
     // engaged whenever either marginal is sketched.
@@ -153,12 +167,12 @@ class MiScorer : public Scorer {
     // so the counters -- including the joint counter's order-sensitive
     // running x*log2(x) sum -- evolve bit-identically to a serial round
     // (docs/SHARDING.md).
-    std::vector<std::vector<ValueCode>> shard_codes;
-    std::vector<ValueCode> replay;
+    std::pmr::vector<std::pmr::vector<ValueCode>> shard_codes;
+    std::pmr::vector<ValueCode> replay;
   };
 
   ColumnView target_view_;
-  std::vector<ColumnView> views_;
+  std::pmr::vector<ColumnView> views_;
   FrequencyCounter target_counter_;
   std::unique_ptr<SketchFrequencyProvider> target_sketch_;
   EntropyInterval target_interval_;
@@ -166,9 +180,11 @@ class MiScorer : public Scorer {
   // code at order[begin + i]. Written once per round in BeginRound
   // (serial), read by every UpdateCandidate (the pool's fork provides the
   // happens-before edge).
-  std::vector<ValueCode> target_slice_;
-  std::vector<CandidateCounters> counters_;
-  CodeScratchArena arena_;
+  std::pmr::vector<ValueCode> target_slice_;
+  std::pmr::vector<CandidateCounters> counters_;
+  // See EntropyScorer::scratch_.
+  CodeScratchArena own_scratch_;
+  CodeScratchArena& scratch_;
 };
 
 /// Scores every non-target column by its normalized mutual information
@@ -182,8 +198,9 @@ class NmiScorer : public MiScorer {
                        uint64_t begin, uint64_t end, uint64_t m) override;
   /// Generalized relative-width rule: every current top-k member must
   /// satisfy upper - lower <= epsilon * upper.
-  bool TopKShouldStop(const std::vector<size_t>& active, double kth_upper,
-                      uint64_t m, double epsilon) const override;
+  bool TopKShouldStop(const std::pmr::vector<size_t>& active,
+                      double kth_upper, uint64_t m,
+                      double epsilon) const override;
 };
 
 }  // namespace swope

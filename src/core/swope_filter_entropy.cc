@@ -22,7 +22,7 @@ Result<FilterResult> SwopeFilterEntropy(const Table& table, double eta,
   if (h == 0) return Status::InvalidArgument("filter: table has no columns");
 
   EntropyScorer scorer(table, options);
-  FilterPolicy policy(table, eta, options.epsilon);
+  FilterPolicy policy(table, eta, options.epsilon, options.memory);
   AdaptiveSamplingDriver driver(table, options);
   SWOPE_ASSIGN_OR_RETURN(AdaptiveSamplingDriver::Output output,
                          driver.Run(scorer, policy));

@@ -27,7 +27,7 @@ Result<FilterResult> SwopeFilterMi(const Table& table, size_t target,
   }
 
   MiScorer scorer(table, target, options);
-  FilterPolicy policy(table, eta, options.epsilon);
+  FilterPolicy policy(table, eta, options.epsilon, options.memory);
   AdaptiveSamplingDriver driver(table, options);
   SWOPE_ASSIGN_OR_RETURN(AdaptiveSamplingDriver::Output output,
                          driver.Run(scorer, policy));

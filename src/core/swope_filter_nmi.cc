@@ -28,7 +28,7 @@ Result<FilterResult> SwopeFilterNmi(const Table& table, size_t target,
   }
 
   NmiScorer scorer(table, target, options);
-  FilterPolicy policy(table, eta, options.epsilon);
+  FilterPolicy policy(table, eta, options.epsilon, options.memory);
   AdaptiveSamplingDriver driver(table, options);
   SWOPE_ASSIGN_OR_RETURN(AdaptiveSamplingDriver::Output output,
                          driver.Run(scorer, policy));

@@ -22,7 +22,7 @@ Result<TopKResult> SwopeTopKEntropy(const Table& table, size_t k,
   k = std::min(k, h);
 
   EntropyScorer scorer(table, options);
-  TopKPolicy policy(table, k, options.epsilon);
+  TopKPolicy policy(table, k, options.epsilon, options.memory);
   AdaptiveSamplingDriver driver(table, options);
   SWOPE_ASSIGN_OR_RETURN(AdaptiveSamplingDriver::Output output,
                          driver.Run(scorer, policy));

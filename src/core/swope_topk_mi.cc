@@ -27,7 +27,7 @@ Result<TopKResult> SwopeTopKMi(const Table& table, size_t target, size_t k,
   k = std::min(k, h - 1);
 
   MiScorer scorer(table, target, options);
-  TopKPolicy policy(table, k, options.epsilon);
+  TopKPolicy policy(table, k, options.epsilon, options.memory);
   AdaptiveSamplingDriver driver(table, options);
   SWOPE_ASSIGN_OR_RETURN(AdaptiveSamplingDriver::Output output,
                          driver.Run(scorer, policy));

@@ -14,6 +14,7 @@ void DatasetRegistry::BindMetrics(MetricsRegistry* metrics) {
   resident_datasets_metric_ =
       metrics->GetGauge("swope_registry_resident_datasets");
   resident_bytes_metric_ = metrics->GetGauge("swope_registry_resident_bytes");
+  mapped_bytes_metric_ = metrics->GetGauge("swope_engine_mapped_bytes");
   sketch_bytes_metric_ = metrics->GetGauge("swope_sketch_memory_bytes");
   UpdateGauges();
 }
@@ -27,6 +28,7 @@ void DatasetRegistry::UpdateGauges() {
   if (resident_datasets_metric_ == nullptr) return;
   resident_datasets_metric_->Set(static_cast<int64_t>(datasets_.size()));
   resident_bytes_metric_->Set(static_cast<int64_t>(resident_bytes_));
+  mapped_bytes_metric_->Set(static_cast<int64_t>(mapped_bytes_));
   sketch_bytes_metric_->Set(static_cast<int64_t>(sketch_bytes_));
 }
 
@@ -39,6 +41,7 @@ Status DatasetRegistry::Put(const std::string& name, Table table) {
   dataset->name = name;
   dataset->fingerprint = TableFingerprint(table);
   dataset->memory_bytes = table.MemoryBytes();
+  dataset->mapped_bytes = table.MappedBytes();
   dataset->sketch_bytes = table.SketchMemoryBytes();
   dataset->table = std::move(table);
 
@@ -46,9 +49,11 @@ Status DatasetRegistry::Put(const std::string& name, Table table) {
   Slot& slot = datasets_[name];
   if (slot.dataset != nullptr) {
     resident_bytes_ -= slot.dataset->memory_bytes;
+    mapped_bytes_ -= slot.dataset->mapped_bytes;
     sketch_bytes_ -= slot.dataset->sketch_bytes;
   }
   resident_bytes_ += dataset->memory_bytes;
+  mapped_bytes_ += dataset->mapped_bytes;
   sketch_bytes_ += dataset->sketch_bytes;
   slot.dataset = std::move(dataset);
   slot.last_used = ++tick_;
@@ -74,6 +79,7 @@ Status DatasetRegistry::Remove(const std::string& name) {
     return Status::NotFound("registry: no dataset named '" + name + "'");
   }
   resident_bytes_ -= it->second.dataset->memory_bytes;
+  mapped_bytes_ -= it->second.dataset->mapped_bytes;
   sketch_bytes_ -= it->second.dataset->sketch_bytes;
   datasets_.erase(it);
   if (event_log_ != nullptr) {
@@ -96,6 +102,7 @@ DatasetRegistry::Stats DatasetRegistry::GetStats() const {
   Stats stats;
   stats.resident_datasets = datasets_.size();
   stats.resident_bytes = resident_bytes_;
+  stats.mapped_bytes = mapped_bytes_;
   stats.sketch_bytes = sketch_bytes_;
   stats.memory_budget_bytes = budget_;
   stats.evictions = evictions_;
@@ -115,12 +122,15 @@ void DatasetRegistry::EvictToBudget(const std::string& keep) {
     }
     if (victim == datasets_.end()) return;
     resident_bytes_ -= victim->second.dataset->memory_bytes;
+    mapped_bytes_ -= victim->second.dataset->mapped_bytes;
     sketch_bytes_ -= victim->second.dataset->sketch_bytes;
     if (event_log_ != nullptr) {
       event_log_->Append(
           EventKind::kDatasetEvict, victim->first,
           "budget (freed=" +
               std::to_string(victim->second.dataset->memory_bytes) +
+              " heap, unmapped=" +
+              std::to_string(victim->second.dataset->mapped_bytes) +
               " bytes)");
     }
     datasets_.erase(victim);

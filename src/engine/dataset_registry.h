@@ -8,6 +8,12 @@
 // least-recently-used datasets -- eviction only drops the registry's
 // reference, reclaiming memory once the last query handle goes away.
 //
+// Tables may be heap-resident or mmap-backed (docs/STORAGE.md): the
+// budget counts only heap bytes (Table::MemoryBytes()), while mapped
+// bytes (Table::MappedBytes()) are OS-paged and tracked separately --
+// evicting a mapped dataset drops the last registry reference, which
+// munmaps the region once in-flight handles drain.
+//
 // Every dataset carries its content fingerprint (table/fingerprint.h),
 // which the result and permutation caches use as their table identity:
 // re-registering different data under the same name can therefore never
@@ -41,9 +47,12 @@ struct Dataset {
   Table table;
   /// Content fingerprint (TableFingerprint).
   uint64_t fingerprint = 0;
-  /// Exact resident size (Table::MemoryBytes(): bit-packed payloads plus
-  /// dictionaries), used for the memory budget.
+  /// Exact resident size (Table::MemoryBytes(): heap-owned bit-packed
+  /// payloads plus dictionaries), used for the memory budget.
   uint64_t memory_bytes = 0;
+  /// Bytes served from mmap-backed regions (Table::MappedBytes()).
+  /// OS-paged, so not charged against the heap budget.
+  uint64_t mapped_bytes = 0;
   /// Resident count-min sidecar bytes (Table::SketchMemoryBytes()),
   /// tracked separately so the sketch footprint has its own gauge.
   uint64_t sketch_bytes = 0;
@@ -81,6 +90,7 @@ class DatasetRegistry {
   struct Stats {
     size_t resident_datasets = 0;
     uint64_t resident_bytes = 0;
+    uint64_t mapped_bytes = 0;
     uint64_t sketch_bytes = 0;
     uint64_t memory_budget_bytes = 0;
     uint64_t evictions = 0;
@@ -113,6 +123,7 @@ class DatasetRegistry {
   std::map<std::string, Slot> datasets_ GUARDED_BY(mutex_);
   uint64_t tick_ GUARDED_BY(mutex_) = 0;
   uint64_t resident_bytes_ GUARDED_BY(mutex_) = 0;
+  uint64_t mapped_bytes_ GUARDED_BY(mutex_) = 0;
   uint64_t sketch_bytes_ GUARDED_BY(mutex_) = 0;
   uint64_t evictions_ GUARDED_BY(mutex_) = 0;
 
@@ -125,6 +136,7 @@ class DatasetRegistry {
   Counter* evictions_metric_ GUARDED_BY(mutex_) = nullptr;
   Gauge* resident_datasets_metric_ GUARDED_BY(mutex_) = nullptr;
   Gauge* resident_bytes_metric_ GUARDED_BY(mutex_) = nullptr;
+  Gauge* mapped_bytes_metric_ GUARDED_BY(mutex_) = nullptr;
   Gauge* sketch_bytes_metric_ GUARDED_BY(mutex_) = nullptr;
 
   /// Refreshes the resident gauges from the local tallies.

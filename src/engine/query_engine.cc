@@ -6,6 +6,7 @@
 #include <memory>
 #include <utility>
 
+#include "src/common/alloc_hook.h"
 #include "src/common/stopwatch.h"
 #include "src/core/sketch_estimation.h"
 #include "src/core/swope_filter_entropy.h"
@@ -101,6 +102,8 @@ QueryEngine::QueryEngine(EngineConfig config)
       registry_(config_.memory_budget_bytes),
       result_cache_(config_.result_cache_capacity),
       permutation_cache_(config_.permutation_cache_capacity),
+      query_memory_pool_(std::make_shared<QueryMemoryPool>(
+          config_.query_memory_pool_size)),
       queries_started_(
           metrics_.GetCounter("swope_engine_queries_started_total")),
       queries_ok_(metrics_.GetCounter("swope_engine_queries_ok_total")),
@@ -136,6 +139,7 @@ QueryEngine::QueryEngine(EngineConfig config)
           metrics_.GetGauge("swope_engine_in_flight_tasks")),
       ingest_latency_ms_(metrics_.GetHistogram(
           "swope_engine_ingest_latency_ms", {}, DefaultLatencyBucketsMs())),
+      query_arena_bytes_(metrics_.GetGauge("swope_query_arena_bytes")),
       executor_busy_ms_(metrics_.GetGauge("swope_pool_worker_busy_ms",
                                           {{"pool", "executor"}})),
       executor_idle_ms_(metrics_.GetGauge("swope_pool_worker_idle_ms",
@@ -176,9 +180,13 @@ Status QueryEngine::RegisterDatasetFile(const std::string& name,
                                         const std::string& path,
                                         uint32_t max_support,
                                         double sketch_epsilon,
-                                        uint32_t sketch_threshold) {
-  auto table =
-      IsCsvPath(path) ? ReadCsvFile(path) : ReadBinaryTableFile(path);
+                                        uint32_t sketch_threshold,
+                                        bool mmap) {
+  // The mapped loader borrows packed words straight out of the file
+  // mapping (CSV has no binary image to map, so the flag is ignored).
+  auto table = IsCsvPath(path)  ? ReadCsvFile(path)
+               : mmap           ? ReadBinaryTableFileMapped(path)
+                                : ReadBinaryTableFile(path);
   if (!table.ok()) return table.status();
   if (max_support > 0) {
     *table = table->DropHighSupportColumns(max_support);
@@ -271,8 +279,13 @@ Result<QueryResponse> QueryEngine::Run(const QuerySpec& spec,
       ->Increment();
   rows_sampled_->Increment(response->stats.final_sample_size);
   query_rounds_->Observe(static_cast<double>(response->stats.iterations));
-  result_cache_.Insert(response->fingerprint, response->canonical_key,
-                       CachedAnswer{response->items, response->stats});
+  if (config_.result_cache_capacity > 0) {
+    // The CachedAnswer copy is built only when caching is live: with
+    // capacity 0 (the zero-allocation serving configuration) the heap
+    // copy of the arena-backed items would be pure waste.
+    result_cache_.Insert(response->fingerprint, response->canonical_key,
+                         CachedAnswer{response->items, response->stats});
+  }
   const double wall_ms = latency.ElapsedMillis();
   query_latency_ms_[static_cast<int>(resolved->kind)]->Observe(wall_ms);
   event_log_.Append(EventKind::kQueryComplete, spec.dataset,
@@ -303,6 +316,9 @@ Result<QueryResponse> QueryEngine::Execute(const DatasetHandle& dataset,
   // profiler's stage sum is compared against this (serve's profile
   // block, the CI smoke), so both start here.
   Stopwatch exec_wall;
+  // Interposer baseline for the per-query `allocs` profile field; a
+  // constant 0 in production binaries (src/common/alloc_hook.h).
+  const uint64_t allocs_before = AllocationCount();
   // The profiler exists when the client asked for it OR slow-query
   // capture is armed: a query only known to be slow after the fact must
   // already have been profiled.
@@ -339,6 +355,13 @@ Result<QueryResponse> QueryEngine::Execute(const DatasetHandle& dataset,
   const Table& table = dataset->table;
   QueryOptions options = resolved.options;
   options.control = &control;
+  // Pooled per-query memory: all driver/scorer state and the result
+  // items allocate from this lease's arena; decode buffers come from its
+  // scratch pool. The lease travels with the response so the arena stays
+  // alive exactly as long as the items do.
+  QueryMemoryLease memory = QueryMemoryPool::Acquire(query_memory_pool_);
+  options.memory = memory->arena().resource();
+  options.scratch = &memory->scratch();
   std::shared_ptr<QueryTrace> trace;
   if (resolved.trace) {
     trace = std::make_shared<QueryTrace>();
@@ -363,6 +386,7 @@ Result<QueryResponse> QueryEngine::Execute(const DatasetHandle& dataset,
   if (profiler != nullptr) {
     const double wall_ms = exec_wall.ElapsedMillis();
     profiler->SetWallMs(wall_ms);
+    profiler->SetAllocs(AllocationCount() - allocs_before);
     if (config_.slow_query_ms > 0 && wall_ms >= config_.slow_query_ms) {
       event_log_.Append(EventKind::kSlowQuery, dataset->name,
                         SlowQueryDetail(*profiler, trace.get()), wall_ms);
@@ -370,6 +394,9 @@ Result<QueryResponse> QueryEngine::Execute(const DatasetHandle& dataset,
   }
   response->trace = std::move(trace);
   if (resolved.profile) response->profile = std::move(profiler);
+  query_arena_bytes_->Set(
+      static_cast<int64_t>(memory->arena().BytesReserved()));
+  response->memory = std::move(memory);
   return response;
 }
 
@@ -457,7 +484,11 @@ Result<QueryResponse> QueryEngine::Dispatch(const Table& table,
   response.kind = resolved.kind;
   auto fill = [&response](auto result) -> Result<QueryResponse> {
     if (!result.ok()) return result.status();
-    response.items = std::move(result->items);
+    // Adopt the driver's buffer wholesale: pmr move *construction* keeps
+    // the source's (arena) resource, where move *assignment* into the
+    // default-resource member would copy every element to the heap.
+    std::destroy_at(&response.items);
+    std::construct_at(&response.items, std::move(result->items));
     response.stats = result->stats;
     return std::move(response);
   };

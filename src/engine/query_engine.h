@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <memory_resource>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,7 @@
 #include "src/common/thread_annotations.h"
 #include "src/common/thread_pool.h"
 #include "src/core/exec_control.h"
+#include "src/core/query_memory.h"
 #include "src/engine/dataset_registry.h"
 #include "src/engine/permutation_cache.h"
 #include "src/engine/query_spec.h"
@@ -85,17 +87,29 @@ struct EngineConfig {
   double slow_query_ms = 0.0;
   /// EventLog ring capacity (rounded up to a power of two, minimum 8).
   size_t event_log_capacity = EventLog::kDefaultCapacity;
+  /// QueryMemory objects kept warm between queries (arena blocks plus
+  /// decode buffers). Steady-state serving reuses these instead of
+  /// allocating; sized to the expected executed-query concurrency.
+  size_t query_memory_pool_size = 8;
 };
 
-/// Answer to one engine query.
+/// Answer to one engine query. Move-only: executed queries carry the
+/// arena lease their items live in.
 struct QueryResponse {
+  /// Declared first so it is destroyed last: `items` may be backed by
+  /// this lease's arena, and dropping the lease rewinds it. Empty for
+  /// cache hits (their items live on the default heap resource).
+  QueryMemoryLease memory;
   /// Kind echo plus the canonical identity of the executed query.
   QueryKind kind = QueryKind::kEntropyTopK;
   uint64_t fingerprint = 0;
   std::string canonical_key;
   /// True when served from ResultCache without sampling.
   bool cache_hit = false;
-  std::vector<AttributeScore> items;
+  /// Executed queries: allocated from `memory`'s arena (valid while this
+  /// response lives; copy before stashing long-term). Cache hits: a heap
+  /// copy of the cached answer.
+  std::pmr::vector<AttributeScore> items;
   QueryStats stats;
   /// Round-by-round trace, present when QuerySpec::trace was set and the
   /// query actually executed (cache hits run zero rounds and carry none).
@@ -169,11 +183,17 @@ class QueryEngine {
   /// `sketch_epsilon` > 0, columns with support > `sketch_threshold` get
   /// count-min sidecars attached on load (table/sketch_sidecar.h), so
   /// high-cardinality columns are servable via the sketch path without a
-  /// per-query build.
+  /// per-query build. With `mmap` set, SWPB files load through the
+  /// mapped path (binary_io.h): page-aligned payloads are borrowed from
+  /// the mapping and stay OS-paged instead of heap-resident -- they do
+  /// not count against the registry's memory budget. Note that
+  /// EngineConfig::shard_size resharding (and max_support dropping high
+  /// columns) re-packs affected payloads onto the heap.
   Status RegisterDatasetFile(const std::string& name, const std::string& path,
                              uint32_t max_support = 0,
                              double sketch_epsilon = 0.0,
-                             uint32_t sketch_threshold = 1000);
+                             uint32_t sketch_threshold = 1000,
+                             bool mmap = false);
 
   Status RemoveDataset(const std::string& name);
 
@@ -259,6 +279,10 @@ class QueryEngine {
   DatasetRegistry registry_;
   ResultCache result_cache_;
   PermutationCache permutation_cache_;
+  /// Pooled per-query memory (arena + decode scratch). shared_ptr so
+  /// leases riding inside outstanding QueryResponses keep the pool alive
+  /// even past engine destruction.
+  std::shared_ptr<QueryMemoryPool> query_memory_pool_;
 
   Mutex admission_mutex_;
   CondVar admission_cv_;
@@ -295,6 +319,9 @@ class QueryEngine {
   Gauge* const in_flight_tasks_gauge_;
   /// Wall time of Ingest calls (parse + append + re-fingerprint).
   Histogram* const ingest_latency_ms_;
+  /// Arena bytes reserved by the most recently completed executed query
+  /// (swope_query_arena_bytes): the steady-state per-query footprint.
+  Gauge* const query_arena_bytes_;
   /// Worker-utilization gauges per pool (swope_pool_worker_*,
   /// swope_pool_utilization_percent), refreshed by GetCounters() from
   /// ThreadPool::GetWorkerStats snapshots. The intra handles exist even

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -30,8 +31,12 @@ class MetricsRegistry;
 
 /// The cached payload: the answer items plus the stats of the run that
 /// produced them (so a cache hit can still report the original cost).
+/// `items` is pmr so an arena-backed response vector copy-constructs
+/// straight into it; the copy itself always lands on the default heap
+/// resource (pmr copy construction never inherits the source arena), so
+/// cached answers are self-owned and safe past the query's rewind.
 struct CachedAnswer {
-  std::vector<AttributeScore> items;
+  std::pmr::vector<AttributeScore> items;
   QueryStats stats;
 };
 

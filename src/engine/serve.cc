@@ -209,6 +209,7 @@ std::string CountersToJson(const EngineCounters& counters,
   add("ingest_rows", counters.ingest_rows);
   add("resident_datasets", registry.resident_datasets);
   add("resident_bytes", registry.resident_bytes);
+  add("mapped_bytes", registry.mapped_bytes);
   add("sketch_bytes", registry.sketch_bytes);
   add("events_logged", counters.events_logged);
   // Worker utilization (busy fraction in [0, 1] plus the raw run/idle
@@ -352,7 +353,11 @@ std::string QueryResponseToJson(const QueryResponse& response) {
     }
     json += "],\"stage_sum_ms\":" +
             JsonDouble(response.profile->StageSumMs());
-    json += ",\"wall_ms\":" + JsonDouble(response.profile->WallMs()) + "}";
+    json += ",\"wall_ms\":" + JsonDouble(response.profile->WallMs());
+    // Heap allocations the query performed: 0 unless a counting
+    // interposer is linked (src/common/alloc_hook.h).
+    json +=
+        ",\"allocs\":" + std::to_string(response.profile->Allocs()) + "}";
   }
   json += "}";
   return json;
@@ -439,9 +444,13 @@ std::string HandleRequestLine(QueryEngine& engine, const std::string& line,
       if (!parsed.ok()) return StatusToJson(parsed.status());
       sketch_threshold = static_cast<uint32_t>(*parsed);
     }
+    bool mmap = false;
+    if (auto it = request->args.find("mmap"); it != request->args.end()) {
+      mmap = it->second == "1" || it->second == "true";
+    }
     const Status status =
         engine.RegisterDatasetFile(name->second, path->second, max_support,
-                                   sketch_epsilon, sketch_threshold);
+                                   sketch_epsilon, sketch_threshold, mmap);
     if (!status.ok()) return StatusToJson(status);
     auto dataset = engine.registry().Get(name->second);
     if (!dataset.ok()) return StatusToJson(dataset.status());
@@ -453,6 +462,11 @@ std::string HandleRequestLine(QueryEngine& engine, const std::string& line,
     json += ",\"shards\":" + std::to_string((*dataset)->table.num_shards());
     json +=
         ",\"shard_size\":" + std::to_string((*dataset)->table.shard_size());
+    // The byte split a mapped load exists for: resident is heap (what
+    // the registry budget charges), mapped stays OS-paged.
+    json +=
+        ",\"resident_bytes\":" + std::to_string((*dataset)->memory_bytes);
+    json += ",\"mapped_bytes\":" + std::to_string((*dataset)->mapped_bytes);
     json +=
         ",\"fingerprint\":" + std::to_string((*dataset)->fingerprint) + "}";
     return json;

@@ -6,7 +6,7 @@
 // #-comments are skipped. Requests:
 //
 //   load name=<id> path=<file> [max-support=U]
-//        [sketch-epsilon=E] [sketch-threshold=U]
+//        [sketch-epsilon=E] [sketch-threshold=U] [mmap=0|1]
 //   query dataset=<id> kind=<kind> [k=N] [eta=T] [target=COL]
 //         [epsilon=E] [seed=N] [pf=P] [m0=N] [growth=G]
 //         [sketch-threshold=U] [sketch-epsilon=E] [sequential=0|1]
@@ -34,7 +34,11 @@
 // "path":"exact". `ingest` appends rows to a resident dataset -- inline
 // (`row=`, comma-separated, no spaces) and/or from a headerless CSV file
 // (`csv=`) -- and re-fingerprints it, so later queries see the new
-// contents and never a stale cached answer.
+// contents and never a stale cached answer. `mmap=1` loads an SWPB file
+// through the mapped path (src/table/binary_io.h): page-aligned column
+// payloads stay OS-paged instead of heap-resident, and the load response
+// and `stats` report the split as "resident_bytes" / "mapped_bytes"
+// (docs/STORAGE.md).
 //
 // <kind> is one of entropy-topk, entropy-filter, mi-topk, mi-filter,
 // nmi-topk, nmi-filter. Successful responses carry "ok":true; failures

@@ -22,7 +22,7 @@ double KthLargestScore(const std::vector<double>& exact_scores,
 
 }  // namespace
 
-double TopKAccuracy(const std::vector<AttributeScore>& returned,
+double TopKAccuracy(std::span<const AttributeScore> returned,
                     const std::vector<double>& exact_scores,
                     const std::vector<size_t>& eligible, size_t k) {
   k = std::min(k, eligible.size());
@@ -75,7 +75,7 @@ FilterPrf FilterPrecisionRecall(const FilterResult& result,
   return prf;
 }
 
-bool SatisfiesApproxTopK(const std::vector<AttributeScore>& returned,
+bool SatisfiesApproxTopK(std::span<const AttributeScore> returned,
                          const std::vector<double>& exact_scores,
                          const std::vector<size_t>& eligible, size_t k,
                          double epsilon, double tolerance) {

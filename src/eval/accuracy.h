@@ -7,6 +7,7 @@
 #define SWOPE_EVAL_ACCURACY_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "src/core/query_result.h"
@@ -20,7 +21,7 @@ namespace swope {
 /// `exact_scores` maps column index -> exact score; `eligible` lists the
 /// column indices the query ranged over (all columns for entropy, all but
 /// the target for MI).
-double TopKAccuracy(const std::vector<AttributeScore>& returned,
+double TopKAccuracy(std::span<const AttributeScore> returned,
                     const std::vector<double>& exact_scores,
                     const std::vector<size_t>& eligible, size_t k);
 
@@ -48,7 +49,7 @@ FilterPrf FilterPrecisionRecall(const FilterResult& result,
 ///  (ii) exact(a'_i)    >= (1-eps) * exact(a*_i)
 /// Returns true when both hold for every i. `tolerance` absorbs float
 /// round-off.
-bool SatisfiesApproxTopK(const std::vector<AttributeScore>& returned,
+bool SatisfiesApproxTopK(std::span<const AttributeScore> returned,
                          const std::vector<double>& exact_scores,
                          const std::vector<size_t>& eligible, size_t k,
                          double epsilon, double tolerance = 1e-9);

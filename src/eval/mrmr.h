@@ -11,8 +11,8 @@
 //    prefix (so the whole selection costs O(sample * h * m) instead of
 //    O(N * h * m)).
 
-#ifndef SWOPE_FS_MRMR_H_
-#define SWOPE_FS_MRMR_H_
+#ifndef SWOPE_EVAL_MRMR_H_
+#define SWOPE_EVAL_MRMR_H_
 
 #include <cstddef>
 #include <cstdint>
@@ -54,4 +54,4 @@ Result<std::vector<SelectedFeature>> SelectFeaturesByMi(
 
 }  // namespace swope
 
-#endif  // SWOPE_FS_MRMR_H_
+#endif  // SWOPE_EVAL_MRMR_H_

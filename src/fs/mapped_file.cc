@@ -1,0 +1,73 @@
+#include "src/fs/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace swope {
+
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+size_t MappedFile::PageSize() {
+  static const size_t page = [] {
+    const long value = ::sysconf(_SC_PAGESIZE);
+    return value > 0 ? static_cast<size_t>(value) : size_t{4096};
+  }();
+  return page;
+}
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::IOError(Errno("cannot open", path));
+  struct stat info;
+  if (::fstat(fd, &info) != 0) {
+    const Status status = Status::IOError(Errno("cannot stat", path));
+    ::close(fd);
+    return status;
+  }
+  if (!S_ISREG(info.st_mode)) {
+    ::close(fd);
+    return Status::IOError("cannot map '" + path + "': not a regular file");
+  }
+  const size_t size = static_cast<size_t>(info.st_size);
+  if (size == 0) {
+    // mmap rejects zero-length mappings; model an empty file directly.
+    ::close(fd);
+    return std::make_shared<MappedFile>(Token{}, path, nullptr, 0, 0);
+  }
+  void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping pins the file contents; the descriptor is not needed
+  // after mmap succeeds (or fails).
+  ::close(fd);
+  if (mapping == MAP_FAILED) {
+    return Status::IOError(Errno("cannot mmap", path));
+  }
+  const size_t page = PageSize();
+  const size_t readable = ((size + page - 1) / page) * page;
+  return std::make_shared<MappedFile>(
+      Token{}, path, static_cast<const uint8_t*>(mapping), size, readable);
+}
+
+void MappedFile::Close() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+    data_ = nullptr;
+  }
+  size_ = 0;
+  readable_ = 0;
+}
+
+MappedFile::~MappedFile() { Close(); }
+
+}  // namespace swope

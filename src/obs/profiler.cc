@@ -118,6 +118,7 @@ void StageProfiler::Clear() {
     cell.calls.store(0, std::memory_order_relaxed);
   }
   wall_ms_ = 0.0;
+  allocs_ = 0;
 }
 
 std::string FormatProfileTable(const StageProfiler& profiler) {

@@ -40,7 +40,7 @@
 #include "src/engine/query_spec.h"
 #include "src/engine/result_cache.h"
 #include "src/engine/serve.h"
-#include "src/fs/mrmr.h"
+#include "src/eval/mrmr.h"
 #include "src/obs/metrics.h"
 #include "src/obs/query_trace.h"
 #include "src/sketch/count_min.h"

@@ -119,7 +119,8 @@ Result<Table> AppendRowsToTable(
     SWOPE_ASSIGN_OR_RETURN(
         Column column,
         Column::FromShardedTrusted(col.name(), support, std::move(sharded),
-                                   std::move(labels), std::move(sketch)));
+                                   std::move(labels), std::move(sketch),
+                                   col.backing()));
     columns.push_back(std::move(column));
   }
   return Table::Make(std::move(columns));

@@ -7,14 +7,26 @@
 #include <utility>
 #include <vector>
 
+#include "src/fs/mapped_file.h"
 #include "src/sketch/count_min.h"
 #include "src/table/packed_codes.h"
+#include "src/table/sharded_codes.h"
 
 namespace swope {
 
 namespace {
 
 constexpr char kMagic[4] = {'S', 'W', 'P', 'B'};
+
+// First byte of a padding run. Cannot collide with a width byte (widths
+// are <= 32), so a one-byte lookahead where the width starts suffices.
+constexpr uint8_t kPadMarker = 0xA7;
+// Padding runs align to at most a hugepage; anything larger is a lying
+// header.
+constexpr uint32_t kMaxPadBytes = 1u << 21;
+// Bytes appended to padded files so borrowed payloads can always be
+// decoded with the unconditional two-word read.
+constexpr uint64_t kTrailingGuardBytes = 8;
 
 // Writers. The format is explicitly little-endian; on big-endian hosts
 // these helpers would need byte swaps (not supported, flagged at read).
@@ -95,6 +107,18 @@ Result<Column> ReadColumnV2(std::istream& input, std::string name,
   uint8_t width = 0;
   if (!ReadPod(input, width)) {
     return Status::Corruption("binary table: truncated column width");
+  }
+  if (width == kPadMarker) {
+    uint32_t pad = 0;
+    if (!ReadPod(input, pad) || pad > kMaxPadBytes) {
+      return Status::Corruption("binary table: bad padding run in column '" +
+                                name + "'");
+    }
+    input.ignore(pad);
+    if (static_cast<uint32_t>(input.gcount()) != pad ||
+        !ReadPod(input, width)) {
+      return Status::Corruption("binary table: truncated column width");
+    }
   }
   if (width != PackedCodes::WidthForSupport(support)) {
     return Status::Corruption(
@@ -232,9 +256,10 @@ Result<std::shared_ptr<const CountMinSketch>> ReadSketchSidecar(
 
 }  // namespace
 
-Status WriteBinaryTable(const Table& table, std::ostream& output) {
-  // Sketch-free tables keep byte-identical version-2 files; the sidecar
-  // section exists only in version 3.
+Status WriteBinaryTable(const Table& table, std::ostream& output,
+                        const BinaryWriteOptions& options) {
+  // Sketch-free tables keep version-2 files; the sidecar section exists
+  // only in version 3.
   const bool any_sketch = table.SketchMemoryBytes() > 0;
   const uint32_t version =
       any_sketch ? kBinaryTableVersionV3 : kBinaryTableVersion;
@@ -242,6 +267,7 @@ Status WriteBinaryTable(const Table& table, std::ostream& output) {
   WritePod<uint32_t>(output, version);
   WritePod<uint64_t>(output, table.num_rows());
   WritePod<uint32_t>(output, static_cast<uint32_t>(table.num_columns()));
+  const uint64_t alignment = std::max<uint64_t>(options.alignment, 8);
   for (size_t c = 0; c < table.num_columns(); ++c) {
     const Column& col = table.column(c);
     WriteString(output, col.name());
@@ -253,8 +279,30 @@ Status WriteBinaryTable(const Table& table, std::ostream& output) {
       }
     }
     // Shards are in-memory only: the wire payload is the contiguous
-    // concatenation, byte-identical to pre-sharding files.
+    // concatenation, independent of the in-memory geometry.
     const PackedCodes packed = col.sharded().Flatten();
+    if (options.page_align && packed.num_data_words() > 0) {
+      // Pad so the packed words land `alignment`-aligned in the file
+      // (offsets are relative to the stream start, which is the file
+      // start on the save path). Unseekable sinks skip the run; the
+      // format stays valid either way.
+      const std::ostream::pos_type pos = output.tellp();
+      if (pos != std::ostream::pos_type(-1)) {
+        // Payload starts after the 1-byte marker, the u32 length, the
+        // zeros, and the width byte.
+        const uint64_t header_end = static_cast<uint64_t>(pos) + 6;
+        const uint32_t pad = static_cast<uint32_t>(
+            (alignment - header_end % alignment) % alignment);
+        WritePod<uint8_t>(output, kPadMarker);
+        WritePod<uint32_t>(output, pad);
+        static constexpr char kZeros[256] = {};
+        for (uint32_t left = pad; left > 0;) {
+          const uint32_t chunk = std::min<uint32_t>(left, sizeof(kZeros));
+          output.write(kZeros, chunk);
+          left -= chunk;
+        }
+      }
+    }
     WritePod<uint8_t>(output, static_cast<uint8_t>(packed.width()));
     output.write(reinterpret_cast<const char*>(packed.data_words()),
                  static_cast<std::streamsize>(packed.num_data_words() *
@@ -273,16 +321,24 @@ Status WriteBinaryTable(const Table& table, std::ostream& output) {
       }
     }
   }
+  if (options.page_align) {
+    // Trailing guard so a borrowed final payload can end flush with the
+    // data and still honor the 8-bytes-past-payload read contract.
+    // Readers stop at the declared columns and ignore trailing bytes.
+    static constexpr char kGuard[kTrailingGuardBytes] = {};
+    output.write(kGuard, sizeof(kGuard));
+  }
   if (!output) return Status::IOError("binary table: write failed");
   return Status::OK();
 }
 
-Status WriteBinaryTableFile(const Table& table, const std::string& path) {
+Status WriteBinaryTableFile(const Table& table, const std::string& path,
+                            const BinaryWriteOptions& options) {
   std::ofstream file(path, std::ios::binary);
   if (!file) {
     return Status::IOError("binary table: cannot open '" + path + "'");
   }
-  return WriteBinaryTable(table, file);
+  return WriteBinaryTable(table, file, options);
 }
 
 Result<Table> ReadBinaryTable(std::istream& input) {
@@ -394,6 +450,250 @@ Result<Table> ReadBinaryTableFile(const std::string& path) {
     return Status::IOError("binary table: cannot open '" + path + "'");
   }
   return ReadBinaryTable(file);
+}
+
+namespace {
+
+// Bounds-checked reader over a mapped image. Mirrors the stream helpers;
+// every accessor fails instead of reading past the mapping, so truncated
+// or lying images surface as Corruption, never as a fault.
+class Cursor {
+ public:
+  Cursor(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  const uint8_t* here() const { return data_ + pos_; }
+
+  template <typename T>
+  bool ReadPod(T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (remaining() < sizeof(T)) return false;
+    std::memcpy(&value, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadString(std::string& s, uint32_t max_len) {
+    uint32_t len = 0;
+    if (!ReadPod(len) || len > max_len || remaining() < len) return false;
+    s.assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return true;
+  }
+
+  bool Skip(uint64_t bytes) {
+    if (remaining() < bytes) return false;
+    pos_ += bytes;
+    return true;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// Cursor twin of ReadSketchSidecar. Sketch counters are always copied to
+// the heap: sketches are mutated on ingest and are small next to the
+// packed payloads.
+Result<std::shared_ptr<const CountMinSketch>> ReadSketchSidecarMapped(
+    Cursor& in, const std::string& name) {
+  uint8_t has_sketch = 0;
+  if (!in.ReadPod(has_sketch) || has_sketch > 1) {
+    return Status::Corruption(
+        "binary table: truncated sketch flag in column '" + name + "'");
+  }
+  if (has_sketch == 0) {
+    return std::shared_ptr<const CountMinSketch>(nullptr);
+  }
+  uint32_t depth = 0;
+  uint32_t width = 0;
+  uint64_t seed = 0;
+  uint64_t total_count = 0;
+  if (!in.ReadPod(depth) || !in.ReadPod(width) || !in.ReadPod(seed) ||
+      !in.ReadPod(total_count)) {
+    return Status::Corruption(
+        "binary table: truncated sketch header in column '" + name + "'");
+  }
+  if (depth < CountMinSketch::kMinDepth ||
+      depth > CountMinSketch::kMaxDepth ||
+      width < CountMinSketch::kMinWidth ||
+      width > CountMinSketch::kMaxWidth) {
+    return Status::Corruption("binary table: column '" + name +
+                              "' sketch has invalid shape " +
+                              std::to_string(depth) + "x" +
+                              std::to_string(width));
+  }
+  const uint64_t num_counters =
+      static_cast<uint64_t>(depth) * static_cast<uint64_t>(width);
+  if (num_counters > in.remaining() / sizeof(uint64_t)) {
+    return Status::Corruption(
+        "binary table: truncated sketch counters in column '" + name + "'");
+  }
+  std::vector<uint64_t> counters(num_counters);
+  std::memcpy(counters.data(), in.here(), num_counters * sizeof(uint64_t));
+  in.Skip(num_counters * sizeof(uint64_t));
+  auto sketch = CountMinSketch::FromParts(depth, width, seed, total_count,
+                                          std::move(counters));
+  if (!sketch.ok()) {
+    return Status::Corruption("binary table: column '" + name +
+                              "' sketch: " + sketch.status().message());
+  }
+  return std::make_shared<const CountMinSketch>(std::move(sketch).value());
+}
+
+}  // namespace
+
+Result<Table> ReadBinaryTableFileMapped(const std::string& path) {
+  SWOPE_ASSIGN_OR_RETURN(std::shared_ptr<MappedFile> file,
+                         MappedFile::Open(path));
+  const std::shared_ptr<const MappedFile> mapped = std::move(file);
+  Cursor in(mapped->data(), mapped->size());
+  char magic[4];
+  if (!in.ReadPod(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("binary table: bad magic");
+  }
+  uint32_t version = 0;
+  if (!in.ReadPod(version) ||
+      (version != kBinaryTableVersion && version != kBinaryTableVersionV1 &&
+       version != kBinaryTableVersionV3)) {
+    return Status::Corruption(
+        "binary table: unsupported version " + std::to_string(version) +
+        " (supported: " + std::to_string(kBinaryTableVersionV1) + ", " +
+        std::to_string(kBinaryTableVersion) + ", " +
+        std::to_string(kBinaryTableVersionV3) + ")");
+  }
+  if (version == kBinaryTableVersionV1) {
+    // v1 stores 4-byte codes that are re-packed on load; there is
+    // nothing to borrow. The owned loader handles it.
+    return ReadBinaryTableFile(path);
+  }
+  uint64_t num_rows = 0;
+  uint32_t num_columns = 0;
+  if (!in.ReadPod(num_rows) || !in.ReadPod(num_columns)) {
+    return Status::Corruption("binary table: truncated header");
+  }
+  // Same lower-bound plausibility check as the stream reader: every v2/v3
+  // column costs at least its fixed header plus the width byte (plus the
+  // sketch flag in v3).
+  {
+    const uint64_t avail = in.remaining();
+    uint64_t per_column = sizeof(uint32_t) + sizeof(uint32_t) +
+                          sizeof(uint8_t) + sizeof(uint8_t);
+    if (version == kBinaryTableVersionV3) per_column += sizeof(uint8_t);
+    if (num_columns > 0 && per_column > avail / num_columns) {
+      return Status::Corruption(
+          "binary table: header claims more data than the stream holds");
+    }
+  }
+  constexpr uint32_t kMaxNameLen = 1 << 20;
+  std::vector<Column> columns;
+  columns.reserve(num_columns);
+  for (uint32_t c = 0; c < num_columns; ++c) {
+    std::string name;
+    uint32_t support = 0;
+    uint8_t has_labels = 0;
+    if (!in.ReadString(name, kMaxNameLen) || !in.ReadPod(support) ||
+        !in.ReadPod(has_labels) || has_labels > 1) {
+      return Status::Corruption("binary table: truncated column header");
+    }
+    std::vector<std::string> labels;
+    if (has_labels != 0) {
+      labels.reserve(std::min<uint64_t>(support, 1 << 16));
+      for (uint32_t v = 0; v < support; ++v) {
+        std::string label;
+        if (!in.ReadString(label, kMaxNameLen)) {
+          return Status::Corruption("binary table: truncated labels");
+        }
+        labels.push_back(std::move(label));
+      }
+    }
+    uint8_t width = 0;
+    if (!in.ReadPod(width)) {
+      return Status::Corruption("binary table: truncated column width");
+    }
+    if (width == kPadMarker) {
+      uint32_t pad = 0;
+      if (!in.ReadPod(pad) || pad > kMaxPadBytes) {
+        return Status::Corruption(
+            "binary table: bad padding run in column '" + name + "'");
+      }
+      if (!in.Skip(pad) || !in.ReadPod(width)) {
+        return Status::Corruption("binary table: truncated column width");
+      }
+    }
+    if (width != PackedCodes::WidthForSupport(support)) {
+      return Status::Corruption(
+          "binary table: column '" + name + "' declares width " +
+          std::to_string(width) + ", expected " +
+          std::to_string(PackedCodes::WidthForSupport(support)) +
+          " for support " + std::to_string(support));
+    }
+    if (num_rows > PackedCodes::MaxSizeForWidth(width)) {
+      return Status::Corruption(
+          "binary table: column '" + name + "' claims " +
+          std::to_string(num_rows) + " rows, too many for width " +
+          std::to_string(width));
+    }
+    const uint64_t num_words = PackedCodes::NumDataWords(num_rows, width);
+    const uint64_t payload_bytes = num_words * sizeof(uint64_t);
+    const size_t payload_pos = in.pos();
+    const uint8_t* payload = in.here();
+    if (!in.Skip(payload_bytes)) {
+      return Status::Corruption("binary table: truncated codes in column '" +
+                                name + "'");
+    }
+    const std::string col_name = name;
+    // Borrow when the payload is 8-byte aligned in the mapping and the
+    // two-word decode reads stay inside it (the padded layout guarantees
+    // both); otherwise copy to the heap -- the unpadded legacy layout.
+    const bool aligned =
+        (reinterpret_cast<uintptr_t>(payload) % alignof(uint64_t)) == 0;
+    const bool guarded = payload_pos + payload_bytes + kTrailingGuardBytes <=
+                         mapped->ReadableBytes();
+    Result<Column> column = [&]() -> Result<Column> {
+      if (payload_bytes > 0 && aligned && guarded) {
+        auto sharded = ShardedCodes::BorrowWords(
+            num_rows, width, reinterpret_cast<const uint64_t*>(payload),
+            DefaultShardSize());
+        if (sharded.ok()) {
+          return Column::FromShardedBacked(std::move(name), support,
+                                           std::move(sharded).value(),
+                                           std::move(labels), mapped);
+        }
+        // Borrowing only fails on shard geometry; fall through to the
+        // owned copy.
+      }
+      std::vector<uint64_t> words(num_words);
+      if (num_words > 0) std::memcpy(words.data(), payload, payload_bytes);
+      auto packed = PackedCodes::FromWords(num_rows, width, std::move(words));
+      if (!packed.ok()) return packed.status();
+      return Column::FromPacked(std::move(name), support,
+                                std::move(packed).value(),
+                                std::move(labels));
+    }();
+    if (!column.ok()) {
+      return Status::Corruption("binary table: " +
+                                column.status().message());
+    }
+    if (version == kBinaryTableVersionV3) {
+      auto sketch = ReadSketchSidecarMapped(in, col_name);
+      if (!sketch.ok()) return sketch.status();
+      if (sketch.value() != nullptr) {
+        columns.push_back(
+            column.value().WithSketch(std::move(sketch).value()));
+        continue;
+      }
+    }
+    columns.push_back(std::move(column).value());
+  }
+  auto table = Table::Make(std::move(columns));
+  if (!table.ok()) {
+    return Status::Corruption("binary table: " + table.status().message());
+  }
+  return table;
 }
 
 }  // namespace swope

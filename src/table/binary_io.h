@@ -8,11 +8,21 @@
 //     u8  has_labels
 //     if has_labels: support x (u32 len | bytes)
 //     version 1: num_rows x u32 codes
-//     version 2: u8 width | ceil(num_rows*width/64) x u64 packed words
+//     version 2: [padding run] u8 width
+//                | ceil(num_rows*width/64) x u64 packed words
 //     version 3: as version 2, then
 //       u8 has_sketch
 //       if has_sketch: u32 depth | u32 width | u64 seed | u64 total_count
 //                      | depth*width x u64 counters
+//
+// The optional padding run -- u8 0xA7 marker | u32 pad_len | pad_len
+// zero bytes -- sits where the width byte otherwise starts. 0xA7 cannot
+// be a width (widths are <= 32), so one-byte lookahead disambiguates and
+// a single reader accepts padded and legacy images alike. Writers emit
+// it (by default) to page-align each non-empty column payload so the
+// mmap load path can borrow packed words straight out of the mapping;
+// padded files additionally end with 8 guard bytes so the borrowed
+// two-word decode reads stay inside the mapping.
 //
 // Version 2 stores each column's codes bit-packed at the canonical width
 // ceil(log2(support)) -- the exact in-memory representation
@@ -50,10 +60,23 @@ inline constexpr uint32_t kBinaryTableVersionV1 = 1;
 /// least one column carries a sketch.
 inline constexpr uint32_t kBinaryTableVersionV3 = 3;
 
+/// Write-side knobs. Defaults produce mmap-friendly files; set
+/// page_align to false to reproduce the pre-padding byte layout.
+struct BinaryWriteOptions {
+  /// Page-align every non-empty column payload with a padding run so the
+  /// mmap load path can borrow packed words in place. Readers accept
+  /// padded and unpadded images alike.
+  bool page_align = true;
+  /// Alignment of padded payloads, in bytes.
+  uint64_t alignment = 4096;
+};
+
 /// Serializes `table` to the binary column-store format: version 3 when
 /// any column carries a sketch sidecar, version 2 otherwise.
-Status WriteBinaryTable(const Table& table, std::ostream& output);
-Status WriteBinaryTableFile(const Table& table, const std::string& path);
+Status WriteBinaryTable(const Table& table, std::ostream& output,
+                        const BinaryWriteOptions& options = {});
+Status WriteBinaryTableFile(const Table& table, const std::string& path,
+                            const BinaryWriteOptions& options = {});
 
 /// Deserializes a table; validates the magic, version and all structural
 /// invariants (code ranges, packed widths, label counts, sketch shapes
@@ -61,6 +84,17 @@ Status WriteBinaryTableFile(const Table& table, const std::string& path);
 /// versions 1, 2 and 3.
 Result<Table> ReadBinaryTable(std::istream& input);
 Result<Table> ReadBinaryTableFile(const std::string& path);
+
+/// Loads a table by memory-mapping `path` instead of streaming it. Runs
+/// the same structural validation as ReadBinaryTableFile; column
+/// payloads that sit 8-byte aligned in the file with the trailing read
+/// guard intact (any payload written with BinaryWriteOptions::page_align)
+/// are borrowed straight from the mapping -- the returned table's
+/// columns keep the MappedFile alive, and their bytes count as
+/// Table::MappedBytes() rather than MemoryBytes(). Unaligned legacy
+/// payloads, label dictionaries, and sketch sidecars are copied to the
+/// heap; v1 files fall back to the owned loader entirely.
+Result<Table> ReadBinaryTableFileMapped(const std::string& path);
 
 }  // namespace swope
 

@@ -80,7 +80,8 @@ Result<Column> Column::FromPacked(std::string name, uint32_t support,
 Result<Column> Column::FromShardedTrusted(
     std::string name, uint32_t support, ShardedCodes codes,
     std::vector<std::string> labels,
-    std::shared_ptr<const CountMinSketch> sketch) {
+    std::shared_ptr<const CountMinSketch> sketch,
+    std::shared_ptr<const void> backing) {
   if (!codes.empty() && support == 0) {
     return Status::InvalidArgument("column '" + name +
                                    "': support is 0 but codes are present");
@@ -99,7 +100,30 @@ Result<Column> Column::FromShardedTrusted(
   Column column(std::move(name), support, std::move(codes),
                 std::move(labels));
   column.sketch_ = std::move(sketch);
+  column.backing_ = std::move(backing);
   return column;
+}
+
+Result<Column> Column::FromShardedBacked(
+    std::string name, uint32_t support, ShardedCodes codes,
+    std::vector<std::string> labels, std::shared_ptr<const void> backing) {
+  // Same untrusted-payload scan as FromPacked: a packed payload can
+  // encode values in [support, 2^width).
+  std::vector<ValueCode> scratch(std::min<uint64_t>(codes.size(), 4096));
+  for (uint64_t begin = 0; begin < codes.size(); begin += scratch.size()) {
+    const uint64_t end =
+        std::min<uint64_t>(codes.size(), begin + scratch.size());
+    codes.Decode(begin, end, scratch.data());
+    for (uint64_t i = 0; i < end - begin; ++i) {
+      if (scratch[i] >= support) {
+        return Status::InvalidArgument(
+            "column '" + name + "': code " + std::to_string(scratch[i]) +
+            " >= support " + std::to_string(support));
+      }
+    }
+  }
+  return FromShardedTrusted(std::move(name), support, std::move(codes),
+                            std::move(labels), nullptr, std::move(backing));
 }
 
 uint64_t Column::MemoryBytes() const {

@@ -61,7 +61,18 @@ class Column {
   static Result<Column> FromShardedTrusted(
       std::string name, uint32_t support, ShardedCodes codes,
       std::vector<std::string> labels,
-      std::shared_ptr<const CountMinSketch> sketch);
+      std::shared_ptr<const CountMinSketch> sketch,
+      std::shared_ptr<const void> backing = nullptr);
+
+  /// Factory for the mmap load path: same per-code validation scan as
+  /// FromPacked, over borrowed sharded storage whose payload lives in an
+  /// externally owned region. `backing` (typically the MappedFile) is
+  /// held for the life of the column -- and of any column derived from
+  /// it by width-stable appends, which share full shards verbatim.
+  static Result<Column> FromShardedBacked(std::string name, uint32_t support,
+                                          ShardedCodes codes,
+                                          std::vector<std::string> labels,
+                                          std::shared_ptr<const void> backing);
 
   Column() = default;
 
@@ -93,10 +104,19 @@ class Column {
     return copy;
   }
 
-  /// Exact resident bytes: packed payload plus the label dictionary
-  /// (per-string object plus character payload) plus the name. The
-  /// accounting rules live in docs/STORAGE.md.
+  /// Exact resident heap bytes: owned packed payload plus the label
+  /// dictionary (per-string object plus character payload) plus the
+  /// name. Borrowed (mmap-backed) payload bytes are excluded; they are
+  /// MappedBytes(). The accounting rules live in docs/STORAGE.md.
   uint64_t MemoryBytes() const;
+
+  /// Payload bytes this column references inside a mapped region (0 for
+  /// fully owned storage).
+  uint64_t MappedBytes() const { return codes_.MappedBytes(); }
+
+  /// The opaque keep-alive for borrowed storage (the MappedFile on the
+  /// mmap load path); null when every shard owns its words.
+  const std::shared_ptr<const void>& backing() const { return backing_; }
 
   /// True when the column retains original value labels.
   bool has_labels() const { return !labels_.empty(); }
@@ -145,6 +165,8 @@ class Column {
   ShardedCodes codes_;
   std::vector<std::string> labels_;
   std::shared_ptr<const CountMinSketch> sketch_;
+  /// Keeps the region borrowed shards point into alive (mmap path).
+  std::shared_ptr<const void> backing_;
 };
 
 }  // namespace swope

@@ -47,9 +47,13 @@ class ColumnView {
   /// span's base pointer. The span is valid until the next call with the
   /// same scratch buffer. Preserves the slice order across shards (the
   /// sketch path's conservative-update counting depends on it).
+  /// `Buffer` is any contiguous resizable ValueCode container --
+  /// std::vector for pooled scratch, std::pmr::vector for arena-backed
+  /// per-query slices.
+  template <typename Buffer>
   const ValueCode* Gather(const std::vector<uint32_t>& order,
                           uint64_t begin, uint64_t end,
-                          std::vector<ValueCode>& scratch) const {
+                          Buffer& scratch) const {
     const uint64_t count = end - begin;
     if (scratch.size() < count) scratch.resize(count);
     codes_->Gather(order.data() + begin, count, scratch.data());
@@ -60,9 +64,9 @@ class ColumnView {
   /// into `scratch` and returns the decoded span's base pointer. The
   /// shard-parallel hot path: one width-specialized batch kernel per
   /// shard, no cross-shard addressing in the inner loop.
+  template <typename Buffer>
   const ValueCode* GatherShard(size_t shard, const uint32_t* local_rows,
-                               uint64_t count,
-                               std::vector<ValueCode>& scratch) const {
+                               uint64_t count, Buffer& scratch) const {
     if (scratch.size() < count) scratch.resize(count);
     codes_->shard(shard).Gather(local_rows, count, scratch.data());
     return scratch.data();
@@ -71,8 +75,9 @@ class ColumnView {
   /// Decodes the contiguous row range [begin, end) into `scratch` and
   /// returns the decoded span's base pointer (sequential-scan paths:
   /// exact baselines, fingerprinting).
+  template <typename Buffer>
   const ValueCode* Decode(uint64_t begin, uint64_t end,
-                          std::vector<ValueCode>& scratch) const {
+                          Buffer& scratch) const {
     const uint64_t count = end - begin;
     if (scratch.size() < count) scratch.resize(count);
     codes_->Decode(begin, end, scratch.data());

@@ -125,15 +125,38 @@ Result<PackedCodes> PackedCodes::FromWords(uint64_t size, uint32_t width,
   return PackedCodes(size, width, std::move(words));
 }
 
+Result<PackedCodes> PackedCodes::BorrowWords(uint64_t size, uint32_t width,
+                                             const uint64_t* words) {
+  if (width > 32) {
+    return Status::InvalidArgument("packed codes: width " +
+                                   std::to_string(width) + " > 32");
+  }
+  if (size > MaxSizeForWidth(width)) {
+    return Status::InvalidArgument(
+        "packed codes: size " + std::to_string(size) +
+        " overflows the bit count for width " + std::to_string(width));
+  }
+  if (width == 0 || size == 0) {
+    // No payload to borrow; an owned empty sequence behaves identically.
+    return PackedCodes(size, width, std::vector<uint64_t>{});
+  }
+  if (words == nullptr ||
+      (reinterpret_cast<uintptr_t>(words) % alignof(uint64_t)) != 0) {
+    return Status::InvalidArgument(
+        "packed codes: borrowed words must be 8-byte aligned");
+  }
+  return PackedCodes(size, width, words);
+}
+
 void PackedCodes::Decode(uint64_t begin, uint64_t end,
                          ValueCode* out) const {
   assert(begin <= end && end <= size_);
-  kDecodeKernels[width_](words_.data(), begin, end, out);
+  kDecodeKernels[width_](word_base(), begin, end, out);
 }
 
 void PackedCodes::Gather(const uint32_t* order, uint64_t count,
                          ValueCode* out) const {
-  kGatherKernels[width_](words_.data(), order, count, out);
+  kGatherKernels[width_](word_base(), order, count, out);
 }
 
 std::vector<ValueCode> PackedCodes::ToVector() const {
@@ -156,11 +179,11 @@ PackedCodes PackedCodes::Append(const std::vector<ValueCode>& tail,
   if (width > 0 && n > 0) {
     // Copy the old payload (dropping the padding word, which the loop
     // below may turn into real payload) and pack the tail behind it.
+    // word_base() so borrowed (mapped) payloads append into an owned
+    // copy.
     words.assign(NumDataWords(n, width) + 1, 0);
-    std::copy(words_.begin(),
-              words_.begin() +
-                  static_cast<std::ptrdiff_t>(NumDataWords(size_, width)),
-              words.begin());
+    const uint64_t* base = word_base();
+    std::copy(base, base + NumDataWords(size_, width), words.begin());
     for (uint64_t i = 0; i < tail.size(); ++i) {
       assert(width == 32 || tail[i] < (uint64_t{1} << width));
       const uint64_t bit = (size_ + i) * width;

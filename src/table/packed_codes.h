@@ -70,6 +70,15 @@ class PackedCodes {
   static Result<PackedCodes> FromWords(uint64_t size, uint32_t width,
                                        std::vector<uint64_t> words);
 
+  /// Borrowed-words mode: references `words` (NumDataWords(size, width)
+  /// payload words, 8-byte aligned) without copying -- the mmap-loaded
+  /// column path. The caller guarantees the pointed-at memory outlives
+  /// this object (Column keeps the MappedFile alive) and that at least
+  /// 8 bytes past the payload stay dereferenceable, standing in for the
+  /// padding word the owned layout appends (see docs/STORAGE.md).
+  static Result<PackedCodes> BorrowWords(uint64_t size, uint32_t width,
+                                         const uint64_t* words);
+
   uint64_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
   uint32_t width() const { return width_; }
@@ -79,12 +88,14 @@ class PackedCodes {
   /// loop.
   ValueCode Get(uint64_t i) const {
     if (width_ == 0) return 0;
+    const uint64_t* words = word_base();
     const uint64_t bit = i * width_;
     const uint64_t mask = (uint64_t{1} << width_) - 1;
-    // The trailing padding word keeps the two-word read in bounds.
+    // The trailing padding word (or the borrowed guard bytes) keeps the
+    // two-word read in bounds.
     const unsigned __int128 pair =
-        (static_cast<unsigned __int128>(words_[(bit >> 6) + 1]) << 64) |
-        words_[bit >> 6];
+        (static_cast<unsigned __int128>(words[(bit >> 6) + 1]) << 64) |
+        words[bit >> 6];
     return static_cast<ValueCode>(
         static_cast<uint64_t>(pair >> (bit & 63)) & mask);
   }
@@ -111,24 +122,43 @@ class PackedCodes {
 
   /// Serialized payload (NumDataWords entries; the padding word is not
   /// part of the wire format).
-  const uint64_t* data_words() const { return words_.data(); }
+  const uint64_t* data_words() const { return word_base(); }
   uint64_t num_data_words() const { return NumDataWords(size_, width_); }
 
-  /// Exact resident payload bytes (including the in-memory padding word).
+  /// True when the payload references external (mmap-backed) memory
+  /// instead of owned heap words.
+  bool borrowed() const { return external_ != nullptr; }
+
+  /// Exact resident heap payload bytes (including the in-memory padding
+  /// word); 0 for a borrowed sequence, whose bytes are MappedBytes().
   uint64_t MemoryBytes() const {
     return words_.size() * sizeof(uint64_t);
+  }
+
+  /// Payload bytes referenced in a mapped region; 0 for owned storage.
+  uint64_t MappedBytes() const {
+    return borrowed() ? num_data_words() * sizeof(uint64_t) : 0;
   }
 
  private:
   PackedCodes(uint64_t size, uint32_t width, std::vector<uint64_t> words)
       : size_(size), width_(width), words_(std::move(words)) {}
+  PackedCodes(uint64_t size, uint32_t width, const uint64_t* external)
+      : size_(size), width_(width), external_(external) {}
+
+  const uint64_t* word_base() const {
+    return external_ != nullptr ? external_ : words_.data();
+  }
 
   uint64_t size_ = 0;
   uint32_t width_ = 0;
-  /// Payload words plus one zero padding word (when non-empty), so the
-  /// unaligned two-word reads in the decode kernels never run off the
-  /// end.
+  /// Owned mode: payload words plus one zero padding word (when
+  /// non-empty), so the unaligned two-word reads in the decode kernels
+  /// never run off the end. Empty in borrowed mode.
   std::vector<uint64_t> words_;
+  /// Borrowed mode: externally owned payload words (the caller
+  /// guarantees lifetime and the 8-byte read guard). Null in owned mode.
+  const uint64_t* external_ = nullptr;
 };
 
 }  // namespace swope

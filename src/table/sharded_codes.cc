@@ -58,6 +58,30 @@ ShardedCodes ShardedCodes::FromPacked(const PackedCodes& whole,
   return ShardedCodes(n, whole.width(), shard_size, std::move(shards));
 }
 
+Result<ShardedCodes> ShardedCodes::BorrowWords(uint64_t size,
+                                               uint32_t width,
+                                               const uint64_t* words,
+                                               uint64_t shard_size) {
+  shard_size = std::max<uint64_t>(shard_size, 1);
+  if (size > shard_size && shard_size % 64 != 0) {
+    return Status::InvalidArgument(
+        "sharded codes: borrowed split needs shard_size % 64 == 0, got " +
+        std::to_string(shard_size));
+  }
+  std::vector<PackedCodes> shards;
+  shards.reserve(static_cast<size_t>((size + shard_size - 1) / shard_size));
+  for (uint64_t begin = 0; begin < size; begin += shard_size) {
+    const uint64_t rows = std::min(size - begin, shard_size);
+    // begin * width is a multiple of 64 by the alignment precondition,
+    // so each shard starts exactly at a word.
+    const uint64_t word_offset = width == 0 ? 0 : begin * width / 64;
+    auto shard = PackedCodes::BorrowWords(rows, width, words + word_offset);
+    if (!shard.ok()) return shard.status();
+    shards.push_back(std::move(*shard));
+  }
+  return ShardedCodes(size, width, shard_size, std::move(shards));
+}
+
 void ShardedCodes::Decode(uint64_t begin, uint64_t end,
                           ValueCode* out) const {
   while (begin < end) {
@@ -136,6 +160,12 @@ ShardedCodes ShardedCodes::Resharded(uint64_t shard_size) const {
 uint64_t ShardedCodes::MemoryBytes() const {
   uint64_t bytes = 0;
   for (const PackedCodes& shard : shards_) bytes += shard.MemoryBytes();
+  return bytes;
+}
+
+uint64_t ShardedCodes::MappedBytes() const {
+  uint64_t bytes = 0;
+  for (const PackedCodes& shard : shards_) bytes += shard.MappedBytes();
   return bytes;
 }
 

@@ -51,6 +51,18 @@ class ShardedCodes {
   static ShardedCodes FromPacked(const PackedCodes& whole,
                                  uint64_t shard_size);
 
+  /// Borrowed-words split: shards reference disjoint spans of one
+  /// externally owned contiguous payload (the mmap-loaded column path)
+  /// with no decode or copy. Requires every shard boundary to fall on a
+  /// word boundary -- shard_size must be a multiple of 64 rows (64 *
+  /// width bits is word-aligned for every width) unless everything fits
+  /// in one shard; unaligned geometries return InvalidArgument and the
+  /// caller falls back to the owned loader. Lifetime/guard contract as
+  /// PackedCodes::BorrowWords.
+  static Result<ShardedCodes> BorrowWords(uint64_t size, uint32_t width,
+                                          const uint64_t* words,
+                                          uint64_t shard_size);
+
   uint64_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
   uint32_t width() const { return width_; }
@@ -102,9 +114,13 @@ class ShardedCodes {
   /// The same values under a different shard size.
   ShardedCodes Resharded(uint64_t shard_size) const;
 
-  /// Exact resident payload bytes across shards (including each shard's
-  /// padding word).
+  /// Exact resident heap payload bytes across shards (including each
+  /// owned shard's padding word; borrowed shards contribute 0).
   uint64_t MemoryBytes() const;
+
+  /// Payload bytes referenced in a mapped region across shards; 0 for
+  /// fully owned storage.
+  uint64_t MappedBytes() const;
 
  private:
   ShardedCodes(uint64_t size, uint32_t width, uint64_t shard_size,

@@ -81,6 +81,12 @@ uint64_t Table::MemoryBytes() const {
   return bytes;
 }
 
+uint64_t Table::MappedBytes() const {
+  uint64_t bytes = 0;
+  for (const Column& col : columns_) bytes += col.MappedBytes();
+  return bytes;
+}
+
 uint64_t Table::SketchMemoryBytes() const {
   uint64_t bytes = 0;
   for (const Column& col : columns_) bytes += col.SketchMemoryBytes();

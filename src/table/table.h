@@ -54,10 +54,15 @@ class Table {
   /// repacked as needed; the wire format is unaffected.
   Table Resharded(uint64_t shard_size) const;
 
-  /// Exact resident bytes across all columns (bit-packed payloads plus
-  /// label dictionaries; accounting rules in docs/STORAGE.md). The
-  /// engine's DatasetRegistry budgets and reports this number.
+  /// Exact resident heap bytes across all columns (owned bit-packed
+  /// payloads plus label dictionaries; accounting rules in
+  /// docs/STORAGE.md). The engine's DatasetRegistry budgets and reports
+  /// this number. Mapped payload bytes are MappedBytes().
   uint64_t MemoryBytes() const;
+
+  /// Payload bytes referenced inside mapped regions across all columns
+  /// (0 for a fully owned table).
+  uint64_t MappedBytes() const;
 
   /// Resident bytes of all column sketch sidecars (0 when none carry
   /// one). Reported separately: the engine mirrors this into the

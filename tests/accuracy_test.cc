@@ -1,13 +1,15 @@
 #include "src/eval/accuracy.h"
 
+#include <memory_resource>
+
 #include <gtest/gtest.h>
 
 namespace swope {
 namespace {
 
-std::vector<AttributeScore> Items(std::vector<size_t> indices,
-                                  std::vector<double> estimates = {}) {
-  std::vector<AttributeScore> items;
+std::pmr::vector<AttributeScore> Items(std::vector<size_t> indices,
+                                       std::vector<double> estimates = {}) {
+  std::pmr::vector<AttributeScore> items;
   for (size_t i = 0; i < indices.size(); ++i) {
     AttributeScore item;
     item.index = indices[i];

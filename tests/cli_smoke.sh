@@ -318,4 +318,87 @@ sketch_bytes="$(grep -o '"sketch_bytes":[0-9]*' "$TMP/sketch_serve.out" \
 [ -n "$sketch_bytes" ] || fail "stats missing sketch_bytes"
 [ "$sketch_bytes" -gt 0 ] || fail "sketch_bytes is zero"
 
+# ---- mmap-loaded storage (docs/STORAGE.md) ----
+
+# info --mmap reports the byte split: payloads borrowed from the mapping
+# are "mapped", only dictionaries/metadata stay heap-"memory"
+"$CLI" info --in="$TMP/d.swpb" --mmap > "$TMP/info_mmap.txt" \
+  || fail "info --mmap failed"
+grep -q "mapped:  " "$TMP/info_mmap.txt" || fail "info --mmap no mapped line"
+mapped="$(grep "mapped:" "$TMP/info_mmap.txt" | awk '{print $2}')"
+heap="$(grep "memory:" "$TMP/info_mmap.txt" | awk '{print $2}')"
+[ "$mapped" -gt 0 ] || fail "info --mmap mapped bytes zero"
+[ "$heap" -lt "$mapped" ] || fail "info --mmap heap not smaller than mapped"
+# the owned load of the same file reports zero mapped bytes
+"$CLI" info --in="$TMP/d.swpb" | grep -q "mapped:" \
+  && fail "owned info grew a mapped line"
+
+# serve: load mmap=1 reports the split in the load reply and in stats
+printf '%s\n' \
+  "load name=d path=$TMP/d.swpb mmap=1" \
+  "query dataset=d kind=entropy-topk k=3" \
+  "stats" \
+  "quit" \
+  | "$CLI" serve > "$TMP/mmap_serve.out" || fail "mmap serve exited non-zero"
+grep -q '"ok":true,"op":"load"' "$TMP/mmap_serve.out" || fail "mmap load"
+load_mapped="$(grep -o '"mapped_bytes":[0-9]*' "$TMP/mmap_serve.out" \
+  | head -1 | cut -d: -f2)"
+load_resident="$(grep -o '"resident_bytes":[0-9]*' "$TMP/mmap_serve.out" \
+  | head -1 | cut -d: -f2)"
+[ "$load_mapped" -gt 0 ] || fail "mmap load reply mapped_bytes zero"
+[ "$load_resident" -lt "$load_mapped" ] \
+  || fail "mmap load reply resident not smaller than mapped"
+[ "$(grep -c '"mapped_bytes":'"$load_mapped" "$TMP/mmap_serve.out")" -ge 2 ] \
+  || fail "stats mapped_bytes disagrees with load reply"
+
+# golden-answer contract: owned and mapped storage serve byte-identical
+# query replies, across intra-thread counts and both pool modes
+printf '%s\n' \
+  "query dataset=d kind=entropy-topk k=3" \
+  "query dataset=d kind=mi-topk target=cdc_a0 k=2" \
+  "query dataset=d kind=entropy-filter eta=2.0" \
+  "quit" > "$TMP/golden.req"
+{ echo "load name=d path=$TMP/d.swpb"; cat "$TMP/golden.req"; } \
+  > "$TMP/golden_owned.req"
+{ echo "load name=d path=$TMP/d.swpb mmap=1"; cat "$TMP/golden.req"; } \
+  > "$TMP/golden_mapped.req"
+for opts in "" "--intra-threads=4" "--pool-mode=single-queue" \
+            "--intra-threads=4 --pool-mode=single-queue"; do
+  # shellcheck disable=SC2086
+  "$CLI" serve $opts < "$TMP/golden_owned.req" \
+    | grep '"op":"query"' > "$TMP/golden_owned.out" \
+    || fail "golden owned serve ($opts)"
+  # shellcheck disable=SC2086
+  "$CLI" serve $opts < "$TMP/golden_mapped.req" \
+    | grep '"op":"query"' > "$TMP/golden_mapped.out" \
+    || fail "golden mapped serve ($opts)"
+  diff "$TMP/golden_owned.out" "$TMP/golden_mapped.out" \
+    || fail "owned vs mapped answers differ ($opts)"
+done
+
+# a dataset whose mapped footprint exceeds the registry heap budget
+# still loads and answers: mapped bytes are OS-paged, not budgeted
+"$CLI" gen --preset=cdc --rows=40000 --seed=5 --out="$TMP/big_map.swpb" \
+  >/dev/null || fail "gen big_map"
+printf '%s\n' \
+  "load name=big path=$TMP/big_map.swpb mmap=1" \
+  "query dataset=big kind=entropy-topk k=3" \
+  "stats" \
+  "quit" \
+  | "$CLI" serve --memory-budget-mb=1 > "$TMP/over_budget.out" \
+  || fail "over-budget mmap serve exited non-zero"
+grep -q '"ok":true,"op":"load"' "$TMP/over_budget.out" \
+  || fail "over-budget mmap load refused"
+grep -q '"ok":true,"op":"query"' "$TMP/over_budget.out" \
+  || fail "over-budget mmap query failed"
+big_mapped="$(grep -o '"mapped_bytes":[0-9]*' "$TMP/over_budget.out" \
+  | head -1 | cut -d: -f2)"
+[ "$big_mapped" -gt 1048576 ] \
+  || fail "big_map not actually larger than the 1 MiB budget"
+
+# profile=1 replies carry the per-query allocation count (0 in
+# production binaries -- the counting interposer only links into
+# tests/alloc_regression_test)
+grep -q '"allocs":' "$TMP/profile.out" || fail "profile missing allocs"
+
 echo "cli_smoke: OK"

@@ -6,6 +6,8 @@
 //  * sequential-sampling queries agree with their own reruns and satisfy
 //    the approximation contract on shuffled storage.
 
+#include <cstdio>
+#include <fstream>
 #include <random>
 #include <sstream>
 
@@ -244,6 +246,122 @@ TEST(FuzzRoundTripTest, BinaryTruncationAlwaysCorruption) {
     std::stringstream stream(image.substr(0, cut));
     auto loaded = ReadBinaryTable(stream);
     EXPECT_FALSE(loaded.ok()) << "cut=" << cut;
+  }
+}
+
+// ---- Mapped-load robustness ------------------------------------------
+//
+// The mmap loader (ReadBinaryTableFileMapped) borrows words straight out
+// of the file mapping, so its bounds checking is the only thing between
+// a corrupt file and a SIGBUS. These mirror the stream-loader fuzz
+// suites through temp files.
+
+class ScopedImageFile {
+ public:
+  explicit ScopedImageFile(const std::string& bytes)
+      : path_(::testing::TempDir() + "/fuzz_mapped_" +
+              std::to_string(reinterpret_cast<uintptr_t>(this)) + ".swpb") {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    EXPECT_TRUE(out.good());
+  }
+  ~ScopedImageFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(FuzzRoundTripTest, MappedLoadMatchesStreamLoad) {
+  const Table table = test::MakeEntropyTable({1.0, 2.5, 0.5}, 500, 3);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteBinaryTable(table, buffer).ok());
+  ScopedImageFile file(buffer.str());
+
+  auto mapped = ReadBinaryTableFileMapped(file.path());
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_GT(mapped->MappedBytes(), 0u)
+      << "page-aligned writer output should load borrowed, not copied";
+  ASSERT_EQ(mapped->num_rows(), table.num_rows());
+  ASSERT_EQ(mapped->num_columns(), table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    EXPECT_EQ(mapped->column(c).codes(), table.column(c).codes());
+  }
+}
+
+TEST(FuzzRoundTripTest, MappedCorruptionNeverCrashes) {
+  const Table table = test::MakeEntropyTable({1.0, 2.5, 0.5}, 500, 3);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteBinaryTable(table, buffer).ok());
+  const std::string image = buffer.str();
+
+  Rng rng(57);
+  for (int trial = 0; trial < 150; ++trial) {
+    std::string mutated = image;
+    const int flips = 1 + static_cast<int>(rng.UniformU64(4));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = rng.UniformU64(mutated.size());
+      mutated[pos] = static_cast<char>(rng.Next());
+    }
+    ScopedImageFile file(mutated);
+    // Must not crash, and in particular must never fault past the
+    // mapping: every read is bounds-checked against ReadableBytes.
+    auto loaded = ReadBinaryTableFileMapped(file.path());
+    if (loaded.ok()) {
+      for (const Column& col : loaded->columns()) {
+        for (uint64_t r = 0; r < col.size(); ++r) {
+          ASSERT_LT(col.code(r), std::max<uint32_t>(col.support(), 1));
+        }
+      }
+    }
+  }
+}
+
+TEST(FuzzRoundTripTest, MappedV3CorruptionNeverCrashes) {
+  const std::string image = WriteV3Image();
+  Rng rng(61);
+  for (int trial = 0; trial < 150; ++trial) {
+    std::string mutated = image;
+    const int flips = 1 + static_cast<int>(rng.UniformU64(4));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = rng.UniformU64(mutated.size());
+      mutated[pos] = static_cast<char>(rng.Next());
+    }
+    ScopedImageFile file(mutated);
+    auto loaded = ReadBinaryTableFileMapped(file.path());
+    if (loaded.ok()) {
+      for (const Column& col : loaded->columns()) {
+        for (uint64_t r = 0; r < col.size(); ++r) {
+          ASSERT_LT(col.code(r), std::max<uint32_t>(col.support(), 1));
+        }
+      }
+    }
+  }
+}
+
+TEST(FuzzRoundTripTest, MappedTruncationAlwaysCorruption) {
+  const Table table = test::MakeEntropyTable({2.0, 1.0}, 200, 5);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteBinaryTable(table, buffer).ok());
+  const std::string image = buffer.str();
+  Rng rng(67);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t cut = rng.UniformU64(image.size());
+    ScopedImageFile file(image.substr(0, cut));
+    auto loaded = ReadBinaryTableFileMapped(file.path());
+    EXPECT_FALSE(loaded.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(FuzzRoundTripTest, MappedV1FallsBackToStreamLoader) {
+  const Table table = test::MakeEntropyTable({1.5, 3.0}, 300, 13);
+  ScopedImageFile file(WriteV1Image(table));
+  auto loaded = ReadBinaryTableFileMapped(file.path());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->MappedBytes(), 0u) << "v1 has no borrowable payloads";
+  ASSERT_EQ(loaded->num_rows(), table.num_rows());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    EXPECT_EQ(loaded->column(c).codes(), table.column(c).codes());
   }
 }
 

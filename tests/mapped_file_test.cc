@@ -1,0 +1,94 @@
+// MappedFile: alignment, the zero-filled tail contract the borrowed-word
+// decode kernels rely on, empty files, error paths, and double-close.
+
+#include "src/fs/mapped_file.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace swope {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+TEST(MappedFileTest, MapsRegularFilePageAligned) {
+  const std::string path = TempPath("mapped_file_basic.bin");
+  std::string payload(10000, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>(i * 31);
+  }
+  WriteFile(path, payload);
+
+  auto mapped = MappedFile::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  const size_t page = MappedFile::PageSize();
+  EXPECT_GT(page, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>((*mapped)->data()) % page, 0u);
+  ASSERT_EQ((*mapped)->size(), payload.size());
+  EXPECT_EQ((*mapped)->path(), path);
+  // ReadableBytes rounds up to a whole page...
+  EXPECT_EQ((*mapped)->ReadableBytes(),
+            (payload.size() + page - 1) / page * page);
+  // ...the file bytes read back exactly...
+  for (size_t i = 0; i < payload.size(); i += 997) {
+    ASSERT_EQ(static_cast<char>((*mapped)->data()[i]), payload[i]);
+  }
+  // ...and the tail of the final page is dereferenceable zeros (what
+  // lets borrowed-word decode kernels over-read unconditionally).
+  for (size_t i = payload.size(); i < (*mapped)->ReadableBytes(); ++i) {
+    ASSERT_EQ((*mapped)->data()[i], 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MappedFileTest, EmptyFileMapsAsNull) {
+  const std::string path = TempPath("mapped_file_empty.bin");
+  WriteFile(path, "");
+  auto mapped = MappedFile::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ((*mapped)->data(), nullptr);
+  EXPECT_EQ((*mapped)->size(), 0u);
+  EXPECT_EQ((*mapped)->ReadableBytes(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(MappedFileTest, MissingFileIsIOError) {
+  auto mapped = MappedFile::Open(TempPath("no_such_mapped_file.bin"));
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_TRUE(mapped.status().IsIOError());
+}
+
+TEST(MappedFileTest, DirectoryIsIOError) {
+  auto mapped = MappedFile::Open(::testing::TempDir());
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_TRUE(mapped.status().IsIOError());
+}
+
+TEST(MappedFileTest, CloseIsIdempotent) {
+  const std::string path = TempPath("mapped_file_close.bin");
+  WriteFile(path, std::string(100, 'x'));
+  auto mapped = MappedFile::Open(path);
+  ASSERT_TRUE(mapped.ok());
+  (*mapped)->Close();
+  EXPECT_EQ((*mapped)->data(), nullptr);
+  EXPECT_EQ((*mapped)->size(), 0u);
+  EXPECT_EQ((*mapped)->ReadableBytes(), 0u);
+  (*mapped)->Close();  // second close must be a no-op, not a double unmap
+  EXPECT_EQ((*mapped)->data(), nullptr);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace swope

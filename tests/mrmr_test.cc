@@ -1,4 +1,4 @@
-#include "src/fs/mrmr.h"
+#include "src/eval/mrmr.h"
 
 #include <gtest/gtest.h>
 

@@ -4,6 +4,7 @@
 // all six query kinds — same items (bitwise-equal doubles), same stats.
 // The argument for why this holds by construction is in docs/CORE.md.
 
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -23,8 +24,8 @@ namespace {
 
 // Bitwise equality: any divergence in ordering or arithmetic between the
 // serial and parallel paths shows up here, not just large errors.
-void ExpectIdentical(const std::vector<AttributeScore>& serial,
-                     const std::vector<AttributeScore>& parallel) {
+void ExpectIdentical(std::span<const AttributeScore> serial,
+                     std::span<const AttributeScore> parallel) {
   ASSERT_EQ(serial.size(), parallel.size());
   for (size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i].index, parallel[i].index);

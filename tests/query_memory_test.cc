@@ -1,0 +1,107 @@
+// QueryMemoryPool lease lifecycle: warm reuse, the idle bound, move
+// semantics, and leases outliving the pool's external owner.
+
+#include "src/core/query_memory.h"
+
+#include <memory>
+#include <memory_resource>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace swope {
+namespace {
+
+TEST(QueryMemoryTest, AcquireReleaseRoundTripReusesWarmMemory) {
+  auto pool = std::make_shared<QueryMemoryPool>(/*max_idle=*/4);
+  EXPECT_EQ(pool->IdleCount(), 0u);
+
+  QueryMemory* first = nullptr;
+  size_t reserved = 0;
+  {
+    QueryMemoryLease lease = QueryMemoryPool::Acquire(pool);
+    ASSERT_TRUE(lease);
+    first = lease.get();
+    lease->arena().Allocate(100 * 1024, 8);
+    reserved = lease->arena().BytesReserved();
+    EXPECT_GT(reserved, 0u);
+  }
+  // The lease went back warm: same object, arena rewound but blocks kept.
+  EXPECT_EQ(pool->IdleCount(), 1u);
+  EXPECT_EQ(pool->IdleArenaBytes(), reserved);
+
+  QueryMemoryLease again = QueryMemoryPool::Acquire(pool);
+  EXPECT_EQ(again.get(), first);
+  EXPECT_EQ(again->arena().BytesUsed(), 0u);
+  EXPECT_EQ(again->arena().BytesReserved(), reserved);
+  EXPECT_EQ(pool->IdleCount(), 0u);
+}
+
+TEST(QueryMemoryTest, IdleListIsBounded) {
+  auto pool = std::make_shared<QueryMemoryPool>(/*max_idle=*/2);
+  std::vector<QueryMemoryLease> leases;
+  for (int i = 0; i < 5; ++i) {
+    leases.push_back(QueryMemoryPool::Acquire(pool));
+  }
+  leases.clear();
+  EXPECT_EQ(pool->IdleCount(), 2u);  // surplus three were freed, not kept
+}
+
+TEST(QueryMemoryTest, MoveTransfersOwnership) {
+  auto pool = std::make_shared<QueryMemoryPool>();
+  QueryMemoryLease a = QueryMemoryPool::Acquire(pool);
+  QueryMemory* raw = a.get();
+
+  QueryMemoryLease b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): testing moved-from
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b.get(), raw);
+  EXPECT_EQ(pool->IdleCount(), 0u);
+
+  // Move-assignment over a live lease returns the overwritten one first.
+  QueryMemoryLease c = QueryMemoryPool::Acquire(pool);
+  QueryMemory* raw_c = c.get();
+  EXPECT_NE(raw_c, raw);
+  c = std::move(b);
+  EXPECT_EQ(c.get(), raw);
+  EXPECT_EQ(pool->IdleCount(), 1u);  // raw_c went back
+}
+
+TEST(QueryMemoryTest, LeaseKeepsPoolAliveAfterExternalOwnerDrops) {
+  QueryMemoryLease survivor;
+  {
+    auto pool = std::make_shared<QueryMemoryPool>();
+    survivor = QueryMemoryPool::Acquire(pool);
+    survivor->arena().Allocate(64, 8);
+  }
+  // The engine-side shared_ptr is gone; the lease co-owns the pool, so
+  // using and destroying it is still safe.
+  ASSERT_TRUE(survivor);
+  std::pmr::vector<int> values(survivor->arena().resource());
+  values.assign(100, 7);
+  EXPECT_EQ(values[99], 7);
+  values = std::pmr::vector<int>(survivor->arena().resource());
+  survivor = QueryMemoryLease();  // releases into the dying pool safely
+  EXPECT_FALSE(survivor);
+}
+
+TEST(QueryMemoryTest, ResetDropsScratchLeaseStateButKeepsBuffers) {
+  auto pool = std::make_shared<QueryMemoryPool>();
+  QueryMemoryLease lease = QueryMemoryPool::Acquire(pool);
+  // Borrow and return a decode buffer; the warm buffer must survive the
+  // pool round-trip so the next query's borrow allocates nothing.
+  {
+    CodeScratchArena::Lease scratch(lease->scratch());
+    scratch.buffer().resize(4096);
+  }
+  QueryMemory* raw = lease.get();
+  lease = QueryMemoryLease();
+  QueryMemoryLease again = QueryMemoryPool::Acquire(pool);
+  ASSERT_EQ(again.get(), raw);
+  CodeScratchArena::Lease scratch(again->scratch());
+  EXPECT_GE(scratch.buffer().capacity(), 4096u);
+}
+
+}  // namespace
+}  // namespace swope

@@ -6,6 +6,8 @@
 // at every shard geometry.
 
 #include <future>
+#include <memory_resource>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,8 +38,8 @@ QuerySpec MakeSpec(const std::string& dataset, QueryKind kind,
   return spec;
 }
 
-void ExpectIdenticalItems(const std::vector<AttributeScore>& expected,
-                          const std::vector<AttributeScore>& actual) {
+void ExpectIdenticalItems(std::span<const AttributeScore> expected,
+                          std::span<const AttributeScore> actual) {
   ASSERT_EQ(expected.size(), actual.size());
   for (size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(expected[i].index, actual[i].index);
@@ -52,7 +54,7 @@ void ExpectIdenticalItems(const std::vector<AttributeScore>& expected,
 // representative answer per kind after asserting all copies agree
 // bitwise. Caching is disabled so every copy truly executes and races
 // the others for shard tasks on the shared pool.
-std::vector<std::vector<AttributeScore>> RunBurst(PoolMode mode) {
+std::vector<std::pmr::vector<AttributeScore>> RunBurst(PoolMode mode) {
   EngineConfig config;
   config.num_threads = 6;
   config.intra_query_threads = 4;
@@ -84,7 +86,7 @@ std::vector<std::vector<AttributeScore>> RunBurst(PoolMode mode) {
     }
   }
 
-  std::vector<std::vector<AttributeScore>> per_kind(6);
+  std::vector<std::pmr::vector<AttributeScore>> per_kind(6);
   for (size_t i = 0; i < futures.size(); ++i) {
     auto response = futures[i].get();
     EXPECT_TRUE(response.ok())

@@ -18,6 +18,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,10 @@ common flags:
   --sketch-threshold=U  support above which the sketch path applies
                     (default 1000); without --sketch-epsilon, querying a
                     column with support > U is rejected
+  --mmap            read --in (SWPB only) through the mmap loader: page-
+                    aligned payloads are borrowed from the file mapping
+                    (OS-paged) instead of copied to the heap; `info` then
+                    reports the mapped-vs-resident byte split
   --threads=N       query commands: fan per-candidate counter updates out
                     across N worker threads (default 1 = serial; the answer
                     is byte-identical either way)
@@ -172,8 +177,9 @@ bool IsCsvPath(const std::string& path) {
 Result<Table> LoadTable(const Flags& flags) {
   const std::string path = flags.GetString("in");
   if (path.empty()) return Status::InvalidArgument("--in=FILE is required");
-  auto table = IsCsvPath(path) ? ReadCsvFile(path)
-                               : ReadBinaryTableFile(path);
+  auto table = IsCsvPath(path)         ? ReadCsvFile(path)
+               : flags.GetBool("mmap") ? ReadBinaryTableFileMapped(path)
+                                       : ReadBinaryTableFile(path);
   if (!table.ok()) return table.status();
   // With the sketch path enabled, high-support columns are the point --
   // keep everything unless the user asked for pruning explicitly.
@@ -246,7 +252,7 @@ Result<size_t> ResolveTarget(const Table& table, const Flags& flags) {
   return by_name.status();
 }
 
-void PrintItems(const std::vector<AttributeScore>& items,
+void PrintItems(std::span<const AttributeScore> items,
                 const QueryStats& stats, double elapsed_ms) {
   for (const auto& item : items) {
     std::printf("%-20s %.6f  [%.6f, %.6f]\n", item.name.c_str(),
@@ -405,12 +411,20 @@ int CmdInfo(const Flags& flags) {
   if (in.empty()) {
     return Fail(Status::InvalidArgument("--in=FILE is required"));
   }
-  auto table = IsCsvPath(in) ? ReadCsvFile(in) : ReadBinaryTableFile(in);
+  auto table = IsCsvPath(in)           ? ReadCsvFile(in)
+               : flags.GetBool("mmap") ? ReadBinaryTableFileMapped(in)
+                                       : ReadBinaryTableFile(in);
   if (!table.ok()) return Fail(table.status());
   std::printf("rows:    %llu\ncolumns: %zu\nmax u:   %u\nmemory:  %llu\n",
               static_cast<unsigned long long>(table->num_rows()),
               table->num_columns(), table->MaxSupport(),
               static_cast<unsigned long long>(table->MemoryBytes()));
+  // Byte split for mapped loads: `memory` above is heap-resident only;
+  // payloads borrowed from the file mapping are OS-paged.
+  if (table->MappedBytes() > 0) {
+    std::printf("mapped:  %llu\n",
+                static_cast<unsigned long long>(table->MappedBytes()));
+  }
   std::printf("shards:  %zu x %llu rows\n", table->num_shards(),
               static_cast<unsigned long long>(table->shard_size()));
   if (table->SketchMemoryBytes() > 0) {
